@@ -1,0 +1,52 @@
+//! Regenerate **Fig. 1**: industrial-networking term occurrences in
+//! recent SIGCOMM/HotNets proceedings.
+//!
+//! The real proceedings are copyrighted; the analyzer runs over the
+//! calibrated synthetic corpus (see `steelworks-corpus::synth`). Pass a
+//! directory of `.txt` files as the first argument to analyze a real
+//! corpus instead.
+
+use steelworks_bench::{check, FIGURE_SEED};
+use steelworks_core::prelude::format_bars;
+use steelworks_corpus::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let texts: Vec<String> = if let Some(dir) = args.get(1) {
+        println!("# Fig. 1 over real corpus directory: {dir}");
+        std::fs::read_dir(dir)
+            .expect("readable corpus directory")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().map(|x| x == "txt").unwrap_or(false))
+            .filter_map(|e| std::fs::read_to_string(e.path()).ok())
+            .collect()
+    } else {
+        println!("# Fig. 1 over the calibrated synthetic corpus (seed {FIGURE_SEED:#x})");
+        generate(160, FIGURE_SEED)
+            .into_iter()
+            .map(|p| p.text)
+            .collect()
+    };
+
+    let counts = analyze(texts.iter().map(|s| s.as_str()));
+    let bars: Vec<(String, u64, u64)> = counts
+        .iter()
+        .map(|c| (c.label.to_string(), c.measured, c.published))
+        .collect();
+    println!(
+        "{}",
+        format_bars(
+            "Fig. 1 — occurrences (with permutations) in proceedings corpus",
+            &bars
+        )
+    );
+
+    let (ot, min_it) = research_gap(&counts);
+    println!("# research gap: {ot} total OT-side mentions vs {min_it} for the rarest IT term");
+    check("all 13 groups measured", counts.len() == 13);
+    check(
+        "synthetic corpus matches published counts",
+        args.get(1).is_some() || counts.iter().all(|c| c.measured == c.published),
+    );
+    check("gap exceeds 25x", min_it > 25 * ot.max(1));
+}

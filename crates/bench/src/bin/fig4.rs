@@ -1,0 +1,102 @@
+//! Regenerate **Fig. 4**: Traffic Reflection results.
+//!
+//! Left panel: delay CDFs of the six eBPF/XDP reflection program
+//! variants. Right panel: jitter CDFs for 1 vs 25 concurrent RT flows.
+
+use steelworks_bench::{check, FIGURE_SEED};
+use steelworks_core::prelude::*;
+use steelworks_xdpsim::prelude::ReflectVariant;
+
+fn main() {
+    let cycles: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    println!("# Fig. 4 — Traffic Reflection (seed {FIGURE_SEED:#x}, {cycles} cycles/flow)\n");
+
+    // Left panel.
+    println!("## Left: delay CDFs per eBPF program variant (1 flow)");
+    let left = fig4_left(FIGURE_SEED, cycles);
+    let mut medians = std::collections::HashMap::new();
+    for (name, cdf) in &left {
+        println!("{}", format_cdf(&format!("delay, {name}"), "us", cdf, 20));
+        let median = cdf
+            .iter()
+            .find(|(_, p)| *p >= 0.5)
+            .map(|(v, _)| *v)
+            .unwrap_or(0.0);
+        medians.insert(*name, median);
+    }
+    println!("# medians (µs):");
+    for v in ReflectVariant::ALL {
+        println!("#   {:8} {:6.2}", v.name(), medians[v.name()]);
+    }
+
+    // §2.1's missing metrics: worst case and consecutive jitter bursts.
+    println!("\n## Worst-case & burst metrics (the numbers §2.1 says evaluations omit)");
+    for &flows in &[1u32, 25] {
+        let mut out = run_reflection(&ReflectionConfig {
+            variant: ReflectVariant::Ts,
+            flows,
+            cycles,
+            seed: FIGURE_SEED,
+            ..ReflectionConfig::default()
+        });
+        println!(
+            "# {flows:>2} flow(s): worst delay {:.2} µs | >1 µs-jitter cycles {:.3} % | longest burst {} | trips watchdog x3: {}",
+            out.worst_delay_us(),
+            out.over_threshold_fraction * 100.0,
+            out.max_jitter_burst,
+            out.would_trip_watchdog(3),
+        );
+        if flows == 1 {
+            check(
+                "one quiet flow never halts a watchdog-3 device",
+                !out.would_trip_watchdog(3),
+            );
+        }
+    }
+
+    // Right panel.
+    println!("\n## Right: jitter CDFs, 1 vs 25 flows (TS variant)");
+    let right = fig4_right(FIGURE_SEED, cycles);
+    let mut p99 = Vec::new();
+    for (flows, cdf) in &right {
+        println!(
+            "{}",
+            format_cdf(&format!("jitter, {flows} flow(s)"), "ns", cdf, 20)
+        );
+        let v99 = cdf
+            .iter()
+            .find(|(_, p)| *p >= 0.99)
+            .map(|(v, _)| *v)
+            .unwrap_or(0.0);
+        p99.push((*flows, v99));
+        println!("#   {flows} flow(s): p99 jitter = {v99:.0} ns");
+    }
+
+    // Shape checks against the paper.
+    let base = medians["Base"];
+    let ts_rb = medians["TS-RB"];
+    let ts_d_rb = medians["TS-D-RB"];
+    check(
+        "delay medians in the ~5-25 µs band",
+        medians.values().all(|&m| m > 4.0 && m < 25.0),
+    );
+    check(
+        "ring-buffer variants separate from the rest (paper: left vs right cluster)",
+        ts_rb > base + 2.0 && ts_d_rb > base + 2.0,
+    );
+    check(
+        "small code changes shift the CDF (TS > Base)",
+        medians["TS"] >= base,
+    );
+    check(
+        "25 flows inflate jitter vs 1 flow (paper: right panel)",
+        p99[1].1 > 1.5 * p99[0].1,
+    );
+    check(
+        "jitter in the sub-microsecond-to-µs band",
+        p99[1].1 < 5_000.0,
+    );
+}

@@ -1,0 +1,101 @@
+//! Regenerate **Fig. 6**: ML inference latency vs number of clients for
+//! the three topologies × two applications, plus the accuracy/cost view
+//! the paper's discussion calls out.
+
+use steelworks_bench::check;
+use steelworks_core::prelude::*;
+use steelworks_mlnet::prelude::MlApp;
+
+fn main() {
+    let cfg = StudyConfig::default();
+    println!(
+        "# Fig. 6 — ML-aware topologies (accuracy target {:.2})\n",
+        cfg.accuracy_target
+    );
+    let points = fig6(&cfg);
+
+    for app in MlApp::ALL {
+        let name = app.profile().name;
+        println!("## {name}");
+        let mut rows = Vec::new();
+        for &n in &cfg.client_counts {
+            let mut row = vec![n.to_string()];
+            for kind in TopologyKind::ALL {
+                let p = points
+                    .iter()
+                    .find(|p| p.app == app && p.topology == kind && p.clients == n)
+                    .expect("point exists");
+                row.push(format!("{:.2}", p.latency_ms));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            format_table(
+                &format!("{name}: mean latency (ms) per topology"),
+                &["clients", "Leaf Spine", "Ring", "ML-aware"],
+                &rows
+            )
+        );
+
+        // The accuracy/cost companion view.
+        let mut rows = Vec::new();
+        for kind in TopologyKind::ALL {
+            let p = points
+                .iter()
+                .find(|p| p.app == app && p.topology == kind && p.clients == 256)
+                .expect("point exists");
+            rows.push(vec![
+                kind.name().to_string(),
+                format!("{:.3}", p.achieved_accuracy),
+                format!("{:.2}", p.max_utilization),
+                format!("{:.0}", p.cost),
+            ]);
+        }
+        println!(
+            "{}",
+            format_table(
+                &format!("{name} @256 clients: achievable accuracy / utilization / cost"),
+                &["topology", "accuracy", "max util", "cost"],
+                &rows
+            )
+        );
+    }
+
+    // Shape checks against the paper.
+    for app in MlApp::ALL {
+        let name = app.profile().name;
+        let get = |kind: TopologyKind, n: usize| {
+            points
+                .iter()
+                .find(|p| p.app == app && p.topology == kind && p.clients == n)
+                .expect("point")
+                .latency_ms
+        };
+        check(
+            &format!("{name}: ML-aware lowest at every client count"),
+            cfg.client_counts.iter().all(|&n| {
+                get(TopologyKind::MlAware, n) < get(TopologyKind::LeafSpine, n)
+                    && get(TopologyKind::MlAware, n) < get(TopologyKind::Ring, n)
+            }),
+        );
+        check(
+            &format!("{name}: ring worst (leaf-spine only slightly improves)"),
+            cfg.client_counts
+                .iter()
+                .all(|&n| get(TopologyKind::LeafSpine, n) <= get(TopologyKind::Ring, n) * 1.05),
+        );
+        check(
+            &format!("{name}: ring degrades with scale"),
+            get(TopologyKind::Ring, 256) > get(TopologyKind::Ring, 32),
+        );
+        check(
+            &format!("{name}: latencies within the figure's ~2-6 ms band (×2 envelope)"),
+            cfg.client_counts.iter().all(|&n| {
+                TopologyKind::ALL
+                    .iter()
+                    .all(|&k| (0.5..12.0).contains(&get(k, n)))
+            }),
+        );
+    }
+}

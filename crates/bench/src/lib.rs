@@ -1,0 +1,25 @@
+//! # steelworks-bench
+//!
+//! Figure regeneration and performance benchmarks.
+//!
+//! One binary per paper figure prints the same rows/series the paper
+//! plots (`cargo run --release -p steelworks-bench --bin fig4`), plus a
+//! `challenges` binary reproducing the §2 quantitative claims. The
+//! Criterion benches measure the substrates themselves (and the
+//! ablations DESIGN.md calls out).
+
+#![forbid(unsafe_code)]
+
+/// Standard seed used by all figure binaries so published outputs are
+/// exactly reproducible.
+pub const FIGURE_SEED: u64 = 0x57EE1;
+
+/// Shape assertion helper used by figure binaries: warn loudly (but do
+/// not crash a report run) when a reproduction invariant fails.
+pub fn check(label: &str, ok: bool) {
+    if ok {
+        println!("# CHECK ok   : {label}");
+    } else {
+        println!("# CHECK FAIL : {label}");
+    }
+}

@@ -1,0 +1,298 @@
+//! **Service availability math** (§2.2): nines, downtime budgets,
+//! MTBF/MTTR composition, and the availability achieved by each
+//! redundancy scheme.
+//!
+//! The paper's anchor numbers: industrial automation demands
+//! ≥ 99.9999 % (≤ 31.5 s downtime/year), while data centers "typically
+//! aim for monthly downtime of a few minutes, potentially multiples of
+//! 31.5 s".
+
+use steelworks_netsim::rng::SimRng;
+use steelworks_netsim::time::NanoDur;
+use steelworks_vplc::redundancy::takeover;
+
+/// Seconds in a (non-leap) year.
+pub const SECONDS_PER_YEAR: f64 = 365.0 * 24.0 * 3600.0;
+
+/// Downtime per year implied by an availability (0..1).
+pub fn downtime_per_year(availability: f64) -> NanoDur {
+    assert!((0.0..=1.0).contains(&availability));
+    NanoDur::from_secs_f64((1.0 - availability) * SECONDS_PER_YEAR)
+}
+
+/// Availability implied by a yearly downtime budget.
+pub fn availability_for_downtime(downtime_per_year: NanoDur) -> f64 {
+    1.0 - downtime_per_year.as_secs_f64() / SECONDS_PER_YEAR
+}
+
+/// "k nines" as an availability (e.g. 6 → 0.999999).
+pub fn nines(k: u32) -> f64 {
+    1.0 - 10f64.powi(-(k as i32))
+}
+
+/// Steady-state availability from MTBF and MTTR.
+pub fn availability_mtbf_mttr(mtbf: NanoDur, mttr: NanoDur) -> f64 {
+    let up = mtbf.as_secs_f64();
+    let down = mttr.as_secs_f64();
+    up / (up + down)
+}
+
+/// Availability of components in series (all must be up).
+pub fn series(components: &[f64]) -> f64 {
+    components.iter().product()
+}
+
+/// Availability of redundant components in parallel (any one suffices).
+pub fn parallel(components: &[f64]) -> f64 {
+    1.0 - components.iter().map(|a| 1.0 - a).product::<f64>()
+}
+
+/// Redundancy schemes evaluated for vPLC control (§4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scheme {
+    /// No standby: every failure costs a full MTTR.
+    None,
+    /// Classical hardware pair (dedicated sync links).
+    HardwarePair,
+    /// Kubernetes-orchestrated standby/restart.
+    Kubernetes,
+    /// InstaPLC in-network switchover.
+    InstaPlc {
+        /// I/O cycle time.
+        cycle: NanoDur,
+        /// Silence threshold in cycles.
+        switchover_cycles: u32,
+    },
+}
+
+impl Scheme {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::None => "no redundancy",
+            Scheme::HardwarePair => "hardware pair",
+            Scheme::Kubernetes => "kubernetes standby",
+            Scheme::InstaPlc { .. } => "InstaPLC",
+        }
+    }
+
+    /// Sample the control-loss interval caused by one primary failure.
+    pub fn sample_outage(&self, rng: &mut SimRng, mttr: NanoDur) -> NanoDur {
+        match self {
+            Scheme::None => mttr,
+            Scheme::HardwarePair => takeover::hardware_pair(rng),
+            Scheme::Kubernetes => takeover::kubernetes(rng),
+            Scheme::InstaPlc {
+                cycle,
+                switchover_cycles,
+            } => takeover::in_network(*cycle, *switchover_cycles, NanoDur::from_micros(4)),
+        }
+    }
+}
+
+/// Monte-Carlo estimate of a scheme's yearly control downtime and the
+/// resulting availability, given a primary-failure rate.
+#[derive(Clone, Copy, Debug)]
+pub struct SchemeEstimate {
+    /// Expected control-loss time per year.
+    pub downtime_per_year: NanoDur,
+    /// Resulting availability.
+    pub availability: f64,
+    /// Whether it clears the six-nines OT requirement.
+    pub meets_ot_requirement: bool,
+}
+
+/// Estimate a scheme: `failures_per_year` primary failures, each
+/// costing one sampled outage; `mttr` applies to the no-redundancy
+/// case (full repair).
+pub fn estimate(
+    scheme: Scheme,
+    failures_per_year: f64,
+    mttr: NanoDur,
+    samples: u32,
+    seed: u64,
+) -> SchemeEstimate {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mean_outage_s: f64 = (0..samples)
+        .map(|_| scheme.sample_outage(&mut rng, mttr).as_secs_f64())
+        .sum::<f64>()
+        / samples as f64;
+    let downtime_s = mean_outage_s * failures_per_year;
+    let availability = 1.0 - downtime_s / SECONDS_PER_YEAR;
+    SchemeEstimate {
+        downtime_per_year: NanoDur::from_secs_f64(downtime_s),
+        availability,
+        meets_ot_requirement: availability >= nines(6),
+    }
+}
+
+/// Expected yearly downtime of a redundant pair with imperfect
+/// switchover *coverage*: a fraction `coverage` of primary failures is
+/// caught and masked by the takeover mechanism (costing `takeover`),
+/// the rest are uncovered (undetected primary hang, split brain, twin
+/// desync, ...) and cost a full `mttr`. Coverage is the quantity real
+/// HA engineering fights over; availability is brutally sensitive to
+/// it, which this model makes explicit.
+pub fn covered_downtime_per_year(
+    failures_per_year: f64,
+    takeover: NanoDur,
+    mttr: NanoDur,
+    coverage: f64,
+) -> NanoDur {
+    assert!((0.0..=1.0).contains(&coverage), "coverage is a probability");
+    let per_failure = coverage * takeover.as_secs_f64() + (1.0 - coverage) * mttr.as_secs_f64();
+    NanoDur::from_secs_f64(failures_per_year * per_failure)
+}
+
+/// The minimum coverage a scheme needs to hold six nines, given its
+/// takeover time, failure rate and repair time. `None` when even
+/// perfect coverage is not enough.
+pub fn required_coverage_for_six_nines(
+    failures_per_year: f64,
+    takeover: NanoDur,
+    mttr: NanoDur,
+) -> Option<f64> {
+    let budget = downtime_per_year(nines(6)).as_secs_f64();
+    let t = takeover.as_secs_f64();
+    let m = mttr.as_secs_f64();
+    let per_failure_budget = budget / failures_per_year;
+    if per_failure_budget < t {
+        return None; // takeover alone already blows the budget
+    }
+    if m <= per_failure_budget {
+        return Some(0.0); // even uncovered failures fit
+    }
+    // c·t + (1−c)·m = budget/failures  ⇒  c = (m − budget/f)/(m − t)
+    Some(((m - per_failure_budget) / (m - t)).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_nines_is_thirty_one_and_a_half_seconds() {
+        // The paper's §2.2 anchor: 99.9999 % ⇒ < 31.5 s/year.
+        let d = downtime_per_year(nines(6));
+        let secs = d.as_secs_f64();
+        assert!((secs - 31.536).abs() < 0.01, "{secs}");
+    }
+
+    #[test]
+    fn dc_monthly_minutes_is_multiples_of_ot_budget() {
+        // "A few minutes monthly" — say 4 min/month = 48 min/year.
+        let dc_downtime = NanoDur::from_secs(48 * 60);
+        let a = availability_for_downtime(dc_downtime);
+        assert!(a < nines(5), "DC practice is under five nines: {a}");
+        // 48 min/yr is ~91 multiples of 31.5 s.
+        assert!(dc_downtime.as_secs_f64() / 31.5 > 80.0);
+    }
+
+    #[test]
+    fn nines_round_trip() {
+        for k in 1..=7 {
+            let a = nines(k);
+            let d = downtime_per_year(a);
+            assert!((availability_for_downtime(d) - a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mtbf_mttr() {
+        // MTBF 1 year, MTTR 31.5 s ≈ six nines.
+        let a =
+            availability_mtbf_mttr(NanoDur::from_secs(31_536_000), NanoDur::from_secs_f64(31.5));
+        assert!(a >= nines(6) - 1e-7, "{a}");
+    }
+
+    #[test]
+    fn series_parallel_composition() {
+        let a = series(&[0.99, 0.99]);
+        assert!((a - 0.9801).abs() < 1e-9);
+        let b = parallel(&[0.99, 0.99]);
+        assert!((b - 0.9999).abs() < 1e-9);
+        assert!(parallel(&[0.9, 0.9, 0.9]) > series(&[0.9, 0.9, 0.9]));
+    }
+
+    #[test]
+    fn scheme_ordering() {
+        // With monthly primary failures (12/yr, pessimistic for vPLC
+        // hosts) and 30 min MTTR:
+        let mttr = NanoDur::from_secs(1800);
+        let none = estimate(Scheme::None, 12.0, mttr, 2000, 1);
+        let hw = estimate(Scheme::HardwarePair, 12.0, mttr, 2000, 1);
+        let k8s = estimate(Scheme::Kubernetes, 12.0, mttr, 2000, 1);
+        let insta = estimate(
+            Scheme::InstaPlc {
+                cycle: NanoDur::from_micros(1_500),
+                switchover_cycles: 2,
+            },
+            12.0,
+            mttr,
+            2000,
+            1,
+        );
+        assert!(none.downtime_per_year > k8s.downtime_per_year);
+        assert!(k8s.downtime_per_year > hw.downtime_per_year);
+        assert!(hw.downtime_per_year > insta.downtime_per_year);
+        // Only InstaPLC clears six nines at this failure rate.
+        assert!(!none.meets_ot_requirement);
+        assert!(!k8s.meets_ot_requirement);
+        assert!(insta.meets_ot_requirement, "{:?}", insta);
+    }
+
+    #[test]
+    fn hardware_pair_meets_six_nines_only_at_low_failure_rates() {
+        let mttr = NanoDur::from_secs(1800);
+        // 2 failures/yr × ≤300 ms ≤ 0.6 s — fine.
+        let rare = estimate(Scheme::HardwarePair, 2.0, mttr, 2000, 2);
+        assert!(rare.meets_ot_requirement);
+        // 400 failures/yr × ~175 ms ≈ 70 s — breached.
+        let frequent = estimate(Scheme::HardwarePair, 400.0, mttr, 2000, 2);
+        assert!(!frequent.meets_ot_requirement);
+    }
+
+    #[test]
+    fn coverage_dominates_availability() {
+        let takeover = NanoDur::from_millis(5);
+        let mttr = NanoDur::from_secs(1800);
+        // Perfect coverage: 12 failures x 5 ms = 60 ms/yr.
+        let perfect = covered_downtime_per_year(12.0, takeover, mttr, 1.0);
+        assert!(perfect < NanoDur::from_secs(1));
+        // 99% coverage: the 1% uncovered failures cost 0.12 x 1800 s.
+        let good = covered_downtime_per_year(12.0, takeover, mttr, 0.99);
+        assert!(good > NanoDur::from_secs(200));
+        // Six nines (31.5 s) at 12 failures/yr needs coverage ≥ ~99.85%.
+        let c = required_coverage_for_six_nines(12.0, takeover, mttr).unwrap();
+        assert!(c > 0.998 && c < 0.999, "c = {c}");
+        let at_c = covered_downtime_per_year(12.0, takeover, mttr, c);
+        assert!(
+            (at_c.as_secs_f64() - 31.536).abs() < 0.5,
+            "{}",
+            at_c.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn slow_takeover_cannot_reach_six_nines() {
+        // A 55 s k8s-style reschedule at 12 failures/yr exceeds the
+        // budget even with perfect coverage.
+        assert_eq!(
+            required_coverage_for_six_nines(12.0, NanoDur::from_secs(55), NanoDur::from_secs(1800)),
+            None
+        );
+        // Rare failures make even uncovered repairs acceptable... not
+        // at 30 min MTTR, but at 20 s MTTR yes.
+        assert_eq!(
+            required_coverage_for_six_nines(1.0, NanoDur::from_millis(100), NanoDur::from_secs(20)),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn estimates_deterministic() {
+        let a = estimate(Scheme::Kubernetes, 10.0, NanoDur::from_secs(60), 500, 9);
+        let b = estimate(Scheme::Kubernetes, 10.0, NanoDur::from_secs(60), 500, 9);
+        assert_eq!(a.downtime_per_year, b.downtime_per_year);
+    }
+}

@@ -1,0 +1,913 @@
+//! **InstaPLC** (§4): in-network high availability for virtual PLCs.
+//!
+//! The application runs on the programmable switch between the vPLCs
+//! and the I/O device:
+//!
+//! 1. The first vPLC to connect to an I/O device becomes its *primary*;
+//!    its connect/parameterization exchange is observed by the switch,
+//!    which learns the CR's parameters and builds a **digital twin** of
+//!    the device.
+//! 2. A second vPLC connecting to the same device is designated
+//!    *secondary* and transparently connected to the twin: its connect
+//!    is answered by the switch, its cyclic output frames are dropped
+//!    after updating a liveness register, and the physical device's
+//!    input frames are mirrored to it — so the secondary always holds
+//!    the device's current state.
+//! 3. The data plane timestamps every primary frame; when the primary
+//!    stays silent for a configurable number of I/O cycles, the switch
+//!    rewires the tables: the secondary's frames now reach the physical
+//!    device. No dedicated sync links between the vPLCs are required.
+
+use steelworks_dataplane::prelude::*;
+use steelworks_netsim::prelude::*;
+use steelworks_rtnet::frame::{CrParams, FrameId, RtPayload};
+use steelworks_vplc::prelude::*;
+
+/// Digest kinds raised by the InstaPLC pipeline.
+pub mod digest_kind {
+    /// A connect request appeared (payload attached).
+    pub const CONNECT_REQ: u32 = 1;
+    /// A connect response from the I/O device (payload attached).
+    pub const CONNECT_RESP: u32 = 2;
+    /// An alarm frame passed through.
+    pub const ALARM: u32 = 3;
+}
+
+/// Register array 0: last-seen timestamp per FrameId for the primary.
+pub const REG_LAST_SEEN_PRIMARY: u32 = 0;
+/// Register array 1: last-seen timestamp per FrameId for the secondary.
+pub const REG_LAST_SEEN_SECONDARY: u32 = 1;
+
+/// One controlled connection's control-plane state.
+#[derive(Clone, Debug)]
+struct Conn {
+    params: CrParams,
+    primary: Option<(PortId, MacAddr)>,
+    secondary: Option<(PortId, MacAddr)>,
+    running: bool,
+    /// Installed cyclic-table entries, for clean rewiring.
+    entries: Vec<EntryId>,
+}
+
+/// InstaPLC's control plane (embedded with the switch, as the paper's
+/// Python controller is co-located with the DPDK data plane).
+pub struct InstaPlcController {
+    /// Port the physical I/O device hangs off.
+    pub io_port: PortId,
+    /// The I/O device's MAC (twin responses are sent from it).
+    pub io_mac: MacAddr,
+    /// Silence threshold, in I/O cycles, before switchover.
+    pub switchover_cycles: u32,
+    /// Liveness scan period.
+    pub scan_interval: NanoDur,
+    conns: std::collections::HashMap<u16, Conn>,
+    /// Completed switchovers: (when, frame id).
+    pub switchovers: Vec<(Nanos, u16)>,
+    /// Planned role swaps to execute at given instants (live migration,
+    /// as in the P4PLC demo the paper cites): (when, frame id).
+    pub planned_migrations: Vec<(Nanos, u16)>,
+    /// Completed planned migrations.
+    pub migrations_done: Vec<(Nanos, u16)>,
+    /// Twin connect responses issued.
+    pub twin_accepts: u64,
+    /// Third-controller rejections issued.
+    pub rejections: u64,
+}
+
+impl InstaPlcController {
+    /// A controller guarding the device on `io_port`.
+    pub fn new(io_port: PortId, io_mac: MacAddr) -> Self {
+        InstaPlcController {
+            io_port,
+            io_mac,
+            switchover_cycles: 2,
+            scan_interval: NanoDur::from_micros(250),
+            conns: std::collections::HashMap::new(),
+            switchovers: Vec::new(),
+            planned_migrations: Vec::new(),
+            migrations_done: Vec::new(),
+            twin_accepts: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Schedule a planned, hitless migration of `fid`'s control from
+    /// the current primary to the secondary at time `at`. Unlike a
+    /// failure switchover, the old primary stays alive and is demoted
+    /// to secondary (running against the twin), so control can be
+    /// migrated back later — e.g. around host maintenance windows.
+    pub fn schedule_migration(&mut self, at: Nanos, fid: u16) {
+        self.planned_migrations.push((at, fid));
+    }
+
+    /// Swap primary and secondary roles for `fid`, retaining both.
+    /// Returns false when there is no secondary to promote.
+    pub fn swap_roles(&mut self, now: Nanos, fid: u16, pipeline: &mut Pipeline) -> bool {
+        let Some(conn) = self.conns.get_mut(&fid) else {
+            return false;
+        };
+        let (Some(p), Some(s_)) = (conn.primary, conn.secondary) else {
+            return false;
+        };
+        conn.primary = Some(s_);
+        conn.secondary = Some(p);
+        // Exchange the liveness stamps along with the roles.
+        let pstamp = pipeline.registers[REG_LAST_SEEN_PRIMARY as usize].read(fid as u32);
+        let sstamp = pipeline.registers[REG_LAST_SEEN_SECONDARY as usize].read(fid as u32);
+        pipeline.registers[REG_LAST_SEEN_PRIMARY as usize]
+            .write(fid as u32, sstamp.max(now.as_nanos()));
+        pipeline.registers[REG_LAST_SEEN_SECONDARY as usize]
+            .write(fid as u32, pstamp.max(now.as_nanos()));
+        self.migrations_done.push((now, fid));
+        self.install_cyclic_entries(fid, pipeline);
+        true
+    }
+
+    fn install_cyclic_entries(&mut self, fid: u16, pipeline: &mut Pipeline) {
+        let conn = self.conns.get_mut(&fid).expect("conn exists");
+        let table = pipeline.table_mut("cyclic").expect("cyclic table");
+        for id in conn.entries.drain(..) {
+            table.remove(id);
+        }
+        let mut entries = Vec::new();
+        if let Some((pport, _)) = conn.primary {
+            // Primary → device, stamping liveness.
+            entries.push(table.insert(Entry {
+                keys: vec![
+                    TernaryKey::exact(fid as u64),
+                    TernaryKey::exact(pport.0 as u64),
+                ],
+                priority: 0,
+                action: ActionSpec::new(vec![
+                    Primitive::RegWrite {
+                        reg: REG_LAST_SEEN_PRIMARY,
+                        index: IndexSource::FromField(Field::RtFrameId),
+                        value: ValueSource::NowNs,
+                    },
+                    Primitive::Forward(self.io_port),
+                ]),
+            }));
+            // Device → primary (+ mirror to the secondary when present).
+            let mut dev_prims = vec![Primitive::Forward(pport)];
+            if let Some((sport, _)) = conn.secondary {
+                dev_prims.push(Primitive::Mirror(sport));
+            }
+            entries.push(table.insert(Entry {
+                keys: vec![
+                    TernaryKey::exact(fid as u64),
+                    TernaryKey::exact(self.io_port.0 as u64),
+                ],
+                priority: 0,
+                action: ActionSpec::new(dev_prims),
+            }));
+        }
+        if let Some((sport, _)) = conn.secondary {
+            // Secondary → twin: stamp liveness, then absorb.
+            entries.push(table.insert(Entry {
+                keys: vec![
+                    TernaryKey::exact(fid as u64),
+                    TernaryKey::exact(sport.0 as u64),
+                ],
+                priority: 0,
+                action: ActionSpec::new(vec![
+                    Primitive::RegWrite {
+                        reg: REG_LAST_SEEN_SECONDARY,
+                        index: IndexSource::FromField(Field::RtFrameId),
+                        value: ValueSource::NowNs,
+                    },
+                    Primitive::Drop,
+                ]),
+            }));
+        }
+        self.conns.get_mut(&fid).expect("conn exists").entries = entries;
+    }
+
+    fn on_connect_req(&mut self, now: Nanos, digest: &Digest, api: &mut ControlApi<'_>) {
+        let Some(payload) = &digest.payload else {
+            return;
+        };
+        let Ok(RtPayload::ConnectReq { frame_id, params }) = RtPayload::parse(payload) else {
+            return;
+        };
+        let fid = frame_id.0;
+        let ingress = PortId(digest.fields.get(Field::IngressPort) as usize);
+        let src = u64_to_mac(digest.fields.get(Field::EthSrc));
+        let conn = self.conns.entry(fid).or_insert_with(|| Conn {
+            params,
+            primary: None,
+            secondary: None,
+            running: false,
+            entries: Vec::new(),
+        });
+
+        let already_primary = conn.primary.map(|(_, m)| m == src).unwrap_or(false);
+        let already_secondary = conn.secondary.map(|(_, m)| m == src).unwrap_or(false);
+
+        if conn.primary.is_none() || already_primary {
+            // Designate (or refresh) the primary; pass the request on
+            // to the physical device.
+            conn.primary = Some((ingress, src));
+            conn.params = params;
+            let io_port = self.io_port;
+            let io_mac = self.io_mac;
+            self.install_cyclic_entries(fid, api.pipeline());
+            let frame = EthFrame::new(io_mac, src, ethertype::INDUSTRIAL_RT, payload.clone())
+                .with_vlan(VlanTag::RT);
+            api.inject(io_port, frame);
+        } else if conn.secondary.is_none() || already_secondary {
+            // Designate the secondary and answer from the digital twin.
+            conn.secondary = Some((ingress, src));
+            let io_mac = self.io_mac;
+            self.install_cyclic_entries(fid, api.pipeline());
+            let resp = RtPayload::ConnectResp {
+                frame_id,
+                accepted: true,
+            };
+            let frame = EthFrame::new(src, io_mac, ethertype::INDUSTRIAL_RT, resp.to_bytes())
+                .with_vlan(VlanTag::RT);
+            self.twin_accepts += 1;
+            api.inject(ingress, frame);
+            // Seed the secondary's liveness stamp so the scan doesn't
+            // misfire before its first cyclic frame.
+            if let Some(reg) = api
+                .pipeline()
+                .registers
+                .get_mut(REG_LAST_SEEN_SECONDARY as usize)
+            {
+                reg.write(fid as u32, now.as_nanos());
+            }
+        } else {
+            // A third controller: reject, as the physical device would.
+            let resp = RtPayload::ConnectResp {
+                frame_id,
+                accepted: false,
+            };
+            let io_mac = self.io_mac;
+            let frame = EthFrame::new(src, io_mac, ethertype::INDUSTRIAL_RT, resp.to_bytes())
+                .with_vlan(VlanTag::RT);
+            self.rejections += 1;
+            api.inject(ingress, frame);
+        }
+    }
+
+    fn on_connect_resp(&mut self, now: Nanos, digest: &Digest, api: &mut ControlApi<'_>) {
+        let Some(payload) = &digest.payload else {
+            return;
+        };
+        let Ok(RtPayload::ConnectResp { frame_id, accepted }) = RtPayload::parse(payload) else {
+            return;
+        };
+        let ingress = PortId(digest.fields.get(Field::IngressPort) as usize);
+        if ingress != self.io_port {
+            return; // Only the physical device's responses are relayed.
+        }
+        let Some(conn) = self.conns.get_mut(&frame_id.0) else {
+            return;
+        };
+        if accepted {
+            conn.running = true;
+        }
+        if let Some((pport, pmac)) = conn.primary {
+            let frame = EthFrame::new(pmac, self.io_mac, ethertype::INDUSTRIAL_RT, payload.clone())
+                .with_vlan(VlanTag::RT);
+            api.inject(pport, frame);
+            // Seed liveness so the scan tolerates the connect phase.
+            if let Some(reg) = api
+                .pipeline()
+                .registers
+                .get_mut(REG_LAST_SEEN_PRIMARY as usize)
+            {
+                reg.write(frame_id.0 as u32, now.as_nanos());
+            }
+        }
+    }
+
+    /// Promote the secondary of `fid` to primary (public so operators /
+    /// tests can force a manual switchover).
+    pub fn force_switchover(&mut self, now: Nanos, fid: u16, pipeline: &mut Pipeline) -> bool {
+        let Some(conn) = self.conns.get_mut(&fid) else {
+            return false;
+        };
+        let Some((sport, smac)) = conn.secondary.take() else {
+            return false;
+        };
+        conn.primary = Some((sport, smac));
+        self.switchovers.push((now, fid));
+        // The new primary's liveness continues from its secondary stamp.
+        let stamp = pipeline.registers[REG_LAST_SEEN_SECONDARY as usize].read(fid as u32);
+        pipeline.registers[REG_LAST_SEEN_PRIMARY as usize].write(fid as u32, stamp);
+        self.install_cyclic_entries(fid, pipeline);
+        true
+    }
+
+    /// Number of completed switchovers.
+    pub fn switchover_count(&self) -> usize {
+        self.switchovers.len()
+    }
+}
+
+impl PipelineController for InstaPlcController {
+    fn on_digest(&mut self, now: Nanos, digest: &Digest, api: &mut ControlApi<'_>) {
+        match digest.kind {
+            digest_kind::CONNECT_REQ => self.on_connect_req(now, digest, api),
+            digest_kind::CONNECT_RESP => self.on_connect_resp(now, digest, api),
+            _ => {}
+        }
+    }
+
+    fn on_tick(&mut self, now: Nanos, api: &mut ControlApi<'_>) {
+        // Execute due planned migrations first.
+        let due_migrations: Vec<u16> = {
+            let mut due = Vec::new();
+            self.planned_migrations.retain(|&(at, fid)| {
+                if at <= now {
+                    due.push(fid);
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for fid in due_migrations {
+            self.swap_roles(now, fid, api.pipeline());
+        }
+        // Liveness scan: promote secondaries whose primary went silent.
+        let due: Vec<u16> = self
+            .conns
+            .iter()
+            .filter_map(|(&fid, conn)| {
+                if !conn.running || conn.primary.is_none() || conn.secondary.is_none() {
+                    return None;
+                }
+                let last =
+                    api.pipeline().registers[REG_LAST_SEEN_PRIMARY as usize].read(fid as u32);
+                let threshold = conn.params.cycle_time.as_nanos() * self.switchover_cycles as u64;
+                (now.as_nanos().saturating_sub(last) > threshold).then_some(fid)
+            })
+            .collect();
+        for fid in due {
+            self.force_switchover(now, fid, api.pipeline());
+        }
+    }
+
+    fn tick_interval(&self) -> Option<NanoDur> {
+        Some(self.scan_interval)
+    }
+}
+
+/// Build the InstaPLC data-plane program.
+pub fn build_pipeline() -> Pipeline {
+    let mut p = Pipeline::new();
+    let r0 = p.add_registers(RegisterArray::new("last_seen_primary", 65_536));
+    let r1 = p.add_registers(RegisterArray::new("last_seen_secondary", 65_536));
+    debug_assert_eq!(r0, REG_LAST_SEEN_PRIMARY);
+    debug_assert_eq!(r1, REG_LAST_SEEN_SECONDARY);
+
+    // Table 0: classify by RT frame type (field = type byte + 1).
+    let mut classify = Table::new(
+        "classify",
+        vec![Field::RtFrameType],
+        MatchKind::Ternary,
+        // Non-RT traffic is not InstaPLC's business: drop.
+        ActionSpec::drop(),
+    );
+    classify.insert(Entry {
+        keys: vec![TernaryKey::exact(1)], // ConnectReq
+        priority: 10,
+        action: ActionSpec::new(vec![
+            Primitive::DigestPacket {
+                kind: digest_kind::CONNECT_REQ,
+            },
+            Primitive::Drop,
+        ]),
+    });
+    classify.insert(Entry {
+        keys: vec![TernaryKey::exact(2)], // ConnectResp
+        priority: 10,
+        action: ActionSpec::new(vec![
+            Primitive::DigestPacket {
+                kind: digest_kind::CONNECT_RESP,
+            },
+            Primitive::Drop,
+        ]),
+    });
+    classify.insert(Entry {
+        keys: vec![TernaryKey::exact(3)], // CyclicData
+        priority: 10,
+        action: ActionSpec::new(vec![Primitive::GotoTable(1)]),
+    });
+    classify.insert(Entry {
+        keys: vec![TernaryKey::exact(4)], // Alarm
+        priority: 10,
+        action: ActionSpec::new(vec![
+            Primitive::Digest {
+                kind: digest_kind::ALARM,
+                field: Field::RtFrameId,
+            },
+            Primitive::Flood,
+        ]),
+    });
+    p.add_table(classify);
+
+    // Table 1: cyclic forwarding, programmed at runtime.
+    p.add_table(Table::new(
+        "cyclic",
+        vec![Field::RtFrameId, Field::IngressPort],
+        MatchKind::Exact,
+        ActionSpec::drop(),
+    ));
+    p
+}
+
+/// Scenario configuration for the Fig. 5 experiment.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// I/O cycle time (Fig. 5's ≈33 packets / 50 ms ⇒ 1.5 ms).
+    pub cycle_time: NanoDur,
+    /// Device watchdog factor.
+    pub watchdog_factor: u8,
+    /// Switch silence threshold in cycles (must undercut the watchdog).
+    pub switchover_cycles: u32,
+    /// When the primary vPLC crashes.
+    pub crash_at: Nanos,
+    /// Total simulated time.
+    pub duration: Nanos,
+    /// When the secondary vPLC boots.
+    pub secondary_start: NanoDur,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            cycle_time: NanoDur::from_micros(1_500),
+            watchdog_factor: 3,
+            switchover_cycles: 2,
+            crash_at: Nanos::from_millis(1_200),
+            duration: Nanos::from_secs(3),
+            secondary_start: NanoDur::from_millis(40),
+            seed: 0x1A57,
+        }
+    }
+}
+
+/// Everything Fig. 5 plots, plus health counters.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// Cyclic frames sent by vPLC1 per 50 ms bin (Fig. 5a, first line).
+    pub vplc1_series: Vec<u64>,
+    /// Cyclic frames sent by vPLC2 per 50 ms bin (Fig. 5a, second line).
+    pub vplc2_series: Vec<u64>,
+    /// Cyclic frames received by the I/O device per 50 ms (Fig. 5b).
+    pub io_series: Vec<u64>,
+    /// When the switchover fired.
+    pub switchover_at: Option<Nanos>,
+    /// Safe-state entries at the device (0 = seamless switchover).
+    pub io_safe_entries: u64,
+    /// Twin connects answered by the switch.
+    pub twin_accepts: u64,
+    /// I/O device frames received in total.
+    pub io_received: u64,
+}
+
+/// Run the Fig. 5 scenario.
+pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
+    let mut sim = Simulator::new(cfg.seed);
+    let io_mac = MacAddr::local(0x10);
+    let v1_mac = MacAddr::local(0x21);
+    let v2_mac = MacAddr::local(0x22);
+    let fid = FrameId(0x8001);
+    let params = CrParams {
+        cycle_time: cfg.cycle_time,
+        watchdog_factor: cfg.watchdog_factor,
+        output_len: 8,
+        input_len: 8,
+    };
+
+    let v1 = sim.add_node(VplcDevice::new(
+        "vplc1",
+        v1_mac,
+        io_mac,
+        fid,
+        params,
+        PlcProgram::passthrough(8),
+    ));
+    let v2 = sim.add_node(
+        VplcDevice::new(
+            "vplc2",
+            v2_mac,
+            io_mac,
+            fid,
+            params,
+            PlcProgram::passthrough(8),
+        )
+        .with_start_delay(cfg.secondary_start),
+    );
+    let io = sim.add_node(IoDevice::new(
+        "io",
+        io_mac,
+        (8, 8),
+        Box::new(LoopbackProcess),
+    ));
+
+    let mut controller = InstaPlcController::new(PortId(2), io_mac);
+    controller.switchover_cycles = cfg.switchover_cycles;
+    let sw = sim.add_node(PipelineSwitch::new(
+        "instaplc",
+        3,
+        build_pipeline(),
+        Box::new(controller),
+    ));
+
+    sim.connect(v1, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+    sim.connect(v2, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+    sim.connect(io, PortId(0), sw, PortId(2), LinkSpec::gigabit());
+
+    sim.inject_timer(v1, cfg.crash_at, VPLC_CRASH_TOKEN);
+    sim.run_until(cfg.duration);
+
+    let extract = |series: &steelworks_netsim::stats::BinnedSeries, until: Nanos| {
+        let mut s = series.clone();
+        // The run ends exactly at `duration`; extend to the last full
+        // bin so the series has no spurious empty tail bin.
+        s.extend_to(until - NanoDur(1));
+        s.counts().to_vec()
+    };
+    let v1_ref = sim.node_ref::<VplcDevice>(v1);
+    let v2_ref = sim.node_ref::<VplcDevice>(v2);
+    let io_ref = sim.node_ref::<IoDevice>(io);
+    let sw_ref = sim.node_ref::<PipelineSwitch>(sw);
+    let ctrl = sw_ref.controller_ref::<InstaPlcController>();
+
+    ScenarioResult {
+        vplc1_series: extract(&v1_ref.sent_series, cfg.duration),
+        vplc2_series: extract(&v2_ref.sent_series, cfg.duration),
+        io_series: extract(&io_ref.received_series, cfg.duration),
+        switchover_at: ctrl.switchovers.first().map(|(t, _)| *t),
+        io_safe_entries: io_ref.stats().safe_state_entries,
+        twin_accepts: ctrl.twin_accepts,
+        io_received: io_ref.stats().cyclic_received,
+    }
+}
+
+/// Run a planned-migration scenario: same world as [`run_scenario`],
+/// but instead of crashing the primary, control migrates to the
+/// secondary at `migrate_at` (and back at `migrate_back_at` when set) —
+/// both vPLCs stay alive throughout.
+pub fn run_migration_scenario(
+    cfg: &ScenarioConfig,
+    migrate_at: Nanos,
+    migrate_back_at: Option<Nanos>,
+) -> ScenarioResult {
+    let mut sim = Simulator::new(cfg.seed);
+    let io_mac = MacAddr::local(0x10);
+    let v1_mac = MacAddr::local(0x21);
+    let v2_mac = MacAddr::local(0x22);
+    let fid = FrameId(0x8001);
+    let params = CrParams {
+        cycle_time: cfg.cycle_time,
+        watchdog_factor: cfg.watchdog_factor,
+        output_len: 8,
+        input_len: 8,
+    };
+    let v1 = sim.add_node(VplcDevice::new(
+        "vplc1",
+        v1_mac,
+        io_mac,
+        fid,
+        params,
+        PlcProgram::passthrough(8),
+    ));
+    let v2 = sim.add_node(
+        VplcDevice::new(
+            "vplc2",
+            v2_mac,
+            io_mac,
+            fid,
+            params,
+            PlcProgram::passthrough(8),
+        )
+        .with_start_delay(cfg.secondary_start),
+    );
+    let io = sim.add_node(IoDevice::new(
+        "io",
+        io_mac,
+        (8, 8),
+        Box::new(LoopbackProcess),
+    ));
+    let mut controller = InstaPlcController::new(PortId(2), io_mac);
+    controller.switchover_cycles = cfg.switchover_cycles;
+    controller.schedule_migration(migrate_at, fid.0);
+    if let Some(back) = migrate_back_at {
+        controller.schedule_migration(back, fid.0);
+    }
+    let sw = sim.add_node(PipelineSwitch::new(
+        "instaplc",
+        3,
+        build_pipeline(),
+        Box::new(controller),
+    ));
+    sim.connect(v1, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+    sim.connect(v2, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+    sim.connect(io, PortId(0), sw, PortId(2), LinkSpec::gigabit());
+    sim.run_until(cfg.duration);
+
+    let extract = |series: &steelworks_netsim::stats::BinnedSeries, until: Nanos| {
+        let mut s = series.clone();
+        s.extend_to(until - NanoDur(1));
+        s.counts().to_vec()
+    };
+    let v1_ref = sim.node_ref::<VplcDevice>(v1);
+    let v2_ref = sim.node_ref::<VplcDevice>(v2);
+    let io_ref = sim.node_ref::<IoDevice>(io);
+    let ctrl = sim
+        .node_ref::<PipelineSwitch>(sw)
+        .controller_ref::<InstaPlcController>();
+    ScenarioResult {
+        vplc1_series: extract(&v1_ref.sent_series, cfg.duration),
+        vplc2_series: extract(&v2_ref.sent_series, cfg.duration),
+        io_series: extract(&io_ref.received_series, cfg.duration),
+        switchover_at: ctrl.migrations_done.first().map(|(t, _)| *t),
+        io_safe_entries: io_ref.stats().safe_state_entries,
+        twin_accepts: ctrl.twin_accepts,
+        io_received: io_ref.stats().cyclic_received,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_scenario() -> ScenarioConfig {
+        ScenarioConfig {
+            crash_at: Nanos::from_millis(400),
+            duration: Nanos::from_secs(1),
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn primary_controls_device_before_crash() {
+        let cfg = ScenarioConfig {
+            crash_at: Nanos::from_secs(10), // never
+            duration: Nanos::from_millis(500),
+            ..ScenarioConfig::default()
+        };
+        let r = run_scenario(&cfg);
+        assert!(r.io_received > 250, "io got {}", r.io_received);
+        assert_eq!(r.io_safe_entries, 0);
+        assert_eq!(r.switchover_at, None);
+        assert_eq!(r.twin_accepts, 1, "secondary connected to the twin");
+    }
+
+    #[test]
+    fn switchover_fires_after_crash() {
+        let r = run_scenario(&short_scenario());
+        let t = r.switchover_at.expect("switchover happened");
+        assert!(t > Nanos::from_millis(400));
+        // Detection within switchover_cycles (2 × 1.5 ms) + scan slack.
+        assert!(t < Nanos::from_millis(405), "switchover at {t} too slow");
+    }
+
+    #[test]
+    fn device_never_enters_safe_state() {
+        let r = run_scenario(&short_scenario());
+        assert_eq!(r.io_safe_entries, 0, "switchover preempted the watchdog");
+    }
+
+    #[test]
+    fn io_keeps_receiving_across_switchover() {
+        let r = run_scenario(&short_scenario());
+        // 1 s / 1.5 ms ≈ 666 cycles; the switchover gap costs a few.
+        assert!(r.io_received > 640, "io got {}", r.io_received);
+        // Every 50 ms bin after warm-up has traffic.
+        for (i, &c) in r.io_series.iter().enumerate().skip(1) {
+            assert!(c > 20, "bin {i} had only {c} frames");
+        }
+    }
+
+    #[test]
+    fn fig5_shape() {
+        let r = run_scenario(&ScenarioConfig::default());
+        // (a) vPLC1 sends ~33/bin until the crash bin (24 = 1.2 s/50 ms).
+        assert!(r.vplc1_series[10] >= 30 && r.vplc1_series[10] <= 36);
+        assert_eq!(r.vplc1_series[30], 0, "vPLC1 silent after crash");
+        // vPLC2 sends continuously the whole run (to twin, then to I/O).
+        assert!(r.vplc2_series[10] >= 30);
+        assert!(r.vplc2_series[40] >= 30);
+        // (b) the I/O device sees steady traffic before and after.
+        assert!(r.io_series[10] >= 30);
+        assert!(r.io_series[40] >= 30);
+        assert_eq!(r.io_safe_entries, 0);
+    }
+
+    #[test]
+    fn without_secondary_device_halts() {
+        // Ablation: no vPLC2 → crash ⇒ watchdog expiry ⇒ safe state.
+        let mut sim = Simulator::new(5);
+        let io_mac = MacAddr::local(0x10);
+        let v1_mac = MacAddr::local(0x21);
+        let params = CrParams {
+            cycle_time: NanoDur::from_micros(1_500),
+            watchdog_factor: 3,
+            output_len: 8,
+            input_len: 8,
+        };
+        let v1 = sim.add_node(VplcDevice::new(
+            "vplc1",
+            v1_mac,
+            io_mac,
+            FrameId(0x8001),
+            params,
+            PlcProgram::passthrough(8),
+        ));
+        let io = sim.add_node(IoDevice::new(
+            "io",
+            io_mac,
+            (8, 8),
+            Box::new(LoopbackProcess),
+        ));
+        let sw = sim.add_node(PipelineSwitch::new(
+            "instaplc",
+            3,
+            build_pipeline(),
+            Box::new(InstaPlcController::new(PortId(2), io_mac)),
+        ));
+        sim.connect(v1, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+        sim.connect(io, PortId(0), sw, PortId(2), LinkSpec::gigabit());
+        sim.inject_timer(v1, Nanos::from_millis(400), VPLC_CRASH_TOKEN);
+        sim.run_until(Nanos::from_secs(1));
+        assert_eq!(sim.node_ref::<IoDevice>(io).stats().safe_state_entries, 1);
+    }
+
+    #[test]
+    fn third_controller_rejected() {
+        let mut sim = Simulator::new(7);
+        let io_mac = MacAddr::local(0x10);
+        let params = CrParams {
+            cycle_time: NanoDur::from_micros(1_500),
+            watchdog_factor: 3,
+            output_len: 8,
+            input_len: 8,
+        };
+        let mut nodes = Vec::new();
+        for i in 0..3u16 {
+            nodes.push(
+                sim.add_node(
+                    VplcDevice::new(
+                        format!("vplc{i}"),
+                        MacAddr::local(0x21 + i),
+                        io_mac,
+                        FrameId(0x8001),
+                        params,
+                        PlcProgram::passthrough(8),
+                    )
+                    .with_start_delay(NanoDur::from_millis(10 * i as u64)),
+                ),
+            );
+        }
+        let io = sim.add_node(IoDevice::new(
+            "io",
+            io_mac,
+            (8, 8),
+            Box::new(LoopbackProcess),
+        ));
+        let sw = sim.add_node(PipelineSwitch::new(
+            "instaplc",
+            4,
+            build_pipeline(),
+            Box::new(InstaPlcController::new(PortId(3), io_mac)),
+        ));
+        for (i, &n) in nodes.iter().enumerate() {
+            sim.connect(n, PortId(0), sw, PortId(i), LinkSpec::gigabit());
+        }
+        sim.connect(io, PortId(0), sw, PortId(3), LinkSpec::gigabit());
+        sim.run_until(Nanos::from_millis(300));
+        let ctrl = sim
+            .node_ref::<PipelineSwitch>(sw)
+            .controller_ref::<InstaPlcController>();
+        assert_eq!(ctrl.twin_accepts, 1);
+        assert!(ctrl.rejections >= 1, "third vPLC must be rejected");
+        use steelworks_rtnet::connection::ControllerState;
+        assert_eq!(
+            sim.node_ref::<VplcDevice>(nodes[2]).cr_state(),
+            ControllerState::Released,
+            "rejected controller released its CR"
+        );
+    }
+
+    #[test]
+    fn deterministic_scenario() {
+        let a = run_scenario(&short_scenario());
+        let b = run_scenario(&short_scenario());
+        assert_eq!(a.io_series, b.io_series);
+        assert_eq!(a.switchover_at, b.switchover_at);
+    }
+
+    #[test]
+    fn planned_migration_is_hitless() {
+        let cfg = ScenarioConfig {
+            crash_at: Nanos::from_secs(100), // unused here
+            duration: Nanos::from_secs(1),
+            ..ScenarioConfig::default()
+        };
+        let r = run_migration_scenario(&cfg, Nanos::from_millis(500), None);
+        assert!(r.switchover_at.is_some(), "migration executed");
+        assert_eq!(r.io_safe_entries, 0, "hitless");
+        // Both vPLCs keep transmitting the entire run: the demoted
+        // primary continues against the twin.
+        for (i, (&a, &b)) in r
+            .vplc1_series
+            .iter()
+            .zip(&r.vplc2_series)
+            .enumerate()
+            .skip(3)
+        {
+            assert!(a >= 25, "vPLC1 bin {i}: {a}");
+            assert!(b >= 25, "vPLC2 bin {i}: {b}");
+        }
+        // The I/O device misses at most a cycle or two across the swap.
+        assert!(r.io_received > 640, "{}", r.io_received);
+    }
+
+    #[test]
+    fn migration_and_failback() {
+        let cfg = ScenarioConfig {
+            crash_at: Nanos::from_secs(100),
+            duration: Nanos::from_secs(2),
+            ..ScenarioConfig::default()
+        };
+        let r = run_migration_scenario(
+            &cfg,
+            Nanos::from_millis(500),
+            Some(Nanos::from_millis(1_200)),
+        );
+        assert_eq!(r.io_safe_entries, 0);
+        // ~1333 cycles over 2 s; both swaps nearly lossless.
+        assert!(r.io_received > 1_300, "{}", r.io_received);
+    }
+
+    #[test]
+    fn migration_then_crash_still_fails_over() {
+        // Migrate to vPLC2, then crash vPLC2: the demoted vPLC1 (now
+        // secondary against the twin) must take control back via the
+        // liveness switchover.
+        let cfg = ScenarioConfig::default();
+        let mut sim = Simulator::new(cfg.seed);
+        let io_mac = MacAddr::local(0x10);
+        let params = CrParams {
+            cycle_time: cfg.cycle_time,
+            watchdog_factor: cfg.watchdog_factor,
+            output_len: 8,
+            input_len: 8,
+        };
+        let v1 = sim.add_node(VplcDevice::new(
+            "vplc1",
+            MacAddr::local(0x21),
+            io_mac,
+            FrameId(0x8001),
+            params,
+            PlcProgram::passthrough(8),
+        ));
+        let v2 = sim.add_node(
+            VplcDevice::new(
+                "vplc2",
+                MacAddr::local(0x22),
+                io_mac,
+                FrameId(0x8001),
+                params,
+                PlcProgram::passthrough(8),
+            )
+            .with_start_delay(cfg.secondary_start),
+        );
+        let io = sim.add_node(IoDevice::new(
+            "io",
+            io_mac,
+            (8, 8),
+            Box::new(LoopbackProcess),
+        ));
+        let mut controller = InstaPlcController::new(PortId(2), io_mac);
+        controller.schedule_migration(Nanos::from_millis(300), 0x8001);
+        let sw = sim.add_node(PipelineSwitch::new(
+            "instaplc",
+            3,
+            build_pipeline(),
+            Box::new(controller),
+        ));
+        sim.connect(v1, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+        sim.connect(v2, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+        sim.connect(io, PortId(0), sw, PortId(2), LinkSpec::gigabit());
+        // Crash the NEW primary after the migration.
+        sim.inject_timer(v2, Nanos::from_millis(600), VPLC_CRASH_TOKEN);
+        sim.run_until(Nanos::from_secs(1));
+        let io_ref = sim.node_ref::<IoDevice>(io);
+        assert_eq!(io_ref.stats().safe_state_entries, 0);
+        let ctrl = sim
+            .node_ref::<PipelineSwitch>(sw)
+            .controller_ref::<InstaPlcController>();
+        assert_eq!(ctrl.migrations_done.len(), 1);
+        assert_eq!(ctrl.switchover_count(), 1, "failback via liveness");
+    }
+}

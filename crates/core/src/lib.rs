@@ -1,0 +1,49 @@
+//! # steelworks-core
+//!
+//! The paper's three contributions, implemented on the workspace's
+//! substrates, plus the quantitative arguments of its challenge
+//! sections:
+//!
+//! - [`traffic_reflection`] — §3's measurement method, regenerating
+//!   Fig. 4 (eBPF/XDP delay and jitter CDFs).
+//! - [`instaplc`] — §4's in-network vPLC high availability with a
+//!   digital twin and data-plane switchover, regenerating Fig. 5.
+//! - [`mlaware`] — §5's topology study for industrial ML inference,
+//!   regenerating Fig. 6.
+//! - [`availability`] — §2.2's nines/downtime arithmetic and the
+//!   redundancy-scheme comparison.
+//! - [`trafficmix`] — §2.3's flow taxonomy and the detectability of
+//!   the new deterministic-microflow class.
+//! - [`report`] — plain-text rendering used by the figure binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod availability;
+pub mod instaplc;
+pub mod mlaware;
+pub mod report;
+pub mod traffic_reflection;
+pub mod trafficmix;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::availability::{
+        availability_for_downtime, covered_downtime_per_year, downtime_per_year, estimate, nines,
+        parallel, required_coverage_for_six_nines, series, Scheme, SchemeEstimate,
+    };
+    pub use crate::instaplc::{
+        build_pipeline, run_migration_scenario, run_scenario, InstaPlcController, ScenarioConfig,
+        ScenarioResult,
+    };
+    pub use crate::mlaware::{evaluate_point, fig6, StudyConfig, StudyPoint, TopologyKind};
+    pub use crate::report::{format_bars, format_cdf, format_series, format_table};
+    pub use crate::traffic_reflection::{
+        fig4_left, fig4_right, run_reflection, ReflectionConfig, ReflectionOutcome,
+    };
+    pub use crate::trafficmix::{
+        evaluate as evaluate_traffic_mix, generate as generate_traffic_mix, LabelledFlow,
+        MixConfig, MixReport,
+    };
+}

@@ -1,0 +1,104 @@
+//! Plain-text rendering of experiment outputs: the figure binaries
+//! print the same rows/series the paper plots.
+
+/// Render a CDF as aligned `value  P(X<=x)` rows, downsampled.
+pub fn format_cdf(title: &str, unit: &str, cdf: &[(f64, f64)], rows: usize) -> String {
+    let mut out = format!("# {title}\n# {unit:>12}  P(X<=x)\n");
+    if cdf.is_empty() {
+        out.push_str("# (no data)\n");
+        return out;
+    }
+    let step = (cdf.len() / rows.max(1)).max(1);
+    for (i, (v, p)) in cdf.iter().enumerate() {
+        if i % step == 0 || i == cdf.len() - 1 {
+            out.push_str(&format!("{v:>14.3}  {p:.4}\n"));
+        }
+    }
+    out
+}
+
+/// Render a binned time series as `t_ms  count` rows.
+pub fn format_series(title: &str, bin_ms: f64, counts: &[u64]) -> String {
+    let mut out = format!("# {title}\n#   t(ms)  count\n");
+    for (i, c) in counts.iter().enumerate() {
+        out.push_str(&format!("{:>8.0}  {c}\n", i as f64 * bin_ms));
+    }
+    out
+}
+
+/// Render a labelled bar list (Fig. 1 style).
+pub fn format_bars(title: &str, bars: &[(String, u64, u64)]) -> String {
+    let mut out = format!(
+        "# {title}\n# {:<28} {:>9} {:>9}\n",
+        "label", "measured", "paper"
+    );
+    for (label, measured, published) in bars {
+        out.push_str(&format!("{label:<30} {measured:>9} {published:>9}\n"));
+    }
+    out
+}
+
+/// A simple aligned table.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = format!("# {title}\n");
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_formatting() {
+        let cdf = vec![(1.0, 0.5), (2.0, 1.0)];
+        let s = format_cdf("test", "us", &cdf, 10);
+        assert!(s.contains("test"));
+        assert!(s.contains("1.000"));
+        assert!(s.contains("1.0000"));
+    }
+
+    #[test]
+    fn empty_cdf_safe() {
+        let s = format_cdf("t", "us", &[], 5);
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    fn series_formatting() {
+        let s = format_series("pkts", 50.0, &[33, 34, 0]);
+        assert!(s.contains("100"));
+        assert!(s.contains("33"));
+    }
+
+    #[test]
+    fn table_aligns() {
+        let s = format_table("t", &["a", "long-header"], &[vec!["1".into(), "2".into()]]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].ends_with('2'));
+    }
+}

@@ -1,0 +1,209 @@
+//! **The new traffic mix** (§2.3): deterministic never-ending
+//! microflows meeting data-center flow taxonomy.
+//!
+//! Generates a synthetic converged-network flow population — classic DC
+//! flows per the published size mix plus vPLC cyclic microflows — and
+//! shows that the vPLC class is (a) reliably detectable from observable
+//! features and (b) invisible to size-based classification alone.
+
+use steelworks_netsim::rng::SimRng;
+use steelworks_netsim::time::NanoDur;
+use steelworks_topo::traffic::{classify, FlowClass, FlowFeatures};
+
+/// Generator mix ratios for the DC side (counts, not bytes; mice
+/// dominate flow counts in the measurement literature).
+#[derive(Clone, Debug)]
+pub struct MixConfig {
+    /// Number of DC flows.
+    pub dc_flows: usize,
+    /// Number of vPLC cyclic flows.
+    pub vplc_flows: usize,
+    /// Fraction of DC flows that are mice.
+    pub mice_fraction: f64,
+    /// Fraction of DC flows that are elephants (rest: medium).
+    pub elephant_fraction: f64,
+}
+
+impl Default for MixConfig {
+    fn default() -> Self {
+        MixConfig {
+            dc_flows: 1_000,
+            vplc_flows: 50,
+            mice_fraction: 0.8,
+            elephant_fraction: 0.05,
+        }
+    }
+}
+
+/// A labelled synthetic flow.
+#[derive(Clone, Debug)]
+pub struct LabelledFlow {
+    /// Ground truth.
+    pub truth: FlowClass,
+    /// Observable features.
+    pub features: FlowFeatures,
+}
+
+/// Generate the mixed flow population.
+pub fn generate(cfg: &MixConfig, seed: u64) -> Vec<LabelledFlow> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut flows = Vec::with_capacity(cfg.dc_flows + cfg.vplc_flows);
+    for _ in 0..cfg.dc_flows {
+        let r = rng.f64();
+        let (truth, bytes, duration_ms) = if r < cfg.mice_fraction {
+            // Mice: ≲10 KB, a handful of ms.
+            (FlowClass::Mice, rng.range(200, 10_000), rng.range(1, 20))
+        } else if r < cfg.mice_fraction + cfg.elephant_fraction {
+            // Elephants: >1 GB, long.
+            (
+                FlowClass::Elephant,
+                rng.range(1_000_000_000, 20_000_000_000),
+                rng.range(10_000, 120_000),
+            )
+        } else {
+            // Medium: ≈0.5 MB.
+            (
+                FlowClass::Medium,
+                rng.range(100_000, 2_000_000),
+                rng.range(20, 500),
+            )
+        };
+        flows.push(LabelledFlow {
+            truth,
+            features: FlowFeatures {
+                bytes,
+                duration: NanoDur::from_millis(duration_ms),
+                ongoing: false,
+                gap_cv: 0.5 + rng.f64(), // bursty
+                mean_payload: rng.range(200, 1460) as u32,
+            },
+        });
+    }
+    for _ in 0..cfg.vplc_flows {
+        // Cyclic microflows: 20–250 B payloads, 0.5–10 ms cycles,
+        // running since commissioning, near-zero gap variation.
+        let cycle_us = rng.range(500, 10_000);
+        let payload = rng.range(20, 251) as u32;
+        let age_s = rng.range(3600, 30 * 24 * 3600);
+        let frames = age_s * 1_000_000 / cycle_us;
+        flows.push(LabelledFlow {
+            truth: FlowClass::DeterministicMicroflow,
+            features: FlowFeatures {
+                bytes: frames * payload as u64,
+                duration: NanoDur::from_secs(age_s),
+                ongoing: true,
+                gap_cv: rng.f64() * 0.02,
+                mean_payload: payload,
+            },
+        });
+    }
+    flows
+}
+
+/// Classification report.
+#[derive(Clone, Debug, Default)]
+pub struct MixReport {
+    /// Per-class (truth, predicted) counts on the diagonal.
+    pub correct: usize,
+    /// Total flows.
+    pub total: usize,
+    /// vPLC flows detected as such.
+    pub microflows_found: usize,
+    /// vPLC flows in truth.
+    pub microflows_truth: usize,
+    /// vPLC flows a size-only classifier would label elephant/medium.
+    pub microflows_mislabelled_by_size: usize,
+}
+
+/// Run the feature classifier and the size-only strawman over a
+/// population.
+pub fn evaluate(flows: &[LabelledFlow]) -> MixReport {
+    let mut report = MixReport {
+        total: flows.len(),
+        ..MixReport::default()
+    };
+    for f in flows {
+        let predicted = classify(&f.features);
+        if predicted == f.truth {
+            report.correct += 1;
+        }
+        if f.truth == FlowClass::DeterministicMicroflow {
+            report.microflows_truth += 1;
+            if predicted == FlowClass::DeterministicMicroflow {
+                report.microflows_found += 1;
+            }
+            // Size-only view: weeks of tiny frames look like bulk.
+            let size_only = if f.features.bytes <= 10_000 {
+                FlowClass::Mice
+            } else if f.features.bytes <= 10_000_000 {
+                FlowClass::Medium
+            } else {
+                FlowClass::Elephant
+            };
+            if size_only != FlowClass::Mice {
+                report.microflows_mislabelled_by_size += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_microflows_detected() {
+        let flows = generate(&MixConfig::default(), 1);
+        let r = evaluate(&flows);
+        assert_eq!(r.microflows_truth, 50);
+        assert_eq!(r.microflows_found, 50, "feature classifier finds all");
+    }
+
+    #[test]
+    fn size_only_misreads_the_new_class() {
+        // §2.3's point: the class "blends characteristics" — by size it
+        // masquerades as medium/elephant bulk.
+        let flows = generate(&MixConfig::default(), 2);
+        let r = evaluate(&flows);
+        assert_eq!(
+            r.microflows_mislabelled_by_size, r.microflows_truth,
+            "every long-lived microflow is mis-sized as bulk"
+        );
+    }
+
+    #[test]
+    fn dc_flows_classified_correctly() {
+        let flows = generate(
+            &MixConfig {
+                vplc_flows: 0,
+                ..MixConfig::default()
+            },
+            3,
+        );
+        let r = evaluate(&flows);
+        assert!(
+            r.correct as f64 / r.total as f64 > 0.95,
+            "{}/{}",
+            r.correct,
+            r.total
+        );
+    }
+
+    #[test]
+    fn mix_ratios_respected() {
+        let flows = generate(&MixConfig::default(), 4);
+        let mice = flows.iter().filter(|f| f.truth == FlowClass::Mice).count();
+        assert!(
+            (mice as f64 / 1000.0 - 0.8).abs() < 0.05,
+            "mice fraction {mice}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = evaluate(&generate(&MixConfig::default(), 7));
+        let b = evaluate(&generate(&MixConfig::default(), 7));
+        assert_eq!(a.correct, b.correct);
+    }
+}

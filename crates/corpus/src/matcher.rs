@@ -1,0 +1,230 @@
+//! Tokenization and permutation-aware term matching.
+//!
+//! Fig. 1's caption says "occurrences (with permutations)": a term like
+//! "industrial network" must also count "networks, industrial",
+//! "Industrial Networks", "data-center" vs "data center" vs
+//! "datacenter", etc. The matcher therefore works on a normalized token
+//! stream and matches every word-order permutation of a term's tokens,
+//! with plural-insensitive token comparison and hyphen/space fusion.
+
+/// Normalize raw text into matchable tokens.
+///
+/// Lowercases; keeps alphanumerics, `.` (for "4.0") and `/` (for
+/// "it/ot"); splits hyphens into separate tokens so "data-center"
+/// matches "data center".
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        let c = ch.to_ascii_lowercase();
+        if c.is_ascii_alphanumeric() || c == '.' || c == '/' {
+            cur.push(c);
+        } else {
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    // Strip trailing periods picked up from sentence ends ("tsn.").
+    for t in &mut tokens {
+        while t.ends_with('.') {
+            t.pop();
+        }
+    }
+    tokens.retain(|t| !t.is_empty());
+    tokens
+}
+
+/// Plural-insensitive token equality ("networks" == "network").
+fn tok_eq(a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    let (longer, shorter) = if a.len() > b.len() { (a, b) } else { (b, a) };
+    longer.len() == shorter.len() + 1 && longer.ends_with('s') && longer.starts_with(shorter)
+}
+
+/// A compiled term: its token sequence.
+#[derive(Clone, Debug)]
+pub struct CompiledTerm {
+    tokens: Vec<String>,
+    /// Fused single-token form ("datacenter" for "data center").
+    fused: Option<String>,
+}
+
+/// Compile a term string ("data center") for matching.
+pub fn compile(term: &str) -> CompiledTerm {
+    let tokens = tokenize(term);
+    let fused = if tokens.len() > 1 {
+        Some(tokens.concat())
+    } else {
+        None
+    };
+    CompiledTerm { tokens, fused }
+}
+
+impl CompiledTerm {
+    /// If this term matches at token position `i`, return the number of
+    /// tokens consumed (1 for the fused form, n for the spelled form).
+    pub fn match_at(&self, tokens: &[String], i: usize) -> Option<usize> {
+        let n = self.tokens.len();
+        if n == 0 || i >= tokens.len() {
+            return None;
+        }
+        if let Some(f) = &self.fused {
+            if tok_eq(&tokens[i], f) {
+                return Some(1);
+            }
+        }
+        if i + n <= tokens.len() && window_is_permutation(&self.tokens, &tokens[i..i + n]) {
+            return Some(n);
+        }
+        None
+    }
+
+    /// Count non-overlapping occurrences of this term in a token
+    /// stream, including word-order permutations of multi-word terms
+    /// and the fused form.
+    pub fn count(&self, tokens: &[String]) -> u64 {
+        let mut count = 0;
+        let mut i = 0;
+        while i < tokens.len() {
+            if let Some(len) = self.match_at(tokens, i) {
+                count += 1;
+                i += len;
+            } else {
+                i += 1;
+            }
+        }
+        count
+    }
+}
+
+/// Count a term *group* over a token stream: at each position, the
+/// longest match of any member term counts exactly once — so a group
+/// like {"datacenter", "data center"} does not double-count the fused
+/// spelling against both members.
+pub fn count_group_tokens(terms: &[CompiledTerm], tokens: &[String]) -> u64 {
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let best = terms.iter().filter_map(|t| t.match_at(tokens, i)).max();
+        if let Some(len) = best {
+            count += 1;
+            i += len;
+        } else {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Is `window` a permutation of `pattern` (plural-insensitive)?
+fn window_is_permutation(pattern: &[String], window: &[String]) -> bool {
+    if pattern.len() != window.len() {
+        return false;
+    }
+    // Small n: greedy bipartite match suffices (n ≤ 4 in practice).
+    let mut used = vec![false; window.len()];
+    'outer: for p in pattern {
+        for (i, w) in window.iter().enumerate() {
+            if !used[i] && tok_eq(p, w) {
+                used[i] = true;
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Count a whole term group in a text (each occurrence counted once
+/// even when several member terms match it).
+pub fn count_group(terms: &[&str], text: &str) -> u64 {
+    let tokens = tokenize(text);
+    let compiled: Vec<CompiledTerm> = terms.iter().map(|t| compile(t)).collect();
+    count_group_tokens(&compiled, &tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basic() {
+        assert_eq!(
+            tokenize("Data-Center networks, and IT/OT!"),
+            vec!["data", "center", "networks", "and", "it/ot"]
+        );
+        assert_eq!(tokenize("Industry 4.0."), vec!["industry", "4.0"]);
+    }
+
+    #[test]
+    fn exact_match_counts() {
+        let t = compile("industrial network");
+        let toks = tokenize("An industrial network is an industrial network.");
+        assert_eq!(t.count(&toks), 2);
+    }
+
+    #[test]
+    fn plural_matches() {
+        let t = compile("industrial network");
+        assert_eq!(t.count(&tokenize("industrial networks everywhere")), 1);
+    }
+
+    #[test]
+    fn permutation_matches() {
+        let t = compile("industrial network");
+        assert_eq!(t.count(&tokenize("the network, industrial by nature")), 1);
+    }
+
+    #[test]
+    fn fused_and_spaced_and_hyphenated() {
+        let t = compile("data center");
+        assert_eq!(
+            t.count(&tokenize(
+                "datacenter, data center, data-center, datacenters"
+            )),
+            4
+        );
+    }
+
+    #[test]
+    fn no_overlapping_matches() {
+        let t = compile("a a");
+        assert_eq!(t.count(&tokenize("a a a")), 1);
+    }
+
+    #[test]
+    fn near_miss_does_not_match() {
+        let t = compile("industrial network");
+        assert_eq!(t.count(&tokenize("industrial processes use networks")), 0);
+        assert_eq!(t.count(&tokenize("the industrious network")), 0);
+    }
+
+    #[test]
+    fn slash_terms() {
+        let t = compile("it/ot");
+        assert_eq!(t.count(&tokenize("IT/OT convergence")), 1);
+        assert_eq!(t.count(&tokenize("it ot convergence")), 0);
+    }
+
+    #[test]
+    fn group_counting() {
+        let n = count_group(
+            &["tcp", "udp"],
+            "TCP over UDP beats UDP over TCP, says TCP.",
+        );
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn industry_40() {
+        let t = compile("industry 4.0");
+        assert_eq!(t.count(&tokenize("Industry 4.0 and industry 4.0!")), 2);
+        assert_eq!(t.count(&tokenize("industry 5.0")), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Action primitives — the verbs a matched entry executes.
+
+use crate::fields::Field;
+use steelworks_netsim::node::PortId;
+
+/// Source of a value for register writes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValueSource {
+    /// A literal.
+    Const(u64),
+    /// The current value of a field.
+    FromField(Field),
+    /// The switch's current time in ns (data-plane timestamping — the
+    /// primitive InstaPLC's liveness monitor is built on).
+    NowNs,
+}
+
+/// Source of a register index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndexSource {
+    /// A literal index.
+    Const(u32),
+    /// Low 32 bits of a field (e.g. `RtFrameId`).
+    FromField(Field),
+}
+
+/// One primitive operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Primitive {
+    /// Emit the packet on a port (may appear multiple times).
+    Forward(PortId),
+    /// Emit on all ports except ingress.
+    Flood,
+    /// Stop processing and discard (cancels prior Forwards).
+    Drop,
+    /// Copy to a port and continue processing.
+    Mirror(PortId),
+    /// Rewrite a header/metadata field.
+    SetField(Field, u64),
+    /// Copy one field into another.
+    CopyField {
+        /// Destination field.
+        dst: Field,
+        /// Source field.
+        src: Field,
+    },
+    /// Write to a register array.
+    RegWrite {
+        /// Register array id.
+        reg: u32,
+        /// Which cell.
+        index: IndexSource,
+        /// What to write.
+        value: ValueSource,
+    },
+    /// Load a register cell into a metadata field.
+    RegLoad {
+        /// Register array id.
+        reg: u32,
+        /// Which cell.
+        index: IndexSource,
+        /// Destination metadata field.
+        dst: Field,
+    },
+    /// Increment a counter.
+    CountInc(u32),
+    /// Send a digest (notification) to the control plane, carrying the
+    /// value of a field.
+    Digest {
+        /// Application-defined digest kind.
+        kind: u32,
+        /// Field whose value rides along.
+        field: Field,
+    },
+    /// Send a digest that also carries the full packet payload
+    /// (a packet-in): used when the controller must parse the packet —
+    /// e.g. InstaPLC reading a ConnectReq's parameters to build the
+    /// digital twin.
+    DigestPacket {
+        /// Application-defined digest kind.
+        kind: u32,
+    },
+    /// Meter the packet against a meter-array cell and write the color
+    /// (0 = green, 1 = red) into a metadata field — combine with a
+    /// follow-up table matching that field to police traffic classes.
+    MeterPacket {
+        /// Meter array id.
+        meter: u32,
+        /// Cell selector.
+        index: IndexSource,
+        /// Destination field for the color.
+        dst: Field,
+    },
+    /// Jump to table `index` in the pipeline (must be > current).
+    GotoTable(usize),
+}
+
+/// An ordered list of primitives.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ActionSpec {
+    primitives: Vec<Primitive>,
+}
+
+impl ActionSpec {
+    /// From a primitive list.
+    pub fn new(primitives: Vec<Primitive>) -> Self {
+        ActionSpec { primitives }
+    }
+
+    /// The canonical drop action.
+    pub fn drop() -> Self {
+        ActionSpec::new(vec![Primitive::Drop])
+    }
+
+    /// Forward to a single port.
+    pub fn forward(port: PortId) -> Self {
+        ActionSpec::new(vec![Primitive::Forward(port)])
+    }
+
+    /// Flood.
+    pub fn flood() -> Self {
+        ActionSpec::new(vec![Primitive::Flood])
+    }
+
+    /// No-op (fall through to the next table).
+    pub fn nop() -> Self {
+        ActionSpec::new(vec![])
+    }
+
+    /// The primitive list.
+    pub fn primitives(&self) -> &[Primitive] {
+        &self.primitives
+    }
+
+    /// True if this action's final verdict is a drop.
+    pub fn is_drop(&self) -> bool {
+        self.primitives.contains(&Primitive::Drop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(ActionSpec::drop().is_drop());
+        assert!(!ActionSpec::forward(PortId(1)).is_drop());
+        assert!(ActionSpec::nop().primitives().is_empty());
+        assert_eq!(ActionSpec::flood().primitives(), &[Primitive::Flood]);
+    }
+
+    #[test]
+    fn mixed_action_with_drop_is_drop() {
+        let a = ActionSpec::new(vec![Primitive::Mirror(PortId(3)), Primitive::Drop]);
+        assert!(a.is_drop());
+    }
+}

@@ -1,0 +1,400 @@
+//! The programmable switch device and its embedded control plane.
+//!
+//! Mirrors the InstaPLC deployment model: a DPDK-SWX-style data plane
+//! (the [`crate::pipeline::Pipeline`]) plus a co-located control-plane
+//! application that receives digests, manipulates tables/registers at
+//! runtime, runs periodic logic (liveness scans), and may inject frames
+//! of its own (e.g. a digital twin answering a connect request).
+
+use crate::fields::{deparse, parse};
+use crate::pipeline::{Digest, Pipeline};
+use steelworks_netsim::frame::EthFrame;
+use steelworks_netsim::node::{AsAny, Ctx, Device, PortId};
+use steelworks_netsim::time::{NanoDur, Nanos};
+
+/// Control-plane access handed to [`PipelineController`] callbacks.
+pub struct ControlApi<'a> {
+    pipeline: &'a mut Pipeline,
+    injections: &'a mut Vec<(PortId, EthFrame)>,
+}
+
+impl<'a> ControlApi<'a> {
+    /// The data plane (tables, registers, counters).
+    pub fn pipeline(&mut self) -> &mut Pipeline {
+        self.pipeline
+    }
+
+    /// Transmit a control-plane-crafted frame out of `port` (packet-out).
+    pub fn inject(&mut self, port: PortId, frame: EthFrame) {
+        self.injections.push((port, frame));
+    }
+}
+
+/// A control-plane application embedded with the switch.
+pub trait PipelineController: AsAny + 'static {
+    /// A digest arrived from the data plane.
+    fn on_digest(&mut self, now: Nanos, digest: &Digest, api: &mut ControlApi<'_>);
+
+    /// Periodic tick (armed iff [`Self::tick_interval`] is `Some`).
+    fn on_tick(&mut self, _now: Nanos, _api: &mut ControlApi<'_>) {}
+
+    /// How often to call [`Self::on_tick`].
+    fn tick_interval(&self) -> Option<NanoDur> {
+        None
+    }
+}
+
+/// A controller that ignores everything (data plane only).
+pub struct NullController;
+
+impl PipelineController for NullController {
+    fn on_digest(&mut self, _now: Nanos, _digest: &Digest, _api: &mut ControlApi<'_>) {}
+}
+
+/// Aggregate switch statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipeSwitchStats {
+    /// Packets processed.
+    pub processed: u64,
+    /// Packets dropped by the pipeline.
+    pub dropped: u64,
+    /// Copies emitted (forwards + mirrors).
+    pub emitted: u64,
+    /// Digests delivered to the controller.
+    pub digests: u64,
+    /// Frames injected by the control plane.
+    pub injected: u64,
+}
+
+/// The programmable switch.
+pub struct PipelineSwitch {
+    name: String,
+    /// The data plane program.
+    pub pipeline: Pipeline,
+    controller: Box<dyn PipelineController>,
+    ports: usize,
+    /// Per-packet pipeline latency (DPDK SWX software switch class).
+    pub processing_latency: NanoDur,
+    pending: Vec<(Nanos, PortId, EthFrame)>,
+    stats: PipeSwitchStats,
+}
+
+const TOKEN_FLUSH: u64 = 1;
+const TOKEN_TICK: u64 = 2;
+
+impl PipelineSwitch {
+    /// A switch running `pipeline` with an embedded `controller`.
+    pub fn new(
+        name: impl Into<String>,
+        ports: usize,
+        pipeline: Pipeline,
+        controller: Box<dyn PipelineController>,
+    ) -> Self {
+        PipelineSwitch {
+            name: name.into(),
+            pipeline,
+            controller,
+            ports,
+            processing_latency: NanoDur(4_000),
+            pending: Vec::new(),
+            stats: PipeSwitchStats::default(),
+        }
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> PipeSwitchStats {
+        self.stats
+    }
+
+    /// Borrow the controller downcast to its concrete type.
+    pub fn controller_ref<T: PipelineController>(&self) -> &T {
+        (*self.controller)
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("controller type mismatch")
+    }
+
+    /// Mutable variant of [`Self::controller_ref`].
+    pub fn controller_mut<T: PipelineController>(&mut self) -> &mut T {
+        (*self.controller)
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("controller type mismatch")
+    }
+
+    fn deliver_digests(
+        &mut self,
+        now: Nanos,
+        digests: &[Digest],
+        out: &mut Vec<(PortId, EthFrame)>,
+    ) {
+        for d in digests {
+            self.stats.digests += 1;
+            let mut api = ControlApi {
+                pipeline: &mut self.pipeline,
+                injections: out,
+            };
+            self.controller.on_digest(now, d, &mut api);
+        }
+    }
+}
+
+impl Device for PipelineSwitch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(interval) = self.controller.tick_interval() {
+            ctx.timer_in(interval, TOKEN_TICK);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, ingress: PortId, frame: EthFrame) {
+        let now = ctx.now();
+        self.stats.processed += 1;
+        let fs = parse(&frame, ingress);
+        let verdict = self.pipeline.process(
+            fs,
+            ingress,
+            now,
+            self.ports,
+            frame.wire_len() as u64,
+            &frame.payload,
+        );
+        if verdict.dropped {
+            self.stats.dropped += 1;
+        }
+
+        let mut injections = Vec::new();
+        self.deliver_digests(now, &verdict.digests, &mut injections);
+
+        let due = now + self.processing_latency;
+        for port in verdict.egress_ports(ingress) {
+            let mut out = frame.clone();
+            deparse(&verdict.fields, &mut out);
+            self.stats.emitted += 1;
+            self.pending.push((due, port, out));
+        }
+        for (port, f) in injections {
+            self.stats.injected += 1;
+            self.pending.push((due, port, f));
+        }
+        if !self.pending.is_empty() {
+            ctx.timer_at(due, TOKEN_FLUSH);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let now = ctx.now();
+        match token {
+            TOKEN_TICK => {
+                let mut injections = Vec::new();
+                {
+                    let mut api = ControlApi {
+                        pipeline: &mut self.pipeline,
+                        injections: &mut injections,
+                    };
+                    self.controller.on_tick(now, &mut api);
+                }
+                for (port, f) in injections {
+                    self.stats.injected += 1;
+                    self.pending.push((now, port, f));
+                }
+                // Flush immediately-injected frames.
+                let mut rest = Vec::new();
+                for (at, port, frame) in self.pending.drain(..) {
+                    if at <= now {
+                        ctx.send(port, frame);
+                    } else {
+                        rest.push((at, port, frame));
+                    }
+                }
+                self.pending = rest;
+                if let Some(interval) = self.controller.tick_interval() {
+                    ctx.timer_in(interval, TOKEN_TICK);
+                }
+            }
+            TOKEN_FLUSH => {
+                let mut rest = Vec::new();
+                for (at, port, frame) in self.pending.drain(..) {
+                    if at <= now {
+                        ctx.send(port, frame);
+                    } else {
+                        rest.push((at, port, frame));
+                    }
+                }
+                self.pending = rest;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionSpec, Primitive};
+    use crate::fields::Field;
+    use crate::table::{Entry, MatchKind, TernaryKey};
+    use bytes::Bytes;
+    use steelworks_netsim::prelude::*;
+
+    /// Controller that counts digests and installs a forwarding rule on
+    /// the first one.
+    struct TestController {
+        digests_seen: u64,
+        ticks: u64,
+    }
+
+    impl PipelineController for TestController {
+        fn on_digest(&mut self, _now: Nanos, digest: &Digest, api: &mut ControlApi<'_>) {
+            self.digests_seen += 1;
+            let t = api.pipeline().table_mut("main").expect("table exists");
+            t.insert(Entry {
+                keys: vec![TernaryKey::exact(digest.value)],
+                priority: 0,
+                action: ActionSpec::forward(PortId(1)),
+            });
+        }
+
+        fn on_tick(&mut self, _now: Nanos, _api: &mut ControlApi<'_>) {
+            self.ticks += 1;
+        }
+
+        fn tick_interval(&self) -> Option<NanoDur> {
+            Some(NanoDur::from_millis(10))
+        }
+    }
+
+    fn digest_pipeline() -> Pipeline {
+        let mut p = Pipeline::new();
+        p.add_table(Table::new(
+            "main",
+            vec![Field::EthType],
+            MatchKind::Exact,
+            ActionSpec::new(vec![
+                Primitive::Digest {
+                    kind: 1,
+                    field: Field::EthType,
+                },
+                Primitive::Drop,
+            ]),
+        ));
+        p
+    }
+
+    use crate::table::Table;
+
+    #[test]
+    fn digest_reaches_controller_and_reprograms() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(
+            PeriodicSource::new(
+                "src",
+                MacAddr::local(1),
+                MacAddr::local(2),
+                46,
+                NanoDur::from_millis(1),
+            )
+            .with_limit(5),
+        );
+        let dst = sim.add_node(CounterSink::new("dst"));
+        let sw = sim.add_node(PipelineSwitch::new(
+            "p4",
+            4,
+            digest_pipeline(),
+            Box::new(TestController {
+                digests_seen: 0,
+                ticks: 0,
+            }),
+        ));
+        sim.connect(src, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+        sim.connect(dst, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+        sim.run_until(Nanos::from_millis(50));
+        let switch = sim.node_ref::<PipelineSwitch>(sw);
+        let ctrl = switch.controller_ref::<TestController>();
+        // First packet digested + dropped; rule installed; remaining 4
+        // forwarded to port 1.
+        assert_eq!(ctrl.digests_seen, 1);
+        assert!(ctrl.ticks >= 4);
+        assert_eq!(sim.node_ref::<CounterSink>(dst).count(), 4);
+        assert_eq!(switch.stats().dropped, 1);
+    }
+
+    /// Controller that injects a reply frame on every digest.
+    struct Injector;
+
+    impl PipelineController for Injector {
+        fn on_digest(&mut self, _now: Nanos, digest: &Digest, api: &mut ControlApi<'_>) {
+            let src = crate::fields::u64_to_mac(digest.fields.get(Field::EthSrc));
+            let reply = EthFrame::new(
+                src,
+                MacAddr::local(0xFF),
+                ethertype::SIM_TEST,
+                Bytes::from_static(b"pong"),
+            );
+            let ingress = PortId(digest.fields.get(Field::IngressPort) as usize);
+            api.inject(ingress, reply);
+        }
+    }
+
+    #[test]
+    fn controller_packet_out() {
+        let mut sim = Simulator::new(2);
+        let src = sim.add_node(
+            PeriodicSource::new(
+                "src",
+                MacAddr::local(1),
+                MacAddr::local(2),
+                46,
+                NanoDur::from_millis(1),
+            )
+            .with_limit(3),
+        );
+        let sw = sim.add_node(PipelineSwitch::new(
+            "p4",
+            2,
+            digest_pipeline(),
+            Box::new(Injector),
+        ));
+        sim.connect(src, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+        sim.record_events(true);
+        sim.run_until(Nanos::from_millis(20));
+        // Every inbound frame produced an injected reply to the sender.
+        assert_eq!(sim.node_ref::<PipelineSwitch>(sw).stats().injected, 3);
+        let c = sim.trace().counters();
+        assert_eq!(c.delivered, 6, "3 in + 3 replies");
+    }
+
+    #[test]
+    fn processing_latency_delays_output() {
+        let mut sim = Simulator::new(3);
+        let mut p = Pipeline::new();
+        p.add_table(Table::new(
+            "fwd",
+            vec![Field::EthType],
+            MatchKind::Exact,
+            ActionSpec::forward(PortId(1)),
+        ));
+        let src = sim.add_node(
+            PeriodicSource::new(
+                "src",
+                MacAddr::local(1),
+                MacAddr::local(2),
+                46,
+                NanoDur::from_millis(1),
+            )
+            .with_limit(1),
+        );
+        let dst = sim.add_node(CounterSink::new("dst"));
+        let sw = sim.add_node(PipelineSwitch::new("p4", 2, p, Box::new(NullController)));
+        sim.connect(src, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+        sim.connect(dst, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+        sim.run_until(Nanos::from_millis(5));
+        let arrivals = sim.node_ref::<CounterSink>(dst).arrivals().to_vec();
+        assert_eq!(arrivals.len(), 1);
+        // ser(672) + prop(25) + pipeline(4000) + ser(672) + prop(25).
+        assert_eq!(arrivals[0], Nanos(672 + 25 + 4000 + 672 + 25));
+    }
+}

@@ -1,0 +1,200 @@
+//! Header fields and the parser.
+//!
+//! The pipeline matches and acts on a fixed vocabulary of fields —
+//! exactly the P4 workflow of declaring headers + a parser, specialized
+//! to the two protocols industrial convergence cares about: Ethernet
+//! (with 802.1Q) and the cyclic RT protocol of `steelworks-rtnet`.
+
+use steelworks_netsim::frame::{ethertype, EthFrame, MacAddr};
+use steelworks_netsim::node::PortId;
+
+/// A matchable/settable field.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Field {
+    /// Destination MAC (48 bits, as u64).
+    EthDst,
+    /// Source MAC.
+    EthSrc,
+    /// Ethertype.
+    EthType,
+    /// VLAN priority code point (0 when untagged).
+    VlanPcp,
+    /// VLAN id (0 when untagged).
+    VlanVid,
+    /// RT protocol frame id (CR identity); 0 for non-RT frames.
+    RtFrameId,
+    /// RT protocol frame type byte (+1, so 0 = "not RT").
+    RtFrameType,
+    /// Ingress port index.
+    IngressPort,
+    /// Scratch metadata register (16 of them).
+    Meta(u8),
+}
+
+/// Parsed header values + metadata for one packet traversal.
+#[derive(Clone, Debug, Default)]
+pub struct FieldSet {
+    eth_dst: u64,
+    eth_src: u64,
+    eth_type: u64,
+    vlan_pcp: u64,
+    vlan_vid: u64,
+    rt_frame_id: u64,
+    rt_frame_type: u64,
+    ingress_port: u64,
+    meta: [u64; 16],
+}
+
+impl FieldSet {
+    /// Read a field.
+    pub fn get(&self, f: Field) -> u64 {
+        match f {
+            Field::EthDst => self.eth_dst,
+            Field::EthSrc => self.eth_src,
+            Field::EthType => self.eth_type,
+            Field::VlanPcp => self.vlan_pcp,
+            Field::VlanVid => self.vlan_vid,
+            Field::RtFrameId => self.rt_frame_id,
+            Field::RtFrameType => self.rt_frame_type,
+            Field::IngressPort => self.ingress_port,
+            Field::Meta(i) => self.meta[i as usize & 15],
+        }
+    }
+
+    /// Write a field.
+    pub fn set(&mut self, f: Field, v: u64) {
+        match f {
+            Field::EthDst => self.eth_dst = v,
+            Field::EthSrc => self.eth_src = v,
+            Field::EthType => self.eth_type = v,
+            Field::VlanPcp => self.vlan_pcp = v,
+            Field::VlanVid => self.vlan_vid = v,
+            Field::RtFrameId => self.rt_frame_id = v,
+            Field::RtFrameType => self.rt_frame_type = v,
+            Field::IngressPort => self.ingress_port = v,
+            Field::Meta(i) => self.meta[i as usize & 15] = v,
+        }
+    }
+}
+
+/// Convert a MAC address to its u64 field encoding.
+pub fn mac_to_u64(mac: MacAddr) -> u64 {
+    let mut v = 0u64;
+    for b in mac.0 {
+        v = (v << 8) | b as u64;
+    }
+    v
+}
+
+/// Convert a u64 field back to a MAC address.
+pub fn u64_to_mac(v: u64) -> MacAddr {
+    let mut out = [0u8; 6];
+    for (i, b) in out.iter_mut().enumerate() {
+        *b = (v >> (8 * (5 - i))) as u8;
+    }
+    MacAddr(out)
+}
+
+/// Parse a frame into a [`FieldSet`] (the pipeline's "parser" stage).
+pub fn parse(frame: &EthFrame, ingress: PortId) -> FieldSet {
+    let mut fs = FieldSet {
+        eth_dst: mac_to_u64(frame.dst),
+        eth_src: mac_to_u64(frame.src),
+        eth_type: frame.ethertype as u64,
+        ingress_port: ingress.0 as u64,
+        ..FieldSet::default()
+    };
+    if let Some(tag) = frame.vlan {
+        fs.vlan_pcp = tag.pcp as u64;
+        fs.vlan_vid = tag.vid as u64;
+    }
+    if frame.ethertype == ethertype::INDUSTRIAL_RT && frame.payload.len() >= 3 {
+        fs.rt_frame_id = u16::from_be_bytes([frame.payload[0], frame.payload[1]]) as u64;
+        fs.rt_frame_type = frame.payload[2] as u64 + 1;
+    }
+    fs
+}
+
+/// Apply settable fields back onto a frame (the "deparser").
+/// Only Ethernet addresses and ethertype are rewritable; RT payload
+/// bytes stay untouched (rewriting process data is out of scope for a
+/// forwarding pipeline).
+pub fn deparse(fs: &FieldSet, frame: &mut EthFrame) {
+    frame.dst = u64_to_mac(fs.eth_dst);
+    frame.src = u64_to_mac(fs.eth_src);
+    frame.ethertype = fs.eth_type as u16;
+    if let Some(tag) = &mut frame.vlan {
+        tag.pcp = fs.vlan_pcp as u8 & 7;
+        tag.vid = fs.vlan_vid as u16 & 0xFFF;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use steelworks_netsim::frame::VlanTag;
+
+    #[test]
+    fn mac_u64_roundtrip() {
+        let mac = MacAddr([0x02, 0x34, 0x56, 0x78, 0x9A, 0xBC]);
+        assert_eq!(u64_to_mac(mac_to_u64(mac)), mac);
+        assert_eq!(mac_to_u64(MacAddr([0, 0, 0, 0, 0, 1])), 1);
+    }
+
+    #[test]
+    fn parse_plain_ethernet() {
+        let f = EthFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            ethertype::IPV4,
+            Bytes::from_static(&[0; 20]),
+        );
+        let fs = parse(&f, PortId(3));
+        assert_eq!(fs.get(Field::EthType), ethertype::IPV4 as u64);
+        assert_eq!(fs.get(Field::IngressPort), 3);
+        assert_eq!(fs.get(Field::RtFrameType), 0, "not RT");
+        assert_eq!(fs.get(Field::VlanVid), 0);
+    }
+
+    #[test]
+    fn parse_rt_frame_extracts_cr_fields() {
+        // RT payload: frame_id 0x8001, type 2 (cyclic).
+        let f = EthFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            ethertype::INDUSTRIAL_RT,
+            Bytes::from_static(&[0x80, 0x01, 2, 0, 0, 0]),
+        )
+        .with_vlan(VlanTag::RT);
+        let fs = parse(&f, PortId(0));
+        assert_eq!(fs.get(Field::RtFrameId), 0x8001);
+        assert_eq!(fs.get(Field::RtFrameType), 3, "type byte + 1");
+        assert_eq!(fs.get(Field::VlanPcp), 6);
+    }
+
+    #[test]
+    fn deparse_rewrites_macs() {
+        let mut f = EthFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            ethertype::IPV4,
+            Bytes::new(),
+        );
+        let mut fs = parse(&f, PortId(0));
+        fs.set(Field::EthDst, mac_to_u64(MacAddr::local(9)));
+        deparse(&fs, &mut f);
+        assert_eq!(f.dst, MacAddr::local(9));
+        assert_eq!(f.src, MacAddr::local(2));
+    }
+
+    #[test]
+    fn meta_registers_independent() {
+        let mut fs = FieldSet::default();
+        fs.set(Field::Meta(0), 7);
+        fs.set(Field::Meta(5), 9);
+        assert_eq!(fs.get(Field::Meta(0)), 7);
+        assert_eq!(fs.get(Field::Meta(5)), 9);
+        assert_eq!(fs.get(Field::Meta(1)), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # steelworks-dataplane
+//!
+//! A programmable data plane substrate equivalent to the paper's
+//! DPDK-SWX + P4 stack (§4): parser → match-action tables → deparser,
+//! with registers, counters, meters, mirroring, digests, and an
+//! embedded control-plane trait that can reprogram tables at runtime
+//! and inject frames (packet-out).
+//!
+//! `steelworks-core::instaplc` expresses the paper's InstaPLC
+//! application entirely in terms of this crate's primitives; nothing in
+//! here knows about vPLCs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod action;
+pub mod device;
+pub mod fields;
+pub mod pipeline;
+pub mod registers;
+pub mod table;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::action::{ActionSpec, IndexSource, Primitive, ValueSource};
+    pub use crate::device::{
+        ControlApi, NullController, PipeSwitchStats, PipelineController, PipelineSwitch,
+    };
+    pub use crate::fields::{deparse, mac_to_u64, parse, u64_to_mac, Field, FieldSet};
+    pub use crate::pipeline::{Digest, Pipeline, Verdict};
+    pub use crate::registers::{CounterArray, Meter, MeterArray, MeterColor, RegisterArray};
+    pub use crate::table::{Entry, EntryId, MatchKind, Table, TernaryKey};
+}

@@ -1,0 +1,421 @@
+//! Pipeline execution: parser → tables → deparser.
+//!
+//! Models the DPDK SWX / P4 execution model: a packet's parsed fields
+//! flow through a sequence of match-action tables; actions may rewrite
+//! fields, mirror/forward/drop, touch registers and counters, raise
+//! digests for the control plane, and jump forward between tables.
+
+use crate::action::{IndexSource, Primitive, ValueSource};
+use crate::fields::FieldSet;
+use crate::registers::{CounterArray, MeterArray, MeterColor, RegisterArray};
+use crate::table::Table;
+use bytes::Bytes;
+use steelworks_netsim::node::PortId;
+use steelworks_netsim::time::Nanos;
+
+/// A control-plane notification raised by a `Digest` primitive.
+#[derive(Clone, Debug)]
+pub struct Digest {
+    /// Application-defined kind.
+    pub kind: u32,
+    /// The field value the action attached.
+    pub value: u64,
+    /// Full parsed fields of the triggering packet (context for the
+    /// controller: source MAC, frame id, ingress port, ...).
+    pub fields: FieldSet,
+    /// The packet payload, when raised by `DigestPacket` (packet-in).
+    pub payload: Option<Bytes>,
+}
+
+/// The outcome of processing one packet.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// Ports receiving the (deparsed) packet via `Forward`/`Flood`.
+    pub forwards: Vec<PortId>,
+    /// Ports receiving a copy via `Mirror` (survive a later `Drop`).
+    pub mirrors: Vec<PortId>,
+    /// Final field values (apply with [`crate::fields::deparse`]).
+    pub fields: FieldSet,
+    /// Digests raised.
+    pub digests: Vec<Digest>,
+    /// Whether a `Drop` cancelled the forwards.
+    pub dropped: bool,
+}
+
+impl Verdict {
+    /// All egress ports (mirrors first, then forwards), deduplicated,
+    /// never including `ingress`.
+    pub fn egress_ports(&self, ingress: PortId) -> Vec<PortId> {
+        let mut out = Vec::new();
+        for p in self.mirrors.iter().chain(if self.dropped {
+            [].iter()
+        } else {
+            self.forwards.iter()
+        }) {
+            if *p != ingress && !out.contains(p) {
+                out.push(*p);
+            }
+        }
+        out
+    }
+}
+
+/// A programmable pipeline: tables + stateful objects.
+#[derive(Clone, Debug, Default)]
+pub struct Pipeline {
+    /// Match-action tables, executed in order (subject to `GotoTable`).
+    pub tables: Vec<Table>,
+    /// Register arrays, addressed by index in actions.
+    pub registers: Vec<RegisterArray>,
+    /// Counters.
+    pub counters: CounterArray,
+    /// Meter arrays, addressed by index in actions.
+    pub meters: Vec<MeterArray>,
+}
+
+impl Pipeline {
+    /// Empty pipeline.
+    pub fn new() -> Self {
+        Pipeline {
+            tables: Vec::new(),
+            registers: Vec::new(),
+            counters: CounterArray::new(64),
+            meters: Vec::new(),
+        }
+    }
+
+    /// Append a meter array, returning its id.
+    pub fn add_meters(&mut self, meters: MeterArray) -> u32 {
+        self.meters.push(meters);
+        (self.meters.len() - 1) as u32
+    }
+
+    /// Append a table, returning its index.
+    pub fn add_table(&mut self, table: Table) -> usize {
+        self.tables.push(table);
+        self.tables.len() - 1
+    }
+
+    /// Append a register array, returning its id.
+    pub fn add_registers(&mut self, regs: RegisterArray) -> u32 {
+        self.registers.push(regs);
+        (self.registers.len() - 1) as u32
+    }
+
+    /// Find a table by name (control-plane addressing).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.iter_mut().find(|t| t.name == name)
+    }
+
+    /// Find a register array by name.
+    pub fn registers_by_name(&self, name: &str) -> Option<&RegisterArray> {
+        self.registers.iter().find(|r| r.name == name)
+    }
+
+    /// Mutable register lookup by name.
+    pub fn registers_by_name_mut(&mut self, name: &str) -> Option<&mut RegisterArray> {
+        self.registers.iter_mut().find(|r| r.name == name)
+    }
+
+    fn resolve_index(&self, idx: &IndexSource, fs: &FieldSet) -> u32 {
+        match idx {
+            IndexSource::Const(i) => *i,
+            IndexSource::FromField(f) => fs.get(*f) as u32,
+        }
+    }
+
+    fn resolve_value(&self, v: &ValueSource, fs: &FieldSet, now: Nanos) -> u64 {
+        match v {
+            ValueSource::Const(c) => *c,
+            ValueSource::FromField(f) => fs.get(*f),
+            ValueSource::NowNs => now.as_nanos(),
+        }
+    }
+
+    /// Process one parsed packet through the pipeline.
+    ///
+    /// `ports` is the switch's port count (needed by `Flood`);
+    /// `wire_len` feeds counters.
+    pub fn process(
+        &mut self,
+        mut fs: FieldSet,
+        ingress: PortId,
+        now: Nanos,
+        ports: usize,
+        wire_len: u64,
+        payload: &Bytes,
+    ) -> Verdict {
+        let mut verdict = Verdict {
+            forwards: Vec::new(),
+            mirrors: Vec::new(),
+            fields: FieldSet::default(),
+            digests: Vec::new(),
+            dropped: false,
+        };
+        let mut ti = 0usize;
+        let mut steps = 0usize;
+        'tables: while ti < self.tables.len() {
+            steps += 1;
+            assert!(steps <= self.tables.len(), "GotoTable loop");
+            let action = self.tables[ti].lookup(&fs).clone();
+            let mut next = ti + 1;
+            for prim in action.primitives() {
+                match prim {
+                    Primitive::Forward(p) => verdict.forwards.push(*p),
+                    Primitive::Flood => {
+                        for p in 0..ports {
+                            if p != ingress.0 {
+                                verdict.forwards.push(PortId(p));
+                            }
+                        }
+                    }
+                    Primitive::Drop => {
+                        verdict.dropped = true;
+                        break 'tables;
+                    }
+                    Primitive::Mirror(p) => verdict.mirrors.push(*p),
+                    Primitive::SetField(f, v) => fs.set(*f, *v),
+                    Primitive::CopyField { dst, src } => {
+                        let v = fs.get(*src);
+                        fs.set(*dst, v);
+                    }
+                    Primitive::RegWrite { reg, index, value } => {
+                        let i = self.resolve_index(index, &fs);
+                        let v = self.resolve_value(value, &fs, now);
+                        if let Some(r) = self.registers.get_mut(*reg as usize) {
+                            r.write(i, v);
+                        }
+                    }
+                    Primitive::RegLoad { reg, index, dst } => {
+                        let i = self.resolve_index(index, &fs);
+                        let v = self
+                            .registers
+                            .get(*reg as usize)
+                            .map(|r| r.read(i))
+                            .unwrap_or(0);
+                        fs.set(*dst, v);
+                    }
+                    Primitive::CountInc(idx) => self.counters.inc(*idx, wire_len),
+                    Primitive::Digest { kind, field } => verdict.digests.push(Digest {
+                        kind: *kind,
+                        value: fs.get(*field),
+                        fields: fs.clone(),
+                        payload: None,
+                    }),
+                    Primitive::DigestPacket { kind } => verdict.digests.push(Digest {
+                        kind: *kind,
+                        value: 0,
+                        fields: fs.clone(),
+                        payload: Some(payload.clone()),
+                    }),
+                    Primitive::MeterPacket { meter, index, dst } => {
+                        let i = self.resolve_index(index, &fs);
+                        let color = self
+                            .meters
+                            .get_mut(*meter as usize)
+                            .map(|m| m.meter(i, now, wire_len))
+                            .unwrap_or(MeterColor::Green);
+                        fs.set(*dst, matches!(color, MeterColor::Red) as u64);
+                    }
+                    Primitive::GotoTable(t) => {
+                        assert!(*t > ti, "GotoTable must jump forward");
+                        next = *t;
+                    }
+                }
+            }
+            ti = next;
+        }
+        verdict.fields = fs;
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionSpec;
+    use crate::fields::Field;
+    use crate::table::{Entry, MatchKind, TernaryKey};
+
+    fn one_table_pipeline(default: ActionSpec) -> Pipeline {
+        let mut p = Pipeline::new();
+        p.add_table(Table::new(
+            "t0",
+            vec![Field::RtFrameId],
+            MatchKind::Exact,
+            default,
+        ));
+        p
+    }
+
+    fn fs(frame_id: u64) -> FieldSet {
+        let mut f = FieldSet::default();
+        f.set(Field::RtFrameId, frame_id);
+        f
+    }
+
+    #[test]
+    fn default_flood() {
+        let mut p = one_table_pipeline(ActionSpec::flood());
+        let v = p.process(fs(1), PortId(0), Nanos::ZERO, 4, 64, &Bytes::new());
+        assert_eq!(
+            v.egress_ports(PortId(0)),
+            vec![PortId(1), PortId(2), PortId(3)]
+        );
+    }
+
+    #[test]
+    fn drop_cancels_forward_keeps_mirror() {
+        let mut p = one_table_pipeline(ActionSpec::drop());
+        p.tables[0].insert(Entry {
+            keys: vec![TernaryKey::exact(7)],
+            priority: 0,
+            action: ActionSpec::new(vec![
+                Primitive::Mirror(PortId(3)),
+                Primitive::Forward(PortId(1)),
+                Primitive::Drop,
+            ]),
+        });
+        let v = p.process(fs(7), PortId(0), Nanos::ZERO, 4, 64, &Bytes::new());
+        assert!(v.dropped);
+        assert_eq!(v.egress_ports(PortId(0)), vec![PortId(3)]);
+    }
+
+    #[test]
+    fn set_field_applies() {
+        let mut p = one_table_pipeline(ActionSpec::new(vec![
+            Primitive::SetField(Field::EthDst, 42),
+            Primitive::Forward(PortId(1)),
+        ]));
+        let v = p.process(fs(0), PortId(0), Nanos::ZERO, 2, 64, &Bytes::new());
+        assert_eq!(v.fields.get(Field::EthDst), 42);
+    }
+
+    #[test]
+    fn register_timestamping() {
+        let mut p = Pipeline::new();
+        let reg = p.add_registers(RegisterArray::new("last_seen", 16));
+        p.add_table(Table::new(
+            "t0",
+            vec![Field::RtFrameId],
+            MatchKind::Exact,
+            ActionSpec::new(vec![
+                Primitive::RegWrite {
+                    reg,
+                    index: IndexSource::FromField(Field::RtFrameId),
+                    value: ValueSource::NowNs,
+                },
+                Primitive::Forward(PortId(1)),
+            ]),
+        ));
+        p.process(fs(5), PortId(0), Nanos(12345), 2, 64, &Bytes::new());
+        assert_eq!(p.registers[0].read(5), 12345);
+        assert_eq!(p.registers[0].read(4), 0);
+    }
+
+    #[test]
+    fn digest_carries_context() {
+        let mut p = one_table_pipeline(ActionSpec::new(vec![
+            Primitive::Digest {
+                kind: 9,
+                field: Field::RtFrameId,
+            },
+            Primitive::Forward(PortId(1)),
+        ]));
+        let mut f = fs(0x8001);
+        f.set(Field::IngressPort, 2);
+        let v = p.process(f, PortId(2), Nanos::ZERO, 4, 64, &Bytes::new());
+        assert_eq!(v.digests.len(), 1);
+        assert_eq!(v.digests[0].kind, 9);
+        assert_eq!(v.digests[0].value, 0x8001);
+        assert_eq!(v.digests[0].fields.get(Field::IngressPort), 2);
+    }
+
+    #[test]
+    fn goto_table_skips() {
+        let mut p = Pipeline::new();
+        p.add_table(Table::new(
+            "t0",
+            vec![Field::RtFrameId],
+            MatchKind::Exact,
+            ActionSpec::new(vec![Primitive::GotoTable(2)]),
+        ));
+        p.add_table(Table::new(
+            "t1",
+            vec![Field::RtFrameId],
+            MatchKind::Exact,
+            // Would mark the packet if executed.
+            ActionSpec::new(vec![Primitive::SetField(Field::Meta(0), 1)]),
+        ));
+        p.add_table(Table::new(
+            "t2",
+            vec![Field::RtFrameId],
+            MatchKind::Exact,
+            ActionSpec::forward(PortId(1)),
+        ));
+        let v = p.process(fs(0), PortId(0), Nanos::ZERO, 2, 64, &Bytes::new());
+        assert_eq!(v.fields.get(Field::Meta(0)), 0, "t1 skipped");
+        assert_eq!(v.forwards, vec![PortId(1)]);
+    }
+
+    #[test]
+    fn meter_policing_two_stage() {
+        // Stage 0: meter into Meta(0); stage 1: drop red packets.
+        let mut p = Pipeline::new();
+        let m = p.add_meters(crate::registers::MeterArray::new("police", 1_000_000, 200));
+        p.add_table(Table::new(
+            "meter",
+            vec![Field::RtFrameId],
+            MatchKind::Exact,
+            ActionSpec::new(vec![Primitive::MeterPacket {
+                meter: m,
+                index: IndexSource::FromField(Field::RtFrameId),
+                dst: Field::Meta(0),
+            }]),
+        ));
+        let mut verdict_table = Table::new(
+            "verdict",
+            vec![Field::Meta(0)],
+            MatchKind::Exact,
+            ActionSpec::forward(PortId(1)),
+        );
+        verdict_table.insert(Entry {
+            keys: vec![TernaryKey::exact(1)], // red
+            priority: 0,
+            action: ActionSpec::drop(),
+        });
+        p.add_table(verdict_table);
+        // Two 84-byte packets fit the 200-byte burst; the third is red.
+        let v1 = p.process(fs(5), PortId(0), Nanos::ZERO, 2, 84, &Bytes::new());
+        let v2 = p.process(fs(5), PortId(0), Nanos(1), 2, 84, &Bytes::new());
+        let v3 = p.process(fs(5), PortId(0), Nanos(2), 2, 84, &Bytes::new());
+        assert!(!v1.dropped && !v2.dropped);
+        assert!(v3.dropped, "over-rate packet policed");
+        // A different CR id has its own bucket.
+        let v4 = p.process(fs(6), PortId(0), Nanos(3), 2, 84, &Bytes::new());
+        assert!(!v4.dropped);
+    }
+
+    #[test]
+    fn counters_count_bytes() {
+        let mut p = one_table_pipeline(ActionSpec::new(vec![
+            Primitive::CountInc(3),
+            Primitive::Forward(PortId(1)),
+        ]));
+        p.process(fs(0), PortId(0), Nanos::ZERO, 2, 84, &Bytes::new());
+        p.process(fs(0), PortId(0), Nanos::ZERO, 2, 84, &Bytes::new());
+        assert_eq!(p.counters.read(3), (2, 168));
+    }
+
+    #[test]
+    fn egress_excludes_ingress_and_dedups() {
+        let v = Verdict {
+            forwards: vec![PortId(1), PortId(1), PortId(0)],
+            mirrors: vec![PortId(2)],
+            fields: FieldSet::default(),
+            digests: vec![],
+            dropped: false,
+        };
+        assert_eq!(v.egress_ports(PortId(0)), vec![PortId(2), PortId(1)]);
+    }
+}

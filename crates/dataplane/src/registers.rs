@@ -1,0 +1,210 @@
+//! Stateful pipeline objects: register arrays, counters, meters.
+
+use steelworks_netsim::time::{NanoDur, Nanos};
+
+/// A register array: u64 cells addressable from actions and from the
+/// control plane. This is the stateful primitive InstaPLC's liveness
+/// monitoring is written against (last-seen timestamps per CR).
+#[derive(Clone, Debug)]
+pub struct RegisterArray {
+    /// Name for control-plane addressing.
+    pub name: String,
+    cells: Vec<u64>,
+}
+
+impl RegisterArray {
+    /// `size` zeroed cells.
+    pub fn new(name: impl Into<String>, size: usize) -> Self {
+        RegisterArray {
+            name: name.into(),
+            cells: vec![0; size],
+        }
+    }
+
+    /// Read a cell (out-of-range reads return 0, like unmatched P4
+    /// register reads on some targets — documented behaviour).
+    pub fn read(&self, idx: u32) -> u64 {
+        self.cells.get(idx as usize).copied().unwrap_or(0)
+    }
+
+    /// Write a cell (out-of-range writes are ignored).
+    pub fn write(&mut self, idx: u32, v: u64) {
+        if let Some(c) = self.cells.get_mut(idx as usize) {
+            *c = v;
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True for a zero-size array.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Packet/byte counters.
+#[derive(Clone, Debug, Default)]
+pub struct CounterArray {
+    cells: Vec<(u64, u64)>,
+}
+
+impl CounterArray {
+    /// `size` zeroed counters.
+    pub fn new(size: usize) -> Self {
+        CounterArray {
+            cells: vec![(0, 0); size],
+        }
+    }
+
+    /// Count one packet of `bytes`.
+    pub fn inc(&mut self, idx: u32, bytes: u64) {
+        if let Some((p, b)) = self.cells.get_mut(idx as usize) {
+            *p += 1;
+            *b += bytes;
+        }
+    }
+
+    /// (packets, bytes) at `idx`.
+    pub fn read(&self, idx: u32) -> (u64, u64) {
+        self.cells.get(idx as usize).copied().unwrap_or((0, 0))
+    }
+}
+
+/// Two-color token-bucket meter (srTCM simplified: green/red).
+#[derive(Clone, Debug)]
+pub struct Meter {
+    rate_bytes_per_sec: u64,
+    burst_bytes: u64,
+    tokens: f64,
+    last: Nanos,
+}
+
+/// Meter verdicts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MeterColor {
+    /// Within profile.
+    Green,
+    /// Over rate.
+    Red,
+}
+
+impl Meter {
+    /// A meter admitting `rate_bytes_per_sec` with `burst_bytes` depth.
+    pub fn new(rate_bytes_per_sec: u64, burst_bytes: u64) -> Self {
+        Meter {
+            rate_bytes_per_sec,
+            burst_bytes,
+            tokens: burst_bytes as f64,
+            last: Nanos::ZERO,
+        }
+    }
+
+    /// Meter one packet.
+    pub fn meter(&mut self, now: Nanos, bytes: u64) -> MeterColor {
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens =
+            (self.tokens + dt * self.rate_bytes_per_sec as f64).min(self.burst_bytes as f64);
+        if self.tokens >= bytes as f64 {
+            self.tokens -= bytes as f64;
+            MeterColor::Green
+        } else {
+            MeterColor::Red
+        }
+    }
+
+    /// Time until `bytes` tokens will be available (for tests).
+    pub fn time_to_green(&self, bytes: u64) -> NanoDur {
+        if self.tokens >= bytes as f64 {
+            return NanoDur::ZERO;
+        }
+        let missing = bytes as f64 - self.tokens;
+        NanoDur::from_secs_f64(missing / self.rate_bytes_per_sec as f64)
+    }
+}
+
+/// An array of independent meters (one per index, lazily created).
+#[derive(Clone, Debug)]
+pub struct MeterArray {
+    /// Name for control-plane addressing.
+    pub name: String,
+    rate_bytes_per_sec: u64,
+    burst_bytes: u64,
+    cells: std::collections::HashMap<u32, Meter>,
+}
+
+impl MeterArray {
+    /// All cells share one profile (rate, burst).
+    pub fn new(name: impl Into<String>, rate_bytes_per_sec: u64, burst_bytes: u64) -> Self {
+        MeterArray {
+            name: name.into(),
+            rate_bytes_per_sec,
+            burst_bytes,
+            cells: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Meter one packet against cell `idx`.
+    pub fn meter(&mut self, idx: u32, now: Nanos, bytes: u64) -> MeterColor {
+        let (rate, burst) = (self.rate_bytes_per_sec, self.burst_bytes);
+        self.cells
+            .entry(idx)
+            .or_insert_with(|| Meter::new(rate, burst))
+            .meter(now, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_read_write() {
+        let mut r = RegisterArray::new("last_seen", 8);
+        r.write(3, 99);
+        assert_eq!(r.read(3), 99);
+        assert_eq!(r.read(7), 0);
+        r.write(100, 5); // ignored
+        assert_eq!(r.read(100), 0);
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = CounterArray::new(4);
+        c.inc(1, 64);
+        c.inc(1, 128);
+        assert_eq!(c.read(1), (2, 192));
+        assert_eq!(c.read(0), (0, 0));
+        c.inc(9, 10); // ignored
+    }
+
+    #[test]
+    fn meter_green_within_burst_red_over() {
+        let mut m = Meter::new(1_000_000, 1_000); // 1 MB/s, 1 KB burst
+        assert_eq!(m.meter(Nanos::ZERO, 600), MeterColor::Green);
+        assert_eq!(m.meter(Nanos(1), 600), MeterColor::Red);
+        // After 1 ms, 1000 bytes refilled.
+        assert_eq!(m.meter(Nanos::from_millis(1), 600), MeterColor::Green);
+    }
+
+    #[test]
+    fn meter_array_cells_independent() {
+        let mut m = MeterArray::new("m", 1_000_000, 1_000);
+        assert_eq!(m.meter(1, Nanos::ZERO, 1_000), MeterColor::Green);
+        assert_eq!(m.meter(1, Nanos(1), 1_000), MeterColor::Red);
+        // A different cell still has its full burst.
+        assert_eq!(m.meter(2, Nanos(1), 1_000), MeterColor::Green);
+    }
+
+    #[test]
+    fn meter_time_to_green() {
+        let mut m = Meter::new(1_000_000, 1_000);
+        m.meter(Nanos::ZERO, 1_000);
+        let wait = m.time_to_green(500);
+        assert_eq!(wait, NanoDur::from_micros(500));
+    }
+}

@@ -1,0 +1,369 @@
+//! Match-action tables.
+//!
+//! Exact and ternary tables over the field vocabulary, with priorities
+//! for ternary and a default action — the standard P4 table semantics
+//! a control plane programs at runtime.
+
+use crate::action::ActionSpec;
+use crate::fields::{Field, FieldSet};
+
+/// How a table matches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MatchKind {
+    /// All key fields equal.
+    Exact,
+    /// Masked match with priorities (higher wins).
+    Ternary,
+    /// Longest-prefix match on the FIRST key field (remaining fields
+    /// match exactly); entry masks must be prefixes.
+    Lpm,
+}
+
+/// One key component of a ternary entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TernaryKey {
+    /// Value to compare after masking.
+    pub value: u64,
+    /// Mask (0 bits are wildcards).
+    pub mask: u64,
+}
+
+impl TernaryKey {
+    /// An exact-value component.
+    pub fn exact(value: u64) -> Self {
+        TernaryKey {
+            value,
+            mask: u64::MAX,
+        }
+    }
+
+    /// A full wildcard.
+    pub fn any() -> Self {
+        TernaryKey { value: 0, mask: 0 }
+    }
+
+    /// A prefix of `len` bits (counted from the most significant bit
+    /// of a `width`-bit field) — for LPM tables.
+    pub fn prefix(value: u64, len: u32, width: u32) -> Self {
+        assert!(len <= width && width <= 64);
+        let mask = if len == 0 {
+            0
+        } else {
+            (!0u64 >> (64 - len)) << (width - len)
+        };
+        TernaryKey {
+            value: value & mask,
+            mask,
+        }
+    }
+
+    /// Number of set bits in the mask (prefix length for LPM entries).
+    pub fn prefix_len(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    fn matches(&self, v: u64) -> bool {
+        v & self.mask == self.value & self.mask
+    }
+}
+
+/// A table entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Per-field keys, parallel to the table's key fields.
+    pub keys: Vec<TernaryKey>,
+    /// Ternary priority (ignored for exact tables).
+    pub priority: i32,
+    /// What to do on match.
+    pub action: ActionSpec,
+}
+
+/// Handle returned by [`Table::insert`]; stable across removals.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EntryId(pub u64);
+
+/// A match-action table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Name for control-plane addressing and reports.
+    pub name: String,
+    /// Key fields, in order.
+    pub key: Vec<Field>,
+    /// Matching discipline.
+    pub kind: MatchKind,
+    /// Action when nothing matches.
+    pub default_action: ActionSpec,
+    entries: Vec<(EntryId, Entry)>,
+    next_id: u64,
+    /// Lookup counters (hits, misses).
+    pub hits: u64,
+    /// Misses (default action taken).
+    pub misses: u64,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(
+        name: impl Into<String>,
+        key: Vec<Field>,
+        kind: MatchKind,
+        default_action: ActionSpec,
+    ) -> Self {
+        Table {
+            name: name.into(),
+            key,
+            kind,
+            default_action,
+            entries: Vec::new(),
+            next_id: 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Insert an entry; panics if the key arity is wrong (a control
+    /// plane bug, not a runtime condition).
+    pub fn insert(&mut self, entry: Entry) -> EntryId {
+        assert_eq!(
+            entry.keys.len(),
+            self.key.len(),
+            "entry key arity mismatch for table {}",
+            self.name
+        );
+        let id = EntryId(self.next_id);
+        self.next_id += 1;
+        self.entries.push((id, entry));
+        // Keep ternary entries ordered by priority (desc) and LPM
+        // entries by prefix length (desc) so lookup is first-match.
+        match self.kind {
+            MatchKind::Ternary => self.entries.sort_by_key(|(_, e)| -e.priority),
+            MatchKind::Lpm => self
+                .entries
+                .sort_by_key(|(_, e)| std::cmp::Reverse(e.keys[0].prefix_len())),
+            MatchKind::Exact => {}
+        }
+        id
+    }
+
+    /// Remove an entry by id; returns whether it existed.
+    pub fn remove(&mut self, id: EntryId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(eid, _)| *eid != id);
+        self.entries.len() != before
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the action for a parsed packet.
+    pub fn lookup(&mut self, fs: &FieldSet) -> &ActionSpec {
+        let values: Vec<u64> = self.key.iter().map(|f| fs.get(*f)).collect();
+        for (_, e) in &self.entries {
+            if e.keys.iter().zip(&values).all(|(k, v)| k.matches(*v)) {
+                self.hits += 1;
+                return &e.action;
+            }
+        }
+        self.misses += 1;
+        &self.default_action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionSpec, Primitive};
+    use steelworks_netsim::node::PortId;
+
+    fn fwd(p: usize) -> ActionSpec {
+        ActionSpec::new(vec![Primitive::Forward(PortId(p))])
+    }
+
+    fn fs_with(field: Field, v: u64) -> FieldSet {
+        let mut fs = FieldSet::default();
+        fs.set(field, v);
+        fs
+    }
+
+    #[test]
+    fn exact_match_hit_and_miss() {
+        let mut t = Table::new(
+            "t",
+            vec![Field::RtFrameId],
+            MatchKind::Exact,
+            ActionSpec::drop(),
+        );
+        t.insert(Entry {
+            keys: vec![TernaryKey::exact(0x8001)],
+            priority: 0,
+            action: fwd(2),
+        });
+        let hit = t.lookup(&fs_with(Field::RtFrameId, 0x8001)).clone();
+        assert_eq!(hit.primitives(), fwd(2).primitives());
+        let miss = t.lookup(&fs_with(Field::RtFrameId, 0x8002)).clone();
+        assert!(miss.is_drop());
+        assert_eq!(t.hits, 1);
+        assert_eq!(t.misses, 1);
+    }
+
+    #[test]
+    fn ternary_priority_order() {
+        let mut t = Table::new(
+            "t",
+            vec![Field::RtFrameId],
+            MatchKind::Ternary,
+            ActionSpec::drop(),
+        );
+        // Low-priority wildcard first, then a high-priority exact.
+        t.insert(Entry {
+            keys: vec![TernaryKey::any()],
+            priority: 1,
+            action: fwd(9),
+        });
+        t.insert(Entry {
+            keys: vec![TernaryKey::exact(5)],
+            priority: 10,
+            action: fwd(1),
+        });
+        assert_eq!(
+            t.lookup(&fs_with(Field::RtFrameId, 5)).primitives(),
+            fwd(1).primitives()
+        );
+        assert_eq!(
+            t.lookup(&fs_with(Field::RtFrameId, 6)).primitives(),
+            fwd(9).primitives()
+        );
+    }
+
+    #[test]
+    fn masked_match() {
+        let mut t = Table::new(
+            "t",
+            vec![Field::RtFrameId],
+            MatchKind::Ternary,
+            ActionSpec::drop(),
+        );
+        // Match the 0x8000 block.
+        t.insert(Entry {
+            keys: vec![TernaryKey {
+                value: 0x8000,
+                mask: 0xFF00,
+            }],
+            priority: 0,
+            action: fwd(3),
+        });
+        assert!(!t.lookup(&fs_with(Field::RtFrameId, 0x8042)).is_drop());
+        assert!(t.lookup(&fs_with(Field::RtFrameId, 0x7042)).is_drop());
+    }
+
+    #[test]
+    fn lpm_longest_prefix_wins() {
+        let mut t = Table::new(
+            "routes",
+            vec![Field::EthDst],
+            MatchKind::Lpm,
+            ActionSpec::drop(),
+        );
+        // /8 covering 0x0A...: forward to 1.
+        t.insert(Entry {
+            keys: vec![TernaryKey::prefix(0x0A00_0000, 8, 32)],
+            priority: 0,
+            action: fwd(1),
+        });
+        // /24 more specific: forward to 2.
+        t.insert(Entry {
+            keys: vec![TernaryKey::prefix(0x0A01_0200, 24, 32)],
+            priority: 0,
+            action: fwd(2),
+        });
+        assert_eq!(
+            t.lookup(&fs_with(Field::EthDst, 0x0A01_0242)).primitives(),
+            fwd(2).primitives(),
+            "/24 preferred"
+        );
+        assert_eq!(
+            t.lookup(&fs_with(Field::EthDst, 0x0AFF_0001)).primitives(),
+            fwd(1).primitives(),
+            "/8 fallback"
+        );
+        assert!(t.lookup(&fs_with(Field::EthDst, 0x0B00_0001)).is_drop());
+    }
+
+    #[test]
+    fn prefix_key_construction() {
+        let k = TernaryKey::prefix(0xFF12_3456, 8, 32);
+        assert_eq!(k.mask, 0xFF00_0000);
+        assert_eq!(k.value, 0xFF00_0000);
+        assert_eq!(k.prefix_len(), 8);
+        assert_eq!(TernaryKey::prefix(0, 0, 32).mask, 0);
+    }
+
+    #[test]
+    fn remove_entry() {
+        let mut t = Table::new(
+            "t",
+            vec![Field::EthType],
+            MatchKind::Exact,
+            ActionSpec::drop(),
+        );
+        let id = t.insert(Entry {
+            keys: vec![TernaryKey::exact(0x0800)],
+            priority: 0,
+            action: fwd(1),
+        });
+        assert_eq!(t.len(), 1);
+        assert!(t.remove(id));
+        assert!(!t.remove(id));
+        assert!(t.is_empty());
+        assert!(t.lookup(&fs_with(Field::EthType, 0x0800)).is_drop());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new(
+            "t",
+            vec![Field::EthType, Field::IngressPort],
+            MatchKind::Exact,
+            ActionSpec::drop(),
+        );
+        t.insert(Entry {
+            keys: vec![TernaryKey::exact(1)],
+            priority: 0,
+            action: fwd(1),
+        });
+    }
+
+    #[test]
+    fn two_field_key() {
+        let mut t = Table::new(
+            "t",
+            vec![Field::RtFrameId, Field::IngressPort],
+            MatchKind::Exact,
+            ActionSpec::drop(),
+        );
+        t.insert(Entry {
+            keys: vec![TernaryKey::exact(7), TernaryKey::exact(2)],
+            priority: 0,
+            action: fwd(4),
+        });
+        let mut fs = FieldSet::default();
+        fs.set(Field::RtFrameId, 7);
+        fs.set(Field::IngressPort, 2);
+        assert!(!t.lookup(&fs).is_drop());
+        fs.set(Field::IngressPort, 3);
+        assert!(t.lookup(&fs).is_drop());
+    }
+}

@@ -1,0 +1,115 @@
+//! Inference servers: tiered compute with queueing.
+//!
+//! An inference server is an M/M/1-style station: clients' frames
+//! arrive at `fps × clients`, service is the app's per-tier inference
+//! time (with parallel worker slots). Edge/fog are "constrained" (few
+//! slots), cloud is effectively unconstrained but behind a WAN — the
+//! trade-off §5 says existing DC-centric designs overlook.
+
+use crate::model::{ComputeTier, MlAppProfile};
+use steelworks_netsim::time::NanoDur;
+
+/// A provisioned inference server.
+#[derive(Clone, Debug)]
+pub struct InferenceServer {
+    /// Tier (placement decides network distance).
+    pub tier: ComputeTier,
+    /// Parallel worker slots (GPU streams).
+    pub slots: u32,
+}
+
+impl InferenceServer {
+    /// Typical provisioning per tier.
+    pub fn typical(tier: ComputeTier) -> Self {
+        let slots = match tier {
+            ComputeTier::Edge => 2,
+            ComputeTier::Fog => 8,
+            ComputeTier::Cloud => 64,
+        };
+        InferenceServer { tier, slots }
+    }
+
+    /// Offered utilization for `clients` streams of `profile`.
+    pub fn utilization(&self, profile: &MlAppProfile, clients: u32) -> f64 {
+        let arrival_per_sec = profile.fps * clients as f64;
+        let service_per_sec = self.slots as f64 / profile.infer_time(self.tier).as_secs_f64();
+        arrival_per_sec / service_per_sec
+    }
+
+    /// Mean response time (wait + service) for `clients` streams —
+    /// M/M/c approximated as M/M/1 with aggregated service rate, capped
+    /// when saturated.
+    pub fn response_time(&self, profile: &MlAppProfile, clients: u32) -> NanoDur {
+        let service = profile.infer_time(self.tier).as_secs_f64() / self.slots as f64;
+        let rho = self.utilization(profile, clients);
+        let resp = if rho >= 0.99 {
+            // Saturated: report a large-but-finite penalty.
+            service * 100.0
+        } else {
+            service / (1.0 - rho)
+        };
+        // Add one full service time floor (a frame can't finish faster
+        // than its inference takes even with free slots).
+        let floor = profile.infer_time(self.tier).as_secs_f64();
+        NanoDur::from_secs_f64(resp.max(floor))
+    }
+
+    /// Largest client count this server can serve below `target_rho`.
+    pub fn capacity(&self, profile: &MlAppProfile, target_rho: f64) -> u32 {
+        let service_per_sec = self.slots as f64 / profile.infer_time(self.tier).as_secs_f64();
+        ((target_rho * service_per_sec) / profile.fps).floor() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MlApp;
+
+    #[test]
+    fn utilization_scales_with_clients() {
+        let p = MlApp::DefectDetection.profile();
+        let s = InferenceServer::typical(ComputeTier::Fog);
+        assert!(s.utilization(&p, 10) < s.utilization(&p, 40));
+    }
+
+    #[test]
+    fn response_grows_toward_saturation() {
+        let p = MlApp::ObjectIdentification.profile();
+        let s = InferenceServer::typical(ComputeTier::Edge);
+        // Edge: 2 slots / 2 ms = 1000 inferences/s; 12 fps clients.
+        let r10 = s.response_time(&p, 10);
+        let r60 = s.response_time(&p, 60);
+        let r78 = s.response_time(&p, 78);
+        assert!(r10 <= r60 && r60 < r78, "{r10} {r60} {r78}");
+        assert!(r10 >= p.infer_edge, "floor is one service time");
+    }
+
+    #[test]
+    fn saturation_capped() {
+        let p = MlApp::ObjectIdentification.profile();
+        let s = InferenceServer::typical(ComputeTier::Edge);
+        let r = s.response_time(&p, 400);
+        assert!(r < NanoDur::from_secs(2), "finite under overload: {r}");
+        assert!(s.utilization(&p, 400) > 1.0);
+    }
+
+    #[test]
+    fn cloud_has_most_capacity() {
+        let p = MlApp::DefectDetection.profile();
+        let edge = InferenceServer::typical(ComputeTier::Edge).capacity(&p, 0.7);
+        let fog = InferenceServer::typical(ComputeTier::Fog).capacity(&p, 0.7);
+        let cloud = InferenceServer::typical(ComputeTier::Cloud).capacity(&p, 0.7);
+        assert!(edge < fog && fog < cloud, "{edge} {fog} {cloud}");
+        assert!(edge >= 4, "an edge box serves a small cell: {edge}");
+    }
+
+    #[test]
+    fn capacity_matches_utilization() {
+        let p = MlApp::DefectDetection.profile();
+        let s = InferenceServer::typical(ComputeTier::Fog);
+        let cap = s.capacity(&p, 0.7);
+        assert!(s.utilization(&p, cap) <= 0.7 + 1e-9);
+        assert!(s.utilization(&p, cap + 1) > 0.7);
+    }
+}

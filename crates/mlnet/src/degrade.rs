@@ -1,0 +1,258 @@
+//! Input degradation → accuracy and bitrate.
+//!
+//! §5: "ML inference in industrial settings can significantly suffer
+//! when exposed to network-induced data degradation, such as
+//! compression artifacts, frame loss, or jitter." This module provides
+//! the calibrated analytic curves standing in for the paper's model
+//! benchmarking (casting-defect CNNs under JPEG compression / loss):
+//! accuracy as a function of degradation, bitrate as a function of
+//! compression quality, and the inverse mapping (minimum quality — and
+//! hence bitrate — for an accuracy target) that the ML-aware topology
+//! designer consumes.
+
+use crate::model::{MlApp, MlAppProfile};
+use steelworks_netsim::time::NanoDur;
+
+/// Degradations applied to an input stream by the network.
+#[derive(Clone, Copy, Debug)]
+pub struct InputDegradation {
+    /// Compression quality in (0, 1]; 1 = visually lossless.
+    pub quality: f64,
+    /// Fraction of frames lost (0..1).
+    pub frame_loss: f64,
+    /// Frame-arrival jitter (late frames past deadline count as lost).
+    pub jitter: NanoDur,
+}
+
+impl InputDegradation {
+    /// No degradation.
+    pub fn pristine() -> Self {
+        InputDegradation {
+            quality: 1.0,
+            frame_loss: 0.0,
+            jitter: NanoDur::ZERO,
+        }
+    }
+}
+
+/// Compressed bytes per frame at `quality`.
+///
+/// A standard rate model: bytes ≈ raw × (0.02 + 0.18·q²) — intra-coded
+/// industrial video spans ≈2 % of raw at the lowest usable quality to
+/// ≈20 % near-lossless.
+pub fn frame_bytes(profile: &MlAppProfile, quality: f64) -> u64 {
+    let q = quality.clamp(0.05, 1.0);
+    (profile.raw_frame_bytes as f64 * (0.02 + 0.18 * q * q)).round() as u64
+}
+
+/// Offered bits/s for one client streaming at `quality`.
+pub fn client_bps(profile: &MlAppProfile, quality: f64) -> f64 {
+    frame_bytes(profile, quality) as f64 * 8.0 * profile.fps
+}
+
+/// Model accuracy under degradation.
+///
+/// Compression: logistic fall-off controlled by the app's sensitivity
+/// (defect detection degrades faster — fine textures vanish first).
+/// Loss/jitter: effective frame loss reduces temporal evidence
+/// linearly via the app's loss sensitivity.
+pub fn accuracy(profile: &MlAppProfile, d: &InputDegradation) -> f64 {
+    let q = d.quality.clamp(0.0, 1.0);
+    // Quality term: 1 at q=1, dropping towards ~0.5 of base at q→0.
+    let s = profile.compression_sensitivity;
+    let quality_factor = 1.0 / (1.0 + (-(q - 0.35) * 4.0 * s).exp());
+    let quality_norm = 1.0 / (1.0 + (-(1.0 - 0.35) * 4.0 * s).exp());
+    let compression_term = 0.5 + 0.5 * (quality_factor / quality_norm);
+
+    // Jitter beyond 20% of the deadline turns into effective loss.
+    let jitter_loss =
+        (d.jitter.as_nanos() as f64 / profile.deadline.as_nanos() as f64 - 0.2).max(0.0);
+    let eff_loss = (d.frame_loss + jitter_loss).min(1.0);
+    let loss_term = (1.0 - profile.loss_sensitivity * eff_loss).max(0.0);
+
+    (profile.base_accuracy * compression_term * loss_term).clamp(0.0, 1.0)
+}
+
+/// Minimum quality achieving `target` accuracy with otherwise clean
+/// delivery; `None` if unreachable even at quality 1.
+pub fn min_quality_for_accuracy(profile: &MlAppProfile, target: f64) -> Option<f64> {
+    let clean = |q| {
+        accuracy(
+            profile,
+            &InputDegradation {
+                quality: q,
+                frame_loss: 0.0,
+                jitter: NanoDur::ZERO,
+            },
+        )
+    };
+    if clean(1.0) < target {
+        return None;
+    }
+    // Bisection: accuracy is monotone in quality.
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..40 {
+        let mid = (lo + hi) / 2.0;
+        if clean(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// The traffic profile (bps, mean packet) a client needs to hit an
+/// accuracy target — the bridge into `steelworks-topo`'s designer.
+pub fn traffic_for_accuracy(app: MlApp, target: f64) -> Option<(f64, u32)> {
+    let profile = app.profile();
+    let q = min_quality_for_accuracy(&profile, target)?;
+    Some((client_bps(&profile, q), profile.mean_packet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_input_gives_base_accuracy() {
+        for app in MlApp::ALL {
+            let p = app.profile();
+            let a = accuracy(&p, &InputDegradation::pristine());
+            assert!(
+                (a - p.base_accuracy).abs() < 0.01,
+                "{}: {a} vs {}",
+                p.name,
+                p.base_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_monotone_in_quality() {
+        let p = MlApp::DefectDetection.profile();
+        let mut last = 0.0;
+        for i in 1..=20 {
+            let q = i as f64 / 20.0;
+            let a = accuracy(
+                &p,
+                &InputDegradation {
+                    quality: q,
+                    frame_loss: 0.0,
+                    jitter: NanoDur::ZERO,
+                },
+            );
+            assert!(a >= last, "q={q}: {a} < {last}");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn defect_detection_more_compression_sensitive() {
+        let oi = MlApp::ObjectIdentification.profile();
+        let dd = MlApp::DefectDetection.profile();
+        let at = |p: &MlAppProfile, q: f64| {
+            accuracy(
+                p,
+                &InputDegradation {
+                    quality: q,
+                    frame_loss: 0.0,
+                    jitter: NanoDur::ZERO,
+                },
+            ) / p.base_accuracy
+        };
+        assert!(at(&dd, 0.3) < at(&oi, 0.3));
+    }
+
+    #[test]
+    fn frame_loss_hurts() {
+        let p = MlApp::ObjectIdentification.profile();
+        let lossy = accuracy(
+            &p,
+            &InputDegradation {
+                quality: 1.0,
+                frame_loss: 0.2,
+                jitter: NanoDur::ZERO,
+            },
+        );
+        assert!(lossy < p.base_accuracy - 0.1);
+    }
+
+    #[test]
+    fn jitter_beyond_deadline_fraction_hurts() {
+        let p = MlApp::DefectDetection.profile();
+        let small = accuracy(
+            &p,
+            &InputDegradation {
+                quality: 1.0,
+                frame_loss: 0.0,
+                jitter: NanoDur::from_millis(10), // 12.5% of 80 ms deadline
+            },
+        );
+        assert!((small - p.base_accuracy).abs() < 0.01, "below threshold");
+        let big = accuracy(
+            &p,
+            &InputDegradation {
+                quality: 1.0,
+                frame_loss: 0.0,
+                jitter: NanoDur::from_millis(40), // 50%
+            },
+        );
+        assert!(big < p.base_accuracy - 0.2);
+    }
+
+    #[test]
+    fn bitrate_grows_with_quality() {
+        let p = MlApp::ObjectIdentification.profile();
+        assert!(client_bps(&p, 0.3) < client_bps(&p, 0.9));
+        // VGA @ 12 fps near-lossless intra ≈ 20% of raw ≈ 18 Mbit/s.
+        let max = client_bps(&p, 1.0);
+        assert!(max > 10e6 && max < 40e6, "bps = {max}");
+    }
+
+    #[test]
+    fn min_quality_inverse_consistent() {
+        for app in MlApp::ALL {
+            let p = app.profile();
+            for target in [0.85, 0.90, 0.93] {
+                if let Some(q) = min_quality_for_accuracy(&p, target) {
+                    let a = accuracy(
+                        &p,
+                        &InputDegradation {
+                            quality: q,
+                            frame_loss: 0.0,
+                            jitter: NanoDur::ZERO,
+                        },
+                    );
+                    assert!(a >= target - 1e-6, "{}: q={q} a={a}", p.name);
+                    // And q is tight: slightly less misses the target.
+                    if q > 0.02 {
+                        let a2 = accuracy(
+                            &p,
+                            &InputDegradation {
+                                quality: q - 0.02,
+                                frame_loss: 0.0,
+                                jitter: NanoDur::ZERO,
+                            },
+                        );
+                        assert!(a2 < target + 0.01);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_target_none() {
+        let p = MlApp::DefectDetection.profile();
+        assert!(min_quality_for_accuracy(&p, 0.999).is_none());
+    }
+
+    #[test]
+    fn traffic_for_accuracy_tradeoff() {
+        // Lower accuracy target → lower bitrate demand.
+        let (low, _) = traffic_for_accuracy(MlApp::DefectDetection, 0.85).unwrap();
+        let (high, _) = traffic_for_accuracy(MlApp::DefectDetection, 0.95).unwrap();
+        assert!(low < high, "{low} < {high}");
+    }
+}

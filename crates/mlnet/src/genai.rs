@@ -1,0 +1,282 @@
+//! GenAI / LLM workloads on the factory floor.
+//!
+//! §5 closes with "the next technological leap is already knocking on
+//! the door with the evolution of industrial applications of GenAI,
+//! LLMs, and Agentic AI", and §1.1 lists LLMs/TLMs for factory
+//! configuration and control among the future-factory ingredients. This
+//! module models their network behaviour: a *bursty-then-streaming*
+//! pattern (prompt upload burst, token-paced response stream) that fits
+//! none of the classic flow classes — yet shares the fabric with the
+//! deterministic microflows of §2.3.
+
+use crate::model::ComputeTier;
+use steelworks_netsim::rng::SimRng;
+use steelworks_netsim::time::{NanoDur, Nanos};
+
+/// Industrial LLM applications.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum LlmApp {
+    /// An operator copilot: interactive Q&A over manuals/diagnostics.
+    FactoryCopilot,
+    /// An agentic cell-configuration assistant: multi-turn tool-call
+    /// loops against engineering systems (the paper's cited
+    /// LLM-controls-automation line of work).
+    CellConfigAgent,
+    /// A tiny language model doing on-device classification/commands.
+    TinyLm,
+}
+
+/// Static profile of an LLM service.
+#[derive(Clone, Debug)]
+pub struct LlmProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Mean prompt size (tokens), exponential-ish.
+    pub prompt_tokens: f64,
+    /// Mean completion size (tokens).
+    pub output_tokens: f64,
+    /// Bytes per token on the wire (text + JSON/SSE framing).
+    pub bytes_per_token: f64,
+    /// Tool-call round trips per task (agentic loops; 0 = single shot).
+    pub tool_roundtrips: f64,
+    /// Time to first token per tier.
+    pub ttft_edge: NanoDur,
+    /// Fog TTFT.
+    pub ttft_fog: NanoDur,
+    /// Cloud TTFT (compute only; WAN latency is the network's problem).
+    pub ttft_cloud: NanoDur,
+    /// Steady decode rate (tokens/s) once streaming.
+    pub tokens_per_sec: f64,
+    /// Interactivity budget for the first token.
+    pub ttft_deadline: NanoDur,
+}
+
+impl LlmApp {
+    /// The profile.
+    pub fn profile(self) -> LlmProfile {
+        match self {
+            LlmApp::FactoryCopilot => LlmProfile {
+                name: "Factory Copilot",
+                prompt_tokens: 600.0,
+                output_tokens: 250.0,
+                bytes_per_token: 5.0,
+                tool_roundtrips: 0.0,
+                ttft_edge: NanoDur::from_millis(900),
+                ttft_fog: NanoDur::from_millis(450),
+                ttft_cloud: NanoDur::from_millis(250),
+                tokens_per_sec: 40.0,
+                ttft_deadline: NanoDur::from_millis(1_500),
+            },
+            LlmApp::CellConfigAgent => LlmProfile {
+                name: "Cell Config Agent",
+                prompt_tokens: 2_500.0,
+                output_tokens: 400.0,
+                bytes_per_token: 5.0,
+                tool_roundtrips: 6.0,
+                ttft_edge: NanoDur::from_millis(1_800),
+                ttft_fog: NanoDur::from_millis(800),
+                ttft_cloud: NanoDur::from_millis(400),
+                tokens_per_sec: 35.0,
+                // Machine-facing: the budget is per whole task, but the
+                // per-turn first token still gates the loop.
+                ttft_deadline: NanoDur::from_millis(2_000),
+            },
+            LlmApp::TinyLm => LlmProfile {
+                name: "Tiny LM",
+                prompt_tokens: 80.0,
+                output_tokens: 15.0,
+                bytes_per_token: 4.0,
+                tool_roundtrips: 0.0,
+                ttft_edge: NanoDur::from_millis(40),
+                ttft_fog: NanoDur::from_millis(25),
+                ttft_cloud: NanoDur::from_millis(15),
+                tokens_per_sec: 200.0,
+                ttft_deadline: NanoDur::from_millis(200),
+            },
+        }
+    }
+
+    /// All applications.
+    pub const ALL: [LlmApp; 3] = [
+        LlmApp::FactoryCopilot,
+        LlmApp::CellConfigAgent,
+        LlmApp::TinyLm,
+    ];
+}
+
+impl LlmProfile {
+    /// TTFT on a tier (compute only).
+    pub fn ttft(&self, tier: ComputeTier) -> NanoDur {
+        match tier {
+            ComputeTier::Edge => self.ttft_edge,
+            ComputeTier::Fog => self.ttft_fog,
+            ComputeTier::Cloud => self.ttft_cloud,
+        }
+    }
+}
+
+/// One network-visible event of an LLM task.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LlmEvent {
+    /// Client → server burst (prompt or tool result), bytes attached.
+    Upstream(u32),
+    /// One streamed token chunk server → client.
+    TokenChunk(u32),
+}
+
+/// A generated task trace: timestamped network events for one request
+/// (including agentic round trips), excluding compute/network delays —
+/// the offered load, for feeding schedulers and simulators.
+#[derive(Clone, Debug)]
+pub struct LlmTaskTrace {
+    /// (offset from task start, event).
+    pub events: Vec<(Nanos, LlmEvent)>,
+    /// Total upstream bytes.
+    pub up_bytes: u64,
+    /// Total downstream bytes.
+    pub down_bytes: u64,
+    /// Task duration (last event offset).
+    pub duration: NanoDur,
+}
+
+/// Generate one task's offered-load trace on `tier`.
+pub fn task_trace(app: LlmApp, tier: ComputeTier, rng: &mut SimRng) -> LlmTaskTrace {
+    let p = app.profile();
+    let turns = 1 + p.tool_roundtrips.round() as u32;
+    let mut events = Vec::new();
+    let mut t = Nanos::ZERO;
+    let mut up = 0u64;
+    let mut down = 0u64;
+    for _ in 0..turns {
+        let prompt = (rng.exponential(p.prompt_tokens).max(8.0) * p.bytes_per_token) as u32;
+        events.push((t, LlmEvent::Upstream(prompt)));
+        up += prompt as u64;
+        t += p.ttft(tier);
+        let out_tokens = rng.exponential(p.output_tokens).max(1.0) as u32;
+        let gap = NanoDur::from_secs_f64(1.0 / p.tokens_per_sec);
+        // Tokens stream in small SSE chunks (~4 tokens per packet).
+        let chunk_tokens = 4u32;
+        let mut sent = 0;
+        while sent < out_tokens {
+            let n = chunk_tokens.min(out_tokens - sent);
+            let bytes = (n as f64 * p.bytes_per_token) as u32;
+            events.push((t, LlmEvent::TokenChunk(bytes)));
+            down += bytes as u64;
+            sent += n;
+            t += gap * chunk_tokens as u64;
+        }
+    }
+    LlmTaskTrace {
+        events,
+        up_bytes: up,
+        down_bytes: down,
+        duration: t - Nanos::ZERO,
+    }
+}
+
+/// Can `tier` meet the app's interactivity budget behind `network_rtt`?
+/// (The placement question §5 raises: cloud compute is fastest but the
+/// WAN eats the budget; edge is slow but close.)
+pub fn placement_feasible(app: LlmApp, tier: ComputeTier, network_rtt: NanoDur) -> bool {
+    let p = app.profile();
+    p.ttft(tier) + network_rtt <= p.ttft_deadline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_sane() {
+        for app in LlmApp::ALL {
+            let p = app.profile();
+            assert!(p.ttft_cloud < p.ttft_fog && p.ttft_fog < p.ttft_edge);
+            assert!(p.tokens_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn trace_shape_bursty_then_streaming() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let t = task_trace(LlmApp::FactoryCopilot, ComputeTier::Fog, &mut rng);
+        assert!(matches!(t.events[0], (_, LlmEvent::Upstream(_))));
+        let chunks = t
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, LlmEvent::TokenChunk(_)))
+            .count();
+        assert!(chunks >= 1);
+        // Downstream dominates a copilot answer? Not necessarily —
+        // but both directions carry data and the duration spans the
+        // streaming, not just the burst.
+        assert!(t.up_bytes > 0 && t.down_bytes > 0);
+        assert!(t.duration > NanoDur::from_millis(450), "TTFT + stream");
+    }
+
+    #[test]
+    fn agent_makes_multiple_round_trips() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let t = task_trace(LlmApp::CellConfigAgent, ComputeTier::Fog, &mut rng);
+        let upstreams = t
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, LlmEvent::Upstream(_)))
+            .count();
+        assert_eq!(upstreams, 7, "1 + 6 tool round trips");
+        assert!(t.duration > NanoDur::from_secs(5), "agentic tasks are long");
+    }
+
+    #[test]
+    fn tiny_lm_fits_at_the_edge_copilot_does_not_fit_behind_wan() {
+        let wan = NanoDur::from_millis(20); // one-way 10 ms, RTT 20 ms
+        let lan = NanoDur::from_micros(200);
+        // TinyLM: must run at the edge and can.
+        assert!(placement_feasible(LlmApp::TinyLm, ComputeTier::Edge, lan));
+        // Copilot: edge compute is within budget; cloud also works
+        // because interactive budgets dwarf WAN RTTs.
+        assert!(placement_feasible(
+            LlmApp::FactoryCopilot,
+            ComputeTier::Cloud,
+            wan
+        ));
+        // TinyLM behind the WAN: the 200 ms budget survives 20 ms RTT
+        // on cloud compute, but a congested 200 ms WAN kills it.
+        assert!(!placement_feasible(
+            LlmApp::TinyLm,
+            ComputeTier::Cloud,
+            NanoDur::from_millis(200)
+        ));
+    }
+
+    #[test]
+    fn deterministic_traces() {
+        let t1 = task_trace(
+            LlmApp::CellConfigAgent,
+            ComputeTier::Cloud,
+            &mut SimRng::seed_from_u64(7),
+        );
+        let t2 = task_trace(
+            LlmApp::CellConfigAgent,
+            ComputeTier::Cloud,
+            &mut SimRng::seed_from_u64(7),
+        );
+        assert_eq!(t1.events, t2.events);
+    }
+
+    #[test]
+    fn streaming_pace_matches_token_rate() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let p = LlmApp::FactoryCopilot.profile();
+        let t = task_trace(LlmApp::FactoryCopilot, ComputeTier::Cloud, &mut rng);
+        let chunk_times: Vec<Nanos> = t
+            .events
+            .iter()
+            .filter_map(|(at, e)| matches!(e, LlmEvent::TokenChunk(_)).then_some(*at))
+            .collect();
+        if chunk_times.len() >= 2 {
+            let gap = chunk_times[1] - chunk_times[0];
+            let expect = NanoDur::from_secs_f64(4.0 / p.tokens_per_sec);
+            assert_eq!(gap, expect);
+        }
+    }
+}

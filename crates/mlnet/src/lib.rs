@@ -1,0 +1,29 @@
+//! # steelworks-mlnet
+//!
+//! The ML-workload substrate behind §5 / Fig. 6: analytic application
+//! profiles for the paper's two industrial inference tasks,
+//! input-degradation→accuracy curves (compression, frame loss, jitter),
+//! the bitrate-for-accuracy inverse that drives traffic-aware network
+//! design, and tiered (edge/fog/cloud) inference servers with queueing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compute;
+pub mod degrade;
+pub mod genai;
+pub mod model;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::compute::InferenceServer;
+    pub use crate::degrade::{
+        accuracy, client_bps, frame_bytes, min_quality_for_accuracy, traffic_for_accuracy,
+        InputDegradation,
+    };
+    pub use crate::genai::{
+        placement_feasible, task_trace, LlmApp, LlmEvent, LlmProfile, LlmTaskTrace,
+    };
+    pub use crate::model::{ComputeTier, MlApp, MlAppProfile};
+}

@@ -1,0 +1,141 @@
+//! Industrial ML application profiles.
+//!
+//! The two applications Fig. 6 evaluates: **object identification**
+//! (robot pick verification — higher resolution, heavier model) and
+//! **defect detection** (casting surface inspection à la the Kaggle
+//! casting dataset the paper cites — smaller inputs, lighter model).
+//! Profiles are analytic stand-ins for the real models: what matters to
+//! the network study is each app's input bitrate as a function of the
+//! quality its accuracy target requires, its inference times per
+//! compute tier, and its service deadline.
+
+use steelworks_netsim::time::NanoDur;
+
+/// The evaluated applications.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum MlApp {
+    /// Robot-cell object identification on 1080p video.
+    ObjectIdentification,
+    /// Casting defect detection on 512×512 grayscale stills.
+    DefectDetection,
+}
+
+/// Where inference runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ComputeTier {
+    /// In-cell server (shared GPU, close).
+    Edge,
+    /// On-prem fog aggregation (bigger GPU, one fabric away).
+    Fog,
+    /// Cloud region (biggest, behind a WAN).
+    Cloud,
+}
+
+/// Static application profile.
+#[derive(Clone, Debug)]
+pub struct MlAppProfile {
+    /// Display name (matches the paper's panel captions).
+    pub name: &'static str,
+    /// Accuracy with pristine input.
+    pub base_accuracy: f64,
+    /// Raw (uncompressed) bytes per frame.
+    pub raw_frame_bytes: u64,
+    /// Frames per second per client.
+    pub fps: f64,
+    /// Mean on-wire packet size (bytes) of the video/image stream.
+    pub mean_packet: u32,
+    /// End-to-end deadline for one inference result.
+    pub deadline: NanoDur,
+    /// Inference service time per tier.
+    pub infer_edge: NanoDur,
+    /// Fog service time.
+    pub infer_fog: NanoDur,
+    /// Cloud service time.
+    pub infer_cloud: NanoDur,
+    /// How steeply accuracy decays with compression (higher = more
+    /// sensitive; calibrated per published robustness studies).
+    pub compression_sensitivity: f64,
+    /// Accuracy lost per 1% of dropped frames.
+    pub loss_sensitivity: f64,
+}
+
+impl MlApp {
+    /// The profile.
+    pub fn profile(self) -> MlAppProfile {
+        match self {
+            // VGA color snapshots at the pick-verification rate; a
+            // TensorRT-class detector.
+            MlApp::ObjectIdentification => MlAppProfile {
+                name: "Object Identification",
+                base_accuracy: 0.95,
+                raw_frame_bytes: 640 * 480 * 3,
+                fps: 12.0,
+                mean_packet: 1400,
+                deadline: NanoDur::from_millis(50),
+                infer_edge: NanoDur::from_micros(2_000),
+                infer_fog: NanoDur::from_micros(1_800),
+                infer_cloud: NanoDur::from_micros(1_200),
+                compression_sensitivity: 2.2,
+                loss_sensitivity: 0.9,
+            },
+            // 1 MP grayscale stills at the part rate; a lighter
+            // classification CNN.
+            MlApp::DefectDetection => MlAppProfile {
+                name: "Defect Detection",
+                base_accuracy: 0.97,
+                raw_frame_bytes: 1024 * 1024,
+                fps: 10.0,
+                mean_packet: 1200,
+                deadline: NanoDur::from_millis(80),
+                infer_edge: NanoDur::from_micros(1_200),
+                infer_fog: NanoDur::from_micros(1_000),
+                infer_cloud: NanoDur::from_micros(800),
+                compression_sensitivity: 3.0,
+                loss_sensitivity: 1.3,
+            },
+        }
+    }
+
+    /// Both applications, in the paper's panel order.
+    pub const ALL: [MlApp; 2] = [MlApp::ObjectIdentification, MlApp::DefectDetection];
+}
+
+impl MlAppProfile {
+    /// Inference service time on a tier.
+    pub fn infer_time(&self, tier: ComputeTier) -> NanoDur {
+        match tier {
+            ComputeTier::Edge => self.infer_edge,
+            ComputeTier::Fog => self.infer_fog,
+            ComputeTier::Cloud => self.infer_cloud,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_plausible() {
+        for app in MlApp::ALL {
+            let p = app.profile();
+            assert!(p.base_accuracy > 0.9 && p.base_accuracy < 1.0);
+            assert!(p.fps > 0.0);
+            assert!(p.raw_frame_bytes > 100_000);
+            assert!(p.infer_cloud < p.infer_fog);
+            assert!(p.infer_fog < p.infer_edge);
+        }
+    }
+
+    #[test]
+    fn app_contrasts() {
+        let oi = MlApp::ObjectIdentification.profile();
+        let dd = MlApp::DefectDetection.profile();
+        // Defect detection ships bigger stills; object identification
+        // runs the heavier model under the tighter deadline.
+        assert!(dd.raw_frame_bytes > oi.raw_frame_bytes);
+        assert!(oi.infer_edge > dd.infer_edge);
+        assert!(oi.deadline < dd.deadline, "motion task is tighter");
+        assert!(oi.fps > dd.fps);
+    }
+}

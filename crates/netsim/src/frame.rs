@@ -1,0 +1,228 @@
+//! Ethernet-style frames.
+//!
+//! Frames are the only unit of data the simulator moves. They model
+//! Ethernet II with an optional 802.1Q VLAN tag — enough structure for
+//! industrial RT traffic (which is VLAN/PCP tagged layer-2) and for the
+//! IT-side flows (which we carry as opaque payloads with an ethertype).
+
+use bytes::Bytes;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Locally-administered unicast address derived from an index —
+    /// convenient for auto-assigning simulated hosts.
+    pub const fn local(idx: u16) -> MacAddr {
+        MacAddr([0x02, 0x00, 0x00, 0x00, (idx >> 8) as u8, idx as u8])
+    }
+
+    /// True for the broadcast address or any group (multicast) address.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Well-known ethertypes used across the workspace.
+pub mod ethertype {
+    /// IPv4 (generic IT traffic).
+    pub const IPV4: u16 = 0x0800;
+    /// 802.1Q VLAN tag.
+    pub const VLAN: u16 = 0x8100;
+    /// PROFINET-class industrial real-time traffic (our `rtnet` frames).
+    pub const INDUSTRIAL_RT: u16 = 0x8892;
+    /// Precision Time Protocol.
+    pub const PTP: u16 = 0x88F7;
+    /// Opaque simulator control/test payloads.
+    pub const SIM_TEST: u16 = 0x88B5;
+}
+
+/// An 802.1Q tag: 3-bit priority code point + 12-bit VLAN id.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct VlanTag {
+    /// Priority code point, 0..=7. Industrial RT traffic uses 6.
+    pub pcp: u8,
+    /// VLAN identifier, 0..=4095.
+    pub vid: u16,
+}
+
+impl VlanTag {
+    /// Tag used by cyclic industrial RT traffic (highest data priority).
+    pub const RT: VlanTag = VlanTag { pcp: 6, vid: 100 };
+}
+
+/// Monotone counter giving every frame a unique identity so taps and
+/// traces can correlate observations of the same frame at different
+/// points in the network.
+static NEXT_FRAME_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Unique identity of a frame instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FrameId(pub u64);
+
+/// An Ethernet frame in flight.
+#[derive(Clone, Debug)]
+pub struct EthFrame {
+    /// Unique identity (preserved across hops, new on clone-and-modify).
+    pub id: FrameId,
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Optional 802.1Q tag.
+    pub vlan: Option<VlanTag>,
+    /// Ethertype of the payload.
+    pub ethertype: u16,
+    /// Payload bytes (cheaply clonable).
+    pub payload: Bytes,
+}
+
+/// Minimum Ethernet payload (frames are padded on the wire below this).
+pub const MIN_PAYLOAD: usize = 46;
+/// Ethernet header: dst(6) + src(6) + ethertype(2).
+pub const ETH_HEADER: usize = 14;
+/// 802.1Q tag length.
+pub const VLAN_TAG_LEN: usize = 4;
+/// Frame check sequence.
+pub const FCS_LEN: usize = 4;
+/// Preamble + SFD + inter-frame gap, charged per frame on the wire.
+pub const WIRE_OVERHEAD: usize = 8 + 12;
+
+impl EthFrame {
+    /// Build a new frame with a fresh [`FrameId`].
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: u16, payload: Bytes) -> Self {
+        EthFrame {
+            id: FrameId(NEXT_FRAME_ID.fetch_add(1, Ordering::Relaxed)),
+            dst,
+            src,
+            vlan: None,
+            ethertype,
+            payload,
+        }
+    }
+
+    /// Attach an 802.1Q tag (builder style).
+    pub fn with_vlan(mut self, tag: VlanTag) -> Self {
+        self.vlan = Some(tag);
+        self
+    }
+
+    /// Frame length on the medium excluding preamble/IFG: header +
+    /// optional tag + padded payload + FCS.
+    pub fn frame_len(&self) -> usize {
+        let tag = if self.vlan.is_some() { VLAN_TAG_LEN } else { 0 };
+        ETH_HEADER + tag + self.payload.len().max(MIN_PAYLOAD) + FCS_LEN
+    }
+
+    /// Total bytes a transmitter is busy for, including preamble, SFD
+    /// and the minimum inter-frame gap.
+    pub fn wire_len(&self) -> usize {
+        self.frame_len() + WIRE_OVERHEAD
+    }
+
+    /// Wire occupancy in bits.
+    pub fn wire_bits(&self) -> u64 {
+        self.wire_len() as u64 * 8
+    }
+
+    /// PCP priority if tagged, else 0 (best effort).
+    pub fn priority(&self) -> u8 {
+        self.vlan.map(|t| t.pcp).unwrap_or(0)
+    }
+
+    /// Clone this frame under a fresh identity (for mirrored copies that
+    /// should be distinguishable from the original in traces).
+    pub fn clone_fresh(&self) -> EthFrame {
+        let mut f = self.clone();
+        f.id = FrameId(NEXT_FRAME_ID.fetch_add(1, Ordering::Relaxed));
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(payload_len: usize) -> EthFrame {
+        EthFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            ethertype::SIM_TEST,
+            Bytes::from(vec![0u8; payload_len]),
+        )
+    }
+
+    #[test]
+    fn frame_ids_unique() {
+        let a = mk(10);
+        let b = mk(10);
+        assert_ne!(a.id, b.id);
+        assert_ne!(a.clone_fresh().id, a.id);
+        // Plain clone preserves identity — it's the same frame.
+        assert_eq!(a.clone().id, a.id);
+    }
+
+    #[test]
+    fn short_payloads_padded() {
+        // 20-byte industrial payload pads to the 46-byte Ethernet minimum.
+        let f = mk(20);
+        assert_eq!(f.frame_len(), ETH_HEADER + MIN_PAYLOAD + FCS_LEN);
+        assert_eq!(f.frame_len(), 64);
+    }
+
+    #[test]
+    fn long_payloads_not_padded() {
+        let f = mk(1000);
+        assert_eq!(f.frame_len(), ETH_HEADER + 1000 + FCS_LEN);
+    }
+
+    #[test]
+    fn vlan_adds_four_bytes() {
+        let f = mk(100);
+        let tagged = mk(100).with_vlan(VlanTag::RT);
+        assert_eq!(tagged.frame_len(), f.frame_len() + VLAN_TAG_LEN);
+        assert_eq!(tagged.priority(), 6);
+        assert_eq!(f.priority(), 0);
+    }
+
+    #[test]
+    fn wire_len_includes_gap() {
+        let f = mk(46);
+        assert_eq!(f.wire_len(), 64 + WIRE_OVERHEAD);
+        assert_eq!(f.wire_bits(), (64 + 20) as u64 * 8);
+    }
+
+    #[test]
+    fn mac_multicast_detection() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::local(5).is_multicast());
+        assert!(MacAddr([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr::local(0x0102).to_string(), "02:00:00:00:01:02");
+    }
+}

@@ -1,0 +1,80 @@
+//! # steelworks-netsim
+//!
+//! A deterministic, event-driven network simulator built for studying
+//! IT/OT convergence. It is the substrate every other crate in the
+//! `steelworks` workspace runs on: industrial cyclic protocols, an
+//! eBPF/XDP timing model, programmable data planes and ML traffic
+//! studies all execute inside this engine.
+//!
+//! Design goals (in the spirit of smoltcp): simplicity, robustness, and
+//! *no surprises* — a simulation is a pure function of its construction
+//! order and seed, reproducible bit-for-bit on every platform. The
+//! engine is single-threaded by construction; simulated time never
+//! depends on wall-clock time.
+//!
+//! ## Model
+//!
+//! - [`sim::Simulator`] owns the clock, event queue, devices, links,
+//!   taps and trace.
+//! - Active elements implement [`node::Device`] and interact with the
+//!   world only through [`node::Ctx`].
+//! - [`link::LinkSpec`] models serialization + propagation; per-direction
+//!   [`fault::FaultSpec`] injects drops/corruption/reordering/rate-limits.
+//! - [`tap::Tap`] is a passive observer with its own finite-precision
+//!   clock — the measurement instrument of the paper's Traffic
+//!   Reflection method.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use steelworks_netsim::prelude::*;
+//!
+//! let mut sim = Simulator::new(42);
+//! let src = sim.add_node(
+//!     PeriodicSource::new("src", MacAddr::local(1), MacAddr::local(2),
+//!                         46, NanoDur::from_millis(1))
+//!         .with_limit(100),
+//! );
+//! let dst = sim.add_node(CounterSink::new("dst"));
+//! sim.connect(src, PortId(0), dst, PortId(0), LinkSpec::gigabit());
+//! sim.run_until(Nanos::from_millis(200));
+//! assert_eq!(sim.node_ref::<CounterSink>(dst).count(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod devices;
+pub mod event;
+pub mod fault;
+pub mod frame;
+pub mod link;
+pub mod node;
+pub mod pcap;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod switch;
+pub mod tap;
+pub mod time;
+pub mod trace;
+
+/// Convenient glob import for simulation construction.
+pub mod prelude {
+    pub use crate::devices::{
+        CounterSink, EchoDevice, PeriodicSource, PoissonSource, SOURCE_STOP_TOKEN,
+    };
+    pub use crate::fault::FaultSpec;
+    pub use crate::frame::{ethertype, EthFrame, MacAddr, VlanTag};
+    pub use crate::link::{LinkId, LinkSpec};
+    pub use crate::node::{Ctx, Device, NodeId, PortId};
+    pub use crate::pcap::{frame_wire_bytes, CaptureSink, PcapWriter};
+    pub use crate::rng::SimRng;
+    pub use crate::sim::Simulator;
+    pub use crate::stats::{BinnedSeries, Histogram, OnlineStats, SampleSet};
+    pub use crate::switch::{LearningSwitch, SwitchConfig};
+    pub use crate::tap::{Tap, TapDir, TapId};
+    pub use crate::time::{NanoDur, Nanos, MS, SEC, US};
+    pub use crate::trace::TraceCounters;
+}

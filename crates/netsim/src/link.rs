@@ -1,0 +1,201 @@
+//! Point-to-point full-duplex links.
+//!
+//! A link connects exactly two node ports. Each direction has its own
+//! transmitter state (serialization occupies the wire), propagation
+//! delay, fault injector, and attached taps. Shared media are modelled
+//! with switches, as in any modern Ethernet deployment.
+
+use crate::fault::{FaultInjector, FaultSpec};
+use crate::node::{NodeId, PortId};
+use crate::rng::SimRng;
+use crate::tap::TapId;
+use crate::time::{NanoDur, Nanos};
+
+/// Handle to a link within a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LinkId(pub usize);
+
+/// Static parameters of a link (symmetric for both directions).
+#[derive(Clone, Debug)]
+pub struct LinkSpec {
+    /// Line rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: NanoDur,
+    /// Fault model applied independently per direction.
+    pub faults: FaultSpec,
+}
+
+impl LinkSpec {
+    /// Gigabit Ethernet over a few metres of copper (5 ns/m ≈ 25 ns).
+    pub fn gigabit() -> Self {
+        LinkSpec {
+            bandwidth_bps: 1_000_000_000,
+            propagation: NanoDur(25),
+            faults: FaultSpec::none(),
+        }
+    }
+
+    /// 10G data-center link (short fiber run).
+    pub fn ten_gigabit() -> Self {
+        LinkSpec {
+            bandwidth_bps: 10_000_000_000,
+            propagation: NanoDur(50),
+            faults: FaultSpec::none(),
+        }
+    }
+
+    /// 100 Mbit/s industrial field-level Ethernet (PROFINET class).
+    pub fn industrial_100m() -> Self {
+        LinkSpec {
+            bandwidth_bps: 100_000_000,
+            propagation: NanoDur(25),
+            faults: FaultSpec::none(),
+        }
+    }
+
+    /// Override the fault model (builder style).
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the propagation delay (builder style).
+    pub fn with_propagation(mut self, propagation: NanoDur) -> Self {
+        self.propagation = propagation;
+        self
+    }
+
+    /// Serialization time for a frame occupying `wire_bits` on this link.
+    pub fn serialization(&self, wire_bits: u64) -> NanoDur {
+        NanoDur::for_bits(wire_bits, self.bandwidth_bps)
+    }
+}
+
+/// One direction of a link.
+#[derive(Debug)]
+pub struct LinkDir {
+    /// Receiving node.
+    pub dst_node: NodeId,
+    /// Receiving port.
+    pub dst_port: PortId,
+    /// Transmitter is occupied until this instant.
+    pub tx_free_at: Nanos,
+    /// Fault injector for this direction.
+    pub faults: FaultInjector,
+    /// Private RNG stream for fault decisions.
+    pub rng: SimRng,
+    /// Frames that completed serialization on this direction.
+    pub frames_sent: u64,
+}
+
+/// A wired link: spec + per-direction state + attached taps.
+#[derive(Debug)]
+pub struct Link {
+    /// Static parameters.
+    pub spec: LinkSpec,
+    /// Endpoint A (node, port).
+    pub a: (NodeId, PortId),
+    /// Endpoint B (node, port).
+    pub b: (NodeId, PortId),
+    /// Direction A→B state.
+    pub a_to_b: LinkDir,
+    /// Direction B→A state.
+    pub b_to_a: LinkDir,
+    /// Taps observing this link.
+    pub taps: Vec<TapId>,
+}
+
+impl Link {
+    /// Wire a link between two endpoints.
+    pub fn new(
+        spec: LinkSpec,
+        a: (NodeId, PortId),
+        b: (NodeId, PortId),
+        rng_a: SimRng,
+        rng_b: SimRng,
+    ) -> Self {
+        let faults = spec.faults.clone();
+        Link {
+            a,
+            b,
+            a_to_b: LinkDir {
+                dst_node: b.0,
+                dst_port: b.1,
+                tx_free_at: Nanos::ZERO,
+                faults: FaultInjector::new(faults.clone()),
+                rng: rng_a,
+                frames_sent: 0,
+            },
+            b_to_a: LinkDir {
+                dst_node: a.0,
+                dst_port: a.1,
+                tx_free_at: Nanos::ZERO,
+                faults: FaultInjector::new(faults),
+                rng: rng_b,
+                frames_sent: 0,
+            },
+            spec,
+            taps: Vec::new(),
+        }
+    }
+
+    /// The direction whose transmitter sits at `(node, port)`, if this
+    /// link terminates there.
+    pub fn dir_from(&mut self, node: NodeId, port: PortId) -> Option<&mut LinkDir> {
+        if self.a == (node, port) {
+            Some(&mut self.a_to_b)
+        } else if self.b == (node, port) {
+            Some(&mut self.b_to_a)
+        } else {
+            None
+        }
+    }
+
+    /// True if the transmission originates at endpoint A.
+    pub fn is_a_side(&self, node: NodeId, port: PortId) -> bool {
+        self.a == (node, port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_gigabit_64b() {
+        // 64-byte frame + 20 bytes preamble/IFG = 672 bits → 672 ns @1G.
+        let spec = LinkSpec::gigabit();
+        assert_eq!(spec.serialization(672), NanoDur(672));
+    }
+
+    #[test]
+    fn industrial_link_is_slower() {
+        let g = LinkSpec::gigabit().serialization(672);
+        let i = LinkSpec::industrial_100m().serialization(672);
+        assert_eq!(i, NanoDur(6720));
+        assert!(i > g);
+    }
+
+    #[test]
+    fn dir_lookup() {
+        let mut link = Link::new(
+            LinkSpec::gigabit(),
+            (NodeId(0), PortId(0)),
+            (NodeId(1), PortId(2)),
+            SimRng::seed_from_u64(1),
+            SimRng::seed_from_u64(2),
+        );
+        assert_eq!(
+            link.dir_from(NodeId(0), PortId(0)).unwrap().dst_node,
+            NodeId(1)
+        );
+        assert_eq!(
+            link.dir_from(NodeId(1), PortId(2)).unwrap().dst_node,
+            NodeId(0)
+        );
+        assert!(link.dir_from(NodeId(2), PortId(0)).is_none());
+        assert!(link.is_a_side(NodeId(0), PortId(0)));
+        assert!(!link.is_a_side(NodeId(1), PortId(2)));
+    }
+}

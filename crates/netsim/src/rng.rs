@@ -1,0 +1,217 @@
+//! Deterministic random numbers and the distribution samplers the
+//! simulator needs.
+//!
+//! Reproducibility is a hard requirement: every figure in the paper
+//! reproduction must regenerate bit-identically from a seed. `rand`'s
+//! `StdRng` is documented as non-portable across releases, so we pin
+//! ChaCha12 explicitly.
+//!
+//! The `rand_distr` crate is not in the allowed dependency set, so the
+//! handful of distributions the timing models need (normal, log-normal,
+//! exponential, Pareto) are implemented here from first principles.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// The simulator's deterministic RNG.
+///
+/// A thin wrapper over ChaCha12 with the distribution samplers used by
+/// the host-noise, link-fault, and workload models. Distinct subsystems
+/// should derive their own stream with [`SimRng::fork`] so that adding
+/// draws in one subsystem does not perturb another.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: ChaCha12Rng,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha12Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream.
+    ///
+    /// The child is seeded from this generator's output mixed with a
+    /// caller-supplied label, so `fork(1)` and `fork(2)` diverge even
+    /// when called back-to-back.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let s = self.inner.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(s)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Standard normal draw via Box–Muller.
+    pub fn std_normal(&mut self) -> f64 {
+        // Avoid ln(0) by drawing u1 from (0, 1].
+        let u1: f64 = 1.0 - self.f64();
+        let u2: f64 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.std_normal()
+    }
+
+    /// Log-normal draw parameterized by the mean/σ of the underlying
+    /// normal. Produces the right-skewed tails typical of OS latency.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.std_normal()).exp()
+    }
+
+    /// Exponential draw with the given mean (`mean = 1/λ`).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = 1.0 - self.f64();
+        -mean * u.ln()
+    }
+
+    /// Pareto draw with scale `x_min` and shape `alpha` — heavy-tailed
+    /// flow sizes and rare latency spikes.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        let u: f64 = 1.0 - self.f64();
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Choose a uniformly random element of a slice. Panics when empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        let n = items.len();
+        for i in (1..n).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_diverge() {
+        let mut root = SimRng::seed_from_u64(1);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let mut r = SimRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.25, "var={var}");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut r = SimRng::seed_from_u64(13);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = SimRng::seed_from_u64(17);
+        for _ in 0..1_000 {
+            assert!(r.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn log_normal_positive() {
+        let mut r = SimRng::seed_from_u64(19);
+        for _ in 0..1_000 {
+            assert!(r.log_normal(0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seed_from_u64(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = SimRng::seed_from_u64(29);
+        for _ in 0..1_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

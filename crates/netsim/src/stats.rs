@@ -1,0 +1,403 @@
+//! Measurement containers: online moments, sample sets with exact
+//! percentiles/CDFs, fixed-bucket histograms, and time-binned series.
+//!
+//! These are the primitives every experiment in the workspace reports
+//! through — Fig. 4 needs CDFs of delay and jitter, Fig. 5 needs
+//! packets-per-50-ms series, Fig. 6 needs latency means.
+
+use crate::time::{NanoDur, Nanos};
+
+/// Numerically stable online mean/variance/min/max (Welford).
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// A retained sample set with exact quantiles and CDF export.
+///
+/// Keeps every sample (the experiments here collect 10⁴–10⁶ points,
+/// comfortably in memory) so the reported percentiles are exact rather
+/// than sketched — worst-case latency/jitter is a headline OT metric
+/// and must not be approximated away.
+#[derive(Clone, Debug, Default)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        SampleSet::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Add a duration observation in nanoseconds.
+    pub fn push_dur(&mut self, d: NanoDur) {
+        self.push(d.as_nanos() as f64);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact quantile by nearest-rank; `q` in `[0, 1]`. `None` if empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.samples.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.samples.len() - 1);
+        Some(self.samples[idx])
+    }
+
+    /// Median shorthand.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest observation.
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.first().copied()
+    }
+
+    /// Largest observation (worst case).
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+
+    /// Empirical CDF downsampled to at most `points` evenly spaced
+    /// probability steps: returns `(value, P(X <= value))` pairs.
+    pub fn cdf(&mut self, points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let steps = points.min(n);
+        let mut out = Vec::with_capacity(steps);
+        for k in 1..=steps {
+            let idx = (k * n).div_ceil(steps) - 1;
+            out.push((self.samples[idx], (idx + 1) as f64 / n as f64));
+        }
+        out
+    }
+
+    /// Borrow the raw samples (unsorted order not guaranteed).
+    pub fn raw(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Fixed-width bucket histogram over `[lo, hi)` with overflow/underflow
+/// counters.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// `buckets` equal-width buckets spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(hi > lo && buckets > 0, "invalid histogram bounds");
+        Histogram {
+            lo,
+            width: (hi - lo) / buckets as f64,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record an observation.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else {
+            let idx = ((x - self.lo) / self.width) as usize;
+            if idx >= self.counts.len() {
+                self.overflow += 1;
+            } else {
+                self.counts[idx] += 1;
+            }
+        }
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations outside the bucketed range.
+    pub fn out_of_range(&self) -> u64 {
+        self.underflow + self.overflow
+    }
+
+    /// Iterate `(bucket_midpoint, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * self.width, c))
+    }
+}
+
+/// Events-per-bin time series — e.g. "packets per 50 ms" in Fig. 5.
+#[derive(Clone, Debug)]
+pub struct BinnedSeries {
+    bin: NanoDur,
+    counts: Vec<u64>,
+}
+
+impl BinnedSeries {
+    /// A series with the given bin width.
+    pub fn new(bin: NanoDur) -> Self {
+        assert!(bin.as_nanos() > 0, "bin width must be positive");
+        BinnedSeries {
+            bin,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Record one event at instant `t`.
+    pub fn record(&mut self, t: Nanos) {
+        let idx = (t.as_nanos() / self.bin.as_nanos()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Extend the series with empty bins up to instant `t` so quiet
+    /// tails appear as zeros instead of a truncated series.
+    pub fn extend_to(&mut self, t: Nanos) {
+        let idx = (t.as_nanos() / self.bin.as_nanos()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+    }
+
+    /// Bin width.
+    pub fn bin(&self) -> NanoDur {
+        self.bin
+    }
+
+    /// `(bin_start_time, count)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (Nanos, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (Nanos(i as u64 * self.bin.as_nanos()), c))
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_match_direct_computation() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+        let var = xs.iter().map(|x| (x - 4.0f64).powi(2)).sum::<f64>() / 5.0;
+        assert!((s.variance() - var).abs() < 1e-9);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(10.0));
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = SampleSet::new();
+        for x in 1..=100 {
+            s.push(x as f64);
+        }
+        assert_eq!(s.quantile(0.5), Some(50.0));
+        assert_eq!(s.quantile(0.99), Some(99.0));
+        assert_eq!(s.quantile(1.0), Some(100.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(100.0));
+    }
+
+    #[test]
+    fn cdf_monotone_and_ends_at_one() {
+        let mut s = SampleSet::new();
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.push(x);
+        }
+        let cdf = s.cdf(10);
+        assert_eq!(cdf.len(), 5);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_downsamples() {
+        let mut s = SampleSet::new();
+        for x in 0..1000 {
+            s.push(x as f64);
+        }
+        let cdf = s.cdf(50);
+        assert_eq!(cdf.len(), 50);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.6, 9.9, -1.0, 10.0, 42.0] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.out_of_range(), 3);
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 2);
+        assert_eq!(counts[9], 1);
+    }
+
+    #[test]
+    fn binned_series_bins_correctly() {
+        let mut s = BinnedSeries::new(NanoDur::from_millis(50));
+        s.record(Nanos::from_millis(10)); // bin 0
+        s.record(Nanos::from_millis(49)); // bin 0
+        s.record(Nanos::from_millis(50)); // bin 1
+        s.record(Nanos::from_millis(149)); // bin 2
+        assert_eq!(s.counts(), &[2, 1, 1]);
+        assert_eq!(s.total(), 4);
+        s.extend_to(Nanos::from_millis(260));
+        assert_eq!(s.counts().len(), 6);
+        assert_eq!(s.total(), 4);
+    }
+}

@@ -1,0 +1,253 @@
+//! Passive network taps.
+//!
+//! A tap observes every frame crossing a link, stamping it with the
+//! tap's own clock. Crucially — this is the measurement argument of the
+//! paper's Traffic Reflection method (§3) — *all* records from one tap
+//! share a single clock, so intervals computed between two observations
+//! at the same tap carry no clock-synchronization error, only the tap's
+//! quantization error (8 ns for the hardware taps used in the paper).
+
+use crate::frame::{EthFrame, FrameId, MacAddr};
+use crate::time::{NanoDur, Nanos};
+
+/// Direction of travel across the tapped link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TapDir {
+    /// From the link's first endpoint (A) towards the second (B).
+    AToB,
+    /// From B towards A.
+    BToA,
+}
+
+/// One observation.
+#[derive(Clone, Debug)]
+pub struct TapRecord {
+    /// Timestamp from the tap's clock, quantized to its precision.
+    pub ts: Nanos,
+    /// Which way the frame was travelling.
+    pub dir: TapDir,
+    /// Identity of the observed frame.
+    pub frame: FrameId,
+    /// Frame length on the medium (bytes, without preamble/IFG).
+    pub len: usize,
+    /// Ethertype (after any VLAN tag).
+    pub ethertype: u16,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Destination MAC.
+    pub dst: MacAddr,
+}
+
+/// Handle to a tap installed on a link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TapId(pub usize);
+
+/// A passive tap with its own finite-resolution clock.
+#[derive(Debug)]
+pub struct Tap {
+    /// Position along the link, 0.0 = at endpoint A, 1.0 = at B.
+    pub position: f64,
+    /// Timestamp quantization step (hardware taps: 8 ns).
+    pub precision: NanoDur,
+    records: Vec<TapRecord>,
+    /// Full-frame capture (off by default: metadata-only is cheaper).
+    capture: Option<Vec<(Nanos, EthFrame)>>,
+}
+
+impl Tap {
+    /// A tap at `position` with the given timestamp precision.
+    pub fn new(position: f64, precision: NanoDur) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&position),
+            "tap position must be within the link"
+        );
+        Tap {
+            position,
+            precision,
+            records: Vec::new(),
+            capture: None,
+        }
+    }
+
+    /// Also retain full frames for pcap export (builder style).
+    pub fn with_payload_capture(mut self) -> Self {
+        self.capture = Some(Vec::new());
+        self
+    }
+
+    /// The 8 ns hardware tap used in the paper's testbed, placed at the
+    /// midpoint of the link.
+    pub fn hardware_default() -> Self {
+        Tap::new(0.5, NanoDur(8))
+    }
+
+    /// Record one frame passing at exact time `t` (quantized on entry).
+    pub fn observe(&mut self, t: Nanos, dir: TapDir, frame: &EthFrame) {
+        if let Some(cap) = &mut self.capture {
+            cap.push((t.quantize(self.precision), frame.clone()));
+        }
+        self.records.push(TapRecord {
+            ts: t.quantize(self.precision),
+            dir,
+            frame: frame.id,
+            len: frame.frame_len(),
+            ethertype: frame.ethertype,
+            src: frame.src,
+            dst: frame.dst,
+        });
+    }
+
+    /// All observations in capture order.
+    pub fn records(&self) -> &[TapRecord] {
+        &self.records
+    }
+
+    /// Observations travelling in one direction only.
+    pub fn records_dir(&self, dir: TapDir) -> impl Iterator<Item = &TapRecord> {
+        self.records.iter().filter(move |r| r.dir == dir)
+    }
+
+    /// Pair each A→B observation of a frame with the B→A observation of
+    /// the *response* frame that follows it, returning round-trip times
+    /// seen at this tap. This is exactly the Traffic Reflection
+    /// computation: the tap sits between sender and reflector, so
+    /// `out - in` is the reflector-side processing + wire time, on a
+    /// single clock.
+    pub fn reflection_rtts(&self) -> Vec<NanoDur> {
+        let mut out = Vec::new();
+        let mut pending: Option<Nanos> = None;
+        for r in &self.records {
+            match r.dir {
+                TapDir::AToB => pending = Some(r.ts),
+                TapDir::BToA => {
+                    if let Some(t_in) = pending.take() {
+                        out.push(r.ts.saturating_since(t_in));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Round-trip times paired by frame identity: for every frame seen
+    /// first A→B and later B→A, the interval between the two sightings.
+    /// Robust under interleaved flows (unlike [`Tap::reflection_rtts`],
+    /// which assumes strict request/response alternation) because a
+    /// reflector preserves the frame's identity.
+    pub fn reflection_rtts_by_id(&self) -> Vec<NanoDur> {
+        let mut first_seen: std::collections::HashMap<crate::frame::FrameId, Nanos> =
+            std::collections::HashMap::new();
+        let mut out = Vec::new();
+        for r in &self.records {
+            match r.dir {
+                TapDir::AToB => {
+                    first_seen.entry(r.frame).or_insert(r.ts);
+                }
+                TapDir::BToA => {
+                    if let Some(t_in) = first_seen.remove(&r.frame) {
+                        out.push(r.ts.saturating_since(t_in));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-source-MAC arrival filter (e.g. one flow's records).
+    pub fn records_from(&self, src: MacAddr) -> impl Iterator<Item = &TapRecord> {
+        self.records.iter().filter(move |r| r.src == src)
+    }
+
+    /// Serialize the payload capture as pcap bytes (requires
+    /// [`Tap::with_payload_capture`]; `None` otherwise).
+    pub fn to_pcap(&self) -> Option<Vec<u8>> {
+        let cap = self.capture.as_ref()?;
+        let mut w = crate::pcap::PcapWriter::new(Vec::new()).expect("vec write");
+        for (ts, frame) in cap {
+            w.write_frame(*ts, frame).expect("vec write");
+        }
+        Some(w.finish().expect("vec flush"))
+    }
+
+    /// Discard all records (e.g. after a warm-up phase).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        if let Some(cap) = &mut self.capture {
+            cap.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::ethertype;
+    use bytes::Bytes;
+
+    fn frame() -> EthFrame {
+        EthFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            ethertype::SIM_TEST,
+            Bytes::from_static(&[1, 2, 3]),
+        )
+    }
+
+    #[test]
+    fn timestamps_quantized() {
+        let mut tap = Tap::new(0.5, NanoDur(8));
+        tap.observe(Nanos(1007), TapDir::AToB, &frame());
+        assert_eq!(tap.records()[0].ts, Nanos(1000));
+    }
+
+    #[test]
+    fn reflection_rtt_pairs_in_out() {
+        let mut tap = Tap::new(0.5, NanoDur(1));
+        let f1 = frame();
+        let f2 = frame();
+        tap.observe(Nanos(100), TapDir::AToB, &f1);
+        tap.observe(Nanos(150), TapDir::BToA, &f1);
+        tap.observe(Nanos(300), TapDir::AToB, &f2);
+        tap.observe(Nanos(380), TapDir::BToA, &f2);
+        assert_eq!(tap.reflection_rtts(), vec![NanoDur(50), NanoDur(80)]);
+    }
+
+    #[test]
+    fn unmatched_responses_ignored() {
+        let mut tap = Tap::new(0.5, NanoDur(1));
+        let f = frame();
+        tap.observe(Nanos(50), TapDir::BToA, &f); // stray response
+        tap.observe(Nanos(100), TapDir::AToB, &f);
+        tap.observe(Nanos(160), TapDir::BToA, &f);
+        assert_eq!(tap.reflection_rtts(), vec![NanoDur(60)]);
+    }
+
+    #[test]
+    fn direction_filter() {
+        let mut tap = Tap::new(0.5, NanoDur(1));
+        tap.observe(Nanos(1), TapDir::AToB, &frame());
+        tap.observe(Nanos(2), TapDir::BToA, &frame());
+        tap.observe(Nanos(3), TapDir::AToB, &frame());
+        assert_eq!(tap.records_dir(TapDir::AToB).count(), 2);
+        assert_eq!(tap.records_dir(TapDir::BToA).count(), 1);
+    }
+
+    #[test]
+    fn payload_capture_to_pcap() {
+        let mut tap = Tap::new(0.5, NanoDur(8)).with_payload_capture();
+        tap.observe(Nanos(100), TapDir::AToB, &frame());
+        tap.observe(Nanos(200), TapDir::BToA, &frame());
+        let pcap = tap.to_pcap().expect("capture enabled");
+        // Global header (24) + 2 records of (16 + 60) bytes.
+        assert_eq!(pcap.len(), 24 + 2 * (16 + 60));
+        // Without capture, no pcap.
+        let plain = Tap::new(0.5, NanoDur(8));
+        assert!(plain.to_pcap().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "within the link")]
+    fn position_validated() {
+        Tap::new(1.5, NanoDur(8));
+    }
+}

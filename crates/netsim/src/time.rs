@@ -1,0 +1,336 @@
+//! Simulated time.
+//!
+//! The whole simulator runs on a single virtual clock with nanosecond
+//! resolution. [`Nanos`] is an absolute instant, [`NanoDur`] a duration.
+//! Both are thin wrappers over `u64`, so a simulation can span ~584 years
+//! before wrapping — far beyond any experiment in this workspace.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An absolute instant on the simulated clock, in nanoseconds since t=0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NanoDur(pub u64);
+
+/// One microsecond.
+pub const US: NanoDur = NanoDur(1_000);
+/// One millisecond.
+pub const MS: NanoDur = NanoDur(1_000_000);
+/// One second.
+pub const SEC: NanoDur = NanoDur(1_000_000_000);
+
+impl Nanos {
+    /// The epoch of the simulation, t = 0.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in microseconds, with fractional part.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in milliseconds, with fractional part.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Value in seconds, with fractional part.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Duration since an earlier instant; saturates at zero if `earlier`
+    /// is actually later (clock-skew-tolerant).
+    pub fn saturating_since(self, earlier: Nanos) -> NanoDur {
+        NanoDur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Quantize down to a multiple of `step`, modelling a timestamping
+    /// device with finite resolution (e.g. an 8 ns hardware tap clock).
+    pub fn quantize(self, step: NanoDur) -> Nanos {
+        if step.0 <= 1 {
+            return self;
+        }
+        Nanos(self.0 - self.0 % step.0)
+    }
+}
+
+impl NanoDur {
+    /// The zero-length duration.
+    pub const ZERO: NanoDur = NanoDur(0);
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        NanoDur(ns)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        NanoDur(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        NanoDur(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        NanoDur(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest ns.
+    pub fn from_secs_f64(s: f64) -> Self {
+        NanoDur((s * 1e9).round().max(0.0) as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in microseconds, with fractional part.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in milliseconds, with fractional part.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Value in seconds, with fractional part.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Serialization time of `bits` at `bits_per_sec` line rate.
+    pub fn for_bits(bits: u64, bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "line rate must be positive");
+        // Round up: a partial nanosecond still occupies the wire.
+        NanoDur((bits * 1_000_000_000).div_ceil(bits_per_sec))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: NanoDur) -> NanoDur {
+        NanoDur(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by a non-negative float, rounding to the nearest ns.
+    pub fn mul_f64(self, k: f64) -> NanoDur {
+        assert!(k >= 0.0, "duration scale must be non-negative");
+        NanoDur((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<NanoDur> for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: NanoDur) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<NanoDur> for Nanos {
+    fn add_assign(&mut self, rhs: NanoDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<NanoDur> for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: NanoDur) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Nanos> for Nanos {
+    type Output = NanoDur;
+    fn sub(self, rhs: Nanos) -> NanoDur {
+        NanoDur(self.0 - rhs.0)
+    }
+}
+
+impl Add for NanoDur {
+    type Output = NanoDur;
+    fn add(self, rhs: NanoDur) -> NanoDur {
+        NanoDur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for NanoDur {
+    fn add_assign(&mut self, rhs: NanoDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for NanoDur {
+    type Output = NanoDur;
+    fn sub(self, rhs: NanoDur) -> NanoDur {
+        NanoDur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for NanoDur {
+    fn sub_assign(&mut self, rhs: NanoDur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for NanoDur {
+    type Output = NanoDur;
+    fn mul(self, rhs: u64) -> NanoDur {
+        NanoDur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for NanoDur {
+    type Output = NanoDur;
+    fn div(self, rhs: u64) -> NanoDur {
+        NanoDur(self.0 / rhs)
+    }
+}
+
+impl Rem<NanoDur> for Nanos {
+    type Output = NanoDur;
+    fn rem(self, rhs: NanoDur) -> NanoDur {
+        NanoDur(self.0 % rhs.0)
+    }
+}
+
+impl Rem for NanoDur {
+    type Output = NanoDur;
+    fn rem(self, rhs: NanoDur) -> NanoDur {
+        NanoDur(self.0 % rhs.0)
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Debug for NanoDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for NanoDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_secs(1), Nanos::from_millis(1000));
+        assert_eq!(Nanos::from_millis(1), Nanos::from_micros(1000));
+        assert_eq!(Nanos::from_micros(1), Nanos::from_nanos(1000));
+        assert_eq!(NanoDur::from_secs(2), NanoDur(2_000_000_000));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Nanos::from_micros(5);
+        let d = NanoDur::from_micros(3);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn quantize_floors_to_step() {
+        let t = Nanos(1007);
+        assert_eq!(t.quantize(NanoDur(8)), Nanos(1000));
+        assert_eq!(Nanos(1000).quantize(NanoDur(8)), Nanos(1000));
+        assert_eq!(t.quantize(NanoDur(1)), t);
+        assert_eq!(t.quantize(NanoDur(0)), t);
+    }
+
+    #[test]
+    fn serialization_time_rounds_up() {
+        // 64 bytes at 1 Gbps = 512 ns exactly.
+        assert_eq!(NanoDur::for_bits(512, 1_000_000_000), NanoDur(512));
+        // 1 bit at 1 Gbps = 1 ns exactly; at 3 Gbps it must round up to 1 ns.
+        assert_eq!(NanoDur::for_bits(1, 3_000_000_000), NanoDur(1));
+    }
+
+    #[test]
+    fn saturating_since_handles_skew() {
+        let a = Nanos(100);
+        let b = Nanos(200);
+        assert_eq!(b.saturating_since(a), NanoDur(100));
+        assert_eq!(a.saturating_since(b), NanoDur(0));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((Nanos::from_millis(2).as_millis_f64() - 2.0).abs() < 1e-12);
+        assert!((NanoDur::from_micros(7).as_micros_f64() - 7.0).abs() < 1e-12);
+        assert_eq!(NanoDur::from_secs_f64(0.5), NanoDur(500_000_000));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", NanoDur(42)), "42ns");
+        assert_eq!(format!("{}", NanoDur(1_500)), "1.500us");
+        assert_eq!(format!("{}", NanoDur(2_000_000)), "2.000ms");
+        assert_eq!(format!("{}", NanoDur(3_000_000_000)), "3.000s");
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(NanoDur(100).mul_f64(1.5), NanoDur(150));
+        assert_eq!(NanoDur(3).mul_f64(0.5), NanoDur(2)); // 1.5 rounds to 2
+    }
+}

@@ -1,0 +1,189 @@
+//! Simulation-wide trace: counters always, per-frame event log on demand.
+//!
+//! Counters are cheap and always collected. The detailed event log (one
+//! entry per frame movement, pcap-spirited) is opt-in because long runs
+//! generate millions of frames.
+
+use crate::frame::FrameId;
+use crate::link::LinkId;
+use crate::node::{NodeId, PortId};
+use crate::time::Nanos;
+
+/// Why a frame disappeared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random loss injected by the fault model.
+    Fault,
+    /// Token-bucket rate limiter.
+    RateLimit,
+    /// Over the configured size limit.
+    SizeLimit,
+    /// Sent out of an unwired port.
+    UnwiredPort,
+}
+
+/// One entry in the detailed event log.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// A frame began serialization onto a link.
+    Sent {
+        /// When serialization started.
+        at: Nanos,
+        /// Transmitting node.
+        node: NodeId,
+        /// Egress port.
+        port: PortId,
+        /// Link carrying the frame.
+        link: LinkId,
+        /// Frame identity.
+        frame: FrameId,
+        /// Wire length in bytes.
+        wire_len: usize,
+    },
+    /// A frame fully arrived at a node.
+    Delivered {
+        /// Arrival completion time.
+        at: Nanos,
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port.
+        port: PortId,
+        /// Frame identity.
+        frame: FrameId,
+    },
+    /// A frame was lost.
+    Dropped {
+        /// When the drop happened.
+        at: Nanos,
+        /// Link (if it reached one).
+        link: Option<LinkId>,
+        /// Frame identity.
+        frame: FrameId,
+        /// Why.
+        reason: DropReason,
+    },
+    /// A frame was corrupted in flight (still delivered).
+    Corrupted {
+        /// When.
+        at: Nanos,
+        /// Link.
+        link: LinkId,
+        /// Frame identity.
+        frame: FrameId,
+    },
+}
+
+/// Aggregate counters, always on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Frames that began serialization.
+    pub sent: u64,
+    /// Frames delivered to a device.
+    pub delivered: u64,
+    /// Frames dropped for any reason.
+    pub dropped: u64,
+    /// Frames corrupted but delivered.
+    pub corrupted: u64,
+    /// Frames duplicated by fault injection.
+    pub duplicated: u64,
+    /// Device timer callbacks fired.
+    pub timers_fired: u64,
+}
+
+/// Collector owned by the simulator.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    counters: TraceCounters,
+    events: Vec<TraceEvent>,
+    record_events: bool,
+}
+
+impl TraceSink {
+    /// Counters only.
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// Enable/disable the detailed per-frame log.
+    pub fn set_record_events(&mut self, on: bool) {
+        self.record_events = on;
+    }
+
+    /// Aggregate counters.
+    pub fn counters(&self) -> TraceCounters {
+        self.counters
+    }
+
+    /// The detailed log (empty unless recording was enabled).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    pub(crate) fn on_sent(&mut self, ev: TraceEvent) {
+        self.counters.sent += 1;
+        self.push(ev);
+    }
+
+    pub(crate) fn on_delivered(&mut self, ev: TraceEvent) {
+        self.counters.delivered += 1;
+        self.push(ev);
+    }
+
+    pub(crate) fn on_dropped(&mut self, ev: TraceEvent) {
+        self.counters.dropped += 1;
+        self.push(ev);
+    }
+
+    pub(crate) fn on_corrupted(&mut self, ev: TraceEvent) {
+        self.counters.corrupted += 1;
+        self.push(ev);
+    }
+
+    pub(crate) fn on_duplicated(&mut self) {
+        self.counters.duplicated += 1;
+    }
+
+    pub(crate) fn on_timer_fired(&mut self) {
+        self.counters.timers_fired += 1;
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.record_events {
+            self.events.push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_without_event_log() {
+        let mut sink = TraceSink::new();
+        sink.on_sent(TraceEvent::Sent {
+            at: Nanos(0),
+            node: NodeId(0),
+            port: PortId(0),
+            link: LinkId(0),
+            frame: FrameId(1),
+            wire_len: 84,
+        });
+        assert_eq!(sink.counters().sent, 1);
+        assert!(sink.events().is_empty(), "log off by default");
+    }
+
+    #[test]
+    fn event_log_when_enabled() {
+        let mut sink = TraceSink::new();
+        sink.set_record_events(true);
+        sink.on_dropped(TraceEvent::Dropped {
+            at: Nanos(5),
+            link: None,
+            frame: FrameId(9),
+            reason: DropReason::UnwiredPort,
+        });
+        assert_eq!(sink.counters().dropped, 1);
+        assert_eq!(sink.events().len(), 1);
+    }
+}

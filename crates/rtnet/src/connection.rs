@@ -1,0 +1,535 @@
+//! Communication-relationship (CR) state machines.
+//!
+//! A CR is PROFINET's application relationship: the controller proposes
+//! parameters (cycle time, watchdog factor, data lengths), the device
+//! accepts, and both sides then exchange cyclic data forever. These
+//! state machines are pure protocol logic — the `vplc` crate wraps them
+//! in simulator devices and drives them from timers.
+
+use crate::frame::{AlarmKind, CrParams, DataStatus, FrameId, RtPayload};
+use crate::watchdog::{Watchdog, WatchdogState};
+use bytes::Bytes;
+use steelworks_netsim::time::{NanoDur, Nanos};
+
+/// Events a CR surfaces to its owner.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CrEvent {
+    /// Connection established.
+    Connected,
+    /// The peer rejected the connect request.
+    Rejected,
+    /// Cyclic data arrived.
+    Data {
+        /// Provider cycle counter.
+        cycle: u16,
+        /// Provider status flags.
+        status: DataStatus,
+        /// Process data.
+        data: Bytes,
+    },
+    /// Our consumer watchdog expired — peer went silent.
+    WatchdogExpired,
+    /// Peer raised an alarm.
+    Alarm(AlarmKind),
+    /// Peer released the CR.
+    Released,
+}
+
+/// Controller-side CR states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ControllerState {
+    /// Nothing sent yet.
+    Idle,
+    /// Connect request sent, awaiting response.
+    Connecting,
+    /// Cyclic exchange running.
+    Running,
+    /// Terminated.
+    Released,
+}
+
+/// Controller (provider of outputs, consumer of inputs) side of a CR.
+#[derive(Clone, Debug)]
+pub struct ControllerCr {
+    /// CR identity on the wire.
+    pub frame_id: FrameId,
+    /// Negotiated parameters.
+    pub params: CrParams,
+    state: ControllerState,
+    cycle: u16,
+    watchdog: Watchdog,
+    connect_sent_at: Option<Nanos>,
+    /// Retransmit the connect request after this long without response.
+    pub connect_timeout: NanoDur,
+}
+
+impl ControllerCr {
+    /// New controller CR (idle).
+    pub fn new(frame_id: FrameId, params: CrParams) -> Self {
+        ControllerCr {
+            frame_id,
+            params,
+            state: ControllerState::Idle,
+            cycle: 0,
+            watchdog: Watchdog::new(params.cycle_time, params.watchdog_factor),
+            connect_sent_at: None,
+            connect_timeout: NanoDur::from_millis(100),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ControllerState {
+        self.state
+    }
+
+    /// Begin establishment: returns the connect request to transmit.
+    pub fn start(&mut self, now: Nanos) -> RtPayload {
+        self.state = ControllerState::Connecting;
+        self.connect_sent_at = Some(now);
+        RtPayload::ConnectReq {
+            frame_id: self.frame_id,
+            params: self.params,
+        }
+    }
+
+    /// Handle an incoming payload for this CR.
+    pub fn on_payload(&mut self, now: Nanos, payload: &RtPayload) -> Vec<CrEvent> {
+        if payload.frame_id() != self.frame_id {
+            return Vec::new();
+        }
+        match (self.state, payload) {
+            (ControllerState::Connecting, RtPayload::ConnectResp { accepted: true, .. }) => {
+                self.state = ControllerState::Running;
+                self.watchdog.feed(now);
+                vec![CrEvent::Connected]
+            }
+            (
+                ControllerState::Connecting,
+                RtPayload::ConnectResp {
+                    accepted: false, ..
+                },
+            ) => {
+                self.state = ControllerState::Released;
+                vec![CrEvent::Rejected]
+            }
+            (
+                ControllerState::Running,
+                RtPayload::CyclicData {
+                    cycle,
+                    status,
+                    data,
+                    ..
+                },
+            ) => {
+                self.watchdog.feed(now);
+                vec![CrEvent::Data {
+                    cycle: *cycle,
+                    status: *status,
+                    data: data.clone(),
+                }]
+            }
+            (_, RtPayload::Alarm { kind, .. }) => vec![CrEvent::Alarm(*kind)],
+            (_, RtPayload::Release { .. }) => {
+                self.state = ControllerState::Released;
+                vec![CrEvent::Released]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Periodic tick, called once per cycle by the owner. Returns the
+    /// payload(s) to transmit plus any surfaced events.
+    pub fn tick(
+        &mut self,
+        now: Nanos,
+        output_data: &[u8],
+        status: DataStatus,
+    ) -> (Vec<RtPayload>, Vec<CrEvent>) {
+        match self.state {
+            ControllerState::Connecting => {
+                let resend = self
+                    .connect_sent_at
+                    .map(|t| now.saturating_since(t) >= self.connect_timeout)
+                    .unwrap_or(true);
+                if resend {
+                    self.connect_sent_at = Some(now);
+                    (
+                        vec![RtPayload::ConnectReq {
+                            frame_id: self.frame_id,
+                            params: self.params,
+                        }],
+                        Vec::new(),
+                    )
+                } else {
+                    (Vec::new(), Vec::new())
+                }
+            }
+            ControllerState::Running => {
+                let mut events = Vec::new();
+                if self.watchdog.check(now) {
+                    events.push(CrEvent::WatchdogExpired);
+                }
+                self.cycle = self.cycle.wrapping_add(1);
+                let data = if output_data.len() == self.params.output_len as usize {
+                    Bytes::from(output_data.to_vec())
+                } else {
+                    // Pad/trim to the parameterized length — the wire
+                    // format is fixed-size per CR.
+                    let mut v = output_data.to_vec();
+                    v.resize(self.params.output_len as usize, 0);
+                    Bytes::from(v)
+                };
+                (
+                    vec![RtPayload::CyclicData {
+                        frame_id: self.frame_id,
+                        cycle: self.cycle,
+                        status,
+                        data,
+                    }],
+                    events,
+                )
+            }
+            _ => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Orderly shutdown; returns the release message.
+    pub fn release(&mut self) -> RtPayload {
+        self.state = ControllerState::Released;
+        RtPayload::Release {
+            frame_id: self.frame_id,
+        }
+    }
+
+    /// Consumer watchdog state.
+    pub fn watchdog_state(&self) -> WatchdogState {
+        self.watchdog.state()
+    }
+}
+
+/// Device-side CR states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeviceState {
+    /// Waiting for a controller.
+    Listening,
+    /// Cyclic exchange running.
+    Running,
+    /// Watchdog expired — outputs forced to the safe state.
+    SafeState,
+    /// Terminated.
+    Released,
+}
+
+/// Device (I/O) side of a CR.
+#[derive(Clone, Debug)]
+pub struct DeviceCr {
+    /// CR identity (filled at connect).
+    pub frame_id: Option<FrameId>,
+    /// Accepted parameters.
+    pub params: Option<CrParams>,
+    state: DeviceState,
+    cycle: u16,
+    watchdog: Option<Watchdog>,
+    /// Accept only this many connections (a physical device has one
+    /// controller; rejecting the second connect is what forces the
+    /// secondary vPLC onto InstaPLC's digital twin).
+    accept_connects: bool,
+}
+
+impl DeviceCr {
+    /// New listening device endpoint.
+    pub fn new() -> Self {
+        DeviceCr {
+            frame_id: None,
+            params: None,
+            state: DeviceState::Listening,
+            cycle: 0,
+            watchdog: None,
+            accept_connects: true,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    /// Negotiated cycle time (once running).
+    pub fn cycle_time(&self) -> Option<NanoDur> {
+        self.params.map(|p| p.cycle_time)
+    }
+
+    /// Handle an incoming payload; returns (reply, events).
+    pub fn on_payload(
+        &mut self,
+        now: Nanos,
+        payload: &RtPayload,
+    ) -> (Option<RtPayload>, Vec<CrEvent>) {
+        match payload {
+            RtPayload::ConnectReq { frame_id, params } => {
+                if self.state == DeviceState::Listening && self.accept_connects {
+                    self.frame_id = Some(*frame_id);
+                    self.params = Some(*params);
+                    self.state = DeviceState::Running;
+                    let mut wd = Watchdog::new(params.cycle_time, params.watchdog_factor);
+                    wd.feed(now);
+                    self.watchdog = Some(wd);
+                    (
+                        Some(RtPayload::ConnectResp {
+                            frame_id: *frame_id,
+                            accepted: true,
+                        }),
+                        vec![CrEvent::Connected],
+                    )
+                } else if self.frame_id == Some(*frame_id) {
+                    // Duplicate connect from our controller: re-ack.
+                    (
+                        Some(RtPayload::ConnectResp {
+                            frame_id: *frame_id,
+                            accepted: true,
+                        }),
+                        Vec::new(),
+                    )
+                } else {
+                    // Second controller: reject.
+                    (
+                        Some(RtPayload::ConnectResp {
+                            frame_id: *frame_id,
+                            accepted: false,
+                        }),
+                        Vec::new(),
+                    )
+                }
+            }
+            RtPayload::CyclicData {
+                frame_id,
+                cycle,
+                status,
+                data,
+            } if Some(*frame_id) == self.frame_id => {
+                if let Some(wd) = &mut self.watchdog {
+                    wd.feed(now);
+                }
+                if self.state == DeviceState::SafeState {
+                    // Controller is back: resume.
+                    self.state = DeviceState::Running;
+                }
+                (
+                    None,
+                    vec![CrEvent::Data {
+                        cycle: *cycle,
+                        status: *status,
+                        data: data.clone(),
+                    }],
+                )
+            }
+            RtPayload::Release { frame_id } if Some(*frame_id) == self.frame_id => {
+                self.state = DeviceState::Released;
+                (None, vec![CrEvent::Released])
+            }
+            _ => (None, Vec::new()),
+        }
+    }
+
+    /// Periodic tick: checks the watchdog and produces the device's
+    /// cyclic input-data frame.
+    pub fn tick(&mut self, now: Nanos, input_data: &[u8]) -> (Vec<RtPayload>, Vec<CrEvent>) {
+        let mut events = Vec::new();
+        let mut out = Vec::new();
+        if self.state == DeviceState::Running {
+            if let Some(wd) = &mut self.watchdog {
+                if wd.check(now) {
+                    self.state = DeviceState::SafeState;
+                    events.push(CrEvent::WatchdogExpired);
+                    if let Some(fid) = self.frame_id {
+                        out.push(RtPayload::Alarm {
+                            frame_id: fid,
+                            kind: AlarmKind::WatchdogExpired,
+                        });
+                    }
+                }
+            }
+        }
+        if self.state == DeviceState::Running {
+            if let (Some(fid), Some(params)) = (self.frame_id, self.params) {
+                self.cycle = self.cycle.wrapping_add(1);
+                let mut v = input_data.to_vec();
+                v.resize(params.input_len as usize, 0);
+                out.push(RtPayload::CyclicData {
+                    frame_id: fid,
+                    cycle: self.cycle,
+                    status: DataStatus::running_primary(),
+                    data: Bytes::from(v),
+                });
+            }
+        }
+        (out, events)
+    }
+}
+
+impl Default for DeviceCr {
+    fn default() -> Self {
+        DeviceCr::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CrParams {
+        CrParams {
+            cycle_time: NanoDur::from_millis(2),
+            watchdog_factor: 3,
+            output_len: 8,
+            input_len: 8,
+        }
+    }
+
+    #[test]
+    fn connect_handshake() {
+        let mut ctrl = ControllerCr::new(FrameId(0x8001), params());
+        let mut dev = DeviceCr::new();
+        let t0 = Nanos::ZERO;
+        let req = ctrl.start(t0);
+        let (resp, dev_ev) = dev.on_payload(t0, &req);
+        assert_eq!(dev_ev, vec![CrEvent::Connected]);
+        assert_eq!(dev.state(), DeviceState::Running);
+        let ev = ctrl.on_payload(t0, &resp.unwrap());
+        assert_eq!(ev, vec![CrEvent::Connected]);
+        assert_eq!(ctrl.state(), ControllerState::Running);
+    }
+
+    #[test]
+    fn second_controller_rejected() {
+        let mut dev = DeviceCr::new();
+        let mut c1 = ControllerCr::new(FrameId(1), params());
+        let mut c2 = ControllerCr::new(FrameId(2), params());
+        let t0 = Nanos::ZERO;
+        let (r1, _) = dev.on_payload(t0, &c1.start(t0));
+        c1.on_payload(t0, &r1.unwrap());
+        let (r2, ev2) = dev.on_payload(t0, &c2.start(t0));
+        assert!(ev2.is_empty());
+        let ev = c2.on_payload(t0, &r2.unwrap());
+        assert_eq!(ev, vec![CrEvent::Rejected]);
+        assert_eq!(c2.state(), ControllerState::Released);
+    }
+
+    #[test]
+    fn cyclic_exchange_feeds_watchdogs() {
+        let mut ctrl = ControllerCr::new(FrameId(1), params());
+        let mut dev = DeviceCr::new();
+        let mut now = Nanos::ZERO;
+        let (resp, _) = dev.on_payload(now, &ctrl.start(now));
+        ctrl.on_payload(now, &resp.unwrap());
+        for _ in 0..20 {
+            now += NanoDur::from_millis(2);
+            let (ctrl_out, ctrl_ev) = ctrl.tick(now, &[1; 8], DataStatus::running_primary());
+            assert!(ctrl_ev.is_empty(), "no controller watchdog events");
+            for p in &ctrl_out {
+                dev.on_payload(now, p);
+            }
+            let (dev_out, dev_ev) = dev.tick(now, &[2; 8]);
+            assert!(dev_ev.is_empty(), "no device watchdog events");
+            for p in &dev_out {
+                let evs = ctrl.on_payload(now, p);
+                assert!(matches!(evs[0], CrEvent::Data { .. }));
+            }
+        }
+        assert_eq!(dev.state(), DeviceState::Running);
+        assert_eq!(ctrl.watchdog_state(), WatchdogState::Ok);
+    }
+
+    #[test]
+    fn silent_controller_trips_device_watchdog() {
+        let mut ctrl = ControllerCr::new(FrameId(1), params());
+        let mut dev = DeviceCr::new();
+        let mut now = Nanos::ZERO;
+        let (resp, _) = dev.on_payload(now, &ctrl.start(now));
+        ctrl.on_payload(now, &resp.unwrap());
+        // Controller goes silent; device ticks on.
+        let mut expired_at = None;
+        for i in 0..10 {
+            now += NanoDur::from_millis(2);
+            let (out, ev) = dev.tick(now, &[0; 8]);
+            if ev.contains(&CrEvent::WatchdogExpired) {
+                expired_at = Some(i);
+                // An alarm frame is emitted on expiry.
+                assert!(out.iter().any(|p| matches!(
+                    p,
+                    RtPayload::Alarm {
+                        kind: AlarmKind::WatchdogExpired,
+                        ..
+                    }
+                )));
+                break;
+            }
+        }
+        // watchdog_factor = 3 → expiry strictly after 6 ms ⇒ tick 3 (t=8ms).
+        assert_eq!(expired_at, Some(3));
+        assert_eq!(dev.state(), DeviceState::SafeState);
+    }
+
+    #[test]
+    fn device_recovers_when_data_returns() {
+        let mut ctrl = ControllerCr::new(FrameId(1), params());
+        let mut dev = DeviceCr::new();
+        let mut now = Nanos::ZERO;
+        let (resp, _) = dev.on_payload(now, &ctrl.start(now));
+        ctrl.on_payload(now, &resp.unwrap());
+        for _ in 0..5 {
+            now += NanoDur::from_millis(2);
+            dev.tick(now, &[0; 8]);
+        }
+        assert_eq!(dev.state(), DeviceState::SafeState);
+        // Controller resumes.
+        now += NanoDur::from_millis(2);
+        let (out, _) = ctrl.tick(now, &[1; 8], DataStatus::running_primary());
+        dev.on_payload(now, &out[0]);
+        assert_eq!(dev.state(), DeviceState::Running);
+    }
+
+    #[test]
+    fn controller_retransmits_connect() {
+        let mut ctrl = ControllerCr::new(FrameId(1), params());
+        let mut now = Nanos::ZERO;
+        ctrl.start(now);
+        now += NanoDur::from_millis(150);
+        let (out, _) = ctrl.tick(now, &[], DataStatus::running_primary());
+        assert!(
+            matches!(out.as_slice(), [RtPayload::ConnectReq { .. }]),
+            "expected retransmit, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn release_tears_down_both_sides() {
+        let mut ctrl = ControllerCr::new(FrameId(1), params());
+        let mut dev = DeviceCr::new();
+        let t0 = Nanos::ZERO;
+        let (resp, _) = dev.on_payload(t0, &ctrl.start(t0));
+        ctrl.on_payload(t0, &resp.unwrap());
+        let rel = ctrl.release();
+        let (_, ev) = dev.on_payload(t0, &rel);
+        assert_eq!(ev, vec![CrEvent::Released]);
+        assert_eq!(dev.state(), DeviceState::Released);
+    }
+
+    #[test]
+    fn output_data_padded_to_parameterized_len() {
+        let mut ctrl = ControllerCr::new(FrameId(1), params());
+        let mut dev = DeviceCr::new();
+        let t0 = Nanos::ZERO;
+        let (resp, _) = dev.on_payload(t0, &ctrl.start(t0));
+        ctrl.on_payload(t0, &resp.unwrap());
+        let (out, _) = ctrl.tick(
+            Nanos::from_millis(2),
+            &[1, 2, 3],
+            DataStatus::running_primary(),
+        );
+        match &out[0] {
+            RtPayload::CyclicData { data, .. } => assert_eq!(data.len(), 8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # steelworks-rtnet
+//!
+//! The industrial real-time protocol substrate: a PROFINET-inspired
+//! cyclic layer-2 protocol (communication relationships, cyclic data
+//! with counters and status, watchdog expiration, alarms), TSN
+//! mechanisms (802.1Qbv gate control lists, a time-aware-shaper switch,
+//! offline schedule synthesis), and a PTP synchronization-error model.
+//!
+//! Together these provide the OT-side behaviour the paper's three case
+//! studies depend on: cyclic deterministic microflows (§2.3), watchdog
+//! semantics that turn jitter bursts into production stops (§2.1), the
+//! connect/parameterize observables InstaPLC's digital twin consumes
+//! (§4), and the clock-synchronization error that motivates tap-based
+//! measurement (§3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod connection;
+pub mod frame;
+pub mod ptp;
+pub mod safety;
+pub mod tsn;
+pub mod watchdog;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::connection::{ControllerCr, ControllerState, CrEvent, DeviceCr, DeviceState};
+    pub use crate::frame::{AlarmKind, CrParams, DataStatus, FrameId, ParseError, RtPayload};
+    pub use crate::ptp::{measurement_errors, PtpClient, PtpConfig};
+    pub use crate::safety::{crc32, SafetyConsumer, SafetyFault, SafetyPdu, SafetyProducer};
+    pub use crate::tsn::gcl::{GateControlList, GclEntry};
+    pub use crate::tsn::schedule::{
+        schedule, validate, EgressId, FlowSpec, Schedule, ScheduleError,
+    };
+    pub use crate::tsn::tas::TsnSwitch;
+    pub use crate::watchdog::{JitterBurstTracker, Watchdog, WatchdogState};
+}

@@ -1,0 +1,172 @@
+//! A Precision Time Protocol (IEEE 1588) synchronization-error model.
+//!
+//! PTP can synchronize clocks to well under a microsecond, but §3 of
+//! the paper notes its accuracy is undermined by *asymmetric* path
+//! delays and network inconsistencies — which is why Traffic Reflection
+//! measures with a single tap clock instead. This model produces the
+//! residual offset of a PTP-disciplined clock so experiments can
+//! compare tap-based and two-clock measurements quantitatively.
+
+use steelworks_netsim::rng::SimRng;
+use steelworks_netsim::time::{NanoDur, Nanos};
+
+/// Parameters of a PTP session between a grandmaster and a client.
+#[derive(Clone, Debug)]
+pub struct PtpConfig {
+    /// Interval between sync exchanges.
+    pub sync_interval: NanoDur,
+    /// Constant path asymmetry (forward − reverse)/2: PTP cannot
+    /// observe this and absorbs it fully as offset error.
+    pub path_asymmetry: NanoDur,
+    /// Standard deviation of per-exchange timestamp noise (PHY
+    /// timestamping + queueing variation), ns.
+    pub timestamp_noise_ns: f64,
+    /// Client oscillator drift, ppm (corrected at each sync, drifts
+    /// between syncs).
+    pub drift_ppm: f64,
+    /// Servo smoothing factor in (0, 1]: 1 = jump to each measurement.
+    pub servo_gain: f64,
+}
+
+impl Default for PtpConfig {
+    fn default() -> Self {
+        PtpConfig {
+            sync_interval: NanoDur::from_millis(125), // 8 syncs/s, common profile
+            path_asymmetry: NanoDur(120),
+            timestamp_noise_ns: 25.0,
+            drift_ppm: 2.0,
+            servo_gain: 0.3,
+        }
+    }
+}
+
+/// A simulated PTP client clock: tracks the estimated offset over time.
+#[derive(Clone, Debug)]
+pub struct PtpClient {
+    cfg: PtpConfig,
+    /// Current offset estimate error (true offset − estimate), ns.
+    offset_error_ns: f64,
+    last_sync: Nanos,
+    syncs: u64,
+}
+
+impl PtpClient {
+    /// A client that has just completed its first sync.
+    pub fn new(cfg: PtpConfig) -> Self {
+        let initial = cfg.path_asymmetry.as_nanos() as f64;
+        PtpClient {
+            cfg,
+            offset_error_ns: initial,
+            last_sync: Nanos::ZERO,
+            syncs: 0,
+        }
+    }
+
+    /// Advance to time `now`, performing any due sync exchanges, and
+    /// return the clock's current offset error in ns (signed).
+    pub fn offset_error_at(&mut self, now: Nanos, rng: &mut SimRng) -> f64 {
+        // Run all syncs due between last_sync and now.
+        while self.last_sync + self.cfg.sync_interval <= now {
+            self.last_sync += self.cfg.sync_interval;
+            self.syncs += 1;
+            // The measured offset always contains the asymmetry bias
+            // plus fresh timestamp noise; the servo converges toward it.
+            let measured_error = self.cfg.path_asymmetry.as_nanos() as f64
+                + rng.normal(0.0, self.cfg.timestamp_noise_ns);
+            self.offset_error_ns += self.cfg.servo_gain * (measured_error - self.offset_error_ns);
+        }
+        // Between syncs the oscillator drifts away.
+        let since = now.saturating_since(self.last_sync).as_nanos() as f64;
+        self.offset_error_ns + since * self.cfg.drift_ppm / 1e6
+    }
+
+    /// Number of completed sync exchanges.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+}
+
+/// Compare one-clock (tap) and two-clock (PTP) measurement error for an
+/// interval measurement: returns (tap_error_ns, ptp_error_ns) for a
+/// single measured interval at time `now`.
+///
+/// The tap's only error is quantization; the PTP measurement inherits
+/// the *difference* of two clocks' offset errors.
+pub fn measurement_errors(
+    tap_precision: NanoDur,
+    client_a: &mut PtpClient,
+    client_b: &mut PtpClient,
+    now: Nanos,
+    rng: &mut SimRng,
+) -> (f64, f64) {
+    let tap_err = tap_precision.as_nanos() as f64 / 2.0; // expected |quantization|
+    let ea = client_a.offset_error_at(now, rng);
+    let eb = client_b.offset_error_at(now, rng);
+    (tap_err, (ea - eb).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asymmetry_is_never_corrected() {
+        let mut c = PtpClient::new(PtpConfig {
+            timestamp_noise_ns: 0.0,
+            drift_ppm: 0.0,
+            ..PtpConfig::default()
+        });
+        let mut rng = SimRng::seed_from_u64(1);
+        let err = c.offset_error_at(Nanos::from_secs(10), &mut rng);
+        // With zero noise the servo converges exactly to the asymmetry.
+        assert!((err - 120.0).abs() < 1.0, "err={err}");
+        assert!(c.syncs() >= 79);
+    }
+
+    #[test]
+    fn drift_grows_between_syncs() {
+        let cfg = PtpConfig {
+            sync_interval: NanoDur::from_secs(1),
+            timestamp_noise_ns: 0.0,
+            drift_ppm: 10.0,
+            ..PtpConfig::default()
+        };
+        let mut c = PtpClient::new(cfg);
+        let mut rng = SimRng::seed_from_u64(2);
+        let just_synced = c.offset_error_at(Nanos::from_secs(1), &mut rng);
+        let half_later =
+            c.offset_error_at(Nanos::from_secs(1) + NanoDur::from_millis(500), &mut rng);
+        // 10 ppm over 0.5 s = 5 µs extra error.
+        assert!((half_later - just_synced - 5_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn tap_beats_two_clock_ptp() {
+        let mut a = PtpClient::new(PtpConfig::default());
+        let mut b = PtpClient::new(PtpConfig {
+            // The two paths differ in asymmetry — the realistic case.
+            path_asymmetry: NanoDur(320),
+            ..PtpConfig::default()
+        });
+        let mut rng = SimRng::seed_from_u64(3);
+        let (tap_err, ptp_err) =
+            measurement_errors(NanoDur(8), &mut a, &mut b, Nanos::from_secs(5), &mut rng);
+        assert!(tap_err < 8.0);
+        assert!(
+            ptp_err > 10.0 * tap_err,
+            "ptp {ptp_err} should dwarf tap {tap_err}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut c = PtpClient::new(PtpConfig::default());
+            let mut rng = SimRng::seed_from_u64(9);
+            (0..10)
+                .map(|i| c.offset_error_at(Nanos::from_millis(200 * i), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,301 @@
+//! A PROFIsafe-style functional-safety layer.
+//!
+//! §1.1: "often, separate dedicated safety networks and special safety
+//! protocols, such as PROFIsafe, are used". The black-channel principle
+//! — the safety layer assumes *nothing* about the network below it —
+//! is what makes safety traffic viable over converged IT/OT fabrics,
+//! so the reproduction carries it: safety PDUs ride inside ordinary
+//! cyclic process data and detect corruption, loss, repetition and
+//! stall entirely end-to-end.
+//!
+//! The layer implements the classic mechanisms:
+//! - a CRC-32 over payload + sequence (corruption, insertion),
+//! - a monotone sign-of-life counter (loss, repetition, reordering),
+//! - a watchdog on counter progress (stall),
+//! - fail-safe substitution: on any violation the consumer presents
+//!   safe values (all zeros) until a fresh, valid PDU arrives.
+
+use crate::watchdog::{Watchdog, WatchdogState};
+use steelworks_netsim::time::{NanoDur, Nanos};
+
+/// CRC-32 (IEEE 802.3 polynomial, bitwise; table-free for clarity).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A safety PDU: sign-of-life + payload + CRC, serialized into the
+/// cyclic frame's data area.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SafetyPdu {
+    /// Monotone sign-of-life counter (wraps at 2^16).
+    pub sign_of_life: u16,
+    /// Safety process values.
+    pub payload: Vec<u8>,
+}
+
+impl SafetyPdu {
+    /// Serialize: `[sol u16 BE][payload][crc32 BE]`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 6);
+        out.extend_from_slice(&self.sign_of_life.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_be_bytes());
+        out
+    }
+
+    /// Parse and CRC-check.
+    pub fn parse(bytes: &[u8]) -> Option<SafetyPdu> {
+        if bytes.len() < 6 {
+            return None;
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let expect = u32::from_be_bytes(crc_bytes.try_into().ok()?);
+        if crc32(body) != expect {
+            return None;
+        }
+        Some(SafetyPdu {
+            sign_of_life: u16::from_be_bytes([body[0], body[1]]),
+            payload: body[2..].to_vec(),
+        })
+    }
+}
+
+/// Producer side: stamps outgoing safety data.
+#[derive(Clone, Debug, Default)]
+pub struct SafetyProducer {
+    sol: u16,
+}
+
+impl SafetyProducer {
+    /// New producer starting at sign-of-life 1.
+    pub fn new() -> Self {
+        SafetyProducer { sol: 0 }
+    }
+
+    /// Wrap one payload into a serialized safety PDU.
+    pub fn emit(&mut self, payload: &[u8]) -> Vec<u8> {
+        self.sol = self.sol.wrapping_add(1);
+        SafetyPdu {
+            sign_of_life: self.sol,
+            payload: payload.to_vec(),
+        }
+        .to_bytes()
+    }
+}
+
+/// Why the consumer went fail-safe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SafetyFault {
+    /// CRC mismatch (corruption or truncation).
+    Crc,
+    /// Sign-of-life did not advance (repetition / rollback).
+    SignOfLife,
+    /// No valid PDU within the safety watchdog time.
+    WatchdogExpired,
+}
+
+/// Consumer side: validates PDUs and substitutes safe values on fault.
+#[derive(Clone, Debug)]
+pub struct SafetyConsumer {
+    expected_len: usize,
+    last_sol: Option<u16>,
+    watchdog: Watchdog,
+    failsafe: bool,
+    /// Fault log: (when, what).
+    pub faults: Vec<(Nanos, SafetyFault)>,
+}
+
+impl SafetyConsumer {
+    /// A consumer for `expected_len`-byte safety payloads with the
+    /// given safety watchdog time.
+    pub fn new(expected_len: usize, watchdog_time: NanoDur) -> Self {
+        SafetyConsumer {
+            expected_len,
+            last_sol: None,
+            // Factor folded into watchdog_time by the caller.
+            watchdog: Watchdog::new(watchdog_time, 1),
+            failsafe: true, // fail-safe until the first valid PDU
+            faults: Vec::new(),
+        }
+    }
+
+    /// Is the consumer presenting substituted safe values?
+    pub fn is_failsafe(&self) -> bool {
+        self.failsafe
+    }
+
+    /// Process a received (possibly damaged) safety PDU at time `now`;
+    /// returns the safety payload to present to the application — the
+    /// real values when valid, zeros when fail-safe.
+    pub fn accept(&mut self, now: Nanos, bytes: &[u8]) -> Vec<u8> {
+        match SafetyPdu::parse(bytes) {
+            None => {
+                self.trip(now, SafetyFault::Crc);
+            }
+            Some(pdu) => {
+                let advanced = match self.last_sol {
+                    None => true,
+                    // Accept any forward step (tolerates lost PDUs —
+                    // loss is caught by the watchdog, not the counter).
+                    Some(last) => {
+                        pdu.sign_of_life != last && pdu.sign_of_life.wrapping_sub(last) < 0x8000
+                    }
+                };
+                if !advanced {
+                    self.trip(now, SafetyFault::SignOfLife);
+                } else {
+                    self.last_sol = Some(pdu.sign_of_life);
+                    self.watchdog.feed(now);
+                    self.failsafe = false;
+                    let mut v = pdu.payload;
+                    v.resize(self.expected_len, 0);
+                    return v;
+                }
+            }
+        }
+        vec![0; self.expected_len]
+    }
+
+    /// Periodic check; trips fail-safe when no valid PDU arrived in
+    /// time. Returns the (possibly substituted) payload validity.
+    pub fn check(&mut self, now: Nanos) -> bool {
+        if self.watchdog.check(now) {
+            self.trip(now, SafetyFault::WatchdogExpired);
+        }
+        !self.failsafe
+    }
+
+    fn trip(&mut self, now: Nanos, fault: SafetyFault) {
+        self.faults.push((now, fault));
+        self.failsafe = true;
+    }
+
+    /// Watchdog state (exposed for diagnostics).
+    pub fn watchdog_state(&self) -> WatchdogState {
+        self.watchdog.state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn pdu_roundtrip() {
+        let pdu = SafetyPdu {
+            sign_of_life: 0xABCD,
+            payload: vec![1, 2, 3, 4],
+        };
+        assert_eq!(SafetyPdu::parse(&pdu.to_bytes()), Some(pdu));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut p = SafetyProducer::new();
+        let mut bytes = p.emit(&[9, 9]);
+        bytes[2] ^= 0x01;
+        assert_eq!(SafetyPdu::parse(&bytes), None);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut p = SafetyProducer::new();
+        let bytes = p.emit(&[9, 9, 9, 9]);
+        assert_eq!(SafetyPdu::parse(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(SafetyPdu::parse(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn happy_path_end_to_end() {
+        let mut prod = SafetyProducer::new();
+        let mut cons = SafetyConsumer::new(2, NanoDur::from_millis(10));
+        let mut now = Nanos::ZERO;
+        assert!(cons.is_failsafe(), "fail-safe before first PDU");
+        for i in 0..50u8 {
+            now += NanoDur::from_millis(2);
+            let out = cons.accept(now, &prod.emit(&[i, i]));
+            assert_eq!(out, vec![i, i]);
+            assert!(cons.check(now));
+        }
+        assert!(cons.faults.is_empty());
+    }
+
+    #[test]
+    fn corrupted_pdu_substitutes_safe_values() {
+        let mut prod = SafetyProducer::new();
+        let mut cons = SafetyConsumer::new(2, NanoDur::from_millis(10));
+        let t = Nanos::from_millis(1);
+        cons.accept(t, &prod.emit(&[7, 7]));
+        let mut bad = prod.emit(&[8, 8]);
+        bad[3] ^= 0xFF;
+        let out = cons.accept(Nanos::from_millis(2), &bad);
+        assert_eq!(out, vec![0, 0], "substituted");
+        assert!(cons.is_failsafe());
+        assert_eq!(cons.faults[0].1, SafetyFault::Crc);
+        // A fresh valid PDU recovers.
+        let out = cons.accept(Nanos::from_millis(3), &prod.emit(&[9, 9]));
+        assert_eq!(out, vec![9, 9]);
+        assert!(!cons.is_failsafe());
+    }
+
+    #[test]
+    fn replay_detected() {
+        let mut prod = SafetyProducer::new();
+        let mut cons = SafetyConsumer::new(1, NanoDur::from_millis(10));
+        let pdu = prod.emit(&[5]);
+        cons.accept(Nanos::from_millis(1), &pdu);
+        let out = cons.accept(Nanos::from_millis(2), &pdu); // replayed
+        assert_eq!(out, vec![0]);
+        assert_eq!(cons.faults[0].1, SafetyFault::SignOfLife);
+    }
+
+    #[test]
+    fn lost_pdus_tolerated_by_counter_caught_by_watchdog() {
+        let mut prod = SafetyProducer::new();
+        let mut cons = SafetyConsumer::new(1, NanoDur::from_millis(10));
+        cons.accept(Nanos::from_millis(1), &prod.emit(&[1]));
+        // Two PDUs lost in transit:
+        let _ = prod.emit(&[2]);
+        let _ = prod.emit(&[3]);
+        // The next one is still accepted (counter moved forward).
+        let out = cons.accept(Nanos::from_millis(7), &prod.emit(&[4]));
+        assert_eq!(out, vec![4]);
+        // But a long silence trips the safety watchdog.
+        assert!(!cons.check(Nanos::from_millis(30)));
+        assert!(cons.is_failsafe());
+        assert_eq!(cons.faults[0].1, SafetyFault::WatchdogExpired);
+    }
+
+    #[test]
+    fn sol_wraparound_accepted() {
+        let mut cons = SafetyConsumer::new(1, NanoDur::from_millis(10));
+        let near_wrap = SafetyPdu {
+            sign_of_life: 0xFFFF,
+            payload: vec![1],
+        };
+        let wrapped = SafetyPdu {
+            sign_of_life: 0x0001,
+            payload: vec![2],
+        };
+        cons.accept(Nanos::from_millis(1), &near_wrap.to_bytes());
+        let out = cons.accept(Nanos::from_millis(2), &wrapped.to_bytes());
+        assert_eq!(out, vec![2], "wraparound is forward progress");
+        assert!(cons.faults.is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Gate control lists (IEEE 802.1Qbv).
+//!
+//! A GCL divides a repeating cycle into windows; each window opens a
+//! subset of the eight traffic-class gates. Scheduled (RT) traffic gets
+//! exclusive windows, best-effort traffic the rest — the mechanism TSN
+//! uses to give cyclic industrial flows their deterministic slots.
+
+use steelworks_netsim::time::{NanoDur, Nanos};
+
+/// One GCL entry: keep `gates` open for `duration`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GclEntry {
+    /// Bitmask of open traffic classes (bit 7 = PCP 7).
+    pub gates: u8,
+    /// Window length.
+    pub duration: NanoDur,
+}
+
+/// A repeating gate control list.
+#[derive(Clone, Debug)]
+pub struct GateControlList {
+    entries: Vec<GclEntry>,
+    cycle: NanoDur,
+    base_time: Nanos,
+}
+
+impl GateControlList {
+    /// Build a GCL; the cycle time is the sum of entry durations.
+    pub fn new(base_time: Nanos, entries: Vec<GclEntry>) -> Self {
+        assert!(!entries.is_empty(), "GCL needs at least one entry");
+        let cycle = entries
+            .iter()
+            .fold(NanoDur::ZERO, |acc, e| acc + e.duration);
+        assert!(cycle.as_nanos() > 0, "GCL cycle must be positive");
+        GateControlList {
+            entries,
+            cycle,
+            base_time,
+        }
+    }
+
+    /// An always-open list (TAS disabled).
+    pub fn always_open() -> Self {
+        GateControlList::new(
+            Nanos::ZERO,
+            vec![GclEntry {
+                gates: 0xFF,
+                duration: NanoDur::from_millis(1),
+            }],
+        )
+    }
+
+    /// The classic industrial split: an exclusive window for PCP ≥ 6 at
+    /// the start of each cycle, the remainder open for everything else.
+    pub fn rt_window(base_time: Nanos, cycle: NanoDur, rt_window: NanoDur) -> Self {
+        assert!(rt_window < cycle, "RT window must fit in the cycle");
+        GateControlList::new(
+            base_time,
+            vec![
+                GclEntry {
+                    gates: 0b1100_0000,
+                    duration: rt_window,
+                },
+                GclEntry {
+                    gates: 0b0011_1111,
+                    duration: cycle - rt_window,
+                },
+            ],
+        )
+    }
+
+    /// Cycle length.
+    pub fn cycle(&self) -> NanoDur {
+        self.cycle
+    }
+
+    /// Gate mask active at instant `t`.
+    pub fn gates_at(&self, t: Nanos) -> u8 {
+        let mut into = (t.saturating_since(self.base_time)) % self.cycle;
+        // `%` on NanoDur: position within the cycle.
+        for e in &self.entries {
+            if into < e.duration {
+                return e.gates;
+            }
+            into -= e.duration;
+        }
+        self.entries.last().expect("non-empty").gates
+    }
+
+    /// Is traffic class `tc`'s gate open at `t`?
+    pub fn is_open(&self, t: Nanos, tc: u8) -> bool {
+        self.gates_at(t) & (1 << tc) != 0
+    }
+
+    /// The next instant ≥ `t` at which `tc`'s gate is open, together
+    /// with how long it then stays open (within that entry).
+    pub fn next_open(&self, t: Nanos, tc: u8) -> (Nanos, NanoDur) {
+        let mask = 1u8 << tc;
+        // Scan at most two cycles (a gate that never opens would loop;
+        // guard with an assert).
+        assert!(
+            self.entries.iter().any(|e| e.gates & mask != 0),
+            "traffic class {tc} never opens in this GCL"
+        );
+        let since_base = t.saturating_since(self.base_time);
+        let cycles_done = since_base.as_nanos() / self.cycle.as_nanos();
+        let mut window_start = self.base_time + self.cycle * cycles_done;
+        loop {
+            for e in &self.entries {
+                let window_end = window_start + e.duration;
+                if e.gates & mask != 0 && window_end > t {
+                    let open_from = window_start.max(t);
+                    return (open_from, window_end - open_from);
+                }
+                window_start = window_end;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_window() -> GateControlList {
+        // 0–100 µs: RT only; 100–1000 µs: best effort.
+        GateControlList::rt_window(
+            Nanos::ZERO,
+            NanoDur::from_micros(1000),
+            NanoDur::from_micros(100),
+        )
+    }
+
+    #[test]
+    fn gates_by_phase() {
+        let gcl = two_window();
+        assert!(gcl.is_open(Nanos::from_micros(50), 6));
+        assert!(!gcl.is_open(Nanos::from_micros(50), 0));
+        assert!(!gcl.is_open(Nanos::from_micros(500), 6));
+        assert!(gcl.is_open(Nanos::from_micros(500), 0));
+    }
+
+    #[test]
+    fn wraps_across_cycles() {
+        let gcl = two_window();
+        // Same phase, 5 cycles later.
+        assert!(gcl.is_open(Nanos::from_micros(5_050), 6));
+        assert!(!gcl.is_open(Nanos::from_micros(5_500), 6));
+    }
+
+    #[test]
+    fn next_open_within_current_window() {
+        let gcl = two_window();
+        let (at, remaining) = gcl.next_open(Nanos::from_micros(30), 6);
+        assert_eq!(at, Nanos::from_micros(30));
+        assert_eq!(remaining, NanoDur::from_micros(70));
+    }
+
+    #[test]
+    fn next_open_waits_for_next_cycle() {
+        let gcl = two_window();
+        let (at, remaining) = gcl.next_open(Nanos::from_micros(200), 6);
+        assert_eq!(at, Nanos::from_micros(1000));
+        assert_eq!(remaining, NanoDur::from_micros(100));
+    }
+
+    #[test]
+    fn best_effort_next_open() {
+        let gcl = two_window();
+        let (at, _) = gcl.next_open(Nanos::from_micros(20), 0);
+        assert_eq!(at, Nanos::from_micros(100));
+    }
+
+    #[test]
+    fn base_time_shifts_phase() {
+        let gcl = GateControlList::rt_window(
+            Nanos::from_micros(250),
+            NanoDur::from_micros(1000),
+            NanoDur::from_micros(100),
+        );
+        assert!(gcl.is_open(Nanos::from_micros(300), 6));
+        assert!(!gcl.is_open(Nanos::from_micros(400), 6));
+    }
+
+    #[test]
+    fn always_open_is_always_open() {
+        let gcl = GateControlList::always_open();
+        for tc in 0..8 {
+            assert!(gcl.is_open(Nanos::from_micros(123), tc));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never opens")]
+    fn never_open_class_panics() {
+        let gcl = GateControlList::new(
+            Nanos::ZERO,
+            vec![GclEntry {
+                gates: 0b0000_0001,
+                duration: NanoDur::from_micros(10),
+            }],
+        );
+        gcl.next_open(Nanos::ZERO, 7);
+    }
+}

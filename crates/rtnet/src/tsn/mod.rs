@@ -1,0 +1,6 @@
+//! Time-Sensitive Networking: gate control lists, a time-aware shaper
+//! switch, and offline schedule synthesis.
+
+pub mod gcl;
+pub mod schedule;
+pub mod tas;

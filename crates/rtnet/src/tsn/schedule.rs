@@ -1,0 +1,282 @@
+//! TSN schedule synthesis.
+//!
+//! Given a set of periodic RT flows and the egress ports they traverse,
+//! compute per-flow release offsets such that no two scheduled frames
+//! contend for the same port at the same time within the hyperperiod —
+//! the "arbitrary scheduling algorithms computing pre-computed
+//! transmission schedules for pre-defined flows" the paper describes as
+//! TSN's new configuration freedom (§1.1). The algorithm is greedy
+//! first-fit over the hyperperiod timeline; it is intentionally simple
+//! and returns a structured infeasibility error rather than guessing.
+
+use steelworks_netsim::time::NanoDur;
+
+/// Identifier of an egress port in the scheduling problem (switch-id,
+/// port-id pairs flattened by the caller).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EgressId(pub u32);
+
+/// One periodic flow to schedule.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Flow name for reports.
+    pub name: String,
+    /// Transmission period.
+    pub period: NanoDur,
+    /// Time the frame occupies each egress port (serialization).
+    pub tx_time: NanoDur,
+    /// Egress ports along the path, in order, with the accumulated
+    /// offset (propagation + switch latency) from the flow's release to
+    /// reaching that port.
+    pub path: Vec<(EgressId, NanoDur)>,
+}
+
+/// Result: per-flow release offset within its period.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Offsets, parallel to the input flow slice.
+    pub offsets: Vec<NanoDur>,
+    /// The hyperperiod the schedule repeats over.
+    pub hyperperiod: NanoDur,
+}
+
+/// Why scheduling failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// No flows given.
+    Empty,
+    /// A flow has a zero period or zero tx time.
+    DegenerateFlow(usize),
+    /// No feasible offset exists for this flow given earlier placements.
+    Infeasible {
+        /// Index of the flow that could not be placed.
+        flow: usize,
+    },
+    /// Hyperperiod overflow (periods too co-prime / too long).
+    HyperperiodTooLong(u64),
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> Option<u64> {
+    (a / gcd(a, b)).checked_mul(b)
+}
+
+/// Maximum hyperperiod we are willing to enumerate (1 s).
+const MAX_HYPERPERIOD_NS: u64 = 1_000_000_000;
+
+/// Greedy first-fit scheduler.
+///
+/// Flows are placed in the given order (callers sort by priority /
+/// period). For each candidate offset (stepped at `granularity`), every
+/// occurrence of the flow within the hyperperiod is checked against
+/// already-reserved intervals on every port it crosses.
+pub fn schedule(flows: &[FlowSpec], granularity: NanoDur) -> Result<Schedule, ScheduleError> {
+    if flows.is_empty() {
+        return Err(ScheduleError::Empty);
+    }
+    let mut hyper: u64 = 1;
+    for (i, f) in flows.iter().enumerate() {
+        if f.period.as_nanos() == 0 || f.tx_time.as_nanos() == 0 {
+            return Err(ScheduleError::DegenerateFlow(i));
+        }
+        hyper = lcm(hyper, f.period.as_nanos())
+            .filter(|&h| h <= MAX_HYPERPERIOD_NS)
+            .ok_or(ScheduleError::HyperperiodTooLong(hyper))?;
+    }
+
+    // Reserved intervals per egress port: (start, end) within hyperperiod.
+    let mut reserved: std::collections::HashMap<EgressId, Vec<(u64, u64)>> =
+        std::collections::HashMap::new();
+    let mut offsets = Vec::with_capacity(flows.len());
+    let step = granularity.as_nanos().max(1);
+
+    for (fi, f) in flows.iter().enumerate() {
+        let period = f.period.as_nanos();
+        let reps = hyper / period;
+        let mut placed = None;
+        let mut offset = 0u64;
+        'search: while offset + f.tx_time.as_nanos() <= period {
+            let mut ok = true;
+            'check: for rep in 0..reps {
+                let release = rep * period + offset;
+                for (port, hop_off) in &f.path {
+                    let start = (release + hop_off.as_nanos()) % hyper;
+                    let end = start + f.tx_time.as_nanos();
+                    if let Some(iv) = reserved.get(port) {
+                        for &(s, e) in iv {
+                            if start < e && s < end {
+                                ok = false;
+                                break 'check;
+                            }
+                        }
+                    }
+                }
+            }
+            if ok {
+                placed = Some(offset);
+                break 'search;
+            }
+            offset += step;
+        }
+        let Some(offset) = placed else {
+            return Err(ScheduleError::Infeasible { flow: fi });
+        };
+        for rep in 0..reps {
+            let release = rep * period + offset;
+            for (port, hop_off) in &f.path {
+                let start = (release + hop_off.as_nanos()) % hyper;
+                reserved
+                    .entry(*port)
+                    .or_default()
+                    .push((start, start + f.tx_time.as_nanos()));
+            }
+        }
+        offsets.push(NanoDur(offset));
+    }
+
+    Ok(Schedule {
+        offsets,
+        hyperperiod: NanoDur(hyper),
+    })
+}
+
+/// Verify a schedule: recompute all port occupations and assert no
+/// overlap. Used by tests and as a post-condition in release builds of
+/// commissioning tools.
+pub fn validate(flows: &[FlowSpec], sched: &Schedule) -> bool {
+    let hyper = sched.hyperperiod.as_nanos();
+    let mut by_port: std::collections::HashMap<EgressId, Vec<(u64, u64)>> =
+        std::collections::HashMap::new();
+    for (f, off) in flows.iter().zip(&sched.offsets) {
+        let reps = hyper / f.period.as_nanos();
+        for rep in 0..reps {
+            let release = rep * f.period.as_nanos() + off.as_nanos();
+            for (port, hop_off) in &f.path {
+                let start = (release + hop_off.as_nanos()) % hyper;
+                by_port
+                    .entry(*port)
+                    .or_default()
+                    .push((start, start + f.tx_time.as_nanos()));
+            }
+        }
+    }
+    for intervals in by_port.values_mut() {
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            if w[1].0 < w[0].1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(name: &str, period_us: u64, tx_us: u64, ports: &[u32]) -> FlowSpec {
+        FlowSpec {
+            name: name.into(),
+            period: NanoDur::from_micros(period_us),
+            tx_time: NanoDur::from_micros(tx_us),
+            path: ports
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (EgressId(p), NanoDur::from_micros(5 * i as u64)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn single_flow_at_zero() {
+        let flows = vec![flow("a", 1000, 10, &[0])];
+        let s = schedule(&flows, NanoDur::from_micros(1)).unwrap();
+        assert_eq!(s.offsets, vec![NanoDur::ZERO]);
+        assert!(validate(&flows, &s));
+    }
+
+    #[test]
+    fn two_flows_same_port_disjoint() {
+        let flows = vec![flow("a", 1000, 100, &[0]), flow("b", 1000, 100, &[0])];
+        let s = schedule(&flows, NanoDur::from_micros(10)).unwrap();
+        assert_ne!(s.offsets[0], s.offsets[1]);
+        assert!(validate(&flows, &s));
+    }
+
+    #[test]
+    fn different_ports_can_overlap() {
+        let flows = vec![flow("a", 1000, 100, &[0]), flow("b", 1000, 100, &[1])];
+        let s = schedule(&flows, NanoDur::from_micros(10)).unwrap();
+        // Both fit at offset 0 on disjoint ports.
+        assert_eq!(s.offsets, vec![NanoDur::ZERO, NanoDur::ZERO]);
+        assert!(validate(&flows, &s));
+    }
+
+    #[test]
+    fn harmonic_periods_hyperperiod() {
+        let flows = vec![flow("a", 500, 10, &[0]), flow("b", 1000, 10, &[0])];
+        let s = schedule(&flows, NanoDur::from_micros(5)).unwrap();
+        assert_eq!(s.hyperperiod, NanoDur::from_micros(1000));
+        assert!(validate(&flows, &s));
+    }
+
+    #[test]
+    fn saturated_port_infeasible() {
+        // Ten flows of 150 µs tx each on one port with a 1 ms period:
+        // 1.5 ms demand into 1 ms — cannot fit.
+        let flows: Vec<FlowSpec> = (0..10)
+            .map(|i| flow(&format!("f{i}"), 1000, 150, &[0]))
+            .collect();
+        match schedule(&flows, NanoDur::from_micros(10)) {
+            Err(ScheduleError::Infeasible { flow }) => assert!(flow >= 6),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_hop_paths_respected() {
+        // Two flows share the second hop; validator must hold.
+        let flows = vec![flow("a", 1000, 50, &[0, 2]), flow("b", 1000, 50, &[1, 2])];
+        let s = schedule(&flows, NanoDur::from_micros(10)).unwrap();
+        assert!(validate(&flows, &s));
+    }
+
+    #[test]
+    fn degenerate_flow_rejected() {
+        let flows = vec![flow("a", 0, 10, &[0])];
+        assert_eq!(
+            schedule(&flows, NanoDur::from_micros(1)),
+            Err(ScheduleError::DegenerateFlow(0))
+        );
+    }
+
+    #[test]
+    fn coprime_long_periods_rejected() {
+        let flows = vec![
+            flow("a", 999_983, 1, &[0]), // large primes → huge LCM
+            flow("b", 999_979, 1, &[0]),
+        ];
+        assert!(matches!(
+            schedule(&flows, NanoDur::from_micros(1)),
+            Err(ScheduleError::HyperperiodTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn validate_detects_bad_schedule() {
+        let flows = vec![flow("a", 1000, 100, &[0]), flow("b", 1000, 100, &[0])];
+        let bad = Schedule {
+            offsets: vec![NanoDur::ZERO, NanoDur::from_micros(50)],
+            hyperperiod: NanoDur::from_micros(1000),
+        };
+        assert!(!validate(&flows, &bad));
+    }
+}

@@ -1,0 +1,313 @@
+//! A time-aware shaper switch (802.1Qbv egress).
+//!
+//! Extends the learning-switch idea with per-port gate control lists: a
+//! frame may only start transmission when its traffic class's gate is
+//! open *and* it fits in the remaining window (the guard-band rule that
+//! keeps scheduled windows clean).
+
+use crate::tsn::gcl::GateControlList;
+use std::collections::{HashMap, VecDeque};
+use steelworks_netsim::frame::{EthFrame, MacAddr};
+use steelworks_netsim::node::{Ctx, Device, PortId};
+use steelworks_netsim::time::{NanoDur, Nanos};
+
+/// Per-egress-port shaper state.
+struct TasEgress {
+    queues: [VecDeque<EthFrame>; 8],
+    gcl: GateControlList,
+    busy_until: Nanos,
+    guard_drops: u64,
+}
+
+impl TasEgress {
+    fn depth(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+/// A TSN switch with time-aware shaping on every port.
+pub struct TsnSwitch {
+    name: String,
+    ports: usize,
+    forwarding_latency: NanoDur,
+    queue_capacity: usize,
+    fdb: HashMap<MacAddr, PortId>,
+    egress: Vec<TasEgress>,
+    staged: Vec<(Nanos, PortId, EthFrame)>,
+    tail_drops: u64,
+    forwarded: u64,
+}
+
+const TOKEN_STAGE: u64 = 1;
+const TOKEN_DRAIN_BASE: u64 = 1 << 32;
+
+impl TsnSwitch {
+    /// A TSN switch where every port runs the same GCL.
+    pub fn new(name: impl Into<String>, ports: usize, gcl: GateControlList) -> Self {
+        TsnSwitch {
+            name: name.into(),
+            ports,
+            forwarding_latency: NanoDur(1_200),
+            queue_capacity: 256,
+            fdb: HashMap::new(),
+            egress: (0..ports)
+                .map(|_| TasEgress {
+                    queues: Default::default(),
+                    gcl: gcl.clone(),
+                    busy_until: Nanos::ZERO,
+                    guard_drops: 0,
+                })
+                .collect(),
+            staged: Vec::new(),
+            tail_drops: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// Replace one port's GCL (per-port schedules from the synthesizer).
+    pub fn set_port_gcl(&mut self, port: PortId, gcl: GateControlList) {
+        self.egress[port.0].gcl = gcl;
+    }
+
+    /// Pin a MAC to a port (static commissioning).
+    pub fn learn_static(&mut self, mac: MacAddr, port: PortId) {
+        self.fdb.insert(mac, port);
+    }
+
+    /// Frames forwarded (unicast, known port).
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Frames dropped on full queues.
+    pub fn tail_drops(&self) -> u64 {
+        self.tail_drops
+    }
+
+    /// Frames whose transmission was deferred by the guard band, summed
+    /// over ports. (They are delayed, not lost; the name counts events.)
+    pub fn guard_deferrals(&self) -> u64 {
+        self.egress.iter().map(|e| e.guard_drops).sum()
+    }
+
+    fn enqueue(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: EthFrame) {
+        if port.0 >= self.egress.len() {
+            return;
+        }
+        if self.egress[port.0].depth() >= self.queue_capacity {
+            self.tail_drops += 1;
+            return;
+        }
+        let pcp = frame.priority().min(7) as usize;
+        self.egress[port.0].queues[pcp].push_back(frame);
+        self.drain(ctx, port);
+    }
+
+    /// Try to start transmitting the highest-priority frame whose gate
+    /// is open and whose serialization fits the remaining window.
+    fn drain(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
+        let now = ctx.now();
+        let Some(rate) = ctx.link_rate(port) else {
+            return;
+        };
+        let eg = &mut self.egress[port.0];
+        if eg.busy_until > now {
+            return;
+        }
+        let mut next_wakeup: Option<Nanos> = None;
+        for tc in (0..8usize).rev() {
+            let Some(frame) = eg.queues[tc].front() else {
+                continue;
+            };
+            let ser = NanoDur::for_bits(frame.wire_bits(), rate);
+            if eg.gcl.is_open(now, tc as u8) {
+                let (_, remaining) = eg.gcl.next_open(now, tc as u8);
+                if ser <= remaining {
+                    let frame = eg.queues[tc].pop_front().expect("front checked");
+                    eg.busy_until = now + ser;
+                    ctx.send(port, frame);
+                    if eg.depth() > 0 {
+                        ctx.timer_at(eg.busy_until, TOKEN_DRAIN_BASE + port.0 as u64);
+                    }
+                    return;
+                }
+                // Guard band: does not fit the remaining window.
+                eg.guard_drops += 1;
+            }
+            let (open_at, _) = eg.gcl.next_open(now + NanoDur(1), tc as u8);
+            next_wakeup = Some(match next_wakeup {
+                Some(t) => t.min(open_at),
+                None => open_at,
+            });
+        }
+        if let Some(at) = next_wakeup {
+            ctx.timer_at(at, TOKEN_DRAIN_BASE + port.0 as u64);
+        }
+    }
+}
+
+impl Device for TsnSwitch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, ingress: PortId, frame: EthFrame) {
+        if !frame.src.is_multicast() {
+            self.fdb.insert(frame.src, ingress);
+        }
+        let at = ctx.now() + self.forwarding_latency;
+        match self.fdb.get(&frame.dst).copied() {
+            Some(out) if !frame.dst.is_multicast() => {
+                if out != ingress {
+                    self.forwarded += 1;
+                    self.staged.push((at, out, frame));
+                    ctx.timer_at(at, TOKEN_STAGE);
+                }
+            }
+            _ => {
+                for p in 0..self.ports {
+                    if p != ingress.0 {
+                        self.staged.push((at, PortId(p), frame.clone()));
+                    }
+                }
+                ctx.timer_at(at, TOKEN_STAGE);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_STAGE {
+            let now = ctx.now();
+            let mut ready = Vec::new();
+            let mut waiting = Vec::new();
+            for e in self.staged.drain(..) {
+                if e.0 <= now {
+                    ready.push(e);
+                } else {
+                    waiting.push(e);
+                }
+            }
+            self.staged = waiting;
+            for (_, port, frame) in ready {
+                self.enqueue(ctx, port, frame);
+            }
+        } else if token >= TOKEN_DRAIN_BASE {
+            self.drain(ctx, PortId((token - TOKEN_DRAIN_BASE) as usize));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steelworks_netsim::prelude::*;
+
+    /// RT frames only depart inside the RT window of the GCL.
+    #[test]
+    fn rt_frames_held_until_window() {
+        let mut sim = Simulator::new(1);
+        let rt_src = MacAddr::local(1);
+        let dst_mac = MacAddr::local(2);
+        // Cycle 1 ms, RT window = first 200 µs of each cycle.
+        let gcl = crate::tsn::gcl::GateControlList::rt_window(
+            Nanos::ZERO,
+            NanoDur::from_millis(1),
+            NanoDur::from_micros(200),
+        );
+        let src = sim.add_node(
+            PeriodicSource::new("rt", rt_src, dst_mac, 46, NanoDur::from_micros(300))
+                .with_vlan(VlanTag::RT)
+                .with_limit(20),
+        );
+        let sink = sim.add_node(CounterSink::new("sink"));
+        let sw = sim.add_node({
+            let mut s = TsnSwitch::new("tsn0", 4, gcl);
+            s.learn_static(dst_mac, PortId(1));
+            s
+        });
+        sim.connect(src, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+        sim.connect(sink, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+        sim.run_until(Nanos::from_millis(30));
+        let sink_ref = sim.node_ref::<CounterSink>(sink);
+        assert_eq!(sink_ref.count(), 20);
+        // Every arrival must fall within (window + serialization+prop+
+        // forwarding slack) of a cycle start.
+        for t in sink_ref.arrivals() {
+            let phase = t.as_nanos() % 1_000_000;
+            assert!(
+                phase < 205_000,
+                "frame departed outside RT window: phase={phase}ns"
+            );
+        }
+    }
+
+    /// Best-effort frames never transmit inside the exclusive RT window.
+    #[test]
+    fn best_effort_excluded_from_rt_window() {
+        let mut sim = Simulator::new(2);
+        let be_src = MacAddr::local(1);
+        let dst_mac = MacAddr::local(2);
+        let gcl = crate::tsn::gcl::GateControlList::rt_window(
+            Nanos::ZERO,
+            NanoDur::from_millis(1),
+            NanoDur::from_micros(200),
+        );
+        let src = sim.add_node(
+            PeriodicSource::new("be", be_src, dst_mac, 46, NanoDur::from_micros(100))
+                .with_limit(50),
+        );
+        let sink = sim.add_node(CounterSink::new("sink"));
+        let sw = sim.add_node({
+            let mut s = TsnSwitch::new("tsn0", 4, gcl);
+            s.learn_static(dst_mac, PortId(1));
+            s
+        });
+        sim.connect(src, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+        sim.connect(sink, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+        sim.run_until(Nanos::from_millis(30));
+        let sink_ref = sim.node_ref::<CounterSink>(sink);
+        assert_eq!(sink_ref.count(), 50);
+        for t in sink_ref.arrivals() {
+            // Arrival = departure + ser(672) + prop(25). Departure phase
+            // must be ≥ 200 µs into the cycle.
+            let depart_phase = (t.as_nanos() - 697) % 1_000_000;
+            assert!(
+                depart_phase >= 200_000,
+                "BE frame transmitted in RT window: phase={depart_phase}"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_band_defers_but_delivers() {
+        // A BE window too small for a big frame: it waits; counter
+        // records deferrals.
+        let mut sim = Simulator::new(3);
+        let be_src = MacAddr::local(1);
+        let dst_mac = MacAddr::local(2);
+        // 100 µs cycle: 90 µs RT, 10 µs BE. 1500 B frame needs ~12 µs
+        // at 1G — it never fits a 10 µs BE window... it would starve.
+        // Use 20 µs BE window instead: fits (12 µs), but only barely —
+        // a frame arriving mid-window defers to the next cycle.
+        let gcl = crate::tsn::gcl::GateControlList::rt_window(
+            Nanos::ZERO,
+            NanoDur::from_micros(100),
+            NanoDur::from_micros(80),
+        );
+        let src = sim.add_node(
+            PeriodicSource::new("be", be_src, dst_mac, 1400, NanoDur::from_micros(95))
+                .with_limit(10),
+        );
+        let sink = sim.add_node(CounterSink::new("sink"));
+        let sw = sim.add_node({
+            let mut s = TsnSwitch::new("tsn0", 4, gcl);
+            s.learn_static(dst_mac, PortId(1));
+            s
+        });
+        sim.connect(src, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+        sim.connect(sink, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+        sim.run_until(Nanos::from_millis(10));
+        assert_eq!(sim.node_ref::<CounterSink>(sink).count(), 10);
+        assert!(sim.node_ref::<TsnSwitch>(sw).guard_deferrals() > 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Consumer watchdogs and jitter-burst tracking.
+//!
+//! PROFINET devices halt (enter their safe state) when no cyclic data
+//! arrives for `watchdog_factor` consecutive cycles — the paper calls
+//! out that evaluations which ignore *consecutive* jitter events miss
+//! exactly the failure mode that stops production lines.
+
+use steelworks_netsim::time::{NanoDur, Nanos};
+
+/// Watchdog states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WatchdogState {
+    /// Not yet fed (CR being established).
+    Armed,
+    /// Receiving data in time.
+    Ok,
+    /// Timeout elapsed; device is in its safe state.
+    Expired,
+}
+
+/// A consumer watchdog with PROFINET semantics: expires when the gap
+/// since the last accepted frame exceeds `cycle_time * factor`.
+#[derive(Clone, Debug)]
+pub struct Watchdog {
+    timeout: NanoDur,
+    last_fed: Option<Nanos>,
+    state: WatchdogState,
+    expirations: u64,
+}
+
+impl Watchdog {
+    /// Watchdog for the given cycle time and factor.
+    pub fn new(cycle_time: NanoDur, factor: u8) -> Self {
+        assert!(factor > 0, "watchdog factor must be positive");
+        Watchdog {
+            timeout: cycle_time * factor as u64,
+            last_fed: None,
+            state: WatchdogState::Armed,
+            expirations: 0,
+        }
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> NanoDur {
+        self.timeout
+    }
+
+    /// Record an accepted frame at `now`. Re-feeding an expired
+    /// watchdog recovers it (device returns from safe state once the
+    /// controller is back).
+    pub fn feed(&mut self, now: Nanos) {
+        self.last_fed = Some(now);
+        self.state = WatchdogState::Ok;
+    }
+
+    /// Evaluate the watchdog at `now`; returns true exactly when this
+    /// call *transitions* it into the expired state.
+    pub fn check(&mut self, now: Nanos) -> bool {
+        match (self.state, self.last_fed) {
+            (WatchdogState::Ok, Some(last)) if now.saturating_since(last) > self.timeout => {
+                self.state = WatchdogState::Expired;
+                self.expirations += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> WatchdogState {
+        self.state
+    }
+
+    /// Total expirations observed.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+}
+
+/// Tracks *consecutive* over-threshold jitter events — the metric the
+/// paper complains existing evaluations omit. A burst of length ≥ the
+/// watchdog factor is what actually halts a device.
+#[derive(Clone, Debug)]
+pub struct JitterBurstTracker {
+    threshold: NanoDur,
+    expected_gap: NanoDur,
+    last_arrival: Option<Nanos>,
+    current_burst: u32,
+    /// Histogram of completed burst lengths: `bursts[k]` = number of
+    /// maximal runs of exactly `k+1` consecutive over-threshold cycles.
+    bursts: Vec<u64>,
+    max_burst: u32,
+    total_cycles: u64,
+    over_threshold_cycles: u64,
+}
+
+impl JitterBurstTracker {
+    /// Track deviations of inter-arrival gaps from `expected_gap`
+    /// larger than `threshold`.
+    pub fn new(expected_gap: NanoDur, threshold: NanoDur) -> Self {
+        JitterBurstTracker {
+            threshold,
+            expected_gap,
+            last_arrival: None,
+            current_burst: 0,
+            bursts: Vec::new(),
+            max_burst: 0,
+            total_cycles: 0,
+            over_threshold_cycles: 0,
+        }
+    }
+
+    /// Record a frame arrival.
+    pub fn record(&mut self, now: Nanos) {
+        if let Some(last) = self.last_arrival {
+            self.total_cycles += 1;
+            let gap = now.saturating_since(last);
+            let dev = if gap >= self.expected_gap {
+                gap - self.expected_gap
+            } else {
+                self.expected_gap - gap
+            };
+            if dev > self.threshold {
+                self.over_threshold_cycles += 1;
+                self.current_burst += 1;
+                self.max_burst = self.max_burst.max(self.current_burst);
+            } else {
+                self.close_burst();
+            }
+        }
+        self.last_arrival = Some(now);
+    }
+
+    fn close_burst(&mut self) {
+        if self.current_burst > 0 {
+            let idx = self.current_burst as usize - 1;
+            if self.bursts.len() <= idx {
+                self.bursts.resize(idx + 1, 0);
+            }
+            self.bursts[idx] += 1;
+            self.current_burst = 0;
+        }
+    }
+
+    /// Finish tracking (closes a trailing burst).
+    pub fn finish(&mut self) {
+        self.close_burst();
+    }
+
+    /// Longest observed run of consecutive over-threshold cycles.
+    pub fn max_burst(&self) -> u32 {
+        self.max_burst
+    }
+
+    /// Completed-burst length histogram (index k = length k+1).
+    pub fn burst_histogram(&self) -> &[u64] {
+        &self.bursts
+    }
+
+    /// Fraction of cycles whose jitter exceeded the threshold.
+    pub fn over_threshold_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.over_threshold_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Would a watchdog with this factor have expired? (i.e. did any
+    /// burst reach the factor?)
+    pub fn would_expire(&self, watchdog_factor: u8) -> bool {
+        self.max_burst >= watchdog_factor as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expires_after_timeout() {
+        let mut wd = Watchdog::new(NanoDur::from_millis(2), 3);
+        wd.feed(Nanos::from_millis(0));
+        assert!(!wd.check(Nanos::from_millis(6)));
+        assert!(wd.check(Nanos::from_millis(7)));
+        assert_eq!(wd.state(), WatchdogState::Expired);
+        assert_eq!(wd.expirations(), 1);
+        // Only transitions count.
+        assert!(!wd.check(Nanos::from_millis(8)));
+    }
+
+    #[test]
+    fn feeding_recovers() {
+        let mut wd = Watchdog::new(NanoDur::from_millis(1), 3);
+        wd.feed(Nanos::from_millis(0));
+        assert!(wd.check(Nanos::from_millis(10)));
+        wd.feed(Nanos::from_millis(10));
+        assert_eq!(wd.state(), WatchdogState::Ok);
+        assert!(!wd.check(Nanos::from_millis(12)));
+    }
+
+    #[test]
+    fn armed_never_expires() {
+        let mut wd = Watchdog::new(NanoDur::from_millis(1), 3);
+        assert!(!wd.check(Nanos::from_secs(100)));
+        assert_eq!(wd.state(), WatchdogState::Armed);
+    }
+
+    #[test]
+    fn burst_tracker_counts_runs() {
+        let gap = NanoDur::from_millis(1);
+        let mut t = JitterBurstTracker::new(gap, NanoDur::from_micros(10));
+        let mut now = Nanos::ZERO;
+        // 5 clean cycles.
+        for _ in 0..5 {
+            t.record(now);
+            now += gap;
+        }
+        // 3 jittered cycles (+50 µs each).
+        for _ in 0..3 {
+            now += NanoDur::from_micros(50);
+            t.record(now);
+            now += gap;
+        }
+        // 2 clean, then 1 jittered at the end.
+        for _ in 0..2 {
+            t.record(now);
+            now += gap;
+        }
+        now += NanoDur::from_micros(50);
+        t.record(now);
+        t.finish();
+        assert_eq!(t.max_burst(), 3);
+        // Bursts: one of length 3... the return-to-clean cycle after a
+        // +50µs late frame is 50µs early, so it also counts as jitter.
+        assert!(t.burst_histogram().iter().sum::<u64>() >= 2);
+        assert!(t.would_expire(3));
+        assert!(!t.would_expire(5));
+    }
+
+    #[test]
+    fn clean_stream_has_no_bursts() {
+        let gap = NanoDur::from_millis(1);
+        let mut t = JitterBurstTracker::new(gap, NanoDur::from_micros(1));
+        let mut now = Nanos::ZERO;
+        for _ in 0..100 {
+            t.record(now);
+            now += gap;
+        }
+        t.finish();
+        assert_eq!(t.max_burst(), 0);
+        assert_eq!(t.over_threshold_fraction(), 0.0);
+        assert!(!t.would_expire(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be positive")]
+    fn zero_factor_panics() {
+        Watchdog::new(NanoDur::from_millis(1), 0);
+    }
+}

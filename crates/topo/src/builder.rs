@@ -1,0 +1,352 @@
+//! Topology builders: the classic OT shapes (line, ring, star, tree)
+//! and the IT shapes (leaf-spine, fat-tree-lite) that Fig. 6 compares.
+
+use crate::graph::{EdgeAttr, GNode, Graph, NodeKind};
+
+/// A built topology plus the handles experiments need.
+#[derive(Clone, Debug)]
+pub struct Built {
+    /// The graph.
+    pub graph: Graph,
+    /// Client/endpoint nodes in creation order.
+    pub clients: Vec<GNode>,
+    /// Compute nodes (edge/fog/cloud) in creation order.
+    pub compute: Vec<GNode>,
+    /// Switch nodes.
+    pub switches: Vec<GNode>,
+}
+
+/// A line of `n` switches, one client each — the conveyor-belt shape.
+pub fn line(n: usize, link: EdgeAttr) -> Built {
+    assert!(n >= 2);
+    let mut g = Graph::new();
+    let mut switches = Vec::new();
+    let mut clients = Vec::new();
+    for i in 0..n {
+        let s = g.add_node(NodeKind::Switch, format!("sw{i}"));
+        let c = g.add_node(NodeKind::Client, format!("client{i}"));
+        g.connect(s, c, link);
+        if i > 0 {
+            g.connect(switches[i - 1], s, link);
+        }
+        switches.push(s);
+        clients.push(c);
+    }
+    Built {
+        graph: g,
+        clients,
+        compute: Vec::new(),
+        switches,
+    }
+}
+
+/// The classic industrial ring: `n` switches in a ring, one client
+/// each, plus a single uplink switch holding the (fog) compute — the
+/// topology §5 calls "a classic industrial ring".
+pub fn industrial_ring(n_clients: usize, link: EdgeAttr) -> Built {
+    assert!(n_clients >= 2);
+    let mut g = Graph::new();
+    let mut switches = Vec::new();
+    let mut clients = Vec::new();
+    for i in 0..n_clients {
+        let s = g.add_node(NodeKind::Switch, format!("ring{i}"));
+        let c = g.add_node(NodeKind::Client, format!("client{i}"));
+        g.connect(s, c, link);
+        if i > 0 {
+            g.connect(switches[i - 1], s, link);
+        }
+        switches.push(s);
+        clients.push(c);
+    }
+    // Close the ring.
+    g.connect(switches[n_clients - 1], switches[0], link);
+    // One fog server hangs off ring switch 0.
+    let fog = g.add_node(NodeKind::FogCompute, "fog0");
+    g.connect(switches[0], fog, EdgeAttr::ten_gig_agg());
+    Built {
+        graph: g,
+        clients,
+        compute: vec![fog],
+        switches,
+    }
+}
+
+/// A star: one central switch, all clients attached.
+pub fn star(n_clients: usize, link: EdgeAttr) -> Built {
+    let mut g = Graph::new();
+    let hub = g.add_node(NodeKind::Switch, "hub");
+    let mut clients = Vec::new();
+    for i in 0..n_clients {
+        let c = g.add_node(NodeKind::Client, format!("client{i}"));
+        g.connect(hub, c, link);
+        clients.push(c);
+    }
+    Built {
+        graph: g,
+        clients,
+        compute: Vec::new(),
+        switches: vec![hub],
+    }
+}
+
+/// A balanced tree of switches with clients at the leaves.
+pub fn tree(depth: usize, fanout: usize, link: EdgeAttr) -> Built {
+    assert!(depth >= 1 && fanout >= 2);
+    let mut g = Graph::new();
+    let root = g.add_node(NodeKind::Switch, "root");
+    let mut switches = vec![root];
+    let mut frontier = vec![root];
+    for d in 1..depth {
+        let mut next = Vec::new();
+        for (pi, &p) in frontier.iter().enumerate() {
+            for f in 0..fanout {
+                let s = g.add_node(NodeKind::Switch, format!("sw{d}_{pi}_{f}"));
+                g.connect(p, s, link);
+                switches.push(s);
+                next.push(s);
+            }
+        }
+        frontier = next;
+    }
+    let mut clients = Vec::new();
+    for (pi, &p) in frontier.iter().enumerate() {
+        for f in 0..fanout {
+            let c = g.add_node(NodeKind::Client, format!("client{pi}_{f}"));
+            g.connect(p, c, link);
+            clients.push(c);
+        }
+    }
+    Built {
+        graph: g,
+        clients,
+        compute: Vec::new(),
+        switches,
+    }
+}
+
+/// A leaf-spine fabric: `spines` spine switches, `leaves` leaf switches
+/// (full bipartite 10G), `clients_per_leaf` gigabit clients per leaf,
+/// with one fog compute node per spine — the "modern IT derivative" of
+/// Fig. 6.
+pub fn leaf_spine(
+    spines: usize,
+    leaves: usize,
+    clients_per_leaf: usize,
+    access: EdgeAttr,
+) -> Built {
+    assert!(spines >= 1 && leaves >= 1);
+    let mut g = Graph::new();
+    let spine_nodes: Vec<GNode> = (0..spines)
+        .map(|i| g.add_node(NodeKind::Switch, format!("spine{i}")))
+        .collect();
+    let leaf_nodes: Vec<GNode> = (0..leaves)
+        .map(|i| g.add_node(NodeKind::Switch, format!("leaf{i}")))
+        .collect();
+    for &s in &spine_nodes {
+        for &l in &leaf_nodes {
+            g.connect(s, l, EdgeAttr::ten_gig_agg());
+        }
+    }
+    let mut clients = Vec::new();
+    for (li, &l) in leaf_nodes.iter().enumerate() {
+        for c in 0..clients_per_leaf {
+            let cn = g.add_node(NodeKind::Client, format!("client{li}_{c}"));
+            g.connect(l, cn, access);
+            clients.push(cn);
+        }
+    }
+    let mut compute = Vec::new();
+    for (si, &s) in spine_nodes.iter().enumerate() {
+        let f = g.add_node(NodeKind::FogCompute, format!("fog{si}"));
+        g.connect(s, f, EdgeAttr::ten_gig_agg());
+        compute.push(f);
+    }
+    let mut switches = spine_nodes;
+    switches.extend(leaf_nodes);
+    Built {
+        graph: g,
+        clients,
+        compute,
+        switches,
+    }
+}
+
+/// A k-ary fat tree (k even): (k/2)² core switches, k pods of k/2
+/// aggregation + k/2 edge switches, k/2 clients per edge switch — the
+/// canonical data-center topology §5 contrasts industrial networks
+/// against. Fabric links are 10G, access links use `access`.
+pub fn fat_tree(k: usize, access: EdgeAttr) -> Built {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat tree requires even k >= 2"
+    );
+    let h = k / 2;
+    let mut g = Graph::new();
+    let cores: Vec<GNode> = (0..h * h)
+        .map(|i| g.add_node(NodeKind::Switch, format!("core{i}")))
+        .collect();
+    let mut switches = cores.clone();
+    let mut clients = Vec::new();
+    for pod in 0..k {
+        let aggs: Vec<GNode> = (0..h)
+            .map(|i| g.add_node(NodeKind::Switch, format!("agg{pod}_{i}")))
+            .collect();
+        let edges: Vec<GNode> = (0..h)
+            .map(|i| g.add_node(NodeKind::Switch, format!("edge{pod}_{i}")))
+            .collect();
+        // Aggregation i connects to core group i (h cores each).
+        for (i, &a) in aggs.iter().enumerate() {
+            for j in 0..h {
+                g.connect(a, cores[i * h + j], EdgeAttr::ten_gig_agg());
+            }
+            for &e in &edges {
+                g.connect(a, e, EdgeAttr::ten_gig_agg());
+            }
+        }
+        for (ei, &e) in edges.iter().enumerate() {
+            for c in 0..h {
+                let cn = g.add_node(NodeKind::Client, format!("client{pod}_{ei}_{c}"));
+                g.connect(e, cn, access);
+                clients.push(cn);
+            }
+        }
+        switches.extend(aggs);
+        switches.extend(edges);
+    }
+    Built {
+        graph: g,
+        clients,
+        compute: Vec::new(),
+        switches,
+    }
+}
+
+/// BCube(n, 1): a server-centric two-level topology — n² servers, each
+/// with two NICs, connected to one level-0 and one level-1 n-port
+/// switch (the recursive construction cut at k = 1, which is what the
+/// original paper evaluates for modular data centers).
+pub fn bcube1(n: usize, link: EdgeAttr) -> Built {
+    assert!(n >= 2);
+    let mut g = Graph::new();
+    // Servers are "clients" carrying compute in BCube's model.
+    let servers: Vec<GNode> = (0..n * n)
+        .map(|i| g.add_node(NodeKind::Client, format!("srv{i}")))
+        .collect();
+    let mut switches = Vec::new();
+    // Level 0: switch j connects servers j*n .. j*n+n-1.
+    for j in 0..n {
+        let sw = g.add_node(NodeKind::Switch, format!("l0_{j}"));
+        for i in 0..n {
+            g.connect(sw, servers[j * n + i], link);
+        }
+        switches.push(sw);
+    }
+    // Level 1: switch i connects servers i, n+i, 2n+i, ...
+    for i in 0..n {
+        let sw = g.add_node(NodeKind::Switch, format!("l1_{i}"));
+        for j in 0..n {
+            g.connect(sw, servers[j * n + i], link);
+        }
+        switches.push(sw);
+    }
+    Built {
+        graph: g,
+        clients: servers,
+        compute: Vec::new(),
+        switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_shape() {
+        let b = line(5, EdgeAttr::gigabit_local());
+        assert_eq!(b.switches.len(), 5);
+        assert_eq!(b.clients.len(), 5);
+        // 5 access + 4 trunk edges.
+        assert_eq!(b.graph.edge_count(), 9);
+        assert!(b.graph.is_connected());
+        // Ends have degree 2 (client + one trunk).
+        assert_eq!(b.graph.degree(b.switches[0]), 2);
+        assert_eq!(b.graph.degree(b.switches[2]), 3);
+    }
+
+    #[test]
+    fn ring_closes() {
+        let b = industrial_ring(8, EdgeAttr::gigabit_local());
+        assert!(b.graph.is_connected());
+        // Every ring switch has degree 3 except switch 0 (ring x2 +
+        // client + fog = 4).
+        assert_eq!(b.graph.degree(b.switches[0]), 4);
+        for &s in &b.switches[1..] {
+            assert_eq!(b.graph.degree(s), 3);
+        }
+        assert_eq!(b.compute.len(), 1);
+    }
+
+    #[test]
+    fn star_shape() {
+        let b = star(10, EdgeAttr::gigabit_local());
+        assert_eq!(b.graph.degree(b.switches[0]), 10);
+        assert!(b.graph.is_connected());
+    }
+
+    #[test]
+    fn tree_counts() {
+        let b = tree(3, 2, EdgeAttr::gigabit_local());
+        // Switches: 1 + 2 + 4 = 7; clients: 4 leaves * 2 = 8.
+        assert_eq!(b.switches.len(), 7);
+        assert_eq!(b.clients.len(), 8);
+        assert!(b.graph.is_connected());
+    }
+
+    #[test]
+    fn fat_tree_k4() {
+        let b = fat_tree(4, EdgeAttr::gigabit_local());
+        // k=4: 4 cores, 4 pods x (2 agg + 2 edge) = 20 switches,
+        // 4 pods x 2 edges x 2 clients = 16 clients.
+        assert_eq!(b.switches.len(), 20);
+        assert_eq!(b.clients.len(), 16);
+        assert!(b.graph.is_connected());
+        // Canonical edge count: 16 access + 16 edge-agg + 16 agg-core.
+        assert_eq!(b.graph.edge_count(), 48);
+        // Full bisection: ECMP width between distant pods is k²/4 = 4.
+        use crate::routing::{ecmp_width, HopWeight};
+        assert_eq!(
+            ecmp_width(&b.graph, b.clients[0], b.clients[15], &HopWeight),
+            4
+        );
+    }
+
+    #[test]
+    fn bcube_two_disjoint_levels() {
+        let b = bcube1(4, EdgeAttr::gigabit_local());
+        assert_eq!(b.clients.len(), 16);
+        assert_eq!(b.switches.len(), 8);
+        assert!(b.graph.is_connected());
+        // Every server has exactly 2 NICs (degree 2).
+        for &s in &b.clients {
+            assert_eq!(b.graph.degree(s), 2);
+        }
+        // Server-centric: same-row servers reach each other in 2 hops,
+        // and there are 2 paths (one per level) between most pairs.
+        use crate::routing::{shortest_path, HopWeight};
+        let p = shortest_path(&b.graph, b.clients[0], b.clients[1], &HopWeight).unwrap();
+        assert_eq!(p.hops(), 2);
+    }
+
+    #[test]
+    fn leaf_spine_bipartite() {
+        let b = leaf_spine(2, 4, 8, EdgeAttr::gigabit_local());
+        assert_eq!(b.clients.len(), 32);
+        assert_eq!(b.compute.len(), 2);
+        assert!(b.graph.is_connected());
+        // Edges: 2*4 fabric + 32 access + 2 fog = 42.
+        assert_eq!(b.graph.edge_count(), 42);
+        // Leaves have 2 spines + 8 clients = 10.
+        assert_eq!(b.graph.degree(b.switches[2]), 10);
+    }
+}

@@ -1,0 +1,80 @@
+//! Infrastructure cost model.
+//!
+//! Fig. 6's discussion: the ML-aware design "aligns inference accuracy
+//! with infrastructure cost and network dimensioning". This module
+//! prices a topology so designs can be compared at equal budget.
+
+use crate::graph::{GEdge, Graph, NodeKind};
+
+/// Unit prices (arbitrary currency; only ratios matter).
+#[derive(Clone, Debug)]
+pub struct PriceBook {
+    /// Per switch.
+    pub switch: f64,
+    /// Per Gbps of link capacity.
+    pub link_per_gbps: f64,
+    /// Per edge-compute server.
+    pub edge_compute: f64,
+    /// Per fog server.
+    pub fog_compute: f64,
+    /// Per cloud attachment (WAN + egress commitments).
+    pub cloud_attach: f64,
+}
+
+impl Default for PriceBook {
+    fn default() -> Self {
+        PriceBook {
+            switch: 1_000.0,
+            link_per_gbps: 80.0,
+            edge_compute: 2_500.0,
+            fog_compute: 6_000.0,
+            cloud_attach: 4_000.0,
+        }
+    }
+}
+
+/// Total price of a topology.
+pub fn infrastructure_cost(g: &Graph, prices: &PriceBook) -> f64 {
+    let mut total = 0.0;
+    for i in 0..g.node_count() {
+        total += match g.node(crate::graph::GNode(i)).kind {
+            NodeKind::Switch => prices.switch,
+            NodeKind::EdgeCompute => prices.edge_compute,
+            NodeKind::FogCompute => prices.fog_compute,
+            NodeKind::CloudCompute => prices.cloud_attach,
+            _ => 0.0,
+        };
+    }
+    for e in 0..g.edge_count() {
+        let attr = g.edge_attr(GEdge(e));
+        total += prices.link_per_gbps * attr.bandwidth_bps as f64 / 1e9;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::graph::EdgeAttr;
+
+    #[test]
+    fn bigger_fabric_costs_more() {
+        let prices = PriceBook::default();
+        let small = builder::leaf_spine(2, 2, 4, EdgeAttr::gigabit_local());
+        let big = builder::leaf_spine(4, 8, 4, EdgeAttr::gigabit_local());
+        let cs = infrastructure_cost(&small.graph, &prices);
+        let cb = infrastructure_cost(&big.graph, &prices);
+        assert!(cb > 2.0 * cs, "{cb} vs {cs}");
+    }
+
+    #[test]
+    fn clients_are_free_infrastructure() {
+        let prices = PriceBook::default();
+        let a = builder::star(4, EdgeAttr::gigabit_local());
+        let b = builder::star(8, EdgeAttr::gigabit_local());
+        // Only access links differ (4 extra Gbps), not node costs.
+        let diff = infrastructure_cost(&b.graph, &prices) - infrastructure_cost(&a.graph, &prices);
+        assert!((diff - 4.0 * prices.link_per_gbps).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,273 @@
+//! The topology graph.
+//!
+//! An undirected multigraph with typed nodes (switches, compute tiers,
+//! industrial endpoints) and attributed edges (bandwidth, latency).
+//! This is the *planning* representation used by builders, routing and
+//! the optimizer; packet-level execution uses `steelworks-netsim`.
+
+/// What a node is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum NodeKind {
+    /// A switch (any tier).
+    Switch,
+    /// An ML inference server at the edge (in-cell).
+    EdgeCompute,
+    /// A fog/on-prem aggregation server.
+    FogCompute,
+    /// A remote cloud region.
+    CloudCompute,
+    /// An ML client (camera / inspection station).
+    Client,
+    /// A PLC or vPLC endpoint.
+    Plc,
+    /// An I/O device.
+    Io,
+}
+
+/// Node attributes.
+#[derive(Clone, Debug)]
+pub struct NodeInfo {
+    /// Kind.
+    pub kind: NodeKind,
+    /// Name for reports.
+    pub name: String,
+}
+
+/// Edge attributes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeAttr {
+    /// Capacity in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+impl EdgeAttr {
+    /// Gigabit in-building link.
+    pub fn gigabit_local() -> Self {
+        EdgeAttr {
+            bandwidth_bps: 1_000_000_000,
+            latency_ns: 500,
+        }
+    }
+
+    /// 10G aggregation link.
+    pub fn ten_gig_agg() -> Self {
+        EdgeAttr {
+            bandwidth_bps: 10_000_000_000,
+            latency_ns: 1_000,
+        }
+    }
+
+    /// A WAN link to a cloud region (10 Gbps, 10 ms one way).
+    pub fn cloud_wan() -> Self {
+        EdgeAttr {
+            bandwidth_bps: 10_000_000_000,
+            latency_ns: 10_000_000,
+        }
+    }
+}
+
+/// Node handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct GNode(pub usize);
+
+/// Edge handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GEdge(pub usize);
+
+/// The graph.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    nodes: Vec<NodeInfo>,
+    /// Flat edge store: (a, b, attr).
+    edges: Vec<(GNode, GNode, EdgeAttr)>,
+    /// Adjacency: node → (neighbor, edge id).
+    adj: Vec<Vec<(GNode, GEdge)>>,
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> GNode {
+        let id = GNode(self.nodes.len());
+        self.nodes.push(NodeInfo {
+            kind,
+            name: name.into(),
+        });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add an undirected edge.
+    pub fn connect(&mut self, a: GNode, b: GNode, attr: EdgeAttr) -> GEdge {
+        assert!(a != b, "self loops are not meaningful here");
+        let id = GEdge(self.edges.len());
+        self.edges.push((a, b, attr));
+        self.adj[a.0].push((b, id));
+        self.adj[b.0].push((a, id));
+        id
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node info.
+    pub fn node(&self, n: GNode) -> &NodeInfo {
+        &self.nodes[n.0]
+    }
+
+    /// Edge endpoints + attributes.
+    pub fn edge(&self, e: GEdge) -> (GNode, GNode, EdgeAttr) {
+        self.edges[e.0]
+    }
+
+    /// Edge attributes only.
+    pub fn edge_attr(&self, e: GEdge) -> EdgeAttr {
+        self.edges[e.0].2
+    }
+
+    /// Neighbors of a node with the connecting edges.
+    pub fn neighbors(&self, n: GNode) -> &[(GNode, GEdge)] {
+        &self.adj[n.0]
+    }
+
+    /// Degree.
+    pub fn degree(&self, n: GNode) -> usize {
+        self.adj[n.0].len()
+    }
+
+    /// All nodes of a kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<GNode> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].kind == kind)
+            .map(GNode)
+            .collect()
+    }
+
+    /// Is the graph connected (ignoring isolated-node-free trivia)?
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![GNode(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for &(m, _) in self.neighbors(n) {
+                if !seen[m.0] {
+                    seen[m.0] = true;
+                    count += 1;
+                    stack.push(m);
+                }
+            }
+        }
+        count == self.nodes.len()
+    }
+
+    /// Total infrastructure metric helpers: sum of link capacities.
+    pub fn total_capacity_bps(&self) -> u64 {
+        self.edges.iter().map(|(_, _, a)| a.bandwidth_bps).sum()
+    }
+
+    /// Render the topology as Graphviz DOT (node shapes by kind, edge
+    /// labels with capacity) — paste into any DOT viewer.
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut out = format!("graph \"{title}\" {{\n  layout=neato;\n");
+        for (i, info) in self.nodes.iter().enumerate() {
+            let (shape, color) = match info.kind {
+                NodeKind::Switch => ("box", "lightblue"),
+                NodeKind::EdgeCompute => ("hexagon", "palegreen"),
+                NodeKind::FogCompute => ("hexagon", "green"),
+                NodeKind::CloudCompute => ("hexagon", "darkseagreen"),
+                NodeKind::Client => ("ellipse", "white"),
+                NodeKind::Plc => ("component", "orange"),
+                NodeKind::Io => ("cds", "gold"),
+            };
+            out.push_str(&format!(
+                "  n{i} [label=\"{}\", shape={shape}, style=filled, fillcolor={color}];\n",
+                info.name
+            ));
+        }
+        for (a, b, attr) in &self.edges {
+            out.push_str(&format!(
+                "  n{} -- n{} [label=\"{}G\"];\n",
+                a.0,
+                b.0,
+                attr.bandwidth_bps / 1_000_000_000
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Switch, "s0");
+        let b = g.add_node(NodeKind::Client, "c0");
+        let c = g.add_node(NodeKind::EdgeCompute, "e0");
+        g.connect(a, b, EdgeAttr::gigabit_local());
+        g.connect(a, c, EdgeAttr::ten_gig_agg());
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.degree(b), 1);
+        assert_eq!(g.nodes_of_kind(NodeKind::Client), vec![b]);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Switch, "s0");
+        let b = g.add_node(NodeKind::Switch, "s1");
+        let _c = g.add_node(NodeKind::Switch, "s2");
+        g.connect(a, b, EdgeAttr::gigabit_local());
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn self_loop_panics() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Switch, "s0");
+        g.connect(a, a, EdgeAttr::gigabit_local());
+    }
+
+    #[test]
+    fn empty_graph_connected() {
+        assert!(Graph::new().is_connected());
+    }
+
+    #[test]
+    fn dot_export_well_formed() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Switch, "sw0");
+        let b = g.add_node(NodeKind::Plc, "plc0");
+        g.connect(a, b, EdgeAttr::gigabit_local());
+        let dot = g.to_dot("cell");
+        assert!(dot.starts_with("graph \"cell\""));
+        assert!(dot.contains("n0 [label=\"sw0\", shape=box"));
+        assert!(dot.contains("n1 [label=\"plc0\", shape=component"));
+        assert!(dot.contains("n0 -- n1 [label=\"1G\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,36 @@
+//! # steelworks-topo
+//!
+//! Topology substrate: a planning graph with typed nodes, builders for
+//! the classic OT shapes (line / ring / star / tree) and IT fabrics
+//! (leaf-spine), deterministic shortest-path routing with ECMP
+//! accounting, traffic matrices with §2.3's flow taxonomy (including
+//! the vPLC "deterministic never-ending microflow" class), an M/D/1
+//! queueing-network evaluator, an infrastructure cost model, and the
+//! ML-traffic-aware topology designer behind Fig. 6's winning series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builder;
+pub mod cost;
+pub mod graph;
+pub mod optimize;
+pub mod qnet;
+pub mod routing;
+pub mod traffic;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::builder::{
+        bcube1, fat_tree, industrial_ring, leaf_spine, line, star, tree, Built,
+    };
+    pub use crate::cost::{infrastructure_cost, PriceBook};
+    pub use crate::graph::{EdgeAttr, GEdge, GNode, Graph, NodeKind};
+    pub use crate::optimize::{
+        augment, demands_for, design, ClientProfile, DesignConfig, MlAwareDesign,
+    };
+    pub use crate::qnet::{evaluate, mean_latency, LatencyBreakdown, QnetResult};
+    pub use crate::routing::{ecmp_width, shortest_path, HopWeight, LatencyWeight, Path};
+    pub use crate::traffic::{classify, route_all, Demand, FlowClass, FlowFeatures, RoutedMatrix};
+}

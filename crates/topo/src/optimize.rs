@@ -1,0 +1,280 @@
+//! ML-traffic-aware topology design (§5, the "ML-aware" series of
+//! Fig. 6).
+//!
+//! The design principle the paper sketches: take the *measured* demand
+//! of ML inference clients (which itself depends on the input quality
+//! the accuracy target tolerates) and dimension the network around it —
+//! clustered edge compute close to the clients, uplinks capacity-planned
+//! to a target utilization, aggregation only for overflow. The result
+//! trades a little infrastructure (extra edge servers) for large
+//! latency wins over both the legacy ring and a generic leaf-spine.
+
+use crate::builder::Built;
+use crate::graph::{EdgeAttr, GNode, Graph, NodeKind};
+use crate::traffic::{Demand, RoutedMatrix};
+
+/// Per-client demand profile driving the design.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientProfile {
+    /// Offered bits/s per client (from the ML degradation analysis).
+    pub bps_per_client: f64,
+    /// Mean packet size (bytes).
+    pub mean_packet: u32,
+}
+
+/// Designer knobs.
+#[derive(Clone, Debug)]
+pub struct DesignConfig {
+    /// Target max utilization on any planned link.
+    pub target_utilization: f64,
+    /// Access link spec.
+    pub access: EdgeAttr,
+    /// Uplink (access switch → edge compute / aggregation).
+    pub uplink: EdgeAttr,
+    /// Smallest / largest cluster sizes considered.
+    pub cluster_bounds: (usize, usize),
+}
+
+impl Default for DesignConfig {
+    fn default() -> Self {
+        DesignConfig {
+            target_utilization: 0.4,
+            access: EdgeAttr::gigabit_local(),
+            uplink: EdgeAttr::ten_gig_agg(),
+            cluster_bounds: (4, 32),
+        }
+    }
+}
+
+/// The produced design: topology + client→compute assignment.
+#[derive(Clone, Debug)]
+pub struct MlAwareDesign {
+    /// The topology.
+    pub built: Built,
+    /// For each client (index into `built.clients`), its serving
+    /// compute node.
+    pub assignment: Vec<GNode>,
+    /// Chosen cluster size.
+    pub cluster_size: usize,
+}
+
+/// Design a traffic-aware topology for `n_clients` with `profile`.
+pub fn design(n_clients: usize, profile: ClientProfile, cfg: &DesignConfig) -> MlAwareDesign {
+    assert!(n_clients >= 1);
+    // Cluster size: keep the shared access-switch→edge-server hop under
+    // the target utilization.
+    let per_client = profile.bps_per_client;
+    let budget = cfg.target_utilization * cfg.uplink.bandwidth_bps as f64;
+    let k = ((budget / per_client) as usize)
+        .clamp(cfg.cluster_bounds.0, cfg.cluster_bounds.1)
+        .min(n_clients.max(1));
+    let clusters = n_clients.div_ceil(k);
+
+    let mut g = Graph::new();
+    let agg = g.add_node(NodeKind::Switch, "agg");
+    let fog = g.add_node(NodeKind::FogCompute, "fog0");
+    g.connect(agg, fog, cfg.uplink);
+
+    let mut clients = Vec::with_capacity(n_clients);
+    let mut compute = vec![fog];
+    let mut switches = vec![agg];
+    let mut assignment = Vec::with_capacity(n_clients);
+
+    let mut remaining = n_clients;
+    for ci in 0..clusters {
+        let in_cluster = remaining.min(k);
+        remaining -= in_cluster;
+        let sw = g.add_node(NodeKind::Switch, format!("acc{ci}"));
+        let edge = g.add_node(NodeKind::EdgeCompute, format!("edge{ci}"));
+        g.connect(sw, edge, cfg.uplink);
+        g.connect(sw, agg, cfg.uplink);
+        switches.push(sw);
+        compute.push(edge);
+        for c in 0..in_cluster {
+            let cn = g.add_node(NodeKind::Client, format!("client{ci}_{c}"));
+            g.connect(sw, cn, cfg.access);
+            clients.push(cn);
+            assignment.push(edge);
+        }
+    }
+
+    MlAwareDesign {
+        built: Built {
+            graph: g,
+            clients,
+            compute,
+            switches,
+        },
+        assignment,
+        cluster_size: k,
+    }
+}
+
+/// Build the demand set for a design (client → assigned compute).
+pub fn demands_for(design: &MlAwareDesign, profile: ClientProfile) -> Vec<Demand> {
+    design
+        .built
+        .clients
+        .iter()
+        .zip(&design.assignment)
+        .map(|(&c, &s)| Demand {
+            src: c,
+            dst: s,
+            bps: profile.bps_per_client,
+            mean_packet: profile.mean_packet,
+            class: crate::traffic::FlowClass::Medium,
+        })
+        .collect()
+}
+
+/// Greedy augmentation: add up to `budget_links` shortcut links between
+/// the switch pairs whose routed demands suffer the highest
+/// latency×load, reusing `uplink` specs. Returns the number added.
+/// (Used by the ablation bench to show the ring can be rescued only
+/// partially without a redesign.)
+pub fn augment(
+    g: &mut Graph,
+    routed: &RoutedMatrix,
+    uplink: EdgeAttr,
+    budget_links: usize,
+) -> usize {
+    let mut added = 0;
+    for _ in 0..budget_links {
+        // Score demand paths by propagation length.
+        let mut worst: Option<(f64, GNode, GNode)> = None;
+        for (d, p) in routed.demands.iter().zip(&routed.paths) {
+            // endpoints' attachment switches (second and second-to-last
+            // nodes, when present).
+            if p.nodes.len() < 4 {
+                continue;
+            }
+            let a = p.nodes[1];
+            let b = p.nodes[p.nodes.len() - 2];
+            if a == b {
+                continue;
+            }
+            // Skip if directly connected already.
+            if g.neighbors(a).iter().any(|&(n, _)| n == b) {
+                continue;
+            }
+            let lat: u64 = p.edges.iter().map(|e| g.edge_attr(*e).latency_ns).sum();
+            let score = lat as f64 * d.bps;
+            if worst.map(|(s, _, _)| score > s).unwrap_or(true) {
+                worst = Some((score, a, b));
+            }
+        }
+        let Some((_, a, b)) = worst else {
+            break;
+        };
+        g.connect(a, b, uplink);
+        added += 1;
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qnet;
+    use crate::routing::{shortest_path, HopWeight, LatencyWeight};
+    use crate::traffic::route_all;
+
+    fn profile() -> ClientProfile {
+        ClientProfile {
+            bps_per_client: 40e6, // ~40 Mbit/s video per inspection cam
+            mean_packet: 1200,
+        }
+    }
+
+    #[test]
+    fn design_covers_all_clients() {
+        for n in [1, 7, 32, 256] {
+            let d = design(n, profile(), &DesignConfig::default());
+            assert_eq!(d.built.clients.len(), n);
+            assert_eq!(d.assignment.len(), n);
+            assert!(d.built.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn cluster_size_respects_utilization_target() {
+        let cfg = DesignConfig::default();
+        let d = design(128, profile(), &cfg);
+        // k clients at 40 Mb/s over a 10G uplink at 40% target → k ≤ 100,
+        // clamped to 32.
+        assert_eq!(d.cluster_size, 32);
+        let demands = demands_for(&d, profile());
+        let routed = route_all(&d.built.graph, demands, &HopWeight).unwrap();
+        assert!(
+            routed.max_utilization(&d.built.graph) <= cfg.target_utilization + 0.05,
+            "util = {}",
+            routed.max_utilization(&d.built.graph)
+        );
+    }
+
+    #[test]
+    fn heavier_clients_get_smaller_clusters() {
+        let cfg = DesignConfig::default();
+        let heavy = ClientProfile {
+            bps_per_client: 400e6,
+            mean_packet: 1200,
+        };
+        let d = design(64, heavy, &cfg);
+        assert_eq!(d.cluster_size, 10, "4000/400 = 10 clients per uplink");
+    }
+
+    #[test]
+    fn ml_aware_beats_ring_at_scale() {
+        let n = 128;
+        let p = profile();
+        // Ring.
+        let ring = crate::builder::industrial_ring(n, EdgeAttr::gigabit_local());
+        let fog = ring.compute[0];
+        let ring_demands: Vec<Demand> = ring
+            .clients
+            .iter()
+            .map(|&c| Demand {
+                src: c,
+                dst: fog,
+                bps: p.bps_per_client,
+                mean_packet: p.mean_packet,
+                class: crate::traffic::FlowClass::Medium,
+            })
+            .collect();
+        let ring_routed = route_all(&ring.graph, ring_demands, &HopWeight).unwrap();
+        let ring_lat = qnet::mean_latency(&qnet::evaluate(&ring.graph, &ring_routed));
+
+        // ML-aware.
+        let d = design(n, p, &DesignConfig::default());
+        let routed = route_all(&d.built.graph, demands_for(&d, p), &HopWeight).unwrap();
+        let ml_lat = qnet::mean_latency(&qnet::evaluate(&d.built.graph, &routed));
+
+        assert!(
+            ml_lat.as_nanos() * 2 < ring_lat.as_nanos(),
+            "ml {ml_lat} vs ring {ring_lat}"
+        );
+    }
+
+    #[test]
+    fn augment_adds_useful_links() {
+        let b = crate::builder::line(8, EdgeAttr::gigabit_local());
+        let demands = vec![Demand {
+            src: b.clients[0],
+            dst: b.clients[7],
+            bps: 100e6,
+            mean_packet: 1000,
+            class: crate::traffic::FlowClass::Medium,
+        }];
+        let routed = route_all(&b.graph, demands.clone(), &HopWeight).unwrap();
+        let before = shortest_path(&b.graph, b.clients[0], b.clients[7], &LatencyWeight)
+            .unwrap()
+            .hops();
+        let mut g = b.graph.clone();
+        let added = augment(&mut g, &routed, EdgeAttr::ten_gig_agg(), 1);
+        assert_eq!(added, 1);
+        let after = shortest_path(&g, b.clients[0], b.clients[7], &LatencyWeight)
+            .unwrap()
+            .hops();
+        assert!(after < before, "{after} < {before}");
+    }
+}

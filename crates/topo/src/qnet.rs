@@ -1,0 +1,195 @@
+//! Analytic queueing evaluation of a routed traffic matrix.
+//!
+//! Each link is an M/D/1 queue (deterministic service = serialization
+//! of the mean packet): per-link sojourn = serialization + propagation
+//! plus `ρ/(2(1−ρ))` of one serialization. Per-demand latency sums its
+//! path. The Fig. 6 study uses this evaluator for all three topologies,
+//! so any systematic model error cancels in the comparison — exactly
+//! the argument for shape-level (not absolute) reproduction.
+
+use crate::graph::Graph;
+use crate::traffic::RoutedMatrix;
+use steelworks_netsim::time::NanoDur;
+
+/// Per-demand latency breakdown.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyBreakdown {
+    /// Propagation total (ns).
+    pub propagation_ns: f64,
+    /// Serialization total (ns).
+    pub serialization_ns: f64,
+    /// Queueing total (ns).
+    pub queueing_ns: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total one-way network latency.
+    pub fn total(&self) -> NanoDur {
+        NanoDur((self.propagation_ns + self.serialization_ns + self.queueing_ns).round() as u64)
+    }
+}
+
+/// Evaluation result for a matrix.
+#[derive(Clone, Debug)]
+pub struct QnetResult {
+    /// Per-demand breakdowns (same order as the matrix).
+    pub per_demand: Vec<LatencyBreakdown>,
+    /// Largest link utilization observed.
+    pub max_utilization: f64,
+    /// Whether any link was overloaded (ρ ≥ 1): latencies for demands
+    /// crossing it are reported with the saturation cap below.
+    pub overloaded: bool,
+}
+
+/// Queueing delay is capped at this multiple of the service time when a
+/// link saturates (the analytic formula diverges; reality drops/queues).
+const SATURATION_CAP: f64 = 200.0;
+
+/// Evaluate one-way latency per demand.
+pub fn evaluate(g: &Graph, routed: &RoutedMatrix) -> QnetResult {
+    let loads = routed.link_loads(g);
+    let mut per_demand = Vec::with_capacity(routed.demands.len());
+    let mut max_util = 0.0f64;
+    let mut overloaded = false;
+
+    // Per-edge mean packet size, weighted by load share.
+    let mut edge_bytes = vec![0.0f64; g.edge_count()];
+    let mut edge_weight = vec![0.0f64; g.edge_count()];
+    for (d, p) in routed.demands.iter().zip(&routed.paths) {
+        for e in &p.edges {
+            edge_bytes[e.0] += d.bps * d.mean_packet as f64;
+            edge_weight[e.0] += d.bps;
+        }
+    }
+
+    for (d, p) in routed.demands.iter().zip(&routed.paths) {
+        let mut acc = LatencyBreakdown::default();
+        for e in &p.edges {
+            let attr = g.edge_attr(*e);
+            let cap = attr.bandwidth_bps as f64;
+            let rho = (loads[e.0] / cap).min(1.0);
+            max_util = max_util.max(loads[e.0] / cap);
+            let mean_pkt = if edge_weight[e.0] > 0.0 {
+                edge_bytes[e.0] / edge_weight[e.0]
+            } else {
+                d.mean_packet as f64
+            };
+            let service_ns = mean_pkt * 8.0 / cap * 1e9;
+            // Serialization of *this* demand's packet.
+            acc.serialization_ns += d.mean_packet as f64 * 8.0 / cap * 1e9;
+            acc.propagation_ns += attr.latency_ns as f64;
+            let q = if rho >= 0.999 {
+                overloaded = true;
+                SATURATION_CAP * service_ns
+            } else {
+                rho / (2.0 * (1.0 - rho)) * service_ns
+            };
+            acc.queueing_ns += q;
+        }
+        per_demand.push(acc);
+    }
+    QnetResult {
+        per_demand,
+        max_utilization: max_util,
+        overloaded,
+    }
+}
+
+/// Mean total latency across demands.
+pub fn mean_latency(result: &QnetResult) -> NanoDur {
+    if result.per_demand.is_empty() {
+        return NanoDur::ZERO;
+    }
+    let sum: f64 = result
+        .per_demand
+        .iter()
+        .map(|b| b.total().as_nanos() as f64)
+        .sum();
+    NanoDur((sum / result.per_demand.len() as f64).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::graph::EdgeAttr;
+    use crate::routing::HopWeight;
+    use crate::traffic::{route_all, Demand, FlowClass};
+
+    fn demand(src: crate::graph::GNode, dst: crate::graph::GNode, bps: f64) -> Demand {
+        Demand {
+            src,
+            dst,
+            bps,
+            mean_packet: 1000,
+            class: FlowClass::Medium,
+        }
+    }
+
+    #[test]
+    fn idle_network_latency_is_prop_plus_ser() {
+        let b = builder::line(2, EdgeAttr::gigabit_local());
+        let routed = route_all(
+            &b.graph,
+            vec![demand(b.clients[0], b.clients[1], 1.0)],
+            &HopWeight,
+        )
+        .unwrap();
+        let r = evaluate(&b.graph, &routed);
+        let bd = r.per_demand[0];
+        // 3 hops × 500 ns prop; 3 × 8 µs serialization of 1000 B @1G.
+        assert!((bd.propagation_ns - 1_500.0).abs() < 1.0);
+        assert!((bd.serialization_ns - 24_000.0).abs() < 10.0);
+        assert!(bd.queueing_ns < 1.0);
+    }
+
+    #[test]
+    fn queueing_grows_with_load() {
+        let b = builder::line(2, EdgeAttr::gigabit_local());
+        let lat_at = |bps: f64| {
+            let routed = route_all(
+                &b.graph,
+                vec![demand(b.clients[0], b.clients[1], bps)],
+                &HopWeight,
+            )
+            .unwrap();
+            evaluate(&b.graph, &routed).per_demand[0].queueing_ns
+        };
+        let q10 = lat_at(100e6);
+        let q50 = lat_at(500e6);
+        let q90 = lat_at(900e6);
+        assert!(q10 < q50 && q50 < q90);
+        // M/D/1 at ρ=0.5 per edge: q = 0.5·service = 4 µs; 3 edges on
+        // the client-sw-sw-client path → 12 µs.
+        assert!((q50 - 12_000.0).abs() < 300.0, "q50={q50}");
+    }
+
+    #[test]
+    fn saturation_capped_and_flagged() {
+        let b = builder::line(2, EdgeAttr::gigabit_local());
+        let routed = route_all(
+            &b.graph,
+            vec![demand(b.clients[0], b.clients[1], 2e9)],
+            &HopWeight,
+        )
+        .unwrap();
+        let r = evaluate(&b.graph, &routed);
+        assert!(r.overloaded);
+        assert!(r.max_utilization >= 1.0);
+        assert!(r.per_demand[0].queueing_ns.is_finite());
+    }
+
+    #[test]
+    fn mean_latency_averages() {
+        let b = builder::star(4, EdgeAttr::gigabit_local());
+        let demands = vec![
+            demand(b.clients[0], b.clients[1], 1e6),
+            demand(b.clients[2], b.clients[3], 1e6),
+        ];
+        let routed = route_all(&b.graph, demands, &HopWeight).unwrap();
+        let r = evaluate(&b.graph, &routed);
+        let m = mean_latency(&r);
+        assert!(m > NanoDur::ZERO);
+        assert_eq!(r.per_demand.len(), 2);
+    }
+}

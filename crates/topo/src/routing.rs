@@ -1,0 +1,219 @@
+//! Shortest-path routing with ECMP awareness.
+
+use crate::graph::{GEdge, GNode, Graph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A route: the node sequence and the edges taken.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// Nodes from source to destination inclusive.
+    pub nodes: Vec<GNode>,
+    /// Edges, one fewer than nodes.
+    pub edges: Vec<GEdge>,
+}
+
+impl Path {
+    /// Hop count.
+    pub fn hops(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Edge weight functions.
+pub trait EdgeWeight {
+    /// Cost of traversing `e`.
+    fn weight(&self, g: &Graph, e: GEdge) -> u64;
+}
+
+/// Weight = 1 per hop.
+pub struct HopWeight;
+
+impl EdgeWeight for HopWeight {
+    fn weight(&self, _g: &Graph, _e: GEdge) -> u64 {
+        1
+    }
+}
+
+/// Weight = propagation latency (ns).
+pub struct LatencyWeight;
+
+impl EdgeWeight for LatencyWeight {
+    fn weight(&self, g: &Graph, e: GEdge) -> u64 {
+        g.edge_attr(e).latency_ns.max(1)
+    }
+}
+
+/// Dijkstra from `src` to `dst`. Ties are broken deterministically by
+/// node index, so routing is stable run to run.
+pub fn shortest_path<W: EdgeWeight>(g: &Graph, src: GNode, dst: GNode, w: &W) -> Option<Path> {
+    let n = g.node_count();
+    let mut dist = vec![u64::MAX; n];
+    let mut prev: Vec<Option<(GNode, GEdge)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.0] = 0;
+    heap.push(Reverse((0u64, src.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        if u == dst.0 {
+            break;
+        }
+        for &(v, e) in g.neighbors(GNode(u)) {
+            let nd = d.saturating_add(w.weight(g, e));
+            if nd < dist[v.0]
+                || (nd == dist[v.0] && prev[v.0].map(|(p, _)| p.0 > u).unwrap_or(false))
+            {
+                dist[v.0] = nd;
+                prev[v.0] = Some((GNode(u), e));
+                heap.push(Reverse((nd, v.0)));
+            }
+        }
+    }
+    if dist[dst.0] == u64::MAX {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut edges = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (p, e) = prev[cur.0].expect("path reconstruction");
+        edges.push(e);
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    edges.reverse();
+    Some(Path { nodes, edges })
+}
+
+/// Count the equal-cost shortest paths between two nodes (ECMP width).
+pub fn ecmp_width<W: EdgeWeight>(g: &Graph, src: GNode, dst: GNode, w: &W) -> u64 {
+    // Dijkstra computing path counts.
+    let n = g.node_count();
+    let mut dist = vec![u64::MAX; n];
+    let mut count = vec![0u64; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.0] = 0;
+    count[src.0] = 1;
+    heap.push(Reverse((0u64, src.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, e) in g.neighbors(GNode(u)) {
+            let nd = d.saturating_add(w.weight(g, e));
+            match nd.cmp(&dist[v.0]) {
+                std::cmp::Ordering::Less => {
+                    dist[v.0] = nd;
+                    count[v.0] = count[u];
+                    heap.push(Reverse((nd, v.0)));
+                }
+                std::cmp::Ordering::Equal => {
+                    count[v.0] += count[u];
+                }
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+    }
+    count[dst.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::graph::EdgeAttr;
+
+    #[test]
+    fn line_path_is_direct() {
+        let b = builder::line(5, EdgeAttr::gigabit_local());
+        let p = shortest_path(&b.graph, b.clients[0], b.clients[4], &HopWeight).unwrap();
+        // client0 - sw0 - sw1 - sw2 - sw3 - sw4 - client4 = 6 hops.
+        assert_eq!(p.hops(), 6);
+        assert_eq!(p.nodes.first(), Some(&b.clients[0]));
+        assert_eq!(p.nodes.last(), Some(&b.clients[4]));
+    }
+
+    #[test]
+    fn ring_takes_shorter_arc() {
+        let b = builder::industrial_ring(8, EdgeAttr::gigabit_local());
+        // From client0 to client1: one trunk hop, not seven.
+        let p = shortest_path(&b.graph, b.clients[0], b.clients[1], &HopWeight).unwrap();
+        assert_eq!(p.hops(), 3);
+        // From client0 to client7: around the back, also 3.
+        let p = shortest_path(&b.graph, b.clients[0], b.clients[7], &HopWeight).unwrap();
+        assert_eq!(p.hops(), 3);
+        // Opposite side of an 8-ring: 4 trunk hops + 2 access = 6.
+        let p = shortest_path(&b.graph, b.clients[0], b.clients[4], &HopWeight).unwrap();
+        assert_eq!(p.hops(), 6);
+    }
+
+    #[test]
+    fn leaf_spine_ecmp() {
+        let b = builder::leaf_spine(4, 4, 2, EdgeAttr::gigabit_local());
+        // Client on leaf0 to client on leaf1: 4 equal-cost paths via
+        // the 4 spines.
+        let c0 = b.clients[0];
+        let c_other = b.clients[2]; // first client of leaf1
+        assert_eq!(ecmp_width(&b.graph, c0, c_other, &HopWeight), 4);
+        let p = shortest_path(&b.graph, c0, c_other, &HopWeight).unwrap();
+        assert_eq!(p.hops(), 4); // client-leaf-spine-leaf-client
+    }
+
+    #[test]
+    fn latency_weight_prefers_fast_links() {
+        let mut g = crate::graph::Graph::new();
+        use crate::graph::NodeKind::*;
+        let a = g.add_node(Switch, "a");
+        let b = g.add_node(Switch, "b");
+        let c = g.add_node(Switch, "c");
+        // Direct a-b is slow; a-c-b is fast.
+        g.connect(
+            a,
+            b,
+            EdgeAttr {
+                bandwidth_bps: 1_000_000_000,
+                latency_ns: 100_000,
+            },
+        );
+        g.connect(
+            a,
+            c,
+            EdgeAttr {
+                bandwidth_bps: 1_000_000_000,
+                latency_ns: 10_000,
+            },
+        );
+        g.connect(
+            c,
+            b,
+            EdgeAttr {
+                bandwidth_bps: 1_000_000_000,
+                latency_ns: 10_000,
+            },
+        );
+        let hop = shortest_path(&g, a, b, &HopWeight).unwrap();
+        assert_eq!(hop.hops(), 1);
+        let lat = shortest_path(&g, a, b, &LatencyWeight).unwrap();
+        assert_eq!(lat.hops(), 2);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = crate::graph::Graph::new();
+        use crate::graph::NodeKind::*;
+        let a = g.add_node(Switch, "a");
+        let b = g.add_node(Switch, "b");
+        assert!(shortest_path(&g, a, b, &HopWeight).is_none());
+    }
+
+    #[test]
+    fn deterministic_paths() {
+        let b = builder::leaf_spine(4, 4, 4, EdgeAttr::gigabit_local());
+        let p1 = shortest_path(&b.graph, b.clients[0], b.clients[15], &HopWeight).unwrap();
+        let p2 = shortest_path(&b.graph, b.clients[0], b.clients[15], &HopWeight).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Traffic description: flow classes (including the paper's new one)
+//! and traffic matrices with link-load accounting.
+
+use crate::graph::{GEdge, GNode, Graph};
+use crate::routing::{shortest_path, EdgeWeight, Path};
+use steelworks_netsim::time::NanoDur;
+
+/// Flow classes. §2.3: data-center practice distinguishes mice /
+/// medium / elephant flows; vPLCs add a class that fits none of them —
+/// latency-critical like mice, never-ending like elephants, tiny,
+/// cyclic and deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FlowClass {
+    /// ≲10 KB, short, latency-sensitive.
+    Mice,
+    /// ≈0.5 MB transfers.
+    Medium,
+    /// >1 GB bulk.
+    Elephant,
+    /// The vPLC class: cyclic small frames, strict deadlines, endless.
+    DeterministicMicroflow,
+}
+
+/// Observable features of a flow, as a classifier sees them.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowFeatures {
+    /// Bytes transferred so far (or total, if finished).
+    pub bytes: u64,
+    /// Flow age / duration.
+    pub duration: NanoDur,
+    /// Is the flow still active?
+    pub ongoing: bool,
+    /// Coefficient of variation of inter-packet gaps (≈0 ⇒ periodic).
+    pub gap_cv: f64,
+    /// Mean packet payload size.
+    pub mean_payload: u32,
+}
+
+/// Classify a flow per §2.3's taxonomy.
+pub fn classify(f: &FlowFeatures) -> FlowClass {
+    // The new class first: periodic (low gap variation), tiny payloads,
+    // long-lived and still running.
+    if f.ongoing && f.gap_cv < 0.1 && f.mean_payload <= 250 && f.duration >= NanoDur::from_secs(1) {
+        return FlowClass::DeterministicMicroflow;
+    }
+    if f.bytes <= 10_000 {
+        FlowClass::Mice
+    } else if f.bytes <= 10_000_000 {
+        FlowClass::Medium
+    } else {
+        FlowClass::Elephant
+    }
+}
+
+/// One demand in a traffic matrix.
+#[derive(Clone, Debug)]
+pub struct Demand {
+    /// Source node.
+    pub src: GNode,
+    /// Destination node.
+    pub dst: GNode,
+    /// Offered load in bits per second.
+    pub bps: f64,
+    /// Mean packet size on the wire (bytes), for queueing models.
+    pub mean_packet: u32,
+    /// Class, for reporting.
+    pub class: FlowClass,
+}
+
+/// A set of demands plus the routes they take.
+#[derive(Clone, Debug)]
+pub struct RoutedMatrix {
+    /// The demands.
+    pub demands: Vec<Demand>,
+    /// Route per demand (same order).
+    pub paths: Vec<Path>,
+}
+
+/// Route every demand over shortest paths; fails if any demand is
+/// disconnected.
+pub fn route_all<W: EdgeWeight>(g: &Graph, demands: Vec<Demand>, w: &W) -> Option<RoutedMatrix> {
+    let mut paths = Vec::with_capacity(demands.len());
+    for d in &demands {
+        paths.push(shortest_path(g, d.src, d.dst, w)?);
+    }
+    Some(RoutedMatrix { demands, paths })
+}
+
+impl RoutedMatrix {
+    /// Offered bits/s per edge.
+    pub fn link_loads(&self, g: &Graph) -> Vec<f64> {
+        let mut loads = vec![0.0; g.edge_count()];
+        for (d, p) in self.demands.iter().zip(&self.paths) {
+            for e in &p.edges {
+                loads[e.0] += d.bps;
+            }
+        }
+        loads
+    }
+
+    /// Utilization (load / capacity) per edge.
+    pub fn utilizations(&self, g: &Graph) -> Vec<f64> {
+        self.link_loads(g)
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| l / g.edge_attr(GEdge(i)).bandwidth_bps as f64)
+            .collect()
+    }
+
+    /// The most loaded edge's utilization.
+    pub fn max_utilization(&self, g: &Graph) -> f64 {
+        self.utilizations(g).into_iter().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::graph::EdgeAttr;
+    use crate::routing::HopWeight;
+
+    #[test]
+    fn vplc_flow_classified_as_microflow() {
+        let f = FlowFeatures {
+            bytes: 5_000_000, // a day of 50 B frames is a lot of bytes
+            duration: NanoDur::from_secs(3600),
+            ongoing: true,
+            gap_cv: 0.01,
+            mean_payload: 50,
+        };
+        assert_eq!(classify(&f), FlowClass::DeterministicMicroflow);
+    }
+
+    #[test]
+    fn classic_classes_by_size() {
+        let mk = |bytes| FlowFeatures {
+            bytes,
+            duration: NanoDur::from_millis(20),
+            ongoing: false,
+            gap_cv: 1.0,
+            mean_payload: 1400,
+        };
+        assert_eq!(classify(&mk(5_000)), FlowClass::Mice);
+        assert_eq!(classify(&mk(500_000)), FlowClass::Medium);
+        assert_eq!(classify(&mk(2_000_000_000)), FlowClass::Elephant);
+    }
+
+    #[test]
+    fn short_periodic_flow_not_yet_microflow() {
+        // A flow must live ≥1 s before the classifier commits.
+        let f = FlowFeatures {
+            bytes: 500,
+            duration: NanoDur::from_millis(100),
+            ongoing: true,
+            gap_cv: 0.0,
+            mean_payload: 50,
+        };
+        assert_eq!(classify(&f), FlowClass::Mice);
+    }
+
+    #[test]
+    fn link_loads_accumulate_on_shared_trunk() {
+        let b = builder::line(3, EdgeAttr::gigabit_local());
+        let demands = vec![
+            Demand {
+                src: b.clients[0],
+                dst: b.clients[2],
+                bps: 100e6,
+                mean_packet: 1000,
+                class: FlowClass::Medium,
+            },
+            Demand {
+                src: b.clients[1],
+                dst: b.clients[2],
+                bps: 200e6,
+                mean_packet: 1000,
+                class: FlowClass::Medium,
+            },
+        ];
+        let routed = route_all(&b.graph, demands, &HopWeight).unwrap();
+        let loads = routed.link_loads(&b.graph);
+        // The sw1-sw2 trunk carries both demands.
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(max, 300e6);
+        assert!(routed.max_utilization(&b.graph) > 0.29);
+        assert!(routed.max_utilization(&b.graph) < 0.31);
+    }
+}

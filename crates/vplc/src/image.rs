@@ -1,0 +1,141 @@
+//! The process image: the PLC's view of the world.
+//!
+//! Classic IEC 61131 addressing — `%I` input bits, `%Q` output bits,
+//! `%M` memory (flag) bits — over byte arrays that map 1:1 onto the
+//! cyclic protocol's data payloads: the input area is what arrives from
+//! the I/O device each cycle, the output area is what the PLC sends.
+
+/// Bit-addressable byte area.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitArea {
+    bytes: Vec<u8>,
+}
+
+impl BitArea {
+    /// A zeroed area of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        BitArea {
+            bytes: vec![0; len],
+        }
+    }
+
+    /// Read bit `bit` (0..8) of byte `byte`. Out-of-range reads return
+    /// false (fail-safe: absent inputs read as off).
+    pub fn get(&self, byte: u16, bit: u8) -> bool {
+        self.bytes
+            .get(byte as usize)
+            .map(|b| b & (1 << (bit & 7)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Write a bit (out-of-range writes are ignored).
+    pub fn set(&mut self, byte: u16, bit: u8, v: bool) {
+        if let Some(b) = self.bytes.get_mut(byte as usize) {
+            if v {
+                *b |= 1 << (bit & 7);
+            } else {
+                *b &= !(1 << (bit & 7));
+            }
+        }
+    }
+
+    /// Raw bytes (for the cyclic frame payload).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Overwrite from a received payload (shorter payloads leave the
+    /// tail untouched; longer ones are truncated).
+    pub fn load(&mut self, data: &[u8]) {
+        let n = data.len().min(self.bytes.len());
+        self.bytes[..n].copy_from_slice(&data[..n]);
+    }
+
+    /// Force everything to zero — the safe state.
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+    }
+
+    /// Area size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True for a zero-length area.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// The full process image of one PLC or I/O device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessImage {
+    /// `%I` — inputs read from the field.
+    pub inputs: BitArea,
+    /// `%Q` — outputs driven to the field.
+    pub outputs: BitArea,
+    /// `%M` — internal flags.
+    pub memory: BitArea,
+}
+
+impl ProcessImage {
+    /// Image with the given area sizes (bytes).
+    pub fn new(input_len: usize, output_len: usize, memory_len: usize) -> Self {
+        ProcessImage {
+            inputs: BitArea::new(input_len),
+            outputs: BitArea::new(output_len),
+            memory: BitArea::new(memory_len),
+        }
+    }
+
+    /// Outputs to the safe state (all off), as on watchdog expiry.
+    pub fn safe_state(&mut self) {
+        self.outputs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_get_set() {
+        let mut a = BitArea::new(2);
+        a.set(0, 3, true);
+        a.set(1, 7, true);
+        assert!(a.get(0, 3));
+        assert!(a.get(1, 7));
+        assert!(!a.get(0, 2));
+        a.set(0, 3, false);
+        assert!(!a.get(0, 3));
+    }
+
+    #[test]
+    fn out_of_range_is_fail_safe() {
+        let mut a = BitArea::new(1);
+        assert!(!a.get(5, 0));
+        a.set(5, 0, true); // ignored
+        assert_eq!(a.bytes(), &[0]);
+    }
+
+    #[test]
+    fn load_partial_and_truncated() {
+        let mut a = BitArea::new(4);
+        a.load(&[1, 2]);
+        assert_eq!(a.bytes(), &[1, 2, 0, 0]);
+        a.load(&[9, 9, 9, 9, 9, 9]);
+        assert_eq!(a.bytes(), &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn safe_state_clears_outputs_only() {
+        let mut img = ProcessImage::new(2, 2, 2);
+        img.inputs.set(0, 0, true);
+        img.outputs.set(0, 0, true);
+        img.memory.set(0, 0, true);
+        img.safe_state();
+        assert!(img.inputs.get(0, 0));
+        assert!(!img.outputs.get(0, 0));
+        assert!(img.memory.get(0, 0));
+    }
+}

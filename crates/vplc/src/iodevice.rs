@@ -1,0 +1,264 @@
+//! I/O devices and the physical processes behind them.
+//!
+//! An I/O device terminates the cyclic protocol on the field side:
+//! actuator bytes arrive from the controller, sensor bytes go back, and
+//! a [`ProcessModel`] turns actuator state into sensor state with
+//! physical dynamics. On watchdog expiry the device forces its
+//! actuators to the safe state — the "STOP" the paper's Fig. 2 draws on
+//! every production cell.
+
+use crate::image::BitArea;
+use steelworks_netsim::frame::{ethertype, EthFrame, MacAddr, VlanTag};
+use steelworks_netsim::node::{Ctx, Device, PortId};
+use steelworks_netsim::stats::BinnedSeries;
+use steelworks_netsim::time::{NanoDur, Nanos};
+use steelworks_rtnet::connection::{CrEvent, DeviceCr, DeviceState};
+use steelworks_rtnet::frame::RtPayload;
+
+/// A physical process driven by actuators, observed by sensors.
+pub trait ProcessModel: steelworks_netsim::node::AsAny + 'static {
+    /// Advance by `dt`; read actuator bits, write sensor bits.
+    fn step(&mut self, now: Nanos, dt: NanoDur, actuators: &BitArea, sensors: &mut BitArea);
+
+    /// Actuators were forced safe (process keeps evolving physically).
+    fn on_safe_state(&mut self) {}
+}
+
+/// Sensors mirror actuators (loopback) — the standard conformance rig.
+pub struct LoopbackProcess;
+
+impl ProcessModel for LoopbackProcess {
+    fn step(&mut self, _now: Nanos, _dt: NanoDur, actuators: &BitArea, sensors: &mut BitArea) {
+        sensors.load(actuators.bytes());
+    }
+}
+
+/// A conveyor: actuator bit 0.0 runs the motor; items advance with the
+/// belt and trip a photoeye (sensor bit 0.0) in front of the stopper.
+/// Sensor byte 1 counts delivered items (low 8 bits).
+pub struct ConveyorProcess {
+    /// Belt speed in metres/second while the motor runs.
+    pub speed_m_s: f64,
+    /// Photoeye window position (metres from item spawn).
+    pub photoeye_at_m: f64,
+    /// Items appear this far apart (metres of belt travel).
+    pub item_spacing_m: f64,
+    belt_pos_m: f64,
+    next_item_at_m: f64,
+    items: Vec<f64>,
+    delivered: u64,
+}
+
+impl ConveyorProcess {
+    /// A conveyor with typical cell dimensions.
+    pub fn new() -> Self {
+        ConveyorProcess {
+            speed_m_s: 0.5,
+            photoeye_at_m: 1.0,
+            item_spacing_m: 0.4,
+            belt_pos_m: 0.0,
+            next_item_at_m: 0.0,
+            items: Vec::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Items that have passed the photoeye.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl Default for ConveyorProcess {
+    fn default() -> Self {
+        ConveyorProcess::new()
+    }
+}
+
+impl ProcessModel for ConveyorProcess {
+    fn step(&mut self, _now: Nanos, dt: NanoDur, actuators: &BitArea, sensors: &mut BitArea) {
+        let motor_on = actuators.get(0, 0);
+        if motor_on {
+            let advance = self.speed_m_s * dt.as_secs_f64();
+            self.belt_pos_m += advance;
+            for item in &mut self.items {
+                *item += advance;
+            }
+            while self.belt_pos_m >= self.next_item_at_m {
+                self.items.push(self.belt_pos_m - self.next_item_at_m);
+                self.next_item_at_m += self.item_spacing_m;
+            }
+        }
+        // Photoeye: item within ±2 cm of the eye.
+        let eye = self
+            .items
+            .iter()
+            .any(|&p| (p - self.photoeye_at_m).abs() < 0.02);
+        sensors.set(0, 0, eye);
+        let before = self.items.len();
+        self.items.retain(|&p| p <= self.photoeye_at_m + 0.02);
+        self.delivered += (before - self.items.len()) as u64;
+        sensors.set(1, 0, self.delivered & 1 != 0);
+        // Expose the delivered count's low bits in sensor byte 1.
+        let count = (self.delivered & 0xFF) as u8;
+        for bit in 0..8 {
+            sensors.set(1, bit, count & (1 << bit) != 0);
+        }
+    }
+}
+
+/// Counters exported by an [`IoDevice`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Cyclic frames received from the controller.
+    pub cyclic_received: u64,
+    /// Cyclic frames sent.
+    pub cyclic_sent: u64,
+    /// Safe-state entries (watchdog expirations).
+    pub safe_state_entries: u64,
+    /// Connects accepted.
+    pub connects: u64,
+}
+
+/// An I/O device on the factory network.
+pub struct IoDevice {
+    name: String,
+    /// Device MAC.
+    pub mac: MacAddr,
+    cr: DeviceCr,
+    process: Box<dyn ProcessModel>,
+    actuators: BitArea,
+    sensors: BitArea,
+    controller_mac: Option<MacAddr>,
+    last_step: Nanos,
+    stats: IoStats,
+    /// Cyclic frames received per 50 ms bin — Fig. 5b's "To I/O" view.
+    pub received_series: BinnedSeries,
+}
+
+const TOKEN_CYCLE: u64 = 1;
+
+impl IoDevice {
+    /// An I/O device with the given process behind it.
+    pub fn new(
+        name: impl Into<String>,
+        mac: MacAddr,
+        io_len: (usize, usize),
+        process: Box<dyn ProcessModel>,
+    ) -> Self {
+        IoDevice {
+            name: name.into(),
+            mac,
+            cr: DeviceCr::new(),
+            process,
+            actuators: BitArea::new(io_len.0),
+            sensors: BitArea::new(io_len.1),
+            controller_mac: None,
+            last_step: Nanos::ZERO,
+            stats: IoStats::default(),
+            received_series: BinnedSeries::new(NanoDur::from_millis(50)),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Protocol state.
+    pub fn cr_state(&self) -> DeviceState {
+        self.cr.state()
+    }
+
+    /// Borrow the process model downcast (test inspection).
+    pub fn process_ref<T: ProcessModel>(&self) -> &T {
+        (*self.process)
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("process type mismatch")
+    }
+
+    fn send_payload(&mut self, ctx: &mut Ctx<'_>, payload: &RtPayload) {
+        let Some(dst) = self.controller_mac else {
+            return;
+        };
+        if let RtPayload::CyclicData { .. } = payload {
+            self.stats.cyclic_sent += 1;
+        }
+        let frame = EthFrame::new(dst, self.mac, ethertype::INDUSTRIAL_RT, payload.to_bytes())
+            .with_vlan(VlanTag::RT);
+        ctx.send(PortId(0), frame);
+    }
+}
+
+impl Device for IoDevice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: EthFrame) {
+        if frame.ethertype != ethertype::INDUSTRIAL_RT {
+            return;
+        }
+        let Ok(payload) = RtPayload::parse(&frame.payload) else {
+            return;
+        };
+        let now = ctx.now();
+        let was_listening = self.cr.state() == DeviceState::Listening;
+        let (reply, events) = self.cr.on_payload(now, &payload);
+        for ev in &events {
+            match ev {
+                CrEvent::Connected => {
+                    self.stats.connects += 1;
+                    self.controller_mac = Some(frame.src);
+                    self.last_step = now;
+                    if was_listening {
+                        let cycle = self.cr.cycle_time().expect("connected implies params");
+                        ctx.timer_in(cycle, TOKEN_CYCLE);
+                    }
+                }
+                CrEvent::Data { data, .. } => {
+                    self.stats.cyclic_received += 1;
+                    self.received_series.record(now);
+                    self.actuators.load(data);
+                }
+                _ => {}
+            }
+        }
+        if let Some(reply) = reply {
+            // Reply goes to whoever asked (reject messages included).
+            let dst = frame.src;
+            let out = EthFrame::new(dst, self.mac, ethertype::INDUSTRIAL_RT, reply.to_bytes())
+                .with_vlan(VlanTag::RT);
+            ctx.send(PortId(0), out);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TOKEN_CYCLE {
+            return;
+        }
+        let now = ctx.now();
+        let dt = now.saturating_since(self.last_step);
+        self.last_step = now;
+        self.process
+            .step(now, dt, &self.actuators, &mut self.sensors);
+        let sensors = self.sensors.bytes().to_vec();
+        let (outs, events) = self.cr.tick(now, &sensors);
+        for ev in &events {
+            if matches!(ev, CrEvent::WatchdogExpired) {
+                self.stats.safe_state_entries += 1;
+                self.actuators.clear();
+                self.process.on_safe_state();
+            }
+        }
+        for p in outs {
+            self.send_payload(ctx, &p);
+        }
+        if let Some(cycle) = self.cr.cycle_time() {
+            if self.cr.state() != DeviceState::Released {
+                ctx.timer_in(cycle, TOKEN_CYCLE);
+            }
+        }
+    }
+}

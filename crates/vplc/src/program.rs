@@ -1,0 +1,381 @@
+//! PLC logic: an IEC 61131-3 Instruction List dialect.
+//!
+//! The accumulator-based IL subset every PLC programmer knows: load,
+//! boolean combine, store, set/reset, plus on-delay timers and up
+//! counters. Programs run to completion inside one scan — there are no
+//! loops, matching the bounded-scan-time guarantee real PLCs give.
+
+use crate::image::ProcessImage;
+use steelworks_netsim::time::{NanoDur, Nanos};
+
+/// A bit operand.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// `%Ix.y` input bit.
+    I(u16, u8),
+    /// `%Qx.y` output bit.
+    Q(u16, u8),
+    /// `%Mx.y` memory bit.
+    M(u16, u8),
+    /// A constant.
+    Const(bool),
+}
+
+/// One IL instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IlInsn {
+    /// Load operand into the accumulator.
+    Ld(Operand),
+    /// Load negated.
+    LdN(Operand),
+    /// AND the accumulator with the operand.
+    And(Operand),
+    /// AND with the negated operand.
+    AndN(Operand),
+    /// OR.
+    Or(Operand),
+    /// OR with negated operand.
+    OrN(Operand),
+    /// XOR.
+    Xor(Operand),
+    /// Negate the accumulator.
+    Not,
+    /// Store the accumulator to the operand.
+    St(Operand),
+    /// Store the negated accumulator.
+    StN(Operand),
+    /// Set (latch) if accumulator true.
+    Set(Operand),
+    /// Reset (unlatch) if accumulator true.
+    Rst(Operand),
+    /// On-delay timer: output becomes true once the accumulator has
+    /// been continuously true for `preset`. Result replaces the
+    /// accumulator (like `TON` followed by `LD T.Q`).
+    Ton {
+        /// Timer index.
+        idx: u8,
+        /// Delay preset.
+        preset: NanoDur,
+    },
+    /// Count rising edges of the accumulator; accumulator becomes
+    /// `count >= preset`.
+    Ctu {
+        /// Counter index.
+        idx: u8,
+        /// Target count.
+        preset: u32,
+    },
+}
+
+/// Timer/counter state carried across scans.
+#[derive(Clone, Debug, Default)]
+pub struct PlcState {
+    timers: Vec<Option<Nanos>>, // when the input became true
+    counters: Vec<(bool, u32)>, // (last input, count)
+}
+
+impl PlcState {
+    /// State sized for `timers`/`counters` instances.
+    pub fn new(timers: usize, counters: usize) -> Self {
+        PlcState {
+            timers: vec![None; timers],
+            counters: vec![(false, 0); counters],
+        }
+    }
+
+    /// Reset all dynamic state (warm restart).
+    pub fn reset(&mut self) {
+        self.timers.fill(None);
+        self.counters.fill((false, 0));
+    }
+
+    /// Current count of counter `idx`.
+    pub fn count(&self, idx: u8) -> u32 {
+        self.counters
+            .get(idx as usize)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+}
+
+/// A PLC program: a straight-line list of IL instructions.
+#[derive(Clone, Debug, Default)]
+pub struct PlcProgram {
+    /// The instruction list.
+    pub insns: Vec<IlInsn>,
+}
+
+impl PlcProgram {
+    /// From an instruction list.
+    pub fn new(insns: Vec<IlInsn>) -> Self {
+        PlcProgram { insns }
+    }
+
+    /// A program that copies `n` input bytes' bit 0 to output bit 0 —
+    /// the minimal "pass-through" logic used in connectivity tests.
+    pub fn passthrough(n: u16) -> Self {
+        let mut insns = Vec::new();
+        for byte in 0..n {
+            insns.push(IlInsn::Ld(Operand::I(byte, 0)));
+            insns.push(IlInsn::St(Operand::Q(byte, 0)));
+        }
+        PlcProgram::new(insns)
+    }
+
+    /// Execute one scan over the image at time `now`.
+    pub fn scan(&self, image: &mut ProcessImage, state: &mut PlcState, now: Nanos) {
+        let mut acc = false;
+        for insn in &self.insns {
+            match *insn {
+                IlInsn::Ld(op) => acc = read(image, op),
+                IlInsn::LdN(op) => acc = !read(image, op),
+                IlInsn::And(op) => acc &= read(image, op),
+                IlInsn::AndN(op) => acc &= !read(image, op),
+                IlInsn::Or(op) => acc |= read(image, op),
+                IlInsn::OrN(op) => acc |= !read(image, op),
+                IlInsn::Xor(op) => acc ^= read(image, op),
+                IlInsn::Not => acc = !acc,
+                IlInsn::St(op) => write(image, op, acc),
+                IlInsn::StN(op) => write(image, op, !acc),
+                IlInsn::Set(op) => {
+                    if acc {
+                        write(image, op, true);
+                    }
+                }
+                IlInsn::Rst(op) => {
+                    if acc {
+                        write(image, op, false);
+                    }
+                }
+                IlInsn::Ton { idx, preset } => {
+                    let slot = state
+                        .timers
+                        .get_mut(idx as usize)
+                        .expect("timer index out of range");
+                    if acc {
+                        let started = slot.get_or_insert(now);
+                        acc = now.saturating_since(*started) >= preset;
+                    } else {
+                        *slot = None;
+                        acc = false;
+                    }
+                }
+                IlInsn::Ctu { idx, preset } => {
+                    let slot = state
+                        .counters
+                        .get_mut(idx as usize)
+                        .expect("counter index out of range");
+                    if acc && !slot.0 {
+                        slot.1 += 1;
+                    }
+                    slot.0 = acc;
+                    acc = slot.1 >= preset;
+                }
+            }
+        }
+    }
+
+    /// Number of instructions (drives the scan-time model).
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True for the empty program.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+}
+
+/// Scan-time model of a soft-PLC runtime: fixed overhead (I/O copy,
+/// housekeeping) plus a per-instruction execution cost. Real vendors
+/// publish exactly these two constants ("base scan time" and "µs per
+/// 1K boolean instructions").
+#[derive(Clone, Copy, Debug)]
+pub struct ScanTimeModel {
+    /// Fixed per-scan overhead.
+    pub base: NanoDur,
+    /// Cost per IL instruction.
+    pub per_insn: NanoDur,
+}
+
+impl Default for ScanTimeModel {
+    fn default() -> Self {
+        // A containerized soft PLC on commodity x86.
+        ScanTimeModel {
+            base: NanoDur::from_micros(40),
+            per_insn: NanoDur(150),
+        }
+    }
+}
+
+impl ScanTimeModel {
+    /// Scan time of one program.
+    pub fn scan_time(&self, program: &PlcProgram) -> NanoDur {
+        self.base + self.per_insn * program.len() as u64
+    }
+
+    /// Largest program (instructions) that still fits a cycle budget,
+    /// e.g. for commissioning checks against 2.1's cycle times.
+    pub fn max_insns_for_cycle(&self, cycle: NanoDur) -> u64 {
+        if cycle <= self.base {
+            return 0;
+        }
+        (cycle - self.base).as_nanos() / self.per_insn.as_nanos().max(1)
+    }
+}
+
+fn read(image: &ProcessImage, op: Operand) -> bool {
+    match op {
+        Operand::I(b, i) => image.inputs.get(b, i),
+        Operand::Q(b, i) => image.outputs.get(b, i),
+        Operand::M(b, i) => image.memory.get(b, i),
+        Operand::Const(v) => v,
+    }
+}
+
+fn write(image: &mut ProcessImage, op: Operand, v: bool) {
+    match op {
+        Operand::I(b, i) => image.inputs.set(b, i, v),
+        Operand::Q(b, i) => image.outputs.set(b, i, v),
+        Operand::M(b, i) => image.memory.set(b, i, v),
+        Operand::Const(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use IlInsn::*;
+    use Operand::*;
+
+    fn scan_once(prog: &PlcProgram, image: &mut ProcessImage) {
+        let mut st = PlcState::new(4, 4);
+        prog.scan(image, &mut st, Nanos::ZERO);
+    }
+
+    #[test]
+    fn and_or_logic() {
+        // Q0.0 = (I0.0 AND I0.1) OR I0.2
+        let prog = PlcProgram::new(vec![Ld(I(0, 0)), And(I(0, 1)), Or(I(0, 2)), St(Q(0, 0))]);
+        let mut img = ProcessImage::new(1, 1, 1);
+        img.inputs.set(0, 0, true);
+        scan_once(&prog, &mut img);
+        assert!(!img.outputs.get(0, 0));
+        img.inputs.set(0, 1, true);
+        scan_once(&prog, &mut img);
+        assert!(img.outputs.get(0, 0));
+        img.inputs.load(&[0]);
+        img.inputs.set(0, 2, true);
+        scan_once(&prog, &mut img);
+        assert!(img.outputs.get(0, 0));
+    }
+
+    #[test]
+    fn set_reset_latch() {
+        // Start button I0.0 sets motor Q0.0; stop button I0.1 resets it.
+        let prog = PlcProgram::new(vec![Ld(I(0, 0)), Set(Q(0, 0)), Ld(I(0, 1)), Rst(Q(0, 0))]);
+        let mut img = ProcessImage::new(1, 1, 1);
+        let mut st = PlcState::new(0, 0);
+        img.inputs.set(0, 0, true);
+        prog.scan(&mut img, &mut st, Nanos::ZERO);
+        assert!(img.outputs.get(0, 0), "latched on");
+        img.inputs.set(0, 0, false);
+        prog.scan(&mut img, &mut st, Nanos::ZERO);
+        assert!(img.outputs.get(0, 0), "stays on");
+        img.inputs.set(0, 1, true);
+        prog.scan(&mut img, &mut st, Nanos::ZERO);
+        assert!(!img.outputs.get(0, 0), "reset");
+    }
+
+    #[test]
+    fn ton_delays_activation() {
+        // Q0.0 = TON(I0.0, 10ms)
+        let prog = PlcProgram::new(vec![
+            Ld(I(0, 0)),
+            Ton {
+                idx: 0,
+                preset: NanoDur::from_millis(10),
+            },
+            St(Q(0, 0)),
+        ]);
+        let mut img = ProcessImage::new(1, 1, 1);
+        let mut st = PlcState::new(1, 0);
+        img.inputs.set(0, 0, true);
+        prog.scan(&mut img, &mut st, Nanos::from_millis(0));
+        assert!(!img.outputs.get(0, 0));
+        prog.scan(&mut img, &mut st, Nanos::from_millis(5));
+        assert!(!img.outputs.get(0, 0));
+        prog.scan(&mut img, &mut st, Nanos::from_millis(10));
+        assert!(img.outputs.get(0, 0));
+        // Dropping the input resets the timer.
+        img.inputs.set(0, 0, false);
+        prog.scan(&mut img, &mut st, Nanos::from_millis(11));
+        assert!(!img.outputs.get(0, 0));
+        img.inputs.set(0, 0, true);
+        prog.scan(&mut img, &mut st, Nanos::from_millis(12));
+        assert!(!img.outputs.get(0, 0), "timer restarted");
+    }
+
+    #[test]
+    fn ctu_counts_rising_edges() {
+        // Q0.0 = CTU(I0.0) >= 3
+        let prog = PlcProgram::new(vec![Ld(I(0, 0)), Ctu { idx: 0, preset: 3 }, St(Q(0, 0))]);
+        let mut img = ProcessImage::new(1, 1, 1);
+        let mut st = PlcState::new(0, 1);
+        for i in 0..3 {
+            img.inputs.set(0, 0, true);
+            prog.scan(&mut img, &mut st, Nanos::ZERO);
+            let expect = i == 2;
+            assert_eq!(img.outputs.get(0, 0), expect, "pulse {i}");
+            img.inputs.set(0, 0, false);
+            prog.scan(&mut img, &mut st, Nanos::ZERO);
+        }
+        assert_eq!(st.count(0), 3);
+        // Holding the input high does not count again.
+        img.inputs.set(0, 0, true);
+        prog.scan(&mut img, &mut st, Nanos::ZERO);
+        prog.scan(&mut img, &mut st, Nanos::ZERO);
+        assert_eq!(st.count(0), 4);
+    }
+
+    #[test]
+    fn passthrough_copies_bits() {
+        let prog = PlcProgram::passthrough(2);
+        let mut img = ProcessImage::new(2, 2, 0);
+        img.inputs.set(0, 0, true);
+        img.inputs.set(1, 0, true);
+        scan_once(&prog, &mut img);
+        assert!(img.outputs.get(0, 0));
+        assert!(img.outputs.get(1, 0));
+    }
+
+    #[test]
+    fn scan_time_scales_with_program() {
+        let m = ScanTimeModel::default();
+        let small = PlcProgram::passthrough(2);
+        let big = PlcProgram::passthrough(200);
+        assert!(m.scan_time(&big) > m.scan_time(&small));
+        assert_eq!(
+            m.scan_time(&small),
+            NanoDur::from_micros(40) + NanoDur(150) * 4
+        );
+    }
+
+    #[test]
+    fn max_insns_budget() {
+        let m = ScanTimeModel::default();
+        // 500 µs machine-tool cycle (§2.1): (500-40)µs / 150ns ≈ 3066.
+        assert_eq!(m.max_insns_for_cycle(NanoDur::from_micros(500)), 3066);
+        assert_eq!(m.max_insns_for_cycle(NanoDur::from_micros(10)), 0);
+    }
+
+    #[test]
+    fn state_reset() {
+        let mut st = PlcState::new(2, 2);
+        st.counters[0] = (true, 5);
+        st.timers[0] = Some(Nanos(100));
+        st.reset();
+        assert_eq!(st.count(0), 0);
+        assert!(st.timers[0].is_none());
+    }
+}

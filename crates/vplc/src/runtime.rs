@@ -1,0 +1,287 @@
+//! The virtual PLC device: scan cycle + cyclic protocol + failure
+//! injection, runnable inside the network simulator.
+//!
+//! A vPLC is a controller CR endpoint driven by a cycle timer: each
+//! cycle it scans its logic over the process image (inputs were updated
+//! by arriving cyclic frames) and transmits its outputs. Crash/restore
+//! timers model the VM/container failures InstaPLC exists to mask.
+
+use crate::image::ProcessImage;
+use crate::program::{PlcProgram, PlcState, ScanTimeModel};
+use bytes::Bytes;
+use steelworks_netsim::frame::{ethertype, EthFrame, MacAddr, VlanTag};
+use steelworks_netsim::node::{Ctx, Device, PortId};
+use steelworks_netsim::stats::BinnedSeries;
+use steelworks_netsim::time::{NanoDur, Nanos};
+use steelworks_rtnet::connection::{ControllerCr, ControllerState, CrEvent};
+use steelworks_rtnet::frame::{CrParams, DataStatus, FrameId, RtPayload};
+
+/// Timer token: run one PLC cycle.
+const TOKEN_CYCLE: u64 = 1;
+/// Timer token: begin connection establishment.
+const TOKEN_START: u64 = 2;
+/// Timer token: transmit scan-delayed outputs.
+const TOKEN_FLUSH: u64 = 3;
+/// Injectable token: crash the vPLC (stops all transmission).
+pub const VPLC_CRASH_TOKEN: u64 = 0xC0;
+/// Injectable token: restore a crashed vPLC (reconnects).
+pub const VPLC_RESTORE_TOKEN: u64 = 0xC1;
+
+/// Counters exported by a [`VplcDevice`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VplcStats {
+    /// Cyclic data frames transmitted.
+    pub cyclic_sent: u64,
+    /// Cyclic data frames received.
+    pub cyclic_received: u64,
+    /// Times our consumer watchdog expired.
+    pub watchdog_expirations: u64,
+    /// Times we (re-)entered the Running state.
+    pub connects: u64,
+    /// Alarms received from the device.
+    pub alarms: u64,
+}
+
+/// A virtual PLC.
+pub struct VplcDevice {
+    name: String,
+    /// Our MAC.
+    pub mac: MacAddr,
+    /// The I/O device (or switch-presented twin) we control.
+    pub target: MacAddr,
+    cr: ControllerCr,
+    program: PlcProgram,
+    image: ProcessImage,
+    plc_state: PlcState,
+    /// Extra uniform jitter per cycle (virtualization stack quality).
+    pub scan_jitter: NanoDur,
+    /// Scan-time model: outputs leave one scan time after cycle start.
+    pub scan_model: ScanTimeModel,
+    /// Delay before the first connect attempt.
+    pub start_delay: NanoDur,
+    running: bool,
+    crashed: bool,
+    stats: VplcStats,
+    pending_out: Vec<(Nanos, RtPayload)>,
+    /// Cyclic frames sent per time bin (Fig. 5a's view from the vPLC).
+    pub sent_series: BinnedSeries,
+}
+
+impl VplcDevice {
+    /// A vPLC controlling `target` with the given CR parameters,
+    /// running `program`.
+    pub fn new(
+        name: impl Into<String>,
+        mac: MacAddr,
+        target: MacAddr,
+        frame_id: FrameId,
+        params: CrParams,
+        program: PlcProgram,
+    ) -> Self {
+        let image = ProcessImage::new(params.input_len as usize, params.output_len as usize, 16);
+        VplcDevice {
+            name: name.into(),
+            mac,
+            target,
+            cr: ControllerCr::new(frame_id, params),
+            program,
+            image,
+            plc_state: PlcState::new(16, 16),
+            scan_jitter: NanoDur::ZERO,
+            scan_model: ScanTimeModel::default(),
+            start_delay: NanoDur::ZERO,
+            running: true,
+            crashed: false,
+            stats: VplcStats::default(),
+            pending_out: Vec::new(),
+            sent_series: BinnedSeries::new(NanoDur::from_millis(50)),
+        }
+    }
+
+    /// Delay the first connect (builder style) — lets a secondary come
+    /// up after the primary.
+    pub fn with_start_delay(mut self, d: NanoDur) -> Self {
+        self.start_delay = d;
+        self
+    }
+
+    /// Add per-cycle scan jitter (builder style).
+    pub fn with_scan_jitter(mut self, j: NanoDur) -> Self {
+        self.scan_jitter = j;
+        self
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> VplcStats {
+        self.stats
+    }
+
+    /// Connection state.
+    pub fn cr_state(&self) -> ControllerState {
+        self.cr.state()
+    }
+
+    /// The process image (inspect outputs/inputs in tests).
+    pub fn image(&self) -> &ProcessImage {
+        &self.image
+    }
+
+    /// Mutable image access (test stimulus).
+    pub fn image_mut(&mut self) -> &mut ProcessImage {
+        &mut self.image
+    }
+
+    /// Is the vPLC crashed?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The scan time of this vPLC's program under its model.
+    pub fn scan_time(&self) -> NanoDur {
+        self.scan_model.scan_time(&self.program)
+    }
+
+    fn send_payload(&mut self, ctx: &mut Ctx<'_>, payload: &RtPayload) {
+        if let RtPayload::CyclicData { .. } = payload {
+            self.stats.cyclic_sent += 1;
+            self.sent_series.record(ctx.now());
+        }
+        let frame = EthFrame::new(
+            self.target,
+            self.mac,
+            ethertype::INDUSTRIAL_RT,
+            payload.to_bytes(),
+        )
+        .with_vlan(VlanTag::RT);
+        ctx.send(PortId(0), frame);
+    }
+
+    fn handle_events(&mut self, events: Vec<CrEvent>) {
+        for ev in events {
+            match ev {
+                CrEvent::Connected => self.stats.connects += 1,
+                CrEvent::Data { data, .. } => {
+                    self.stats.cyclic_received += 1;
+                    self.image.inputs.load(&data);
+                }
+                CrEvent::WatchdogExpired => self.stats.watchdog_expirations += 1,
+                CrEvent::Alarm(_) => self.stats.alarms += 1,
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Device for VplcDevice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.timer_in(self.start_delay, TOKEN_START);
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: EthFrame) {
+        if frame.ethertype != ethertype::INDUSTRIAL_RT || self.crashed {
+            return;
+        }
+        let Ok(payload) = RtPayload::parse(&frame.payload) else {
+            return;
+        };
+        let events = self.cr.on_payload(ctx.now(), &payload);
+        self.handle_events(events);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_START => {
+                if self.crashed {
+                    return;
+                }
+                let req = self.cr.start(ctx.now());
+                self.send_payload(ctx, &req);
+                let cycle = self.cr.params.cycle_time;
+                ctx.timer_in(cycle, TOKEN_CYCLE);
+            }
+            TOKEN_CYCLE => {
+                if self.crashed || !self.running {
+                    return;
+                }
+                let now = ctx.now();
+                // Scan: inputs were loaded by arriving frames. The
+                // scan time itself is bounded by the cycle — panic
+                // loudly if commissioning got that wrong.
+                let scan = self.scan_model.scan_time(&self.program);
+                assert!(
+                    scan < self.cr.params.cycle_time,
+                    "{}: scan time {scan} exceeds cycle {}",
+                    self.name,
+                    self.cr.params.cycle_time
+                );
+                self.program.scan(&mut self.image, &mut self.plc_state, now);
+                let outputs = self.image.outputs.bytes().to_vec();
+                let (payloads, events) = self.cr.tick(now, &outputs, DataStatus::running_primary());
+                self.handle_events(events);
+                // Outputs leave the station one scan time into the
+                // cycle (the classic read–execute–write phase shift).
+                for p in payloads {
+                    self.pending_out.push((now + scan, p));
+                }
+                ctx.timer_at(now + scan, TOKEN_FLUSH);
+                let mut next = self.cr.params.cycle_time;
+                if self.scan_jitter.as_nanos() > 0 {
+                    next += NanoDur(ctx.rng().below(self.scan_jitter.as_nanos() + 1));
+                }
+                ctx.timer_in(next, TOKEN_CYCLE);
+            }
+            TOKEN_FLUSH => {
+                if self.crashed {
+                    self.pending_out.clear();
+                    return;
+                }
+                let now = ctx.now();
+                let mut rest = Vec::new();
+                for (at, p) in std::mem::take(&mut self.pending_out) {
+                    if at <= now {
+                        self.send_payload(ctx, &p);
+                    } else {
+                        rest.push((at, p));
+                    }
+                }
+                self.pending_out = rest;
+            }
+            VPLC_CRASH_TOKEN => {
+                self.crashed = true;
+                self.pending_out.clear();
+            }
+            VPLC_RESTORE_TOKEN if self.crashed => {
+                self.crashed = false;
+                self.plc_state.reset();
+                // Re-establish from scratch, like a restarted pod.
+                self.cr = ControllerCr::new(self.cr.frame_id, self.cr.params);
+                let req = self.cr.start(ctx.now());
+                self.send_payload(ctx, &req);
+                ctx.timer_in(self.cr.params.cycle_time, TOKEN_CYCLE);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Build the cyclic frame a twin/monitor would expect from this CR —
+/// exposed for tests and for InstaPLC's twin construction.
+pub fn cyclic_frame(
+    src: MacAddr,
+    dst: MacAddr,
+    frame_id: FrameId,
+    cycle: u16,
+    data: &[u8],
+) -> EthFrame {
+    let payload = RtPayload::CyclicData {
+        frame_id,
+        cycle,
+        status: DataStatus::running_primary(),
+        data: Bytes::from(data.to_vec()),
+    };
+    EthFrame::new(dst, src, ethertype::INDUSTRIAL_RT, payload.to_bytes()).with_vlan(VlanTag::RT)
+}

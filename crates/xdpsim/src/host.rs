@@ -1,0 +1,261 @@
+//! Host system noise and clock models.
+//!
+//! §2.1 of the paper catalogues why commodity hosts cannot promise
+//! microsecond jitter: scheduler and IRQ interference, processor/memory
+//! /peripheral contention, and per-flow resource sharing that degrades
+//! per-core behaviour as flow counts rise. This module turns those
+//! findings into a parameterized stochastic model layered on top of the
+//! deterministic instruction cost of [`crate::vm`].
+
+use steelworks_netsim::rng::SimRng;
+use steelworks_netsim::time::{NanoDur, Nanos};
+
+/// Which kernel flavour the host runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelKind {
+    /// Mainline Linux with the PREEMPT_RT patch: bounded but not hard
+    /// real-time; rare multi-microsecond excursions remain.
+    PreemptRt,
+    /// Vanilla Linux: heavier tails, frequent excursions.
+    Vanilla,
+}
+
+/// Stochastic host-noise profile.
+///
+/// Per processed packet the host adds:
+///
+/// 1. a log-normal base term (scheduler/cache baseline),
+/// 2. with small probability, an IRQ/housekeeping spike,
+/// 3. a contention term that grows with the number of concurrently
+///    active real-time flows (per Cai et al.'s host-stack findings the
+///    paper cites: mixing flows on shared cores/NICs/NUMA nodes costs
+///    throughput and adds latency variance),
+/// 4. a wakeup penalty for every ring-buffer submission (IPI + consumer
+///    scheduling + cache pollution),
+/// 5. a DMA-cacheline flush penalty for packet writes.
+#[derive(Clone, Debug)]
+pub struct HostProfile {
+    /// Kernel flavour (affects defaults only; kept for reporting).
+    pub kernel: KernelKind,
+    /// μ of the log-normal base noise (ln ns).
+    pub base_mu: f64,
+    /// σ of the log-normal base noise.
+    pub base_sigma: f64,
+    /// Probability a housekeeping IRQ lands in the processing window.
+    pub irq_prob: f64,
+    /// Mean IRQ service cost in ns (exponential).
+    pub irq_cost_ns: f64,
+    /// Mean extra noise per additional concurrent flow (ns).
+    pub contention_ns_per_flow: f64,
+    /// σ of the per-flow contention log-normal.
+    pub contention_sigma: f64,
+    /// Mean ring-buffer wakeup penalty (ns, log-normal body).
+    pub ringbuf_wakeup_mu: f64,
+    /// σ of the ring-buffer wakeup penalty.
+    pub ringbuf_wakeup_sigma: f64,
+    /// Cost per dirtied packet cacheline write (ns).
+    pub pkt_write_flush_ns: f64,
+    /// Probability of a rare long excursion (Pareto tail).
+    pub spike_prob: f64,
+    /// Pareto scale of excursions (ns).
+    pub spike_scale_ns: f64,
+    /// Pareto shape of excursions (higher = lighter tail).
+    pub spike_alpha: f64,
+}
+
+impl HostProfile {
+    /// A tuned PREEMPT_RT host as used in the paper's testbed: tight
+    /// base noise, rare bounded excursions.
+    pub fn preempt_rt() -> Self {
+        HostProfile {
+            kernel: KernelKind::PreemptRt,
+            base_mu: (120.0f64).ln(),
+            base_sigma: 0.25,
+            irq_prob: 0.002,
+            irq_cost_ns: 1_800.0,
+            contention_ns_per_flow: 26.0,
+            contention_sigma: 0.5,
+            ringbuf_wakeup_mu: (4_200.0f64).ln(),
+            ringbuf_wakeup_sigma: 0.18,
+            pkt_write_flush_ns: 30.0,
+            spike_prob: 0.0005,
+            spike_scale_ns: 2_000.0,
+            spike_alpha: 2.5,
+        }
+    }
+
+    /// A vanilla (non-RT) kernel: same structure, heavier everything.
+    pub fn vanilla() -> Self {
+        HostProfile {
+            kernel: KernelKind::Vanilla,
+            base_mu: (260.0f64).ln(),
+            base_sigma: 0.45,
+            irq_prob: 0.01,
+            irq_cost_ns: 6_000.0,
+            contention_ns_per_flow: 55.0,
+            contention_sigma: 0.7,
+            ringbuf_wakeup_mu: (5_200.0f64).ln(),
+            ringbuf_wakeup_sigma: 0.35,
+            pkt_write_flush_ns: 45.0,
+            spike_prob: 0.004,
+            spike_scale_ns: 12_000.0,
+            spike_alpha: 1.8,
+        }
+    }
+
+    /// Draw the noise added to one packet's processing.
+    ///
+    /// `active_flows` is the number of concurrently live real-time
+    /// flows on this host; `ringbuf_events` and `pkt_writes` come from
+    /// the VM's [`crate::vm::RunResult`].
+    pub fn sample_noise(
+        &self,
+        rng: &mut SimRng,
+        active_flows: u32,
+        ringbuf_events: u32,
+        pkt_writes: u32,
+    ) -> NanoDur {
+        let mut ns = rng.log_normal(self.base_mu, self.base_sigma);
+        if rng.chance(self.irq_prob) {
+            ns += rng.exponential(self.irq_cost_ns);
+        }
+        if active_flows > 1 {
+            let extra_flows = (active_flows - 1) as f64;
+            let mu = (self.contention_ns_per_flow * extra_flows).max(1.0).ln();
+            ns += rng.log_normal(mu, self.contention_sigma);
+        }
+        for _ in 0..ringbuf_events {
+            ns += rng.log_normal(self.ringbuf_wakeup_mu, self.ringbuf_wakeup_sigma);
+        }
+        ns += self.pkt_write_flush_ns * pkt_writes as f64;
+        if rng.chance(self.spike_prob) {
+            ns += rng.pareto(self.spike_scale_ns, self.spike_alpha);
+        }
+        NanoDur(ns.max(0.0).round() as u64)
+    }
+}
+
+/// A host's local clock: offset + drift relative to simulated time.
+///
+/// Taps do not need this — that is their entire advantage (§3) — but
+/// any measurement comparing timestamps from *two* hosts inherits the
+/// combined offset error, which is how we reproduce the paper's
+/// tap-vs-PTP argument.
+#[derive(Clone, Copy, Debug)]
+pub struct HostClock {
+    /// Fixed offset from simulated time (may be negative).
+    pub offset_ns: i64,
+    /// Drift in parts per million.
+    pub drift_ppm: f64,
+}
+
+impl HostClock {
+    /// A perfect clock.
+    pub fn perfect() -> Self {
+        HostClock {
+            offset_ns: 0,
+            drift_ppm: 0.0,
+        }
+    }
+
+    /// A clock disciplined by PTP: residual offset in the hundreds of
+    /// nanoseconds (asymmetric path delays) plus small drift.
+    pub fn ptp_synced(residual_offset_ns: i64) -> Self {
+        HostClock {
+            offset_ns: residual_offset_ns,
+            drift_ppm: 0.02,
+        }
+    }
+
+    /// Read this clock at simulated instant `now`.
+    pub fn read(&self, now: Nanos) -> u64 {
+        let drift = (now.as_nanos() as f64 * self.drift_ppm / 1e6).round() as i64;
+        (now.as_nanos() as i64 + self.offset_ns + drift).max(0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rt_quieter_than_vanilla() {
+        let rt = HostProfile::preempt_rt();
+        let va = HostProfile::vanilla();
+        let mut rng1 = SimRng::seed_from_u64(1);
+        let mut rng2 = SimRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean = |p: &HostProfile, rng: &mut SimRng| {
+            (0..n)
+                .map(|_| p.sample_noise(rng, 1, 0, 0).as_nanos())
+                .sum::<u64>() as f64
+                / n as f64
+        };
+        let m_rt = mean(&rt, &mut rng1);
+        let m_va = mean(&va, &mut rng2);
+        assert!(m_va > 1.5 * m_rt, "vanilla {m_va} vs rt {m_rt}");
+    }
+
+    #[test]
+    fn flows_increase_noise() {
+        let p = HostProfile::preempt_rt();
+        let n = 20_000;
+        let mean_for = |flows: u32| {
+            let mut rng = SimRng::seed_from_u64(7);
+            (0..n)
+                .map(|_| p.sample_noise(&mut rng, flows, 0, 0).as_nanos())
+                .sum::<u64>() as f64
+                / n as f64
+        };
+        let one = mean_for(1);
+        let many = mean_for(25);
+        assert!(
+            many > one + 300.0,
+            "25 flows {many} should exceed 1 flow {one} by ~24*26ns"
+        );
+    }
+
+    #[test]
+    fn ringbuf_events_add_microseconds() {
+        let p = HostProfile::preempt_rt();
+        let n = 5_000;
+        let mean_for = |events: u32| {
+            let mut rng = SimRng::seed_from_u64(9);
+            (0..n)
+                .map(|_| p.sample_noise(&mut rng, 1, events, 0).as_nanos())
+                .sum::<u64>() as f64
+                / n as f64
+        };
+        let without = mean_for(0);
+        let with = mean_for(1);
+        assert!(
+            with - without > 3_000.0,
+            "ringbuf penalty too small: {} vs {}",
+            with,
+            without
+        );
+    }
+
+    #[test]
+    fn clock_offset_and_drift() {
+        let c = HostClock {
+            offset_ns: 500,
+            drift_ppm: 1.0,
+        };
+        // At t = 1 s: +500 offset +1000 drift.
+        assert_eq!(c.read(Nanos::from_secs(1)), 1_000_001_500);
+        assert_eq!(HostClock::perfect().read(Nanos(123)), 123);
+    }
+
+    #[test]
+    fn noise_nonnegative_and_deterministic() {
+        let p = HostProfile::vanilla();
+        let sample = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            (0..100)
+                .map(|_| p.sample_noise(&mut rng, 3, 1, 2).as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(5), sample(5));
+    }
+}

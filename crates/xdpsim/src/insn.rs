@@ -1,0 +1,285 @@
+//! The eBPF-like instruction set.
+//!
+//! A faithful subset of the eBPF ISA expressed as a typed IR instead of
+//! a binary encoding: eleven registers, 64-bit ALU, sized loads/stores,
+//! forward conditional jumps, helper calls and `Exit`. Floating point
+//! does not exist — exactly like real eBPF, where the verifier bans it
+//! and industrial users care because FP is a non-determinism source.
+
+/// One of the eleven eBPF registers.
+///
+/// Conventions match the kernel: `R0` return value, `R1..R5` arguments
+/// (scratch across calls), `R6..R9` callee-saved, `R10` read-only frame
+/// pointer to the top of the 512-byte stack.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Reg {
+    /// Return value / scratch.
+    R0,
+    /// Argument 1 — holds the context pointer on entry.
+    R1,
+    /// Argument 2.
+    R2,
+    /// Argument 3.
+    R3,
+    /// Argument 4.
+    R4,
+    /// Argument 5.
+    R5,
+    /// Callee-saved.
+    R6,
+    /// Callee-saved.
+    R7,
+    /// Callee-saved.
+    R8,
+    /// Callee-saved.
+    R9,
+    /// Frame pointer (read-only).
+    R10,
+}
+
+impl Reg {
+    /// Register index 0..=10.
+    pub fn idx(self) -> usize {
+        match self {
+            Reg::R0 => 0,
+            Reg::R1 => 1,
+            Reg::R2 => 2,
+            Reg::R3 => 3,
+            Reg::R4 => 4,
+            Reg::R5 => 5,
+            Reg::R6 => 6,
+            Reg::R7 => 7,
+            Reg::R8 => 8,
+            Reg::R9 => 9,
+            Reg::R10 => 10,
+        }
+    }
+
+    /// All registers in index order.
+    pub const ALL: [Reg; 11] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+    ];
+}
+
+/// 64-bit ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (verifier requires a provably non-zero divisor).
+    Div,
+    /// Unsigned remainder (same divisor rule).
+    Mod,
+    /// Bitwise or.
+    Or,
+    /// Bitwise and.
+    And,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left.
+    Lsh,
+    /// Logical shift right.
+    Rsh,
+    /// Arithmetic shift right.
+    Arsh,
+}
+
+/// Comparison predicates for conditional jumps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// unsigned `>`
+    Gt,
+    /// unsigned `>=`
+    Ge,
+    /// unsigned `<`
+    Lt,
+    /// unsigned `<=`
+    Le,
+    /// signed `>`
+    SGt,
+    /// signed `<`
+    SLt,
+}
+
+/// Memory access width.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Size {
+    /// 1 byte.
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    DW,
+}
+
+impl Size {
+    /// Width in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            Size::B => 1,
+            Size::H => 2,
+            Size::W => 4,
+            Size::DW => 8,
+        }
+    }
+}
+
+/// Kernel helper functions callable from programs.
+///
+/// Each helper has a semantic implementation in [`crate::vm`] and a
+/// latency entry in [`crate::cost::CostModel`] — the cost asymmetry
+/// between helpers is exactly what the paper's Traffic Reflection
+/// experiment (Fig. 4) surfaces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Helper {
+    /// `bpf_ktime_get_ns()` → R0 = current host-clock time.
+    KtimeGetNs,
+    /// `bpf_map_lookup_elem(map_fd: R1, key_ptr: R2)` → R0 = value ptr or 0.
+    MapLookup,
+    /// `bpf_map_update_elem(map_fd: R1, key_ptr: R2, value_ptr: R3)` → R0 = 0/err.
+    MapUpdate,
+    /// `bpf_ringbuf_output(map_fd: R1, data_ptr: R2, len: R3)` → R0 = 0/err.
+    RingbufOutput,
+    /// `bpf_ringbuf_reserve(map_fd: R1, len: R2)` → R0 = ptr or 0.
+    RingbufReserve,
+    /// `bpf_ringbuf_submit(ptr: R1)` → R0 = 0.
+    RingbufSubmit,
+    /// `bpf_xdp_adjust_head(ctx: R1, delta: R2)` → R0 = 0/err.
+    XdpAdjustHead,
+    /// `bpf_get_smp_processor_id()` → R0 = cpu id.
+    GetSmpProcessorId,
+    /// `bpf_csum_diff(from: R1, from_len: R2, to: R3, to_len: R4, seed: R5)` → R0.
+    CsumDiff,
+    /// `bpf_get_prandom_u32()` → R0.
+    GetPrandomU32,
+}
+
+/// One instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Insn {
+    /// `dst = imm`
+    MovImm(Reg, i64),
+    /// `dst = src`
+    MovReg(Reg, Reg),
+    /// `dst = dst <op> imm`
+    AluImm(AluOp, Reg, i64),
+    /// `dst = dst <op> src`
+    AluReg(AluOp, Reg, Reg),
+    /// `dst = -dst`
+    Neg(Reg),
+    /// `dst = *(size*)(base + off)`
+    Load(Size, Reg, Reg, i16),
+    /// `*(size*)(base + off) = src`
+    Store(Size, Reg, i16, Reg),
+    /// `*(size*)(base + off) = imm`
+    StoreImm(Size, Reg, i16, i64),
+    /// Unconditional forward jump by `off` instructions (relative to next).
+    Ja(i16),
+    /// `if dst <op> imm { pc += off }`
+    JmpImm(CmpOp, Reg, i64, i16),
+    /// `if dst <op> src { pc += off }`
+    JmpReg(CmpOp, Reg, Reg, i16),
+    /// Call a helper.
+    Call(Helper),
+    /// Return R0 to the runtime.
+    Exit,
+}
+
+/// Hard limit on program length (mirrors the kernel's insn budget
+/// for unprivileged programs).
+pub const MAX_INSNS: usize = 4096;
+
+/// XDP return codes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum XdpAction {
+    /// Error in the program; packet is dropped and the event counted.
+    Aborted,
+    /// Drop the packet.
+    Drop,
+    /// Pass up the regular stack.
+    Pass,
+    /// Bounce back out the ingress interface.
+    Tx,
+    /// Send out another interface (unsupported target ⇒ drop).
+    Redirect,
+}
+
+impl XdpAction {
+    /// Decode a program's R0 on exit; unknown values abort (as in the
+    /// kernel, where an out-of-range action is treated as an error).
+    pub fn from_ret(v: u64) -> XdpAction {
+        match v {
+            0 => XdpAction::Aborted,
+            1 => XdpAction::Drop,
+            2 => XdpAction::Pass,
+            3 => XdpAction::Tx,
+            4 => XdpAction::Redirect,
+            _ => XdpAction::Aborted,
+        }
+    }
+
+    /// The numeric return value a program must place in R0.
+    pub fn code(self) -> i64 {
+        match self {
+            XdpAction::Aborted => 0,
+            XdpAction::Drop => 1,
+            XdpAction::Pass => 2,
+            XdpAction::Tx => 3,
+            XdpAction::Redirect => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_indices_dense() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.idx(), i);
+        }
+    }
+
+    #[test]
+    fn size_bytes() {
+        assert_eq!(Size::B.bytes(), 1);
+        assert_eq!(Size::H.bytes(), 2);
+        assert_eq!(Size::W.bytes(), 4);
+        assert_eq!(Size::DW.bytes(), 8);
+    }
+
+    #[test]
+    fn action_roundtrip() {
+        for a in [
+            XdpAction::Aborted,
+            XdpAction::Drop,
+            XdpAction::Pass,
+            XdpAction::Tx,
+            XdpAction::Redirect,
+        ] {
+            assert_eq!(XdpAction::from_ret(a.code() as u64), a);
+        }
+        assert_eq!(XdpAction::from_ret(99), XdpAction::Aborted);
+    }
+}

@@ -1,0 +1,60 @@
+//! # steelworks-xdpsim
+//!
+//! An eBPF/XDP substrate for timing studies: a typed eBPF-like ISA, a
+//! kernel-style static verifier, array/hash/per-CPU/ring-buffer maps,
+//! an interpreter that charges a per-operation cost model, and host /
+//! NIC / PCIe latency models that together reproduce the timing
+//! behaviour the paper's Traffic Reflection method (§3, Fig. 4)
+//! measures on real hardware.
+//!
+//! ## Layers
+//!
+//! 1. [`insn`] / [`prog`] — the ISA and a label-resolving assembler.
+//! 2. [`verifier`] — abstract interpretation enforcing the classic
+//!    eBPF safety rules (bounds checks, null checks, init tracking).
+//! 3. [`maps`] / [`vm`] — program state and the costed interpreter.
+//! 4. [`cost`] / [`host`] / [`nic`] — the timing stack: deterministic
+//!    instruction costs, stochastic host noise, NIC+PCIe latency.
+//! 5. [`xdp`] — an [`steelworks_netsim::node::Device`] wiring it all
+//!    into the network simulator.
+//! 6. [`programs`] — the paper's six reflection program variants.
+//!
+//! ```
+//! use steelworks_xdpsim::programs::{reflect_variant, standard_maps, ReflectVariant};
+//! use steelworks_xdpsim::verifier::verify;
+//!
+//! let (maps, rb) = standard_maps();
+//! let prog = reflect_variant(ReflectVariant::TsRb, rb);
+//! verify(&prog, &maps).expect("all shipped variants pass the verifier");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod host;
+pub mod insn;
+pub mod maps;
+pub mod nic;
+pub mod prog;
+pub mod programs;
+pub mod verifier;
+pub mod vm;
+pub mod xdp;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::cost::{CostModel, ExecCost};
+    pub use crate::host::{HostClock, HostProfile, KernelKind};
+    pub use crate::insn::{AluOp, CmpOp, Helper, Insn, Reg, Size, XdpAction};
+    pub use crate::maps::{BpfMap, MapFd, MapKind, MapSet};
+    pub use crate::nic::{NicModel, PcieModel};
+    pub use crate::prog::{Program, ProgramBuilder};
+    pub use crate::programs::{
+        reflect_variant, rt_filter, rt_filter_allow, rt_filter_count, standard_maps, ReflectVariant,
+    };
+    pub use crate::verifier::{verify, VerifyError};
+    pub use crate::vm::{run, RunResult, Trap, XdpContext};
+    pub use crate::xdp::{XdpHost, XdpStats};
+}

@@ -1,0 +1,390 @@
+//! BPF maps: the state shared between programs and userspace.
+//!
+//! Four of the kernel's map types are modelled — the ones the paper's
+//! measurement programs touch: array, hash, per-CPU array, and the ring
+//! buffer whose submit path turns out to dominate eBPF timing variance
+//! in Fig. 4.
+
+use std::collections::HashMap;
+
+/// Handle to a map within a [`MapSet`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MapFd(pub u32);
+
+/// Map behaviours.
+#[derive(Clone, Debug)]
+pub enum MapKind {
+    /// Fixed-size array of fixed-size values, keyed by u32 index.
+    Array {
+        /// Value size in bytes.
+        value_size: usize,
+        /// Number of slots.
+        max_entries: usize,
+    },
+    /// Hash map with fixed-size keys and values.
+    Hash {
+        /// Key size in bytes.
+        key_size: usize,
+        /// Value size in bytes.
+        value_size: usize,
+        /// Capacity; inserts beyond it fail (E2BIG in the kernel).
+        max_entries: usize,
+    },
+    /// Per-CPU array: one value slot per CPU per index.
+    PerCpuArray {
+        /// Value size in bytes.
+        value_size: usize,
+        /// Number of slots.
+        max_entries: usize,
+        /// Number of CPUs.
+        cpus: usize,
+    },
+    /// Ring buffer of variable-size records, drained by userspace.
+    RingBuf {
+        /// Capacity in bytes (power of two in the kernel; we only
+        /// require it to be positive).
+        capacity: usize,
+    },
+}
+
+/// A map instance.
+#[derive(Clone, Debug)]
+pub struct BpfMap {
+    /// Behaviour and geometry.
+    pub kind: MapKind,
+    array: Vec<Vec<u8>>,
+    hash: HashMap<Vec<u8>, Vec<u8>>,
+    ring: RingState,
+}
+
+#[derive(Clone, Debug, Default)]
+struct RingState {
+    used: usize,
+    records: Vec<Vec<u8>>,
+    dropped: u64,
+    reserved: Option<usize>, // pending reservation length
+}
+
+/// Result codes mirroring kernel errno conventions (negated).
+pub const ENOENT: i64 = -2;
+/// Out of space.
+pub const E2BIG: i64 = -7;
+/// Invalid argument.
+pub const EINVAL: i64 = -22;
+
+impl BpfMap {
+    /// Create a map of the given kind.
+    pub fn new(kind: MapKind) -> Self {
+        let array = match &kind {
+            MapKind::Array {
+                value_size,
+                max_entries,
+            } => vec![vec![0u8; *value_size]; *max_entries],
+            MapKind::PerCpuArray {
+                value_size,
+                max_entries,
+                cpus,
+            } => vec![vec![0u8; *value_size]; *max_entries * *cpus],
+            _ => Vec::new(),
+        };
+        BpfMap {
+            kind,
+            array,
+            hash: HashMap::new(),
+            ring: RingState::default(),
+        }
+    }
+
+    /// Array/per-CPU lookup; returns the value slice.
+    pub fn array_lookup(&self, index: u32, cpu: usize) -> Option<&[u8]> {
+        match &self.kind {
+            MapKind::Array { max_entries, .. } => {
+                if (index as usize) < *max_entries {
+                    Some(&self.array[index as usize])
+                } else {
+                    None
+                }
+            }
+            MapKind::PerCpuArray {
+                max_entries, cpus, ..
+            } => {
+                if (index as usize) < *max_entries && cpu < *cpus {
+                    Some(&self.array[index as usize * *cpus + cpu])
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable array/per-CPU slot.
+    pub fn array_lookup_mut(&mut self, index: u32, cpu: usize) -> Option<&mut Vec<u8>> {
+        match &self.kind {
+            MapKind::Array { max_entries, .. } => {
+                if (index as usize) < *max_entries {
+                    Some(&mut self.array[index as usize])
+                } else {
+                    None
+                }
+            }
+            MapKind::PerCpuArray {
+                max_entries, cpus, ..
+            } => {
+                let (m, c) = (*max_entries, *cpus);
+                if (index as usize) < m && cpu < c {
+                    Some(&mut self.array[index as usize * c + cpu])
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Hash lookup.
+    pub fn hash_lookup(&self, key: &[u8]) -> Option<&[u8]> {
+        match &self.kind {
+            MapKind::Hash { key_size, .. } if key.len() == *key_size => {
+                self.hash.get(key).map(|v| v.as_slice())
+            }
+            _ => None,
+        }
+    }
+
+    /// Hash insert/update. Returns 0 or a negative errno.
+    pub fn hash_update(&mut self, key: &[u8], value: &[u8]) -> i64 {
+        match &self.kind {
+            MapKind::Hash {
+                key_size,
+                value_size,
+                max_entries,
+            } => {
+                if key.len() != *key_size || value.len() != *value_size {
+                    return EINVAL;
+                }
+                if !self.hash.contains_key(key) && self.hash.len() >= *max_entries {
+                    return E2BIG;
+                }
+                self.hash.insert(key.to_vec(), value.to_vec());
+                0
+            }
+            _ => EINVAL,
+        }
+    }
+
+    /// Mutable access to an existing hash value (used by the VM to make
+    /// lookup pointers writable, as in the kernel).
+    pub fn hash_value_mut(&mut self, key: &[u8]) -> Option<&mut [u8]> {
+        self.hash.get_mut(key).map(|v| v.as_mut_slice())
+    }
+
+    /// Hash delete. Returns 0 or -ENOENT.
+    pub fn hash_delete(&mut self, key: &[u8]) -> i64 {
+        if self.hash.remove(key).is_some() {
+            0
+        } else {
+            ENOENT
+        }
+    }
+
+    /// Number of live hash entries.
+    pub fn hash_len(&self) -> usize {
+        self.hash.len()
+    }
+
+    /// Ring buffer: reserve `len` bytes. Returns false when full (the
+    /// kernel returns NULL and the event is lost).
+    pub fn ring_reserve(&mut self, len: usize) -> bool {
+        let MapKind::RingBuf { capacity } = self.kind else {
+            return false;
+        };
+        // Kernel charges a small header per record.
+        let charged = len + 8;
+        if self.ring.reserved.is_some() || self.ring.used + charged > capacity {
+            self.ring.dropped += 1;
+            return false;
+        }
+        self.ring.reserved = Some(len);
+        self.ring.used += charged;
+        true
+    }
+
+    /// Ring buffer: submit the pending reservation with its payload.
+    pub fn ring_submit(&mut self, data: Vec<u8>) -> i64 {
+        match self.ring.reserved.take() {
+            Some(len) if data.len() == len => {
+                self.ring.records.push(data);
+                0
+            }
+            _ => EINVAL,
+        }
+    }
+
+    /// Ring buffer: one-shot reserve+submit (`bpf_ringbuf_output`).
+    pub fn ring_output(&mut self, data: &[u8]) -> i64 {
+        if self.ring_reserve(data.len()) {
+            self.ring_submit(data.to_vec())
+        } else {
+            E2BIG
+        }
+    }
+
+    /// Userspace side: drain all submitted records, freeing space.
+    pub fn ring_drain(&mut self) -> Vec<Vec<u8>> {
+        self.ring.used = self.ring.reserved.map(|l| l + 8).unwrap_or(0);
+        std::mem::take(&mut self.ring.records)
+    }
+
+    /// Records currently submitted and undrained.
+    pub fn ring_len(&self) -> usize {
+        self.ring.records.len()
+    }
+
+    /// Events lost to a full ring.
+    pub fn ring_dropped(&self) -> u64 {
+        self.ring.dropped
+    }
+}
+
+/// All maps visible to one program/host.
+#[derive(Clone, Debug, Default)]
+pub struct MapSet {
+    maps: Vec<BpfMap>,
+}
+
+impl MapSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        MapSet::default()
+    }
+
+    /// Create a map, returning its fd.
+    pub fn create(&mut self, kind: MapKind) -> MapFd {
+        let fd = MapFd(self.maps.len() as u32);
+        self.maps.push(BpfMap::new(kind));
+        fd
+    }
+
+    /// Borrow a map.
+    pub fn get(&self, fd: MapFd) -> Option<&BpfMap> {
+        self.maps.get(fd.0 as usize)
+    }
+
+    /// Borrow a map mutably.
+    pub fn get_mut(&mut self, fd: MapFd) -> Option<&mut BpfMap> {
+        self.maps.get_mut(fd.0 as usize)
+    }
+
+    /// Number of maps.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// True when no maps exist.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_lookup_bounds() {
+        let m = BpfMap::new(MapKind::Array {
+            value_size: 8,
+            max_entries: 4,
+        });
+        assert!(m.array_lookup(3, 0).is_some());
+        assert!(m.array_lookup(4, 0).is_none());
+        assert_eq!(m.array_lookup(0, 0).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn per_cpu_slots_independent() {
+        let mut m = BpfMap::new(MapKind::PerCpuArray {
+            value_size: 4,
+            max_entries: 2,
+            cpus: 2,
+        });
+        m.array_lookup_mut(0, 0).unwrap()[0] = 0xAA;
+        m.array_lookup_mut(0, 1).unwrap()[0] = 0xBB;
+        assert_eq!(m.array_lookup(0, 0).unwrap()[0], 0xAA);
+        assert_eq!(m.array_lookup(0, 1).unwrap()[0], 0xBB);
+        assert!(m.array_lookup(0, 2).is_none());
+    }
+
+    #[test]
+    fn hash_update_lookup_delete() {
+        let mut m = BpfMap::new(MapKind::Hash {
+            key_size: 4,
+            value_size: 2,
+            max_entries: 2,
+        });
+        assert_eq!(m.hash_update(&[1, 2, 3, 4], &[9, 9]), 0);
+        assert_eq!(m.hash_lookup(&[1, 2, 3, 4]), Some(&[9u8, 9][..]));
+        assert_eq!(m.hash_update(&[1, 2, 3], &[9, 9]), EINVAL);
+        assert_eq!(m.hash_update(&[0, 0, 0, 1], &[1, 1]), 0);
+        // Capacity 2 reached; a third distinct key fails.
+        assert_eq!(m.hash_update(&[0, 0, 0, 2], &[1, 1]), E2BIG);
+        // Updating an existing key still succeeds.
+        assert_eq!(m.hash_update(&[1, 2, 3, 4], &[7, 7]), 0);
+        assert_eq!(m.hash_delete(&[1, 2, 3, 4]), 0);
+        assert_eq!(m.hash_delete(&[1, 2, 3, 4]), ENOENT);
+    }
+
+    #[test]
+    fn ringbuf_reserve_submit_drain() {
+        let mut m = BpfMap::new(MapKind::RingBuf { capacity: 64 });
+        assert!(m.ring_reserve(8));
+        assert_eq!(m.ring_submit(vec![1; 8]), 0);
+        assert_eq!(m.ring_len(), 1);
+        let drained = m.ring_drain();
+        assert_eq!(drained, vec![vec![1; 8]]);
+        assert_eq!(m.ring_len(), 0);
+    }
+
+    #[test]
+    fn ringbuf_overflow_drops() {
+        let mut m = BpfMap::new(MapKind::RingBuf { capacity: 32 });
+        assert_eq!(m.ring_output(&[0; 8]), 0); // 16 charged
+        assert_eq!(m.ring_output(&[0; 8]), 0); // 32 charged
+        assert_eq!(m.ring_output(&[0; 8]), E2BIG);
+        assert_eq!(m.ring_dropped(), 1);
+        m.ring_drain();
+        assert_eq!(m.ring_output(&[0; 8]), 0);
+    }
+
+    #[test]
+    fn ringbuf_double_reserve_fails() {
+        let mut m = BpfMap::new(MapKind::RingBuf { capacity: 1024 });
+        assert!(m.ring_reserve(8));
+        assert!(!m.ring_reserve(8), "one outstanding reservation max");
+        assert_eq!(m.ring_submit(vec![0; 8]), 0);
+        assert!(m.ring_reserve(8));
+    }
+
+    #[test]
+    fn submit_wrong_len_einval() {
+        let mut m = BpfMap::new(MapKind::RingBuf { capacity: 1024 });
+        assert!(m.ring_reserve(8));
+        assert_eq!(m.ring_submit(vec![0; 4]), EINVAL);
+    }
+
+    #[test]
+    fn mapset_fds_stable() {
+        let mut s = MapSet::new();
+        let a = s.create(MapKind::Array {
+            value_size: 8,
+            max_entries: 1,
+        });
+        let b = s.create(MapKind::RingBuf { capacity: 64 });
+        assert_ne!(a, b);
+        assert!(s.get(a).is_some());
+        assert!(s.get(b).is_some());
+        assert!(s.get(MapFd(99)).is_none());
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,366 @@
+//! Program construction: a tiny assembler with labels.
+//!
+//! Programs are written in builder style and resolved to a flat
+//! instruction vector. Only forward references are permitted — matching
+//! the verifier's back-edge ban — so a label must be placed *after*
+//! every jump that targets it.
+
+use crate::insn::{AluOp, CmpOp, Helper, Insn, Reg, Size};
+use std::collections::HashMap;
+
+/// A compiled program plus metadata.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Name for traces and reports (e.g. `"TS-RB"`).
+    pub name: String,
+    /// Flat instruction stream.
+    pub insns: Vec<Insn>,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True for the (never-valid) empty program.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Disassemble to bpftool-flavoured text (one insn per line,
+    /// absolute jump targets).
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (i, insn) in self.insns.iter().enumerate() {
+            let line = match insn {
+                Insn::MovImm(d, v) => format!("{d:?} = {v}"),
+                Insn::MovReg(d, s) => format!("{d:?} = {s:?}"),
+                Insn::Neg(d) => format!("{d:?} = -{d:?}"),
+                Insn::AluImm(op, d, v) => format!("{d:?} {} {v}", alu_sym(*op)),
+                Insn::AluReg(op, d, s) => format!("{d:?} {} {s:?}", alu_sym(*op)),
+                Insn::Load(sz, d, b, off) => {
+                    format!("{d:?} = *({}*)({b:?} {off:+})", sz_sym(*sz))
+                }
+                Insn::Store(sz, b, off, s) => {
+                    format!("*({}*)({b:?} {off:+}) = {s:?}", sz_sym(*sz))
+                }
+                Insn::StoreImm(sz, b, off, v) => {
+                    format!("*({}*)({b:?} {off:+}) = {v}", sz_sym(*sz))
+                }
+                Insn::Ja(off) => format!("goto {}", i as i64 + 1 + *off as i64),
+                Insn::JmpImm(op, r, v, off) => format!(
+                    "if {r:?} {} {v} goto {}",
+                    cmp_sym(*op),
+                    i as i64 + 1 + *off as i64
+                ),
+                Insn::JmpReg(op, a, b, off) => format!(
+                    "if {a:?} {} {b:?} goto {}",
+                    cmp_sym(*op),
+                    i as i64 + 1 + *off as i64
+                ),
+                Insn::Call(h) => format!("call {h:?}"),
+                Insn::Exit => "exit".to_string(),
+            };
+            out.push_str(&format!("{i:4}: {line}\n"));
+        }
+        out
+    }
+}
+
+fn alu_sym(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "+=",
+        AluOp::Sub => "-=",
+        AluOp::Mul => "*=",
+        AluOp::Div => "/=",
+        AluOp::Mod => "%=",
+        AluOp::Or => "|=",
+        AluOp::And => "&=",
+        AluOp::Xor => "^=",
+        AluOp::Lsh => "<<=",
+        AluOp::Rsh => ">>=",
+        AluOp::Arsh => "s>>=",
+    }
+}
+
+fn sz_sym(s: Size) -> &'static str {
+    match s {
+        Size::B => "u8",
+        Size::H => "u16",
+        Size::W => "u32",
+        Size::DW => "u64",
+    }
+}
+
+fn cmp_sym(c: CmpOp) -> &'static str {
+    match c {
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::SGt => "s>",
+        CmpOp::SLt => "s<",
+    }
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "; program {} ({} insns)", self.name, self.insns.len())?;
+        f.write_str(&self.disassemble())
+    }
+}
+
+/// Forward-reference label.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+enum Pending {
+    Ja(usize, Label),
+    JmpImm(usize, CmpOp, Reg, i64, Label),
+    JmpReg(usize, CmpOp, Reg, Reg, Label),
+}
+
+/// Assembler for [`Program`]s.
+pub struct ProgramBuilder {
+    name: String,
+    insns: Vec<Insn>,
+    labels: HashMap<Label, usize>,
+    next_label: usize,
+    pending: Vec<Pending>,
+}
+
+impl ProgramBuilder {
+    /// Start a program called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            insns: Vec::new(),
+            labels: HashMap::new(),
+            next_label: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Allocate a label to be placed later with [`Self::bind`].
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Bind a label to the *next* emitted instruction.
+    pub fn bind(&mut self, l: Label) -> &mut Self {
+        let prev = self.labels.insert(l, self.insns.len());
+        assert!(prev.is_none(), "label bound twice");
+        self
+    }
+
+    /// `dst = imm`
+    pub fn mov_imm(&mut self, dst: Reg, imm: i64) -> &mut Self {
+        self.insns.push(Insn::MovImm(dst, imm));
+        self
+    }
+
+    /// `dst = src`
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.insns.push(Insn::MovReg(dst, src));
+        self
+    }
+
+    /// `dst = dst <op> imm`
+    pub fn alu_imm(&mut self, op: AluOp, dst: Reg, imm: i64) -> &mut Self {
+        self.insns.push(Insn::AluImm(op, dst, imm));
+        self
+    }
+
+    /// `dst = dst <op> src`
+    pub fn alu(&mut self, op: AluOp, dst: Reg, src: Reg) -> &mut Self {
+        self.insns.push(Insn::AluReg(op, dst, src));
+        self
+    }
+
+    /// `dst += imm`
+    pub fn add_imm(&mut self, dst: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Add, dst, imm)
+    }
+
+    /// `dst = *(size*)(base + off)`
+    pub fn load(&mut self, size: Size, dst: Reg, base: Reg, off: i16) -> &mut Self {
+        self.insns.push(Insn::Load(size, dst, base, off));
+        self
+    }
+
+    /// `*(size*)(base + off) = src`
+    pub fn store(&mut self, size: Size, base: Reg, off: i16, src: Reg) -> &mut Self {
+        self.insns.push(Insn::Store(size, base, off, src));
+        self
+    }
+
+    /// `*(size*)(base + off) = imm`
+    pub fn store_imm(&mut self, size: Size, base: Reg, off: i16, imm: i64) -> &mut Self {
+        self.insns.push(Insn::StoreImm(size, base, off, imm));
+        self
+    }
+
+    /// Unconditional jump to a (forward) label.
+    pub fn ja(&mut self, target: Label) -> &mut Self {
+        self.pending.push(Pending::Ja(self.insns.len(), target));
+        self.insns.push(Insn::Ja(0));
+        self
+    }
+
+    /// `if dst <op> imm goto target`
+    pub fn jmp_imm(&mut self, op: CmpOp, dst: Reg, imm: i64, target: Label) -> &mut Self {
+        self.pending
+            .push(Pending::JmpImm(self.insns.len(), op, dst, imm, target));
+        self.insns.push(Insn::JmpImm(op, dst, imm, 0));
+        self
+    }
+
+    /// `if dst <op> src goto target`
+    pub fn jmp_reg(&mut self, op: CmpOp, dst: Reg, src: Reg, target: Label) -> &mut Self {
+        self.pending
+            .push(Pending::JmpReg(self.insns.len(), op, dst, src, target));
+        self.insns.push(Insn::JmpReg(op, dst, src, 0));
+        self
+    }
+
+    /// Call a helper.
+    pub fn call(&mut self, h: Helper) -> &mut Self {
+        self.insns.push(Insn::Call(h));
+        self
+    }
+
+    /// Return from the program.
+    pub fn exit(&mut self) -> &mut Self {
+        self.insns.push(Insn::Exit);
+        self
+    }
+
+    /// Resolve labels and produce the program.
+    ///
+    /// Panics on unbound labels or non-forward jumps: both are
+    /// construction bugs, not runtime conditions.
+    pub fn build(self) -> Program {
+        let mut insns = self.insns;
+        for p in self.pending {
+            let (at, target) = match &p {
+                Pending::Ja(at, l)
+                | Pending::JmpImm(at, _, _, _, l)
+                | Pending::JmpReg(at, _, _, _, l) => (*at, *l),
+            };
+            let to = *self
+                .labels
+                .get(&target)
+                .unwrap_or_else(|| panic!("unbound label {target:?}"));
+            assert!(to > at, "only forward jumps are allowed (at {at} -> {to})");
+            let off = (to - at - 1) as i16;
+            insns[at] = match p {
+                Pending::Ja(..) => Insn::Ja(off),
+                Pending::JmpImm(_, op, r, imm, _) => Insn::JmpImm(op, r, imm, off),
+                Pending::JmpReg(_, op, a, b, _) => Insn::JmpReg(op, a, b, off),
+            };
+        }
+        Program {
+            name: self.name,
+            insns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward() {
+        let mut b = ProgramBuilder::new("t");
+        let done = b.label();
+        b.mov_imm(Reg::R0, 1)
+            .jmp_imm(CmpOp::Eq, Reg::R0, 1, done)
+            .mov_imm(Reg::R0, 2)
+            .bind(done)
+            .exit();
+        let p = b.build();
+        assert_eq!(p.len(), 4);
+        match p.insns[1] {
+            Insn::JmpImm(CmpOp::Eq, Reg::R0, 1, off) => assert_eq!(off, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.ja(l).exit();
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "forward jumps")]
+    fn backward_jump_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let top = b.label();
+        b.bind(top).mov_imm(Reg::R0, 0).ja(top);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.bind(l).mov_imm(Reg::R0, 0);
+        b.bind(l);
+    }
+
+    #[test]
+    fn disassembly_readable() {
+        let mut b = ProgramBuilder::new("d");
+        let end = b.label();
+        b.mov_imm(Reg::R0, 2)
+            .jmp_imm(CmpOp::Eq, Reg::R0, 2, end)
+            .call(Helper::KtimeGetNs)
+            .bind(end)
+            .exit();
+        let p = b.build();
+        let text = p.to_string();
+        assert!(text.contains("; program d (4 insns)"), "{text}");
+        assert!(text.contains("R0 = 2"), "{text}");
+        assert!(text.contains("if R0 == 2 goto 3"), "{text}");
+        assert!(text.contains("call KtimeGetNs"), "{text}");
+        assert!(text.trim_end().ends_with("exit"), "{text}");
+    }
+
+    #[test]
+    fn disassembly_memory_forms() {
+        let mut b = ProgramBuilder::new("m");
+        b.load(Size::W, Reg::R0, Reg::R10, -8)
+            .store_imm(Size::DW, Reg::R10, -16, 7)
+            .exit();
+        let text = b.build().disassemble();
+        assert!(text.contains("R0 = *(u32*)(R10 -8)"), "{text}");
+        assert!(text.contains("*(u64*)(R10 -16) = 7"), "{text}");
+    }
+
+    #[test]
+    fn ja_offset_resolution() {
+        let mut b = ProgramBuilder::new("t");
+        let end = b.label();
+        b.ja(end)
+            .mov_imm(Reg::R0, 1)
+            .mov_imm(Reg::R0, 2)
+            .bind(end)
+            .exit();
+        let p = b.build();
+        match p.insns[0] {
+            Insn::Ja(off) => assert_eq!(off, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

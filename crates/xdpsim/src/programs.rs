@@ -1,0 +1,413 @@
+//! The six Traffic Reflection program variants of §3 / Fig. 4.
+//!
+//! Every variant builds on the Base reflector (bounds-check, swap MACs,
+//! `XDP_TX`), adding a small amount of observability code:
+//!
+//! | Variant  | Added code                                           |
+//! |----------|------------------------------------------------------|
+//! | `Base`   | nothing                                              |
+//! | `TS`     | one `ktime_get_ns`, stored to the stack              |
+//! | `TS-TS`  | two timestamps                                       |
+//! | `TS-RB`  | one timestamp submitted to a ring buffer             |
+//! | `TS-OW`  | one timestamp overwritten into the packet payload    |
+//! | `TS-D-RB`| difference of two timestamps into the ring buffer    |
+//!
+//! The paper's finding — that these seemingly trivial additions shift
+//! the delay distribution measurably — reproduces here because the
+//! helpers have very different prices (see [`crate::cost`]) and the
+//! ring-buffer variants additionally wake a userspace consumer (see
+//! [`crate::host`]).
+
+use crate::insn::{AluOp, CmpOp, Helper, Reg, Size, XdpAction};
+use crate::maps::{MapFd, MapKind, MapSet};
+use crate::prog::{Program, ProgramBuilder};
+use crate::verifier::ctx_layout;
+
+/// The six measurement program variants evaluated in Fig. 4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReflectVariant {
+    /// Reflect only.
+    Base,
+    /// One timestamp to stack.
+    Ts,
+    /// Two timestamps to stack.
+    TsTs,
+    /// Timestamp into ring buffer (reserve + submit).
+    TsRb,
+    /// Timestamp overwritten into the packet payload.
+    TsOw,
+    /// Difference of two timestamps into ring buffer (output).
+    TsDRb,
+}
+
+impl ReflectVariant {
+    /// Paper name of the variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReflectVariant::Base => "Base",
+            ReflectVariant::Ts => "TS",
+            ReflectVariant::TsTs => "TS-TS",
+            ReflectVariant::TsRb => "TS-RB",
+            ReflectVariant::TsOw => "TS-OW",
+            ReflectVariant::TsDRb => "TS-D-RB",
+        }
+    }
+
+    /// All variants in the paper's order.
+    pub const ALL: [ReflectVariant; 6] = [
+        ReflectVariant::Base,
+        ReflectVariant::Ts,
+        ReflectVariant::TsTs,
+        ReflectVariant::TsRb,
+        ReflectVariant::TsOw,
+        ReflectVariant::TsDRb,
+    ];
+}
+
+/// The map set the variants expect: one ring buffer at fd 0.
+pub fn standard_maps() -> (MapSet, MapFd) {
+    let mut maps = MapSet::new();
+    let rb = maps.create(MapKind::RingBuf { capacity: 1 << 20 });
+    (maps, rb)
+}
+
+/// Emit the shared prologue: load data/data_end, bounds-check
+/// `ETH_HLEN + extra` bytes (branching to `fail`), leaving:
+/// R6 = packet data, R7 = data_end.
+fn prologue(b: &mut ProgramBuilder, extra: i64, fail: crate::prog::Label) {
+    b.load(Size::DW, Reg::R6, Reg::R1, ctx_layout::DATA)
+        .load(Size::DW, Reg::R7, Reg::R1, ctx_layout::DATA_END)
+        .mov(Reg::R2, Reg::R6)
+        .add_imm(Reg::R2, 14 + extra)
+        .jmp_reg(CmpOp::Gt, Reg::R2, Reg::R7, fail);
+}
+
+/// Emit the MAC swap over R6 (12 verified bytes), byte-wise.
+fn mac_swap(b: &mut ProgramBuilder) {
+    for i in 0..6i16 {
+        b.load(Size::B, Reg::R3, Reg::R6, i)
+            .load(Size::B, Reg::R4, Reg::R6, i + 6)
+            .store(Size::B, Reg::R6, i, Reg::R4)
+            .store(Size::B, Reg::R6, i + 6, Reg::R3);
+    }
+}
+
+/// Emit the epilogue: `return XDP_TX`, plus the shared fail path
+/// (`return XDP_DROP`).
+fn epilogue(b: &mut ProgramBuilder, fail: crate::prog::Label) {
+    b.mov_imm(Reg::R0, XdpAction::Tx.code())
+        .exit()
+        .bind(fail)
+        .mov_imm(Reg::R0, XdpAction::Drop.code())
+        .exit();
+}
+
+/// Build one reflection variant. `rb` is the ring buffer fd from
+/// [`standard_maps`] (unused by non-RB variants but kept uniform).
+pub fn reflect_variant(variant: ReflectVariant, rb: MapFd) -> Program {
+    let mut b = ProgramBuilder::new(variant.name());
+    let fail = b.label();
+    match variant {
+        ReflectVariant::Base => {
+            prologue(&mut b, 0, fail);
+            mac_swap(&mut b);
+            epilogue(&mut b, fail);
+        }
+        ReflectVariant::Ts => {
+            prologue(&mut b, 0, fail);
+            b.call(Helper::KtimeGetNs)
+                .store(Size::DW, Reg::R10, -8, Reg::R0);
+            mac_swap(&mut b);
+            epilogue(&mut b, fail);
+        }
+        ReflectVariant::TsTs => {
+            prologue(&mut b, 0, fail);
+            b.call(Helper::KtimeGetNs)
+                .store(Size::DW, Reg::R10, -8, Reg::R0);
+            mac_swap(&mut b);
+            b.call(Helper::KtimeGetNs)
+                .store(Size::DW, Reg::R10, -16, Reg::R0);
+            epilogue(&mut b, fail);
+        }
+        ReflectVariant::TsRb => {
+            prologue(&mut b, 0, fail);
+            b.call(Helper::KtimeGetNs).mov(Reg::R8, Reg::R0);
+            mac_swap(&mut b);
+            // reserve(8) -> write ts -> submit; on full ring, skip.
+            let full = b.label();
+            b.mov_imm(Reg::R1, rb.0 as i64)
+                .mov_imm(Reg::R2, 8)
+                .call(Helper::RingbufReserve)
+                .jmp_imm(CmpOp::Eq, Reg::R0, 0, full)
+                .store(Size::DW, Reg::R0, 0, Reg::R8)
+                .mov(Reg::R1, Reg::R0)
+                .call(Helper::RingbufSubmit)
+                .bind(full);
+            epilogue(&mut b, fail);
+        }
+        ReflectVariant::TsOw => {
+            // Needs 8 payload bytes after the Ethernet header.
+            prologue(&mut b, 8, fail);
+            b.call(Helper::KtimeGetNs)
+                .store(Size::DW, Reg::R6, 14, Reg::R0);
+            mac_swap(&mut b);
+            epilogue(&mut b, fail);
+        }
+        ReflectVariant::TsDRb => {
+            prologue(&mut b, 0, fail);
+            b.call(Helper::KtimeGetNs).mov(Reg::R8, Reg::R0);
+            mac_swap(&mut b);
+            b.call(Helper::KtimeGetNs)
+                .alu(AluOp::Sub, Reg::R0, Reg::R8)
+                .store(Size::DW, Reg::R10, -8, Reg::R0)
+                .mov_imm(Reg::R1, rb.0 as i64)
+                .mov(Reg::R2, Reg::R10)
+                .add_imm(Reg::R2, -8)
+                .mov_imm(Reg::R3, 8)
+                .call(Helper::RingbufOutput);
+            epilogue(&mut b, fail);
+        }
+    }
+    b.build()
+}
+
+/// Build an RT-traffic **filter**: pass only industrial-RT frames whose
+/// FrameID is present in an allowlist hash map, dropping everything
+/// else and counting both outcomes in a per-CPU array — the packet
+/// filtering use of XDP the paper's §3 context cites. Returns the
+/// program; `maps` gains the allowlist (key u16-as-4B, value 1B) and
+/// the counter array (index 0 = passed, 1 = dropped).
+pub fn rt_filter(maps: &mut MapSet) -> (Program, MapFd, MapFd) {
+    let allow = maps.create(MapKind::Hash {
+        key_size: 4,
+        value_size: 1,
+        max_entries: 1024,
+    });
+    let counters = maps.create(MapKind::PerCpuArray {
+        value_size: 8,
+        max_entries: 2,
+        cpus: 8,
+    });
+    let mut b = ProgramBuilder::new("rt-filter");
+    let drop_l = b.label();
+    // Bounds-check the Ethernet header + 2 bytes of FrameID.
+    prologue(&mut b, 2, drop_l);
+    // Ethertype must be 0x8892 (industrial RT): bytes 12..14.
+    b.load(Size::B, Reg::R2, Reg::R6, 12)
+        .alu_imm(AluOp::Lsh, Reg::R2, 8)
+        .load(Size::B, Reg::R3, Reg::R6, 13)
+        .alu(AluOp::Or, Reg::R2, Reg::R3)
+        .jmp_imm(CmpOp::Ne, Reg::R2, 0x8892, drop_l);
+    // FrameID (big-endian at payload offset 0 = frame offset 14).
+    b.load(Size::B, Reg::R2, Reg::R6, 14)
+        .alu_imm(AluOp::Lsh, Reg::R2, 8)
+        .load(Size::B, Reg::R3, Reg::R6, 15)
+        .alu(AluOp::Or, Reg::R2, Reg::R3)
+        // Key on the stack (u32 LE).
+        .store(Size::W, Reg::R10, -4, Reg::R2)
+        .mov_imm(Reg::R1, allow.0 as i64)
+        .mov(Reg::R2, Reg::R10)
+        .add_imm(Reg::R2, -4)
+        .call(Helper::MapLookup)
+        .jmp_imm(CmpOp::Eq, Reg::R0, 0, drop_l);
+    // Passed: count[0] += 1.
+    count_bump(&mut b, counters, 0);
+    b.mov_imm(Reg::R0, XdpAction::Pass.code()).exit();
+    // Dropped: count[1] += 1.
+    b.bind(drop_l);
+    count_bump(&mut b, counters, 1);
+    b.mov_imm(Reg::R0, XdpAction::Drop.code()).exit();
+    (b.build(), allow, counters)
+}
+
+/// Emit `counters[idx] += 1` (per-CPU array, load-modify-store through
+/// a null-checked lookup pointer).
+fn count_bump(b: &mut ProgramBuilder, counters: MapFd, idx: i64) {
+    let skip = b.label();
+    b.store_imm(Size::W, Reg::R10, -8, idx)
+        .mov_imm(Reg::R1, counters.0 as i64)
+        .mov(Reg::R2, Reg::R10)
+        .add_imm(Reg::R2, -8)
+        .call(Helper::MapLookup)
+        .jmp_imm(CmpOp::Eq, Reg::R0, 0, skip)
+        .load(Size::DW, Reg::R3, Reg::R0, 0)
+        .alu_imm(AluOp::Add, Reg::R3, 1)
+        .store(Size::DW, Reg::R0, 0, Reg::R3)
+        .bind(skip);
+}
+
+/// Install a FrameID into an `rt_filter` allowlist (userspace side).
+pub fn rt_filter_allow(maps: &mut MapSet, allow: MapFd, frame_id: u16) {
+    let key = (frame_id as u32).to_le_bytes();
+    maps.get_mut(allow)
+        .expect("allowlist exists")
+        .hash_update(&key, &[1]);
+}
+
+/// Read an `rt_filter` counter summed over CPUs: idx 0 = passed,
+/// idx 1 = dropped.
+pub fn rt_filter_count(maps: &MapSet, counters: MapFd, idx: u32) -> u64 {
+    let m = maps.get(counters).expect("counters exist");
+    (0..8)
+        .filter_map(|cpu| m.array_lookup(idx, cpu))
+        .map(|v| u64::from_le_bytes(v.try_into().expect("8B value")))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::verifier::verify;
+    use crate::vm::{run, XdpContext};
+    use steelworks_netsim::rng::SimRng;
+
+    #[test]
+    fn all_variants_verify() {
+        let (maps, rb) = standard_maps();
+        for v in ReflectVariant::ALL {
+            let p = reflect_variant(v, rb);
+            verify(&p, &maps).unwrap_or_else(|e| panic!("{} failed: {e}", v.name()));
+        }
+    }
+
+    fn exec(v: ReflectVariant, payload: usize) -> (crate::vm::RunResult, MapSet, MapFd, Vec<u8>) {
+        let (mut maps, rb) = standard_maps();
+        let p = reflect_variant(v, rb);
+        let mut pkt = vec![0u8; 14 + payload];
+        pkt[0..6].copy_from_slice(&[0xAA; 6]);
+        pkt[6..12].copy_from_slice(&[0xBB; 6]);
+        let cm = CostModel::default();
+        let mut rng = SimRng::seed_from_u64(3);
+        let r = run(
+            &p,
+            &mut pkt,
+            XdpContext::default(),
+            &mut maps,
+            &cm,
+            5_000_000,
+            0,
+            &mut rng,
+        );
+        (r, maps, rb, pkt)
+    }
+
+    #[test]
+    fn all_variants_tx_and_swap() {
+        for v in ReflectVariant::ALL {
+            let (r, _, _, pkt) = exec(v, 50);
+            assert_eq!(r.action, XdpAction::Tx, "{}", v.name());
+            assert!(r.trap.is_none(), "{}: {:?}", v.name(), r.trap);
+            assert_eq!(&pkt[0..6], &[0xBB; 6], "{}", v.name());
+            assert_eq!(&pkt[6..12], &[0xAA; 6], "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn rb_variants_emit_records() {
+        for v in [ReflectVariant::TsRb, ReflectVariant::TsDRb] {
+            let (r, mut maps, rb, _) = exec(v, 50);
+            assert_eq!(r.ringbuf_events, 1, "{}", v.name());
+            assert_eq!(maps.get_mut(rb).unwrap().ring_drain().len(), 1);
+        }
+        for v in [
+            ReflectVariant::Base,
+            ReflectVariant::Ts,
+            ReflectVariant::TsOw,
+        ] {
+            let (r, _, _, _) = exec(v, 50);
+            assert_eq!(r.ringbuf_events, 0, "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn ow_variant_writes_timestamp_into_payload() {
+        let (_, _, _, pkt) = exec(ReflectVariant::TsOw, 50);
+        let ts = u64::from_le_bytes(pkt[14..22].try_into().unwrap());
+        assert!(ts >= 5_000_000, "timestamp {ts} written into payload");
+    }
+
+    #[test]
+    fn ow_variant_drops_tiny_packets() {
+        // 4-byte payload < 8 needed: program takes the fail branch.
+        let (r, _, _, _) = exec(ReflectVariant::TsOw, 4);
+        assert_eq!(r.action, XdpAction::Drop);
+    }
+
+    #[test]
+    fn ts_d_rb_records_nonzero_delta() {
+        let (_, mut maps, rb, _) = exec(ReflectVariant::TsDRb, 50);
+        let recs = maps.get_mut(rb).unwrap().ring_drain();
+        let delta = u64::from_le_bytes(recs[0][..8].try_into().unwrap());
+        assert!(delta > 0, "two timestamps must differ (delta={delta})");
+        assert!(delta < 1_000, "delta {delta} implausibly large");
+    }
+
+    #[test]
+    fn rt_filter_verifies_and_filters() {
+        let mut maps = MapSet::new();
+        let (prog, allow, counters) = rt_filter(&mut maps);
+        verify(&prog, &maps).expect("rt-filter verifies");
+        rt_filter_allow(&mut maps, allow, 0x8001);
+
+        let cm = CostModel::default();
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut run_one = |fid: u16, ethertype: u16| {
+            let mut pkt = vec![0u8; 64];
+            pkt[12..14].copy_from_slice(&ethertype.to_be_bytes());
+            pkt[14..16].copy_from_slice(&fid.to_be_bytes());
+            run(
+                &prog,
+                &mut pkt,
+                XdpContext::default(),
+                &mut maps,
+                &cm,
+                0,
+                0,
+                &mut rng,
+            )
+        };
+        assert_eq!(run_one(0x8001, 0x8892).action, XdpAction::Pass);
+        assert_eq!(run_one(0x8002, 0x8892).action, XdpAction::Drop);
+        assert_eq!(run_one(0x8001, 0x0800).action, XdpAction::Drop, "non-RT");
+        assert_eq!(rt_filter_count(&maps, counters, 0), 1);
+        assert_eq!(rt_filter_count(&maps, counters, 1), 2);
+    }
+
+    #[test]
+    fn rt_filter_short_frame_dropped() {
+        let mut maps = MapSet::new();
+        let (prog, _, counters) = rt_filter(&mut maps);
+        let cm = CostModel::default();
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut pkt = vec![0u8; 10]; // shorter than eth header
+        let r = run(
+            &prog,
+            &mut pkt,
+            XdpContext::default(),
+            &mut maps,
+            &cm,
+            0,
+            0,
+            &mut rng,
+        );
+        assert_eq!(r.action, XdpAction::Drop);
+        assert!(r.trap.is_none());
+        assert_eq!(rt_filter_count(&maps, counters, 1), 1);
+    }
+
+    #[test]
+    fn cost_ordering_matches_added_code() {
+        let cost = |v| {
+            let (r, _, _, _) = exec(v, 50);
+            r.cost.ns
+        };
+        let base = cost(ReflectVariant::Base);
+        let ts = cost(ReflectVariant::Ts);
+        let ts_ts = cost(ReflectVariant::TsTs);
+        let ts_rb = cost(ReflectVariant::TsRb);
+        assert!(ts > base);
+        assert!(ts_ts > ts);
+        assert!(ts_rb > ts_ts);
+    }
+}

@@ -1,0 +1,1245 @@
+//! The static verifier.
+//!
+//! A faithful-in-spirit model of the kernel's eBPF verifier, specialised
+//! to XDP programs: abstract interpretation over the (acyclic) control
+//! flow graph tracking register types, stack initialization, packet
+//! bounds knowledge, and map value nullability.
+//!
+//! Simplifications relative to the kernel (documented deliberately):
+//!
+//! - Only forward jumps exist in the IR, so programs are DAGs and no
+//!   loop analysis is needed (matching classic eBPF's back-edge ban).
+//! - Scalars track at most one known constant value (enough to resolve
+//!   map fds and immediate divisors); full interval tracking is not
+//!   implemented.
+//! - Division/modulo by a register is rejected outright instead of
+//!   being range-proven.
+//! - Packet pointers with non-constant offsets can never be
+//!   dereferenced.
+
+use crate::insn::{AluOp, CmpOp, Helper, Insn, Reg, Size, MAX_INSNS};
+use crate::maps::{MapKind, MapSet};
+use crate::prog::Program;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Size of the program stack, as in the kernel.
+pub const STACK_SIZE: usize = 512;
+
+/// Simulated `xdp_md` context layout (simulator-defined, 64-bit fields
+/// for data pointers):
+pub mod ctx_layout {
+    /// `*(u64*)(ctx + 0)` → packet data pointer.
+    pub const DATA: i16 = 0;
+    /// `*(u64*)(ctx + 8)` → packet data end pointer.
+    pub const DATA_END: i16 = 8;
+    /// `*(u32*)(ctx + 16)` → ingress ifindex.
+    pub const INGRESS_IFINDEX: i16 = 16;
+    /// `*(u32*)(ctx + 20)` → rx queue index.
+    pub const RX_QUEUE: i16 = 20;
+}
+
+/// Abstract register value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AbsVal {
+    /// Never written on this path.
+    Uninit,
+    /// Arbitrary number; `Some(v)` when the exact value is known.
+    Scalar(Option<i64>),
+    /// The XDP context pointer (R1 at entry).
+    CtxPtr,
+    /// Pointer into the packet at constant offset `off` from its start.
+    PktPtr { off: u32 },
+    /// Pointer into the packet at an unknown offset (not dereferencable).
+    PktPtrUnknown,
+    /// The packet end sentinel.
+    PktEnd,
+    /// Pointer into the stack frame; `off` is relative to R10 (<= 0).
+    StackPtr { off: i32 },
+    /// Pointer to a map value of `size` bytes; must be null-checked
+    /// while `nullable`.
+    MapValuePtr { size: u32, nullable: bool },
+    /// Pointer to a reserved ring buffer record.
+    RingBufPtr { size: u32, nullable: bool },
+}
+
+impl AbsVal {
+    fn is_init(&self) -> bool {
+        !matches!(self, AbsVal::Uninit)
+    }
+}
+
+/// Abstract machine state at one program point.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct State {
+    regs: [AbsVal; 11],
+    /// Which stack bytes have been written (index 0 = lowest address,
+    /// i.e. R10 - STACK_SIZE).
+    stack_init: [bool; STACK_SIZE],
+    /// Proven minimum packet length (bytes readable from packet start).
+    pkt_len_min: u32,
+}
+
+impl State {
+    fn entry() -> Self {
+        let mut regs = [AbsVal::Uninit; 11];
+        regs[Reg::R1.idx()] = AbsVal::CtxPtr;
+        regs[Reg::R10.idx()] = AbsVal::StackPtr { off: 0 };
+        State {
+            regs,
+            stack_init: [false; STACK_SIZE],
+            pkt_len_min: 0,
+        }
+    }
+
+    fn get(&self, r: Reg) -> AbsVal {
+        self.regs[r.idx()]
+    }
+
+    fn set(&mut self, r: Reg, v: AbsVal) -> Result<(), VerifyError> {
+        if r == Reg::R10 {
+            return Err(VerifyError::FramePointerWrite);
+        }
+        self.regs[r.idx()] = v;
+        Ok(())
+    }
+
+    /// Merge an incoming state into this one (joins are conservative:
+    /// intersection of knowledge).
+    fn merge(&mut self, other: &State) -> bool {
+        let mut changed = false;
+        for i in 0..11 {
+            let merged = merge_vals(self.regs[i], other.regs[i]);
+            if merged != self.regs[i] {
+                self.regs[i] = merged;
+                changed = true;
+            }
+        }
+        for i in 0..STACK_SIZE {
+            let merged = self.stack_init[i] && other.stack_init[i];
+            if merged != self.stack_init[i] {
+                self.stack_init[i] = merged;
+                changed = true;
+            }
+        }
+        let merged_len = self.pkt_len_min.min(other.pkt_len_min);
+        if merged_len != self.pkt_len_min {
+            self.pkt_len_min = merged_len;
+            changed = true;
+        }
+        changed
+    }
+}
+
+fn merge_vals(a: AbsVal, b: AbsVal) -> AbsVal {
+    use AbsVal::*;
+    if a == b {
+        return a;
+    }
+    match (a, b) {
+        (Scalar(x), Scalar(y)) => Scalar(if x == y { x } else { None }),
+        (PktPtr { off: o1 }, PktPtr { off: o2 }) => {
+            if o1 == o2 {
+                PktPtr { off: o1 }
+            } else {
+                PktPtrUnknown
+            }
+        }
+        (
+            MapValuePtr {
+                size: s1,
+                nullable: n1,
+            },
+            MapValuePtr {
+                size: s2,
+                nullable: n2,
+            },
+        ) if s1 == s2 => MapValuePtr {
+            size: s1,
+            nullable: n1 || n2,
+        },
+        (
+            RingBufPtr {
+                size: s1,
+                nullable: n1,
+            },
+            RingBufPtr {
+                size: s2,
+                nullable: n2,
+            },
+        ) if s1 == s2 => RingBufPtr {
+            size: s1,
+            nullable: n1 || n2,
+        },
+        // A register that is a scalar on one path and a pointer on the
+        // other (or vice versa) is unusable afterwards.
+        _ => Uninit,
+    }
+}
+
+/// Why a program was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Empty program.
+    Empty,
+    /// More than [`MAX_INSNS`] instructions.
+    TooLong(usize),
+    /// Execution can run off the end of the instruction stream.
+    FallOffEnd(usize),
+    /// Jump target outside the program.
+    BadJumpTarget(usize),
+    /// A backward jump (loop) was encountered.
+    BackEdge(usize),
+    /// Read of a register never written on some path.
+    UninitRead(usize, Reg),
+    /// Write to the read-only frame pointer.
+    FramePointerWrite,
+    /// Possibly-zero divisor.
+    DivByZero(usize),
+    /// Division by a register (unsupported; use immediates).
+    RegDivisor(usize),
+    /// Memory access through a non-pointer.
+    NonPointerDeref(usize, Reg),
+    /// Packet access without a proven bound.
+    PktOutOfBounds {
+        /// Instruction index.
+        at: usize,
+        /// Bytes needed from packet start.
+        need: u32,
+        /// Bytes proven available.
+        have: u32,
+    },
+    /// Stack access outside the 512-byte frame.
+    StackOutOfBounds(usize, i32),
+    /// Read of uninitialized stack bytes.
+    StackUninitRead(usize, i32),
+    /// Dereference of a possibly-null map/ringbuf value.
+    PossibleNullDeref(usize, Reg),
+    /// Access beyond a map value's size.
+    MapValueOutOfBounds(usize),
+    /// Write into the read-only context.
+    CtxWrite(usize),
+    /// Load from an unmodelled context offset.
+    BadCtxAccess(usize, i16),
+    /// Helper called with a bad argument.
+    BadHelperArg {
+        /// Instruction index.
+        at: usize,
+        /// Helper being called.
+        helper: Helper,
+        /// Human-readable complaint.
+        what: &'static str,
+    },
+    /// Helper fd argument does not name a map of the required kind.
+    BadMapFd(usize),
+    /// `Exit` with R0 not holding an initialized scalar.
+    BadReturn(usize),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Empty => write!(f, "empty program"),
+            VerifyError::TooLong(n) => write!(f, "program too long: {n} insns"),
+            VerifyError::FallOffEnd(i) => write!(f, "insn {i}: control falls off the end"),
+            VerifyError::BadJumpTarget(i) => write!(f, "insn {i}: jump out of range"),
+            VerifyError::BackEdge(i) => write!(f, "insn {i}: backward jump"),
+            VerifyError::UninitRead(i, r) => write!(f, "insn {i}: read of uninitialized {r:?}"),
+            VerifyError::FramePointerWrite => write!(f, "write to frame pointer R10"),
+            VerifyError::DivByZero(i) => write!(f, "insn {i}: divisor may be zero"),
+            VerifyError::RegDivisor(i) => write!(f, "insn {i}: register divisor unsupported"),
+            VerifyError::NonPointerDeref(i, r) => {
+                write!(f, "insn {i}: memory access through non-pointer {r:?}")
+            }
+            VerifyError::PktOutOfBounds { at, need, have } => write!(
+                f,
+                "insn {at}: packet access needs {need} bytes, only {have} proven"
+            ),
+            VerifyError::StackOutOfBounds(i, off) => {
+                write!(f, "insn {i}: stack access at offset {off} out of frame")
+            }
+            VerifyError::StackUninitRead(i, off) => {
+                write!(f, "insn {i}: read of uninitialized stack at {off}")
+            }
+            VerifyError::PossibleNullDeref(i, r) => {
+                write!(f, "insn {i}: possible NULL dereference of {r:?}")
+            }
+            VerifyError::MapValueOutOfBounds(i) => {
+                write!(f, "insn {i}: access beyond map value bounds")
+            }
+            VerifyError::CtxWrite(i) => write!(f, "insn {i}: context is read-only"),
+            VerifyError::BadCtxAccess(i, off) => {
+                write!(f, "insn {i}: invalid context offset {off}")
+            }
+            VerifyError::BadHelperArg { at, helper, what } => {
+                write!(f, "insn {at}: {helper:?}: {what}")
+            }
+            VerifyError::BadMapFd(i) => write!(f, "insn {i}: fd is not a suitable map"),
+            VerifyError::BadReturn(i) => write!(f, "insn {i}: R0 not a scalar at exit"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Statistics from a successful verification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Distinct (insn, state-merge) steps processed.
+    pub states_processed: u64,
+    /// Program length.
+    pub insns: usize,
+}
+
+/// Verify `prog` against the maps it will run with.
+pub fn verify(prog: &Program, maps: &MapSet) -> Result<VerifyStats, VerifyError> {
+    if prog.insns.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    if prog.insns.len() > MAX_INSNS {
+        return Err(VerifyError::TooLong(prog.insns.len()));
+    }
+
+    let n = prog.insns.len();
+    // Static jump sanity (targets in range, forward only).
+    for (i, insn) in prog.insns.iter().enumerate() {
+        let off = match insn {
+            Insn::Ja(off) | Insn::JmpImm(_, _, _, off) | Insn::JmpReg(_, _, _, off) => Some(*off),
+            _ => None,
+        };
+        if let Some(off) = off {
+            if off < 0 {
+                return Err(VerifyError::BackEdge(i));
+            }
+            let tgt = i as i64 + 1 + off as i64;
+            if tgt as usize > n || tgt < 0 {
+                return Err(VerifyError::BadJumpTarget(i));
+            }
+            if tgt as usize == n {
+                return Err(VerifyError::BadJumpTarget(i));
+            }
+        }
+        // Plain fallthrough off the end.
+        if i == n - 1 && !matches!(insn, Insn::Exit | Insn::Ja(_)) {
+            return Err(VerifyError::FallOffEnd(i));
+        }
+    }
+
+    let mut states: Vec<Option<State>> = vec![None; n];
+    states[0] = Some(State::entry());
+    let mut work: VecDeque<usize> = VecDeque::new();
+    work.push_back(0);
+    let mut processed = 0u64;
+
+    while let Some(pc) = work.pop_front() {
+        let Some(state) = states[pc].clone() else {
+            continue;
+        };
+        processed += 1;
+        // Safety valve: DAG with state merging converges fast; this
+        // guards against implementation bugs only.
+        if processed > (n as u64) * 64 {
+            break;
+        }
+        let outcomes = step(pc, &prog.insns[pc], state, maps)?;
+        for (tgt, st) in outcomes {
+            match &mut states[tgt] {
+                Some(existing) => {
+                    if existing.merge(&st) {
+                        work.push_back(tgt);
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(st);
+                    work.push_back(tgt);
+                }
+            }
+        }
+    }
+
+    Ok(VerifyStats {
+        states_processed: processed,
+        insns: n,
+    })
+}
+
+type Outcomes = Vec<(usize, State)>;
+
+fn require_init(st: &State, r: Reg, pc: usize) -> Result<AbsVal, VerifyError> {
+    let v = st.get(r);
+    if v.is_init() {
+        Ok(v)
+    } else {
+        Err(VerifyError::UninitRead(pc, r))
+    }
+}
+
+fn check_mem_access(
+    st: &State,
+    pc: usize,
+    base: Reg,
+    off: i16,
+    size: Size,
+    is_write: bool,
+) -> Result<(), VerifyError> {
+    let b = require_init(st, base, pc)?;
+    let width = size.bytes() as i32;
+    match b {
+        AbsVal::CtxPtr => {
+            if is_write {
+                return Err(VerifyError::CtxWrite(pc));
+            }
+            Ok(())
+        }
+        AbsVal::PktPtr { off: pk } => {
+            if off < 0 {
+                return Err(VerifyError::PktOutOfBounds {
+                    at: pc,
+                    need: 0,
+                    have: st.pkt_len_min,
+                });
+            }
+            let need = pk + off as u32 + width as u32;
+            if need > st.pkt_len_min {
+                return Err(VerifyError::PktOutOfBounds {
+                    at: pc,
+                    need,
+                    have: st.pkt_len_min,
+                });
+            }
+            Ok(())
+        }
+        AbsVal::PktPtrUnknown | AbsVal::PktEnd => Err(VerifyError::PktOutOfBounds {
+            at: pc,
+            need: u32::MAX,
+            have: st.pkt_len_min,
+        }),
+        AbsVal::StackPtr { off: so } => {
+            let lo = so + off as i32;
+            let hi = lo + width;
+            if lo < -(STACK_SIZE as i32) || hi > 0 {
+                return Err(VerifyError::StackOutOfBounds(pc, lo));
+            }
+            if !is_write {
+                let start = (lo + STACK_SIZE as i32) as usize;
+                for i in start..start + width as usize {
+                    if !st.stack_init[i] {
+                        return Err(VerifyError::StackUninitRead(pc, lo));
+                    }
+                }
+            }
+            Ok(())
+        }
+        AbsVal::MapValuePtr { size: ms, nullable } | AbsVal::RingBufPtr { size: ms, nullable } => {
+            if nullable {
+                return Err(VerifyError::PossibleNullDeref(pc, base));
+            }
+            if off < 0 || off as u32 + width as u32 > ms {
+                return Err(VerifyError::MapValueOutOfBounds(pc));
+            }
+            Ok(())
+        }
+        _ => Err(VerifyError::NonPointerDeref(pc, base)),
+    }
+}
+
+fn mark_stack_write(st: &mut State, base_off: i32, off: i16, size: Size) {
+    let lo = base_off + off as i32 + STACK_SIZE as i32;
+    for i in lo as usize..(lo as usize + size.bytes()) {
+        st.stack_init[i] = true;
+    }
+}
+
+fn scalar_bin(op: AluOp, a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    let (x, y) = (a?, b?);
+    Some(match op {
+        AluOp::Add => x.wrapping_add(y),
+        AluOp::Sub => x.wrapping_sub(y),
+        AluOp::Mul => x.wrapping_mul(y),
+        AluOp::Div => ((x as u64).checked_div(y as u64)).unwrap_or(0) as i64,
+        AluOp::Mod => ((x as u64).checked_rem(y as u64)).unwrap_or(0) as i64,
+        AluOp::Or => x | y,
+        AluOp::And => x & y,
+        AluOp::Xor => x ^ y,
+        AluOp::Lsh => ((x as u64) << (y as u64 & 63)) as i64,
+        AluOp::Rsh => ((x as u64) >> (y as u64 & 63)) as i64,
+        AluOp::Arsh => x >> (y & 63),
+    })
+}
+
+fn step(pc: usize, insn: &Insn, mut st: State, maps: &MapSet) -> Result<Outcomes, VerifyError> {
+    let next = pc + 1;
+    match *insn {
+        Insn::MovImm(dst, imm) => {
+            st.set(dst, AbsVal::Scalar(Some(imm)))?;
+            Ok(vec![(next, st)])
+        }
+        Insn::MovReg(dst, src) => {
+            let v = require_init(&st, src, pc)?;
+            st.set(dst, v)?;
+            Ok(vec![(next, st)])
+        }
+        Insn::Neg(dst) => {
+            match require_init(&st, dst, pc)? {
+                AbsVal::Scalar(v) => st.set(dst, AbsVal::Scalar(v.map(|x| x.wrapping_neg())))?,
+                _ => st.set(dst, AbsVal::Scalar(None))?,
+            }
+            Ok(vec![(next, st)])
+        }
+        Insn::AluImm(op, dst, imm) => {
+            if matches!(op, AluOp::Div | AluOp::Mod) && imm == 0 {
+                return Err(VerifyError::DivByZero(pc));
+            }
+            let v = require_init(&st, dst, pc)?;
+            let nv = match (v, op) {
+                (AbsVal::Scalar(c), _) => AbsVal::Scalar(scalar_bin(op, c, Some(imm))),
+                (AbsVal::PktPtr { off }, AluOp::Add) => {
+                    if imm >= 0 && off as i64 + imm <= u32::MAX as i64 {
+                        AbsVal::PktPtr {
+                            off: off + imm as u32,
+                        }
+                    } else {
+                        AbsVal::PktPtrUnknown
+                    }
+                }
+                (AbsVal::StackPtr { off }, AluOp::Add) => AbsVal::StackPtr {
+                    off: off + imm as i32,
+                },
+                (AbsVal::StackPtr { off }, AluOp::Sub) => AbsVal::StackPtr {
+                    off: off - imm as i32,
+                },
+                // Arithmetic that destroys pointer provenance.
+                _ => AbsVal::Scalar(None),
+            };
+            st.set(dst, nv)?;
+            Ok(vec![(next, st)])
+        }
+        Insn::AluReg(op, dst, src) => {
+            if matches!(op, AluOp::Div | AluOp::Mod) {
+                // Allowed only when the divisor is a known non-zero const.
+                match require_init(&st, src, pc)? {
+                    AbsVal::Scalar(Some(v)) if v != 0 => {}
+                    AbsVal::Scalar(Some(_)) => return Err(VerifyError::DivByZero(pc)),
+                    _ => return Err(VerifyError::RegDivisor(pc)),
+                }
+            }
+            let a = require_init(&st, dst, pc)?;
+            let b = require_init(&st, src, pc)?;
+            let nv = match (a, b, op) {
+                (AbsVal::Scalar(x), AbsVal::Scalar(y), _) => AbsVal::Scalar(scalar_bin(op, x, y)),
+                (AbsVal::PktPtr { .. }, AbsVal::Scalar(Some(k)), AluOp::Add) if k >= 0 => {
+                    if let AbsVal::PktPtr { off } = a {
+                        AbsVal::PktPtr {
+                            off: off.saturating_add(k as u32),
+                        }
+                    } else {
+                        AbsVal::PktPtrUnknown
+                    }
+                }
+                (AbsVal::PktPtr { .. }, AbsVal::Scalar(None), AluOp::Add) => AbsVal::PktPtrUnknown,
+                // ptr - ptr = scalar length
+                (AbsVal::PktPtr { .. }, AbsVal::PktPtr { .. }, AluOp::Sub)
+                | (AbsVal::PktEnd, AbsVal::PktPtr { .. }, AluOp::Sub) => AbsVal::Scalar(None),
+                _ => AbsVal::Scalar(None),
+            };
+            st.set(dst, nv)?;
+            Ok(vec![(next, st)])
+        }
+        Insn::Load(size, dst, base, off) => {
+            let b = require_init(&st, base, pc)?;
+            if let AbsVal::CtxPtr = b {
+                // Context loads produce typed values.
+                let v = match (off, size) {
+                    (ctx_layout::DATA, Size::DW) => AbsVal::PktPtr { off: 0 },
+                    (ctx_layout::DATA_END, Size::DW) => AbsVal::PktEnd,
+                    (ctx_layout::INGRESS_IFINDEX, Size::W) | (ctx_layout::RX_QUEUE, Size::W) => {
+                        AbsVal::Scalar(None)
+                    }
+                    _ => return Err(VerifyError::BadCtxAccess(pc, off)),
+                };
+                st.set(dst, v)?;
+                return Ok(vec![(next, st)]);
+            }
+            check_mem_access(&st, pc, base, off, size, false)?;
+            st.set(dst, AbsVal::Scalar(None))?;
+            Ok(vec![(next, st)])
+        }
+        Insn::Store(size, base, off, src) => {
+            require_init(&st, src, pc)?;
+            check_mem_access(&st, pc, base, off, size, true)?;
+            if let AbsVal::StackPtr { off: so } = st.get(base) {
+                mark_stack_write(&mut st, so, off, size);
+            }
+            Ok(vec![(next, st)])
+        }
+        Insn::StoreImm(size, base, off, _imm) => {
+            check_mem_access(&st, pc, base, off, size, true)?;
+            if let AbsVal::StackPtr { off: so } = st.get(base) {
+                mark_stack_write(&mut st, so, off, size);
+            }
+            Ok(vec![(next, st)])
+        }
+        Insn::Ja(off) => Ok(vec![(pc + 1 + off as usize, st)]),
+        Insn::JmpImm(op, r, imm, off) => {
+            let v = require_init(&st, r, pc)?;
+            let tgt = pc + 1 + off as usize;
+            let mut taken = st.clone();
+            let mut fall = st;
+            // Null-check refinement for nullable pointers.
+            if imm == 0 {
+                match v {
+                    AbsVal::MapValuePtr {
+                        size,
+                        nullable: true,
+                    } => match op {
+                        CmpOp::Eq => {
+                            // taken: is null; fall: non-null
+                            taken.set(r, AbsVal::Scalar(Some(0)))?;
+                            fall.set(
+                                r,
+                                AbsVal::MapValuePtr {
+                                    size,
+                                    nullable: false,
+                                },
+                            )?;
+                        }
+                        CmpOp::Ne => {
+                            taken.set(
+                                r,
+                                AbsVal::MapValuePtr {
+                                    size,
+                                    nullable: false,
+                                },
+                            )?;
+                            fall.set(r, AbsVal::Scalar(Some(0)))?;
+                        }
+                        _ => {}
+                    },
+                    AbsVal::RingBufPtr {
+                        size,
+                        nullable: true,
+                    } => match op {
+                        CmpOp::Eq => {
+                            taken.set(r, AbsVal::Scalar(Some(0)))?;
+                            fall.set(
+                                r,
+                                AbsVal::RingBufPtr {
+                                    size,
+                                    nullable: false,
+                                },
+                            )?;
+                        }
+                        CmpOp::Ne => {
+                            taken.set(
+                                r,
+                                AbsVal::RingBufPtr {
+                                    size,
+                                    nullable: false,
+                                },
+                            )?;
+                            fall.set(r, AbsVal::Scalar(Some(0)))?;
+                        }
+                        _ => {}
+                    },
+                    _ => {}
+                }
+            }
+            Ok(vec![(tgt, taken), (next, fall)])
+        }
+        Insn::JmpReg(op, a, b, off) => {
+            let va = require_init(&st, a, pc)?;
+            let vb = require_init(&st, b, pc)?;
+            let tgt = pc + 1 + off as usize;
+            let mut taken = st.clone();
+            let mut fall = st;
+            // The canonical packet bounds check:
+            //   rX = pkt + N; if rX > data_end goto fail;
+            // On the fall-through, the packet has at least N bytes.
+            if let (AbsVal::PktPtr { off: po }, AbsVal::PktEnd) = (va, vb) {
+                match op {
+                    CmpOp::Gt => fall.pkt_len_min = fall.pkt_len_min.max(po),
+                    CmpOp::Ge => fall.pkt_len_min = fall.pkt_len_min.max(po.saturating_sub(1)),
+                    CmpOp::Le => taken.pkt_len_min = taken.pkt_len_min.max(po),
+                    CmpOp::Lt => taken.pkt_len_min = taken.pkt_len_min.max(po.saturating_sub(1)),
+                    _ => {}
+                }
+            }
+            Ok(vec![(tgt, taken), (next, fall)])
+        }
+        Insn::Call(helper) => {
+            check_helper(pc, helper, &mut st, maps)?;
+            // Calls clobber the caller-saved argument registers.
+            for r in [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5] {
+                st.regs[r.idx()] = AbsVal::Uninit;
+            }
+            Ok(vec![(next, st)])
+        }
+        Insn::Exit => match st.get(Reg::R0) {
+            AbsVal::Scalar(_) => Ok(vec![]),
+            _ => Err(VerifyError::BadReturn(pc)),
+        },
+    }
+}
+
+fn const_fd(st: &State, r: Reg, pc: usize, helper: Helper) -> Result<u32, VerifyError> {
+    match st.get(r) {
+        AbsVal::Scalar(Some(v)) if v >= 0 => Ok(v as u32),
+        _ => Err(VerifyError::BadHelperArg {
+            at: pc,
+            helper,
+            what: "map fd must be a known constant",
+        }),
+    }
+}
+
+fn stack_bytes_init(st: &State, off: i32, len: usize) -> bool {
+    let lo = off + STACK_SIZE as i32;
+    if lo < 0 || lo as usize + len > STACK_SIZE {
+        return false;
+    }
+    (lo as usize..lo as usize + len).all(|i| st.stack_init[i])
+}
+
+fn check_helper(
+    pc: usize,
+    helper: Helper,
+    st: &mut State,
+    maps: &MapSet,
+) -> Result<(), VerifyError> {
+    use Helper::*;
+    match helper {
+        KtimeGetNs | GetSmpProcessorId | GetPrandomU32 => {
+            st.regs[Reg::R0.idx()] = AbsVal::Scalar(None);
+            Ok(())
+        }
+        MapLookup => {
+            let fd = const_fd(st, Reg::R1, pc, helper)?;
+            let map = maps
+                .get(crate::maps::MapFd(fd))
+                .ok_or(VerifyError::BadMapFd(pc))?;
+            let (key_size, value_size) = match &map.kind {
+                MapKind::Array { value_size, .. } | MapKind::PerCpuArray { value_size, .. } => {
+                    (4usize, *value_size)
+                }
+                MapKind::Hash {
+                    key_size,
+                    value_size,
+                    ..
+                } => (*key_size, *value_size),
+                MapKind::RingBuf { .. } => return Err(VerifyError::BadMapFd(pc)),
+            };
+            match st.get(Reg::R2) {
+                AbsVal::StackPtr { off } if stack_bytes_init(st, off, key_size) => {}
+                AbsVal::StackPtr { .. } => {
+                    return Err(VerifyError::BadHelperArg {
+                        at: pc,
+                        helper,
+                        what: "key bytes not fully initialized",
+                    })
+                }
+                _ => {
+                    return Err(VerifyError::BadHelperArg {
+                        at: pc,
+                        helper,
+                        what: "key must be a stack pointer",
+                    })
+                }
+            }
+            st.regs[Reg::R0.idx()] = AbsVal::MapValuePtr {
+                size: value_size as u32,
+                nullable: true,
+            };
+            Ok(())
+        }
+        MapUpdate => {
+            let fd = const_fd(st, Reg::R1, pc, helper)?;
+            let map = maps
+                .get(crate::maps::MapFd(fd))
+                .ok_or(VerifyError::BadMapFd(pc))?;
+            let (key_size, value_size) = match &map.kind {
+                MapKind::Array { value_size, .. } | MapKind::PerCpuArray { value_size, .. } => {
+                    (4usize, *value_size)
+                }
+                MapKind::Hash {
+                    key_size,
+                    value_size,
+                    ..
+                } => (*key_size, *value_size),
+                MapKind::RingBuf { .. } => return Err(VerifyError::BadMapFd(pc)),
+            };
+            for (r, len, what) in [
+                (Reg::R2, key_size, "key bytes not fully initialized"),
+                (Reg::R3, value_size, "value bytes not fully initialized"),
+            ] {
+                match st.get(r) {
+                    AbsVal::StackPtr { off } if stack_bytes_init(st, off, len) => {}
+                    _ => {
+                        return Err(VerifyError::BadHelperArg {
+                            at: pc,
+                            helper,
+                            what,
+                        })
+                    }
+                }
+            }
+            st.regs[Reg::R0.idx()] = AbsVal::Scalar(None);
+            Ok(())
+        }
+        RingbufOutput => {
+            let fd = const_fd(st, Reg::R1, pc, helper)?;
+            let map = maps
+                .get(crate::maps::MapFd(fd))
+                .ok_or(VerifyError::BadMapFd(pc))?;
+            if !matches!(map.kind, MapKind::RingBuf { .. }) {
+                return Err(VerifyError::BadMapFd(pc));
+            }
+            let len = match st.get(Reg::R3) {
+                AbsVal::Scalar(Some(v)) if v > 0 => v as usize,
+                _ => {
+                    return Err(VerifyError::BadHelperArg {
+                        at: pc,
+                        helper,
+                        what: "length must be a known positive constant",
+                    })
+                }
+            };
+            match st.get(Reg::R2) {
+                AbsVal::StackPtr { off } if stack_bytes_init(st, off, len) => {}
+                AbsVal::PktPtr { off } if (off as usize + len) as u32 <= st.pkt_len_min => {}
+                _ => {
+                    return Err(VerifyError::BadHelperArg {
+                        at: pc,
+                        helper,
+                        what: "data must be initialized stack or bounded packet bytes",
+                    })
+                }
+            }
+            st.regs[Reg::R0.idx()] = AbsVal::Scalar(None);
+            Ok(())
+        }
+        RingbufReserve => {
+            let fd = const_fd(st, Reg::R1, pc, helper)?;
+            let map = maps
+                .get(crate::maps::MapFd(fd))
+                .ok_or(VerifyError::BadMapFd(pc))?;
+            if !matches!(map.kind, MapKind::RingBuf { .. }) {
+                return Err(VerifyError::BadMapFd(pc));
+            }
+            let len = match st.get(Reg::R2) {
+                AbsVal::Scalar(Some(v)) if v > 0 => v as u32,
+                _ => {
+                    return Err(VerifyError::BadHelperArg {
+                        at: pc,
+                        helper,
+                        what: "length must be a known positive constant",
+                    })
+                }
+            };
+            st.regs[Reg::R0.idx()] = AbsVal::RingBufPtr {
+                size: len,
+                nullable: true,
+            };
+            Ok(())
+        }
+        RingbufSubmit => {
+            match st.get(Reg::R1) {
+                AbsVal::RingBufPtr {
+                    nullable: false, ..
+                } => {}
+                AbsVal::RingBufPtr { nullable: true, .. } => {
+                    return Err(VerifyError::PossibleNullDeref(pc, Reg::R1))
+                }
+                _ => {
+                    return Err(VerifyError::BadHelperArg {
+                        at: pc,
+                        helper,
+                        what: "argument must be a reserved ringbuf record",
+                    })
+                }
+            }
+            st.regs[Reg::R0.idx()] = AbsVal::Scalar(Some(0));
+            Ok(())
+        }
+        XdpAdjustHead => {
+            if !matches!(st.get(Reg::R1), AbsVal::CtxPtr) {
+                return Err(VerifyError::BadHelperArg {
+                    at: pc,
+                    helper,
+                    what: "first argument must be the context",
+                });
+            }
+            match st.get(Reg::R2) {
+                AbsVal::Scalar(_) => {}
+                _ => {
+                    return Err(VerifyError::BadHelperArg {
+                        at: pc,
+                        helper,
+                        what: "delta must be a scalar",
+                    })
+                }
+            }
+            // All packet pointers are invalidated.
+            for i in 0..11 {
+                if matches!(
+                    st.regs[i],
+                    AbsVal::PktPtr { .. } | AbsVal::PktPtrUnknown | AbsVal::PktEnd
+                ) {
+                    st.regs[i] = AbsVal::Uninit;
+                }
+            }
+            st.pkt_len_min = 0;
+            st.regs[Reg::R0.idx()] = AbsVal::Scalar(None);
+            Ok(())
+        }
+        CsumDiff => {
+            // Loose checking: all five args must be initialized.
+            for r in [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5] {
+                require_init(st, r, pc)?;
+            }
+            st.regs[Reg::R0.idx()] = AbsVal::Scalar(None);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prog::ProgramBuilder;
+
+    fn empty_maps() -> MapSet {
+        MapSet::new()
+    }
+
+    /// r0 = XDP_PASS; exit
+    fn trivial() -> Program {
+        let mut b = ProgramBuilder::new("trivial");
+        b.mov_imm(Reg::R0, 2).exit();
+        b.build()
+    }
+
+    #[test]
+    fn trivial_program_verifies() {
+        assert!(verify(&trivial(), &empty_maps()).is_ok());
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let p = Program {
+            name: "e".into(),
+            insns: vec![],
+        };
+        assert_eq!(verify(&p, &empty_maps()), Err(VerifyError::Empty));
+    }
+
+    #[test]
+    fn uninit_read_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov(Reg::R0, Reg::R5).exit();
+        assert_eq!(
+            verify(&b.build(), &empty_maps()),
+            Err(VerifyError::UninitRead(0, Reg::R5))
+        );
+    }
+
+    #[test]
+    fn fall_off_end_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R0, 0);
+        assert_eq!(
+            verify(&b.build(), &empty_maps()),
+            Err(VerifyError::FallOffEnd(0))
+        );
+    }
+
+    #[test]
+    fn div_by_zero_imm_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R0, 4).alu_imm(AluOp::Div, Reg::R0, 0).exit();
+        assert_eq!(
+            verify(&b.build(), &empty_maps()),
+            Err(VerifyError::DivByZero(1))
+        );
+    }
+
+    #[test]
+    fn frame_pointer_write_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R10, 0).exit();
+        assert_eq!(
+            verify(&b.build(), &empty_maps()),
+            Err(VerifyError::FramePointerWrite)
+        );
+    }
+
+    #[test]
+    fn packet_access_without_bounds_check_rejected() {
+        // r2 = ctx->data; r0 = *(u8*)(r2+0)  — no bounds check.
+        let mut b = ProgramBuilder::new("t");
+        b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
+            .load(Size::B, Reg::R0, Reg::R2, 0)
+            .exit();
+        match verify(&b.build(), &empty_maps()) {
+            Err(VerifyError::PktOutOfBounds {
+                at: 1,
+                need: 1,
+                have: 0,
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packet_access_with_bounds_check_accepted() {
+        // Standard idiom: check pkt+14 <= data_end before reading 14 bytes.
+        let mut b = ProgramBuilder::new("t");
+        let fail = b.label();
+        b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
+            .load(Size::DW, Reg::R3, Reg::R1, ctx_layout::DATA_END)
+            .mov(Reg::R4, Reg::R2)
+            .add_imm(Reg::R4, 14)
+            .jmp_reg(CmpOp::Gt, Reg::R4, Reg::R3, fail)
+            .load(Size::W, Reg::R0, Reg::R2, 10) // bytes 10..14: ok
+            .exit()
+            .bind(fail)
+            .mov_imm(Reg::R0, 1)
+            .exit();
+        verify(&b.build(), &empty_maps()).expect("should verify");
+    }
+
+    #[test]
+    fn packet_overread_after_bounds_check_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let fail = b.label();
+        b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
+            .load(Size::DW, Reg::R3, Reg::R1, ctx_layout::DATA_END)
+            .mov(Reg::R4, Reg::R2)
+            .add_imm(Reg::R4, 14)
+            .jmp_reg(CmpOp::Gt, Reg::R4, Reg::R3, fail)
+            .load(Size::W, Reg::R0, Reg::R2, 12) // bytes 12..16: 2 too far
+            .exit()
+            .bind(fail)
+            .mov_imm(Reg::R0, 1)
+            .exit();
+        match verify(&b.build(), &empty_maps()) {
+            Err(VerifyError::PktOutOfBounds {
+                need: 16, have: 14, ..
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stack_uninit_read_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        b.load(Size::DW, Reg::R0, Reg::R10, -8).exit();
+        assert_eq!(
+            verify(&b.build(), &empty_maps()),
+            Err(VerifyError::StackUninitRead(0, -8))
+        );
+    }
+
+    #[test]
+    fn stack_write_then_read_ok() {
+        let mut b = ProgramBuilder::new("t");
+        b.store_imm(Size::DW, Reg::R10, -8, 42)
+            .load(Size::DW, Reg::R0, Reg::R10, -8)
+            .exit();
+        verify(&b.build(), &empty_maps()).expect("should verify");
+    }
+
+    #[test]
+    fn stack_out_of_frame_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        b.store_imm(Size::DW, Reg::R10, -513, 0)
+            .mov_imm(Reg::R0, 0)
+            .exit();
+        assert!(matches!(
+            verify(&b.build(), &empty_maps()),
+            Err(VerifyError::StackOutOfBounds(0, _))
+        ));
+    }
+
+    #[test]
+    fn map_lookup_requires_null_check() {
+        let mut maps = MapSet::new();
+        let fd = maps.create(MapKind::Array {
+            value_size: 8,
+            max_entries: 1,
+        });
+        let mut b = ProgramBuilder::new("t");
+        b.store_imm(Size::W, Reg::R10, -4, 0)
+            .mov_imm(Reg::R1, fd.0 as i64)
+            .mov(Reg::R2, Reg::R10)
+            .add_imm(Reg::R2, -4)
+            .call(Helper::MapLookup)
+            .load(Size::DW, Reg::R0, Reg::R0, 0) // no null check!
+            .exit();
+        assert_eq!(
+            verify(&b.build(), &maps),
+            Err(VerifyError::PossibleNullDeref(5, Reg::R0))
+        );
+    }
+
+    #[test]
+    fn map_lookup_with_null_check_ok() {
+        let mut maps = MapSet::new();
+        let fd = maps.create(MapKind::Array {
+            value_size: 8,
+            max_entries: 1,
+        });
+        let mut b = ProgramBuilder::new("t");
+        let isnull = b.label();
+        b.store_imm(Size::W, Reg::R10, -4, 0)
+            .mov_imm(Reg::R1, fd.0 as i64)
+            .mov(Reg::R2, Reg::R10)
+            .add_imm(Reg::R2, -4)
+            .call(Helper::MapLookup)
+            .jmp_imm(CmpOp::Eq, Reg::R0, 0, isnull)
+            .load(Size::DW, Reg::R0, Reg::R0, 0)
+            .exit()
+            .bind(isnull)
+            .mov_imm(Reg::R0, 1)
+            .exit();
+        verify(&b.build(), &maps).expect("should verify");
+    }
+
+    #[test]
+    fn ctx_write_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R2, 0)
+            .store(Size::W, Reg::R1, 16, Reg::R2)
+            .mov_imm(Reg::R0, 0)
+            .exit();
+        assert_eq!(
+            verify(&b.build(), &empty_maps()),
+            Err(VerifyError::CtxWrite(1))
+        );
+    }
+
+    #[test]
+    fn bad_ctx_offset_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        b.load(Size::DW, Reg::R2, Reg::R1, 4)
+            .mov_imm(Reg::R0, 0)
+            .exit();
+        assert_eq!(
+            verify(&b.build(), &empty_maps()),
+            Err(VerifyError::BadCtxAccess(0, 4))
+        );
+    }
+
+    #[test]
+    fn helper_clobbers_arg_regs() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R3, 7)
+            .call(Helper::KtimeGetNs)
+            .mov(Reg::R0, Reg::R3) // R3 was clobbered by the call
+            .exit();
+        assert_eq!(
+            verify(&b.build(), &empty_maps()),
+            Err(VerifyError::UninitRead(2, Reg::R3))
+        );
+    }
+
+    #[test]
+    fn callee_saved_survive_calls() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R6, 7)
+            .call(Helper::KtimeGetNs)
+            .mov(Reg::R0, Reg::R6)
+            .exit();
+        verify(&b.build(), &empty_maps()).expect("R6 survives calls");
+    }
+
+    #[test]
+    fn ringbuf_reserve_submit_flow() {
+        let mut maps = MapSet::new();
+        let rb = maps.create(MapKind::RingBuf { capacity: 4096 });
+        let mut b = ProgramBuilder::new("t");
+        let full = b.label();
+        b.mov_imm(Reg::R1, rb.0 as i64)
+            .mov_imm(Reg::R2, 16)
+            .call(Helper::RingbufReserve)
+            .jmp_imm(CmpOp::Eq, Reg::R0, 0, full)
+            .mov(Reg::R6, Reg::R0)
+            .store_imm(Size::DW, Reg::R6, 0, 1)
+            .store_imm(Size::DW, Reg::R6, 8, 2)
+            .mov(Reg::R1, Reg::R6)
+            .call(Helper::RingbufSubmit)
+            .mov_imm(Reg::R0, 3)
+            .exit()
+            .bind(full)
+            .mov_imm(Reg::R0, 1)
+            .exit();
+        verify(&b.build(), &maps).expect("ringbuf flow verifies");
+    }
+
+    #[test]
+    fn ringbuf_write_past_reservation_rejected() {
+        let mut maps = MapSet::new();
+        let rb = maps.create(MapKind::RingBuf { capacity: 4096 });
+        let mut b = ProgramBuilder::new("t");
+        let full = b.label();
+        b.mov_imm(Reg::R1, rb.0 as i64)
+            .mov_imm(Reg::R2, 8)
+            .call(Helper::RingbufReserve)
+            .jmp_imm(CmpOp::Eq, Reg::R0, 0, full)
+            .store_imm(Size::DW, Reg::R0, 8, 1) // past the 8-byte record
+            .mov_imm(Reg::R0, 3)
+            .exit()
+            .bind(full)
+            .mov_imm(Reg::R0, 1)
+            .exit();
+        assert_eq!(
+            verify(&b.build(), &maps),
+            Err(VerifyError::MapValueOutOfBounds(4))
+        );
+    }
+
+    #[test]
+    fn exit_without_r0_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        b.exit();
+        assert_eq!(
+            verify(&b.build(), &empty_maps()),
+            Err(VerifyError::BadReturn(0))
+        );
+    }
+
+    #[test]
+    fn merge_keeps_weaker_knowledge() {
+        // Two paths: one checks 14 bytes, one checks 20; after the join
+        // only 14 are proven, so reading byte 15 must fail.
+        let mut b = ProgramBuilder::new("t");
+        let fail = b.label();
+        let join = b.label();
+        let path2 = b.label();
+        b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
+            .load(Size::DW, Reg::R3, Reg::R1, ctx_layout::DATA_END)
+            .load(Size::W, Reg::R5, Reg::R1, ctx_layout::INGRESS_IFINDEX)
+            .jmp_imm(CmpOp::Eq, Reg::R5, 0, path2)
+            // path 1: check 20 bytes
+            .mov(Reg::R4, Reg::R2)
+            .add_imm(Reg::R4, 20)
+            .jmp_reg(CmpOp::Gt, Reg::R4, Reg::R3, fail)
+            .ja(join)
+            // path 2: check 14 bytes
+            .bind(path2)
+            .mov(Reg::R4, Reg::R2)
+            .add_imm(Reg::R4, 14)
+            .jmp_reg(CmpOp::Gt, Reg::R4, Reg::R3, fail)
+            .bind(join)
+            .load(Size::W, Reg::R0, Reg::R2, 12) // needs 16 > 14
+            .exit()
+            .bind(fail)
+            .mov_imm(Reg::R0, 1)
+            .exit();
+        match verify(&b.build(), &empty_maps()) {
+            Err(VerifyError::PktOutOfBounds {
+                need: 16, have: 14, ..
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

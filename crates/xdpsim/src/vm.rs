@@ -1,0 +1,868 @@
+//! The interpreter.
+//!
+//! Executes verified programs against a real packet buffer and map set,
+//! charging the cost model as it goes. Runtime safety does not depend
+//! on the verifier: every memory access goes through address
+//! translation with bounds checks, and violations trap the program to
+//! `XDP_ABORTED` — mirroring how a verifier bug in the kernel would
+//! still be caught by nothing, which is precisely why we double-check
+//! here (a simulator can afford belt and braces).
+
+use crate::cost::{CostModel, ExecCost, MemClass};
+use crate::insn::{AluOp, CmpOp, Helper, Insn, Reg, Size, XdpAction};
+use crate::maps::{MapFd, MapKind, MapSet};
+use crate::prog::Program;
+use crate::verifier::{ctx_layout, STACK_SIZE};
+use steelworks_netsim::rng::SimRng;
+
+/// Virtual base address of the packet buffer.
+pub const PKT_BASE: u64 = 0x1000_0000;
+/// Virtual address of the top of the stack (R10 at entry).
+pub const STACK_TOP: u64 = 0x2000_0000;
+/// Virtual base address of the context struct.
+pub const CTX_BASE: u64 = 0x3000_0000;
+/// Virtual base of map-value dereference slots.
+pub const MAPVAL_BASE: u64 = 0x4000_0000;
+/// Stride between map-value slots (max value size).
+pub const MAPVAL_STRIDE: u64 = 0x1_0000;
+/// Virtual address of the current ring buffer reservation.
+pub const RING_BASE: u64 = 0x5000_0000;
+
+/// Metadata fields of the simulated `xdp_md`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct XdpContext {
+    /// Ingress interface index.
+    pub ingress_ifindex: u32,
+    /// RX queue the packet arrived on.
+    pub rx_queue: u32,
+}
+
+/// Runtime faults (all map to `XDP_ABORTED`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// Address outside any mapped region.
+    BadAddress(u64),
+    /// Instruction budget exhausted.
+    InsnLimit,
+    /// Helper misuse at runtime.
+    HelperFault(Helper),
+    /// Packet adjustment failed.
+    AdjustFault,
+}
+
+/// Result of executing one program over one packet.
+#[derive(Clone, Copy, Debug)]
+pub struct RunResult {
+    /// The program's verdict.
+    pub action: XdpAction,
+    /// Deterministic execution cost.
+    pub cost: ExecCost,
+    /// Ring buffer submissions (each wakes a userspace consumer — the
+    /// host model charges these separately).
+    pub ringbuf_events: u32,
+    /// Stores into packet memory (dirty DMA cachelines).
+    pub pkt_writes: u32,
+    /// Runtime fault, if any.
+    pub trap: Option<Trap>,
+}
+
+/// Hard runtime step budget (the IR has no loops, so this only guards
+/// against interpreter bugs).
+const STEP_LIMIT: u64 = 1_000_000;
+
+enum DerefTarget {
+    Array(MapFd, u32, usize),
+    Hash(MapFd, Vec<u8>),
+}
+
+struct Machine<'a> {
+    regs: [u64; 11],
+    stack: [u8; STACK_SIZE],
+    packet: &'a mut Vec<u8>,
+    ctx: XdpContext,
+    maps: &'a mut MapSet,
+    cost_model: &'a CostModel,
+    cost: ExecCost,
+    derefs: Vec<DerefTarget>,
+    reservation: Option<(MapFd, Vec<u8>)>,
+    host_time_ns: u64,
+    cpu_id: u32,
+    rng: &'a mut SimRng,
+    ringbuf_events: u32,
+    pkt_writes: u32,
+    pkt_touched: bool,
+}
+
+/// Execute `prog` over `packet`.
+///
+/// `host_time_ns` is the host clock at packet-processing start; the
+/// value `bpf_ktime_get_ns` returns advances with accumulated execution
+/// cost, so two timestamps inside one run measure the code between them
+/// — the effect the TS-TS / TS-D-RB reflection variants exist to expose.
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    prog: &Program,
+    packet: &mut Vec<u8>,
+    ctx: XdpContext,
+    maps: &mut MapSet,
+    cost_model: &CostModel,
+    host_time_ns: u64,
+    cpu_id: u32,
+    rng: &mut SimRng,
+) -> RunResult {
+    let mut m = Machine {
+        regs: [0; 11],
+        stack: [0; STACK_SIZE],
+        packet,
+        ctx,
+        maps,
+        cost_model,
+        cost: ExecCost::default(),
+        derefs: Vec::new(),
+        reservation: None,
+        host_time_ns,
+        cpu_id,
+        rng,
+        ringbuf_events: 0,
+        pkt_writes: 0,
+        pkt_touched: false,
+    };
+    m.regs[Reg::R1.idx()] = CTX_BASE;
+    m.regs[Reg::R10.idx()] = STACK_TOP;
+
+    let outcome = m.exec(prog);
+    let (action, trap) = match outcome {
+        Ok(ret) => (XdpAction::from_ret(ret), None),
+        Err(t) => (XdpAction::Aborted, Some(t)),
+    };
+    RunResult {
+        action,
+        cost: m.cost,
+        ringbuf_events: m.ringbuf_events,
+        pkt_writes: m.pkt_writes,
+        trap,
+    }
+}
+
+impl<'a> Machine<'a> {
+    fn exec(&mut self, prog: &Program) -> Result<u64, Trap> {
+        let mut pc = 0usize;
+        let mut steps = 0u64;
+        loop {
+            steps += 1;
+            if steps > STEP_LIMIT {
+                return Err(Trap::InsnLimit);
+            }
+            let insn = prog.insns.get(pc).ok_or(Trap::BadAddress(pc as u64))?;
+            self.cost.retire();
+            self.cost.charge(self.cost_model.insn_cost(insn));
+            match *insn {
+                Insn::MovImm(dst, imm) => {
+                    self.regs[dst.idx()] = imm as u64;
+                    pc += 1;
+                }
+                Insn::MovReg(dst, src) => {
+                    self.regs[dst.idx()] = self.regs[src.idx()];
+                    pc += 1;
+                }
+                Insn::Neg(dst) => {
+                    self.regs[dst.idx()] = (self.regs[dst.idx()] as i64).wrapping_neg() as u64;
+                    pc += 1;
+                }
+                Insn::AluImm(op, dst, imm) => {
+                    self.regs[dst.idx()] = alu(op, self.regs[dst.idx()], imm as u64);
+                    pc += 1;
+                }
+                Insn::AluReg(op, dst, src) => {
+                    self.regs[dst.idx()] = alu(op, self.regs[dst.idx()], self.regs[src.idx()]);
+                    pc += 1;
+                }
+                Insn::Load(size, dst, base, off) => {
+                    let addr = self.regs[base.idx()].wrapping_add(off as i64 as u64);
+                    self.regs[dst.idx()] = self.read(addr, size)?;
+                    pc += 1;
+                }
+                Insn::Store(size, base, off, src) => {
+                    let addr = self.regs[base.idx()].wrapping_add(off as i64 as u64);
+                    let v = self.regs[src.idx()];
+                    self.write(addr, size, v)?;
+                    pc += 1;
+                }
+                Insn::StoreImm(size, base, off, imm) => {
+                    let addr = self.regs[base.idx()].wrapping_add(off as i64 as u64);
+                    self.write(addr, size, imm as u64)?;
+                    pc += 1;
+                }
+                Insn::Ja(off) => {
+                    pc = pc + 1 + off as usize;
+                }
+                Insn::JmpImm(op, r, imm, off) => {
+                    if cmp(op, self.regs[r.idx()], imm as u64) {
+                        pc = pc + 1 + off as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Insn::JmpReg(op, a, b, off) => {
+                    if cmp(op, self.regs[a.idx()], self.regs[b.idx()]) {
+                        pc = pc + 1 + off as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Insn::Call(helper) => {
+                    self.call(helper)?;
+                    pc += 1;
+                }
+                Insn::Exit => return Ok(self.regs[Reg::R0.idx()]),
+            }
+        }
+    }
+
+    fn charge_mem(&mut self, class: MemClass) {
+        if class == MemClass::Packet && !self.pkt_touched {
+            self.pkt_touched = true;
+            self.cost.charge(self.cost_model.pkt_cold_miss_ns);
+        }
+        self.cost.charge(self.cost_model.mem_cost(class));
+    }
+
+    fn read(&mut self, addr: u64, size: Size) -> Result<u64, Trap> {
+        let n = size.bytes();
+        // Hostile pointers can sit near u64::MAX; all range checks use
+        // checked arithmetic (found by fuzzing, kept by this comment).
+        let end = addr.checked_add(n as u64).ok_or(Trap::BadAddress(addr))?;
+        // Context: typed pseudo-loads.
+        if (CTX_BASE..CTX_BASE + 24).contains(&addr) {
+            self.charge_mem(MemClass::Ctx);
+            let off = (addr - CTX_BASE) as i16;
+            return Ok(match (off, size) {
+                (ctx_layout::DATA, Size::DW) => PKT_BASE,
+                (ctx_layout::DATA_END, Size::DW) => PKT_BASE + self.packet.len() as u64,
+                (ctx_layout::INGRESS_IFINDEX, Size::W) => self.ctx.ingress_ifindex as u64,
+                (ctx_layout::RX_QUEUE, Size::W) => self.ctx.rx_queue as u64,
+                _ => return Err(Trap::BadAddress(addr)),
+            });
+        }
+        let mut buf = [0u8; 8];
+        let src: &[u8] = if addr >= PKT_BASE && end <= PKT_BASE + self.packet.len() as u64 {
+            self.charge_mem(MemClass::Packet);
+            let o = (addr - PKT_BASE) as usize;
+            &self.packet[o..o + n]
+        } else if addr >= STACK_TOP - STACK_SIZE as u64 && end <= STACK_TOP {
+            self.charge_mem(MemClass::Stack);
+            let o = (addr - (STACK_TOP - STACK_SIZE as u64)) as usize;
+            &self.stack[o..o + n]
+        } else if addr >= RING_BASE && self.reservation.is_some() {
+            self.charge_mem(MemClass::MapValue);
+            let buf_ref = &self.reservation.as_ref().unwrap().1;
+            let o = (addr - RING_BASE) as usize;
+            if o + n > buf_ref.len() {
+                return Err(Trap::BadAddress(addr));
+            }
+            &buf_ref[o..o + n]
+        } else if (MAPVAL_BASE..RING_BASE).contains(&addr) {
+            self.charge_mem(MemClass::MapValue);
+            let slot = ((addr - MAPVAL_BASE) / MAPVAL_STRIDE) as usize;
+            let o = ((addr - MAPVAL_BASE) % MAPVAL_STRIDE) as usize;
+            let val = self.deref_slot(slot).ok_or(Trap::BadAddress(addr))?;
+            if o + n > val.len() {
+                return Err(Trap::BadAddress(addr));
+            }
+            &val[o..o + n]
+        } else {
+            return Err(Trap::BadAddress(addr));
+        };
+        buf[..n].copy_from_slice(src);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn write(&mut self, addr: u64, size: Size, v: u64) -> Result<(), Trap> {
+        let n = size.bytes();
+        let end = addr.checked_add(n as u64).ok_or(Trap::BadAddress(addr))?;
+        let bytes = v.to_le_bytes();
+        if addr >= PKT_BASE && end <= PKT_BASE + self.packet.len() as u64 {
+            self.charge_mem(MemClass::Packet);
+            self.pkt_writes += 1;
+            let o = (addr - PKT_BASE) as usize;
+            self.packet[o..o + n].copy_from_slice(&bytes[..n]);
+            return Ok(());
+        }
+        if addr >= STACK_TOP - STACK_SIZE as u64 && end <= STACK_TOP {
+            self.charge_mem(MemClass::Stack);
+            let o = (addr - (STACK_TOP - STACK_SIZE as u64)) as usize;
+            self.stack[o..o + n].copy_from_slice(&bytes[..n]);
+            return Ok(());
+        }
+        if addr >= RING_BASE {
+            if let Some((_, buf)) = &mut self.reservation {
+                let o = (addr - RING_BASE) as usize;
+                if o + n > buf.len() {
+                    return Err(Trap::BadAddress(addr));
+                }
+                buf[o..o + n].copy_from_slice(&bytes[..n]);
+                self.cost
+                    .charge(self.cost_model.mem_cost(MemClass::MapValue));
+                return Ok(());
+            }
+            return Err(Trap::BadAddress(addr));
+        }
+        if (MAPVAL_BASE..RING_BASE).contains(&addr) {
+            self.charge_mem(MemClass::MapValue);
+            let slot = ((addr - MAPVAL_BASE) / MAPVAL_STRIDE) as usize;
+            let o = ((addr - MAPVAL_BASE) % MAPVAL_STRIDE) as usize;
+            let val = self.deref_slot_mut(slot).ok_or(Trap::BadAddress(addr))?;
+            if o + n > val.len() {
+                return Err(Trap::BadAddress(addr));
+            }
+            val[o..o + n].copy_from_slice(&bytes[..n]);
+            return Ok(());
+        }
+        Err(Trap::BadAddress(addr))
+    }
+
+    fn deref_slot(&self, slot: usize) -> Option<&[u8]> {
+        match self.derefs.get(slot)? {
+            DerefTarget::Array(fd, idx, cpu) => self.maps.get(*fd)?.array_lookup(*idx, *cpu),
+            DerefTarget::Hash(fd, key) => self.maps.get(*fd)?.hash_lookup(key),
+        }
+    }
+
+    fn deref_slot_mut(&mut self, slot: usize) -> Option<&mut [u8]> {
+        match self.derefs.get(slot)? {
+            DerefTarget::Array(fd, idx, cpu) => self
+                .maps
+                .get_mut(*fd)?
+                .array_lookup_mut(*idx, *cpu)
+                .map(|v| v.as_mut_slice()),
+            DerefTarget::Hash(fd, key) => {
+                let key = key.clone();
+                let map = self.maps.get_mut(*fd)?;
+                // No hash_lookup_mut on the public API; emulate via
+                // re-insert-free interior access.
+                map.hash_value_mut(&key)
+            }
+        }
+    }
+
+    /// Read `len` bytes from a virtual address (for helper data args).
+    fn read_bytes(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, Trap> {
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let a = addr.checked_add(i as u64).ok_or(Trap::BadAddress(addr))?;
+            let b = self.read(a, Size::B)?;
+            out.push(b as u8);
+        }
+        Ok(out)
+    }
+
+    fn call(&mut self, helper: Helper) -> Result<(), Trap> {
+        let r1 = self.regs[Reg::R1.idx()];
+        let r2 = self.regs[Reg::R2.idx()];
+        let r3 = self.regs[Reg::R3.idx()];
+        match helper {
+            Helper::KtimeGetNs => {
+                self.cost
+                    .charge(self.cost_model.helper_cost(helper, 0, false));
+                // The clock a program reads advances with its own cost.
+                self.regs[Reg::R0.idx()] = self.host_time_ns + self.cost.ns.round() as u64;
+            }
+            Helper::GetSmpProcessorId => {
+                self.cost
+                    .charge(self.cost_model.helper_cost(helper, 0, false));
+                self.regs[Reg::R0.idx()] = self.cpu_id as u64;
+            }
+            Helper::GetPrandomU32 => {
+                self.cost
+                    .charge(self.cost_model.helper_cost(helper, 0, false));
+                self.regs[Reg::R0.idx()] = self.rng.below(u32::MAX as u64 + 1);
+            }
+            Helper::MapLookup => {
+                let fd = MapFd(r1 as u32);
+                let kind = self
+                    .maps
+                    .get(fd)
+                    .map(|m| m.kind.clone())
+                    .ok_or(Trap::HelperFault(helper))?;
+                let is_hash = matches!(kind, MapKind::Hash { .. });
+                self.cost
+                    .charge(self.cost_model.helper_cost(helper, 0, is_hash));
+                let slot = self.derefs.len() as u64;
+                let result = match kind {
+                    MapKind::Array { max_entries, .. } => {
+                        let idx = self.read(r2, Size::W)? as u32;
+                        if (idx as usize) < max_entries {
+                            self.derefs.push(DerefTarget::Array(fd, idx, 0));
+                            MAPVAL_BASE + slot * MAPVAL_STRIDE
+                        } else {
+                            0
+                        }
+                    }
+                    MapKind::PerCpuArray {
+                        max_entries, cpus, ..
+                    } => {
+                        let idx = self.read(r2, Size::W)? as u32;
+                        if (idx as usize) < max_entries && (self.cpu_id as usize) < cpus {
+                            self.derefs
+                                .push(DerefTarget::Array(fd, idx, self.cpu_id as usize));
+                            MAPVAL_BASE + slot * MAPVAL_STRIDE
+                        } else {
+                            0
+                        }
+                    }
+                    MapKind::Hash { key_size, .. } => {
+                        let key = self.read_bytes(r2, key_size)?;
+                        let present = self
+                            .maps
+                            .get(fd)
+                            .map(|m| m.hash_lookup(&key).is_some())
+                            .unwrap_or(false);
+                        if present {
+                            self.derefs.push(DerefTarget::Hash(fd, key));
+                            MAPVAL_BASE + slot * MAPVAL_STRIDE
+                        } else {
+                            0
+                        }
+                    }
+                    MapKind::RingBuf { .. } => return Err(Trap::HelperFault(helper)),
+                };
+                self.regs[Reg::R0.idx()] = result;
+            }
+            Helper::MapUpdate => {
+                self.cost
+                    .charge(self.cost_model.helper_cost(helper, 0, false));
+                let fd = MapFd(r1 as u32);
+                let kind = self
+                    .maps
+                    .get(fd)
+                    .map(|m| m.kind.clone())
+                    .ok_or(Trap::HelperFault(helper))?;
+                let ret = match kind {
+                    MapKind::Hash {
+                        key_size,
+                        value_size,
+                        ..
+                    } => {
+                        let key = self.read_bytes(r2, key_size)?;
+                        let value = self.read_bytes(r3, value_size)?;
+                        self.maps
+                            .get_mut(fd)
+                            .map(|m| m.hash_update(&key, &value))
+                            .unwrap_or(crate::maps::EINVAL)
+                    }
+                    MapKind::Array { value_size, .. } | MapKind::PerCpuArray { value_size, .. } => {
+                        let idx = self.read(r2, Size::W)? as u32;
+                        let value = self.read_bytes(r3, value_size)?;
+                        let cpu = self.cpu_id as usize;
+                        match self
+                            .maps
+                            .get_mut(fd)
+                            .and_then(|m| m.array_lookup_mut(idx, cpu))
+                        {
+                            Some(v) => {
+                                v.copy_from_slice(&value);
+                                0
+                            }
+                            None => crate::maps::ENOENT,
+                        }
+                    }
+                    MapKind::RingBuf { .. } => crate::maps::EINVAL,
+                };
+                self.regs[Reg::R0.idx()] = ret as u64;
+            }
+            Helper::RingbufReserve => {
+                self.cost
+                    .charge(self.cost_model.helper_cost(helper, 0, false));
+                let fd = MapFd(r1 as u32);
+                let len = r2 as usize;
+                let ok = self
+                    .maps
+                    .get_mut(fd)
+                    .map(|m| m.ring_reserve(len))
+                    .unwrap_or(false);
+                self.regs[Reg::R0.idx()] = if ok {
+                    self.reservation = Some((fd, vec![0u8; len]));
+                    RING_BASE
+                } else {
+                    0
+                };
+            }
+            Helper::RingbufSubmit => {
+                self.cost
+                    .charge(self.cost_model.helper_cost(helper, 0, false));
+                let Some((fd, buf)) = self.reservation.take() else {
+                    return Err(Trap::HelperFault(helper));
+                };
+                if r1 != RING_BASE {
+                    return Err(Trap::HelperFault(helper));
+                }
+                self.maps
+                    .get_mut(fd)
+                    .map(|m| m.ring_submit(buf))
+                    .ok_or(Trap::HelperFault(helper))?;
+                self.ringbuf_events += 1;
+                self.regs[Reg::R0.idx()] = 0;
+            }
+            Helper::RingbufOutput => {
+                let fd = MapFd(r1 as u32);
+                let len = r3 as usize;
+                self.cost
+                    .charge(self.cost_model.helper_cost(helper, len, false));
+                let data = self.read_bytes(r2, len)?;
+                let ret = self
+                    .maps
+                    .get_mut(fd)
+                    .map(|m| m.ring_output(&data))
+                    .unwrap_or(crate::maps::EINVAL);
+                if ret == 0 {
+                    self.ringbuf_events += 1;
+                }
+                self.regs[Reg::R0.idx()] = ret as u64;
+            }
+            Helper::XdpAdjustHead => {
+                self.cost
+                    .charge(self.cost_model.helper_cost(helper, 0, false));
+                let delta = r2 as i64;
+                if delta < 0 {
+                    let grow = (-delta) as usize;
+                    if grow > 256 {
+                        self.regs[Reg::R0.idx()] = -1i64 as u64;
+                    } else {
+                        let mut np = vec![0u8; grow];
+                        np.extend_from_slice(self.packet);
+                        *self.packet = np;
+                        self.regs[Reg::R0.idx()] = 0;
+                    }
+                } else if (delta as usize) < self.packet.len() {
+                    self.packet.drain(..delta as usize);
+                    self.regs[Reg::R0.idx()] = 0;
+                } else {
+                    self.regs[Reg::R0.idx()] = -1i64 as u64;
+                }
+            }
+            Helper::CsumDiff => {
+                let len = (self.regs[Reg::R4.idx()] as usize).min(2048);
+                self.cost
+                    .charge(self.cost_model.helper_cost(helper, len, false));
+                let to = self.regs[Reg::R3.idx()];
+                let data = self.read_bytes(to, len)?;
+                let mut sum: u32 = self.regs[Reg::R5.idx()] as u32;
+                for chunk in data.chunks(2) {
+                    let v = if chunk.len() == 2 {
+                        u16::from_be_bytes([chunk[0], chunk[1]]) as u32
+                    } else {
+                        (chunk[0] as u32) << 8
+                    };
+                    sum = sum.wrapping_add(v);
+                }
+                while sum >> 16 != 0 {
+                    sum = (sum & 0xffff) + (sum >> 16);
+                }
+                self.regs[Reg::R0.idx()] = sum as u64;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => a.checked_div(b).unwrap_or(0),
+        AluOp::Mod => a.checked_rem(b).unwrap_or(0),
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Xor => a ^ b,
+        AluOp::Lsh => a << (b & 63),
+        AluOp::Rsh => a >> (b & 63),
+        AluOp::Arsh => ((a as i64) >> (b & 63)) as u64,
+    }
+}
+
+fn cmp(op: CmpOp, a: u64, b: u64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::SGt => (a as i64) > (b as i64),
+        CmpOp::SLt => (a as i64) < (b as i64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prog::ProgramBuilder;
+
+    fn run_simple(prog: &Program, packet: &mut Vec<u8>, maps: &mut MapSet) -> RunResult {
+        let cm = CostModel::default();
+        let mut rng = SimRng::seed_from_u64(1);
+        run(
+            prog,
+            packet,
+            XdpContext::default(),
+            maps,
+            &cm,
+            1_000_000,
+            0,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn returns_action() {
+        let mut b = ProgramBuilder::new("pass");
+        b.mov_imm(Reg::R0, XdpAction::Pass.code()).exit();
+        let r = run_simple(&b.build(), &mut vec![0; 64], &mut MapSet::new());
+        assert_eq!(r.action, XdpAction::Pass);
+        assert!(r.trap.is_none());
+        assert_eq!(r.cost.insns, 2);
+    }
+
+    #[test]
+    fn mac_swap_reflect() {
+        // Swap dst/src MACs byte-wise and return XDP_TX.
+        let mut b = ProgramBuilder::new("swap");
+        let fail = b.label();
+        b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
+            .load(Size::DW, Reg::R3, Reg::R1, ctx_layout::DATA_END)
+            .mov(Reg::R4, Reg::R2)
+            .add_imm(Reg::R4, 12)
+            .jmp_reg(CmpOp::Gt, Reg::R4, Reg::R3, fail);
+        for i in 0..6i16 {
+            b.load(Size::B, Reg::R5, Reg::R2, i)
+                .load(Size::B, Reg::R0, Reg::R2, i + 6)
+                .store(Size::B, Reg::R2, i, Reg::R0)
+                .store(Size::B, Reg::R2, i + 6, Reg::R5);
+        }
+        b.mov_imm(Reg::R0, XdpAction::Tx.code())
+            .exit()
+            .bind(fail)
+            .mov_imm(Reg::R0, XdpAction::Drop.code())
+            .exit();
+        let prog = b.build();
+        crate::verifier::verify(&prog, &MapSet::new()).expect("verifies");
+
+        let mut pkt = vec![0u8; 64];
+        pkt[..6].copy_from_slice(&[1, 1, 1, 1, 1, 1]);
+        pkt[6..12].copy_from_slice(&[2, 2, 2, 2, 2, 2]);
+        let r = run_simple(&prog, &mut pkt, &mut MapSet::new());
+        assert_eq!(r.action, XdpAction::Tx);
+        assert_eq!(&pkt[..6], &[2, 2, 2, 2, 2, 2]);
+        assert_eq!(&pkt[6..12], &[1, 1, 1, 1, 1, 1]);
+        assert!(r.pkt_writes >= 12);
+    }
+
+    #[test]
+    fn short_packet_takes_fail_branch() {
+        let mut b = ProgramBuilder::new("bounds");
+        let fail = b.label();
+        b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
+            .load(Size::DW, Reg::R3, Reg::R1, ctx_layout::DATA_END)
+            .mov(Reg::R4, Reg::R2)
+            .add_imm(Reg::R4, 100)
+            .jmp_reg(CmpOp::Gt, Reg::R4, Reg::R3, fail)
+            .mov_imm(Reg::R0, XdpAction::Tx.code())
+            .exit()
+            .bind(fail)
+            .mov_imm(Reg::R0, XdpAction::Drop.code())
+            .exit();
+        let r = run_simple(&b.build(), &mut vec![0; 64], &mut MapSet::new());
+        assert_eq!(r.action, XdpAction::Drop);
+    }
+
+    #[test]
+    fn ktime_advances_with_cost() {
+        // r6 = time; <work>; r7 = time; r0 = r7 - r6  → must be > 0.
+        let mut b = ProgramBuilder::new("tstd");
+        b.call(Helper::KtimeGetNs).mov(Reg::R6, Reg::R0);
+        for _ in 0..200 {
+            b.alu_imm(AluOp::Add, Reg::R6, 0);
+        }
+        b.alu_imm(AluOp::Sub, Reg::R6, 0); // keep r6 = first ts
+        b.call(Helper::KtimeGetNs)
+            .mov(Reg::R0, Reg::R0)
+            .alu(AluOp::Sub, Reg::R0, Reg::R6)
+            .exit();
+        let r = run_simple(&b.build(), &mut vec![0; 64], &mut MapSet::new());
+        assert!(r.trap.is_none());
+        // Result (in R0) is the measured delta; we can't read R0 from
+        // outside, but the run must be costed more than two bare calls.
+        let two_calls = CostModel::default().ktime_ns * 2.0;
+        assert!(r.cost.ns > two_calls + 60.0, "cost.ns = {}", r.cost.ns);
+    }
+
+    #[test]
+    fn ringbuf_reserve_submit_records() {
+        let mut maps = MapSet::new();
+        let rb = maps.create(MapKind::RingBuf { capacity: 4096 });
+        let mut b = ProgramBuilder::new("rb");
+        let full = b.label();
+        b.mov_imm(Reg::R1, rb.0 as i64)
+            .mov_imm(Reg::R2, 8)
+            .call(Helper::RingbufReserve)
+            .jmp_imm(CmpOp::Eq, Reg::R0, 0, full)
+            .mov(Reg::R6, Reg::R0)
+            .store_imm(Size::DW, Reg::R6, 0, 0x1122334455667788)
+            .mov(Reg::R1, Reg::R6)
+            .call(Helper::RingbufSubmit)
+            .mov_imm(Reg::R0, XdpAction::Tx.code())
+            .exit()
+            .bind(full)
+            .mov_imm(Reg::R0, XdpAction::Drop.code())
+            .exit();
+        let prog = b.build();
+        crate::verifier::verify(&prog, &maps).expect("verifies");
+        let r = run_simple(&prog, &mut vec![0; 64], &mut maps);
+        assert_eq!(r.action, XdpAction::Tx);
+        assert_eq!(r.ringbuf_events, 1);
+        let recs = maps.get_mut(rb).unwrap().ring_drain();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(
+            u64::from_le_bytes(recs[0][..8].try_into().unwrap()),
+            0x1122334455667788
+        );
+    }
+
+    #[test]
+    fn array_map_lookup_and_write() {
+        let mut maps = MapSet::new();
+        let arr = maps.create(MapKind::Array {
+            value_size: 8,
+            max_entries: 4,
+        });
+        let mut b = ProgramBuilder::new("arr");
+        let isnull = b.label();
+        b.store_imm(Size::W, Reg::R10, -4, 2) // key = 2
+            .mov_imm(Reg::R1, arr.0 as i64)
+            .mov(Reg::R2, Reg::R10)
+            .add_imm(Reg::R2, -4)
+            .call(Helper::MapLookup)
+            .jmp_imm(CmpOp::Eq, Reg::R0, 0, isnull)
+            .store_imm(Size::DW, Reg::R0, 0, 777)
+            .mov_imm(Reg::R0, XdpAction::Pass.code())
+            .exit()
+            .bind(isnull)
+            .mov_imm(Reg::R0, XdpAction::Aborted.code())
+            .exit();
+        let prog = b.build();
+        crate::verifier::verify(&prog, &maps).expect("verifies");
+        let r = run_simple(&prog, &mut vec![0; 64], &mut maps);
+        assert_eq!(r.action, XdpAction::Pass);
+        let v = maps.get(arr).unwrap().array_lookup(2, 0).unwrap();
+        assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 777);
+    }
+
+    #[test]
+    fn bad_address_traps_to_aborted() {
+        let mut b = ProgramBuilder::new("bad");
+        b.mov_imm(Reg::R2, 0x7777_7777)
+            .load(Size::DW, Reg::R0, Reg::R2, 0)
+            .exit();
+        // Note: this program would NOT pass the verifier; running it
+        // directly shows the runtime belt-and-braces check.
+        let r = run_simple(&b.build(), &mut vec![0; 64], &mut MapSet::new());
+        assert_eq!(r.action, XdpAction::Aborted);
+        assert!(matches!(r.trap, Some(Trap::BadAddress(_))));
+    }
+
+    #[test]
+    fn adjust_head_grows_and_shrinks() {
+        let mut b = ProgramBuilder::new("adj");
+        b.mov_imm(Reg::R2, -4i64)
+            .call(Helper::XdpAdjustHead)
+            .mov_imm(Reg::R0, XdpAction::Pass.code())
+            .exit();
+        let mut pkt = vec![9u8; 60];
+        let r = run_simple(&b.build(), &mut pkt, &mut MapSet::new());
+        assert_eq!(r.action, XdpAction::Pass);
+        assert_eq!(pkt.len(), 64);
+        assert_eq!(&pkt[..4], &[0, 0, 0, 0]);
+
+        let mut b2 = ProgramBuilder::new("adj2");
+        b2.mov_imm(Reg::R2, 10)
+            .call(Helper::XdpAdjustHead)
+            .mov_imm(Reg::R0, XdpAction::Pass.code())
+            .exit();
+        let mut pkt2 = vec![9u8; 60];
+        run_simple(&b2.build(), &mut pkt2, &mut MapSet::new());
+        assert_eq!(pkt2.len(), 50);
+    }
+
+    #[test]
+    fn per_cpu_map_isolated_by_cpu() {
+        let mut maps = MapSet::new();
+        let arr = maps.create(MapKind::PerCpuArray {
+            value_size: 8,
+            max_entries: 1,
+            cpus: 4,
+        });
+        let mk = |val: i64| {
+            let mut b = ProgramBuilder::new("pc");
+            let isnull = b.label();
+            b.store_imm(Size::W, Reg::R10, -4, 0)
+                .mov_imm(Reg::R1, arr.0 as i64)
+                .mov(Reg::R2, Reg::R10)
+                .add_imm(Reg::R2, -4)
+                .call(Helper::MapLookup)
+                .jmp_imm(CmpOp::Eq, Reg::R0, 0, isnull)
+                .store_imm(Size::DW, Reg::R0, 0, val)
+                .mov_imm(Reg::R0, 2)
+                .exit()
+                .bind(isnull)
+                .mov_imm(Reg::R0, 0)
+                .exit();
+            b.build()
+        };
+        let cm = CostModel::default();
+        let mut rng = SimRng::seed_from_u64(1);
+        for cpu in 0..2u32 {
+            run(
+                &mk(100 + cpu as i64),
+                &mut vec![0; 64],
+                XdpContext::default(),
+                &mut maps,
+                &cm,
+                0,
+                cpu,
+                &mut rng,
+            );
+        }
+        let m = maps.get(arr).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(m.array_lookup(0, 0).unwrap().try_into().unwrap()),
+            100
+        );
+        assert_eq!(
+            u64::from_le_bytes(m.array_lookup(0, 1).unwrap().try_into().unwrap()),
+            101
+        );
+    }
+
+    #[test]
+    fn cost_grows_with_program_size() {
+        let small = {
+            let mut b = ProgramBuilder::new("s");
+            b.mov_imm(Reg::R0, 2).exit();
+            b.build()
+        };
+        let big = {
+            let mut b = ProgramBuilder::new("b");
+            b.mov_imm(Reg::R0, 2);
+            for _ in 0..100 {
+                b.alu_imm(AluOp::Add, Reg::R0, 0);
+            }
+            b.mov_imm(Reg::R0, 2).exit();
+            b.build()
+        };
+        let rs = run_simple(&small, &mut vec![0; 64], &mut MapSet::new());
+        let rb = run_simple(&big, &mut vec![0; 64], &mut MapSet::new());
+        assert!(rb.cost.ns > rs.cost.ns + 30.0);
+        assert!(rb.cost.insns > rs.cost.insns + 100);
+    }
+}

@@ -1,0 +1,106 @@
+//! A complete production cell (the paper's Fig. 2 "present factory"):
+//! conveyor, photoeye-driven counting logic, TSN-scheduled traffic and
+//! a misbehaving IT flow sharing the wire — the RT traffic survives
+//! thanks to the time-aware shaper.
+//!
+//! Run: `cargo run --release --example factory_line`
+
+use steelworks::prelude::*;
+
+fn main() {
+    let mut sim = Simulator::new(7);
+    let plc_mac = MacAddr::local(1);
+    let io_mac = MacAddr::local(2);
+    let it_src_mac = MacAddr::local(3);
+    let it_dst_mac = MacAddr::local(4);
+
+    // PLC logic: run the motor until 5 items passed, then stop.
+    // I0.0 = photoeye; count rising edges with CTU, stop at 5.
+    let program = PlcProgram::new(vec![
+        IlInsn::Ld(Operand::I(0, 0)),
+        IlInsn::Ctu { idx: 0, preset: 5 },
+        IlInsn::StN(Operand::Q(0, 0)), // motor on while count < 5
+    ]);
+    let params = CrParams {
+        cycle_time: NanoDur::from_millis(2),
+        watchdog_factor: 3,
+        output_len: 4,
+        input_len: 4,
+    };
+    let plc = sim.add_node(VplcDevice::new(
+        "vplc",
+        plc_mac,
+        io_mac,
+        FrameId(0x8001),
+        params,
+        program,
+    ));
+    let io = sim.add_node(IoDevice::new(
+        "conveyor",
+        io_mac,
+        (4, 4),
+        Box::new(ConveyorProcess::new()),
+    ));
+
+    // A TSN switch: the first 300 us of every 2 ms cycle are exclusive
+    // to RT traffic.
+    let gcl = GateControlList::rt_window(
+        Nanos::ZERO,
+        NanoDur::from_millis(2),
+        NanoDur::from_micros(300),
+    );
+    let sw = sim.add_node({
+        let mut s = TsnSwitch::new("tsn", 4, gcl);
+        s.learn_static(plc_mac, PortId(0));
+        s.learn_static(io_mac, PortId(1));
+        s.learn_static(it_dst_mac, PortId(3));
+        s
+    });
+
+    // A greedy IT flow hammering the same fabric with 1400-byte frames.
+    let it_src = sim.add_node(PeriodicSource::new(
+        "it-bulk",
+        it_src_mac,
+        it_dst_mac,
+        1400,
+        NanoDur::from_micros(15),
+    ));
+    let it_dst = sim.add_node(CounterSink::new("it-sink"));
+
+    sim.connect(plc, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+    sim.connect(io, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+    sim.connect(it_src, PortId(0), sw, PortId(2), LinkSpec::gigabit());
+    sim.connect(it_dst, PortId(0), sw, PortId(3), LinkSpec::gigabit());
+
+    sim.run_until(Nanos::from_secs(12));
+
+    let plc_ref = sim.node_ref::<VplcDevice>(plc);
+    let io_ref = sim.node_ref::<IoDevice>(io);
+    let delivered = io_ref.process_ref::<ConveyorProcess>().delivered();
+    // Note: the PLC stops the motor at the 5th photoeye edge, so the
+    // 5th item halts *at* the eye — "delivered" counts items past it.
+    println!("items delivered        : {delivered} (5th item stops at the photoeye)");
+    println!(
+        "vPLC watchdog events   : {}",
+        plc_ref.stats().watchdog_expirations
+    );
+    println!(
+        "I/O safe-state entries : {}",
+        io_ref.stats().safe_state_entries
+    );
+    println!(
+        "IT frames delivered    : {}",
+        sim.node_ref::<CounterSink>(it_dst).count()
+    );
+    println!(
+        "TSN guard deferrals    : {}",
+        sim.node_ref::<TsnSwitch>(sw).guard_deferrals()
+    );
+    assert!(delivered >= 4, "the line produced");
+    assert_eq!(
+        io_ref.stats().safe_state_entries,
+        0,
+        "RT survived the IT load"
+    );
+    println!("\nproduction cell OK — deterministic traffic co-existed with bulk IT");
+}

@@ -1,0 +1,80 @@
+//! GenAI on the factory floor (§5's closing outlook): where can an LLM
+//! service live — edge, fog, or cloud — given each application's
+//! interactivity budget and the network between? Also shows the
+//! bursty-then-streaming traffic shape that will share converged
+//! fabrics with deterministic control microflows.
+//!
+//! Run: `cargo run --release --example genai_placement`
+
+use steelworks::prelude::*;
+
+fn main() {
+    // Network RTTs from a production cell to each tier.
+    // Network RTTs from a production cell to each tier; the last
+    // column is the same cloud behind a congested / degraded WAN.
+    let rtts = [
+        ("edge", ComputeTier::Edge, NanoDur::from_micros(200)),
+        ("fog", ComputeTier::Fog, NanoDur::from_millis(1)),
+        ("cloud", ComputeTier::Cloud, NanoDur::from_millis(24)),
+        ("bad-wan", ComputeTier::Cloud, NanoDur::from_millis(250)),
+    ];
+
+    println!("== placement feasibility (TTFT + network RTT vs budget) ==\n");
+    let mut header = format!("{:<18} {:>10}", "application", "budget");
+    for (name, _, _) in rtts {
+        header += &format!(" {name:>8}");
+    }
+    println!("{header}");
+    let mut misses = 0;
+    for app in LlmApp::ALL {
+        let p = app.profile();
+        let mut row = format!("{:<18} {:>10}", p.name, format!("{}", p.ttft_deadline));
+        for (_, tier, rtt) in rtts {
+            let ok = placement_feasible(app, tier, rtt);
+            misses += !ok as u32;
+            row += &format!(" {:>8}", if ok { "ok" } else { "MISS" });
+        }
+        println!("{row}");
+    }
+    assert!(misses >= 1, "the degraded WAN must break the tightest app");
+
+    println!("\n== one agentic task's offered load (Cell Config Agent on fog) ==\n");
+    let mut rng = SimRng::seed_from_u64(42);
+    let t = task_trace(LlmApp::CellConfigAgent, ComputeTier::Fog, &mut rng);
+    let upstreams = t
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, LlmEvent::Upstream(_)))
+        .count();
+    let chunks = t.events.len() - upstreams;
+    println!("round trips      : {upstreams}");
+    println!("token chunks     : {chunks}");
+    println!("upstream bytes   : {}", t.up_bytes);
+    println!("downstream bytes : {}", t.down_bytes);
+    println!("task duration    : {}", t.duration);
+
+    // The §2.3 contrast: this flow vs a vPLC microflow, classified.
+    let llm_flow = FlowFeatures {
+        bytes: t.up_bytes + t.down_bytes,
+        duration: t.duration,
+        ongoing: false,
+        gap_cv: 1.5, // bursty
+        mean_payload: 600,
+    };
+    let vplc_flow = FlowFeatures {
+        bytes: 3_000_000,
+        duration: NanoDur::from_secs(86_400),
+        ongoing: true,
+        gap_cv: 0.01,
+        mean_payload: 50,
+    };
+    println!(
+        "\nclassifier sees the LLM task as : {:?}",
+        classify(&llm_flow)
+    );
+    println!(
+        "classifier sees vPLC traffic as : {:?}",
+        classify(&vplc_flow)
+    );
+    assert_eq!(classify(&vplc_flow), FlowClass::DeterministicMicroflow);
+}

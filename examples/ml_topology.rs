@@ -1,0 +1,74 @@
+//! ML-aware topologies (§5): sweep clients over the ring, leaf-spine
+//! and traffic-aware designs for both industrial ML applications and
+//! print the latency / achievable-accuracy / cost triangle.
+//!
+//! Run: `cargo run --release --example ml_topology`
+
+use steelworks::prelude::*;
+
+fn main() {
+    let cfg = StudyConfig::default();
+    for app in MlApp::ALL {
+        let profile = app.profile();
+        println!("== {} (deadline {}) ==", profile.name, profile.deadline);
+        println!(
+            "{:>8} {:>12} {:>8} {:>10} {:>10} {:>10}",
+            "clients", "topology", "lat ms", "net ms", "infer ms", "accuracy"
+        );
+        for &n in &cfg.client_counts {
+            for kind in TopologyKind::ALL {
+                let p = evaluate_point(kind, app, n, &cfg);
+                println!(
+                    "{n:>8} {:>12} {:>8.2} {:>10.2} {:>10.2} {:>10.3}",
+                    kind.name(),
+                    p.latency_ms,
+                    p.network_ms,
+                    p.inference_ms,
+                    p.achieved_accuracy,
+                );
+            }
+        }
+        println!();
+    }
+
+    // The designer itself, standalone: give it the measured demand and
+    // a cost book, get a dimensioned topology.
+    let (bps, pkt) = traffic_for_accuracy(MlApp::DefectDetection, 0.9).expect("reachable");
+    let d = design(
+        128,
+        ClientProfile {
+            bps_per_client: bps,
+            mean_packet: pkt,
+        },
+        &DesignConfig::default(),
+    );
+    println!(
+        "designer: 128 defect-detection clients @ {:.1} Mbit/s -> {} clusters of {} (cost {:.0})",
+        bps / 1e6,
+        d.built.compute.len() - 1,
+        d.cluster_size,
+        infrastructure_cost(&d.built.graph, &PriceBook::default()),
+    );
+
+    // Render the compared topologies as Graphviz DOT for inspection.
+    let dir = std::env::temp_dir();
+    let ring = industrial_ring(16, EdgeAttr::gigabit_local());
+    let ls = leaf_spine(2, 2, 8, EdgeAttr::gigabit_local());
+    let small = design(
+        16,
+        ClientProfile {
+            bps_per_client: bps,
+            mean_packet: pkt,
+        },
+        &DesignConfig::default(),
+    );
+    for (name, graph) in [
+        ("ring", &ring.graph),
+        ("leaf-spine", &ls.graph),
+        ("ml-aware", &small.built.graph),
+    ] {
+        let path = dir.join(format!("steelworks-topology-{name}.dot"));
+        std::fs::write(&path, graph.to_dot(name)).expect("writable temp dir");
+        println!("DOT written: {}", path.display());
+    }
+}

@@ -1,0 +1,57 @@
+//! # steelworks
+//!
+//! *Data centers manufacturing steel*: a Rust reproduction of the
+//! HotNets '25 paper of that name — tooling for studying IT/OT
+//! convergence through deterministic simulation.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`netsim`] | deterministic discrete-event network simulator |
+//! | [`xdpsim`] | eBPF/XDP ISA, verifier, interpreter, timing models |
+//! | [`rtnet`] | PROFINET-like cyclic RT protocol, watchdogs, TSN, PTP |
+//! | [`dataplane`] | P4/DPDK-SWX-style programmable match-action pipeline |
+//! | [`vplc`] | virtual PLC runtime, I/O devices, redundancy baselines |
+//! | [`topo`] | topology graphs, builders, routing, queueing, optimizer |
+//! | [`mlnet`] | industrial ML workload and degradation models |
+//! | [`corpus`] | the Fig. 1 proceedings-corpus analysis |
+//! | [`core`] | the paper's contributions: Traffic Reflection, InstaPLC, ML-aware topologies |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use steelworks::prelude::*;
+//!
+//! // Measure an XDP reflection program's delay distribution (§3).
+//! let mut outcome = run_reflection(&ReflectionConfig {
+//!     cycles: 100,
+//!     ..ReflectionConfig::default()
+//! });
+//! assert!(outcome.median_delay_us() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use steelworks_core as core;
+pub use steelworks_corpus as corpus;
+pub use steelworks_dataplane as dataplane;
+pub use steelworks_mlnet as mlnet;
+pub use steelworks_netsim as netsim;
+pub use steelworks_rtnet as rtnet;
+pub use steelworks_topo as topo;
+pub use steelworks_vplc as vplc;
+pub use steelworks_xdpsim as xdpsim;
+
+/// One import for everything the examples and experiments use.
+pub mod prelude {
+    pub use steelworks_core::prelude::*;
+    pub use steelworks_corpus::prelude::*;
+    pub use steelworks_dataplane::prelude::*;
+    pub use steelworks_mlnet::prelude::*;
+    pub use steelworks_netsim::prelude::*;
+    pub use steelworks_rtnet::prelude::*;
+    pub use steelworks_topo::prelude::*;
+    pub use steelworks_vplc::prelude::*;
+    pub use steelworks_xdpsim::prelude::*;
+}

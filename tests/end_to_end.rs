@@ -1,0 +1,263 @@
+//! Cross-crate integration tests: each experiment pipeline end to end,
+//! at reduced scale so the suite stays fast.
+
+use steelworks::prelude::*;
+
+#[test]
+fn reflection_pipeline_end_to_end() {
+    // Full §3 pipeline: TSN sender → tap → verifier → VM → cost/noise
+    // models → CDF, for every program variant.
+    for variant in ReflectVariant::ALL {
+        let mut out = run_reflection(&ReflectionConfig {
+            variant,
+            cycles: 200,
+            seed: 99,
+            ..ReflectionConfig::default()
+        });
+        assert_eq!(out.stats.tx, 200, "{}", variant.name());
+        assert_eq!(out.stats.aborted, 0, "{}", variant.name());
+        let med = out.median_delay_us();
+        assert!(med > 3.0 && med < 30.0, "{}: {med}", variant.name());
+    }
+}
+
+#[test]
+fn reflection_reproducible_across_invocations() {
+    let run = || {
+        let mut o = run_reflection(&ReflectionConfig {
+            cycles: 150,
+            seed: 1234,
+            ..ReflectionConfig::default()
+        });
+        (o.delays.raw().to_vec(), o.p99_jitter_ns())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn instaplc_pipeline_end_to_end() {
+    // Full §4 pipeline: vPLCs + I/O device + programmable switch +
+    // controller + crash injection, through the protocol stack.
+    let r = run_scenario(&ScenarioConfig {
+        crash_at: Nanos::from_millis(300),
+        duration: Nanos::from_millis(900),
+        ..ScenarioConfig::default()
+    });
+    assert!(r.switchover_at.is_some());
+    assert_eq!(r.io_safe_entries, 0);
+    assert_eq!(r.twin_accepts, 1);
+    // The device missed at most a handful of the ~600 cycles.
+    assert!(r.io_received > 560, "{}", r.io_received);
+}
+
+#[test]
+fn instaplc_switchover_beats_every_published_takeover() {
+    let cfg = ScenarioConfig {
+        crash_at: Nanos::from_millis(300),
+        duration: Nanos::from_millis(900),
+        ..ScenarioConfig::default()
+    };
+    let r = run_scenario(&cfg);
+    let gap = r.switchover_at.expect("fired") - cfg.crash_at;
+    let mut rng = SimRng::seed_from_u64(5);
+    for _ in 0..200 {
+        assert!(gap < takeover::hardware_pair(&mut rng));
+        assert!(gap < takeover::kubernetes(&mut rng));
+    }
+}
+
+#[test]
+fn mlaware_pipeline_end_to_end() {
+    // Full §5 pipeline: degradation model → demand → topology builders
+    // → routing → queueing + inference → figure points.
+    let cfg = StudyConfig {
+        client_counts: vec![32, 256],
+        ..StudyConfig::default()
+    };
+    let points = fig6(&cfg);
+    assert_eq!(points.len(), 2 * 3 * 2);
+    for p in &points {
+        assert!(p.latency_ms.is_finite() && p.latency_ms > 0.0);
+        assert!(p.achieved_accuracy > 0.3 && p.achieved_accuracy <= 1.0);
+        assert!(p.cost > 0.0);
+    }
+}
+
+#[test]
+fn corpus_pipeline_end_to_end() {
+    let corpus = generate(60, 2024);
+    let texts: Vec<&str> = corpus.iter().map(|p| p.text.as_str()).collect();
+    let counts = analyze(texts.iter().copied());
+    for c in &counts {
+        assert_eq!(c.measured, c.published, "{}", c.label);
+    }
+}
+
+#[test]
+fn availability_numbers_consistent_with_scenario() {
+    // The simulated InstaPLC switchover time must be consistent with
+    // the analytic estimate used in the availability math.
+    let cfg = ScenarioConfig {
+        crash_at: Nanos::from_millis(300),
+        duration: Nanos::from_millis(900),
+        ..ScenarioConfig::default()
+    };
+    let r = run_scenario(&cfg);
+    let simulated = r.switchover_at.expect("fired") - cfg.crash_at;
+    let analytic = takeover::in_network(
+        cfg.cycle_time,
+        cfg.switchover_cycles,
+        NanoDur::from_micros(4),
+    );
+    // The analytic figure counts from the primary's LAST frame; the
+    // crash lands up to one cycle after that frame, and the liveness
+    // scan adds up to one scan interval (250 µs) of granularity.
+    let lo = analytic.saturating_sub(cfg.cycle_time);
+    let hi = analytic + NanoDur::from_micros(300);
+    assert!(
+        simulated >= lo && simulated <= hi,
+        "simulated {simulated} outside [{lo}, {hi}]"
+    );
+}
+
+#[test]
+fn tsn_protects_cyclic_traffic_under_it_load() {
+    // rtnet TSN switch + vplc endpoints + hostile background traffic:
+    // the RT exchange must never trip a watchdog.
+    let mut sim = Simulator::new(11);
+    let plc_mac = MacAddr::local(1);
+    let io_mac = MacAddr::local(2);
+    let params = CrParams {
+        cycle_time: NanoDur::from_millis(2),
+        watchdog_factor: 3,
+        output_len: 4,
+        input_len: 4,
+    };
+    let plc = sim.add_node(VplcDevice::new(
+        "plc",
+        plc_mac,
+        io_mac,
+        FrameId(0x8001),
+        params,
+        PlcProgram::passthrough(4),
+    ));
+    let io = sim.add_node(IoDevice::new(
+        "io",
+        io_mac,
+        (4, 4),
+        Box::new(LoopbackProcess),
+    ));
+    let gcl = GateControlList::rt_window(
+        Nanos::ZERO,
+        NanoDur::from_millis(2),
+        NanoDur::from_micros(200),
+    );
+    let sw = sim.add_node({
+        let mut s = TsnSwitch::new("tsn", 4, gcl);
+        s.learn_static(plc_mac, PortId(0));
+        s.learn_static(io_mac, PortId(1));
+        s.learn_static(MacAddr::local(4), PortId(3));
+        s
+    });
+    let it = sim.add_node(PeriodicSource::new(
+        "bulk",
+        MacAddr::local(3),
+        MacAddr::local(4),
+        1400,
+        NanoDur::from_micros(12),
+    ));
+    let sink = sim.add_node(CounterSink::new("sink"));
+    sim.connect(plc, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+    sim.connect(io, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+    sim.connect(it, PortId(0), sw, PortId(2), LinkSpec::gigabit());
+    sim.connect(sink, PortId(0), sw, PortId(3), LinkSpec::gigabit());
+    sim.run_until(Nanos::from_secs(2));
+    assert_eq!(
+        sim.node_ref::<IoDevice>(io).stats().safe_state_entries,
+        0,
+        "RT window protected the control loop"
+    );
+    assert_eq!(
+        sim.node_ref::<VplcDevice>(plc).stats().watchdog_expirations,
+        0
+    );
+    assert!(sim.node_ref::<CounterSink>(sink).count() > 100_000);
+}
+
+#[test]
+fn xdp_host_in_a_switched_network() {
+    // xdpsim + netsim switch: reflection still works across a switch.
+    let mut sim = Simulator::new(3);
+    let (maps, rb) = standard_maps();
+    let prog = reflect_variant(ReflectVariant::Base, rb);
+    let host =
+        sim.add_node(XdpHost::new("xdp", prog, maps, HostProfile::preempt_rt()).expect("verifies"));
+    let src = sim.add_node(
+        PeriodicSource::new(
+            "src",
+            MacAddr::local(1),
+            MacAddr::local(2),
+            50,
+            NanoDur::from_millis(1),
+        )
+        .with_limit(100),
+    );
+    let sw = sim.add_node(LearningSwitch::eight_port("sw"));
+    sim.connect(src, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+    sim.connect(host, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+    sim.run_until(Nanos::from_millis(200));
+    let stats = sim.node_ref::<XdpHost>(host).stats();
+    assert_eq!(stats.tx, 100);
+    // Reflections reached the source back through the switch.
+    assert!(sim.trace().counters().delivered >= 300);
+}
+
+#[test]
+fn flow_classifier_sees_simulated_vplc_traffic_as_microflow() {
+    // Classify the actual traffic produced by a simulated vPLC.
+    let mut sim = Simulator::new(13);
+    let plc_mac = MacAddr::local(1);
+    let io_mac = MacAddr::local(2);
+    let params = CrParams {
+        cycle_time: NanoDur::from_millis(2),
+        watchdog_factor: 3,
+        output_len: 32,
+        input_len: 32,
+    };
+    let plc = sim.add_node(VplcDevice::new(
+        "plc",
+        plc_mac,
+        io_mac,
+        FrameId(1),
+        params,
+        PlcProgram::passthrough(32),
+    ));
+    let io = sim.add_node(IoDevice::new(
+        "io",
+        io_mac,
+        (32, 32),
+        Box::new(LoopbackProcess),
+    ));
+    let link = sim.connect(plc, PortId(0), io, PortId(0), LinkSpec::gigabit());
+    let tap = sim.attach_tap(link, Tap::hardware_default());
+    sim.run_until(Nanos::from_secs(2));
+
+    // Build flow features from the tap's view of PLC→IO traffic.
+    let records: Vec<_> = sim.tap(tap).records_from(plc_mac).collect();
+    assert!(records.len() > 900);
+    let bytes: u64 = records.iter().map(|r| r.len as u64).sum();
+    let gaps: Vec<f64> = records
+        .windows(2)
+        .map(|w| (w[1].ts.as_nanos() - w[0].ts.as_nanos()) as f64)
+        .collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+    let features = FlowFeatures {
+        bytes,
+        duration: Nanos::from_secs(2) - Nanos::ZERO,
+        ongoing: true,
+        gap_cv: var.sqrt() / mean,
+        mean_payload: (bytes / records.len() as u64) as u32,
+    };
+    assert_eq!(classify(&features), FlowClass::DeterministicMicroflow);
+}

@@ -1,0 +1,221 @@
+//! The black-channel principle, end to end: safety PDUs ride inside
+//! ordinary cyclic frames across a deliberately hostile simulated
+//! network (drops, corruption, duplication, reordering), and the
+//! safety layer catches every violation while letting healthy data
+//! through — exactly why PROFIsafe-class protocols survive converged
+//! IT/OT fabrics (§1.1).
+
+use bytes::Bytes;
+use steelworks::prelude::*;
+
+/// Sends one safety PDU per cycle inside an RT frame.
+struct SafetySender {
+    producer: SafetyProducer,
+    value: u8,
+    sent: u64,
+    limit: u64,
+    cycle: NanoDur,
+    dst: MacAddr,
+    src: MacAddr,
+}
+
+impl Device for SafetySender {
+    fn name(&self) -> &str {
+        "safety-sender"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.timer_in(NanoDur::ZERO, 0);
+    }
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, _f: EthFrame) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.sent >= self.limit {
+            return;
+        }
+        self.sent += 1;
+        self.value = self.value.wrapping_add(1);
+        let pdu = self.producer.emit(&[self.value, !self.value]);
+        let frame = EthFrame::new(
+            self.dst,
+            self.src,
+            ethertype::INDUSTRIAL_RT,
+            Bytes::from(pdu),
+        )
+        .with_vlan(VlanTag::RT);
+        ctx.send(PortId(0), frame);
+        ctx.timer_in(self.cycle, 0);
+    }
+}
+
+/// Validates incoming safety PDUs and logs outcomes.
+struct SafetyReceiver {
+    consumer: SafetyConsumer,
+    valid: u64,
+    substituted: u64,
+    cycle: NanoDur,
+}
+
+impl Device for SafetyReceiver {
+    fn name(&self) -> &str {
+        "safety-receiver"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.timer_in(self.cycle, 1);
+    }
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _p: PortId, f: EthFrame) {
+        let out = self.consumer.accept(ctx.now(), &f.payload);
+        if self.consumer.is_failsafe() {
+            self.substituted += 1;
+            assert!(out.iter().all(|&b| b == 0), "substitution is all-zero");
+        } else {
+            self.valid += 1;
+            assert_eq!(out[0], !out[1], "payload invariant held");
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        self.consumer.check(ctx.now());
+        ctx.timer_in(self.cycle, 1);
+    }
+}
+
+fn world(faults: FaultSpec, frames: u64, seed: u64) -> (Simulator, NodeId) {
+    let mut sim = Simulator::new(seed);
+    let cycle = NanoDur::from_millis(2);
+    let tx = sim.add_node(SafetySender {
+        producer: SafetyProducer::new(),
+        value: 0,
+        sent: 0,
+        limit: frames,
+        cycle,
+        dst: MacAddr::local(2),
+        src: MacAddr::local(1),
+    });
+    let rx = sim.add_node(SafetyReceiver {
+        // Safety watchdog: 4 cycles.
+        consumer: SafetyConsumer::new(2, NanoDur::from_millis(8)),
+        valid: 0,
+        substituted: 0,
+        cycle,
+    });
+    sim.connect(
+        tx,
+        PortId(0),
+        rx,
+        PortId(0),
+        LinkSpec::industrial_100m().with_faults(faults),
+    );
+    (sim, rx)
+}
+
+#[test]
+fn clean_channel_all_valid() {
+    let (mut sim, rx) = world(FaultSpec::none(), 500, 1);
+    // Stop just after the last frame: a silent channel after the
+    // stream ends would (correctly) trip the safety watchdog.
+    sim.run_until(Nanos::from_millis(999));
+    let r = sim.node_ref::<SafetyReceiver>(rx);
+    assert_eq!(r.valid, 500);
+    assert_eq!(r.substituted, 0);
+    assert!(r.consumer.faults.is_empty());
+}
+
+#[test]
+fn silence_after_stream_trips_watchdog() {
+    let (mut sim, rx) = world(FaultSpec::none(), 500, 1);
+    sim.run_until(Nanos::from_secs(2));
+    let r = sim.node_ref::<SafetyReceiver>(rx);
+    assert_eq!(r.valid, 500);
+    assert_eq!(
+        r.consumer.faults.len(),
+        1,
+        "exactly the end-of-stream watchdog"
+    );
+    assert_eq!(r.consumer.faults[0].1, SafetyFault::WatchdogExpired);
+}
+
+#[test]
+fn corruption_caught_and_recovered() {
+    let (mut sim, rx) = world(
+        FaultSpec {
+            corrupt_prob: 0.1,
+            ..FaultSpec::none()
+        },
+        1000,
+        2,
+    );
+    sim.run_until(Nanos::from_secs(3));
+    let r = sim.node_ref::<SafetyReceiver>(rx);
+    // Every corrupted PDU was caught by the CRC (none slipped through
+    // as valid — the payload invariant assert in on_frame proves it),
+    // and the consumer recovered on the next healthy PDU.
+    let crc_faults = r
+        .consumer
+        .faults
+        .iter()
+        .filter(|(_, f)| *f == SafetyFault::Crc)
+        .count() as u64;
+    assert!(crc_faults > 50, "{crc_faults} corruptions caught");
+    assert_eq!(crc_faults, r.substituted);
+    assert_eq!(r.valid + r.substituted, 1000);
+}
+
+#[test]
+fn duplication_caught_as_replay() {
+    let (mut sim, rx) = world(
+        FaultSpec {
+            duplicate_prob: 0.1,
+            ..FaultSpec::none()
+        },
+        1000,
+        3,
+    );
+    sim.run_until(Nanos::from_secs(3));
+    let r = sim.node_ref::<SafetyReceiver>(rx);
+    let replays = r
+        .consumer
+        .faults
+        .iter()
+        .filter(|(_, f)| *f == SafetyFault::SignOfLife)
+        .count();
+    assert!(replays > 50, "{replays} replays caught");
+}
+
+#[test]
+fn loss_burst_trips_safety_watchdog() {
+    // Heavy loss: bursts longer than the 4-cycle safety watchdog will
+    // occur; the consumer must go fail-safe and recover.
+    let (mut sim, rx) = world(FaultSpec::lossy(0.5), 2000, 4);
+    sim.run_until(Nanos::from_secs(5));
+    let r = sim.node_ref::<SafetyReceiver>(rx);
+    let wd = r
+        .consumer
+        .faults
+        .iter()
+        .filter(|(_, f)| *f == SafetyFault::WatchdogExpired)
+        .count();
+    assert!(wd >= 1, "at least one loss burst tripped the watchdog");
+    assert!(r.valid > 500, "but plenty of healthy PDUs still flowed");
+}
+
+#[test]
+fn reordering_detected_by_sign_of_life() {
+    let (mut sim, rx) = world(
+        FaultSpec {
+            reorder_prob: 0.05,
+            reorder_max_delay: NanoDur::from_millis(5),
+            ..FaultSpec::none()
+        },
+        1000,
+        5,
+    );
+    sim.run_until(Nanos::from_secs(3));
+    let r = sim.node_ref::<SafetyReceiver>(rx);
+    // A delayed-then-delivered PDU arrives with an older counter: the
+    // backward step is rejected.
+    let sol = r
+        .consumer
+        .faults
+        .iter()
+        .filter(|(_, f)| *f == SafetyFault::SignOfLife)
+        .count();
+    assert!(sol > 5, "{sol} stale deliveries rejected");
+}
