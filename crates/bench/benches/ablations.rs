@@ -3,11 +3,12 @@
 //! precision vs PTP (the measurement-method argument), and the
 //! watchdog/switchover margin (InstaPLC's safety budget).
 //!
-//! These are correctness-bearing parameter sweeps wrapped in Criterion
-//! so they run under `cargo bench` and their outputs land in the bench
-//! report; each iteration asserts the ablation's expected direction.
+//! These are correctness-bearing parameter sweeps wrapped in the
+//! in-repo bench harness so they run under `cargo bench` and their
+//! outputs land in the bench report; each iteration asserts the
+//! ablation's expected direction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use steelworks_bench::harness::Harness;
 use steelworks_core::prelude::*;
 use steelworks_netsim::prelude::*;
 use steelworks_rtnet::prelude::{measurement_errors, PtpClient, PtpConfig};
@@ -16,134 +17,115 @@ use steelworks_xdpsim::prelude::*;
 /// Ablation 1: zeroing the ring-buffer wakeup penalty collapses the
 /// TS-RB vs Base separation — proving the separation is driven by the
 /// modelled consumer wakeup, not by instruction count.
-fn ablation_ringbuf_cost(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_ebpf");
-    g.sample_size(10);
-    g.bench_function("ringbuf_penalty_on_vs_off", |b| {
-        b.iter(|| {
-            let run_with = |profile: HostProfile| {
-                let mut out = run_reflection(&ReflectionConfig {
-                    variant: ReflectVariant::TsRb,
-                    cycles: 300,
-                    profile,
-                    seed: 5,
-                    ..ReflectionConfig::default()
-                });
-                out.median_delay_us()
-            };
-            let with = run_with(HostProfile::preempt_rt());
-            let without = run_with(HostProfile {
-                ringbuf_wakeup_mu: 0.0_f64.max(f64::MIN_POSITIVE).ln(),
-                ringbuf_wakeup_sigma: 0.0,
-                ..HostProfile::preempt_rt()
+fn ablation_ringbuf_cost(h: &mut Harness) {
+    h.bench("ablation_ebpf/ringbuf_penalty_on_vs_off", || {
+        let run_with = |profile: HostProfile| {
+            let mut out = run_reflection(&ReflectionConfig {
+                variant: ReflectVariant::TsRb,
+                cycles: 300,
+                profile,
+                seed: 5,
+                ..ReflectionConfig::default()
             });
-            assert!(
-                with > without + 2.0,
-                "wakeup penalty drives the RB separation: {with} vs {without}"
-            );
-            (with, without)
-        })
+            out.median_delay_us()
+        };
+        let with = run_with(HostProfile::preempt_rt());
+        let without = run_with(HostProfile {
+            ringbuf_wakeup_mu: 0.0_f64.max(f64::MIN_POSITIVE).ln(),
+            ringbuf_wakeup_sigma: 0.0,
+            ..HostProfile::preempt_rt()
+        });
+        assert!(
+            with > without + 2.0,
+            "wakeup penalty drives the RB separation: {with} vs {without}"
+        );
+        (with, without)
     });
-    g.bench_function("preempt_rt_vs_vanilla_jitter", |b| {
-        b.iter(|| {
-            let p99 = |profile: HostProfile| {
-                let mut out = run_reflection(&ReflectionConfig {
-                    variant: ReflectVariant::Ts,
-                    cycles: 400,
-                    profile,
-                    seed: 6,
-                    ..ReflectionConfig::default()
-                });
-                out.p99_jitter_ns()
-            };
-            let rt = p99(HostProfile::preempt_rt());
-            let vanilla = p99(HostProfile::vanilla());
-            assert!(
-                vanilla > rt,
-                "vanilla kernel must be noisier: {vanilla} vs {rt}"
-            );
-            (rt, vanilla)
-        })
+    h.bench("ablation_ebpf/preempt_rt_vs_vanilla_jitter", || {
+        let p99 = |profile: HostProfile| {
+            let mut out = run_reflection(&ReflectionConfig {
+                variant: ReflectVariant::Ts,
+                cycles: 400,
+                profile,
+                seed: 6,
+                ..ReflectionConfig::default()
+            });
+            out.p99_jitter_ns()
+        };
+        let rt = p99(HostProfile::preempt_rt());
+        let vanilla = p99(HostProfile::vanilla());
+        assert!(
+            vanilla > rt,
+            "vanilla kernel must be noisier: {vanilla} vs {rt}"
+        );
+        (rt, vanilla)
     });
-    g.finish();
 }
 
 /// Ablation 2: tap precision sweep + tap-vs-PTP error. Degrading the
 /// tap clock to µs-class quantization destroys the nanosecond jitter
 /// visibility the method exists for.
-fn ablation_tap_vs_ptp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_tap");
-    g.sample_size(10);
-    g.bench_function("tap_precision_sweep", |b| {
-        b.iter(|| {
-            let p99_at = |precision: NanoDur| {
-                let mut out = run_reflection(&ReflectionConfig {
-                    variant: ReflectVariant::Ts,
-                    cycles: 300,
-                    tap_precision: precision,
-                    seed: 7,
-                    ..ReflectionConfig::default()
-                });
-                out.p99_jitter_ns()
-            };
-            let fine = p99_at(NanoDur(8));
-            let coarse = p99_at(NanoDur(1_000));
-            // A 1 µs tap rounds sub-µs jitter into 1 µs steps: the
-            // measured p99 becomes a multiple of the quantum.
-            assert_eq!(coarse as u64 % 1_000, 0);
-            (fine, coarse)
-        })
-    });
-    g.bench_function("one_clock_vs_two_clock_error", |b| {
-        b.iter(|| {
-            let mut a = PtpClient::new(PtpConfig::default());
-            let mut bb = PtpClient::new(PtpConfig {
-                path_asymmetry: NanoDur(320),
-                ..PtpConfig::default()
+fn ablation_tap_vs_ptp(h: &mut Harness) {
+    h.bench("ablation_tap/tap_precision_sweep", || {
+        let p99_at = |precision: NanoDur| {
+            let mut out = run_reflection(&ReflectionConfig {
+                variant: ReflectVariant::Ts,
+                cycles: 300,
+                tap_precision: precision,
+                seed: 7,
+                ..ReflectionConfig::default()
             });
-            let mut rng = SimRng::seed_from_u64(8);
-            let (tap_err, ptp_err) =
-                measurement_errors(NanoDur(8), &mut a, &mut bb, Nanos::from_secs(30), &mut rng);
-            assert!(ptp_err > 5.0 * tap_err);
-            (tap_err, ptp_err)
-        })
+            out.p99_jitter_ns()
+        };
+        let fine = p99_at(NanoDur(8));
+        let coarse = p99_at(NanoDur(1_000));
+        // A 1 µs tap rounds sub-µs jitter into 1 µs steps: the
+        // measured p99 becomes a multiple of the quantum.
+        assert_eq!(coarse as u64 % 1_000, 0);
+        (fine, coarse)
     });
-    g.finish();
+    h.bench("ablation_tap/one_clock_vs_two_clock_error", || {
+        let mut a = PtpClient::new(PtpConfig::default());
+        let mut bb = PtpClient::new(PtpConfig {
+            path_asymmetry: NanoDur(320),
+            ..PtpConfig::default()
+        });
+        let mut rng = SimRng::seed_from_u64(8);
+        let (tap_err, ptp_err) =
+            measurement_errors(NanoDur(8), &mut a, &mut bb, Nanos::from_secs(30), &mut rng);
+        assert!(ptp_err > 5.0 * tap_err);
+        (tap_err, ptp_err)
+    });
 }
 
 /// Ablation 3: the switchover margin. With the threshold under the
 /// device watchdog the I/O never halts; pushed past it, the watchdog
 /// fires first and production stops — quantifying InstaPLC's budget.
-fn ablation_watchdog(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_watchdog");
-    g.sample_size(10);
-    g.bench_function("switchover_margin", |b| {
-        b.iter(|| {
-            let run_with = |switchover_cycles: u32| {
-                run_scenario(&ScenarioConfig {
-                    switchover_cycles,
-                    crash_at: Nanos::from_millis(300),
-                    duration: Nanos::from_millis(900),
-                    ..ScenarioConfig::default()
-                })
-            };
-            // Margin inside the watchdog: seamless.
-            let safe = run_with(2);
-            assert_eq!(safe.io_safe_entries, 0);
-            // Threshold beyond the watchdog (factor 3): the device
-            // halts before the switch reacts.
-            let late = run_with(6);
-            assert!(late.io_safe_entries >= 1);
-            (safe.io_received, late.io_received)
-        })
+fn ablation_watchdog(h: &mut Harness) {
+    h.bench("ablation_watchdog/switchover_margin", || {
+        let run_with = |switchover_cycles: u32| {
+            run_scenario(&ScenarioConfig {
+                switchover_cycles,
+                crash_at: Nanos::from_millis(300),
+                duration: Nanos::from_millis(900),
+                ..ScenarioConfig::default()
+            })
+        };
+        // Margin inside the watchdog: seamless.
+        let safe = run_with(2);
+        assert_eq!(safe.io_safe_entries, 0);
+        // Threshold beyond the watchdog (factor 3): the device
+        // halts before the switch reacts.
+        let late = run_with(6);
+        assert!(late.io_safe_entries >= 1);
+        (safe.io_received, late.io_received)
     });
-    g.finish();
 }
 
-criterion_group!(
-    ablations,
-    ablation_ringbuf_cost,
-    ablation_tap_vs_ptp,
-    ablation_watchdog
-);
-criterion_main!(ablations);
+fn main() {
+    let mut h = Harness::new("ablations").samples(10);
+    ablation_ringbuf_cost(&mut h);
+    ablation_tap_vs_ptp(&mut h);
+    ablation_watchdog(&mut h);
+    h.finish();
+}

@@ -1,83 +1,67 @@
-//! Criterion benchmarks of the four figure pipelines — one benchmark
-//! per table/figure, measuring the cost of regenerating it at reduced
+//! Benchmarks of the four figure pipelines — one benchmark per
+//! table/figure, measuring the cost of regenerating it at reduced
 //! scale (absolute regeneration happens in the `fig*` binaries).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use steelworks_bench::harness::Harness;
 use steelworks_core::prelude::*;
 use steelworks_corpus::prelude::{analyze, generate};
 use steelworks_mlnet::prelude::MlApp;
 use steelworks_netsim::time::Nanos;
 use steelworks_xdpsim::prelude::ReflectVariant;
 
-fn bench_fig1(c: &mut Criterion) {
+fn bench_fig1(h: &mut Harness) {
     let corpus = generate(40, 7);
     let texts: Vec<&str> = corpus.iter().map(|p| p.text.as_str()).collect();
-    c.bench_function("fig1/analyze_40_papers", |b| {
-        b.iter(|| analyze(texts.iter().copied()))
-    });
+    h.bench("fig1/analyze_40_papers", || analyze(texts.iter().copied()));
 }
 
-fn bench_fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4");
-    g.sample_size(10);
+fn bench_fig4(h: &mut Harness) {
     for variant in [ReflectVariant::Base, ReflectVariant::TsRb] {
-        g.bench_with_input(
-            BenchmarkId::new("reflection_500_cycles", variant.name()),
-            &variant,
-            |b, &variant| {
-                b.iter(|| {
-                    run_reflection(&ReflectionConfig {
-                        variant,
-                        cycles: 500,
-                        seed: 1,
-                        ..ReflectionConfig::default()
-                    })
-                })
-            },
-        );
-    }
-    g.bench_function("reflection_25_flows_200_cycles", |b| {
-        b.iter(|| {
+        h.bench(format!("fig4/reflection_500_cycles/{}", variant.name()), || {
             run_reflection(&ReflectionConfig {
-                variant: ReflectVariant::Ts,
-                flows: 25,
-                cycles: 200,
+                variant,
+                cycles: 500,
                 seed: 1,
                 ..ReflectionConfig::default()
             })
+        });
+    }
+    h.bench("fig4/reflection_25_flows_200_cycles", || {
+        run_reflection(&ReflectionConfig {
+            variant: ReflectVariant::Ts,
+            flows: 25,
+            cycles: 200,
+            seed: 1,
+            ..ReflectionConfig::default()
         })
     });
-    g.finish();
 }
 
-fn bench_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(10);
-    g.bench_function("instaplc_scenario_1s", |b| {
-        b.iter(|| {
-            run_scenario(&ScenarioConfig {
-                crash_at: Nanos::from_millis(400),
-                duration: Nanos::from_secs(1),
-                ..ScenarioConfig::default()
-            })
+fn bench_fig5(h: &mut Harness) {
+    h.bench("fig5/instaplc_scenario_1s", || {
+        run_scenario(&ScenarioConfig {
+            crash_at: Nanos::from_millis(400),
+            duration: Nanos::from_secs(1),
+            ..ScenarioConfig::default()
         })
     });
-    g.finish();
 }
 
-fn bench_fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6");
+fn bench_fig6(h: &mut Harness) {
     let cfg = StudyConfig::default();
     for kind in TopologyKind::ALL {
-        g.bench_with_input(
-            BenchmarkId::new("evaluate_point_256", kind.name()),
-            &kind,
-            |b, &kind| b.iter(|| evaluate_point(kind, MlApp::DefectDetection, 256, &cfg)),
-        );
+        h.bench(format!("fig6/evaluate_point_256/{}", kind.name()), || {
+            evaluate_point(kind, MlApp::DefectDetection, 256, &cfg)
+        });
     }
-    g.bench_function("full_sweep", |b| b.iter(|| fig6(&cfg)));
-    g.finish();
+    h.bench("fig6/full_sweep", || fig6(&cfg));
 }
 
-criterion_group!(figs, bench_fig1, bench_fig4, bench_fig5, bench_fig6);
-criterion_main!(figs);
+fn main() {
+    let mut h = Harness::new("fig_pipelines").samples(10);
+    bench_fig1(&mut h);
+    bench_fig4(&mut h);
+    bench_fig5(&mut h);
+    bench_fig6(&mut h);
+    h.finish();
+}

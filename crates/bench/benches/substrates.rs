@@ -2,73 +2,65 @@
 //! throughput, eBPF interpretation, verification, pipeline processing,
 //! routing and schedule synthesis.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use steelworks_bench::harness::Harness;
 use steelworks_dataplane::prelude::*;
+use steelworks_netsim::bytes::Bytes;
 use steelworks_netsim::prelude::*;
 use steelworks_rtnet::prelude::{schedule, EgressId, FlowSpec};
 use steelworks_topo::prelude::{leaf_spine, shortest_path, EdgeAttr, HopWeight};
 use steelworks_xdpsim::prelude::*;
 
-fn bench_event_loop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("netsim");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("deliver_10k_frames_direct_link", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(1);
-            let src = sim.add_node(
-                PeriodicSource::new(
-                    "src",
-                    MacAddr::local(1),
-                    MacAddr::local(2),
-                    46,
-                    NanoDur::from_micros(1),
-                )
-                .with_limit(10_000),
-            );
-            let dst = sim.add_node(CounterSink::new("dst"));
-            sim.connect(src, PortId(0), dst, PortId(0), LinkSpec::gigabit());
-            sim.run_to_quiescence();
-            assert_eq!(sim.trace().counters().delivered, 10_000);
-        })
+fn bench_event_loop(h: &mut Harness) {
+    h.bench("netsim/deliver_10k_frames_direct_link", || {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(
+            PeriodicSource::new(
+                "src",
+                MacAddr::local(1),
+                MacAddr::local(2),
+                46,
+                NanoDur::from_micros(1),
+            )
+            .with_limit(10_000),
+        );
+        let dst = sim.add_node(CounterSink::new("dst"));
+        sim.connect(src, PortId(0), dst, PortId(0), LinkSpec::gigabit());
+        sim.run_to_quiescence();
+        assert_eq!(sim.trace().counters().delivered, 10_000);
     });
-    g.bench_function("deliver_10k_frames_through_switch", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(1);
-            let src = sim.add_node(
-                PeriodicSource::new(
-                    "src",
-                    MacAddr::local(1),
-                    MacAddr::local(2),
-                    46,
-                    NanoDur::from_micros(1),
-                )
-                .with_limit(10_000),
-            );
-            let dst = sim.add_node(CounterSink::new("dst"));
-            let sw = sim.add_node({
-                let mut s = LearningSwitch::eight_port("sw");
-                s.learn_static(MacAddr::local(2), PortId(1));
-                s
-            });
-            sim.connect(src, PortId(0), sw, PortId(0), LinkSpec::gigabit());
-            sim.connect(dst, PortId(0), sw, PortId(1), LinkSpec::gigabit());
-            sim.run_to_quiescence();
-        })
+    h.bench("netsim/deliver_10k_frames_through_switch", || {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(
+            PeriodicSource::new(
+                "src",
+                MacAddr::local(1),
+                MacAddr::local(2),
+                46,
+                NanoDur::from_micros(1),
+            )
+            .with_limit(10_000),
+        );
+        let dst = sim.add_node(CounterSink::new("dst"));
+        let sw = sim.add_node({
+            let mut s = LearningSwitch::eight_port("sw");
+            s.learn_static(MacAddr::local(2), PortId(1));
+            s
+        });
+        sim.connect(src, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+        sim.connect(dst, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+        sim.run_to_quiescence();
     });
-    g.finish();
 }
 
-fn bench_vm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("xdpsim");
+fn bench_vm(h: &mut Harness) {
     let (mut maps, rb) = standard_maps();
     let base = reflect_variant(ReflectVariant::Base, rb);
     let rbv = reflect_variant(ReflectVariant::TsRb, rb);
     let cm = CostModel::default();
     let mut rng = SimRng::seed_from_u64(1);
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("vm_run_base_reflect", |b| {
+    {
         let mut pkt = vec![0u8; 64];
-        b.iter(|| {
+        h.bench_inner("xdpsim/vm_run_base_reflect", 64, || {
             run(
                 &base,
                 &mut pkt,
@@ -79,11 +71,11 @@ fn bench_vm(c: &mut Criterion) {
                 0,
                 &mut rng,
             )
-        })
-    });
-    g.bench_function("vm_run_ts_rb_reflect", |b| {
+        });
+    }
+    {
         let mut pkt = vec![0u8; 64];
-        b.iter(|| {
+        h.bench_inner("xdpsim/vm_run_ts_rb_reflect", 64, || {
             let r = run(
                 &rbv,
                 &mut pkt,
@@ -98,18 +90,17 @@ fn bench_vm(c: &mut Criterion) {
             if r.ringbuf_events > 0 {
                 maps.get_mut(rb).unwrap().ring_drain();
             }
-        })
-    });
-    g.bench_function("verify_ts_d_rb", |b| {
+            r
+        });
+    }
+    {
         let prog = reflect_variant(ReflectVariant::TsDRb, rb);
         let (maps, _) = standard_maps();
-        b.iter(|| verify(&prog, &maps).unwrap())
-    });
-    g.finish();
+        h.bench_inner("xdpsim/verify_ts_d_rb", 16, || verify(&prog, &maps).unwrap());
+    }
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dataplane");
+fn bench_pipeline(h: &mut Harness) {
     let mut p = steelworks_core::instaplc::build_pipeline();
     // Install a representative cyclic entry.
     let t = p.table_mut("cyclic").unwrap();
@@ -133,54 +124,48 @@ fn bench_pipeline(c: &mut Criterion) {
             frame_id: steelworks_rtnet::frame::FrameId(0x8001),
             cycle: 1,
             status: steelworks_rtnet::frame::DataStatus::running_primary(),
-            data: bytes::Bytes::from_static(&[0; 8]),
+            data: Bytes::from_static(&[0; 8]),
         }
         .to_bytes(),
     );
     let fs = parse(&frame, PortId(0));
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("instaplc_pipeline_cyclic_frame", |b| {
-        b.iter(|| p.process(fs.clone(), PortId(0), Nanos(123), 4, 84, &frame.payload))
+    h.bench_inner("dataplane/instaplc_pipeline_cyclic_frame", 64, || {
+        p.process(fs.clone(), PortId(0), Nanos(123), 4, 84, &frame.payload)
     });
-    g.finish();
 }
 
-fn bench_topo(c: &mut Criterion) {
-    let mut g = c.benchmark_group("topo");
+fn bench_topo(h: &mut Harness) {
     let built = leaf_spine(4, 16, 16, EdgeAttr::gigabit_local());
-    g.bench_function("dijkstra_leaf_spine_256_clients", |b| {
-        b.iter(|| {
-            shortest_path(
-                &built.graph,
-                built.clients[0],
-                built.clients[255],
-                &HopWeight,
-            )
-            .unwrap()
+    h.bench_inner("topo/dijkstra_leaf_spine_256_clients", 16, || {
+        shortest_path(
+            &built.graph,
+            built.clients[0],
+            built.clients[255],
+            &HopWeight,
+        )
+        .unwrap()
+    });
+    let flows: Vec<FlowSpec> = (0..8)
+        .map(|i| FlowSpec {
+            name: format!("f{i}"),
+            period: NanoDur::from_millis(if i % 2 == 0 { 1 } else { 2 }),
+            tx_time: NanoDur::from_micros(20),
+            path: vec![
+                (EgressId(i % 3), NanoDur::ZERO),
+                (EgressId(3), NanoDur::from_micros(5)),
+            ],
         })
+        .collect();
+    h.bench("topo/tsn_schedule_8_flows", || {
+        schedule(&flows, NanoDur::from_micros(10)).unwrap()
     });
-    g.bench_function("tsn_schedule_8_flows", |b| {
-        let flows: Vec<FlowSpec> = (0..8)
-            .map(|i| FlowSpec {
-                name: format!("f{i}"),
-                period: NanoDur::from_millis(if i % 2 == 0 { 1 } else { 2 }),
-                tx_time: NanoDur::from_micros(20),
-                path: vec![
-                    (EgressId(i % 3), NanoDur::ZERO),
-                    (EgressId(3), NanoDur::from_micros(5)),
-                ],
-            })
-            .collect();
-        b.iter(|| schedule(&flows, NanoDur::from_micros(10)).unwrap())
-    });
-    g.finish();
 }
 
-criterion_group!(
-    substrates,
-    bench_event_loop,
-    bench_vm,
-    bench_pipeline,
-    bench_topo
-);
-criterion_main!(substrates);
+fn main() {
+    let mut h = Harness::new("substrates").samples(20);
+    bench_event_loop(&mut h);
+    bench_vm(&mut h);
+    bench_pipeline(&mut h);
+    bench_topo(&mut h);
+    h.finish();
+}

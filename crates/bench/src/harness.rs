@@ -1,0 +1,177 @@
+//! A small self-contained benchmark harness.
+//!
+//! Replaces Criterion so the workspace builds offline with zero
+//! external crates. Deliberately minimal: per benchmark it runs a
+//! warmup, then takes N wall-clock samples over `Instant`, and reports
+//! median / p95 / mean / min / max. Results print as aligned
+//! human-readable rows plus one machine-readable JSON array (the
+//! `BENCH_*.json` trajectory format), optionally written to the path
+//! in the `BENCH_JSON` environment variable.
+//!
+//! Bench names are kept identical to the former Criterion
+//! `group/function[/input]` ids so historical trajectories stay
+//! comparable.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchStats {
+    /// `group/function[/input]` id.
+    pub name: String,
+    /// Samples taken (after warmup).
+    pub samples: usize,
+    /// Inner iterations per sample (timing is divided by this).
+    pub inner_iters: u32,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iter.
+    pub p95_ns: f64,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// Fastest sample ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample ns/iter.
+    pub max_ns: f64,
+}
+
+impl BenchStats {
+    /// One JSON object, flat keys, no external serializer needed.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"samples\":{},\"inner_iters\":{},\"median_ns\":{:.1},\"p95_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}}}",
+            self.name, self.samples, self.inner_iters, self.median_ns, self.p95_ns, self.mean_ns, self.min_ns, self.max_ns
+        )
+    }
+}
+
+/// Collects benchmarks for one harness binary.
+pub struct Harness {
+    title: &'static str,
+    warmup: usize,
+    samples: usize,
+    results: Vec<BenchStats>,
+}
+
+impl Harness {
+    /// New harness with default warmup (3) and sample (30) counts.
+    pub fn new(title: &'static str) -> Harness {
+        println!("# bench harness: {title}");
+        println!(
+            "# {:<44} {:>12} {:>12} {:>12}",
+            "name", "median", "p95", "mean"
+        );
+        Harness {
+            title,
+            warmup: 3,
+            samples: 30,
+            results: Vec::new(),
+        }
+    }
+
+    /// Override the per-bench sample count (builder style).
+    pub fn samples(mut self, n: usize) -> Harness {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Time `f`, one invocation per sample.
+    pub fn bench<T>(&mut self, name: impl Into<String>, f: impl FnMut() -> T) {
+        self.bench_inner(name, 1, f)
+    }
+
+    /// Time `f` with `inner` invocations per sample — use for
+    /// sub-microsecond bodies where a single call is below timer
+    /// resolution.
+    pub fn bench_inner<T>(&mut self, name: impl Into<String>, inner: u32, mut f: impl FnMut() -> T) {
+        let name = name.into();
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..inner {
+                black_box(f());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / inner as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let q = |p: f64| {
+            // Nearest-rank on the sorted samples.
+            let idx = ((per_iter_ns.len() - 1) as f64 * p).round() as usize;
+            per_iter_ns[idx]
+        };
+        let stats = BenchStats {
+            name: name.clone(),
+            samples: per_iter_ns.len(),
+            inner_iters: inner,
+            median_ns: q(0.5),
+            p95_ns: q(0.95),
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+            min_ns: per_iter_ns[0],
+            max_ns: *per_iter_ns.last().unwrap(),
+        };
+        println!(
+            "  {:<44} {:>12} {:>12} {:>12}",
+            stats.name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p95_ns),
+            fmt_ns(stats.mean_ns)
+        );
+        self.results.push(stats);
+    }
+
+    /// Print the JSON trajectory (and write it to `$BENCH_JSON` when
+    /// set). Call once at the end of `main`.
+    pub fn finish(self) {
+        let json = format!(
+            "[{}]",
+            self.results
+                .iter()
+                .map(BenchStats::to_json)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        println!("# BENCH_JSON {json}");
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("# bench harness {}: cannot write {path}: {e}", self.title);
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_ordering_and_json() {
+        let mut h = Harness::new("selftest").samples(16);
+        let mut x = 0u64;
+        h.bench_inner("group/fn", 8, || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        let s = &h.results[0];
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p95_ns && s.p95_ns <= s.max_ns);
+        assert_eq!(s.samples, 16);
+        let j = s.to_json();
+        assert!(j.starts_with("{\"name\":\"group/fn\""));
+        assert!(j.contains("\"median_ns\":"));
+    }
+}

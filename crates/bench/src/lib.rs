@@ -5,10 +5,13 @@
 //! One binary per paper figure prints the same rows/series the paper
 //! plots (`cargo run --release -p steelworks-bench --bin fig4`), plus a
 //! `challenges` binary reproducing the §2 quantitative claims. The
-//! Criterion benches measure the substrates themselves (and the
-//! ablations DESIGN.md calls out).
+//! [`harness`]-based benches (`cargo bench -p steelworks-bench`)
+//! measure the substrates themselves (and the ablations DESIGN.md
+//! calls out) with zero external crates.
 
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 /// Standard seed used by all figure binaries so published outputs are
 /// exactly reproducible.

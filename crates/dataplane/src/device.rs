@@ -237,7 +237,7 @@ mod tests {
     use crate::action::{ActionSpec, Primitive};
     use crate::fields::Field;
     use crate::table::{Entry, MatchKind, TernaryKey};
-    use bytes::Bytes;
+    use steelworks_netsim::bytes::Bytes;
     use steelworks_netsim::prelude::*;
 
     /// Controller that counts digests and installs a forwarding rule on

@@ -132,7 +132,7 @@ pub fn deparse(fs: &FieldSet, frame: &mut EthFrame) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use steelworks_netsim::bytes::Bytes;
     use steelworks_netsim::frame::VlanTag;
 
     #[test]

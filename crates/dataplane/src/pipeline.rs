@@ -9,7 +9,7 @@ use crate::action::{IndexSource, Primitive, ValueSource};
 use crate::fields::FieldSet;
 use crate::registers::{CounterArray, MeterArray, MeterColor, RegisterArray};
 use crate::table::Table;
-use bytes::Bytes;
+use steelworks_netsim::bytes::Bytes;
 use steelworks_netsim::node::PortId;
 use steelworks_netsim::time::Nanos;
 

@@ -6,7 +6,7 @@ use crate::frame::{ethertype, EthFrame, MacAddr, VlanTag};
 use crate::node::{Ctx, Device, PortId};
 use crate::stats::BinnedSeries;
 use crate::time::{NanoDur, Nanos};
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 /// Emits one fixed-size frame per interval, optionally jittered and
 /// bounded in count — the workhorse load generator.

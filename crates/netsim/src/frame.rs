@@ -5,7 +5,7 @@
 //! industrial RT traffic (which is VLAN/PCP tagged layer-2) and for the
 //! IT-side flows (which we carry as opaque payloads with an ethertype).
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 

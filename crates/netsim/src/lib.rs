@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bytes;
 pub mod devices;
 pub mod event;
 pub mod fault;
@@ -62,6 +63,7 @@ pub mod trace;
 
 /// Convenient glob import for simulation construction.
 pub mod prelude {
+    pub use crate::bytes::Bytes;
     pub use crate::devices::{
         CounterSink, EchoDevice, PeriodicSource, PoissonSource, SOURCE_STOP_TOKEN,
     };

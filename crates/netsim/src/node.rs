@@ -187,7 +187,7 @@ impl Device for NullDevice {
 mod tests {
     use super::*;
     use crate::frame::{ethertype, MacAddr};
-    use bytes::Bytes;
+    use crate::bytes::Bytes;
 
     #[test]
     fn ctx_buffers_actions() {

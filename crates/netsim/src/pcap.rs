@@ -16,6 +16,10 @@ use std::io::{self, Write};
 const MAGIC_NS: u32 = 0xA1B2_3C4D;
 /// Link type: Ethernet.
 const LINKTYPE_ETHERNET: u32 = 1;
+/// Max bytes captured per record, as declared in the global header.
+/// Records never include more than this; `orig_len` keeps the true
+/// frame length, which is how dissectors detect truncation.
+const SNAPLEN: usize = 65_535;
 
 /// Re-serialize a frame to its on-the-wire byte layout (without FCS,
 /// as real captures present it).
@@ -52,21 +56,26 @@ impl<W: Write> PcapWriter<W> {
         w.write_all(&4u16.to_le_bytes())?; // version minor
         w.write_all(&0i32.to_le_bytes())?; // thiszone
         w.write_all(&0u32.to_le_bytes())?; // sigfigs
-        w.write_all(&65_535u32.to_le_bytes())?; // snaplen
+        w.write_all(&(SNAPLEN as u32).to_le_bytes())?; // snaplen
         w.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
         Ok(PcapWriter { w, records: 0 })
     }
 
     /// Append one frame observed at simulated time `ts`.
+    ///
+    /// Jumbo frames longer than the declared snaplen are truncated:
+    /// `incl_len` and the stored data are clamped to [`SNAPLEN`], while
+    /// `orig_len` records the frame's true on-the-wire length.
     pub fn write_frame(&mut self, ts: Nanos, frame: &EthFrame) -> io::Result<()> {
         let data = frame_wire_bytes(frame);
+        let incl = data.len().min(SNAPLEN);
         let secs = (ts.as_nanos() / 1_000_000_000) as u32;
         let nanos = (ts.as_nanos() % 1_000_000_000) as u32;
         self.w.write_all(&secs.to_le_bytes())?;
         self.w.write_all(&nanos.to_le_bytes())?;
+        self.w.write_all(&(incl as u32).to_le_bytes())?;
         self.w.write_all(&(data.len() as u32).to_le_bytes())?;
-        self.w.write_all(&(data.len() as u32).to_le_bytes())?;
-        self.w.write_all(&data)?;
+        self.w.write_all(&data[..incl])?;
         self.records += 1;
         Ok(())
     }
@@ -144,7 +153,7 @@ impl Device for CaptureSink {
 mod tests {
     use super::*;
     use crate::frame::{MacAddr, VlanTag};
-    use bytes::Bytes;
+    use crate::bytes::Bytes;
 
     fn sample_frame(payload: usize, vlan: bool) -> EthFrame {
         let mut f = EthFrame::new(
@@ -159,9 +168,14 @@ mod tests {
         f
     }
 
-    /// Minimal pcap reader for verification.
-    fn parse_pcap(bytes: &[u8]) -> (u32, Vec<(u32, u32, Vec<u8>)>) {
+    /// `(secs, nanos, orig_len, captured_data)` for one pcap record.
+    type PcapRecord = (u32, u32, usize, Vec<u8>);
+
+    /// Minimal pcap reader for verification. Returns `orig_len`
+    /// alongside the captured data so truncation is observable.
+    fn parse_pcap(bytes: &[u8]) -> (u32, Vec<PcapRecord>) {
         let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        let snaplen = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
         let mut records = Vec::new();
         let mut off = 24;
         while off < bytes.len() {
@@ -169,9 +183,10 @@ mod tests {
             let nanos = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
             let incl = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap()) as usize;
             let orig = u32::from_le_bytes(bytes[off + 12..off + 16].try_into().unwrap()) as usize;
-            assert_eq!(incl, orig);
+            assert!(incl <= snaplen, "incl_len must never exceed snaplen");
+            assert!(incl <= orig, "captured bytes cannot exceed the original");
             let data = bytes[off + 16..off + 16 + incl].to_vec();
-            records.push((secs, nanos, data));
+            records.push((secs, nanos, orig, data));
             off += 16 + incl;
         }
         (magic, records)
@@ -190,9 +205,10 @@ mod tests {
         let (magic, recs) = parse_pcap(&bytes);
         assert_eq!(magic, MAGIC_NS);
         assert_eq!(recs.len(), 1);
-        let (secs, nanos, data) = &recs[0];
+        let (secs, nanos, orig, data) = &recs[0];
         assert_eq!(*secs, 3);
         assert_eq!(*nanos, 42);
+        assert_eq!(*orig, data.len(), "untruncated record");
         assert_eq!(data.len(), 60, "14 header + 46 payload");
         assert_eq!(&data[0..6], &MacAddr::local(1).0);
         assert_eq!(
@@ -222,6 +238,29 @@ mod tests {
     }
 
     #[test]
+    fn jumbo_frames_clamped_to_snaplen() {
+        // A payload past the 65,535-byte snaplen: the record must be
+        // truncated (incl_len == snaplen) while orig_len keeps the true
+        // wire length, and the stream must stay parseable after it.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let jumbo = sample_frame(70_000, false);
+        w.write_frame(Nanos::from_secs(1), &jumbo).unwrap();
+        w.write_frame(Nanos::from_secs(2), &sample_frame(46, false))
+            .unwrap();
+        let bytes = w.finish().unwrap();
+        let (_, recs) = parse_pcap(&bytes);
+        assert_eq!(recs.len(), 2, "records after a jumbo remain readable");
+        let (_, _, orig, data) = &recs[0];
+        assert_eq!(data.len(), SNAPLEN, "incl_len clamped to snaplen");
+        assert_eq!(*orig, 70_000 + 14, "orig_len keeps the true length");
+        // The captured prefix is the frame's real leading bytes.
+        assert_eq!(&data[0..6], &MacAddr::local(1).0);
+        assert!(data[20..].iter().all(|&b| b == 0xAB));
+        let (_, _, orig2, data2) = &recs[1];
+        assert_eq!(*orig2, data2.len(), "short frame untruncated");
+    }
+
+    #[test]
     fn capture_sink_in_simulation() {
         use crate::link::LinkSpec;
         use crate::prelude::*;
@@ -248,7 +287,7 @@ mod tests {
         // Timestamps strictly increasing.
         let ts: Vec<u64> = recs
             .iter()
-            .map(|(s, n, _)| *s as u64 * 1_000_000_000 + *n as u64)
+            .map(|(s, n, _, _)| *s as u64 * 1_000_000_000 + *n as u64)
             .collect();
         for w in ts.windows(2) {
             assert!(w[1] > w[0]);

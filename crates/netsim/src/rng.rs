@@ -2,34 +2,203 @@
 //! simulator needs.
 //!
 //! Reproducibility is a hard requirement: every figure in the paper
-//! reproduction must regenerate bit-identically from a seed. `rand`'s
-//! `StdRng` is documented as non-portable across releases, so we pin
-//! ChaCha12 explicitly.
+//! reproduction must regenerate bit-identically from a seed, on any
+//! platform, from an offline checkout. The generator is therefore
+//! vendored in-repo rather than pulled from crates.io: a ChaCha12
+//! stream cipher core (the same algorithm `rand_chacha::ChaCha12Rng`
+//! pins) with the exact output-buffering, seeding and sampling
+//! conventions of `rand_core` 0.6 / `rand` 0.8, so the stream is
+//! bit-identical to the previously used `rand_chacha`-backed
+//! implementation. Known-answer tests below anchor the block function
+//! to the published ChaCha12 test vectors
+//! (draft-strombergson-chacha-test-vectors-01, TC1) and the composed
+//! generator to a golden stream captured from the original stack.
 //!
-//! The `rand_distr` crate is not in the allowed dependency set, so the
-//! handful of distributions the timing models need (normal, log-normal,
-//! exponential, Pareto) are implemented here from first principles.
+//! The handful of distributions the timing models need (normal,
+//! log-normal, exponential, Pareto) are implemented here from first
+//! principles.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+/// ChaCha quarter round.
+#[inline(always)]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// Number of u32 results buffered per refill: four 16-word ChaCha
+/// blocks, matching `rand_chacha`'s four-block-wide backend so the
+/// word order of the output stream is identical.
+const BUF_WORDS: usize = 64;
+
+/// ChaCha12 keystream generator in the original (djb) configuration:
+/// 64-bit block counter in words 12–13, 64-bit nonce (always zero
+/// here) in words 14–15.
+#[derive(Clone)]
+struct ChaCha12 {
+    /// Key words 4..12 of the state, little-endian from the seed.
+    key: [u32; 8],
+    /// 64-bit block counter of the *next* refill.
+    counter: u64,
+    /// Buffered keystream: 4 consecutive blocks.
+    buf: [u32; BUF_WORDS],
+    /// Next unconsumed word in `buf`; `BUF_WORDS` means empty.
+    index: usize,
+}
+
+impl ChaCha12 {
+    const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        ChaCha12 {
+            key,
+            counter: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+
+    /// One 12-round block for block counter `ctr`, written to `out`.
+    fn block(&self, ctr: u64, out: &mut [u32]) {
+        let mut init = [0u32; 16];
+        init[..4].copy_from_slice(&Self::CONSTANTS);
+        init[4..12].copy_from_slice(&self.key);
+        init[12] = ctr as u32;
+        init[13] = (ctr >> 32) as u32;
+        // Words 14–15: stream/nonce, fixed at zero.
+        let mut s = init;
+        for _ in 0..6 {
+            quarter(&mut s, 0, 4, 8, 12);
+            quarter(&mut s, 1, 5, 9, 13);
+            quarter(&mut s, 2, 6, 10, 14);
+            quarter(&mut s, 3, 7, 11, 15);
+            quarter(&mut s, 0, 5, 10, 15);
+            quarter(&mut s, 1, 6, 11, 12);
+            quarter(&mut s, 2, 7, 8, 13);
+            quarter(&mut s, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            out[i] = s[i].wrapping_add(init[i]);
+        }
+    }
+
+    /// Refill the 4-block buffer and position the cursor at `index`.
+    fn generate_and_set(&mut self, index: usize) {
+        debug_assert!(index < BUF_WORDS);
+        for i in 0..4 {
+            let ctr = self.counter.wrapping_add(i as u64);
+            let mut words = [0u32; 16];
+            self.block(ctr, &mut words);
+            self.buf[16 * i..16 * (i + 1)].copy_from_slice(&words);
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.index = index;
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate_and_set(0);
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    /// Two consecutive buffered words, low then high — including the
+    /// buffer-straddling case, exactly as `rand_core`'s `BlockRng`.
+    fn next_u64(&mut self) -> u64 {
+        let i = self.index;
+        if i < BUF_WORDS - 1 {
+            self.index += 2;
+            (self.buf[i] as u64) | ((self.buf[i + 1] as u64) << 32)
+        } else if i >= BUF_WORDS {
+            self.generate_and_set(2);
+            (self.buf[0] as u64) | ((self.buf[1] as u64) << 32)
+        } else {
+            let lo = self.buf[BUF_WORDS - 1] as u64;
+            self.generate_and_set(1);
+            lo | ((self.buf[0] as u64) << 32)
+        }
+    }
+
+    /// Fill `dest` with keystream bytes. Words are consumed whole:
+    /// unused trailing bytes of the last word of a request are
+    /// discarded (the `fill_via_u32_chunks` convention).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut read = 0;
+        while read < dest.len() {
+            if self.index >= BUF_WORDS {
+                self.generate_and_set(0);
+            }
+            let want = dest.len() - read;
+            let avail = BUF_WORDS - self.index;
+            let consume = (want.div_ceil(4)).min(avail);
+            let filled = (consume * 4).min(want);
+            let mut chunk = [0u8; 4 * BUF_WORDS];
+            for (i, w) in self.buf[self.index..self.index + consume].iter().enumerate() {
+                chunk[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+            }
+            dest[read..read + filled].copy_from_slice(&chunk[..filled]);
+            self.index += consume;
+            read += filled;
+        }
+    }
+}
+
+impl std::fmt::Debug for ChaCha12 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Don't leak the key/stream position into debug logs; identity
+        // is enough for diagnostics.
+        f.debug_struct("ChaCha12").finish_non_exhaustive()
+    }
+}
 
 /// The simulator's deterministic RNG.
 ///
-/// A thin wrapper over ChaCha12 with the distribution samplers used by
-/// the host-noise, link-fault, and workload models. Distinct subsystems
-/// should derive their own stream with [`SimRng::fork`] so that adding
-/// draws in one subsystem does not perturb another.
+/// A thin wrapper over the vendored ChaCha12 core with the
+/// distribution samplers used by the host-noise, link-fault, and
+/// workload models. Distinct subsystems should derive their own stream
+/// with [`SimRng::fork`] so that adding draws in one subsystem does not
+/// perturb another.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: ChaCha12Rng,
+    inner: ChaCha12,
 }
 
 impl SimRng {
-    /// Create a generator from a 64-bit seed.
-    pub fn seed_from_u64(seed: u64) -> Self {
+    /// Create a generator from a full 256-bit seed.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
         SimRng {
-            inner: ChaCha12Rng::seed_from_u64(seed),
+            inner: ChaCha12::from_seed(seed),
         }
+    }
+
+    /// Create a generator from a 64-bit seed.
+    ///
+    /// The seed is expanded to the 256-bit ChaCha key with the PCG32
+    /// output sequence `rand_core` 0.6 uses for `seed_from_u64`, so
+    /// seeds map to identical streams as before the vendoring.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut state = seed;
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+        }
+        SimRng::from_seed(key)
     }
 
     /// Derive an independent child stream.
@@ -42,19 +211,50 @@ impl SimRng {
         SimRng::seed_from_u64(s)
     }
 
+    /// Next 32 bits of the stream.
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    /// Next 64 bits of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fill a byte slice from the stream.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
     /// Uniform draw in `[0, 1)`.
+    ///
+    /// The top 53 bits of one `u64` draw, scaled — the multiply-based
+    /// conversion `rand` 0.8's `Standard` uses for `f64`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (self.next_u64() >> 11) as f64 * SCALE
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Lemire widening-multiply rejection with the bit-shifted zone of
+    /// `rand` 0.8's `UniformInt::<u64>::sample_single`, preserving both
+    /// the values and the number of stream draws consumed.
     pub fn below(&mut self, n: u64) -> u64 {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "SimRng::below: empty range");
+        let zone = (n << n.leading_zeros()).wrapping_sub(1);
+        loop {
+            let wide = (self.next_u64() as u128) * (n as u128);
+            if (wide as u64) <= zone {
+                return (wide >> 64) as u64;
+            }
+        }
     }
 
-    /// Uniform integer in `[lo, hi)`.
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "SimRng::range: empty range");
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -115,24 +315,149 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// ChaCha12, 256-bit all-zero key, zero nonce/counter, keystream
+    /// block 0 — TC1 of draft-strombergson-chacha-test-vectors-01.
+    /// Anchors the vendored block function to the published algorithm.
+    #[test]
+    fn chacha12_known_answer_tc1() {
+        let mut r = SimRng::from_seed([0u8; 32]);
+        let expected: [u32; 16] = [
+            0x6a9a_f49b, 0x53f9_5507, 0x12ce_1f81, 0xd583_265f,
+            0xbbc3_2904, 0x1474_e049, 0xa589_007e, 0x5f15_ae2e,
+            0x79f8_6405, 0xc0e3_7ad2, 0x3428_e82c, 0x798c_faac,
+            0x2c9f_623a, 0x1969_dea0, 0x2fe8_0b61, 0xbe26_1341,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(r.next_u32(), e, "word {i}");
+        }
+    }
+
+    /// Block 1 of the same vector — exercises the counter increment.
+    #[test]
+    fn chacha12_known_answer_tc1_block1() {
+        let mut r = SimRng::from_seed([0u8; 32]);
+        for _ in 0..16 {
+            r.next_u32();
+        }
+        let expected: [u32; 16] = [
+            0x4188_d50b, 0xfe74_3e20, 0x3371_fc86, 0x3d17_e08c,
+            0xb7eb_28c6, 0xcccb_bd19, 0x2185_1515, 0xb489_c04c,
+            0xcd8d_2542, 0x11f1_4ca1, 0x97b8_02c6, 0x43c8_8c1b,
+            0xca46_1ee9, 0xc051_5190, 0xb0a6_4427, 0x1693_e617,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(r.next_u32(), e, "word {}", 16 + i);
+        }
+    }
+
+    /// The PCG32-based 64→256-bit seed expansion, pinned by the key it
+    /// derives for seed 42 (verified against `rand_core` 0.6's
+    /// `seed_from_u64`). The first block of the resulting stream then
+    /// also pins the composed construction.
+    #[test]
+    fn seed_expansion_known_answer() {
+        let key: [u8; 32] = [
+            0xa4, 0x8f, 0xa1, 0x7b, 0x58, 0x32, 0x3d, 0x0a, 0xea, 0xb8, 0xa1, 0xcc, 0x69, 0x01,
+            0x14, 0xb8, 0x2b, 0x8c, 0xc8, 0x75, 0x18, 0xb4, 0xf7, 0x54, 0x8d, 0x44, 0x6e, 0xa1,
+            0xe4, 0xdf, 0x20, 0xf2,
+        ];
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::from_seed(key);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Golden stream: the first 64 `next_u64` draws of seed 42,
+    /// captured from the `rand_chacha 0.3` + `rand_core 0.6` stack this
+    /// module replaces. Any change to these values would silently
+    /// invalidate every checked-in figure.
+    #[test]
+    fn golden_seed42_first_64_draws() {
+        let expected: [u64; 64] = [
+            0x86cc7763222724a2, 0x8af00a133fad517d, 0xa2ef6071de5134d1, 0x67e92d78fd7630b2,
+            0x08cab0dff8119fea, 0x6a3a9ca39e0f81a8, 0xbcc7d8e8590878fb, 0xd9688d9b2f8eb737,
+            0x219b7e47a11c835e, 0x00d5211f7aba3a1e, 0xeea11039d26bae37, 0x8193012e994eac09,
+            0x64019743ddd2f652, 0x2410b617b5c73fda, 0x85e5e480cd5aadfc, 0x37fd16ebd1802190,
+            0x03394b7ca3072fca, 0x84ed7c21290ed3f3, 0x0cdebc7a765a56e4, 0xa57dc7c9a983551f,
+            0xd885b9d042c5f5bf, 0x7f6b05ab76afa832, 0x8187c01bfa9a4fc3, 0x0ef9833f6a0a3f25,
+            0x59dbd86317cecb50, 0x7293421f4d4e3852, 0xcb5cceb423cf90d5, 0x341ade3195244fc4,
+            0x66d6afcd84ea33f2, 0xa793e7fe2a07abd3, 0x6c8a64b4dd8a46e1, 0xe373bd0032102eec,
+            0xec0619b0ee66b7a9, 0xde8aa9696c100e0f, 0xa61dc1b0a5465bd3, 0x388486e7cf08a133,
+            0x93b87b4a5aab1cb6, 0x63de0af2607885cf, 0x1115642b997b2c67, 0x6da293fb18d37054,
+            0xfc9562c3091f55b7, 0x9b7e5961cb414813, 0x73df1642e2a23995, 0x073a4ae23f556051,
+            0x27797b39e0382235, 0x627338ea43b2a45d, 0x7dcd37d60133ba8b, 0xf7fc05accfd993dc,
+            0xd9ee88a87ff45726, 0x8bb88317f1dee5a4, 0xc4d38653f3b17db5, 0xcf946b8dc94bd4b1,
+            0x932dec02ff9f7113, 0x3c205523d9235a7c, 0x62188a01fc599ee8, 0x64cdf534fb3cda6c,
+            0x3aa1ddb8e242d766, 0x3ee79b70f426951e, 0xa26bde22e25bd883, 0x7a5d9e364cf83c54,
+            0xf78edf51ececafb5, 0x2b2a00c1f3ba4a43, 0x77167bf3be13f027, 0x88c5bacb2698ccc0,
+        ];
+        let mut r = SimRng::seed_from_u64(42);
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(r.next_u64(), e, "draw {i}");
+        }
+    }
+
+    /// The 53-bit float conversion and Lemire bounded sampling, pinned
+    /// against the original `rand` 0.8 `gen::<f64>()` / `gen_range`.
+    #[test]
+    fn golden_seed42_derived_draws() {
+        let mut r = SimRng::seed_from_u64(42);
+        let f: Vec<f64> = (0..4).map(|_| r.f64()).collect();
+        assert_eq!(
+            f,
+            [
+                0.5265574090027738,
+                0.5427252099031439,
+                0.6364650991438949,
+                0.4059017582307767
+            ]
+        );
+        let mut r = SimRng::seed_from_u64(42);
+        let d: Vec<u64> = (0..16).map(|_| r.below(10)).collect();
+        assert_eq!(d, [5, 5, 6, 4, 0, 4, 7, 8, 1, 0, 9, 5, 1, 5, 2, 0]);
+    }
+
+    /// `next_u64` straddling a buffer refill must splice the last word
+    /// of one buffer with the first of the next (BlockRng convention).
+    #[test]
+    fn u64_across_refill_boundary() {
+        // Consume 63 words, leaving exactly one in the buffer.
+        let mut a = SimRng::from_seed([0u8; 32]);
+        for _ in 0..63 {
+            a.next_u32();
+        }
+        let straddled = a.next_u64();
+        // Reconstruct from a fresh generator: word 63 is the low half;
+        // the high half is word 0 of the *next* refill, which a pure
+        // word-counting reader would call word 64.
+        let mut b = SimRng::from_seed([0u8; 32]);
+        let mut all = Vec::new();
+        for _ in 0..65 {
+            all.push(b.next_u32());
+        }
+        assert_eq!(straddled, (all[63] as u64) | ((all[64] as u64) << 32));
+    }
+
+    /// `fill_bytes` consumes whole words and discards unused trailing
+    /// bytes of the final word of a request.
+    #[test]
+    fn fill_bytes_word_granular() {
+        let mut a = SimRng::from_seed([0u8; 32]);
+        let mut dest = [0u8; 13];
+        a.fill_bytes(&mut dest);
+        // First 13 bytes of the TC1 keystream.
+        assert_eq!(
+            dest,
+            [0x9b, 0xf4, 0x9a, 0x6a, 0x07, 0x55, 0xf9, 0x53, 0x81, 0x1f, 0xce, 0x12, 0x5f]
+        );
+        // Byte 14–16 of word 3 are discarded: the next word is word 4.
+        assert_eq!(a.next_u32(), 0xbbc3_2904);
+    }
 
     #[test]
     fn same_seed_same_stream() {
@@ -212,6 +537,15 @@ mod tests {
         let mut r = SimRng::seed_from_u64(29);
         for _ in 0..1_000 {
             assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::seed_from_u64(31);
+        for _ in 0..1_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
         }
     }
 }

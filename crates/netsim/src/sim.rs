@@ -13,7 +13,7 @@ use crate::rng::SimRng;
 use crate::tap::{Tap, TapDir, TapId};
 use crate::time::{NanoDur, Nanos};
 use crate::trace::{DropReason, TraceEvent, TraceSink};
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 struct NodeSlot {
     device: Box<dyn Device>,

@@ -246,7 +246,7 @@ mod tests {
     use crate::link::LinkSpec;
     use crate::node::NullDevice;
     use crate::sim::Simulator;
-    use bytes::Bytes;
+    use crate::bytes::Bytes;
 
     /// Sends a fixed list of (dst, pcp, payload_len) frames at start.
     struct Scripted {

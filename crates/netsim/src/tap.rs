@@ -182,7 +182,7 @@ impl Tap {
 mod tests {
     use super::*;
     use crate::frame::ethertype;
-    use bytes::Bytes;
+    use crate::bytes::Bytes;
 
     fn frame() -> EthFrame {
         EthFrame::new(

@@ -8,7 +8,7 @@
 
 use crate::frame::{AlarmKind, CrParams, DataStatus, FrameId, RtPayload};
 use crate::watchdog::{Watchdog, WatchdogState};
-use bytes::Bytes;
+use steelworks_netsim::bytes::Bytes;
 use steelworks_netsim::time::{NanoDur, Nanos};
 
 /// Events a CR surfaces to its owner.

@@ -14,7 +14,7 @@
 //! [6..]   type-specific body
 //! ```
 
-use bytes::Bytes;
+use steelworks_netsim::bytes::Bytes;
 use std::fmt;
 use steelworks_netsim::time::NanoDur;
 

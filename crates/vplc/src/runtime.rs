@@ -8,7 +8,7 @@
 
 use crate::image::ProcessImage;
 use crate::program::{PlcProgram, PlcState, ScanTimeModel};
-use bytes::Bytes;
+use steelworks_netsim::bytes::Bytes;
 use steelworks_netsim::frame::{ethertype, EthFrame, MacAddr, VlanTag};
 use steelworks_netsim::node::{Ctx, Device, PortId};
 use steelworks_netsim::stats::BinnedSeries;

@@ -14,7 +14,7 @@ use crate::nic::NicModel;
 use crate::prog::Program;
 use crate::verifier::{verify, VerifyError};
 use crate::vm::{self, XdpContext};
-use bytes::Bytes;
+use steelworks_netsim::bytes::Bytes;
 use std::collections::HashMap;
 use steelworks_netsim::frame::{EthFrame, MacAddr};
 use steelworks_netsim::node::{Ctx, Device, PortId};

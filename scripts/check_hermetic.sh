@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Hermeticity gate: the workspace must build and test fully offline,
+# with a committed Cargo.lock and zero registry (non-path) dependencies.
+#
+# Run from anywhere inside the repo:
+#   scripts/check_hermetic.sh
+#
+# Checks:
+#   1. No Cargo.toml declares a dependency that is not a `path` dep
+#      (registry, git, or bare-version deps are all rejected).
+#   2. Cargo.lock contains only workspace crates (no `source =` lines).
+#   3. `cargo build --release --frozen` and `cargo test -q --frozen`
+#      succeed — `--frozen` forbids both network access and lockfile
+#      updates, so this fails fast if anything external sneaks in.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== 1/3 Cargo.toml dependency audit =="
+# Inspect every dependency-ish section of every manifest; each entry
+# must carry `path = "..."` (plus optional workspace/feature keys) or
+# be a `workspace = true` alias to a [workspace.dependencies] entry
+# that is itself path-only (audited the same way).
+while IFS= read -r manifest; do
+    bad=$(awk '
+        /^\[/ {
+            in_dep = ($0 ~ /dependencies(\.|\])/)
+            next
+        }
+        in_dep && /^[A-Za-z0-9_-]+[ \t]*=/ {
+            if ($0 !~ /path[ \t]*=/ && $0 !~ /workspace[ \t]*=[ \t]*true/)
+                print FILENAME ": " $0
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "non-path dependency found:"
+        echo "$bad"
+        fail=1
+    fi
+done < <(find . -name Cargo.toml -not -path './target/*')
+[ "$fail" -eq 0 ] && echo "OK: all dependencies are path deps"
+
+echo "== 2/3 Cargo.lock audit =="
+if [ ! -f Cargo.lock ]; then
+    echo "Cargo.lock is missing (required for --frozen builds)"
+    fail=1
+elif grep -q '^source = ' Cargo.lock; then
+    echo "Cargo.lock references external sources:"
+    grep '^source = ' Cargo.lock | sort -u
+    fail=1
+else
+    echo "OK: Cargo.lock contains only workspace crates"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "hermeticity audit FAILED; skipping build"
+    exit 1
+fi
+
+echo "== 3/3 frozen build + test =="
+cargo build --release --frozen
+cargo test -q --frozen
+
+echo "hermetic: OK"

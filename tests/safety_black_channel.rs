@@ -5,7 +5,7 @@
 //! through — exactly why PROFIsafe-class protocols survive converged
 //! IT/OT fabrics (§1.1).
 
-use bytes::Bytes;
+use steelworks::netsim::bytes::Bytes;
 use steelworks::prelude::*;
 
 /// Sends one safety PDU per cycle inside an RT frame.
