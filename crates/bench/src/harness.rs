@@ -47,6 +47,7 @@ impl BenchStats {
 }
 
 /// Collects benchmarks for one harness binary.
+#[derive(Debug)]
 pub struct Harness {
     title: &'static str,
     warmup: usize,

@@ -10,6 +10,7 @@
 //! calls out) with zero external crates.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod harness;
 

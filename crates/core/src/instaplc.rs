@@ -51,6 +51,7 @@ struct Conn {
 
 /// InstaPLC's control plane (embedded with the switch, as the paper's
 /// Python controller is co-located with the DPDK data plane).
+#[derive(Debug)]
 pub struct InstaPlcController {
     /// Port the physical I/O device hangs off.
     pub io_port: PortId,
@@ -60,7 +61,7 @@ pub struct InstaPlcController {
     pub switchover_cycles: u32,
     /// Liveness scan period.
     pub scan_interval: NanoDur,
-    conns: std::collections::HashMap<u16, Conn>,
+    conns: std::collections::BTreeMap<u16, Conn>,
     /// Completed switchovers: (when, frame id).
     pub switchovers: Vec<(Nanos, u16)>,
     /// Planned role swaps to execute at given instants (live migration,
@@ -82,7 +83,7 @@ impl InstaPlcController {
             io_mac,
             switchover_cycles: 2,
             scan_interval: NanoDur::from_micros(250),
-            conns: std::collections::HashMap::new(),
+            conns: std::collections::BTreeMap::new(),
             switchovers: Vec::new(),
             planned_migrations: Vec::new(),
             migrations_done: Vec::new(),
@@ -124,7 +125,9 @@ impl InstaPlcController {
     }
 
     fn install_cyclic_entries(&mut self, fid: u16, pipeline: &mut Pipeline) {
+        // steelcheck: allow(unwrap-in-lib): fid was inserted by accept() before any install runs
         let conn = self.conns.get_mut(&fid).expect("conn exists");
+        // steelcheck: allow(unwrap-in-lib): the cyclic table is created in Pipeline construction above
         let table = pipeline.table_mut("cyclic").expect("cyclic table");
         for id in conn.entries.drain(..) {
             table.remove(id);
@@ -179,6 +182,7 @@ impl InstaPlcController {
                 ]),
             }));
         }
+        // steelcheck: allow(unwrap-in-lib): fid was inserted by accept() before entries are staged
         self.conns.get_mut(&fid).expect("conn exists").entries = entries;
     }
 

@@ -17,6 +17,7 @@
 //! - [`report`] — plain-text rendering used by the figure binaries.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -242,6 +242,7 @@ fn quality_for_bytes(profile: &MlAppProfile, bytes: f64) -> f64 {
 pub fn evaluate_point(kind: TopologyKind, app: MlApp, n: usize, cfg: &StudyConfig) -> StudyPoint {
     let profile = app.profile();
     let q_target = min_quality_for_accuracy(&profile, cfg.accuracy_target)
+        // steelcheck: allow(unwrap-in-lib): full quality always meets the caller-validated accuracy target
         .expect("target reachable at full quality");
     let scenario = build_scenario(kind, n, client_bps(&profile, q_target));
 
@@ -249,6 +250,7 @@ pub fn evaluate_point(kind: TopologyKind, app: MlApp, n: usize, cfg: &StudyConfi
     let mut paths = Vec::with_capacity(scenario.demands.len());
     let mut edge_lambda = vec![0.0f64; scenario.graph.edge_count()];
     for &(c, s, _) in &scenario.demands {
+        // steelcheck: allow(unwrap-in-lib): scenario graphs are built connected by construction
         let p = shortest_path(&scenario.graph, c, s, &HopWeight).expect("connected");
         for e in &p.edges {
             edge_lambda[e.0] += profile.fps;
@@ -321,6 +323,7 @@ pub fn evaluate_point(kind: TopologyKind, app: MlApp, n: usize, cfg: &StudyConfi
         if let Some((bi, _)) = sojourns
             .iter()
             .enumerate()
+            // steelcheck: allow(unwrap-in-lib): scores are finite: built from bounded model terms, no division
             .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
         {
             for (i, (sj, pkt)) in sojourns.iter().enumerate() {
@@ -328,6 +331,7 @@ pub fn evaluate_point(kind: TopologyKind, app: MlApp, n: usize, cfg: &StudyConfi
             }
         }
         net_total_ns += net_ns;
+        // steelcheck: allow(float-hygiene): response-time samples feed the report aggregate, never the sim clock
         inf_total_ns += scenario.server.response_time(&profile, sharing).as_nanos() as f64;
     }
     let k = scenario.demands.len() as f64;

@@ -112,6 +112,7 @@ pub fn run_reflection(cfg: &ReflectionConfig) -> ReflectionOutcome {
     let (maps, rb) = standard_maps();
     let prog = reflect_variant(cfg.variant, rb);
     let host = sim.add_node(
+        // steelcheck: allow(unwrap-in-lib): the shipped reflection variants are verifier-tested in xdpsim
         XdpHost::new("xdp-host", prog, maps, cfg.profile.clone()).expect("shipped variants verify"),
     );
 
@@ -175,14 +176,14 @@ pub fn run_reflection(cfg: &ReflectionConfig) -> ReflectionOutcome {
     // Delay per frame, attributed to its flow by source MAC.
     let tap_ref = sim.tap(tap);
     let mut delays = SampleSet::new();
-    let mut per_flow_delays: std::collections::HashMap<MacAddr, Vec<f64>> =
-        std::collections::HashMap::new();
+    let mut per_flow_delays: std::collections::BTreeMap<MacAddr, Vec<f64>> =
+        std::collections::BTreeMap::new();
     {
         // Pair in/out by frame id, remembering the inbound source MAC.
-        let mut inbound: std::collections::HashMap<
+        let mut inbound: std::collections::BTreeMap<
             steelworks_netsim::frame::FrameId,
             (Nanos, MacAddr),
-        > = std::collections::HashMap::new();
+        > = std::collections::BTreeMap::new();
         for r in tap_ref.records() {
             match r.dir {
                 TapDir::AToB => {
@@ -190,6 +191,7 @@ pub fn run_reflection(cfg: &ReflectionConfig) -> ReflectionOutcome {
                 }
                 TapDir::BToA => {
                     if let Some((t_in, src)) = inbound.remove(&r.frame) {
+                        // steelcheck: allow(float-hygiene): delay sample converted for the percentile report only
                         let d = r.ts.saturating_since(t_in).as_nanos() as f64;
                         delays.push(d);
                         per_flow_delays.entry(src).or_default().push(d);

@@ -7,6 +7,7 @@
 //! analyzer runs unchanged on a directory of real paper texts.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -13,6 +13,7 @@ use steelworks_netsim::node::{AsAny, Ctx, Device, PortId};
 use steelworks_netsim::time::{NanoDur, Nanos};
 
 /// Control-plane access handed to [`PipelineController`] callbacks.
+#[derive(Debug)]
 pub struct ControlApi<'a> {
     pipeline: &'a mut Pipeline,
     injections: &'a mut Vec<(PortId, EthFrame)>,
@@ -45,6 +46,7 @@ pub trait PipelineController: AsAny + 'static {
 }
 
 /// A controller that ignores everything (data plane only).
+#[derive(Debug)]
 pub struct NullController;
 
 impl PipelineController for NullController {
@@ -64,6 +66,16 @@ pub struct PipeSwitchStats {
     pub digests: u64,
     /// Frames injected by the control plane.
     pub injected: u64,
+}
+
+impl std::fmt::Debug for PipelineSwitch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineSwitch")
+            .field("name", &self.name)
+            .field("ports", &self.ports)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 /// The programmable switch.
@@ -111,6 +123,7 @@ impl PipelineSwitch {
         (*self.controller)
             .as_any()
             .downcast_ref::<T>()
+            // steelcheck: allow(unwrap-in-lib): typed-accessor API: wrong T is a caller bug by documented contract
             .expect("controller type mismatch")
     }
 
@@ -119,6 +132,7 @@ impl PipelineSwitch {
         (*self.controller)
             .as_any_mut()
             .downcast_mut::<T>()
+            // steelcheck: allow(unwrap-in-lib): typed-accessor API: wrong T is a caller bug by documented contract
             .expect("controller type mismatch")
     }
 

@@ -133,7 +133,7 @@ pub struct MeterArray {
     pub name: String,
     rate_bytes_per_sec: u64,
     burst_bytes: u64,
-    cells: std::collections::HashMap<u32, Meter>,
+    cells: std::collections::BTreeMap<u32, Meter>,
 }
 
 impl MeterArray {
@@ -143,7 +143,7 @@ impl MeterArray {
             name: name.into(),
             rate_bytes_per_sec,
             burst_bytes,
-            cells: std::collections::HashMap::new(),
+            cells: std::collections::BTreeMap::new(),
         }
     }
 

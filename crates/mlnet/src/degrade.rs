@@ -66,6 +66,7 @@ pub fn accuracy(profile: &MlAppProfile, d: &InputDegradation) -> f64 {
 
     // Jitter beyond 20% of the deadline turns into effective loss.
     let jitter_loss =
+        // steelcheck: allow(float-hygiene): loss-model ratio of two closed durations; result is a fraction, not a time
         (d.jitter.as_nanos() as f64 / profile.deadline.as_nanos() as f64 - 0.2).max(0.0);
     let eff_loss = (d.frame_loss + jitter_loss).min(1.0);
     let loss_term = (1.0 - profile.loss_sensitivity * eff_loss).max(0.0);

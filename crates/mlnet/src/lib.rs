@@ -7,6 +7,7 @@
 //! design, and tiered (edge/fog/cloud) inference servers with queueing.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -10,6 +10,7 @@ use crate::bytes::Bytes;
 
 /// Emits one fixed-size frame per interval, optionally jittered and
 /// bounded in count — the workhorse load generator.
+#[derive(Debug)]
 pub struct PeriodicSource {
     name: String,
     /// Destination MAC of generated frames.
@@ -150,6 +151,7 @@ impl Device for PeriodicSource {
 /// Emits frames with exponential inter-arrival times — memoryless IT
 /// background traffic (requests, telemetry) to contrast with the
 /// deterministic cyclic sources of OT.
+#[derive(Debug)]
 pub struct PoissonSource {
     name: String,
     /// Destination MAC.
@@ -239,6 +241,7 @@ impl Device for PoissonSource {
 /// Reflects every received frame back out the ingress port with source
 /// and destination swapped, after a fixed turnaround time — a wire-level
 /// ping responder used to calibrate reflection baselines.
+#[derive(Debug)]
 pub struct EchoDevice {
     name: String,
     /// Processing time between full reception and starting the reply.
@@ -298,6 +301,7 @@ impl Device for EchoDevice {
 
 /// Counts and time-stamps every arriving frame; optionally bins arrivals
 /// into a [`BinnedSeries`] (Fig. 5's packets-per-50-ms view).
+#[derive(Debug)]
 pub struct CounterSink {
     name: String,
     arrivals: Vec<Nanos>,
@@ -401,7 +405,7 @@ mod tests {
         sim.connect(src, PortId(0), dst, PortId(0), LinkSpec::gigabit());
         sim.run_until(Nanos::from_millis(20));
         let gaps = sim.node_ref::<CounterSink>(dst).inter_arrivals();
-        let distinct: std::collections::HashSet<u64> = gaps.iter().map(|g| g.as_nanos()).collect();
+        let distinct: std::collections::BTreeSet<u64> = gaps.iter().map(|g| g.as_nanos()).collect();
         assert!(
             distinct.len() > 5,
             "jitter produced {} gaps",

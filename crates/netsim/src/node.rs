@@ -41,6 +41,7 @@ pub enum Action {
 
 /// Per-callback handle through which a device reads the clock, draws
 /// randomness, transmits frames, and arms timers.
+#[derive(Debug)]
 pub struct Ctx<'a> {
     now: Nanos,
     node: NodeId,

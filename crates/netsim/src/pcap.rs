@@ -48,6 +48,14 @@ pub struct PcapWriter<W: Write> {
     records: u64,
 }
 
+impl<W: Write> std::fmt::Debug for PcapWriter<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PcapWriter")
+            .field("records", &self.records)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<W: Write> PcapWriter<W> {
     /// Write the global header and return the writer.
     pub fn new(mut w: W) -> io::Result<Self> {
@@ -95,6 +103,7 @@ impl<W: Write> PcapWriter<W> {
 /// A device that captures every frame it receives, with timestamps,
 /// and can dump the capture as pcap — wire it to a switch mirror port
 /// for a SPAN-style capture of a simulation.
+#[derive(Debug)]
 pub struct CaptureSink {
     name: String,
     captured: Vec<(Nanos, EthFrame)>,
@@ -126,10 +135,13 @@ impl CaptureSink {
 
     /// Serialize the capture to pcap bytes.
     pub fn to_pcap(&self) -> Vec<u8> {
+        // steelcheck: allow(unwrap-in-lib): Write to Vec<u8> is infallible
         let mut w = PcapWriter::new(Vec::new()).expect("vec write cannot fail");
         for (ts, frame) in &self.captured {
+            // steelcheck: allow(unwrap-in-lib): Write to Vec<u8> is infallible
             w.write_frame(*ts, frame).expect("vec write cannot fail");
         }
+        // steelcheck: allow(unwrap-in-lib): Write to Vec<u8> is infallible
         w.finish().expect("vec flush cannot fail")
     }
 

@@ -57,6 +57,7 @@ impl ChaCha12 {
     fn from_seed(seed: [u8; 32]) -> Self {
         let mut key = [0u32; 8];
         for (i, k) in key.iter_mut().enumerate() {
+            // steelcheck: allow(unwrap-in-lib): chunk is exactly 4 bytes: i ranges over a [u32; 8] against a [u8; 32] seed
             *k = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
         }
         ChaCha12 {

@@ -35,6 +35,18 @@ pub struct Simulator {
     scratch: Vec<Action>,
 }
 
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("taps", &self.taps.len())
+            .field("pending_events", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Simulator {
     /// A fresh world driven by the given seed.
     pub fn new(seed: u64) -> Self {
@@ -144,6 +156,7 @@ impl Simulator {
         (*self.nodes[id.0].device)
             .as_any()
             .downcast_ref::<D>()
+            // steelcheck: allow(unwrap-in-lib): typed-accessor API: wrong D is a caller bug by documented contract
             .expect("node type mismatch")
     }
 
@@ -152,6 +165,7 @@ impl Simulator {
         (*self.nodes[id.0].device)
             .as_any_mut()
             .downcast_mut::<D>()
+            // steelcheck: allow(unwrap-in-lib): typed-accessor API: wrong D is a caller bug by documented contract
             .expect("node type mismatch")
     }
 
@@ -178,7 +192,7 @@ impl Simulator {
             if at > t {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked event vanished");
+            let Some(ev) = self.queue.pop() else { break };
             debug_assert!(ev.at >= self.now, "time ran backwards");
             self.now = ev.at;
             match ev.kind {
@@ -300,6 +314,7 @@ impl Simulator {
         let a_side = link.is_a_side(node, port);
         let prop = link.spec.propagation;
         let ser = link.spec.serialization(frame.wire_bits());
+        // steelcheck: allow(unwrap-in-lib): link endpoints were validated when the link was wired
         let dir = link.dir_from(node, port).expect("wiring inconsistent");
 
         let start = self.now.max(dir.tx_free_at);

@@ -119,8 +119,9 @@ impl SampleSet {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            // total_cmp gives NaNs a defined position instead of a panic,
+            // keeping the sort deterministic on any input.
+            self.samples.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
     }

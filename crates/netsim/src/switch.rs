@@ -11,7 +11,7 @@ use crate::frame::EthFrame;
 use crate::frame::MacAddr;
 use crate::node::{Ctx, Device, PortId};
 use crate::time::{NanoDur, Nanos};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Per-egress-port scheduler state.
 #[derive(Debug, Default)]
@@ -59,10 +59,11 @@ impl Default for SwitchConfig {
 }
 
 /// MAC-learning store-and-forward switch.
+#[derive(Debug)]
 pub struct LearningSwitch {
     name: String,
     cfg: SwitchConfig,
-    fdb: HashMap<MacAddr, PortId>,
+    fdb: BTreeMap<MacAddr, PortId>,
     egress: Vec<Egress>,
     /// Frames waiting out the forwarding latency: (eligible_at, out, frame).
     staged: Vec<(Nanos, PortId, EthFrame)>,
@@ -83,7 +84,7 @@ impl LearningSwitch {
         LearningSwitch {
             name: name.into(),
             cfg,
-            fdb: HashMap::new(),
+            fdb: BTreeMap::new(),
             egress,
             staged: Vec::new(),
             frames_forwarded: 0,

@@ -135,8 +135,8 @@ impl Tap {
     /// which assumes strict request/response alternation) because a
     /// reflector preserves the frame's identity.
     pub fn reflection_rtts_by_id(&self) -> Vec<NanoDur> {
-        let mut first_seen: std::collections::HashMap<crate::frame::FrameId, Nanos> =
-            std::collections::HashMap::new();
+        let mut first_seen: std::collections::BTreeMap<crate::frame::FrameId, Nanos> =
+            std::collections::BTreeMap::new();
         let mut out = Vec::new();
         for r in &self.records {
             match r.dir {
@@ -162,10 +162,13 @@ impl Tap {
     /// [`Tap::with_payload_capture`]; `None` otherwise).
     pub fn to_pcap(&self) -> Option<Vec<u8>> {
         let cap = self.capture.as_ref()?;
+        // steelcheck: allow(unwrap-in-lib): Write to Vec<u8> is infallible
         let mut w = crate::pcap::PcapWriter::new(Vec::new()).expect("vec write");
         for (ts, frame) in cap {
+            // steelcheck: allow(unwrap-in-lib): Write to Vec<u8> is infallible
             w.write_frame(*ts, frame).expect("vec write");
         }
+        // steelcheck: allow(unwrap-in-lib): Write to Vec<u8> is infallible
         Some(w.finish().expect("vec flush"))
     }
 

@@ -254,6 +254,7 @@ impl RtPayload {
                 if bytes.len() < 6 + 4 + 1 + 2 + 2 {
                     return Err(ParseError::BadBody);
                 }
+                // steelcheck: allow(unwrap-in-lib): slice is exactly 4 bytes after the BadBody length check above
                 let cycle_ns = u32::from_be_bytes(bytes[6..10].try_into().expect("len 4"));
                 let watchdog_factor = bytes[10];
                 let output_len = u16::from_be_bytes([bytes[11], bytes[12]]);

@@ -14,6 +14,7 @@
 //! measurement (§3).
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -84,6 +84,7 @@ impl GateControlList {
             }
             into -= e.duration;
         }
+        // steelcheck: allow(unwrap-in-lib): GCLs are non-empty by construction (new() rejects empty entry lists)
         self.entries.last().expect("non-empty").gates
     }
 

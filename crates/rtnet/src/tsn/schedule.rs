@@ -92,8 +92,8 @@ pub fn schedule(flows: &[FlowSpec], granularity: NanoDur) -> Result<Schedule, Sc
     }
 
     // Reserved intervals per egress port: (start, end) within hyperperiod.
-    let mut reserved: std::collections::HashMap<EgressId, Vec<(u64, u64)>> =
-        std::collections::HashMap::new();
+    let mut reserved: std::collections::BTreeMap<EgressId, Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
     let mut offsets = Vec::with_capacity(flows.len());
     let step = granularity.as_nanos().max(1);
 
@@ -152,8 +152,8 @@ pub fn schedule(flows: &[FlowSpec], granularity: NanoDur) -> Result<Schedule, Sc
 /// commissioning tools.
 pub fn validate(flows: &[FlowSpec], sched: &Schedule) -> bool {
     let hyper = sched.hyperperiod.as_nanos();
-    let mut by_port: std::collections::HashMap<EgressId, Vec<(u64, u64)>> =
-        std::collections::HashMap::new();
+    let mut by_port: std::collections::BTreeMap<EgressId, Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
     for (f, off) in flows.iter().zip(&sched.offsets) {
         let reps = hyper / f.period.as_nanos();
         for rep in 0..reps {

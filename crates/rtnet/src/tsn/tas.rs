@@ -6,12 +6,13 @@
 //! keeps scheduled windows clean).
 
 use crate::tsn::gcl::GateControlList;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use steelworks_netsim::frame::{EthFrame, MacAddr};
 use steelworks_netsim::node::{Ctx, Device, PortId};
 use steelworks_netsim::time::{NanoDur, Nanos};
 
 /// Per-egress-port shaper state.
+#[derive(Debug)]
 struct TasEgress {
     queues: [VecDeque<EthFrame>; 8],
     gcl: GateControlList,
@@ -26,12 +27,13 @@ impl TasEgress {
 }
 
 /// A TSN switch with time-aware shaping on every port.
+#[derive(Debug)]
 pub struct TsnSwitch {
     name: String,
     ports: usize,
     forwarding_latency: NanoDur,
     queue_capacity: usize,
-    fdb: HashMap<MacAddr, PortId>,
+    fdb: BTreeMap<MacAddr, PortId>,
     egress: Vec<TasEgress>,
     staged: Vec<(Nanos, PortId, EthFrame)>,
     tail_drops: u64,
@@ -49,7 +51,7 @@ impl TsnSwitch {
             ports,
             forwarding_latency: NanoDur(1_200),
             queue_capacity: 256,
-            fdb: HashMap::new(),
+            fdb: BTreeMap::new(),
             egress: (0..ports)
                 .map(|_| TasEgress {
                     queues: Default::default(),
@@ -123,7 +125,9 @@ impl TsnSwitch {
             if eg.gcl.is_open(now, tc as u8) {
                 let (_, remaining) = eg.gcl.next_open(now, tc as u8);
                 if ser <= remaining {
-                    let frame = eg.queues[tc].pop_front().expect("front checked");
+                    let Some(frame) = eg.queues[tc].pop_front() else {
+                        continue;
+                    };
                     eg.busy_until = now + ser;
                     ctx.send(port, frame);
                     if eg.depth() > 0 {

@@ -1,0 +1,535 @@
+//! A small, comment- and string-aware Rust lexer.
+//!
+//! This is *not* a full Rust tokenizer — it is the minimum machinery
+//! needed to scan source files for lint-relevant token sequences
+//! without being fooled by comments, string/char literals, raw
+//! strings, or lifetimes. It deliberately avoids `syn`/`proc-macro2`
+//! so the checker stays zero-dependency and builds before anything
+//! else in the workspace.
+//!
+//! Guarantees the rules in [`crate::rules`] rely on:
+//!
+//! - No token is ever produced from inside a comment or a string/char
+//!   literal, so `"HashMap"` in a doc string never trips a rule.
+//! - Line comments are captured verbatim (minus the `//`) so
+//!   suppression directives (`// steelcheck: allow(rule)`) can be
+//!   recovered with exact line numbers.
+//! - Numeric literals are classified int vs float, including exponent
+//!   forms (`1e9`), trailing-dot floats (`1.`), and suffixed literals
+//!   (`1f64`, `2.5f32`), while `0..n` ranges and tuple indexing
+//!   (`pair.0`) stay integers.
+//! - Lifetimes (`'a`) are distinguished from char literals (`'a'`).
+
+/// What kind of token this is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unwrap`, ...).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1e9`, `2f64`).
+    Float,
+    /// String, raw-string, byte-string, or char literal (content dropped).
+    Literal,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-char operators are fused (`::`, `==`, `!=`, ...).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Kind of the token.
+    pub kind: TokKind,
+    /// Verbatim text (for `Literal` this is a placeholder, not content).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this punctuation with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A `//` comment, kept separately from the token stream.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Text after the leading `//` (or `/*`), untrimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when nothing but whitespace precedes the comment on its line.
+    pub owns_line: bool,
+}
+
+/// Lexer output: the token stream plus all comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment, non-whitespace tokens in order.
+    pub tokens: Vec<Token>,
+    /// All comments (line and block), in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Two-character operators that are fused into one `Punct` token.
+const TWO_CHAR_OPS: &[&str] = &[
+    "::", "==", "!=", "<=", ">=", "..", "->", "=>", "&&", "||", "<<", ">>", "+=", "-=", "*=",
+    "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Tokenize `src`. Never fails: unrecognized bytes become single-char
+/// `Punct` tokens, and an unterminated literal consumes to end of file
+/// (matching how rustc would already have rejected the file).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut line_has_token = false;
+    let mut out = Lexed::default();
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+                line_has_token = false;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: b[start..j].iter().collect(),
+                line,
+                owns_line: !line_has_token,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested, as in Rust).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let owns = !line_has_token;
+            let mut depth = 1;
+            let mut j = i + 2;
+            let text_start = j;
+            while j < n && depth > 0 {
+                if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if b[j] == '\n' {
+                        line += 1;
+                        line_has_token = false;
+                    }
+                    j += 1;
+                }
+            }
+            let text_end = if depth == 0 { j - 2 } else { j };
+            out.comments.push(Comment {
+                text: b[text_start..text_end.max(text_start)].iter().collect(),
+                line: start_line,
+                owns_line: owns,
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings and raw byte strings: r"..", r#".."#, br#".."#.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let start_line = line;
+            let mut j = i;
+            while j < n && (b[j] == 'r' || b[j] == 'b') {
+                j += 1;
+            }
+            let mut hashes = 0;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            debug_assert!(j < n && b[j] == '"');
+            j += 1; // opening quote
+            // Scan for closing quote followed by `hashes` hashes.
+            'scan: while j < n {
+                if b[j] == '"' {
+                    let mut k = j + 1;
+                    let mut seen = 0;
+                    while k < n && seen < hashes && b[k] == '#' {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        j = k;
+                        break 'scan;
+                    }
+                }
+                if b[j] == '\n' {
+                    line += 1;
+                }
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: "r\"...\"".into(),
+                line: start_line,
+            });
+            line_has_token = true;
+            i = j;
+            continue;
+        }
+        // Regular and byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let start_line = line;
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            while j < n {
+                match b[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: "\"...\"".into(),
+                line: start_line,
+            });
+            line_has_token = true;
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if is_lifetime(&b, i) {
+                let mut j = i + 1;
+                let start = j;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: b[start..j].iter().collect(),
+                    line,
+                });
+                line_has_token = true;
+                i = j;
+                continue;
+            }
+            // Char literal: 'x', '\n', '\u{1F600}'.
+            let mut j = i + 1;
+            while j < n {
+                match b[j] {
+                    '\\' => j += 2,
+                    '\'' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: "'.'".into(),
+                line,
+            });
+            line_has_token = true;
+            i = j;
+            continue;
+        }
+        // Identifier / keyword (incl. raw idents r#type — the raw-string
+        // check above already ruled out r#"..).
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut j = i;
+            // Raw identifier prefix.
+            if c == 'r' && i + 1 < n && b[i + 1] == '#' {
+                j += 2;
+            }
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            let text: String = b[start..j].iter().collect();
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: text.trim_start_matches("r#").to_string(),
+                line,
+            });
+            line_has_token = true;
+            i = j;
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'o' | 'b') {
+                j += 2;
+                while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+                // Fractional part — but not `..` (range) and not a
+                // method/field access (`1.max(2)`, `pair.0` handled at
+                // the dot: digit-then-ident means method call).
+                if j < n && b[j] == '.' && !(j + 1 < n && b[j + 1] == '.') {
+                    let next_is_ident =
+                        j + 1 < n && (b[j + 1].is_alphabetic() || b[j + 1] == '_');
+                    if !next_is_ident {
+                        is_float = true;
+                        j += 1;
+                        while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+                // Exponent.
+                if j < n && (b[j] == 'e' || b[j] == 'E') {
+                    let mut k = j + 1;
+                    if k < n && (b[k] == '+' || b[k] == '-') {
+                        k += 1;
+                    }
+                    if k < n && b[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+                // Type suffix (`u64`, `f32`, ...).
+                if j < n && (b[j].is_alphabetic()) {
+                    let sfx_start = j;
+                    while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    let sfx: String = b[sfx_start..j].iter().collect();
+                    if sfx == "f32" || sfx == "f64" {
+                        is_float = true;
+                    }
+                }
+            }
+            let text: String = b[start..j].iter().collect();
+            out.tokens.push(Token {
+                kind: if is_float { TokKind::Float } else { TokKind::Int },
+                text,
+                line,
+            });
+            line_has_token = true;
+            i = j;
+            continue;
+        }
+        // Punctuation: fuse two-char operators.
+        let mut matched = false;
+        if i + 1 < n {
+            let pair: String = [b[i], b[i + 1]].iter().collect();
+            if TWO_CHAR_OPS.contains(&pair.as_str()) {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: pair,
+                    line,
+                });
+                line_has_token = true;
+                i += 2;
+                matched = true;
+            }
+        }
+        if !matched {
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            line_has_token = true;
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Does a raw (byte) string literal start at `i`? (`r"`, `r#`+`"`,
+/// `br"`, `rb` is not a thing; `b"` is handled by the caller.)
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= n || b[j] != 'r' {
+            return false;
+        }
+    }
+    if j >= n || b[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < n && b[j] == '#' {
+        j += 1;
+    }
+    j < n && b[j] == '"'
+}
+
+/// Is the `'` at `i` a lifetime rather than a char literal?
+/// `'a'` → char; `'a` not followed by closing quote → lifetime.
+fn is_lifetime(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    if i + 1 >= n {
+        return false;
+    }
+    let c1 = b[i + 1];
+    if !(c1.is_alphabetic() || c1 == '_') {
+        return false; // '\n', '0', etc. → char literal
+    }
+    // Scan the identifier; a closing quote right after means char literal.
+    let mut j = i + 1;
+    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+        j += 1;
+    }
+    !(j < n && b[j] == '\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_idents() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a block /* nested HashMap */ comment */
+            let s = "HashMap::new()";
+            let r = r#"HashSet"#;
+            let c = 'H';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap" || s == "HashSet"));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let x = 1; // steelcheck: allow(wall-clock)\n// solo\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.comments[0].owns_line);
+        assert!(lexed.comments[0].text.contains("steelcheck: allow"));
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[1].owns_line);
+    }
+
+    #[test]
+    fn float_vs_int_classification() {
+        let cases = [
+            ("1.0", TokKind::Float),
+            ("1.", TokKind::Float),
+            ("1e9", TokKind::Float),
+            ("2.5f32", TokKind::Float),
+            ("3f64", TokKind::Float),
+            ("42", TokKind::Int),
+            ("0xff", TokKind::Int),
+            ("1_000u64", TokKind::Int),
+        ];
+        for (src, kind) in cases {
+            let lexed = lex(src);
+            assert_eq!(lexed.tokens[0].kind, kind, "lexing {src:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuple_access_stay_integers() {
+        let lexed = lex("for i in 0..10 { pair.0; x.1.max(2) }");
+        let floats: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .collect();
+        assert!(floats.is_empty(), "unexpected floats: {floats:?}");
+    }
+
+    #[test]
+    fn method_call_on_int_literal_is_not_float() {
+        let lexed = lex("1.max(2)");
+        assert_eq!(lexed.tokens[0].kind, TokKind::Int);
+        assert_eq!(lexed.tokens[0].text, "1");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn two_char_operators_fuse() {
+        let lexed = lex("a == b != c :: d .. e");
+        let puncts: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", ".."]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let src = "let a = \"line\nline\nline\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b_tok = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+}

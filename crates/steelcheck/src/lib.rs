@@ -1,0 +1,89 @@
+//! # steelcheck
+//!
+//! In-repo static analysis that enforces the workspace's determinism
+//! and hermeticity contract at the source level, so a violation fails
+//! the build the moment it is written instead of surfacing later as a
+//! golden-output diff that nobody can localize.
+//!
+//! The contract (README, "Static analysis & determinism contract"):
+//!
+//! - **R1 `nondet-collections`** — no `HashMap`/`HashSet` outside
+//!   `crates/bench`: iteration order is per-process random and
+//!   silently breaks bit-reproducibility of `results/*.txt`.
+//! - **R2 `wall-clock`** — no `Instant`/`SystemTime` outside
+//!   `crates/bench`: simulated time comes from the event scheduler.
+//! - **R3 `unwrap-in-lib`** — no `.unwrap()`/`.expect(` in library
+//!   non-test code: return an error or document the invariant.
+//! - **R4 `manifest-hygiene`** — path-only dependencies, no
+//!   `source =` entries in `Cargo.lock`, no `[patch]`/`[replace]`.
+//! - **R5 `float-hygiene`** — no exact float equality; no
+//!   sim-time → float casts outside a stats module.
+//!
+//! Findings are suppressed site-by-site with
+//! `// steelcheck: allow(<rule>): <justification>` (same line, or the
+//! line above when the comment stands alone), or file-by-file through
+//! the reviewed [`rules::ALLOWLIST`]. A directive naming an unknown
+//! rule is itself a finding (`bad-directive`) and cannot be
+//! suppressed.
+//!
+//! The tool is zero-dependency by design — it lexes Rust with its own
+//! comment/string-aware scanner ([`lexer`]) rather than `syn`, so it
+//! builds before everything else and cannot be broken by the code it
+//! checks.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use report::Report;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Run every rule over the workspace rooted at `root`.
+///
+/// Returns the finalized (sorted, deduplicated) report; I/O errors on
+/// individual files abort the run — a lint pass that silently skips
+/// unreadable files cannot be trusted to gate anything.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let files = walk::collect(root)?;
+    let mut report = Report::default();
+    for f in &files {
+        let text = fs::read_to_string(&f.abs)?;
+        match f.kind {
+            walk::FileKind::Rust => {
+                report.rust_files += 1;
+                let lexed = lexer::lex(&text);
+                let class = walk::classify(&f.rel);
+                rules::scan_rust(&f.rel, class, &lexed, &mut report.findings);
+            }
+            walk::FileKind::CargoToml => {
+                report.manifests += 1;
+                manifest::scan_cargo_toml(&f.rel, &text, &mut report.findings);
+            }
+            walk::FileKind::CargoLock => {
+                report.manifests += 1;
+                manifest::scan_cargo_lock(&f.rel, &text, &mut report.findings);
+            }
+        }
+    }
+    report.finalize();
+    Ok(report)
+}
+
+/// Scan a single Rust source string as if it lived at `rel` inside the
+/// workspace. Used by fixture tests and editor integrations.
+pub fn scan_source(rel: &str, text: &str) -> Vec<report::Finding> {
+    let lexed = lexer::lex(text);
+    let class = walk::classify(rel);
+    let mut findings = Vec::new();
+    rules::scan_rust(rel, class, &lexed, &mut findings);
+    findings.sort();
+    findings
+}

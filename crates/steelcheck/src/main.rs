@@ -1,0 +1,89 @@
+//! `steelcheck` — the determinism & hermeticity gate.
+//!
+//! ```text
+//! cargo run --release -p steelcheck            # human-readable diagnostics
+//! cargo run --release -p steelcheck -- --json  # machine-readable report
+//! cargo run --release -p steelcheck -- --list-rules
+//! cargo run --release -p steelcheck -- --list-allow
+//! ```
+//!
+//! Exit status: 0 when the workspace is clean, 1 on any unsuppressed
+//! finding, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--list-rules" => {
+                for r in steelcheck::rules::ALL_RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--list-allow" => {
+                for e in steelcheck::rules::ALLOWLIST {
+                    println!("{} [{}]\n    {}", e.path, e.rule, e.why);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("steelcheck: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: steelcheck [--json] [--root DIR] [--list-rules] [--list-allow]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("steelcheck: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let start = root_arg.unwrap_or_else(|| PathBuf::from("."));
+    let root = match steelcheck::walk::find_workspace_root(&start) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("steelcheck: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match steelcheck::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("steelcheck: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "steelcheck: {} finding(s) across {} Rust file(s), {} manifest(s)",
+            report.findings.len(),
+            report.rust_files,
+            report.manifests
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,215 @@
+//! R4 — manifest hygiene.
+//!
+//! The hermeticity contract (README, "Determinism & zero-dependency
+//! policy") requires that every dependency in every `Cargo.toml` be a
+//! workspace `path` dependency and that `Cargo.lock` reference no
+//! external source. This module is the statically-checked version of
+//! the grep half of `scripts/check_hermetic.sh`, with line-precise
+//! diagnostics.
+//!
+//! The TOML "parser" here handles exactly what the policy needs:
+//! `[section]` headers, `key = value` entries, and inline tables. It
+//! does not evaluate strings or arrays — it only needs to know which
+//! section an entry is in and whether the entry carries `path =` or
+//! `workspace = true`.
+
+use crate::report::Finding;
+
+/// Scan one `Cargo.toml`. Any entry in a `*dependencies*` section that
+/// is neither a `path` dependency nor a `workspace = true` alias is a
+/// finding (the `[workspace.dependencies]` table the aliases point to
+/// is audited by the same rule).
+pub fn scan_cargo_toml(path: &str, src: &str, findings: &mut Vec<Finding>) {
+    let mut in_dep_section = false;
+    let mut table_header_line: Option<u32> = None; // `[dependencies.foo]` style
+    let mut table_has_path = false;
+
+    let flush_table = |line: Option<u32>, has_path: bool, findings: &mut Vec<Finding>| {
+        if let Some(l) = line {
+            if !has_path {
+                findings.push(Finding::new(
+                    path,
+                    l,
+                    "manifest-hygiene",
+                    "dependency table has no `path =` entry; only workspace path \
+                     dependencies are allowed",
+                ));
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_table(table_header_line, table_has_path, findings);
+            table_header_line = None;
+            table_has_path = false;
+            let name = line.trim_matches(|c| c == '[' || c == ']');
+            let is_dep = name.split('.').any(|seg| {
+                seg == "dependencies" || seg == "dev-dependencies" || seg == "build-dependencies"
+            });
+            // `[dependencies.foo]` (or deeper) opens a single-dep table.
+            let opens_table = is_dep
+                && name
+                    .split('.')
+                    .skip_while(|seg| !seg.ends_with("dependencies"))
+                    .nth(1)
+                    .is_some();
+            in_dep_section = is_dep && !opens_table;
+            if opens_table {
+                table_header_line = Some(lineno);
+            }
+            // `[patch.*]` and `[replace]` redirect sources; forbid outright.
+            if name.starts_with("patch") || name == "replace" {
+                findings.push(Finding::new(
+                    path,
+                    lineno,
+                    "manifest-hygiene",
+                    "`[patch]`/`[replace]` sections redirect dependency sources and \
+                     are forbidden in a hermetic workspace",
+                ));
+            }
+            continue;
+        }
+        if table_header_line.is_some() {
+            if line.starts_with("path") {
+                table_has_path = true;
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        // An entry line: `name = ...`. Allowed forms carry an inline
+        // `path = "..."` / `workspace = true`, or use dotted keys
+        // (`name.workspace = true`, `name.path = "..."`).
+        if let Some((key, val)) = line.split_once('=') {
+            let (key, val) = (key.trim(), val.trim());
+            let ok = val.contains("path =")
+                || val.contains("path=")
+                || val.contains("workspace = true")
+                || val.contains("workspace=true")
+                || (key.ends_with(".workspace") && val == "true")
+                || key.ends_with(".path");
+            if !ok {
+                findings.push(Finding::new(
+                    path,
+                    lineno,
+                    "manifest-hygiene",
+                    "non-path dependency (registry, git, or bare version); the \
+                     workspace allows only `path =` / `workspace = true` dependencies",
+                ));
+            }
+        }
+    }
+    flush_table(table_header_line, table_has_path, findings);
+}
+
+/// Scan `Cargo.lock`: every `source = ...` line names an external
+/// registry or git source and violates hermeticity.
+pub fn scan_cargo_lock(path: &str, src: &str, findings: &mut Vec<Finding>) {
+    for (idx, raw) in src.lines().enumerate() {
+        if raw.trim_start().starts_with("source = ") {
+            findings.push(Finding::new(
+                path,
+                idx as u32 + 1,
+                "manifest-hygiene",
+                "Cargo.lock entry references an external source; only workspace \
+                 path crates may appear in the lockfile",
+            ));
+        }
+    }
+}
+
+/// Strip a `#` comment from a TOML line, respecting basic strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toml_findings(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        scan_cargo_toml("Cargo.toml", src, &mut out);
+        out
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let src = r#"
+[package]
+name = "x"
+
+[dependencies]
+a = { path = "../a" }
+b.workspace = true
+c = { workspace = true }
+"#;
+        let f = toml_findings(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn registry_dep_flagged() {
+        let f = toml_findings("[dependencies]\nserde = \"1.0\"\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn git_dep_flagged() {
+        let f = toml_findings("[dependencies]\nx = { git = \"https://example.com/x\" }\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn dep_table_without_path_flagged() {
+        let f = toml_findings("[dependencies.serde]\nversion = \"1.0\"\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn dep_table_with_path_passes() {
+        let f = toml_findings("[dependencies.a]\npath = \"../a\"\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn patch_section_flagged() {
+        let f = toml_findings("[patch.crates-io]\nserde = { path = \"vendored\" }\n");
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_confuse() {
+        let f = toml_findings("[dependencies]\n# serde = \"1.0\"\na = { path = \"../a\" } # ok\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn lock_source_lines_flagged() {
+        let mut out = Vec::new();
+        scan_cargo_lock(
+            "Cargo.lock",
+            "[[package]]\nname = \"serde\"\nsource = \"registry+https://github.com\"\n",
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! Diagnostics and report rendering.
+//!
+//! Findings render in two formats: a human `file:line: rule: message`
+//! stream (stable, sorted, grep-able) and a machine-readable JSON
+//! report for CI. The JSON writer is hand-rolled — the only consumer
+//! is the hermeticity gate, and pulling a serializer in would violate
+//! the very contract this tool enforces. Output ordering is fully
+//! deterministic: findings sort by (file, line, rule, message).
+
+use std::fmt;
+
+/// One diagnostic.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated on all platforms.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule id (see [`crate::rules::ALL_RULES`], plus `bad-directive`).
+    pub rule: String,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    /// Construct a finding.
+    pub fn new(file: &str, line: u32, rule: &str, message: &str) -> Self {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A completed run: findings plus scan statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted.
+    pub findings: Vec<Finding>,
+    /// Number of Rust files scanned.
+    pub rust_files: usize,
+    /// Number of manifests (Cargo.toml + Cargo.lock) scanned.
+    pub manifests: usize,
+}
+
+impl Report {
+    /// Sort findings into the canonical deterministic order.
+    pub fn finalize(&mut self) {
+        self.findings.sort();
+        self.findings.dedup();
+    }
+
+    /// Render the JSON report. Schema:
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "rust_files": 90,
+    ///   "manifests": 12,
+    ///   "findings": [
+    ///     {"file": "crates/x/src/a.rs", "line": 3,
+    ///      "rule": "wall-clock", "message": "..."}
+    ///   ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"version\": 1,\n");
+        s.push_str(&format!("  \"rust_files\": {},\n", self.rust_files));
+        s.push_str(&format!("  \"manifests\": {},\n", self.manifests));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+            s.push_str(&format!("\"line\": {}, ", f.line));
+            s.push_str(&format!("\"rule\": {}, ", json_str(&f.rule)));
+            s.push_str(&format!("\"message\": {}", json_str(&f.message)));
+            s.push('}');
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Escape a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_sorts() {
+        let mut r = Report {
+            findings: vec![
+                Finding::new("b.rs", 2, "wall-clock", "msg \"quoted\""),
+                Finding::new("a.rs", 9, "wall-clock", "tab\there"),
+            ],
+            rust_files: 2,
+            manifests: 1,
+        };
+        r.finalize();
+        assert_eq!(r.findings[0].file, "a.rs");
+        let j = r.to_json();
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("tab\\there"));
+        assert!(j.contains("\"rust_files\": 2"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let r = Report::default();
+        let j = r.to_json();
+        assert!(j.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn display_is_grep_able() {
+        let f = Finding::new("crates/x/src/a.rs", 7, "unwrap-in-lib", "no");
+        assert_eq!(f.to_string(), "crates/x/src/a.rs:7: unwrap-in-lib: no");
+    }
+}

@@ -1,0 +1,480 @@
+//! The lint rules enforcing the determinism contract.
+//!
+//! Each rule scans the token stream produced by [`crate::lexer`] and
+//! emits [`Finding`]s. Rules are deliberately *over-approximate* where
+//! precise analysis would need type information: e.g. R1 flags every
+//! `HashMap` mention rather than only iterated ones, because iteration
+//! is one `for` loop away from any map and the cost of a false
+//! positive is a one-line suppression with a written justification.
+//!
+//! | rule id                | contract clause                                   |
+//! |------------------------|---------------------------------------------------|
+//! | `nondet-collections`   | R1: no `HashMap`/`HashSet` outside `crates/bench` |
+//! | `wall-clock`           | R2: no `Instant`/`SystemTime` outside `crates/bench` |
+//! | `unwrap-in-lib`        | R3: no `.unwrap()`/`.expect(` in library non-test code |
+//! | `manifest-hygiene`     | R4: path-only deps, no `source =` in Cargo.lock   |
+//! | `float-hygiene`        | R5: no float `==`/`!=`, no sim-time → float casts outside stats |
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::report::Finding;
+
+/// Stable identifiers for every rule, in severity-then-name order.
+pub const ALL_RULES: &[&str] = &[
+    "nondet-collections",
+    "wall-clock",
+    "unwrap-in-lib",
+    "manifest-hygiene",
+    "float-hygiene",
+];
+
+/// Is `rule` a known rule id? Used to reject typo'd suppressions.
+pub fn is_known_rule(rule: &str) -> bool {
+    ALL_RULES.contains(&rule)
+}
+
+/// How a source file is classified for rule scoping. Derived from its
+/// workspace-relative path by [`crate::walk`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FileClass {
+    /// Under `crates/bench/` — the measurement harness, exempt from
+    /// determinism rules (it times real execution on purpose).
+    pub bench: bool,
+    /// Library (non-test, non-binary, non-example) source: a file under
+    /// `src/` that is not `main.rs` and not under `src/bin/`.
+    pub lib_code: bool,
+    /// A statistics module (`stats.rs`), where converting simulated
+    /// durations to floats for aggregation is the module's purpose.
+    pub stats_module: bool,
+}
+
+/// Per-file, per-rule allowlist entry with a recorded justification.
+///
+/// Allowlists are for *files whose purpose conflicts with a rule*
+/// (e.g. a model whose math is inherently floating-point); one-off
+/// sites should use an inline `// steelcheck: allow(rule): why`
+/// suppression instead so the justification sits next to the code.
+#[derive(Clone, Copy, Debug)]
+pub struct AllowEntry {
+    /// Workspace-relative path, `/`-separated.
+    pub path: &'static str,
+    /// Rule id this entry disables for the file.
+    pub rule: &'static str,
+    /// Why the exemption is sound. Surfaced by `steelcheck --list-allow`.
+    pub why: &'static str,
+}
+
+/// The built-in allowlist. Keep this short: every entry is a standing
+/// exemption reviewed in code review, not an escape hatch.
+pub const ALLOWLIST: &[AllowEntry] = &[
+    AllowEntry {
+        path: "crates/netsim/src/devices.rs",
+        rule: "float-hygiene",
+        why: "cycle-delay statistics: converts closed NanoDur samples to µs for \
+              jitter CDFs; all sim-time arithmetic stays integer upstream",
+    },
+    AllowEntry {
+        path: "crates/rtnet/src/ptp.rs",
+        rule: "float-hygiene",
+        why: "servo gain math on measured offsets is the PTP model itself; \
+              corrections are rounded back to integer nanoseconds before applying",
+    },
+    AllowEntry {
+        path: "crates/xdpsim/src/xdp.rs",
+        rule: "float-hygiene",
+        why: "per-variant latency reporting converts final NanoDur samples to µs \
+              for summaries; the event clock never consumes these floats",
+    },
+];
+
+/// Result of scanning one Rust file.
+pub fn scan_rust(path: &str, class: FileClass, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    let suppressed = collect_suppressions(lexed, path, findings);
+    let allowed =
+        |rule: &str| ALLOWLIST.iter().any(|e| e.path == path && e.rule == rule);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    if !class.bench {
+        rule_nondet_collections(path, lexed, &mut raw);
+        rule_wall_clock(path, lexed, &mut raw);
+        rule_float_hygiene(path, class, lexed, &mut raw);
+    }
+    if class.lib_code && !class.bench {
+        rule_unwrap_in_lib(path, lexed, &mut raw);
+    }
+
+    for f in raw {
+        if allowed(&f.rule) {
+            continue;
+        }
+        if suppressed.iter().any(|(rule, line, covers_next)| {
+            *rule == f.rule && (*line == f.line || (*covers_next && *line + 1 == f.line))
+        }) {
+            continue;
+        }
+        findings.push(f);
+    }
+}
+
+/// Extract `steelcheck: allow(<rule>)` directives from comments.
+/// A directive suppresses matching findings on its own line and, when
+/// the comment owns its line, on the following line.
+///
+/// Unknown rule names are themselves reported: a typo'd suppression
+/// that silently does nothing is worse than a failing build.
+fn collect_suppressions(
+    lexed: &Lexed,
+    path: &str,
+    findings: &mut Vec<Finding>,
+) -> Vec<(String, u32, bool)> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        // Doc comments (`///`, `//!`, `/**`, `/*!`) are documentation —
+        // a directive shown there as an example must not take effect.
+        if c.text.starts_with('/') || c.text.starts_with('!') || c.text.starts_with('*') {
+            continue;
+        }
+        let Some(idx) = c.text.find("steelcheck:") else {
+            continue;
+        };
+        let rest = c.text[idx + "steelcheck:".len()..].trim_start();
+        let Some(args) = rest
+            .strip_prefix("allow")
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix('('))
+            .and_then(|s| s.split(')').next())
+        else {
+            findings.push(Finding::new(
+                path,
+                c.line,
+                "bad-directive",
+                "malformed steelcheck directive; expected `steelcheck: allow(<rule>)`",
+            ));
+            continue;
+        };
+        for rule in args.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if !is_known_rule(rule) {
+                // `bad-directive` is deliberately not in ALL_RULES, so a
+                // typo'd suppression can never suppress its own report.
+                findings.push(Finding::new(
+                    path,
+                    c.line,
+                    "bad-directive",
+                    &format!("suppression names unknown rule `{rule}`"),
+                ));
+                continue;
+            }
+            // A comment that owns its line shields the next line too;
+            // a trailing comment shields only its own line.
+            out.push((rule.to_string(), c.line, c.owns_line));
+        }
+    }
+    out
+}
+
+/// R1: `HashMap`/`HashSet` anywhere outside the bench crate.
+fn rule_nondet_collections(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    for t in &lexed.tokens {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(Finding::new(
+                path,
+                t.line,
+                "nondet-collections",
+                &format!(
+                    "{} iteration order is per-process random and breaks \
+                     bit-reproducibility; use BTreeMap/BTreeSet or sort before iterating",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// R2: wall-clock time sources outside the bench crate. Simulated time
+/// must come from the event scheduler, never the host clock.
+fn rule_wall_clock(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    for t in &lexed.tokens {
+        // Exact-text ident match: `Instant::now`, `std::time::Instant`,
+        // and `SystemTime` all hit; `InstantReport` does not.
+        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            out.push(Finding::new(
+                path,
+                t.line,
+                "wall-clock",
+                &format!(
+                    "`{}` reads the host clock; simulation time must come from \
+                     the event scheduler (bench harness code is exempt)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// R3: `.unwrap()` / `.expect(` in library non-test code. Test modules
+/// (`#[cfg(test)]`, `#[test]`) are skipped by region.
+fn rule_unwrap_in_lib(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let skip = test_regions(&lexed.tokens);
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if skip.iter().any(|&(lo, hi)| i >= lo && i < hi) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != "unwrap" && t.text != "expect") {
+            continue;
+        }
+        let preceded_by_dot = i > 0 && toks[i - 1].is_punct(".");
+        let followed_by_paren = i + 1 < toks.len() && toks[i + 1].is_punct("(");
+        if !(preceded_by_dot && followed_by_paren) {
+            continue;
+        }
+        // `.unwrap()` must be a *call* with no arguments; `.expect(..)`
+        // takes the message. Both are flagged.
+        if t.text == "unwrap" && !(i + 2 < toks.len() && toks[i + 2].is_punct(")")) {
+            continue; // `.unwrap(x)` is some other method (not Option/Result)
+        }
+        out.push(Finding::new(
+            path,
+            t.line,
+            "unwrap-in-lib",
+            &format!(
+                ".{}() in library code; return an error or document the invariant \
+                 with `// steelcheck: allow(unwrap-in-lib): <why>`",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// Token index ranges `[lo, hi)` covered by `#[cfg(test)]` / `#[test]`
+/// items (the attribute through the end of the item's brace block).
+fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_punct("#") || i + 1 >= toks.len() || !toks[i + 1].is_punct("[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute tokens up to the matching `]`.
+        let attr_start = i;
+        let mut j = i + 2;
+        let mut depth = 1;
+        let mut is_test_attr = false;
+        while j < toks.len() && depth > 0 {
+            if toks[j].is_punct("[") {
+                depth += 1;
+            } else if toks[j].is_punct("]") {
+                depth -= 1;
+            } else if toks[j].is_ident("test") {
+                is_test_attr = true;
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes, then the item: everything up to
+        // the end of its first top-level brace block (or a `;` for
+        // items without a body).
+        while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+            let mut d = 1;
+            j += 2;
+            while j < toks.len() && d > 0 {
+                if toks[j].is_punct("[") {
+                    d += 1;
+                } else if toks[j].is_punct("]") {
+                    d -= 1;
+                }
+                j += 1;
+            }
+        }
+        let mut brace_depth = 0usize;
+        let mut entered = false;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("{") {
+                brace_depth += 1;
+                entered = true;
+            } else if t.is_punct("}") {
+                brace_depth = brace_depth.saturating_sub(1);
+                if entered && brace_depth == 0 {
+                    j += 1;
+                    break;
+                }
+            } else if t.is_punct(";") && !entered {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+        regions.push((attr_start, j));
+        i = j;
+    }
+    regions
+}
+
+/// R5: float hygiene.
+///
+/// (a) `==` / `!=` with a float-literal operand — exact float equality
+///     is a latent nondeterminism and portability bug.
+/// (b) casting a simulated duration accessor straight to `f32`/`f64`
+///     (`.as_nanos() as f64`) outside a stats module — sim-time
+///     arithmetic must stay integer; floats are for final reporting.
+fn rule_float_hygiene(path: &str, class: FileClass, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // (a) float equality.
+        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+            let float_lhs = i > 0 && toks[i - 1].kind == TokKind::Float;
+            let float_rhs = i + 1 < toks.len() && toks[i + 1].kind == TokKind::Float;
+            if float_lhs || float_rhs {
+                out.push(Finding::new(
+                    path,
+                    t.line,
+                    "float-hygiene",
+                    "exact float equality comparison; compare integers or use an \
+                     explicit tolerance",
+                ));
+            }
+        }
+        // (b) sim-time → float cast.
+        if class.stats_module {
+            continue;
+        }
+        const TIME_ACCESSORS: &[&str] = &["as_nanos", "as_micros", "as_millis", "as_secs"];
+        if t.kind == TokKind::Ident
+            && TIME_ACCESSORS.contains(&t.text.as_str())
+            && i + 4 < toks.len()
+            && toks[i + 1].is_punct("(")
+            && toks[i + 2].is_punct(")")
+            && toks[i + 3].is_ident("as")
+            && (toks[i + 4].is_ident("f64") || toks[i + 4].is_ident("f32"))
+        {
+            out.push(Finding::new(
+                path,
+                t.line,
+                "float-hygiene",
+                &format!(
+                    ".{}() as {} converts sim time to float outside a stats module; \
+                     keep scheduler arithmetic integer and convert only in stats/reporting",
+                    t.text, toks[i + 4].text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str, class: FileClass) -> Vec<Finding> {
+        let mut out = Vec::new();
+        scan_rust("test.rs", class, &lex(src), &mut out);
+        out
+    }
+
+    const LIB: FileClass = FileClass {
+        bench: false,
+        lib_code: true,
+        stats_module: false,
+    };
+
+    #[test]
+    fn hashmap_flagged_and_suppressed() {
+        let hit = run("use std::collections::HashMap;", LIB);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].rule, "nondet-collections");
+
+        let ok = run(
+            "// steelcheck: allow(nondet-collections): lookup-only\nuse std::collections::HashMap;",
+            LIB,
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let ok = run(
+            "use std::collections::HashMap; // steelcheck: allow(nondet-collections): x",
+            LIB,
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn unknown_rule_in_suppression_is_reported() {
+        let hit = run("// steelcheck: allow(no-such-rule)\nlet x = 1;", LIB);
+        assert_eq!(hit.len(), 1);
+        assert!(hit[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn doc_comment_directives_are_inert() {
+        // Neither a bad-directive report nor an active suppression.
+        let hits = run(
+            "/// Suppress with `// steelcheck: allow(bogus)`.\npub fn f() {}",
+            LIB,
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+        let hits = run(
+            "/// steelcheck: allow(nondet-collections)\nuse std::collections::HashMap;",
+            LIB,
+        );
+        assert_eq!(hits.len(), 1, "doc comments must not suppress: {hits:?}");
+    }
+
+    #[test]
+    fn unwrap_in_test_module_ignored() {
+        let src = r#"
+            pub fn lib_code(x: Option<u32>) -> u32 { x.unwrap() }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); }
+            }
+        "#;
+        let hits = run(src, LIB);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_not_flagged() {
+        let hits = run("pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }", LIB);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn float_equality_flagged() {
+        let hits = run("pub fn f(x: f64) -> bool { x == 1.0 }", LIB);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "float-hygiene");
+    }
+
+    #[test]
+    fn simtime_float_cast_flagged_outside_stats() {
+        let src = "pub fn f(d: NanoDur) -> f64 { d.as_nanos() as f64 }";
+        assert_eq!(run(src, LIB).len(), 1);
+        let stats = FileClass {
+            stats_module: true,
+            ..LIB
+        };
+        assert!(run(src, stats).is_empty());
+    }
+
+    #[test]
+    fn bench_class_exempt_from_determinism_rules() {
+        let bench = FileClass {
+            bench: true,
+            lib_code: false,
+            stats_module: false,
+        };
+        let src = "use std::time::Instant; use std::collections::HashMap;";
+        assert!(run(src, bench).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Workspace discovery and file classification.
+//!
+//! The walker visits the workspace in sorted order (determinism: the
+//! report must be byte-identical run to run), collects `.rs` sources
+//! and manifests, and classifies each file for rule scoping. It never
+//! descends into `target/`, `.git/`, or any `fixtures/` directory —
+//! fixture files contain deliberate violations for steelcheck's own
+//! tests and must not fail the real workspace.
+
+use crate::rules::FileClass;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file selected for scanning.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative path with `/` separators (diagnostic key).
+    pub rel: String,
+    /// What kind of file this is.
+    pub kind: FileKind,
+}
+
+/// File species the scanner understands.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileKind {
+    /// Rust source.
+    Rust,
+    /// A `Cargo.toml` manifest.
+    CargoToml,
+    /// The workspace `Cargo.lock`.
+    CargoLock,
+}
+
+/// Find the workspace root: walk up from `start` until a directory
+/// containing a `Cargo.toml` with a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = start.canonicalize()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)?;
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no workspace Cargo.toml found above the starting directory",
+            ));
+        }
+    }
+}
+
+/// Collect every scannable file under `root`, sorted by relative path.
+pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    walk_dir(root, root, &mut out)?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        if path.is_dir() {
+            if matches!(name.as_str(), "target" | ".git" | "fixtures" | "results") {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+            continue;
+        }
+        let kind = match name.as_str() {
+            "Cargo.toml" => FileKind::CargoToml,
+            "Cargo.lock" => FileKind::CargoLock,
+            _ if name.ends_with(".rs") => FileKind::Rust,
+            _ => continue,
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.push(SourceFile {
+            abs: path,
+            rel,
+            kind,
+        });
+    }
+    Ok(())
+}
+
+/// Classify a Rust file by its workspace-relative path.
+pub fn classify(rel: &str) -> FileClass {
+    let bench = rel.starts_with("crates/bench/");
+    // Library code: under a crate's `src/` (or the root facade's
+    // `src/`), excluding binaries. Tests, examples, and benches are
+    // not library code.
+    let in_src = rel.contains("/src/") || rel.starts_with("src/");
+    let is_bin = rel.contains("/src/bin/") || rel.ends_with("/src/main.rs");
+    let in_tests = rel.contains("/tests/") || rel.starts_with("tests/");
+    let in_examples = rel.contains("/examples/") || rel.starts_with("examples/");
+    let lib_code = in_src && !is_bin && !in_tests && !in_examples;
+    let stats_module = rel.ends_with("/stats.rs") || rel.ends_with("/stats/mod.rs");
+    FileClass {
+        bench,
+        lib_code,
+        stats_module,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matrix() {
+        let c = classify("crates/netsim/src/sim.rs");
+        assert!(!c.bench && c.lib_code && !c.stats_module);
+
+        let c = classify("crates/netsim/src/stats.rs");
+        assert!(c.stats_module && c.lib_code);
+
+        let c = classify("crates/bench/src/harness.rs");
+        assert!(c.bench);
+
+        let c = classify("crates/bench/src/bin/fig4.rs");
+        assert!(c.bench && !c.lib_code);
+
+        let c = classify("crates/steelcheck/src/main.rs");
+        assert!(!c.lib_code, "binaries are not library code");
+
+        let c = classify("tests/end_to_end.rs");
+        assert!(!c.lib_code && !c.bench);
+
+        let c = classify("examples/quickstart.rs");
+        assert!(!c.lib_code);
+
+        let c = classify("src/lib.rs");
+        assert!(c.lib_code);
+    }
+
+    #[test]
+    fn finds_this_workspace() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.lock").is_file());
+    }
+
+    #[test]
+    fn collect_skips_fixtures_and_sorts() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let files = collect(&root).expect("collect");
+        assert!(files.iter().all(|f| !f.rel.contains("fixtures/")));
+        let rels: Vec<_> = files.iter().map(|f| f.rel.clone()).collect();
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted);
+        assert!(files
+            .iter()
+            .any(|f| f.rel == "Cargo.lock" && f.kind == FileKind::CargoLock));
+    }
+}

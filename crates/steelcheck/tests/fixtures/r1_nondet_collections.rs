@@ -1,0 +1,22 @@
+//! Fixture for R1 `nondet-collections`. Lines matter: tests assert on
+//! exact line numbers — append only.
+
+use std::collections::HashMap; // line 4: finding
+
+pub fn build() -> HashMap<u32, u32> {
+    // line 6: finding
+    HashMap::new() // line 8: finding
+}
+
+// steelcheck: allow(nondet-collections): lookup-only cache, never iterated
+pub fn suppressed() -> std::collections::HashMap<u32, u32> {
+    std::collections::HashMap::new() // line 13: finding (suppression covers line 12 only)
+}
+
+pub fn suppressed_trailing() {
+    let _ = std::collections::HashSet::<u32>::new(); // steelcheck: allow(nondet-collections): ok
+}
+
+pub fn in_string_not_flagged() -> &'static str {
+    "HashMap::new() inside a string literal"
+}

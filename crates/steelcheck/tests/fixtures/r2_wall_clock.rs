@@ -1,0 +1,21 @@
+//! Fixture for R2 `wall-clock`.
+
+use std::time::Instant; // line 3: finding
+
+pub fn now_nanos() -> u128 {
+    let t = Instant::now(); // line 6: finding
+    t.elapsed().as_nanos()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now() // line 11: finding
+}
+
+// steelcheck: allow(wall-clock): commissioning tool, runs on real hardware
+pub fn suppressed() -> std::time::Instant {
+    // the `Instant` on line 15 is shielded; this one is not:
+    std::time::Instant::now() // line 17: finding
+}
+
+/// `Instant` in a doc comment is not a finding.
+pub fn documented() {}

@@ -1,0 +1,27 @@
+//! Fixture for R3 `unwrap-in-lib`.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // line 4: finding
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("x must be set") // line 8: finding
+}
+
+pub fn unwrap_or_is_fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // steelcheck: allow(unwrap-in-lib): index validated by the builder above
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+        Some(2u32).expect("fine here");
+    }
+}

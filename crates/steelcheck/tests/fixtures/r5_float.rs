@@ -1,0 +1,26 @@
+//! Fixture for R5 `float-hygiene`.
+
+pub fn exact_eq(x: f64) -> bool {
+    x == 1.0 // line 4: finding
+}
+
+pub fn exact_ne(x: f32) -> bool {
+    0.5 != x // line 8: finding
+}
+
+pub fn simtime_cast(d: std::time::Duration) -> f64 {
+    d.as_nanos() as f64 // line 12: finding
+}
+
+pub fn tolerance_is_fine(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-9
+}
+
+pub fn integer_compare_is_fine(d: std::time::Duration) -> bool {
+    d.as_nanos() == 1_000
+}
+
+pub fn suppressed(d: std::time::Duration) -> f64 {
+    // steelcheck: allow(float-hygiene): final report value, not fed back into sim
+    d.as_nanos() as f64
+}

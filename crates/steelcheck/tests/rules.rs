@@ -1,0 +1,155 @@
+//! Fixture-based tests: every rule has a fixture exercising the
+//! positive case, inline suppression, and (for Rust rules) the
+//! built-in allowlist. Fixtures live in `tests/fixtures/`, which the
+//! workspace walker skips — they must never fail the real repo.
+
+use steelcheck::manifest;
+use steelcheck::report::Finding;
+use steelcheck::rules::{ALLOWLIST, ALL_RULES};
+use steelcheck::scan_source;
+
+fn lines_for(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn r1_nondet_collections_fixture() {
+    let src = include_str!("fixtures/r1_nondet_collections.rs");
+    let f = scan_source("crates/netsim/src/fixture.rs", src);
+    assert_eq!(lines_for(&f, "nondet-collections"), vec![4, 6, 8, 13]);
+    // Everything found is R1; strings/comments and suppressed sites are silent.
+    assert!(f.iter().all(|f| f.rule == "nondet-collections"), "{f:?}");
+}
+
+#[test]
+fn r1_fixture_clean_in_bench() {
+    let src = include_str!("fixtures/r1_nondet_collections.rs");
+    let f = scan_source("crates/bench/src/fixture.rs", src);
+    assert!(f.is_empty(), "bench is exempt from R1: {f:?}");
+}
+
+#[test]
+fn r2_wall_clock_fixture() {
+    let src = include_str!("fixtures/r2_wall_clock.rs");
+    let f = scan_source("crates/rtnet/src/fixture.rs", src);
+    assert_eq!(lines_for(&f, "wall-clock"), vec![3, 6, 10, 11, 17]);
+}
+
+#[test]
+fn r3_unwrap_fixture() {
+    let src = include_str!("fixtures/r3_unwrap.rs");
+    let f = scan_source("crates/vplc/src/fixture.rs", src);
+    assert_eq!(lines_for(&f, "unwrap-in-lib"), vec![4, 8]);
+}
+
+#[test]
+fn r3_does_not_apply_outside_library_code() {
+    let src = include_str!("fixtures/r3_unwrap.rs");
+    for rel in [
+        "tests/fixture.rs",
+        "examples/fixture.rs",
+        "crates/vplc/src/bin/tool.rs",
+    ] {
+        let f = scan_source(rel, src);
+        assert!(
+            lines_for(&f, "unwrap-in-lib").is_empty(),
+            "{rel} should be exempt from R3: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn r5_float_fixture() {
+    let src = include_str!("fixtures/r5_float.rs");
+    let f = scan_source("crates/mlnet/src/fixture.rs", src);
+    assert_eq!(lines_for(&f, "float-hygiene"), vec![4, 8, 12]);
+}
+
+#[test]
+fn r5_simtime_cast_allowed_in_stats_module() {
+    let src = include_str!("fixtures/r5_float.rs");
+    let f = scan_source("crates/netsim/src/stats.rs", src);
+    // The two float-equality findings remain; the cast on line 12 does not.
+    assert_eq!(lines_for(&f, "float-hygiene"), vec![4, 8]);
+}
+
+#[test]
+fn allowlisted_file_is_exempt_for_its_rule_only() {
+    let entry = &ALLOWLIST[0];
+    assert_eq!(entry.rule, "float-hygiene");
+    let f = scan_source(entry.path, include_str!("fixtures/r5_float.rs"));
+    assert!(
+        lines_for(&f, "float-hygiene").is_empty(),
+        "allowlisted path must be exempt: {f:?}"
+    );
+    // The allowlist is per-rule: R1 still fires on the same file.
+    let f = scan_source(entry.path, "use std::collections::HashMap;");
+    assert_eq!(lines_for(&f, "nondet-collections"), vec![1]);
+}
+
+#[test]
+fn r4_cargo_toml_fixture() {
+    let mut f = Vec::new();
+    manifest::scan_cargo_toml(
+        "Cargo.toml",
+        include_str!("fixtures/r4_bad_cargo.toml"),
+        &mut f,
+    );
+    let lines: Vec<u32> = f.iter().map(|x| x.line).collect();
+    // serde (6), leftpad (7), [dependencies.tokio] table without path
+    // (11), quickcheck (15). `good` and `alias.workspace` pass.
+    assert_eq!(lines, vec![6, 7, 11, 15], "{f:?}");
+}
+
+#[test]
+fn r4_cargo_lock_fixture() {
+    let mut f = Vec::new();
+    manifest::scan_cargo_lock(
+        "Cargo.lock",
+        include_str!("fixtures/r4_bad_cargo.lock"),
+        &mut f,
+    );
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].line, 11);
+    assert_eq!(f[0].rule, "manifest-hygiene");
+}
+
+#[test]
+fn typo_suppression_is_reported_and_unsuppressable() {
+    let src = "// steelcheck: allow(wallclock)\nlet t = Instant::now();\n";
+    let f = scan_source("crates/core/src/fixture.rs", src);
+    assert!(
+        f.iter().any(|x| x.rule == "bad-directive"),
+        "typo'd rule name must be reported: {f:?}"
+    );
+    assert!(
+        f.iter().any(|x| x.rule == "wall-clock"),
+        "the misspelled directive must not suppress anything: {f:?}"
+    );
+}
+
+#[test]
+fn every_allowlist_entry_names_a_known_rule_and_real_file() {
+    let root = steelcheck::walk::find_workspace_root(std::path::Path::new(env!(
+        "CARGO_MANIFEST_DIR"
+    )))
+    .expect("workspace root");
+    for e in ALLOWLIST {
+        assert!(
+            ALL_RULES.contains(&e.rule),
+            "allowlist entry {} names unknown rule {}",
+            e.path,
+            e.rule
+        );
+        assert!(
+            root.join(e.path).is_file(),
+            "allowlist entry {} names a file that no longer exists; delete the entry",
+            e.path
+        );
+        assert!(!e.why.is_empty());
+    }
+}

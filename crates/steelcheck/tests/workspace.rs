@@ -1,0 +1,119 @@
+//! The gate test: steelcheck over the real workspace must be clean,
+//! and the binary's exit codes must match the contract (0 clean,
+//! 1 findings, 2 usage errors) — these are what CI keys off.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+#[test]
+fn real_workspace_has_zero_unsuppressed_findings() {
+    let root = steelcheck::walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let report = steelcheck::run(&root).expect("scan");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must stay lint-clean; fix or suppress:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the scan actually covered the workspace.
+    assert!(report.rust_files > 50, "only {} files", report.rust_files);
+    assert!(report.manifests > 10, "only {} manifests", report.manifests);
+}
+
+#[test]
+fn report_is_deterministic() {
+    let root = steelcheck::walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let a = steelcheck::run(&root).expect("scan").to_json();
+    let b = steelcheck::run(&root).expect("scan").to_json();
+    assert_eq!(a, b);
+}
+
+/// Build a throwaway single-file workspace and run the real binary on
+/// it, returning (exit code, stdout).
+fn run_bin_on(violation: &str, args: &[&str]) -> (i32, String) {
+    let dir = std::env::temp_dir().join(format!(
+        "steelcheck-exit-{}-{:x}",
+        std::process::id(),
+        violation.len().wrapping_mul(31).wrapping_add(violation.as_bytes().iter().map(|&b| b as usize).sum::<usize>())
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("src")).expect("mkdir");
+    fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = []\n\n[package]\nname = \"fixture-ws\"\nversion = \"0.0.0\"\nedition = \"2021\"\n",
+    )
+    .expect("write manifest");
+    fs::write(dir.join("src/lib.rs"), violation).expect("write source");
+    let bin = PathBuf::from(env!("CARGO_BIN_EXE_steelcheck"));
+    let mut cmd = Command::new(bin);
+    cmd.arg("--root").arg(&dir).args(args);
+    let out = cmd.output().expect("spawn steelcheck");
+    let code = out.status.code().unwrap_or(-1);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let _ = fs::remove_dir_all(&dir);
+    (code, stdout)
+}
+
+#[test]
+fn binary_exits_nonzero_on_each_rule() {
+    let cases: &[(&str, &str)] = &[
+        ("use std::collections::HashMap;\n", "nondet-collections"),
+        ("pub fn f() -> std::time::Instant { std::time::Instant::now() }\n", "wall-clock"),
+        ("pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n", "unwrap-in-lib"),
+        ("pub fn f(x: f64) -> bool { x == 0.25 }\n", "float-hygiene"),
+    ];
+    for (src, rule) in cases {
+        let (code, stdout) = run_bin_on(src, &[]);
+        assert_eq!(code, 1, "expected failure for {rule}: {stdout}");
+        assert!(stdout.contains(rule), "diagnostic names {rule}: {stdout}");
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_clean_workspace_and_emits_json() {
+    let clean = "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+    let (code, _) = run_bin_on(clean, &[]);
+    assert_eq!(code, 0);
+    let (code, json) = run_bin_on(clean, &["--json"]);
+    assert_eq!(code, 0);
+    assert!(json.contains("\"findings\": []"), "{json}");
+    assert!(json.contains("\"version\": 1"), "{json}");
+}
+
+#[test]
+fn binary_reports_manifest_violations() {
+    // The violation is in the workspace manifest itself, not the code.
+    let dir = std::env::temp_dir().join(format!("steelcheck-manifest-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("src")).expect("mkdir");
+    fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = []\n\n[package]\nname = \"w\"\nversion = \"0.0.0\"\n\n[dependencies]\nserde = \"1.0\"\n",
+    )
+    .expect("write");
+    fs::write(dir.join("src/lib.rs"), "\n").expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_steelcheck"))
+        .arg("--root")
+        .arg(&dir)
+        .output()
+        .expect("spawn");
+    let _ = fs::remove_dir_all(&dir);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("manifest-hygiene"));
+}
+
+#[test]
+fn binary_usage_error_exits_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_steelcheck"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -9,6 +9,7 @@
 //! ML-traffic-aware topology designer behind Fig. 6's winning series.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

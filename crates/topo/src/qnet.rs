@@ -103,6 +103,7 @@ pub fn mean_latency(result: &QnetResult) -> NanoDur {
     let sum: f64 = result
         .per_demand
         .iter()
+        // steelcheck: allow(float-hygiene): queueing-model input: per-demand totals aggregated for the report
         .map(|b| b.total().as_nanos() as f64)
         .sum();
     NanoDur((sum / result.per_demand.len() as f64).round() as u64)

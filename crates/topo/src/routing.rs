@@ -27,6 +27,7 @@ pub trait EdgeWeight {
 }
 
 /// Weight = 1 per hop.
+#[derive(Debug)]
 pub struct HopWeight;
 
 impl EdgeWeight for HopWeight {
@@ -36,6 +37,7 @@ impl EdgeWeight for HopWeight {
 }
 
 /// Weight = propagation latency (ns).
+#[derive(Debug)]
 pub struct LatencyWeight;
 
 impl EdgeWeight for LatencyWeight {
@@ -78,6 +80,7 @@ pub fn shortest_path<W: EdgeWeight>(g: &Graph, src: GNode, dst: GNode, w: &W) ->
     let mut edges = Vec::new();
     let mut cur = dst;
     while cur != src {
+        // steelcheck: allow(unwrap-in-lib): dst was reached, so every hop back to src has a predecessor
         let (p, e) = prev[cur.0].expect("path reconstruction");
         edges.push(e);
         nodes.push(p);

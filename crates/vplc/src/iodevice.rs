@@ -25,6 +25,7 @@ pub trait ProcessModel: steelworks_netsim::node::AsAny + 'static {
 }
 
 /// Sensors mirror actuators (loopback) — the standard conformance rig.
+#[derive(Debug)]
 pub struct LoopbackProcess;
 
 impl ProcessModel for LoopbackProcess {
@@ -36,6 +37,7 @@ impl ProcessModel for LoopbackProcess {
 /// A conveyor: actuator bit 0.0 runs the motor; items advance with the
 /// belt and trip a photoeye (sensor bit 0.0) in front of the stopper.
 /// Sensor byte 1 counts delivered items (low 8 bits).
+#[derive(Debug)]
 pub struct ConveyorProcess {
     /// Belt speed in metres/second while the motor runs.
     pub speed_m_s: f64,
@@ -120,6 +122,16 @@ pub struct IoStats {
     pub connects: u64,
 }
 
+impl std::fmt::Debug for IoDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IoDevice")
+            .field("name", &self.name)
+            .field("mac", &self.mac)
+            .field("controller_mac", &self.controller_mac)
+            .finish_non_exhaustive()
+    }
+}
+
 /// An I/O device on the factory network.
 pub struct IoDevice {
     name: String,
@@ -175,6 +187,7 @@ impl IoDevice {
         (*self.process)
             .as_any()
             .downcast_ref::<T>()
+            // steelcheck: allow(unwrap-in-lib): typed-accessor API: wrong T is a caller bug by documented contract
             .expect("process type mismatch")
     }
 
@@ -213,6 +226,7 @@ impl Device for IoDevice {
                     self.controller_mac = Some(frame.src);
                     self.last_step = now;
                     if was_listening {
+                        // steelcheck: allow(unwrap-in-lib): listening state is only entered after connect() stores the params
                         let cycle = self.cr.cycle_time().expect("connected implies params");
                         ctx.timer_in(cycle, TOKEN_CYCLE);
                     }

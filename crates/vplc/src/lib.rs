@@ -7,6 +7,7 @@
 //! Kubernetes-orchestrated standbys) InstaPLC is compared against.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -148,10 +148,13 @@ impl PlcProgram {
                     }
                 }
                 IlInsn::Ton { idx, preset } => {
-                    let slot = state
-                        .timers
-                        .get_mut(idx as usize)
-                        .expect("timer index out of range");
+                    // Instances allocate on demand (bounded by the u8
+                    // index), so a program/state size mismatch cannot
+                    // fault the scan.
+                    if state.timers.len() <= idx as usize {
+                        state.timers.resize(idx as usize + 1, None);
+                    }
+                    let slot = &mut state.timers[idx as usize];
                     if acc {
                         let started = slot.get_or_insert(now);
                         acc = now.saturating_since(*started) >= preset;
@@ -161,10 +164,10 @@ impl PlcProgram {
                     }
                 }
                 IlInsn::Ctu { idx, preset } => {
-                    let slot = state
-                        .counters
-                        .get_mut(idx as usize)
-                        .expect("counter index out of range");
+                    if state.counters.len() <= idx as usize {
+                        state.counters.resize(idx as usize + 1, (false, 0));
+                    }
+                    let slot = &mut state.counters[idx as usize];
                     if acc && !slot.0 {
                         slot.1 += 1;
                     }

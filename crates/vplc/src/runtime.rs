@@ -43,6 +43,7 @@ pub struct VplcStats {
 }
 
 /// A virtual PLC.
+#[derive(Debug)]
 pub struct VplcDevice {
     name: String,
     /// Our MAC.

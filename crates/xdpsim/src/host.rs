@@ -169,6 +169,7 @@ impl HostClock {
 
     /// Read this clock at simulated instant `now`.
     pub fn read(&self, now: Nanos) -> u64 {
+        // steelcheck: allow(float-hygiene): drift model applies ppm scaling then rounds back to integer ns
         let drift = (now.as_nanos() as f64 * self.drift_ppm / 1e6).round() as i64;
         (now.as_nanos() as i64 + self.offset_ns + drift).max(0) as u64
     }

@@ -5,7 +5,7 @@
 //! buffer whose submit path turns out to dominate eBPF timing variance
 //! in Fig. 4.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Handle to a map within a [`MapSet`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -53,7 +53,7 @@ pub struct BpfMap {
     /// Behaviour and geometry.
     pub kind: MapKind,
     array: Vec<Vec<u8>>,
-    hash: HashMap<Vec<u8>, Vec<u8>>,
+    hash: BTreeMap<Vec<u8>, Vec<u8>>,
     ring: RingState,
 }
 
@@ -90,7 +90,7 @@ impl BpfMap {
         BpfMap {
             kind,
             array,
-            hash: HashMap::new(),
+            hash: BTreeMap::new(),
             ring: RingState::default(),
         }
     }

@@ -6,7 +6,7 @@
 //! every jump that targets it.
 
 use crate::insn::{AluOp, CmpOp, Helper, Insn, Reg, Size};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A compiled program plus metadata.
 #[derive(Clone, Debug)]
@@ -114,9 +114,10 @@ impl std::fmt::Display for Program {
 }
 
 /// Forward-reference label.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Label(usize);
 
+#[derive(Debug)]
 enum Pending {
     Ja(usize, Label),
     JmpImm(usize, CmpOp, Reg, i64, Label),
@@ -124,10 +125,11 @@ enum Pending {
 }
 
 /// Assembler for [`Program`]s.
+#[derive(Debug)]
 pub struct ProgramBuilder {
     name: String,
     insns: Vec<Insn>,
-    labels: HashMap<Label, usize>,
+    labels: BTreeMap<Label, usize>,
     next_label: usize,
     pending: Vec<Pending>,
 }
@@ -138,7 +140,7 @@ impl ProgramBuilder {
         ProgramBuilder {
             name: name.into(),
             insns: Vec::new(),
-            labels: HashMap::new(),
+            labels: BTreeMap::new(),
             next_label: 0,
             pending: Vec::new(),
         }

@@ -240,6 +240,7 @@ fn count_bump(b: &mut ProgramBuilder, counters: MapFd, idx: i64) {
 pub fn rt_filter_allow(maps: &mut MapSet, allow: MapFd, frame_id: u16) {
     let key = (frame_id as u32).to_le_bytes();
     maps.get_mut(allow)
+        // steelcheck: allow(unwrap-in-lib): fd comes from the MapSet populated in the paired builder above
         .expect("allowlist exists")
         .hash_update(&key, &[1]);
 }
@@ -247,9 +248,11 @@ pub fn rt_filter_allow(maps: &mut MapSet, allow: MapFd, frame_id: u16) {
 /// Read an `rt_filter` counter summed over CPUs: idx 0 = passed,
 /// idx 1 = dropped.
 pub fn rt_filter_count(maps: &MapSet, counters: MapFd, idx: u32) -> u64 {
+    // steelcheck: allow(unwrap-in-lib): fd comes from the MapSet populated in the paired builder above
     let m = maps.get(counters).expect("counters exist");
     (0..8)
         .filter_map(|cpu| m.array_lookup(idx, cpu))
+        // steelcheck: allow(unwrap-in-lib): per-CPU counter values are fixed 8-byte cells by map construction
         .map(|v| u64::from_le_bytes(v.try_into().expect("8B value")))
         .sum()
 }

@@ -923,6 +923,48 @@ mod tests {
         assert!(verify(&trivial(), &empty_maps()).is_ok());
     }
 
+    /// Backward jumps must be rejected *statically* — before any path
+    /// exploration — and the rejection must name the offending
+    /// instruction index. [`ProgramBuilder`] only emits forward jumps,
+    /// so build the instruction stream by hand.
+    #[test]
+    fn back_edge_rejected_with_instruction_index() {
+        // 0: r0 = 2
+        // 1: ja -2        <- loops back to insn 0
+        // 2: exit
+        let p = Program {
+            name: "loop".into(),
+            insns: vec![Insn::MovImm(Reg::R0, 2), Insn::Ja(-2), Insn::Exit],
+        };
+        let err = verify(&p, &empty_maps()).unwrap_err();
+        assert_eq!(err, VerifyError::BackEdge(1));
+        assert_eq!(err.to_string(), "insn 1: backward jump");
+    }
+
+    /// Conditional back-edges are back-edges too: a `jeq` with a
+    /// negative offset is rejected with the same static check, again
+    /// naming the instruction.
+    #[test]
+    fn conditional_back_edge_rejected() {
+        // 0: r0 = 0
+        // 1: r0 += 1
+        // 2: if r0 == 10 { pc += -2 }   <- loops back to insn 1
+        // 3: exit
+        let p = Program {
+            name: "cond-loop".into(),
+            insns: vec![
+                Insn::MovImm(Reg::R0, 0),
+                Insn::AluImm(AluOp::Add, Reg::R0, 1),
+                Insn::JmpImm(CmpOp::Eq, Reg::R0, 10, -2),
+                Insn::Exit,
+            ],
+        };
+        assert_eq!(
+            verify(&p, &empty_maps()),
+            Err(VerifyError::BackEdge(2))
+        );
+    }
+
     #[test]
     fn empty_program_rejected() {
         let p = Program {

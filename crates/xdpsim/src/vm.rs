@@ -255,7 +255,9 @@ impl<'a> Machine<'a> {
             &self.stack[o..o + n]
         } else if addr >= RING_BASE && self.reservation.is_some() {
             self.charge_mem(MemClass::MapValue);
-            let buf_ref = &self.reservation.as_ref().unwrap().1;
+            let Some((_, buf_ref)) = self.reservation.as_ref() else {
+                return Err(Trap::BadAddress(addr));
+            };
             let o = (addr - RING_BASE) as usize;
             if o + n > buf_ref.len() {
                 return Err(Trap::BadAddress(addr));

@@ -15,7 +15,7 @@ use crate::prog::Program;
 use crate::verifier::{verify, VerifyError};
 use crate::vm::{self, XdpContext};
 use steelworks_netsim::bytes::Bytes;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use steelworks_netsim::frame::{EthFrame, MacAddr};
 use steelworks_netsim::node::{Ctx, Device, PortId};
 use steelworks_netsim::stats::SampleSet;
@@ -42,6 +42,7 @@ pub struct XdpStats {
 }
 
 /// A host NIC with an attached XDP program.
+#[derive(Debug)]
 pub struct XdpHost {
     name: String,
     prog: Program,
@@ -54,7 +55,7 @@ pub struct XdpHost {
     /// RSS: flows hash onto this many RX queues, each pinned to a CPU.
     pub rx_queues: u32,
     stats: XdpStats,
-    flow_last_seen: HashMap<MacAddr, Nanos>,
+    flow_last_seen: BTreeMap<MacAddr, Nanos>,
     /// Deferred TX frames (processing delay in flight).
     pending: Vec<(Nanos, PortId, EthFrame)>,
     /// Per-frame total processing times (ns), for direct inspection.
@@ -82,7 +83,7 @@ impl XdpHost {
             nic: NicModel::default(),
             rx_queues: 1,
             stats: XdpStats::default(),
-            flow_last_seen: HashMap::new(),
+            flow_last_seen: BTreeMap::new(),
             pending: Vec::new(),
             proc_times: SampleSet::new(),
             forced_flows: None,
@@ -171,7 +172,9 @@ fn bytes_to_frame(bytes: &[u8], original: &EthFrame) -> Option<EthFrame> {
         return None;
     }
     let mut f = original.clone();
+    // steelcheck: allow(unwrap-in-lib): slice is exactly 6 bytes: frame buffers are length-checked on entry
     f.dst = MacAddr(bytes[0..6].try_into().expect("slice len 6"));
+    // steelcheck: allow(unwrap-in-lib): slice is exactly 6 bytes: frame buffers are length-checked on entry
     f.src = MacAddr(bytes[6..12].try_into().expect("slice len 6"));
     f.ethertype = u16::from_be_bytes([bytes[12], bytes[13]]);
     f.payload = Bytes::from(bytes[14..].to_vec());

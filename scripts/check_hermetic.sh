@@ -12,6 +12,10 @@
 #   3. `cargo build --release --frozen` and `cargo test -q --frozen`
 #      succeed — `--frozen` forbids both network access and lockfile
 #      updates, so this fails fast if anything external sneaks in.
+#   4. `steelcheck` (the in-repo static-analysis pass) reports zero
+#      unsuppressed findings — nondeterministic collections, wall-clock
+#      reads, unwrap/expect in library code, manifest hygiene, and
+#      float hygiene are all part of the reproducibility contract.
 
 set -euo pipefail
 
@@ -19,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 fail=0
 
-echo "== 1/3 Cargo.toml dependency audit =="
+echo "== 1/4 Cargo.toml dependency audit =="
 # Inspect every dependency-ish section of every manifest; each entry
 # must carry `path = "..."` (plus optional workspace/feature keys) or
 # be a `workspace = true` alias to a [workspace.dependencies] entry
@@ -43,7 +47,7 @@ while IFS= read -r manifest; do
 done < <(find . -name Cargo.toml -not -path './target/*')
 [ "$fail" -eq 0 ] && echo "OK: all dependencies are path deps"
 
-echo "== 2/3 Cargo.lock audit =="
+echo "== 2/4 Cargo.lock audit =="
 if [ ! -f Cargo.lock ]; then
     echo "Cargo.lock is missing (required for --frozen builds)"
     fail=1
@@ -60,8 +64,12 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 
-echo "== 3/3 frozen build + test =="
+echo "== 3/4 frozen build + test =="
 cargo build --release --frozen
 cargo test -q --frozen
+
+echo "== 4/4 steelcheck static analysis =="
+cargo run --release --frozen -q -p steelcheck -- --json > /dev/null
+echo "OK: steelcheck reports zero unsuppressed findings"
 
 echo "hermetic: OK"

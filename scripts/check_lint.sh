@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Static-analysis gate: run steelcheck, the in-repo lint pass that
+# enforces the determinism & hermeticity contract (see DESIGN.md).
+#
+# Run from anywhere inside the repo:
+#   scripts/check_lint.sh            # human-readable diagnostics
+#   scripts/check_lint.sh --json     # machine-readable report
+#
+# Rules enforced (each with a per-rule allowlist and inline
+# `// steelcheck: allow(<rule>): why` suppressions):
+#   nondet-collections  no HashMap/HashSet in simulation crates
+#   wall-clock          no Instant::now/SystemTime outside crates/bench
+#   unwrap-in-lib       no .unwrap()/.expect( in library non-test code
+#   manifest-hygiene    path-only deps; no external sources in Cargo.lock
+#   float-hygiene       no float equality; no sim-time -> float casts
+#                       outside stats modules
+#
+# Exit status: 0 clean, 1 findings, 2 usage/IO error.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+exec cargo run --release --frozen -q -p steelcheck -- "$@"
