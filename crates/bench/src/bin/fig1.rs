@@ -5,14 +5,21 @@
 //! calibrated synthetic corpus (see `steelworks-corpus::synth`). Pass a
 //! directory of `.txt` files as the first argument to analyze a real
 //! corpus instead.
+//!
+//! Corpus *generation* threads one RNG through every paper and stays
+//! sequential; *analysis* is a sum of per-document term counts, so it
+//! chunks the corpus across a `steelpar` worker pool (`--jobs N` /
+//! `STEELWORKS_JOBS`) and merges by addition — the totals are identical
+//! for any partition, so the output is byte-identical at any job count.
 
 use steelworks_bench::{check, FIGURE_SEED};
 use steelworks_core::prelude::format_bars;
 use steelworks_corpus::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let texts: Vec<String> = if let Some(dir) = args.get(1) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = steelpar::resolve_jobs(steelpar::take_jobs_arg(&mut args));
+    let texts: Vec<String> = if let Some(dir) = args.first() {
         println!("# Fig. 1 over real corpus directory: {dir}");
         std::fs::read_dir(dir)
             .expect("readable corpus directory")
@@ -28,7 +35,24 @@ fn main() {
             .collect()
     };
 
-    let counts = analyze(texts.iter().map(|s| s.as_str()));
+    // Contiguous document chunks, one per worker; group counts merge by
+    // summing the measured column.
+    let n_chunks = jobs.min(texts.len()).max(1);
+    let chunk_size = texts.len().div_ceil(n_chunks).max(1);
+    let chunks: Vec<&[String]> = texts.chunks(chunk_size).collect();
+    let mut partials = steelpar::run(jobs, chunks, |chunk| {
+        analyze(chunk.iter().map(|s| s.as_str()))
+    })
+    .into_iter();
+    let mut counts = partials
+        .next()
+        .unwrap_or_else(|| analyze(std::iter::empty()));
+    for partial in partials {
+        for (acc, p) in counts.iter_mut().zip(partial) {
+            acc.measured += p.measured;
+        }
+    }
+
     let bars: Vec<(String, u64, u64)> = counts
         .iter()
         .map(|c| (c.label.to_string(), c.measured, c.published))
@@ -46,7 +70,7 @@ fn main() {
     check("all 13 groups measured", counts.len() == 13);
     check(
         "synthetic corpus matches published counts",
-        args.get(1).is_some() || counts.iter().all(|c| c.measured == c.published),
+        args.first().is_some() || counts.iter().all(|c| c.measured == c.published),
     );
     check("gap exceeds 25x", min_it > 25 * ot.max(1));
 }

@@ -2,21 +2,57 @@
 //!
 //! Left panel: delay CDFs of the six eBPF/XDP reflection program
 //! variants. Right panel: jitter CDFs for 1 vs 25 concurrent RT flows.
+//!
+//! All eight simulations (six variants + two flow regimes) are
+//! independent scenarios, fanned out over a `steelpar` worker pool
+//! (`--jobs N` / `STEELWORKS_JOBS`). Results come back in input order,
+//! so the output is byte-identical at any job count. The two flow-regime
+//! outcomes feed both the worst-case section and the right panel: the
+//! sequential version ran identical configurations twice.
 
 use steelworks_bench::{check, FIGURE_SEED};
 use steelworks_core::prelude::*;
 use steelworks_xdpsim::prelude::ReflectVariant;
 
+enum Scenario {
+    Left(ReflectVariant),
+    Flows(u32),
+}
+
+enum Outcome {
+    Left((&'static str, Vec<(f64, f64)>)),
+    Flows(u32, ReflectionOutcome),
+}
+
 fn main() {
-    let cycles: u64 = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = steelpar::resolve_jobs(steelpar::take_jobs_arg(&mut args));
+    let cycles: u64 = args
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(10_000);
     println!("# Fig. 4 — Traffic Reflection (seed {FIGURE_SEED:#x}, {cycles} cycles/flow)\n");
 
+    let scenarios: Vec<Scenario> = ReflectVariant::ALL
+        .iter()
+        .map(|&v| Scenario::Left(v))
+        .chain([1u32, 25].iter().map(|&f| Scenario::Flows(f)))
+        .collect();
+    let outcomes = steelpar::run(jobs, scenarios, |s| match s {
+        Scenario::Left(v) => Outcome::Left(fig4_left_one(v, FIGURE_SEED, cycles)),
+        Scenario::Flows(f) => Outcome::Flows(f, fig4_right_one(f, FIGURE_SEED, cycles)),
+    });
+    let mut left = Vec::new();
+    let mut flow_outs = Vec::new();
+    for o in outcomes {
+        match o {
+            Outcome::Left(l) => left.push(l),
+            Outcome::Flows(f, out) => flow_outs.push((f, out)),
+        }
+    }
+
     // Left panel.
     println!("## Left: delay CDFs per eBPF program variant (1 flow)");
-    let left = fig4_left(FIGURE_SEED, cycles);
     let mut medians = std::collections::HashMap::new();
     for (name, cdf) in &left {
         println!("{}", format_cdf(&format!("delay, {name}"), "us", cdf, 20));
@@ -34,14 +70,8 @@ fn main() {
 
     // §2.1's missing metrics: worst case and consecutive jitter bursts.
     println!("\n## Worst-case & burst metrics (the numbers §2.1 says evaluations omit)");
-    for &flows in &[1u32, 25] {
-        let mut out = run_reflection(&ReflectionConfig {
-            variant: ReflectVariant::Ts,
-            flows,
-            cycles,
-            seed: FIGURE_SEED,
-            ..ReflectionConfig::default()
-        });
+    for (flows, out) in &mut flow_outs {
+        let flows = *flows;
         println!(
             "# {flows:>2} flow(s): worst delay {:.2} µs | >1 µs-jitter cycles {:.3} % | longest burst {} | trips watchdog x3: {}",
             out.worst_delay_us(),
@@ -59,7 +89,10 @@ fn main() {
 
     // Right panel.
     println!("\n## Right: jitter CDFs, 1 vs 25 flows (TS variant)");
-    let right = fig4_right(FIGURE_SEED, cycles);
+    let right: Vec<(u32, Vec<(f64, f64)>)> = flow_outs
+        .iter_mut()
+        .map(|(flows, out)| (*flows, out.jitters.cdf(200)))
+        .collect();
     let mut p99 = Vec::new();
     for (flows, cdf) in &right {
         println!(

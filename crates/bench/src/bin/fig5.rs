@@ -8,7 +8,14 @@ use steelworks_bench::check;
 use steelworks_core::prelude::*;
 use steelworks_netsim::time::Nanos;
 
+enum Job {
+    Crash,
+    Migration,
+}
+
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = steelpar::resolve_jobs(steelpar::take_jobs_arg(&mut args));
     let cfg = ScenarioConfig::default();
     println!(
         "# Fig. 5 — InstaPLC switchover (cycle {} µs, watchdog ×{}, crash at {} ms)\n",
@@ -16,7 +23,25 @@ fn main() {
         cfg.watchdog_factor,
         cfg.crash_at.as_millis_f64()
     );
-    let r = run_scenario(&cfg);
+    // The crash scenario and the planned-migration companion are
+    // independent simulations; run both on the worker pool (`--jobs` /
+    // `STEELWORKS_JOBS`) and print in the original order.
+    let mut results = steelpar::run(jobs, vec![Job::Crash, Job::Migration], |j| match j {
+        Job::Crash => run_scenario(&cfg),
+        Job::Migration => run_migration_scenario(
+            &ScenarioConfig {
+                crash_at: Nanos::from_secs(100), // never
+                ..cfg.clone()
+            },
+            Nanos::from_millis(1_000),
+            Some(Nanos::from_millis(2_000)),
+        ),
+    })
+    .into_iter();
+    let (r, m) = match (results.next(), results.next()) {
+        (Some(r), Some(m)) => (r, m),
+        _ => unreachable!("steelpar returns one result per job"),
+    };
 
     println!(
         "{}",
@@ -73,14 +98,6 @@ fn main() {
     // Companion experiment: planned (hitless) migration instead of a
     // crash — the P4PLC capability the paper cites.
     println!("\n## Planned migration (no crash: control moves and moves back)");
-    let m = run_migration_scenario(
-        &ScenarioConfig {
-            crash_at: Nanos::from_secs(100), // never
-            ..cfg.clone()
-        },
-        Nanos::from_millis(1_000),
-        Some(Nanos::from_millis(2_000)),
-    );
     println!(
         "# migration at 1.0 s, failback at 2.0 s; I/O received {} frames, safe-state entries {}",
         m.io_received, m.io_safe_entries

@@ -1,18 +1,34 @@
 //! Regenerate **Fig. 6**: ML inference latency vs number of clients for
 //! the three topologies × two applications, plus the accuracy/cost view
 //! the paper's discussion calls out.
+//!
+//! Every (app, topology, client-count) point builds its own scenario, so
+//! the sweep fans out over a `steelpar` worker pool (`--jobs N` /
+//! `STEELWORKS_JOBS`); the grid order matches `fig6`'s sequential
+//! loops and results come back in input order, so the output is
+//! byte-identical at any job count.
 
 use steelworks_bench::check;
 use steelworks_core::prelude::*;
 use steelworks_mlnet::prelude::MlApp;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = steelpar::resolve_jobs(steelpar::take_jobs_arg(&mut args));
     let cfg = StudyConfig::default();
     println!(
         "# Fig. 6 — ML-aware topologies (accuracy target {:.2})\n",
         cfg.accuracy_target
     );
-    let points = fig6(&cfg);
+    let mut grid = Vec::new();
+    for app in MlApp::ALL {
+        for kind in TopologyKind::ALL {
+            for &n in &cfg.client_counts {
+                grid.push((app, kind, n));
+            }
+        }
+    }
+    let points = steelpar::run(jobs, grid, |(app, kind, n)| evaluate_point(kind, app, n, &cfg));
 
     for app in MlApp::ALL {
         let name = app.profile().name;

@@ -1,0 +1,181 @@
+//! `perf` — the hot-path performance trajectory.
+//!
+//! Micro- and macro-benchmarks of the code the optimization passes
+//! target: the transmit/deliver event loop, the event queue under
+//! shallow and deep backlogs, tap observation, the fig4-shaped
+//! end-to-end reflection scenario, and the `steelpar` scenario fan-out
+//! at one worker vs the machine's parallelism. Run with
+//! `BENCH_JSON=results/BENCH_perf.json cargo run --release -p
+//! steelworks-bench --bin perf` to record a trajectory point;
+//! `--samples N` adjusts the per-bench sample count.
+
+use steelworks_bench::harness::Harness;
+use steelworks_core::prelude::*;
+use steelworks_netsim::bytes::Bytes;
+use steelworks_netsim::event::{EventKind, EventQueue};
+use steelworks_netsim::frame::{ethertype, EthFrame, MacAddr};
+use steelworks_netsim::node::NodeId;
+use steelworks_netsim::prelude::*;
+use steelworks_netsim::tap::{Tap, TapDir};
+use steelworks_netsim::time::Nanos;
+use steelworks_xdpsim::prelude::ReflectVariant;
+
+fn bench_transmit_deliver(h: &mut Harness) {
+    // The loop the netsim hot-path pass targets: frames serialized over
+    // a direct link, boxed arrival events, per-frame dispatch.
+    h.bench("perf/transmit_deliver/10k_direct", || {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(
+            PeriodicSource::new(
+                "src",
+                MacAddr::local(1),
+                MacAddr::local(2),
+                46,
+                NanoDur::from_micros(1),
+            )
+            .with_limit(10_000),
+        );
+        let dst = sim.add_node(CounterSink::new("dst"));
+        sim.connect(src, PortId(0), dst, PortId(0), LinkSpec::gigabit());
+        sim.run_to_quiescence();
+        assert_eq!(sim.trace().counters().delivered, 10_000);
+    });
+    // Same loop with a tap on the link and a lossy/corrupting fault
+    // model: exercises the indexed tap pass and in-place corruption.
+    h.bench("perf/transmit_deliver/10k_tapped_faulty", || {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(
+            PeriodicSource::new(
+                "src",
+                MacAddr::local(1),
+                MacAddr::local(2),
+                200,
+                NanoDur::from_micros(1),
+            )
+            .with_limit(10_000),
+        );
+        let dst = sim.add_node(CounterSink::new("dst"));
+        let link = sim.connect(
+            src,
+            PortId(0),
+            dst,
+            PortId(0),
+            LinkSpec::gigabit().with_faults(FaultSpec {
+                drop_prob: 0.01,
+                corrupt_prob: 0.05,
+                ..FaultSpec::default()
+            }),
+        );
+        sim.attach_tap(link, Tap::hardware_default());
+        sim.run_to_quiescence();
+    });
+}
+
+fn bench_event_queue(h: &mut Harness) {
+    // Steady-state push/pop against a shallow and a deep backlog: heap
+    // sift cost is what the boxed FrameArrival payload shrinks.
+    for &pending in &[1_000usize, 100_000] {
+        let mut q = EventQueue::new();
+        q.reserve(pending + 1);
+        for i in 0..pending {
+            q.push(
+                Nanos(i as u64),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: i as u64,
+                },
+            );
+        }
+        let mut t = pending as u64;
+        h.bench_inner(format!("perf/event_queue/push_pop_{pending}_pending"), 64, || {
+            q.push(
+                Nanos(t),
+                EventKind::FrameArrival {
+                    node: NodeId(0),
+                    port: PortId(0),
+                    frame: Box::new(EthFrame::new(
+                        MacAddr::local(1),
+                        MacAddr::local(2),
+                        ethertype::SIM_TEST,
+                        Bytes::from_static(&[0u8; 46]),
+                    )),
+                },
+            );
+            t += 1;
+            q.pop()
+        });
+    }
+}
+
+fn bench_tap_observe(h: &mut Harness) {
+    let frame = EthFrame::new(
+        MacAddr::local(1),
+        MacAddr::local(2),
+        ethertype::SIM_TEST,
+        Bytes::from_static(&[0u8; 46]),
+    );
+    let mut tap = Tap::hardware_default();
+    let mut t = 0u64;
+    h.bench_inner("perf/tap/observe", 256, || {
+        t += 8;
+        tap.observe(Nanos(t), TapDir::AToB, &frame);
+        if tap.records().len() >= 65_536 {
+            tap.clear();
+        }
+    });
+}
+
+fn bench_fig4_e2e(h: &mut Harness) {
+    // The fig4-shaped end-to-end scenario at reduced cycle count: the
+    // whole XDP host + link + tap pipeline, as the figure binaries
+    // drive it.
+    h.bench("perf/e2e/fig4_ts_500_cycles", || {
+        run_reflection(&ReflectionConfig {
+            variant: ReflectVariant::Ts,
+            cycles: 500,
+            seed: 0x57EE1,
+            ..ReflectionConfig::default()
+        })
+        .tap_records
+    });
+}
+
+fn bench_steelpar_fanout(h: &mut Harness) {
+    // The fig6-shaped sweep through the scenario runner at one worker
+    // vs the machine's parallelism. On a multi-core box the ratio of
+    // these two rows is the scenario-level speedup; outputs are
+    // byte-identical either way.
+    let cfg = StudyConfig::default();
+    let grid: Vec<(TopologyKind, usize)> = TopologyKind::ALL
+        .iter()
+        .flat_map(|&k| cfg.client_counts.iter().map(move |&n| (k, n)))
+        .collect();
+    let auto = steelpar::resolve_jobs(None);
+    for (label, jobs) in [("jobs1", 1usize), ("jobs_auto", auto)] {
+        let grid = &grid;
+        let cfg = &cfg;
+        h.bench(format!("perf/steelpar/fig6_sweep_{label}"), move || {
+            steelpar::run(jobs, grid.clone(), |(k, n)| {
+                evaluate_point(k, steelworks_mlnet::prelude::MlApp::ALL[0], n, cfg).latency_ms
+            })
+            .len()
+        });
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let samples = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1).and_then(|s| s.parse::<usize>().ok()))
+        .unwrap_or(20);
+    let _ = steelpar::take_jobs_arg(&mut args);
+    let mut h = Harness::new("perf").samples(samples);
+    bench_transmit_deliver(&mut h);
+    bench_event_queue(&mut h);
+    bench_tap_observe(&mut h);
+    bench_fig4_e2e(&mut h);
+    bench_steelpar_fanout(&mut h);
+    h.finish();
+}

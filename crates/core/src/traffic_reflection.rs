@@ -238,26 +238,44 @@ pub fn run_reflection(cfg: &ReflectionConfig) -> ReflectionOutcome {
     }
 }
 
+/// One Fig. 4 left-panel scenario: the delay CDF (µs) of a single
+/// variant at the default flow count. Each call builds its own
+/// simulator, so independent variants can run on separate workers.
+pub fn fig4_left_one(variant: ReflectVariant, seed: u64, cycles: u64) -> (&'static str, Vec<(f64, f64)>) {
+    let mut out = run_reflection(&ReflectionConfig {
+        variant,
+        cycles,
+        seed,
+        ..ReflectionConfig::default()
+    });
+    let cdf = out
+        .delays
+        .cdf(200)
+        .into_iter()
+        .map(|(ns, p)| (ns / 1_000.0, p)) // µs
+        .collect();
+    (variant.name(), cdf)
+}
+
 /// Fig. 4 (left): delay CDFs for all six variants, single flow.
 pub fn fig4_left(seed: u64, cycles: u64) -> Vec<(&'static str, Vec<(f64, f64)>)> {
     ReflectVariant::ALL
         .iter()
-        .map(|&variant| {
-            let mut out = run_reflection(&ReflectionConfig {
-                variant,
-                cycles,
-                seed,
-                ..ReflectionConfig::default()
-            });
-            let cdf = out
-                .delays
-                .cdf(200)
-                .into_iter()
-                .map(|(ns, p)| (ns / 1_000.0, p)) // µs
-                .collect();
-            (variant.name(), cdf)
-        })
+        .map(|&variant| fig4_left_one(variant, seed, cycles))
         .collect()
+}
+
+/// One Fig. 4 right-panel scenario: the TS variant at `flows`
+/// concurrent flows, returning the full outcome so callers can derive
+/// both the jitter CDF and the worst-case/burst metrics from one run.
+pub fn fig4_right_one(flows: u32, seed: u64, cycles: u64) -> ReflectionOutcome {
+    run_reflection(&ReflectionConfig {
+        variant: ReflectVariant::Ts,
+        flows,
+        cycles,
+        seed,
+        ..ReflectionConfig::default()
+    })
 }
 
 /// Fig. 4 (right): jitter CDFs for 1 vs 25 flows (TS variant, as the
@@ -266,13 +284,7 @@ pub fn fig4_right(seed: u64, cycles: u64) -> Vec<(u32, Vec<(f64, f64)>)> {
     [1u32, 25]
         .iter()
         .map(|&flows| {
-            let mut out = run_reflection(&ReflectionConfig {
-                variant: ReflectVariant::Ts,
-                flows,
-                cycles,
-                seed,
-                ..ReflectionConfig::default()
-            });
+            let mut out = fig4_right_one(flows, seed, cycles);
             (flows, out.jitters.cdf(200))
         })
         .collect()

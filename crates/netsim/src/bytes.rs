@@ -37,6 +37,15 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.0.to_vec()
     }
+
+    /// Mutable access when this is the sole reference to the buffer.
+    ///
+    /// Returns `None` if any clone is alive, preserving the immutable
+    /// sharing contract. Lets hot paths (e.g. in-flight corruption)
+    /// flip bytes in place instead of copying the whole payload.
+    pub fn get_mut(&mut self) -> Option<&mut [u8]> {
+        Arc::get_mut(&mut self.0)
+    }
 }
 
 impl Default for Bytes {
@@ -162,6 +171,17 @@ mod tests {
         assert_eq!(b, vec![1u8, 2]);
         assert_eq!(b, &[1u8, 2][..]);
         assert_eq!(vec![1u8, 2], b);
+    }
+
+    #[test]
+    fn get_mut_only_when_unshared() {
+        let mut a = Bytes::from(vec![1u8, 2, 3]);
+        a.get_mut().expect("sole owner")[1] = 9;
+        assert_eq!(a, &[1u8, 9, 3][..]);
+        let b = a.clone();
+        assert!(a.get_mut().is_none(), "shared buffer must stay immutable");
+        drop(b);
+        assert!(a.get_mut().is_some(), "unique again after clone drops");
     }
 
     #[test]

@@ -19,8 +19,10 @@ pub enum EventKind {
         node: NodeId,
         /// Receiving port on that node.
         port: PortId,
-        /// The frame (possibly corrupted in flight).
-        frame: EthFrame,
+        /// The frame (possibly corrupted in flight), boxed so the
+        /// event stays small: heap sift operations move 16-byte
+        /// entries instead of a full inline frame.
+        frame: Box<EthFrame>,
     },
     /// A device timer expires. `token` is device-defined.
     Timer {
@@ -95,6 +97,13 @@ impl EventQueue {
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Grow the backing heap to hold at least `additional` more events
+    /// without reallocating — callers with topology knowledge pre-size
+    /// once instead of paying doubling copies on the hot path.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// True when nothing is pending.

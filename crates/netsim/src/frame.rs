@@ -7,6 +7,7 @@
 
 use crate::bytes::Bytes;
 use std::fmt;
+// steelcheck: allow(thread-outside-exec): frame-id counter; ids are used only for equality/pairing, never ordered or printed, so allocation order cannot reach any output
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A 48-bit MAC address.
@@ -75,7 +76,11 @@ impl VlanTag {
 
 /// Monotone counter giving every frame a unique identity so taps and
 /// traces can correlate observations of the same frame at different
-/// points in the network.
+/// points in the network. Under parallel scenario execution the ids a
+/// scenario draws depend on worker interleaving, which is safe because
+/// ids never appear in results — only id *equality* within one
+/// scenario is meaningful.
+// steelcheck: allow(thread-outside-exec): process-wide id counter shared across scenario threads; consumers compare ids for equality only
 static NEXT_FRAME_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Unique identity of a frame instance.

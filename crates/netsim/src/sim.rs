@@ -203,7 +203,7 @@ impl Simulator {
                         port,
                         frame: frame.id,
                     });
-                    self.dispatch_frame(node, port, frame);
+                    self.dispatch_frame(node, port, *frame);
                 }
                 EventKind::Timer { node, token } => {
                     self.trace.on_timer_fired();
@@ -237,6 +237,16 @@ impl Simulator {
             return;
         }
         self.started = true;
+        // Pre-size the hot-path scratch from topology size: a steady
+        // state carries roughly a few in-flight events per link plus a
+        // timer per node, and devices rarely emit more than a handful
+        // of actions per callback. Reserving once here moves the
+        // doubling reallocations out of the measured event loop.
+        self.queue
+            .reserve(2 * self.nodes.len() + 8 * self.links.len() + 16);
+        if self.scratch.capacity() < 8 {
+            self.scratch.reserve(8 - self.scratch.capacity());
+        }
         for idx in 0..self.nodes.len() {
             let slot = &mut self.nodes[idx];
             let mut actions = std::mem::take(&mut self.scratch);
@@ -368,9 +378,13 @@ impl Simulator {
         }
 
         // Taps see the (possibly corrupted) frame as it passes them.
+        // Indexed re-borrow per iteration instead of cloning the tap id
+        // list: links and taps live in disjoint arenas, so each pass
+        // borrows `self.links` immutably only long enough to read one
+        // id, then mutates `self.taps` — no per-frame allocation.
         let tap_dir = if a_side { TapDir::AToB } else { TapDir::BToA };
-        let tap_ids = link.taps.clone();
-        for tid in tap_ids {
+        for ti in 0..self.links[lid.0].taps.len() {
+            let tid = self.links[lid.0].taps[ti];
             let tap = &mut self.taps[tid.0];
             let frac = if a_side {
                 tap.position
@@ -392,7 +406,7 @@ impl Simulator {
                 EventKind::FrameArrival {
                     node: dst_node,
                     port: dst_port,
-                    frame: frame.clone(),
+                    frame: Box::new(frame.clone()),
                 },
             );
         }
@@ -401,7 +415,7 @@ impl Simulator {
             EventKind::FrameArrival {
                 node: dst_node,
                 port: dst_port,
-                frame,
+                frame: Box::new(frame),
             },
         );
     }
@@ -414,10 +428,17 @@ fn corrupt_payload(frame: &mut EthFrame, rng: &mut SimRng) {
         frame.ethertype ^= 0x0001;
         return;
     }
-    let mut bytes = frame.payload.to_vec();
-    let idx = rng.below(bytes.len() as u64) as usize;
-    bytes[idx] ^= 0xFF;
-    frame.payload = Bytes::from(bytes);
+    let idx = rng.below(frame.payload.len() as u64) as usize;
+    // Flip in place when this frame holds the only reference to the
+    // payload (the common case: no duplicate, no tap capture); fall
+    // back to copy-on-write when the buffer is shared.
+    if let Some(bytes) = frame.payload.get_mut() {
+        bytes[idx] ^= 0xFF;
+    } else {
+        let mut bytes = frame.payload.to_vec();
+        bytes[idx] ^= 0xFF;
+        frame.payload = Bytes::from(bytes);
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,11 @@
 //!   `source =` entries in `Cargo.lock`, no `[patch]`/`[replace]`.
 //! - **R5 `float-hygiene`** — no exact float equality; no
 //!   sim-time → float casts outside a stats module.
+//! - **R6 `thread-outside-exec`** — no thread spawning or cross-thread
+//!   synchronization primitives outside the execution layer
+//!   (`crates/steelpar` and `crates/bench`): the parallel runner's
+//!   determinism argument rests on every scenario being
+//!   single-threaded inside.
 //!
 //! Findings are suppressed site-by-site with
 //! `// steelcheck: allow(<rule>): <justification>` (same line, or the

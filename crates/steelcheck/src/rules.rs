@@ -14,6 +14,7 @@
 //! | `unwrap-in-lib`        | R3: no `.unwrap()`/`.expect(` in library non-test code |
 //! | `manifest-hygiene`     | R4: path-only deps, no `source =` in Cargo.lock   |
 //! | `float-hygiene`        | R5: no float `==`/`!=`, no sim-time → float casts outside stats |
+//! | `thread-outside-exec`  | R6: no thread spawning or cross-thread sync outside the execution layer |
 
 use crate::lexer::{Lexed, TokKind, Token};
 use crate::report::Finding;
@@ -25,6 +26,7 @@ pub const ALL_RULES: &[&str] = &[
     "unwrap-in-lib",
     "manifest-hygiene",
     "float-hygiene",
+    "thread-outside-exec",
 ];
 
 /// Is `rule` a known rule id? Used to reject typo'd suppressions.
@@ -45,6 +47,10 @@ pub struct FileClass {
     /// A statistics module (`stats.rs`), where converting simulated
     /// durations to floats for aggregation is the module's purpose.
     pub stats_module: bool,
+    /// Part of the execution layer (`crates/steelpar/` or the bench
+    /// harness): the only code allowed to spawn threads or use
+    /// cross-thread synchronization primitives.
+    pub exec: bool,
 }
 
 /// Per-file, per-rule allowlist entry with a recorded justification.
@@ -100,6 +106,9 @@ pub fn scan_rust(path: &str, class: FileClass, lexed: &Lexed, findings: &mut Vec
     }
     if class.lib_code && !class.bench {
         rule_unwrap_in_lib(path, lexed, &mut raw);
+    }
+    if !class.exec {
+        rule_thread_outside_exec(path, lexed, &mut raw);
     }
 
     for f in raw {
@@ -246,6 +255,43 @@ fn rule_unwrap_in_lib(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
     }
 }
 
+/// R6: thread spawning and cross-thread synchronization outside the
+/// execution layer. "Parallel across scenarios, serial within a
+/// simulation" only holds if nothing below `steelpar` spawns: a thread
+/// inside a scenario would race its RNG draws and event order.
+/// Over-approximate like R1: any `thread::` path segment or a
+/// synchronization-primitive ident is flagged, sites with a written
+/// invariant suppress inline.
+fn rule_thread_outside_exec(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    const SYNC_IDENTS: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier", "JoinHandle", "mpsc"];
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_thread_path = t.text == "thread"
+            && ((i + 1 < toks.len() && toks[i + 1].is_punct("::"))
+                || (i > 0 && toks[i - 1].is_punct("::")));
+        let is_sync = SYNC_IDENTS.contains(&t.text.as_str()) || t.text.starts_with("Atomic");
+        if !is_thread_path && !is_sync {
+            continue;
+        }
+        out.push(Finding::new(
+            path,
+            t.line,
+            "thread-outside-exec",
+            &format!(
+                "`{}` spawns or synchronizes threads outside the execution layer; \
+                 scenarios must stay single-threaded — fan out in crates/steelpar, \
+                 or document the invariant with \
+                 `// steelcheck: allow(thread-outside-exec): <why>`",
+                t.text
+            ),
+        ));
+    }
+}
+
 /// Token index ranges `[lo, hi)` covered by `#[cfg(test)]` / `#[test]`
 /// items (the attribute through the end of the item's brace block).
 fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
@@ -382,6 +428,7 @@ mod tests {
         bench: false,
         lib_code: true,
         stats_module: false,
+        exec: false,
     };
 
     #[test]
@@ -473,8 +520,54 @@ mod tests {
             bench: true,
             lib_code: false,
             stats_module: false,
+            exec: true,
         };
         let src = "use std::time::Instant; use std::collections::HashMap;";
         assert!(run(src, bench).is_empty());
+    }
+
+    #[test]
+    fn thread_primitives_flagged_outside_exec() {
+        for src in [
+            "pub fn f() { std::thread::spawn(|| {}); }",
+            "use std::thread;",
+            "use std::sync::Mutex;",
+            "static N: AtomicU64 = AtomicU64::new(0);",
+            "use std::sync::mpsc;",
+        ] {
+            let hits = run(src, LIB);
+            assert!(
+                hits.iter().all(|h| h.rule == "thread-outside-exec") && !hits.is_empty(),
+                "{src}: {hits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_as_plain_ident_or_arc_not_flagged() {
+        // A variable named `thread` without a path separator, and `Arc`
+        // (immutable sharing is deterministic) are fine.
+        for src in [
+            "pub fn f(thread: u32) -> u32 { thread + 1 }",
+            "use std::sync::Arc;",
+        ] {
+            let hits = run(src, LIB);
+            assert!(hits.is_empty(), "{src}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn exec_class_exempt_from_thread_rule() {
+        let exec = FileClass { exec: true, ..LIB };
+        let src = "pub fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        assert!(run(src, exec).is_empty());
+        assert_eq!(run(src, LIB).len(), 1, "`thread::` path hit");
+    }
+
+    #[test]
+    fn thread_rule_suppressible_inline() {
+        let src = "// steelcheck: allow(thread-outside-exec): id counter only\n\
+                   use std::sync::atomic::AtomicU64;";
+        assert!(run(src, LIB).is_empty());
     }
 }

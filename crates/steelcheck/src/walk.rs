@@ -115,10 +115,14 @@ pub fn classify(rel: &str) -> FileClass {
     let in_examples = rel.contains("/examples/") || rel.starts_with("examples/");
     let lib_code = in_src && !is_bin && !in_tests && !in_examples;
     let stats_module = rel.ends_with("/stats.rs") || rel.ends_with("/stats/mod.rs");
+    // The execution layer: steelpar owns the worker pool, and the bench
+    // harness times real execution (which may reasonably thread).
+    let exec = bench || rel.starts_with("crates/steelpar/");
     FileClass {
         bench,
         lib_code,
         stats_module,
+        exec,
     }
 }
 
@@ -129,7 +133,13 @@ mod tests {
     #[test]
     fn classification_matrix() {
         let c = classify("crates/netsim/src/sim.rs");
-        assert!(!c.bench && c.lib_code && !c.stats_module);
+        assert!(!c.bench && c.lib_code && !c.stats_module && !c.exec);
+
+        let c = classify("crates/steelpar/src/lib.rs");
+        assert!(c.exec && c.lib_code && !c.bench);
+
+        let c = classify("crates/steelpar/tests/determinism.rs");
+        assert!(c.exec && !c.lib_code);
 
         let c = classify("crates/netsim/src/stats.rs");
         assert!(c.stats_module && c.lib_code);

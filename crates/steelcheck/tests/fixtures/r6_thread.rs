@@ -1,0 +1,23 @@
+//! R6 fixture: threading outside the execution layer.
+
+use std::thread;
+use std::sync::{Mutex, RwLock};
+use std::sync::mpsc::channel;
+use std::sync::atomic::AtomicUsize;
+
+// steelcheck: allow(thread-outside-exec): deliberately justified site
+use std::sync::atomic::AtomicU64;
+
+pub fn not_a_path(thread: u32) -> u32 {
+    thread + 1
+}
+
+pub fn spawns() {
+    std::thread::spawn(|| {});
+}
+
+pub fn shares(data: std::sync::Arc<[u8]>) -> usize {
+    data.len()
+}
+
+pub const DOC: &str = "thread::spawn here is just a string";

@@ -92,6 +92,29 @@ fn allowlisted_file_is_exempt_for_its_rule_only() {
 }
 
 #[test]
+fn r6_thread_fixture() {
+    let src = include_str!("fixtures/r6_thread.rs");
+    let f = scan_source("crates/netsim/src/fixture.rs", src);
+    // `use std::thread` (3), Mutex + RwLock (4), mpsc (5), AtomicUsize
+    // (6), `std::thread::spawn` (16). The suppressed AtomicU64 (9), the
+    // `thread` parameter (11), `Arc` (19) and the string literal (23)
+    // are silent.
+    assert_eq!(lines_for(&f, "thread-outside-exec"), vec![3, 4, 4, 5, 6, 16]);
+}
+
+#[test]
+fn r6_exempt_in_execution_layer() {
+    let src = include_str!("fixtures/r6_thread.rs");
+    for rel in ["crates/steelpar/src/fixture.rs", "crates/bench/src/fixture.rs"] {
+        let f = scan_source(rel, src);
+        assert!(
+            lines_for(&f, "thread-outside-exec").is_empty(),
+            "{rel} is the execution layer: {f:?}"
+        );
+    }
+}
+
+#[test]
 fn r4_cargo_toml_fixture() {
     let mut f = Vec::new();
     manifest::scan_cargo_toml(

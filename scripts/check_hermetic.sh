@@ -14,8 +14,12 @@
 #      updates, so this fails fast if anything external sneaks in.
 #   4. `steelcheck` (the in-repo static-analysis pass) reports zero
 #      unsuppressed findings — nondeterministic collections, wall-clock
-#      reads, unwrap/expect in library code, manifest hygiene, and
-#      float hygiene are all part of the reproducibility contract.
+#      reads, unwrap/expect in library code, manifest hygiene, float
+#      hygiene, and thread use outside the execution layer are all part
+#      of the reproducibility contract.
+#   5. Every figure binary, run under STEELWORKS_JOBS=2 (the parallel
+#      scenario runner), reproduces the committed results/*.txt
+#      byte-for-byte — the job count must never leak into outputs.
 
 set -euo pipefail
 
@@ -23,7 +27,7 @@ cd "$(dirname "$0")/.."
 
 fail=0
 
-echo "== 1/4 Cargo.toml dependency audit =="
+echo "== 1/5 Cargo.toml dependency audit =="
 # Inspect every dependency-ish section of every manifest; each entry
 # must carry `path = "..."` (plus optional workspace/feature keys) or
 # be a `workspace = true` alias to a [workspace.dependencies] entry
@@ -47,7 +51,7 @@ while IFS= read -r manifest; do
 done < <(find . -name Cargo.toml -not -path './target/*')
 [ "$fail" -eq 0 ] && echo "OK: all dependencies are path deps"
 
-echo "== 2/4 Cargo.lock audit =="
+echo "== 2/5 Cargo.lock audit =="
 if [ ! -f Cargo.lock ]; then
     echo "Cargo.lock is missing (required for --frozen builds)"
     fail=1
@@ -64,12 +68,26 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 
-echo "== 3/4 frozen build + test =="
+echo "== 3/5 frozen build + test =="
 cargo build --release --frozen
 cargo test -q --frozen
 
-echo "== 4/4 steelcheck static analysis =="
+echo "== 4/5 steelcheck static analysis =="
 cargo run --release --frozen -q -p steelcheck -- --json > /dev/null
 echo "OK: steelcheck reports zero unsuppressed findings"
+
+echo "== 5/5 parallel-runner output reproducibility =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+for fig in fig1 fig4 fig5 fig6 challenges; do
+    STEELWORKS_JOBS=2 "target/release/$fig" > "$tmpdir/$fig.txt"
+    if ! diff -q "results/$fig.txt" "$tmpdir/$fig.txt" > /dev/null; then
+        echo "$fig output differs under STEELWORKS_JOBS=2:"
+        diff "results/$fig.txt" "$tmpdir/$fig.txt" | head -20
+        fail=1
+    fi
+done
+[ "$fail" -eq 0 ] && echo "OK: all figure outputs byte-identical under parallel execution"
+[ "$fail" -eq 0 ] || exit 1
 
 echo "hermetic: OK"
