@@ -22,6 +22,7 @@ fn main() {
     let texts: Vec<String> = if let Some(dir) = args.first() {
         println!("# Fig. 1 over real corpus directory: {dir}");
         std::fs::read_dir(dir)
+            // steelcheck: allow(panic-reachable): dies before any sweep starts, with a clear message
             .expect("readable corpus directory")
             .filter_map(|e| e.ok())
             .filter(|e| e.path().extension().map(|x| x == "txt").unwrap_or(false))

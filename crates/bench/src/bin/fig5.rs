@@ -40,6 +40,7 @@ fn main() {
     .into_iter();
     let (r, m) = match (results.next(), results.next()) {
         (Some(r), Some(m)) => (r, m),
+        // steelcheck: allow(panic-reachable): steelpar::run returns exactly one result per job
         _ => unreachable!("steelpar returns one result per job"),
     };
 

@@ -40,6 +40,7 @@ fn main() {
                 let p = points
                     .iter()
                     .find(|p| p.app == app && p.topology == kind && p.clients == n)
+                    // steelcheck: allow(panic-reachable): sweep emits every (app, kind, n) combination
                     .expect("point exists");
                 row.push(format!("{:.2}", p.latency_ms));
             }
@@ -60,6 +61,7 @@ fn main() {
             let p = points
                 .iter()
                 .find(|p| p.app == app && p.topology == kind && p.clients == 256)
+                // steelcheck: allow(panic-reachable): sweep always includes the 256-client point
                 .expect("point exists");
             rows.push(vec![
                 kind.name().to_string(),
@@ -85,6 +87,7 @@ fn main() {
             points
                 .iter()
                 .find(|p| p.app == app && p.topology == kind && p.clients == n)
+                // steelcheck: allow(panic-reachable): sweep emits every (app, kind, n) combination
                 .expect("point")
                 .latency_ms
         };

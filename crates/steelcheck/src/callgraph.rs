@@ -1,0 +1,473 @@
+//! The workspace-wide call graph.
+//!
+//! Nodes are the non-test [`crate::parse::FnItem`]s of every scanned
+//! Rust file outside `tests/`, `benches/`, and `examples/` directories;
+//! edges come from resolving each recorded call site against the
+//! workspace's function index. Resolution is *conservative by
+//! construction* — where the token-level view cannot decide, the graph
+//! gains edges rather than losing them, because a missing edge would
+//! let nondeterminism hide behind a helper while a spurious edge only
+//! costs a justified suppression:
+//!
+//! - **Qualified calls** (`steelpar::run(..)`, `SimRng::from_seed(..)`)
+//!   resolve by matching every written qualifier against a candidate's
+//!   crate aliases (`netsim`, `steelworks_netsim`), its in-file module
+//!   names (including the file stem), or its `impl` self type. A path
+//!   rooted at `std`/`core`/`alloc` is external and produces no edge.
+//! - **Bare calls** (`helper()`) prefer same-file candidates, then
+//!   same-crate, then fall back to every function of that name in the
+//!   workspace (imports are not tracked — `use x::helper` followed by
+//!   `helper()` must still find `x::helper`).
+//! - **Method calls** (`.step(..)`) use the "any fn of that name"
+//!   fallback restricted to `impl`/`trait` functions: without type
+//!   information, every method named `step` is a potential callee.
+//!   This is exactly the bridge that carries reachability across
+//!   trait-object dispatch (`dyn Device`), the place a lexical pass is
+//!   structurally blind.
+//!
+//! All storage is `BTreeMap`/sorted-`Vec` based and node ids are
+//! assigned in (file, source-order) sequence, so the graph — and every
+//! diagnostic derived from it — is byte-deterministic.
+
+use crate::parse::{Call, CallKind};
+use crate::RustFile;
+use std::collections::BTreeMap;
+
+/// One function in the graph.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Index into the [`CallGraph::nodes`] vector (== its own position).
+    pub id: usize,
+    /// Index of the owning file in the scan's file list.
+    pub file_idx: usize,
+    /// Index of the item in that file's [`crate::parse::ParsedFile::fns`].
+    pub fn_idx: usize,
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// Crate key: the directory under `crates/`, or `steelworks` for
+    /// the root facade.
+    pub crate_key: String,
+    /// Human-readable qualified name for diagnostics
+    /// (`netsim::Sim::run_until`, `bench/fig4::main`).
+    pub qual: String,
+    /// Bare function name.
+    pub name: String,
+    /// `impl`/`trait` self type, when any.
+    pub self_ty: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Names usable as path qualifiers for this node: in-file modules
+    /// plus the file stem (`sim` for `src/sim.rs`).
+    pub modules: Vec<String>,
+    /// Resolved callee ids per recorded call site, parallel to the
+    /// item's `calls` vector. Empty entries are external calls.
+    pub resolved: Vec<Vec<usize>>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All nodes, id order.
+    pub nodes: Vec<FnNode>,
+    /// Forward adjacency: sorted, deduplicated callee ids per node.
+    pub edges: Vec<Vec<usize>>,
+    /// Name → node ids, for resolution and for tests.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Path roots that always refer to code outside the workspace.
+const EXTERNAL_ROOTS: &[&str] = &["std", "core", "alloc"];
+
+/// Derive the crate key for a workspace-relative path.
+pub fn crate_key(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((dir, _)) = rest.split_once('/') {
+            return dir.to_string();
+        }
+    }
+    "steelworks".to_string()
+}
+
+/// Is this file part of the program graph (as opposed to integration
+/// tests, cargo benches, or examples, which no entry point reaches)?
+fn in_graph(rel: &str) -> bool {
+    let excluded = ["tests/", "benches/", "examples/"];
+    !excluded
+        .iter()
+        .any(|d| rel.starts_with(d) || rel.contains(&format!("/{d}")))
+}
+
+fn file_stem(rel: &str) -> Option<&str> {
+    let stem = rel.rsplit('/').next()?.strip_suffix(".rs")?;
+    if matches!(stem, "lib" | "main" | "mod") {
+        None
+    } else {
+        Some(stem)
+    }
+}
+
+/// Build the graph over the scanned files.
+pub fn build(files: &[RustFile]) -> CallGraph {
+    let mut g = CallGraph::default();
+    for (file_idx, f) in files.iter().enumerate() {
+        if !in_graph(&f.rel) {
+            continue;
+        }
+        let ckey = crate_key(&f.rel);
+        for (fn_idx, item) in f.parsed.fns.iter().enumerate() {
+            if item.in_test {
+                continue;
+            }
+            let id = g.nodes.len();
+            let mut modules = item.modules.clone();
+            if let Some(stem) = file_stem(&f.rel) {
+                modules.push(stem.to_string());
+            }
+            let qual = {
+                let mut parts: Vec<&str> = Vec::new();
+                let bin_name;
+                if let Some(pos) = f.rel.find("/src/bin/") {
+                    bin_name = format!(
+                        "{}/{}",
+                        ckey,
+                        f.rel[pos + "/src/bin/".len()..].trim_end_matches(".rs")
+                    );
+                    parts.push(&bin_name);
+                } else {
+                    parts.push(&ckey);
+                }
+                for m in &item.modules {
+                    parts.push(m);
+                }
+                if let Some(ty) = &item.self_ty {
+                    parts.push(ty);
+                }
+                parts.push(&item.name);
+                parts.join("::")
+            };
+            g.by_name
+                .entry(item.name.clone())
+                .or_default()
+                .push(id);
+            g.nodes.push(FnNode {
+                id,
+                file_idx,
+                fn_idx,
+                file: f.rel.clone(),
+                crate_key: ckey.clone(),
+                qual,
+                name: item.name.clone(),
+                self_ty: item.self_ty.clone(),
+                line: item.line,
+                modules,
+                resolved: Vec::new(),
+            });
+        }
+    }
+
+    // Resolve every call site; edges are the union per caller.
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); g.nodes.len()];
+    for id in 0..g.nodes.len() {
+        let caller = &g.nodes[id];
+        let item = &files[caller.file_idx].parsed.fns[caller.fn_idx];
+        let mut resolved = Vec::with_capacity(item.calls.len());
+        for call in &item.calls {
+            let callees = resolve(&g, caller, call);
+            for &c in &callees {
+                edges[id].push(c);
+            }
+            resolved.push(callees);
+        }
+        edges[id].sort_unstable();
+        edges[id].dedup();
+        g.nodes[id].resolved = resolved;
+    }
+    g.edges = edges;
+    g
+}
+
+/// Resolve one call site to its candidate callee ids (sorted).
+fn resolve(g: &CallGraph, caller: &FnNode, call: &Call) -> Vec<usize> {
+    let name = call.name();
+    let Some(candidates) = g.by_name.get(name) else {
+        return Vec::new();
+    };
+    match call.kind {
+        CallKind::Macro => Vec::new(),
+        CallKind::Method => candidates
+            .iter()
+            .copied()
+            .filter(|&c| g.nodes[c].self_ty.is_some())
+            .collect(),
+        CallKind::Free => {
+            let quals = &call.path[..call.path.len() - 1];
+            if quals
+                .first()
+                .is_some_and(|q| EXTERNAL_ROOTS.contains(&q.as_str()))
+            {
+                return Vec::new();
+            }
+            if quals.is_empty() {
+                // Bare call: same file, then same crate, then anywhere.
+                let same_file: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| g.nodes[c].file_idx == caller.file_idx)
+                    .collect();
+                if !same_file.is_empty() {
+                    return same_file;
+                }
+                let same_crate: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| g.nodes[c].crate_key == caller.crate_key)
+                    .collect();
+                if !same_crate.is_empty() {
+                    return same_crate;
+                }
+                return candidates.clone();
+            }
+            candidates
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let n = &g.nodes[c];
+                    quals.iter().all(|q| qual_matches(n, q))
+                })
+                .collect()
+        }
+    }
+}
+
+/// Does the written qualifier `q` plausibly denote the scope of `n`?
+fn qual_matches(n: &FnNode, q: &str) -> bool {
+    n.crate_key == q
+        || format!("steelworks_{}", n.crate_key) == q
+        || n.modules.iter().any(|m| m == q)
+        || n.self_ty.as_deref() == Some(q)
+}
+
+impl CallGraph {
+    /// Node ids matching a predicate, ascending.
+    pub fn select(&self, pred: impl Fn(&FnNode) -> bool) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| pred(n))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Multi-source BFS over forward edges. Returns, for every node,
+    /// `Some(parent)` when reachable (`parent == id` for the sources
+    /// themselves) and `None` otherwise. Sources are visited in the
+    /// given order and adjacency is sorted, so the parent forest — and
+    /// every path printed from it — is deterministic.
+    pub fn reach(&self, sources: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in sources {
+            if parent[s].is_none() {
+                parent[s] = Some(s);
+                queue.push_back(s);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if parent[v].is_none() {
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Reverse reachability: every node from which some node in
+    /// `targets` can be reached (targets included).
+    pub fn reaches_any(&self, targets: &[usize]) -> Vec<bool> {
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (u, outs) in self.edges.iter().enumerate() {
+            for &v in outs {
+                rev[v].push(u);
+            }
+        }
+        let mut hit = vec![false; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &t in targets {
+            if !hit[t] {
+                hit[t] = true;
+                queue.push_back(t);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &rev[u] {
+                if !hit[v] {
+                    hit[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        hit
+    }
+
+    /// The call path from a BFS source to `id`, rendered as
+    /// `a -> b -> c` over qualified names.
+    pub fn path_to(&self, parent: &[Option<usize>], id: usize) -> String {
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(p) = parent[cur] {
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+            .iter()
+            .map(|&n| self.nodes[n].qual.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse;
+    use crate::walk::classify;
+
+    fn file(rel: &str, src: &str) -> RustFile {
+        let lexed = lex(src);
+        let parsed = parse::parse(&lexed);
+        RustFile {
+            rel: rel.to_string(),
+            class: classify(rel),
+            lexed,
+            parsed,
+        }
+    }
+
+    fn node<'a>(g: &'a CallGraph, qual: &str) -> &'a FnNode {
+        g.nodes
+            .iter()
+            .find(|n| n.qual == qual)
+            .unwrap_or_else(|| panic!("no node {qual}: {:?}", g.nodes.iter().map(|n| &n.qual).collect::<Vec<_>>()))
+    }
+
+    #[test]
+    fn qualified_and_bare_calls_resolve_across_crates() {
+        let files = vec![
+            file(
+                "crates/bench/src/bin/figx.rs",
+                "fn main() { steelworks_core::scenario(); helper(); }\nfn helper() {}",
+            ),
+            file("crates/core/src/lib.rs", "pub fn scenario() { step(); }\npub fn step() {}"),
+        ];
+        let g = build(&files);
+        let main = node(&g, "bench/figx::main");
+        let scenario = node(&g, "core::scenario");
+        let helper = node(&g, "bench/figx::helper");
+        assert!(g.edges[main.id].contains(&scenario.id), "steelworks_core:: qualifier");
+        assert!(g.edges[main.id].contains(&helper.id), "same-file bare call");
+        assert!(g.edges[scenario.id].contains(&node(&g, "core::step").id));
+    }
+
+    #[test]
+    fn method_calls_fall_back_to_any_method_of_that_name() {
+        let files = vec![
+            file(
+                "crates/netsim/src/sim.rs",
+                "impl Sim { pub fn run_until(&mut self) { self.dev.handle(); } }",
+            ),
+            file(
+                "crates/vplc/src/dev.rs",
+                "impl Plc { pub fn handle(&mut self) {} }\npub fn handle_free() {}",
+            ),
+        ];
+        let g = build(&files);
+        let run = node(&g, "netsim::Sim::run_until");
+        let handle = node(&g, "vplc::Plc::handle");
+        assert!(g.edges[run.id].contains(&handle.id));
+    }
+
+    #[test]
+    fn std_paths_and_unknown_names_are_external() {
+        let files = vec![file(
+            "crates/core/src/lib.rs",
+            "pub fn f() { std::mem::take(&mut x); no_such(); HashMap::new(); }",
+        )];
+        let g = build(&files);
+        assert!(g.edges[0].is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn mismatched_qualifier_produces_no_edge() {
+        let files = vec![
+            file("crates/core/src/lib.rs", "pub fn f() { other::helper(); }"),
+            file("crates/topo/src/graph.rs", "pub fn helper() {}"),
+        ];
+        let g = build(&files);
+        let f = node(&g, "core::f");
+        assert!(g.edges[f.id].is_empty(), "`other::` matches no scope of topo::helper");
+        // But the crate key, file stem, and steelworks_ alias all match.
+        for call in ["topo::helper()", "graph::helper()", "steelworks_topo::helper()"] {
+            let files = vec![
+                file("crates/core/src/lib.rs", &format!("pub fn f() {{ {call}; }}")),
+                file("crates/topo/src/graph.rs", "pub fn helper() {}"),
+            ];
+            let g = build(&files);
+            let f = node(&g, "core::f");
+            assert_eq!(g.edges[f.id].len(), 1, "{call} should resolve");
+        }
+    }
+
+    #[test]
+    fn test_fns_and_test_dirs_stay_out_of_the_graph() {
+        let files = vec![
+            file(
+                "crates/core/src/lib.rs",
+                "pub fn real() {}\n#[cfg(test)]\nmod tests { fn helper() {} }",
+            ),
+            file("crates/core/tests/integration.rs", "fn test_helper() {}"),
+            file("crates/bench/benches/ablate.rs", "fn bench_helper() {}"),
+            file("examples/quickstart.rs", "fn main() {}"),
+        ];
+        let g = build(&files);
+        let names: Vec<_> = g.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["real"], "{names:?}");
+    }
+
+    #[test]
+    fn reach_and_paths_are_deterministic() {
+        let files = vec![file(
+            "crates/core/src/lib.rs",
+            "pub fn a() { b(); }\npub fn b() { c(); }\npub fn c() {}\npub fn lonely() {}",
+        )];
+        let g = build(&files);
+        let a = node(&g, "core::a").id;
+        let c = node(&g, "core::c").id;
+        let lonely = node(&g, "core::lonely").id;
+        let parent = g.reach(&[a]);
+        assert!(parent[c].is_some());
+        assert!(parent[lonely].is_none());
+        assert_eq!(g.path_to(&parent, c), "core::a -> core::b -> core::c");
+        let again = g.reach(&[a]);
+        assert_eq!(parent, again);
+    }
+
+    #[test]
+    fn reverse_reachability_marks_callers() {
+        let files = vec![file(
+            "crates/core/src/lib.rs",
+            "pub fn top() { mid(); }\npub fn mid() { leaf(); }\npub fn leaf() {}\npub fn other() {}",
+        )];
+        let g = build(&files);
+        let leaf = node(&g, "core::leaf").id;
+        let hit = g.reaches_any(&[leaf]);
+        assert!(hit[node(&g, "core::top").id]);
+        assert!(hit[node(&g, "core::mid").id]);
+        assert!(!hit[node(&g, "core::other").id]);
+    }
+}

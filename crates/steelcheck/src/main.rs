@@ -1,11 +1,15 @@
 //! `steelcheck` — the determinism & hermeticity gate.
 //!
 //! ```text
-//! cargo run --release -p steelcheck            # human-readable diagnostics
-//! cargo run --release -p steelcheck -- --json  # machine-readable report
+//! cargo run --release -p steelcheck                  # human-readable diagnostics
+//! cargo run --release -p steelcheck -- --format json # machine-readable report
+//! cargo run --release -p steelcheck -- --format sarif
 //! cargo run --release -p steelcheck -- --list-rules
+//! cargo run --release -p steelcheck -- --explain wallclock-reachable
 //! cargo run --release -p steelcheck -- --list-allow
 //! ```
+//!
+//! `--json` is kept as an alias for `--format json`.
 //!
 //! Exit status: 0 when the workspace is clean, 1 on any unsuppressed
 //! finding, 2 on usage or I/O errors.
@@ -13,19 +17,74 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Output format selected on the command line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
     let mut root_arg: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some(other) => {
+                    eprintln!(
+                        "steelcheck: unknown format `{other}` (expected text, json, or sarif)"
+                    );
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("steelcheck: --format requires an argument");
+                    return ExitCode::from(2);
+                }
+            },
             "--list-rules" => {
-                for r in steelcheck::rules::ALL_RULES {
-                    println!("{r}");
+                for r in steelcheck::rules::RULES {
+                    println!("{:<22} {}", r.id, r.summary);
                 }
                 return ExitCode::SUCCESS;
             }
+            "--explain" => match args.next() {
+                Some(rule) => match steelcheck::rules::rule_info(&rule) {
+                    Some(r) => {
+                        println!("{}", r.id);
+                        println!("  {}", r.summary);
+                        println!();
+                        println!("  {}", r.rationale);
+                        if r.suppressible {
+                            println!();
+                            println!(
+                                "  Suppress site-by-site with \
+                                 `// steelcheck: allow({}): <why>`.",
+                                r.id
+                            );
+                        } else {
+                            println!();
+                            println!("  This rule cannot be suppressed.");
+                        }
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!(
+                            "steelcheck: unknown rule `{rule}` (see --list-rules)"
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("steelcheck: --explain requires a rule id");
+                    return ExitCode::from(2);
+                }
+            },
             "--list-allow" => {
                 for e in steelcheck::rules::ALLOWLIST {
                     println!("{} [{}]\n    {}", e.path, e.rule, e.why);
@@ -41,7 +100,8 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: steelcheck [--json] [--root DIR] [--list-rules] [--list-allow]"
+                    "usage: steelcheck [--format text|json|sarif] [--root DIR] \
+                     [--list-rules] [--explain RULE] [--list-allow]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -68,18 +128,21 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
-        print!("{}", report.to_json());
-    } else {
-        for f in &report.findings {
-            println!("{f}");
+    match format {
+        Format::Json => print!("{}", report.to_json()),
+        Format::Sarif => print!("{}", report.to_sarif()),
+        Format::Text => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            eprint!("{}", report.rule_summary());
+            eprintln!(
+                "steelcheck: {} finding(s) across {} Rust file(s), {} manifest(s)",
+                report.findings.len(),
+                report.rust_files,
+                report.manifests
+            );
         }
-        eprintln!(
-            "steelcheck: {} finding(s) across {} Rust file(s), {} manifest(s)",
-            report.findings.len(),
-            report.rust_files,
-            report.manifests
-        );
     }
     if report.findings.is_empty() {
         ExitCode::SUCCESS

@@ -1,0 +1,695 @@
+//! A zero-dependency item/signature parser on top of [`crate::lexer`].
+//!
+//! This is the middle layer of the three-layer analysis (lexical →
+//! call graph → reachability): it recovers just enough structure from
+//! the token stream for interprocedural reasoning — modules (including
+//! `#[cfg(test)]` blocks), `impl`/`trait` blocks with their self type,
+//! `fn` items with body spans, and every call expression, method call,
+//! and macro invocation inside each body — without attempting to be a
+//! real Rust parser. Where Rust's grammar is ambiguous at the token
+//! level the parser stays deliberately *over-approximate*: a tuple
+//! struct pattern `Left(v)` is recorded as a call named `Left` (it
+//! resolves to nothing and is harmless), and an unparseable header
+//! degrades to a plain block rather than an error, so macro-heavy or
+//! `impl Trait`-heavy sources never abort the pass.
+//!
+//! Guarantees the downstream layers rely on:
+//!
+//! - Every `fn` with a body becomes exactly one [`FnItem`] whose
+//!   `body` token span covers the braces, in source order.
+//! - `in_test` is true for items under `#[cfg(test)]` / `#[test]`
+//!   (over-approximate: any attribute containing the ident `test`).
+//! - Calls carry the token index of their name and the token span of
+//!   their argument list, so taint rules can inspect seed expressions.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// Reserved words that can precede `(` without being a call.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "loop", "for", "in", "return", "break", "continue", "let",
+    "mut", "ref", "move", "as", "use", "pub", "crate", "self", "Self", "super", "where", "unsafe",
+    "extern", "dyn", "impl", "fn", "mod", "struct", "enum", "union", "trait", "type", "const",
+    "static", "async", "await", "box", "true", "false", "yield",
+];
+
+/// How a call site was written.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CallKind {
+    /// A path or bare call: `helper(..)`, `a::b::f(..)`.
+    Free,
+    /// A method call: `x.f(..)`.
+    Method,
+    /// A macro invocation: `panic!(..)`, `vec![..]`.
+    Macro,
+}
+
+/// One call expression inside a function body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// Shape of the call site.
+    pub kind: CallKind,
+    /// Path segments. For [`CallKind::Free`] the full written path
+    /// including the final name (`["SimRng", "seed_from_u64"]`); for
+    /// `Method`/`Macro` a single element, the name.
+    pub path: Vec<String>,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// Token index of the name ident in the file's token stream.
+    pub name_idx: usize,
+    /// Token index range `[lo, hi)` of the argument list, excluding the
+    /// delimiters. Empty (`lo == hi`) for argument-less calls.
+    pub args: (usize, usize),
+}
+
+impl Call {
+    /// The called name (last path segment).
+    pub fn name(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// One `fn` item with a body.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Self type when defined inside an `impl`/`trait` block.
+    pub self_ty: Option<String>,
+    /// Enclosing in-file module path (innermost last).
+    pub modules: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Inside `#[cfg(test)]` / `#[test]` scope.
+    pub in_test: bool,
+    /// Token index range `[lo, hi)` of the body including both braces.
+    pub body: (usize, usize),
+    /// Every call site lexically inside the body (nested closures
+    /// included; nested `fn` items get their own [`FnItem`]).
+    pub calls: Vec<Call>,
+}
+
+/// Parse result for one file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    /// All function items with bodies, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+enum Scope {
+    /// `mod name { .. }`. `test` notes whether this mod adds a test region.
+    Mod { test: bool },
+    /// `impl .. { .. }` or `trait Name { .. }`; restores the previous
+    /// self type on pop.
+    Impl { prev_ty: Option<String>, test: bool },
+    /// A `fn` body; `idx` indexes [`ParsedFile::fns`].
+    Fn { idx: usize },
+    /// Any other brace: blocks, match bodies, struct literals, ...
+    Plain,
+}
+
+/// Parse the token stream of one file.
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    Parser {
+        toks: &lexed.tokens,
+        out: ParsedFile::default(),
+        scopes: Vec::new(),
+        mods: Vec::new(),
+        cur_ty: None,
+        fn_stack: Vec::new(),
+        test_depth: 0,
+        pending_test: false,
+    }
+    .run()
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    out: ParsedFile,
+    scopes: Vec<Scope>,
+    mods: Vec<String>,
+    cur_ty: Option<String>,
+    fn_stack: Vec<usize>,
+    test_depth: usize,
+    pending_test: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn run(mut self) -> ParsedFile {
+        let n = self.toks.len();
+        let mut i = 0;
+        while i < n {
+            let t = &self.toks[i];
+            // Attributes: `#[ .. ]` / `#![ .. ]`. An attribute containing
+            // the ident `test` marks the next item as test code.
+            if t.is_punct("#") {
+                let mut j = i + 1;
+                if j < n && self.toks[j].is_punct("!") {
+                    j += 1;
+                }
+                if j < n && self.toks[j].is_punct("[") {
+                    let (end, has_test) = self.scan_attr(j);
+                    if has_test {
+                        self.pending_test = true;
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "mod" => {
+                        if let Some(next) = self.advance_mod(i) {
+                            i = next;
+                            continue;
+                        }
+                    }
+                    "impl" | "trait" => {
+                        if let Some(next) = self.advance_impl(i) {
+                            i = next;
+                            continue;
+                        }
+                    }
+                    "fn" => {
+                        if let Some(next) = self.advance_fn(i) {
+                            i = next;
+                            continue;
+                        }
+                    }
+                    _ => {
+                        if !self.fn_stack.is_empty() && !KEYWORDS.contains(&t.text.as_str()) {
+                            self.maybe_record_call(i);
+                        }
+                    }
+                }
+            }
+            if t.is_punct(";") {
+                self.pending_test = false;
+            }
+            if t.is_punct("{") {
+                self.scopes.push(Scope::Plain);
+            } else if t.is_punct("}") {
+                self.pop_scope(i);
+            }
+            i += 1;
+        }
+        // Unterminated file (should not happen on rustc-valid input):
+        // close any open fn bodies at EOF so spans stay well-formed.
+        while let Some(idx) = self.fn_stack.pop() {
+            self.out.fns[idx].body.1 = n;
+        }
+        self.out
+    }
+
+    /// Scan an attribute starting at the `[` at `open`; returns the
+    /// index just past the matching `]` plus whether the ident `test`
+    /// occurs inside (covers `#[test]` and `#[cfg(test)]`).
+    fn scan_attr(&self, open: usize) -> (usize, bool) {
+        let mut depth = 0usize;
+        let mut has_test = false;
+        let mut j = open;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, has_test);
+                }
+            } else if t.is_ident("test") {
+                has_test = true;
+            }
+            j += 1;
+        }
+        (j, has_test)
+    }
+
+    /// `mod name { ..` / `mod name;` — returns the index to resume at.
+    fn advance_mod(&mut self, i: usize) -> Option<usize> {
+        let name = self.toks.get(i + 1).filter(|t| t.kind == TokKind::Ident)?;
+        match self.toks.get(i + 2) {
+            Some(t) if t.is_punct("{") => {
+                let test = self.pending_test;
+                self.pending_test = false;
+                self.mods.push(name.text.clone());
+                if test {
+                    self.test_depth += 1;
+                }
+                self.scopes.push(Scope::Mod { test });
+                Some(i + 3)
+            }
+            Some(t) if t.is_punct(";") => {
+                self.pending_test = false;
+                Some(i + 3)
+            }
+            _ => None,
+        }
+    }
+
+    /// `impl<..> Type { ..`, `impl<..> Trait for Type { ..`,
+    /// `trait Name .. { ..`. Returns the index just past the opening
+    /// brace, or `None` to fall through to plain-block handling.
+    fn advance_impl(&mut self, i: usize) -> Option<usize> {
+        let is_trait = self.toks[i].is_ident("trait");
+        let mut j = i + 1;
+        let ty = if is_trait {
+            let name = self.toks.get(j).filter(|t| t.kind == TokKind::Ident)?;
+            Some(name.text.clone())
+        } else {
+            j = self.skip_generics(j);
+            let first = self.read_type_path(&mut j)?;
+            if self.toks.get(j).is_some_and(|t| t.is_ident("for")) {
+                j += 1;
+                Some(self.read_type_path(&mut j)?)
+            } else {
+                Some(first)
+            }
+        };
+        // Skip bounds / where clauses up to the block.
+        while j < self.toks.len() && !self.toks[j].is_punct("{") {
+            if self.toks[j].is_punct(";") {
+                // `impl Trait for Type;` is not Rust, but degrade safely.
+                self.pending_test = false;
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        if j >= self.toks.len() {
+            return None;
+        }
+        let test = self.pending_test;
+        self.pending_test = false;
+        if test {
+            self.test_depth += 1;
+        }
+        self.scopes.push(Scope::Impl {
+            prev_ty: self.cur_ty.take(),
+            test,
+        });
+        self.cur_ty = ty;
+        Some(j + 1)
+    }
+
+    /// Read a type path (`a::b::Name<..>`), advancing `*j` past it and
+    /// any trailing generic arguments; returns the last ident segment.
+    fn read_type_path(&self, j: &mut usize) -> Option<String> {
+        let mut last = None;
+        loop {
+            // Leading `&`/`&mut`/`dyn` on exotic impl targets.
+            while self
+                .toks
+                .get(*j)
+                .is_some_and(|t| t.is_punct("&") || t.is_ident("dyn") || t.is_ident("mut"))
+            {
+                *j += 1;
+            }
+            let t = self.toks.get(*j)?;
+            if t.kind != TokKind::Ident {
+                return last;
+            }
+            last = Some(t.text.clone());
+            *j += 1;
+            *j = self.skip_generics(*j);
+            if self.toks.get(*j).is_some_and(|t| t.is_punct("::")) {
+                *j += 1;
+            } else {
+                return last;
+            }
+        }
+    }
+
+    /// If the token at `j` opens a generic-argument list, skip past the
+    /// balanced `< .. >` (handling fused `<<`/`>>`); otherwise return `j`.
+    fn skip_generics(&self, j: usize) -> usize {
+        let Some(t) = self.toks.get(j) else {
+            return j;
+        };
+        if !t.is_punct("<") {
+            return j;
+        }
+        let mut depth: i64 = 0;
+        let mut k = j;
+        while k < self.toks.len() {
+            match self.toks[k].text.as_str() {
+                "<" if self.toks[k].kind == TokKind::Punct => depth += 1,
+                "<<" if self.toks[k].kind == TokKind::Punct => depth += 2,
+                ">" if self.toks[k].kind == TokKind::Punct => depth -= 1,
+                ">>" if self.toks[k].kind == TokKind::Punct => depth -= 2,
+                _ => {}
+            }
+            k += 1;
+            if depth <= 0 {
+                return k;
+            }
+        }
+        k
+    }
+
+    /// `fn name .. { body }` / `fn name ..;` — records the item and
+    /// returns the index to resume at (inside the body, so nested
+    /// items and calls are scanned).
+    fn advance_fn(&mut self, i: usize) -> Option<usize> {
+        let name = self.toks.get(i + 1).filter(|t| t.kind == TokKind::Ident)?;
+        let in_test = self.pending_test || self.test_depth > 0;
+        self.pending_test = false;
+        // Scan the header to the body `{` or a `;` (trait/extern decl),
+        // tracking paren depth so nothing inside `( .. )` terminates it.
+        let mut j = i + 2;
+        let mut paren = 0i64;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if t.is_punct("(") {
+                paren += 1;
+            } else if t.is_punct(")") {
+                paren -= 1;
+            } else if paren == 0 && t.is_punct(";") {
+                return Some(j + 1); // bodyless declaration
+            } else if paren == 0 && t.is_punct("{") {
+                let idx = self.out.fns.len();
+                self.out.fns.push(FnItem {
+                    name: name.text.clone(),
+                    self_ty: self.cur_ty.clone(),
+                    modules: self.mods.clone(),
+                    line: self.toks[i].line,
+                    in_test,
+                    body: (j, j), // end patched on scope pop
+                    calls: Vec::new(),
+                });
+                self.fn_stack.push(idx);
+                self.scopes.push(Scope::Fn { idx });
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        Some(j)
+    }
+
+    fn pop_scope(&mut self, close_idx: usize) {
+        match self.scopes.pop() {
+            Some(Scope::Mod { test }) => {
+                self.mods.pop();
+                if test {
+                    self.test_depth -= 1;
+                }
+            }
+            Some(Scope::Impl { prev_ty, test }) => {
+                self.cur_ty = prev_ty;
+                if test {
+                    self.test_depth -= 1;
+                }
+            }
+            Some(Scope::Fn { idx }) => {
+                self.out.fns[idx].body.1 = close_idx + 1;
+                self.fn_stack.pop();
+            }
+            Some(Scope::Plain) | None => {}
+        }
+    }
+
+    /// At a non-keyword ident inside a fn body: record a call if the
+    /// token pattern matches `name(..)`, `.name(..)`, `path::name(..)`
+    /// (with optional turbofish), or `name! ..`.
+    fn maybe_record_call(&mut self, i: usize) {
+        let toks = self.toks;
+        let name = &toks[i];
+        // Macro invocation: `name !` followed by a delimiter.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.is_punct("(") || t.is_punct("[") || t.is_punct("{"))
+        {
+            let args = self.delim_span(i + 2);
+            self.push_call(Call {
+                kind: CallKind::Macro,
+                path: vec![name.text.clone()],
+                line: name.line,
+                name_idx: i,
+                args,
+            });
+            return;
+        }
+        // Optional turbofish between the name and the paren.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct("::"))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct("<"))
+        {
+            j = self.skip_generics(j + 1);
+        }
+        if !toks.get(j).is_some_and(|t| t.is_punct("(")) {
+            return;
+        }
+        let args = self.delim_span(j);
+        if i > 0 && toks[i - 1].is_punct(".") {
+            self.push_call(Call {
+                kind: CallKind::Method,
+                path: vec![name.text.clone()],
+                line: name.line,
+                name_idx: i,
+                args,
+            });
+            return;
+        }
+        // Walk back over `seg::` qualifiers.
+        let mut path = vec![name.text.clone()];
+        let mut k = i;
+        while k >= 2
+            && toks[k - 1].is_punct("::")
+            && toks[k - 2].kind == TokKind::Ident
+            && !KEYWORDS.contains(&toks[k - 2].text.as_str())
+        {
+            path.push(toks[k - 2].text.clone());
+            k -= 2;
+        }
+        // `crate::`/`self::`/`super::`/`Self::` prefixes are scope
+        // qualifiers, not resolvable segments.
+        while k >= 2
+            && toks[k - 1].is_punct("::")
+            && toks[k - 2].kind == TokKind::Ident
+            && matches!(toks[k - 2].text.as_str(), "crate" | "self" | "super" | "Self")
+        {
+            k -= 2;
+        }
+        path.reverse();
+        self.push_call(Call {
+            kind: CallKind::Free,
+            path,
+            line: name.line,
+            name_idx: i,
+            args,
+        });
+    }
+
+    /// Token span `[lo, hi)` of the contents of the delimiter group
+    /// opening at `open` (exclusive of the delimiters themselves).
+    fn delim_span(&self, open: usize) -> (usize, usize) {
+        let (inc, dec) = match self.toks[open].text.as_str() {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            _ => ("{", "}"),
+        };
+        let mut depth = 0i64;
+        let mut j = open;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if t.kind == TokKind::Punct && t.text == inc {
+                depth += 1;
+            } else if t.kind == TokKind::Punct && t.text == dec {
+                depth -= 1;
+                if depth == 0 {
+                    return (open + 1, j);
+                }
+            }
+            j += 1;
+        }
+        (open + 1, j)
+    }
+
+    fn push_call(&mut self, call: Call) {
+        if let Some(&idx) = self.fn_stack.last() {
+            self.out.fns[idx].calls.push(call);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    fn fn_named<'a>(p: &'a ParsedFile, name: &str) -> &'a FnItem {
+        p.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}: {:?}", p.fns))
+    }
+
+    #[test]
+    fn fns_mods_and_impls_are_recovered() {
+        let src = r#"
+            pub fn top() { helper(); }
+            mod inner {
+                impl Widget {
+                    pub fn poke(&self) { self.count.fetch_add(1); }
+                }
+            }
+            fn helper() {}
+        "#;
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 3);
+        assert_eq!(fn_named(&p, "poke").self_ty.as_deref(), Some("Widget"));
+        assert_eq!(fn_named(&p, "poke").modules, vec!["inner"]);
+        assert!(fn_named(&p, "top").self_ty.is_none());
+        let calls: Vec<_> = fn_named(&p, "top").calls.iter().map(|c| c.name()).collect();
+        assert_eq!(calls, vec!["helper"]);
+    }
+
+    #[test]
+    fn call_kinds_and_paths() {
+        let src = r#"
+            fn f() {
+                bare();
+                a::b::qualified(1, 2);
+                x.method(3);
+                panic!("boom");
+                crate::util::scoped();
+                SimRng::seed_from_u64(7);
+            }
+        "#;
+        let p = parse_src(src);
+        let calls = &fn_named(&p, "f").calls;
+        let shapes: Vec<(CallKind, Vec<&str>)> = calls
+            .iter()
+            .map(|c| (c.kind, c.path.iter().map(String::as_str).collect()))
+            .collect();
+        assert_eq!(
+            shapes,
+            vec![
+                (CallKind::Free, vec!["bare"]),
+                (CallKind::Free, vec!["a", "b", "qualified"]),
+                (CallKind::Method, vec!["method"]),
+                (CallKind::Macro, vec!["panic"]),
+                (CallKind::Free, vec!["util", "scoped"]),
+                (CallKind::Free, vec!["SimRng", "seed_from_u64"]),
+            ]
+        );
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = r#"
+            fn real() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn case() { helper(); }
+            }
+            #[test]
+            fn top_level_case() {}
+        "#;
+        let p = parse_src(src);
+        assert!(!fn_named(&p, "real").in_test);
+        assert!(fn_named(&p, "helper").in_test);
+        assert!(fn_named(&p, "case").in_test);
+        assert!(fn_named(&p, "top_level_case").in_test);
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let src = r#"
+            impl fmt::Display for Finding {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write!(f, "x") }
+            }
+            impl<T: Clone> Wrapper<T> {
+                fn get(&self) -> T { self.0.clone() }
+            }
+            trait Runner {
+                fn prep(&self);
+                fn go(&self) { self.prep(); }
+            }
+        "#;
+        let p = parse_src(src);
+        assert_eq!(fn_named(&p, "fmt").self_ty.as_deref(), Some("Finding"));
+        assert_eq!(fn_named(&p, "get").self_ty.as_deref(), Some("Wrapper"));
+        assert_eq!(fn_named(&p, "go").self_ty.as_deref(), Some("Runner"));
+        // `prep` has no body: not an item.
+        assert!(p.fns.iter().all(|f| f.name != "prep"));
+    }
+
+    #[test]
+    fn recovery_on_macro_heavy_and_impl_trait_sources() {
+        // Declarative macros, `impl Trait` in argument and return
+        // position, turbofish, closures: the parser must neither panic
+        // nor lose the surrounding items.
+        let src = r#"
+            macro_rules! gen {
+                ($name:ident) => { fn $name() {} };
+            }
+            fn takes(f: impl Fn(u32) -> u32) -> impl Iterator<Item = u32> {
+                let v = Vec::<u32>::new();
+                v.into_iter().map(move |x| f(x))
+            }
+            fn after() { takes(|x| x + 1).count(); }
+        "#;
+        let p = parse_src(src);
+        assert!(p.fns.iter().any(|f| f.name == "takes"));
+        let after = fn_named(&p, "after");
+        assert!(after.calls.iter().any(|c| c.name() == "takes"));
+        assert!(after
+            .calls
+            .iter()
+            .any(|c| c.name() == "count" && c.kind == CallKind::Method));
+    }
+
+    #[test]
+    fn turbofish_calls_are_still_calls() {
+        let src = "fn f() { parse::<u32>(s); x.collect::<Vec<_>>(); }";
+        let p = parse_src(src);
+        let names: Vec<_> = fn_named(&p, "f").calls.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["parse", "collect"]);
+    }
+
+    #[test]
+    fn arg_spans_cover_the_argument_tokens() {
+        let src = "fn f() { ctor(seed_of(now()), 3); }";
+        let p = parse_src(src);
+        let calls = &fn_named(&p, "f").calls;
+        let ctor = calls.iter().find(|c| c.name() == "ctor").unwrap();
+        let inner = calls.iter().find(|c| c.name() == "now").unwrap();
+        assert!(
+            ctor.args.0 <= inner.name_idx && inner.name_idx < ctor.args.1,
+            "nested call sits inside the outer arg span"
+        );
+    }
+
+    #[test]
+    fn attributes_inside_bodies_do_not_create_calls() {
+        let src = "fn f() { #[allow(dead_code)] let x = 1; real(); }";
+        let p = parse_src(src);
+        let names: Vec<_> = fn_named(&p, "f").calls.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn nested_fn_calls_attribute_to_the_inner_item() {
+        let src = "fn outer() { fn inner() { deep(); } inner(); }";
+        let p = parse_src(src);
+        let outer: Vec<_> = fn_named(&p, "outer").calls.iter().map(|c| c.name()).collect();
+        let inner: Vec<_> = fn_named(&p, "inner").calls.iter().map(|c| c.name()).collect();
+        assert_eq!(outer, vec!["inner"]);
+        assert_eq!(inner, vec!["deep"]);
+    }
+
+    #[test]
+    fn body_spans_nest_correctly() {
+        let src = "fn a() { x(); } fn b() { y(); }";
+        let p = parse_src(src);
+        let a = fn_named(&p, "a");
+        let b = fn_named(&p, "b");
+        assert!(a.body.1 <= b.body.0, "spans must not overlap");
+    }
+}

@@ -1,0 +1,341 @@
+//! Reachability and taint rules over the call graph (rules 7–9).
+//!
+//! The lexical rules (R1–R6) see each file in isolation; these rules
+//! see the program. Their shared shape: pick the *entry points* that
+//! define "a simulation run" or "a figure pipeline", walk the
+//! conservative call graph, and flag *sources* — wall-clock reads,
+//! panic sites, ambient-entropy seeds — that are reachable from them,
+//! printing the call path so the finding is actionable without
+//! re-deriving the analysis by hand:
+//!
+//! - **R7 `wallclock-reachable`** — no `Instant`/`SystemTime` source
+//!   reachable from a simulation entry point (`netsim::Sim::run*`, a
+//!   figure binary's `main`). Only `crates/bench` harness code may
+//!   touch the host clock. This closes the hole R2 cannot see: a
+//!   wall-clock read hidden two helpers deep in another crate, or one
+//!   whose own line was justified for R2 but that a later refactor
+//!   wired into a simulation path.
+//! - **R8 `panic-reachable`** — no `unwrap`/`expect`/`panic!`/
+//!   `unreachable!`/`todo!`/`unimplemented!` reachable from a figure
+//!   binary's `main`, except sites carrying a written invariant (an
+//!   inline `panic-reachable` or `unwrap-in-lib` suppression).
+//! - **R9 `rng-entropy`** — every `SimRng` construction reachable from
+//!   a figure binary must take its seed from an explicit literal,
+//!   constant, or CLI value; a seed expression that reads the host
+//!   clock or thread state — directly or through any function that
+//!   transitively can — is flagged.
+//!
+//! All traversals run over sorted adjacency from sorted entry lists,
+//! so findings (including the printed paths) are byte-deterministic.
+
+use crate::callgraph::{CallGraph, FnNode};
+use crate::lexer::TokKind;
+use crate::parse::CallKind;
+use crate::report::Finding;
+use crate::rules::{self, Suppression};
+use crate::RustFile;
+
+/// Identifiers that read the host clock.
+const WALLCLOCK_IDENTS: &[&str] = &["Instant", "SystemTime"];
+
+/// Macro names that unconditionally panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run rules 7–9. `supps` is parallel to `files`; consulted
+/// suppressions are marked used so the unused-suppression audit stays
+/// accurate across both analysis layers.
+pub fn analyze(
+    files: &[RustFile],
+    g: &CallGraph,
+    supps: &mut [Vec<Suppression>],
+    findings: &mut Vec<Finding>,
+) {
+    let owners = token_owners(files, g);
+
+    let fig_mains = g.select(|n| n.name == "main" && n.file.starts_with("crates/bench/src/bin/"));
+    let sim_runs = g.select(|n| {
+        n.file.starts_with("crates/netsim/")
+            && n.self_ty.as_deref() == Some("Sim")
+            && n.name.starts_with("run")
+    });
+
+    rule_wallclock_reachable(files, g, &owners, &fig_mains, &sim_runs, supps, findings);
+    let fig_parent = g.reach(&fig_mains);
+    rule_panic_reachable(files, g, &owners, &fig_parent, supps, findings);
+    rule_rng_entropy(files, g, &owners, &fig_parent, supps, findings);
+}
+
+/// For every file, map each token index to the node owning it (the
+/// innermost function body containing the token), so a nested item's
+/// tokens are never attributed to its enclosing function.
+fn token_owners(files: &[RustFile], g: &CallGraph) -> Vec<Vec<Option<usize>>> {
+    let mut owners: Vec<Vec<Option<usize>>> =
+        files.iter().map(|f| vec![None; f.lexed.tokens.len()]).collect();
+    // Nodes are in (file, source-order); an inner fn starts later than
+    // its enclosing fn, so later assignment wins == innermost wins.
+    for n in &g.nodes {
+        let (lo, hi) = files[n.file_idx].parsed.fns[n.fn_idx].body;
+        for slot in &mut owners[n.file_idx][lo..hi.min(files[n.file_idx].lexed.tokens.len())] {
+            *slot = Some(n.id);
+        }
+    }
+    owners
+}
+
+/// Token-level sources owned by `node`: `(line, text)` for each ident
+/// in `idents` inside the node's body (nested items excluded).
+fn ident_sites(files: &[RustFile], owners: &[Vec<Option<usize>>], node: &FnNode, idents: &[&str]) -> Vec<(u32, String)> {
+    let toks = &files[node.file_idx].lexed.tokens;
+    let (lo, hi) = files[node.file_idx].parsed.fns[node.fn_idx].body;
+    let mut out = Vec::new();
+    for i in lo..hi.min(toks.len()) {
+        if owners[node.file_idx][i] != Some(node.id) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && idents.contains(&t.text.as_str()) {
+            out.push((t.line, t.text.clone()));
+        }
+    }
+    out
+}
+
+/// Does the node's body read thread state or the host clock directly?
+fn is_entropy_source(files: &[RustFile], owners: &[Vec<Option<usize>>], node: &FnNode) -> bool {
+    let toks = &files[node.file_idx].lexed.tokens;
+    let (lo, hi) = files[node.file_idx].parsed.fns[node.fn_idx].body;
+    for i in lo..hi.min(toks.len()) {
+        if owners[node.file_idx][i] != Some(node.id) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if WALLCLOCK_IDENTS.contains(&t.text.as_str()) {
+            return true;
+        }
+        if t.text == "thread"
+            && ((i + 1 < toks.len() && toks[i + 1].is_punct("::"))
+                || (i > 0 && toks[i - 1].is_punct("::")))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// `.unwrap()` / `.expect(` sites owned by `node`, as `(line, label)`.
+fn unwrap_sites(files: &[RustFile], owners: &[Vec<Option<usize>>], node: &FnNode) -> Vec<(u32, &'static str)> {
+    let toks = &files[node.file_idx].lexed.tokens;
+    let (lo, hi) = files[node.file_idx].parsed.fns[node.fn_idx].body;
+    let mut out = Vec::new();
+    for i in lo..hi.min(toks.len()) {
+        if owners[node.file_idx][i] != Some(node.id) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != "unwrap" && t.text != "expect") {
+            continue;
+        }
+        if !(i > 0 && toks[i - 1].is_punct(".")) || !(i + 1 < toks.len() && toks[i + 1].is_punct("(")) {
+            continue;
+        }
+        if t.text == "unwrap" {
+            if i + 2 < toks.len() && toks[i + 2].is_punct(")") {
+                out.push((t.line, ".unwrap()"));
+            }
+        } else {
+            out.push((t.line, ".expect(..)"));
+        }
+    }
+    out
+}
+
+/// Is the finding at `(file_idx, line)` excused by the allowlist or an
+/// inline suppression for any of `rule_ids` (first match wins and is
+/// marked used)?
+fn excused(
+    files: &[RustFile],
+    supps: &mut [Vec<Suppression>],
+    file_idx: usize,
+    line: u32,
+    rule_ids: &[&str],
+) -> bool {
+    for rule in rule_ids {
+        if rules::allowlisted(&files[file_idx].rel, rule) {
+            return true;
+        }
+        if rules::try_suppress(&mut supps[file_idx], rule, line) {
+            return true;
+        }
+    }
+    false
+}
+
+fn rule_wallclock_reachable(
+    files: &[RustFile],
+    g: &CallGraph,
+    owners: &[Vec<Option<usize>>],
+    fig_mains: &[usize],
+    sim_runs: &[usize],
+    supps: &mut [Vec<Suppression>],
+    findings: &mut Vec<Finding>,
+) {
+    let mut entries: Vec<usize> = fig_mains.iter().chain(sim_runs).copied().collect();
+    entries.sort_unstable();
+    entries.dedup();
+    let parent = g.reach(&entries);
+    for n in &g.nodes {
+        if parent[n.id].is_none() || n.file.starts_with("crates/bench/") {
+            continue;
+        }
+        for (line, tok) in ident_sites(files, owners, n, WALLCLOCK_IDENTS) {
+            if excused(files, supps, n.file_idx, line, &["wallclock-reachable"]) {
+                continue;
+            }
+            findings.push(Finding::new(
+                &n.file,
+                line,
+                "wallclock-reachable",
+                &format!(
+                    "`{tok}` reads the host clock on a simulation path (call path: {}); \
+                     simulated time must come from the event scheduler — only crates/bench \
+                     harness code may touch wall-clock time",
+                    g.path_to(&parent, n.id)
+                ),
+            ));
+        }
+    }
+}
+
+fn rule_panic_reachable(
+    files: &[RustFile],
+    g: &CallGraph,
+    owners: &[Vec<Option<usize>>],
+    fig_parent: &[Option<usize>],
+    supps: &mut [Vec<Suppression>],
+    findings: &mut Vec<Finding>,
+) {
+    for n in &g.nodes {
+        if fig_parent[n.id].is_none() {
+            continue;
+        }
+        let mut sites: Vec<(u32, String, bool)> = Vec::new();
+        for (line, label) in unwrap_sites(files, owners, n) {
+            sites.push((line, label.to_string(), true));
+        }
+        let item = &files[n.file_idx].parsed.fns[n.fn_idx];
+        for call in &item.calls {
+            if call.kind == CallKind::Macro && PANIC_MACROS.contains(&call.name()) {
+                sites.push((call.line, format!("{}!(..)", call.name()), false));
+            }
+        }
+        sites.sort();
+        for (line, label, is_unwrap) in sites {
+            let excuses: &[&str] = if is_unwrap {
+                &["panic-reachable", "unwrap-in-lib"]
+            } else {
+                &["panic-reachable"]
+            };
+            if excused(files, supps, n.file_idx, line, excuses) {
+                continue;
+            }
+            findings.push(Finding::new(
+                &n.file,
+                line,
+                "panic-reachable",
+                &format!(
+                    "`{label}` is a panic site reachable from a figure binary (call path: {}); \
+                     return an error, or record the invariant with \
+                     `// steelcheck: allow(panic-reachable): <why>`",
+                    g.path_to(fig_parent, n.id)
+                ),
+            ));
+        }
+    }
+}
+
+fn rule_rng_entropy(
+    files: &[RustFile],
+    g: &CallGraph,
+    owners: &[Vec<Option<usize>>],
+    fig_parent: &[Option<usize>],
+    supps: &mut [Vec<Suppression>],
+    findings: &mut Vec<Finding>,
+) {
+    // Functions that (transitively) read the host clock or thread
+    // state, bench included: seeding from a timing harness is exactly
+    // the bug this rule exists to catch.
+    let direct: Vec<usize> = g
+        .nodes
+        .iter()
+        .filter(|n| is_entropy_source(files, owners, n))
+        .map(|n| n.id)
+        .collect();
+    let tainted = g.reaches_any(&direct);
+
+    for n in &g.nodes {
+        if fig_parent[n.id].is_none() {
+            continue;
+        }
+        let item = &files[n.file_idx].parsed.fns[n.fn_idx];
+        let toks = &files[n.file_idx].lexed.tokens;
+        for (ci, call) in item.calls.iter().enumerate() {
+            if call.kind != CallKind::Free
+                || call.path.len() < 2
+                || call.path[call.path.len() - 2] != "SimRng"
+            {
+                continue;
+            }
+            let mut reason: Option<String> = None;
+            // Direct ambient reads inside the seed expression.
+            for i in call.args.0..call.args.1.min(toks.len()) {
+                let t = &toks[i];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                if WALLCLOCK_IDENTS.contains(&t.text.as_str()) {
+                    reason = Some(format!("the seed expression reads `{}`", t.text));
+                    break;
+                }
+                if t.text == "thread" && i + 1 < toks.len() && toks[i + 1].is_punct("::") {
+                    reason = Some("the seed expression reads thread state".to_string());
+                    break;
+                }
+            }
+            // Calls inside the seed expression that reach an entropy source.
+            if reason.is_none() {
+                'nested: for (cj, inner) in item.calls.iter().enumerate() {
+                    if cj == ci || inner.name_idx < call.args.0 || inner.name_idx >= call.args.1 {
+                        continue;
+                    }
+                    for &callee in &n.resolved[cj] {
+                        if tainted[callee] {
+                            reason = Some(format!(
+                                "the seed flows from `{}`, which reaches a wall-clock or \
+                                 thread-state read",
+                                g.nodes[callee].qual
+                            ));
+                            break 'nested;
+                        }
+                    }
+                }
+            }
+            let Some(reason) = reason else { continue };
+            if excused(files, supps, n.file_idx, call.line, &["rng-entropy"]) {
+                continue;
+            }
+            findings.push(Finding::new(
+                &n.file,
+                call.line,
+                "rng-entropy",
+                &format!(
+                    "`SimRng` seeded from ambient entropy: {reason} (call path: {}); figure \
+                     pipelines must seed from an explicit literal, constant, or CLI value",
+                    g.path_to(fig_parent, n.id)
+                ),
+            ));
+        }
+    }
+}

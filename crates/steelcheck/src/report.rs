@@ -1,12 +1,15 @@
 //! Diagnostics and report rendering.
 //!
-//! Findings render in two formats: a human `file:line: rule: message`
-//! stream (stable, sorted, grep-able) and a machine-readable JSON
-//! report for CI. The JSON writer is hand-rolled — the only consumer
-//! is the hermeticity gate, and pulling a serializer in would violate
-//! the very contract this tool enforces. Output ordering is fully
-//! deterministic: findings sort by (file, line, rule, message).
+//! Findings render in three formats: a human `file:line: rule: message`
+//! stream (stable, sorted, grep-able), a machine-readable JSON report
+//! for CI, and a minimal SARIF 2.1.0 log for standard code-scanning
+//! UIs. Both machine writers are hand-rolled — the only consumers are
+//! CI gates, and pulling a serializer in would violate the very
+//! contract this tool enforces. Output ordering is fully
+//! deterministic: findings sort by (file, line, rule, message), and
+//! SARIF rule metadata follows the rule-table order.
 
+use crate::rules;
 use std::fmt;
 
 /// One diagnostic.
@@ -99,6 +102,75 @@ impl Report {
         s.push_str("]\n}\n");
         s
     }
+
+    /// Render a minimal SARIF 2.1.0 log: one run, one result per
+    /// finding (level `error`), rule metadata from the rule table.
+    /// Hand-serialized like [`Report::to_json`] and byte-deterministic.
+    pub fn to_sarif(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+        s.push_str("  \"version\": \"2.1.0\",\n");
+        s.push_str("  \"runs\": [\n    {\n");
+        s.push_str("      \"tool\": {\n        \"driver\": {\n");
+        s.push_str("          \"name\": \"steelcheck\",\n");
+        s.push_str("          \"rules\": [");
+        for (i, r) in rules::RULES.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n            {");
+            s.push_str(&format!("\"id\": {}, ", json_str(r.id)));
+            s.push_str(&format!(
+                "\"shortDescription\": {{\"text\": {}}}, ",
+                json_str(r.summary)
+            ));
+            s.push_str(&format!(
+                "\"fullDescription\": {{\"text\": {}}}",
+                json_str(r.rationale)
+            ));
+            s.push('}');
+        }
+        s.push_str("\n          ]\n        }\n      },\n");
+        s.push_str("      \"results\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n        {");
+            s.push_str(&format!("\"ruleId\": {}, ", json_str(&f.rule)));
+            s.push_str("\"level\": \"error\", ");
+            s.push_str(&format!(
+                "\"message\": {{\"text\": {}}}, ",
+                json_str(&f.message)
+            ));
+            s.push_str(&format!(
+                "\"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]",
+                json_str(&f.file),
+                f.line
+            ));
+            s.push('}');
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n      ");
+        }
+        s.push_str("]\n    }\n  ]\n}\n");
+        s
+    }
+
+    /// A fixed-order per-rule finding-count table (every rule in the
+    /// table, zero counts included) for the human gate output.
+    pub fn rule_summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{:<22} findings\n", "rule"));
+        for r in rules::RULES {
+            let n = self.findings.iter().filter(|f| f.rule == r.id).count();
+            s.push_str(&format!("{:<22} {}\n", r.id, n));
+        }
+        s.push_str(&format!("{:<22} {}\n", "total", self.findings.len()));
+        s
+    }
 }
 
 /// Escape a string for JSON.
@@ -153,5 +225,48 @@ mod tests {
     fn display_is_grep_able() {
         let f = Finding::new("crates/x/src/a.rs", 7, "unwrap-in-lib", "no");
         assert_eq!(f.to_string(), "crates/x/src/a.rs:7: unwrap-in-lib: no");
+    }
+
+    #[test]
+    fn sarif_has_all_rules_and_results() {
+        let mut r = Report {
+            findings: vec![Finding::new(
+                "crates/x/src/a.rs",
+                3,
+                "wallclock-reachable",
+                "msg with \"quotes\"",
+            )],
+            rust_files: 1,
+            manifests: 0,
+        };
+        r.finalize();
+        let s = r.to_sarif();
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        for rule in crate::rules::RULES {
+            assert!(s.contains(&format!("\"id\": \"{}\"", rule.id)), "{}", rule.id);
+        }
+        assert!(s.contains("\"ruleId\": \"wallclock-reachable\""));
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(s.contains("\\\"quotes\\\""));
+    }
+
+    #[test]
+    fn empty_sarif_is_stable_shape() {
+        let a = Report::default().to_sarif();
+        let b = Report::default().to_sarif();
+        assert_eq!(a, b);
+        assert!(a.contains("\"results\": []"));
+    }
+
+    #[test]
+    fn rule_summary_lists_every_rule_with_counts() {
+        let mut r = Report::default();
+        r.findings.push(Finding::new("a.rs", 1, "wall-clock", "m"));
+        r.findings.push(Finding::new("a.rs", 2, "wall-clock", "m2"));
+        let s = r.rule_summary();
+        assert!(s.lines().any(|l| l.starts_with("wall-clock") && l.ends_with('2')));
+        assert!(s.lines().any(|l| l.starts_with("rng-entropy") && l.ends_with('0')));
+        assert!(s.lines().any(|l| l.starts_with("total") && l.ends_with('2')));
+        assert_eq!(s.lines().count(), crate::rules::RULES.len() + 2);
     }
 }

@@ -19,7 +19,134 @@
 use crate::lexer::{Lexed, TokKind, Token};
 use crate::report::Finding;
 
-/// Stable identifiers for every rule, in severity-then-name order.
+/// One entry in the rule table: the single source of truth behind
+/// `--list-rules`, `--explain`, and the SARIF rule metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Stable rule id (`wall-clock`, `panic-reachable`, ...).
+    pub id: &'static str,
+    /// One-line summary for listings.
+    pub summary: &'static str,
+    /// One-paragraph rationale for `--explain`.
+    pub rationale: &'static str,
+    /// Whether `// steelcheck: allow(<id>)` may name this rule. The
+    /// meta-diagnostics (`bad-directive`, `unused-suppression`) are
+    /// deliberately unsuppressible: silencing the auditor defeats it.
+    pub suppressible: bool,
+}
+
+/// The rule table, in rule-number order, meta-diagnostics last.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "nondet-collections",
+        summary: "no HashMap/HashSet outside crates/bench (R1)",
+        rationale: "std's hash collections seed RandomState per process, so iteration \
+                    order — and anything downstream of it: event ordering, FDB flooding \
+                    order, report ordering — varies run to run. One iterated HashMap in a \
+                    hot path silently destroys the byte-identical reproduction of \
+                    results/*.txt. Use BTreeMap/BTreeSet, or sort before iterating.",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: "wall-clock",
+        summary: "no Instant/SystemTime outside crates/bench (R2)",
+        rationale: "Simulated time comes from the event scheduler's integer Nanos clock; a \
+                    host-clock read makes results depend on the machine and the load it is \
+                    under. Only the bench harness, which times real execution on purpose, \
+                    may touch Instant or SystemTime. This is the lexical (per-site) rule; \
+                    wallclock-reachable closes the interprocedural hole.",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: "unwrap-in-lib",
+        summary: "no .unwrap()/.expect( in library non-test code (R3)",
+        rationale: "Library panics turn recoverable conditions into aborts of a whole \
+                    figure run. Each remaining site must either return an error or carry a \
+                    written invariant in an inline suppression, so the panic surface is an \
+                    audited list rather than an accident.",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: "manifest-hygiene",
+        summary: "path-only deps; no external sources in Cargo.lock (R4)",
+        rationale: "The workspace builds fully offline with --frozen. A registry, git, or \
+                    bare-version dependency — or a `source =` line in Cargo.lock, or a \
+                    [patch]/[replace] section — would reintroduce the network into the \
+                    build and unpin the toolchain from the committed tree.",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: "float-hygiene",
+        summary: "no float ==/!=; no sim-time→float casts outside stats (R5)",
+        rationale: "Exact float equality is a latent portability bug, and converting \
+                    simulated durations to floats before the reporting edge lets rounding \
+                    feed back into scheduling decisions. Sim-time arithmetic stays integer \
+                    nanoseconds; floats appear only in stats modules and final reports.",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: "thread-outside-exec",
+        summary: "no threads/sync primitives outside the execution layer (R6)",
+        rationale: "The parallel runner's determinism argument rests on every scenario \
+                    being single-threaded inside: a stray spawn in a device model would \
+                    race RNG draws and event ordering. Threads and cross-thread sync \
+                    primitives live only in crates/steelpar and crates/bench.",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: "wallclock-reachable",
+        summary: "no wall-clock read reachable from a simulation entry point (R7)",
+        rationale: "Interprocedural closure of wall-clock: an Instant/SystemTime read \
+                    hidden two calls deep behind a helper in another crate breaks \
+                    determinism exactly as much as an inline one, and is exactly what a \
+                    lexical rule cannot see. Entry points are netsim::Sim::run* and the \
+                    figure binaries' main; only crates/bench code may touch the host \
+                    clock. Findings print the offending call path.",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: "panic-reachable",
+        summary: "no panic site reachable from a figure binary (R8)",
+        rationale: "A panic anywhere in the call graph below a figure binary's main can \
+                    abort a published-results run halfway. unwrap/expect/panic!/ \
+                    unreachable!/todo!/unimplemented! sites reachable from a figure main \
+                    are flagged with their full call path; sites carrying a written \
+                    invariant (an inline panic-reachable or unwrap-in-lib suppression) \
+                    are the audited exceptions.",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: "rng-entropy",
+        summary: "SimRng seeds must be explicit, never ambient (R9)",
+        rationale: "Every SimRng construction reachable from a figure binary must take \
+                    its seed from an explicit literal, constant, or CLI value. A seed \
+                    expression that reads the host clock or thread state — directly, or \
+                    through any function that transitively can — makes every downstream \
+                    draw irreproducible while looking innocently like a plain integer.",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: "bad-directive",
+        summary: "malformed or unknown steelcheck suppression directive",
+        rationale: "A typo'd suppression that silently does nothing is worse than a \
+                    failing build: the author believes a site is justified when nothing \
+                    is suppressed (or the wrong thing is). Malformed directives and \
+                    unknown rule names are reported and cannot themselves be suppressed.",
+        suppressible: false,
+    },
+    RuleInfo {
+        id: "unused-suppression",
+        summary: "a steelcheck: allow(...) comment suppresses nothing",
+        rationale: "Suppressions are an audited debt list; one that no longer matches any \
+                    finding is stale documentation that hides real exemptions among dead \
+                    ones and survives refactors unexamined. Delete the comment — if the \
+                    violation returns, the rule will say so. Unsuppressible, so the \
+                    allowlist cannot rot quietly.",
+        suppressible: false,
+    },
+];
+
+/// Stable identifiers of every suppressible rule, rule-number order.
 pub const ALL_RULES: &[&str] = &[
     "nondet-collections",
     "wall-clock",
@@ -27,11 +154,20 @@ pub const ALL_RULES: &[&str] = &[
     "manifest-hygiene",
     "float-hygiene",
     "thread-outside-exec",
+    "wallclock-reachable",
+    "panic-reachable",
+    "rng-entropy",
 ];
 
-/// Is `rule` a known rule id? Used to reject typo'd suppressions.
+/// Is `rule` a known suppressible rule id? Used to reject typo'd
+/// suppressions (and attempts to suppress the meta-diagnostics).
 pub fn is_known_rule(rule: &str) -> bool {
-    ALL_RULES.contains(&rule)
+    RULES.iter().any(|r| r.id == rule && r.suppressible)
+}
+
+/// Look up a rule's table entry by id.
+pub fn rule_info(rule: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == rule)
 }
 
 /// How a source file is classified for rule scoping. Derived from its
@@ -92,12 +228,50 @@ pub const ALLOWLIST: &[AllowEntry] = &[
     },
 ];
 
-/// Result of scanning one Rust file.
-pub fn scan_rust(path: &str, class: FileClass, lexed: &Lexed, findings: &mut Vec<Finding>) {
-    let suppressed = collect_suppressions(lexed, path, findings);
-    let allowed =
-        |rule: &str| ALLOWLIST.iter().any(|e| e.path == path && e.rule == rule);
+/// Is `path` exempt from `rule` via the built-in [`ALLOWLIST`]?
+pub fn allowlisted(path: &str, rule: &str) -> bool {
+    ALLOWLIST.iter().any(|e| e.path == path && e.rule == rule)
+}
 
+/// One inline `// steelcheck: allow(<rule>): why` directive, with the
+/// usage bit the unused-suppression audit keys off. A directive is
+/// *used* when it actually excuses a finding, in either the lexical or
+/// the interprocedural layer.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// Rule id the directive names.
+    pub rule: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Standalone comments also shield the following line.
+    pub covers_next: bool,
+    /// Set once the directive excuses at least one finding.
+    pub used: bool,
+}
+
+/// Mark-and-test: does a directive in `supps` cover (`rule`, `line`)?
+/// The first matching directive is marked used.
+pub fn try_suppress(supps: &mut [Suppression], rule: &str, line: u32) -> bool {
+    for s in supps.iter_mut() {
+        if s.rule == rule && (s.line == line || (s.covers_next && s.line + 1 == line)) {
+            s.used = true;
+            return true;
+        }
+    }
+    false
+}
+
+/// Run the lexical rules (R1–R6) over one file. Suppressions consumed
+/// here are marked used in `supps`; the caller owns the later
+/// unused-suppression audit (after the interprocedural layer has had
+/// its chance to consume them too).
+pub fn scan_rust(
+    path: &str,
+    class: FileClass,
+    lexed: &Lexed,
+    supps: &mut [Suppression],
+    findings: &mut Vec<Finding>,
+) {
     let mut raw: Vec<Finding> = Vec::new();
     if !class.bench {
         rule_nondet_collections(path, lexed, &mut raw);
@@ -112,12 +286,10 @@ pub fn scan_rust(path: &str, class: FileClass, lexed: &Lexed, findings: &mut Vec
     }
 
     for f in raw {
-        if allowed(&f.rule) {
+        if allowlisted(path, &f.rule) {
             continue;
         }
-        if suppressed.iter().any(|(rule, line, covers_next)| {
-            *rule == f.rule && (*line == f.line || (*covers_next && *line + 1 == f.line))
-        }) {
+        if try_suppress(supps, &f.rule, f.line) {
             continue;
         }
         findings.push(f);
@@ -130,11 +302,11 @@ pub fn scan_rust(path: &str, class: FileClass, lexed: &Lexed, findings: &mut Vec
 ///
 /// Unknown rule names are themselves reported: a typo'd suppression
 /// that silently does nothing is worse than a failing build.
-fn collect_suppressions(
+pub fn collect_suppressions(
     lexed: &Lexed,
     path: &str,
     findings: &mut Vec<Finding>,
-) -> Vec<(String, u32, bool)> {
+) -> Vec<Suppression> {
     let mut out = Vec::new();
     for c in &lexed.comments {
         // Doc comments (`///`, `//!`, `/**`, `/*!`) are documentation —
@@ -174,10 +346,35 @@ fn collect_suppressions(
             }
             // A comment that owns its line shields the next line too;
             // a trailing comment shields only its own line.
-            out.push((rule.to_string(), c.line, c.owns_line));
+            out.push(Suppression {
+                rule: rule.to_string(),
+                line: c.line,
+                covers_next: c.owns_line,
+                used: false,
+            });
         }
     }
     out
+}
+
+/// Emit an `unused-suppression` finding for every directive that
+/// excused nothing in either analysis layer. Call after both layers
+/// have run.
+pub fn report_unused(path: &str, supps: &[Suppression], findings: &mut Vec<Finding>) {
+    for s in supps {
+        if !s.used {
+            findings.push(Finding::new(
+                path,
+                s.line,
+                "unused-suppression",
+                &format!(
+                    "`steelcheck: allow({})` suppresses nothing; delete the stale \
+                     directive (if the violation returns, the rule will report it)",
+                    s.rule
+                ),
+            ));
+        }
+    }
 }
 
 /// R1: `HashMap`/`HashSet` anywhere outside the bench crate.
@@ -419,9 +616,49 @@ mod tests {
     use crate::lexer::lex;
 
     fn run(src: &str, class: FileClass) -> Vec<Finding> {
+        let lexed = lex(src);
         let mut out = Vec::new();
-        scan_rust("test.rs", class, &lex(src), &mut out);
+        let mut supps = collect_suppressions(&lexed, "test.rs", &mut out);
+        scan_rust("test.rs", class, &lexed, &mut supps, &mut out);
         out
+    }
+
+    #[test]
+    fn rule_table_is_consistent() {
+        // Every suppressible id appears in ALL_RULES and vice versa,
+        // ids are unique, and every entry documents itself.
+        let suppressible: Vec<&str> = RULES.iter().filter(|r| r.suppressible).map(|r| r.id).collect();
+        assert_eq!(suppressible, ALL_RULES.to_vec());
+        let mut ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), RULES.len(), "duplicate rule id");
+        for r in RULES {
+            assert!(!r.summary.is_empty() && !r.rationale.is_empty(), "{}", r.id);
+        }
+        assert!(!is_known_rule("unused-suppression"), "meta rules are unsuppressible");
+        assert!(!is_known_rule("bad-directive"));
+        assert!(is_known_rule("panic-reachable"));
+    }
+
+    #[test]
+    fn suppression_usage_is_tracked() {
+        let lexed = lex(
+            "// steelcheck: allow(nondet-collections): lookup-only\n\
+             use std::collections::HashMap;\n\
+             // steelcheck: allow(wall-clock): stale, nothing here\n\
+             let x = 1;\n",
+        );
+        let mut out = Vec::new();
+        let mut supps = collect_suppressions(&lexed, "test.rs", &mut out);
+        scan_rust("test.rs", LIB, &lexed, &mut supps, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        assert!(supps[0].used, "consumed by the HashMap finding");
+        assert!(!supps[1].used, "nothing to suppress");
+        report_unused("test.rs", &supps, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unused-suppression");
+        assert_eq!(out[0].line, 3);
     }
 
     const LIB: FileClass = FileClass {

@@ -1,0 +1,26 @@
+//! Fixture figure binary: a panic site two calls deep, ambient rng
+//! seeds (direct and through a tainted helper), and suppressed
+//! variants of each.
+
+fn main() {
+    let stage = load_stage();
+    let _ok = SimRng::seed_from_u64(42);
+    let _tainted = SimRng::seed_from_u64(steelworks_bench::ambient_seed());
+    let _direct = SimRng::seed_from_u64(std::time::SystemTime::now());
+    // steelcheck: allow(rng-entropy): fixture records a justified ambient seed
+    let _excused = SimRng::seed_from_u64(steelworks_bench::ambient_seed());
+    println!("{stage} {}", checked_stage());
+}
+
+fn load_stage() -> usize {
+    parse_stage("12")
+}
+
+fn parse_stage(s: &str) -> usize {
+    s.parse().unwrap()
+}
+
+fn checked_stage() -> usize {
+    // steelcheck: allow(panic-reachable): fixture records a written invariant
+    "7".parse::<usize>().unwrap()
+}

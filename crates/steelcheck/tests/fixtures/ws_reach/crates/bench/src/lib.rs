@@ -1,0 +1,10 @@
+//! Fixture: harness helpers. Reading the host clock here is legal —
+//! bench owns wall-clock time — but the value must never become a
+//! `SimRng` seed.
+
+pub fn ambient_seed() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

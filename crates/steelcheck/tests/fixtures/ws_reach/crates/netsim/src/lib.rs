@@ -1,0 +1,32 @@
+//! Fixture: a wall-clock read buried two calls below the simulation
+//! entry point, plus a justified (suppressed) read beside it.
+
+pub struct Sim;
+
+impl Sim {
+    pub fn run(&mut self, cycles: u64) -> u64 {
+        let mut acc = 0;
+        for _ in 0..cycles {
+            acc += step_world();
+        }
+        acc
+    }
+}
+
+fn step_world() -> u64 {
+    sample_epoch() + poll_host_clock()
+}
+
+fn poll_host_clock() -> u64 {
+    // steelcheck: allow(wall-clock): fixture isolates the reachability rule
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn sample_epoch() -> u64 {
+    // steelcheck: allow(wall-clock, wallclock-reachable): fixture records a justified dual suppression
+    match std::time::SystemTime::now().elapsed() {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a suppression whose violation was removed — the directive
+//! is stale and must be flagged so it cannot mask a future regression.
+
+// steelcheck: allow(wall-clock): stale — the clock read below was refactored away
+pub fn tick() -> u64 {
+    7
+}

@@ -1,0 +1,146 @@
+//! Integration tests for the interprocedural layer (rules 7–9) and the
+//! unused-suppression audit, run over fixture mini-workspaces in
+//! `tests/fixtures/ws_*`. The real walker never descends into a
+//! `fixtures/` directory, so these deliberately-violating workspaces
+//! cannot fail the repo gate; the tests point [`steelcheck::run`] at a
+//! fixture root directly.
+
+use std::path::{Path, PathBuf};
+use steelcheck::report::{Finding, Report};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_fixture(name: &str) -> Report {
+    steelcheck::run(&fixture_root(name)).expect("fixture scan")
+}
+
+fn by_rule<'a>(r: &'a Report, rule: &str) -> Vec<&'a Finding> {
+    r.findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn r7_flags_wallclock_two_calls_below_sim_entry_with_path() {
+    let r = run_fixture("ws_reach");
+    let f = by_rule(&r, "wallclock-reachable");
+    assert_eq!(f.len(), 1, "{:?}", r.findings);
+    assert_eq!(f[0].file, "crates/netsim/src/lib.rs");
+    assert_eq!(f[0].line, 22);
+    assert!(
+        f[0].message
+            .contains("netsim::Sim::run -> netsim::step_world -> netsim::poll_host_clock"),
+        "finding must print the full call path: {}",
+        f[0].message
+    );
+}
+
+#[test]
+fn r8_flags_panic_two_calls_below_figure_main_with_path() {
+    let r = run_fixture("ws_reach");
+    let f = by_rule(&r, "panic-reachable");
+    assert_eq!(f.len(), 1, "{:?}", r.findings);
+    assert_eq!(f[0].file, "crates/bench/src/bin/figx.rs");
+    assert_eq!(f[0].line, 20);
+    assert!(
+        f[0].message
+            .contains("bench/figx::main -> bench/figx::load_stage -> bench/figx::parse_stage"),
+        "finding must print the full call path: {}",
+        f[0].message
+    );
+}
+
+#[test]
+fn r9_flags_ambient_seeds_direct_and_through_taint() {
+    let r = run_fixture("ws_reach");
+    let f = by_rule(&r, "rng-entropy");
+    assert_eq!(f.len(), 2, "{:?}", r.findings);
+    // Line 8: the seed flows through bench::ambient_seed, which reads
+    // the clock; line 9 reads SystemTime inside the seed expression.
+    assert_eq!((f[0].file.as_str(), f[0].line), ("crates/bench/src/bin/figx.rs", 8));
+    assert!(
+        f[0].message.contains("flows from `bench::ambient_seed`"),
+        "{}",
+        f[0].message
+    );
+    assert_eq!((f[1].file.as_str(), f[1].line), ("crates/bench/src/bin/figx.rs", 9));
+    assert!(
+        f[1].message.contains("reads `SystemTime`"),
+        "{}",
+        f[1].message
+    );
+    // The literal seed on line 7 is clean.
+    assert!(f.iter().all(|x| x.line != 7));
+}
+
+#[test]
+fn suppressed_reachability_sites_are_silent_and_count_as_used() {
+    let r = run_fixture("ws_reach");
+    // netsim::sample_epoch (allow wallclock-reachable), figx line 11
+    // (allow rng-entropy), and figx::checked_stage (allow
+    // panic-reachable) are all excused…
+    assert!(
+        r.findings
+            .iter()
+            .all(|f| !(f.file.ends_with("netsim/src/lib.rs") && f.line == 28)),
+        "{:?}",
+        r.findings
+    );
+    assert!(r.findings.iter().all(|f| f.line != 11 && f.line != 25));
+    // …and because the interprocedural layer marked them used, the
+    // audit has nothing to say.
+    assert!(by_rule(&r, "unused-suppression").is_empty(), "{:?}", r.findings);
+    // The fixture's full finding set, exactly.
+    let got: Vec<(String, u32, String)> = r
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule.clone()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("crates/bench/src/bin/figx.rs".into(), 8, "rng-entropy".into()),
+            ("crates/bench/src/bin/figx.rs".into(), 9, "rng-entropy".into()),
+            ("crates/bench/src/bin/figx.rs".into(), 20, "panic-reachable".into()),
+            ("crates/netsim/src/lib.rs".into(), 22, "wallclock-reachable".into()),
+        ]
+    );
+}
+
+#[test]
+fn stale_suppression_is_flagged() {
+    let r = run_fixture("ws_unused");
+    let got: Vec<(String, u32, String)> = r
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule.clone()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![("crates/app/src/lib.rs".into(), 4, "unused-suppression".into())]
+    );
+    assert!(r.findings[0].message.contains("allow(wall-clock)"));
+}
+
+#[test]
+fn json_and_sarif_are_byte_deterministic() {
+    let a = run_fixture("ws_reach");
+    let b = run_fixture("ws_reach");
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_sarif(), b.to_sarif());
+}
+
+#[test]
+fn sarif_matches_golden_file() {
+    let got = run_fixture("ws_reach").to_sarif();
+    let golden_path = fixture_root("ws_reach.sarif.golden");
+    let want = std::fs::read_to_string(&golden_path).expect("golden file");
+    assert_eq!(
+        got, want,
+        "SARIF output drifted from {}; if the change is intentional, \
+         regenerate the golden with `steelcheck --root <fixture> --format sarif`",
+        golden_path.display()
+    );
+}

@@ -29,7 +29,17 @@ fn r1_nondet_collections_fixture() {
 fn r1_fixture_clean_in_bench() {
     let src = include_str!("fixtures/r1_nondet_collections.rs");
     let f = scan_source("crates/bench/src/fixture.rs", src);
-    assert!(f.is_empty(), "bench is exempt from R1: {f:?}");
+    assert!(
+        lines_for(&f, "nondet-collections").is_empty(),
+        "bench is exempt from R1: {f:?}"
+    );
+    // With R1 skipped entirely, the fixture's allow(nondet-collections)
+    // directives excuse nothing — the audit flags them as stale.
+    assert!(
+        f.iter().all(|x| x.rule == "unused-suppression"),
+        "only the stale-directive audit should fire here: {f:?}"
+    );
+    assert!(!f.is_empty());
 }
 
 #[test]

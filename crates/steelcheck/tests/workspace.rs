@@ -30,9 +30,10 @@ fn real_workspace_has_zero_unsuppressed_findings() {
 fn report_is_deterministic() {
     let root = steelcheck::walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
         .expect("workspace root");
-    let a = steelcheck::run(&root).expect("scan").to_json();
-    let b = steelcheck::run(&root).expect("scan").to_json();
-    assert_eq!(a, b);
+    let a = steelcheck::run(&root).expect("scan");
+    let b = steelcheck::run(&root).expect("scan");
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_sarif(), b.to_sarif());
 }
 
 /// Build a throwaway single-file workspace and run the real binary on
@@ -116,4 +117,42 @@ fn binary_usage_error_exits_2() {
         .output()
         .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(env!("CARGO_BIN_EXE_steelcheck"))
+        .args(["--format", "xml"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(env!("CARGO_BIN_EXE_steelcheck"))
+        .args(["--explain", "no-such-rule"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn binary_emits_sarif_and_explains_rules() {
+    let clean = "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+    let (code, sarif) = run_bin_on(clean, &["--format", "sarif"]);
+    assert_eq!(code, 0);
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"name\": \"steelcheck\""), "{sarif}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_steelcheck"))
+        .args(["--explain", "wallclock-reachable"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("wallclock-reachable"), "{text}");
+    assert!(text.contains("allow(wallclock-reachable)"), "{text}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_steelcheck"))
+        .arg("--list-rules")
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    let listing = String::from_utf8_lossy(&out.stdout).into_owned();
+    for rule in steelcheck::rules::RULES {
+        assert!(listing.contains(rule.id), "--list-rules must show {}", rule.id);
+    }
 }

@@ -107,6 +107,7 @@ where
         .enumerate()
         .map(|(i, slot)| match slot {
             Some(r) => r,
+            // steelcheck: allow(panic-reachable): every slot is filled before the workers join
             None => unreachable!("job {i} produced no result"),
         })
         .collect()

@@ -257,6 +257,7 @@ impl ProgramBuilder {
             let to = *self
                 .labels
                 .get(&target)
+                // steelcheck: allow(panic-reachable): builder misuse is a programming error, caught by the prog tests
                 .unwrap_or_else(|| panic!("unbound label {target:?}"));
             assert!(to > at, "only forward jumps are allowed (at {at} -> {to})");
             let off = (to - at - 1) as i16;

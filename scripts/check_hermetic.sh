@@ -12,11 +12,12 @@
 #   3. `cargo build --release --frozen` and `cargo test -q --frozen`
 #      succeed — `--frozen` forbids both network access and lockfile
 #      updates, so this fails fast if anything external sneaks in.
-#   4. `steelcheck` (the in-repo static-analysis pass) reports zero
-#      unsuppressed findings — nondeterministic collections, wall-clock
-#      reads, unwrap/expect in library code, manifest hygiene, float
-#      hygiene, and thread use outside the execution layer are all part
-#      of the reproducibility contract.
+#   4. `steelcheck` (the in-repo three-layer static analysis: lexical
+#      rules R1–R6, the workspace call graph, and the reachability
+#      rules R7–R9) reports zero unsuppressed findings — including the
+#      directive audits (`bad-directive`, `unused-suppression`), so a
+#      stale or typo'd allow comment fails the gate too. Prints the
+#      per-rule finding-count table for the record.
 #   5. Every figure binary, run under STEELWORKS_JOBS=2 (the parallel
 #      scenario runner), reproduces the committed results/*.txt
 #      byte-for-byte — the job count must never leak into outputs.
@@ -73,8 +74,18 @@ cargo build --release --frozen
 cargo test -q --frozen
 
 echo "== 4/5 steelcheck static analysis =="
-cargo run --release --frozen -q -p steelcheck -- --json > /dev/null
-echo "OK: steelcheck reports zero unsuppressed findings"
+# Text mode prints the per-rule summary table on stderr; a non-zero
+# exit (any unsuppressed finding, including bad-directive and
+# unused-suppression) fails the gate via set -e.
+cargo run --release --frozen -q -p steelcheck
+# Belt and braces: the machine report must agree that the finding list
+# is empty, not merely that the exit code was zero.
+if ! cargo run --release --frozen -q -p steelcheck -- --format json \
+        | grep -q '"findings": \[\]'; then
+    echo "steelcheck JSON report is not empty"
+    exit 1
+fi
+echo "OK: steelcheck reports zero unsuppressed findings (stale suppressions included)"
 
 echo "== 5/5 parallel-runner output reproducibility =="
 tmpdir=$(mktemp -d)

@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
-# Static-analysis gate: run steelcheck, the in-repo lint pass that
-# enforces the determinism & hermeticity contract (see DESIGN.md).
+# Static-analysis gate: run steelcheck, the in-repo three-layer
+# analysis (lexical scan, workspace call graph, reachability rules)
+# that enforces the determinism & hermeticity contract (see DESIGN.md).
 #
 # Run from anywhere inside the repo:
-#   scripts/check_lint.sh            # human-readable diagnostics
-#   scripts/check_lint.sh --json     # machine-readable report
+#   scripts/check_lint.sh                   # human-readable diagnostics
+#   scripts/check_lint.sh --format json     # machine-readable report
+#   scripts/check_lint.sh --sarif out.sarif # also write a SARIF 2.1.0 log
+#   scripts/check_lint.sh --list-rules      # rule table
+#   scripts/check_lint.sh --explain RULE    # one rule, in full
 #
-# Rules enforced (each with a per-rule allowlist and inline
-# `// steelcheck: allow(<rule>): why` suppressions):
-#   nondet-collections  no HashMap/HashSet in simulation crates
-#   wall-clock          no Instant::now/SystemTime outside crates/bench
-#   unwrap-in-lib       no .unwrap()/.expect( in library non-test code
-#   manifest-hygiene    path-only deps; no external sources in Cargo.lock
-#   float-hygiene       no float equality; no sim-time -> float casts
-#                       outside stats modules
+# Rules enforced (see `steelcheck --list-rules`; each suppressible with
+# inline `// steelcheck: allow(<rule>): why` or the reviewed allowlist):
+#   R1 nondet-collections   R4 manifest-hygiene   R7 wallclock-reachable
+#   R2 wall-clock           R5 float-hygiene      R8 panic-reachable
+#   R3 unwrap-in-lib        R6 thread-outside-exec R9 rng-entropy
+# plus the unsuppressible directive audits (bad-directive,
+# unused-suppression).
 #
 # Exit status: 0 clean, 1 findings, 2 usage/IO error.
 
@@ -21,4 +24,29 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-exec cargo run --release --frozen -q -p steelcheck -- "$@"
+# `--sarif FILE` writes a SARIF log in addition to the normal text
+# diagnostics, for code-scanning UIs; all other args pass through.
+sarif_out=""
+passthrough=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --sarif)
+            [ $# -ge 2 ] || { echo "check_lint.sh: --sarif requires a file" >&2; exit 2; }
+            sarif_out="$2"
+            shift 2
+            ;;
+        *)
+            passthrough+=("$1")
+            shift
+            ;;
+    esac
+done
+
+if [ -n "$sarif_out" ]; then
+    # The SARIF pass records findings but must not short-circuit the
+    # human diagnostics below; the exec carries the real exit status.
+    cargo run --release --frozen -q -p steelcheck -- --format sarif > "$sarif_out" || true
+    echo "wrote $sarif_out"
+fi
+
+exec cargo run --release --frozen -q -p steelcheck -- ${passthrough[@]+"${passthrough[@]}"}
