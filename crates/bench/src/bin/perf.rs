@@ -72,9 +72,11 @@ fn bench_transmit_deliver(h: &mut Harness) {
 }
 
 fn bench_event_queue(h: &mut Harness) {
-    // Steady-state push/pop against a shallow and a deep backlog: heap
-    // sift cost is what the boxed FrameArrival payload shrinks.
-    for &pending in &[1_000usize, 100_000] {
+    // Steady-state push/pop against a shallow, a deep, and a
+    // campus-deep backlog. The calendar queue's O(1) claim is only
+    // honest if the 1M row stays in the same decade as the 1k row
+    // instead of growing with log(pending) like the old binary heap.
+    for &pending in &[1_000usize, 100_000, 1_000_000] {
         let mut q = EventQueue::new();
         q.reserve(pending + 1);
         for i in 0..pending {
@@ -140,6 +142,26 @@ fn bench_fig4_e2e(h: &mut Harness) {
     });
 }
 
+fn bench_campus_e2e(h: &mut Harness) {
+    // A reduced campus (4 cells × 4 leaves × 64 endpoints ≈ 4k nodes)
+    // through the full build/run/audit path: the arena node table, the
+    // calendar queue under six-figure backlogs, and the payload pool
+    // all on their intended workload shape.
+    h.bench("perf/e2e/fig_campus_4k_nodes", || {
+        let cfg = CampusConfig {
+            cells: 4,
+            leaves_per_cell: 4,
+            endpoints_per_leaf: 64,
+            period: NanoDur::from_micros(500),
+            cycles: 5,
+            seed: 0xCA9,
+        };
+        let r = run_campus(&cfg);
+        assert_eq!(r.frames_received, r.frames_sent);
+        r.events_processed
+    });
+}
+
 fn bench_steelpar_fanout(h: &mut Harness) {
     // The fig6-shaped sweep through the scenario runner at one worker
     // vs the machine's parallelism. On a multi-core box the ratio of
@@ -176,6 +198,7 @@ fn main() {
     bench_event_queue(&mut h);
     bench_tap_observe(&mut h);
     bench_fig4_e2e(&mut h);
+    bench_campus_e2e(&mut h);
     bench_steelpar_fanout(&mut h);
     h.finish();
 }

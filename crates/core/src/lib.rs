@@ -12,6 +12,9 @@
 //!   regenerating Fig. 6.
 //! - [`availability`] — §2.2's nines/downtime arithmetic and the
 //!   redundancy-scheme comparison.
+//! - [`campus`] — the campus-scale scenario (ring of leaf-spine
+//!   cells, 10²–10⁵ nodes) behind `fig_campus`, exercising the
+//!   rearchitected netsim core at the scale the paper implies.
 //! - [`trafficmix`] — §2.3's flow taxonomy and the detectability of
 //!   the new deterministic-microflow class.
 //! - [`report`] — plain-text rendering used by the figure binaries.
@@ -22,6 +25,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod availability;
+pub mod campus;
 pub mod instaplc;
 pub mod mlaware;
 pub mod report;
@@ -34,6 +38,7 @@ pub mod prelude {
         availability_for_downtime, covered_downtime_per_year, downtime_per_year, estimate, nines,
         parallel, required_coverage_for_six_nines, series, Scheme, SchemeEstimate,
     };
+    pub use crate::campus::{run_campus, CampusConfig, CampusResult, ClassStats, PathClass};
     pub use crate::instaplc::{
         build_pipeline, run_migration_scenario, run_scenario, InstaPlcController, ScenarioConfig,
         ScenarioResult,

@@ -6,7 +6,6 @@ use crate::frame::{ethertype, EthFrame, MacAddr, VlanTag};
 use crate::node::{Ctx, Device, PortId};
 use crate::stats::BinnedSeries;
 use crate::time::{NanoDur, Nanos};
-use crate::bytes::Bytes;
 
 /// Emits one fixed-size frame per interval, optionally jittered and
 /// bounded in count — the workhorse load generator.
@@ -133,7 +132,7 @@ impl Device for PeriodicSource {
             self.dst,
             self.src,
             self.ethertype,
-            Bytes::from(vec![0u8; self.payload_len]),
+            ctx.payload_zeroed(self.payload_len),
         );
         if let Some(tag) = self.vlan {
             f = f.with_vlan(tag);
@@ -224,14 +223,10 @@ impl Device for PoissonSource {
             }
         }
         self.sent += 1;
+        let payload = ctx.payload_zeroed(self.payload_len);
         ctx.send(
             self.port,
-            EthFrame::new(
-                self.dst,
-                self.src,
-                ethertype::SIM_TEST,
-                Bytes::from(vec![0u8; self.payload_len]),
-            ),
+            EthFrame::new(self.dst, self.src, ethertype::SIM_TEST, payload),
         );
         let gap = NanoDur(ctx.rng().exponential(self.mean_gap.as_nanos() as f64) as u64);
         ctx.timer_in(gap, SOURCE_CYCLE_TOKEN);

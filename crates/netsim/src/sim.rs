@@ -13,26 +13,129 @@ use crate::rng::SimRng;
 use crate::tap::{Tap, TapDir, TapId};
 use crate::time::{NanoDur, Nanos};
 use crate::trace::{DropReason, TraceEvent, TraceSink};
-use crate::bytes::Bytes;
+use crate::bytes::BytesPool;
 
-struct NodeSlot {
-    device: Box<dyn Device>,
-    rng: SimRng,
-    port_links: Vec<Option<LinkId>>,
-    port_rates: Vec<Option<u64>>,
+/// Flat struct-of-arrays node storage.
+///
+/// Devices, RNG streams and port tables live in parallel arenas indexed
+/// by `NodeId.0`. Port wiring is staged in per-node tables while the
+/// world is built (wiring interleaves across nodes, so spans cannot be
+/// assigned yet) and frozen into one dense `(links, rates)` table with
+/// per-node `(start, len)` spans at simulation start. The dispatch and
+/// transmit hot paths then index flat arrays — one cache line for the
+/// span, one for the port entry — instead of chasing a per-node heap
+/// allocation per lookup.
+struct NodeArena {
+    devices: Vec<Box<dyn Device>>,
+    rngs: Vec<SimRng>,
+    /// Per-node staged port tables; drained into the flat table at freeze.
+    staged_links: Vec<Vec<Option<LinkId>>>,
+    staged_rates: Vec<Vec<Option<u64>>>,
+    /// Per-node `(start, len)` into `links`/`rates`; valid once frozen.
+    spans: Vec<(u32, u32)>,
+    links: Vec<Option<LinkId>>,
+    rates: Vec<Option<u64>>,
+    frozen: bool,
+}
+
+impl NodeArena {
+    fn new() -> Self {
+        NodeArena {
+            devices: Vec::new(),
+            rngs: Vec::new(),
+            staged_links: Vec::new(),
+            staged_rates: Vec::new(),
+            spans: Vec::new(),
+            links: Vec::new(),
+            rates: Vec::new(),
+            frozen: false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn add(&mut self, device: Box<dyn Device>, rng: SimRng) -> NodeId {
+        let id = NodeId(self.devices.len());
+        self.devices.push(device);
+        self.rngs.push(rng);
+        self.staged_links.push(Vec::new());
+        self.staged_rates.push(Vec::new());
+        id
+    }
+
+    fn wire(&mut self, node: NodeId, port: PortId, link: LinkId, rate: u64) {
+        assert!(
+            !self.frozen,
+            "cannot wire port {:?} of node {:?} ({}): topology is frozen once the simulation starts",
+            port,
+            node,
+            self.devices[node.0].name()
+        );
+        let links = &mut self.staged_links[node.0];
+        let rates = &mut self.staged_rates[node.0];
+        if links.len() <= port.0 {
+            links.resize(port.0 + 1, None);
+            rates.resize(port.0 + 1, None);
+        }
+        assert!(
+            links[port.0].is_none(),
+            "port {:?} of node {:?} ({}) is already wired",
+            port,
+            node,
+            self.devices[node.0].name()
+        );
+        links[port.0] = Some(link);
+        rates[port.0] = Some(rate);
+    }
+
+    /// Flatten the staged per-node tables into the dense span-indexed
+    /// layout. Idempotent; called once at simulation start.
+    fn freeze(&mut self) {
+        if self.frozen {
+            return;
+        }
+        self.frozen = true;
+        let total: usize = self.staged_links.iter().map(Vec::len).sum();
+        debug_assert!(total <= u32::MAX as usize, "port table index overflow");
+        self.spans.reserve(self.devices.len());
+        self.links.reserve(total);
+        self.rates.reserve(total);
+        for n in 0..self.devices.len() {
+            let start = self.links.len() as u32;
+            self.links.append(&mut self.staged_links[n]);
+            self.rates.append(&mut self.staged_rates[n]);
+            self.spans.push((start, self.links.len() as u32 - start));
+        }
+        self.staged_links = Vec::new();
+        self.staged_rates = Vec::new();
+    }
+
+    /// Link wired to `(node, port)`, if any.
+    #[inline]
+    fn link_of(&self, node: NodeId, port: PortId) -> Option<LinkId> {
+        debug_assert!(self.frozen, "port tables read before freeze");
+        let (s, l) = self.spans[node.0];
+        if port.0 >= l as usize {
+            return None;
+        }
+        self.links[s as usize + port.0]
+    }
 }
 
 /// A complete simulated world.
 pub struct Simulator {
     now: Nanos,
     queue: EventQueue,
-    nodes: Vec<NodeSlot>,
+    nodes: NodeArena,
     links: Vec<Link>,
     taps: Vec<Tap>,
     trace: TraceSink,
     rng: SimRng,
     started: bool,
     scratch: Vec<Action>,
+    pool: BytesPool,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -53,14 +156,21 @@ impl Simulator {
         Simulator {
             now: Nanos::ZERO,
             queue: EventQueue::new(),
-            nodes: Vec::new(),
+            nodes: NodeArena::new(),
             links: Vec::new(),
             taps: Vec::new(),
             trace: TraceSink::new(),
             rng: SimRng::seed_from_u64(seed),
             started: false,
             scratch: Vec::new(),
+            pool: BytesPool::new(),
         }
+    }
+
+    /// The payload buffer pool (e.g. to read hit/miss counters in
+    /// tests and capacity planning).
+    pub fn pool(&self) -> &BytesPool {
+        &self.pool
     }
 
     /// Current simulated time.
@@ -71,15 +181,8 @@ impl Simulator {
     /// Add a device; returns its node id. Each device gets a private
     /// RNG stream forked from the world seed.
     pub fn add_node<D: Device>(&mut self, device: D) -> NodeId {
-        let id = NodeId(self.nodes.len());
-        let rng = self.rng.fork(id.0 as u64 + 1);
-        self.nodes.push(NodeSlot {
-            device: Box::new(device),
-            rng,
-            port_links: Vec::new(),
-            port_rates: Vec::new(),
-        });
-        id
+        let rng = self.rng.fork(self.nodes.len() as u64 + 1);
+        self.nodes.add(Box::new(device), rng)
     }
 
     /// Wire `(a, pa)` to `(b, pb)` with the given link spec. Panics if
@@ -96,28 +199,11 @@ impl Simulator {
         let rng_a = self.rng.fork(0x4C00 + lid.0 as u64);
         let rng_b = self.rng.fork(0x4D00 + lid.0 as u64);
         let bw = spec.bandwidth_bps;
-        self.wire_port(a, pa, lid, bw);
-        self.wire_port(b, pb, lid, bw);
+        self.nodes.wire(a, pa, lid, bw);
+        self.nodes.wire(b, pb, lid, bw);
         self.links
             .push(Link::new(spec, (a, pa), (b, pb), rng_a, rng_b));
         lid
-    }
-
-    fn wire_port(&mut self, node: NodeId, port: PortId, link: LinkId, rate: u64) {
-        let slot = &mut self.nodes[node.0];
-        if slot.port_links.len() <= port.0 {
-            slot.port_links.resize(port.0 + 1, None);
-            slot.port_rates.resize(port.0 + 1, None);
-        }
-        assert!(
-            slot.port_links[port.0].is_none(),
-            "port {:?} of node {:?} ({}) is already wired",
-            port,
-            node,
-            slot.device.name()
-        );
-        slot.port_links[port.0] = Some(link);
-        slot.port_rates[port.0] = Some(rate);
     }
 
     /// Install a tap on a link. Returns a handle to read records later.
@@ -153,7 +239,7 @@ impl Simulator {
     /// Panics if the node id is stale or the type does not match — both
     /// are programming errors in experiment code.
     pub fn node_ref<D: Device>(&self, id: NodeId) -> &D {
-        (*self.nodes[id.0].device)
+        (*self.nodes.devices[id.0])
             .as_any()
             .downcast_ref::<D>()
             // steelcheck: allow(unwrap-in-lib): typed-accessor API: wrong D is a caller bug by documented contract
@@ -162,7 +248,7 @@ impl Simulator {
 
     /// Mutable variant of [`Simulator::node_ref`].
     pub fn node_mut<D: Device>(&mut self, id: NodeId) -> &mut D {
-        (*self.nodes[id.0].device)
+        (*self.nodes.devices[id.0])
             .as_any_mut()
             .downcast_mut::<D>()
             // steelcheck: allow(unwrap-in-lib): typed-accessor API: wrong D is a caller bug by documented contract
@@ -237,6 +323,9 @@ impl Simulator {
             return;
         }
         self.started = true;
+        // Freeze the staged port wiring into the dense span-indexed
+        // table before any callback can read it.
+        self.nodes.freeze();
         // Pre-size the hot-path scratch from topology size: a steady
         // state carries roughly a few in-flight events per link plus a
         // timer per node, and devices rarely emit more than a handful
@@ -248,17 +337,18 @@ impl Simulator {
             self.scratch.reserve(8 - self.scratch.capacity());
         }
         for idx in 0..self.nodes.len() {
-            let slot = &mut self.nodes[idx];
             let mut actions = std::mem::take(&mut self.scratch);
             {
+                let (s, l) = self.nodes.spans[idx];
                 let mut ctx = Ctx::new(
                     self.now,
                     NodeId(idx),
-                    &mut slot.rng,
-                    &slot.port_rates,
+                    &mut self.nodes.rngs[idx],
+                    &self.nodes.rates[s as usize..(s + l) as usize],
                     &mut actions,
+                    &mut self.pool,
                 );
-                slot.device.on_start(&mut ctx);
+                self.nodes.devices[idx].on_start(&mut ctx);
             }
             self.apply_actions(NodeId(idx), &mut actions);
             self.scratch = actions;
@@ -266,34 +356,36 @@ impl Simulator {
     }
 
     fn dispatch_frame(&mut self, node: NodeId, port: PortId, frame: EthFrame) {
-        let slot = &mut self.nodes[node.0];
         let mut actions = std::mem::take(&mut self.scratch);
         {
+            let (s, l) = self.nodes.spans[node.0];
             let mut ctx = Ctx::new(
                 self.now,
                 node,
-                &mut slot.rng,
-                &slot.port_rates,
+                &mut self.nodes.rngs[node.0],
+                &self.nodes.rates[s as usize..(s + l) as usize],
                 &mut actions,
+                &mut self.pool,
             );
-            slot.device.on_frame(&mut ctx, port, frame);
+            self.nodes.devices[node.0].on_frame(&mut ctx, port, frame);
         }
         self.apply_actions(node, &mut actions);
         self.scratch = actions;
     }
 
     fn dispatch_timer(&mut self, node: NodeId, token: u64) {
-        let slot = &mut self.nodes[node.0];
         let mut actions = std::mem::take(&mut self.scratch);
         {
+            let (s, l) = self.nodes.spans[node.0];
             let mut ctx = Ctx::new(
                 self.now,
                 node,
-                &mut slot.rng,
-                &slot.port_rates,
+                &mut self.nodes.rngs[node.0],
+                &self.nodes.rates[s as usize..(s + l) as usize],
                 &mut actions,
+                &mut self.pool,
             );
-            slot.device.on_timer(&mut ctx, token);
+            self.nodes.devices[node.0].on_timer(&mut ctx, token);
         }
         self.apply_actions(node, &mut actions);
         self.scratch = actions;
@@ -311,7 +403,7 @@ impl Simulator {
     }
 
     fn transmit(&mut self, node: NodeId, port: PortId, mut frame: EthFrame) {
-        let Some(&Some(lid)) = self.nodes[node.0].port_links.get(port.0) else {
+        let Some(lid) = self.nodes.link_of(node, port) else {
             self.trace.on_dropped(TraceEvent::Dropped {
                 at: self.now,
                 link: None,
@@ -362,7 +454,7 @@ impl Simulator {
                 return;
             }
             V::Corrupt => {
-                corrupt_payload(&mut frame, &mut dir.rng);
+                corrupt_payload(&mut frame, &mut dir.rng, &mut self.pool);
                 self.trace.on_corrupted(TraceEvent::Corrupted {
                     at: depart,
                     link: lid,
@@ -421,7 +513,7 @@ impl Simulator {
     }
 }
 
-fn corrupt_payload(frame: &mut EthFrame, rng: &mut SimRng) {
+fn corrupt_payload(frame: &mut EthFrame, rng: &mut SimRng, pool: &mut BytesPool) {
     if frame.payload.is_empty() {
         // Nothing to flip in the payload; damage the ethertype instead,
         // which receivers will reject just the same.
@@ -431,19 +523,22 @@ fn corrupt_payload(frame: &mut EthFrame, rng: &mut SimRng) {
     let idx = rng.below(frame.payload.len() as u64) as usize;
     // Flip in place when this frame holds the only reference to the
     // payload (the common case: no duplicate, no tap capture); fall
-    // back to copy-on-write when the buffer is shared.
+    // back to copy-on-write into a pooled buffer when shared.
     if let Some(bytes) = frame.payload.get_mut() {
         bytes[idx] ^= 0xFF;
     } else {
-        let mut bytes = frame.payload.to_vec();
-        bytes[idx] ^= 0xFF;
-        frame.payload = Bytes::from(bytes);
+        let src = frame.payload.clone();
+        frame.payload = pool.take_with(src.len(), |b| {
+            b.copy_from_slice(&src);
+            b[idx] ^= 0xFF;
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bytes::Bytes;
     use crate::fault::FaultSpec;
     use crate::frame::{ethertype, EthFrame, MacAddr};
     use crate::node::NullDevice;
@@ -628,6 +723,28 @@ mod tests {
         let c = sim.add_node(NullDevice::new());
         sim.connect(a, PortId(0), b, PortId(0), LinkSpec::gigabit());
         sim.connect(a, PortId(0), c, PortId(0), LinkSpec::gigabit());
+    }
+
+    #[test]
+    fn payload_pool_recycles_on_hot_path() {
+        use crate::devices::PeriodicSource;
+        let mut sim = Simulator::new(9);
+        let src = sim.add_node(PeriodicSource::new(
+            "src",
+            MacAddr::local(1),
+            MacAddr::local(2),
+            46,
+            NanoDur::from_micros(10),
+        ));
+        let dst = sim.add_node(NullDevice::new());
+        sim.connect(src, PortId(0), dst, PortId(0), LinkSpec::gigabit());
+        sim.run_until(Nanos::from_millis(1));
+        // ~100 frames but only a couple of distinct in-flight buffers:
+        // after the first frame is delivered and dropped, its payload
+        // returns to the pool and every later frame recycles it.
+        let pool = sim.pool();
+        assert!(pool.hits() > 10, "hits={}", pool.hits());
+        assert!(pool.misses() <= 2, "misses={}", pool.misses());
     }
 
     #[test]

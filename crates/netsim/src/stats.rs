@@ -126,8 +126,14 @@ impl SampleSet {
         }
     }
 
-    /// Exact quantile by nearest-rank; `q` in `[0, 1]`. `None` if empty.
+    /// Exact quantile by the nearest-rank convention: the smallest
+    /// sample whose cumulative probability is `>= q`, i.e. sorted index
+    /// `ceil(q * n) - 1`. Consequences the tests pin down: `q = 0`
+    /// and any `q <= 1/n` return the minimum, `q = 1` the maximum, and
+    /// a single-sample set returns that sample for every `q`. Out-of-
+    /// range `q` clamps to `[0, 1]`; NaN is rejected. `None` if empty.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!(!q.is_nan(), "quantile probability must not be NaN");
         if self.samples.is_empty() {
             return None;
         }
@@ -197,6 +203,7 @@ pub struct Histogram {
     counts: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nan: u64,
     total: u64,
 }
 
@@ -210,14 +217,20 @@ impl Histogram {
             counts: vec![0; buckets],
             underflow: 0,
             overflow: 0,
+            nan: 0,
             total: 0,
         }
     }
 
-    /// Record an observation.
+    /// Record an observation. NaN observations are counted separately —
+    /// a NaN compares false against every bound, so without the
+    /// explicit check it would fall through the index arithmetic into
+    /// bucket 0 and silently skew the distribution.
     pub fn push(&mut self, x: f64) {
         self.total += 1;
-        if x < self.lo {
+        if x.is_nan() {
+            self.nan += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else {
             let idx = ((x - self.lo) / self.width) as usize;
@@ -229,14 +242,19 @@ impl Histogram {
         }
     }
 
-    /// Total observations including under/overflow.
+    /// Total observations including under/overflow and NaN.
     pub fn total(&self) -> u64 {
         self.total
     }
 
-    /// Observations outside the bucketed range.
+    /// Observations outside the bucketed range (including NaN).
     pub fn out_of_range(&self) -> u64 {
-        self.underflow + self.overflow
+        self.underflow + self.overflow + self.nan
+    }
+
+    /// NaN observations recorded.
+    pub fn nan_count(&self) -> u64 {
+        self.nan
     }
 
     /// Iterate `(bucket_midpoint, count)`.
@@ -386,6 +404,59 @@ mod tests {
         assert_eq!(counts[0], 1);
         assert_eq!(counts[1], 2);
         assert_eq!(counts[9], 1);
+    }
+
+    #[test]
+    fn quantile_single_sample_is_that_sample_everywhere() {
+        let mut s = SampleSet::new();
+        s.push(42.0);
+        assert_eq!(s.quantile(0.0), Some(42.0));
+        assert_eq!(s.quantile(0.5), Some(42.0));
+        assert_eq!(s.quantile(1.0), Some(42.0));
+    }
+
+    #[test]
+    fn quantile_edges_pin_nearest_rank_convention() {
+        let mut s = SampleSet::new();
+        for x in [30.0, 10.0, 20.0] {
+            s.push(x);
+        }
+        // ceil(q*n)-1: q=0 -> min; q<=1/n -> still min; q=1 -> max.
+        assert_eq!(s.quantile(0.0), Some(10.0));
+        assert_eq!(s.quantile(1.0 / 3.0), Some(10.0));
+        assert_eq!(s.quantile(0.34), Some(20.0));
+        assert_eq!(s.quantile(1.0), Some(30.0));
+        // Out-of-range probabilities clamp instead of indexing wild.
+        assert_eq!(s.quantile(-3.0), Some(10.0));
+        assert_eq!(s.quantile(7.0), Some(30.0));
+        assert_eq!(SampleSet::new().quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn quantile_rejects_nan_probability() {
+        let mut s = SampleSet::new();
+        s.push(1.0);
+        let _ = s.quantile(f64::NAN);
+    }
+
+    #[test]
+    fn histogram_counts_nan_explicitly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(f64::NAN);
+        h.push(0.5);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.nan_count(), 1);
+        assert_eq!(h.out_of_range(), 1);
+        // The NaN must not have leaked into bucket 0.
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn binned_series_rejects_zero_width_bin() {
+        let _ = BinnedSeries::new(NanoDur::ZERO);
     }
 
     #[test]

@@ -20,6 +20,10 @@ struct Egress {
     queues: [VecDeque<EthFrame>; 8],
     /// Transmitter busy until (mirrors the link's serialization state).
     busy_until: Nanos,
+    /// Latest time a drain timer is already pending for, so a burst of
+    /// enqueues while the transmitter is busy arms one timer, not one
+    /// per frame.
+    armed_until: Nanos,
     /// Frames dropped because the queue hit its cap or port is unwired.
     tail_drops: u64,
     /// High-water mark of total queued frames.
@@ -175,6 +179,14 @@ impl LearningSwitch {
         };
         let eg = &mut self.egress[port.0];
         if eg.busy_until > now {
+            // A frame enqueued mid-serialization may be the last event
+            // this port ever sees: re-arm the drain timer or the frame
+            // sits in the queue forever. `armed_until` dedups the
+            // re-arm so a burst of enqueues schedules one timer.
+            if eg.depth() > 0 && eg.armed_until < eg.busy_until {
+                eg.armed_until = eg.busy_until;
+                ctx.timer_at(eg.busy_until, TOKEN_DRAIN_BASE + port.0 as u64);
+            }
             return;
         }
         if let Some(frame) = eg.pop_highest() {
@@ -182,6 +194,7 @@ impl LearningSwitch {
             eg.busy_until = now + ser;
             ctx.send(port, frame);
             if eg.depth() > 0 {
+                eg.armed_until = eg.busy_until;
                 ctx.timer_at(eg.busy_until, TOKEN_DRAIN_BASE + port.0 as u64);
             }
         }
@@ -330,6 +343,34 @@ mod tests {
         assert_eq!(s.frames_flooded(), 0);
         assert_eq!(sim.node_ref::<NullDevice>(b).frames_seen(), 1);
         assert_eq!(sim.node_ref::<NullDevice>(c).frames_seen(), 0);
+    }
+
+    #[test]
+    fn frame_enqueued_during_serialization_still_drains() {
+        // Regression: a frame reaching a busy egress transmitter used
+        // to rely on later traffic to re-trigger the drain — if it was
+        // the last frame the port ever saw, it sat queued forever and
+        // the simulation went quiescent with the frame undelivered.
+        let mut sim = Simulator::new(4);
+        let ha = MacAddr::local(1);
+        let hb = MacAddr::local(2);
+        // A long frame (~8 µs egress serialization on gigabit) chased
+        // by a short one that reaches the egress queue mid-transmit.
+        let a = sim.add_node(Scripted {
+            mac: ha,
+            script: vec![(hb, None, 1000), (hb, None, 46)],
+        });
+        let b = sim.add_node(NullDevice::new());
+        let sw = sim.add_node({
+            let mut s = LearningSwitch::eight_port("sw0");
+            s.learn_static(hb, PortId(1));
+            s
+        });
+        sim.connect(a, PortId(0), sw, PortId(0), LinkSpec::gigabit());
+        sim.connect(b, PortId(0), sw, PortId(1), LinkSpec::gigabit());
+        sim.run_to_quiescence();
+        assert_eq!(sim.node_ref::<LearningSwitch>(sw).frames_forwarded(), 2);
+        assert_eq!(sim.node_ref::<NullDevice>(b).frames_seen(), 2);
     }
 
     #[test]

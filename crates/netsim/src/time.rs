@@ -108,8 +108,17 @@ impl NanoDur {
     }
 
     /// Construct from fractional seconds, rounding to the nearest ns.
+    ///
+    /// Panics on NaN or negative input — both are logic errors in
+    /// scenario code, not values to silently coerce to zero. Values
+    /// beyond `u64::MAX` nanoseconds (~584 years, including `+inf`)
+    /// saturate to the maximum representable duration.
     pub fn from_secs_f64(s: f64) -> Self {
-        NanoDur((s * 1e9).round().max(0.0) as u64)
+        assert!(!s.is_nan(), "duration seconds must not be NaN");
+        assert!(s >= 0.0, "duration seconds must be non-negative, got {s}");
+        // `as u64` saturates at the type bounds per Rust float-cast
+        // semantics, so overflow clamps rather than wrapping.
+        NanoDur((s * 1e9).round() as u64)
     }
 
     /// Raw nanosecond count.
@@ -145,8 +154,12 @@ impl NanoDur {
     }
 
     /// Multiply by a non-negative float, rounding to the nearest ns.
+    ///
+    /// Panics on NaN or negative scale; results beyond `u64::MAX`
+    /// nanoseconds saturate to the maximum representable duration.
     pub fn mul_f64(self, k: f64) -> NanoDur {
-        assert!(k >= 0.0, "duration scale must be non-negative");
+        assert!(!k.is_nan(), "duration scale must not be NaN");
+        assert!(k >= 0.0, "duration scale must be non-negative, got {k}");
         NanoDur((self.0 as f64 * k).round() as u64)
     }
 }
@@ -332,5 +345,44 @@ mod tests {
     fn mul_f64_rounds() {
         assert_eq!(NanoDur(100).mul_f64(1.5), NanoDur(150));
         assert_eq!(NanoDur(3).mul_f64(0.5), NanoDur(2)); // 1.5 rounds to 2
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn from_secs_f64_rejects_nan() {
+        let _ = NanoDur::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-negative")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = NanoDur::from_secs_f64(-0.001);
+    }
+
+    #[test]
+    fn from_secs_f64_saturates_beyond_u64() {
+        // u64::MAX ns is ~584 years; 1e12 seconds is far past it.
+        assert_eq!(NanoDur::from_secs_f64(1e12), NanoDur(u64::MAX));
+        assert_eq!(NanoDur::from_secs_f64(f64::INFINITY), NanoDur(u64::MAX));
+        // Negative zero is a valid zero, not a negative duration.
+        assert_eq!(NanoDur::from_secs_f64(-0.0), NanoDur(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn mul_f64_rejects_nan() {
+        let _ = NanoDur(100).mul_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-negative")]
+    fn mul_f64_rejects_negative() {
+        let _ = NanoDur(100).mul_f64(-1.0);
+    }
+
+    #[test]
+    fn mul_f64_saturates_beyond_u64() {
+        assert_eq!(NanoDur(u64::MAX).mul_f64(2.0), NanoDur(u64::MAX));
+        assert_eq!(NanoDur(1).mul_f64(f64::INFINITY), NanoDur(u64::MAX));
     }
 }

@@ -90,7 +90,7 @@ echo "OK: steelcheck reports zero unsuppressed findings (stale suppressions incl
 echo "== 5/5 parallel-runner output reproducibility =="
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
-for fig in fig1 fig4 fig5 fig6 challenges; do
+for fig in fig1 fig4 fig5 fig6 challenges fig_campus; do
     STEELWORKS_JOBS=2 "target/release/$fig" > "$tmpdir/$fig.txt"
     if ! diff -q "results/$fig.txt" "$tmpdir/$fig.txt" > /dev/null; then
         echo "$fig output differs under STEELWORKS_JOBS=2:"
