@@ -1,192 +1,19 @@
 //! Reproduce the quantitative claims of the paper's challenge sections
 //! (§2.1 timing, §2.2 availability, §2.3 traffic mix).
+//!
+//! The Monte-Carlo trial count comes from the committed
+//! `specs/challenges.json` scenario spec; pass a different spec path as
+//! the first argument. The pipeline lives in `steelserve::figures`.
 
-use steelworks_bench::check;
-use steelworks_core::prelude::*;
-use steelworks_netsim::rng::SimRng;
-use steelworks_netsim::time::NanoDur;
-use steelworks_xdpsim::prelude::{NicModel, PcieModel};
+use steelserve::figures::run_spec;
 
-fn section_2_1_timing() {
-    println!("## §2.1 — Timing\n");
-    // PCIe share of NIC latency for small packets (paper: >90 % of
-    // total NIC latency per Neugebauer et al.; our model separates the
-    // MAC pipeline, so we report the share of the host-side path).
-    let nic = NicModel::default();
-    let mut rows = Vec::new();
-    for len in [64usize, 128, 256, 512, 1500] {
-        rows.push(vec![
-            len.to_string(),
-            format!("{:.0}", nic.rx_latency(len).as_nanos()),
-            format!("{:.1}", nic.pcie_fraction_rx(len) * 100.0),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(
-            "NIC RX latency and PCIe share vs frame size",
-            &["bytes", "rx latency (ns)", "PCIe share (%)"],
-            &rows
-        )
-    );
-    check(
-        "PCIe dominates small-frame NIC latency",
-        nic.pcie_fraction_rx(64) > 0.65,
-    );
-    let pcie = PcieModel::default();
-    check(
-        "per-transaction cost >> per-byte cost for industrial frames",
-        pcie.base_ns + pcie.iommu_ns > 10.0 * (pcie.per_byte_ns * 250.0),
-    );
-
-    // Cycle-time requirements table (paper's numbers).
-    let rows = vec![
-        vec!["machine tools".into(), "500 µs".into()],
-        vec![
-            "high-speed motion control".into(),
-            "250 µs / <1 µs jitter".into(),
-        ],
-        vec!["process automation".into(), "10–100 ms".into()],
-    ];
-    println!(
-        "{}",
-        format_table(
-            "OT timing requirements (§2.1)",
-            &["use case", "requirement"],
-            &rows
-        )
-    );
-}
-
-fn section_2_2_availability(jobs: usize) {
-    println!("## §2.2 — Service availability\n");
-    let six = nines(6);
-    let budget = downtime_per_year(six);
-    println!(
-        "# 99.9999 % availability = {:.1} s downtime per year (paper: 31.5 s)",
-        budget.as_secs_f64()
-    );
-    check(
-        "six nines = 31.5 s/year",
-        (budget.as_secs_f64() - 31.536).abs() < 0.05,
-    );
-
-    let dc_minutes_per_month = 4.0;
-    let dc = NanoDur::from_secs_f64(dc_minutes_per_month * 60.0 * 12.0);
-    println!(
-        "# data-center practice (~{dc_minutes_per_month} min/month) = {:.0} s/year = {:.0}x the OT budget",
-        dc.as_secs_f64(),
-        dc.as_secs_f64() / budget.as_secs_f64()
-    );
-
-    // Redundancy schemes at a pessimistic 12 primary failures/year.
-    let mttr = NanoDur::from_secs(1800);
-    let schemes = [
-        Scheme::None,
-        Scheme::Kubernetes,
-        Scheme::HardwarePair,
-        Scheme::InstaPlc {
-            cycle: NanoDur::from_micros(1_500),
-            switchover_cycles: 2,
-        },
-    ];
-    // Six independent Monte-Carlo estimates (four schemes at 12
-    // failures/yr, plus InstaPLC and the hardware pair at 400) fan out
-    // over the worker pool; each estimate seeds its own RNG, so the
-    // numbers match the sequential run exactly.
-    let grid: Vec<(Scheme, f64)> = schemes
-        .iter()
-        .map(|&s| (s, 12.0))
-        .chain([(schemes[3], 400.0), (schemes[2], 400.0)])
-        .collect();
-    let ests = steelpar::run(jobs, grid, |(s, rate)| estimate(s, rate, mttr, 5_000, 0xA11A));
-    let mut rows = Vec::new();
-    for (s, e) in schemes.iter().zip(&ests) {
-        rows.push(vec![
-            s.name().to_string(),
-            format!("{:.3}", e.downtime_per_year.as_secs_f64()),
-            format!("{:.7}", e.availability),
-            if e.meets_ot_requirement { "yes" } else { "no" }.to_string(),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(
-            "redundancy schemes @ 12 failures/yr, 30 min MTTR",
-            &["scheme", "downtime (s/yr)", "availability", ">= 6 nines"],
-            &rows
-        )
-    );
-    check(
-        "k8s-style standby misses six nines even at 12 failures/yr",
-        !ests[1].meets_ot_requirement,
-    );
-    check(
-        "in-network switchover holds six nines even at 400 failures/yr",
-        ests[4].meets_ot_requirement && !ests[5].meets_ot_requirement,
-    );
-    // Published takeover bands.
-    let mut rng = SimRng::seed_from_u64(0xF00D);
-    let hw: Vec<f64> = (0..5_000)
-        .map(|_| steelworks_vplc::redundancy::takeover::hardware_pair(&mut rng).as_millis_f64())
-        .collect();
-    let k8: Vec<f64> = (0..5_000)
-        .map(|_| steelworks_vplc::redundancy::takeover::kubernetes(&mut rng).as_millis_f64())
-        .collect();
-    let minmax = |v: &[f64]| {
-        (
-            v.iter().cloned().fold(f64::MAX, f64::min),
-            v.iter().cloned().fold(0.0, f64::max),
-        )
-    };
-    let (hmin, hmax) = minmax(&hw);
-    let (kmin, kmax) = minmax(&k8);
-    println!("# hardware pair takeover: {hmin:.0}-{hmax:.0} ms (paper: 50-300 ms)");
-    println!(
-        "# kubernetes takeover   : {kmin:.0} ms - {:.1} s (paper: ~110 ms - 55.4 s)",
-        kmax / 1000.0
-    );
-    check(
-        "hardware band matches the system manual",
-        hmin >= 50.0 && hmax <= 300.0,
-    );
-    check(
-        "k8s band matches the literature",
-        kmin >= 110.0 && kmax <= 55_400.0,
-    );
-}
-
-fn section_2_3_traffic_mix() {
-    println!("## §2.3 — The new traffic mix\n");
-    let flows = generate_traffic_mix(&MixConfig::default(), 0x7AFF);
-    let r = evaluate_traffic_mix(&flows);
-    println!(
-        "# population: {} flows, {} of them vPLC cyclic microflows",
-        r.total, r.microflows_truth
-    );
-    println!(
-        "# feature classifier: {}/{} correct, {}/{} microflows detected",
-        r.correct, r.total, r.microflows_found, r.microflows_truth
-    );
-    println!(
-        "# size-only classifier mislabels {}/{} microflows as bulk (the class blends categories)",
-        r.microflows_mislabelled_by_size, r.microflows_truth
-    );
-    check(
-        "feature classifier detects every microflow",
-        r.microflows_found == r.microflows_truth,
-    );
-    check(
-        "size-only view misses the class entirely",
-        r.microflows_mislabelled_by_size == r.microflows_truth,
-    );
-}
+/// The committed default spec (regenerates `results/challenges.txt`).
+const DEFAULT_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/challenges.json");
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = steelpar::resolve_jobs(steelpar::take_jobs_arg(&mut args));
-    println!("# §2 challenge numbers, reproduced\n");
-    section_2_1_timing();
-    section_2_2_availability(jobs);
-    section_2_3_traffic_mix();
+    let path = args.first().map(String::as_str).unwrap_or(DEFAULT_SPEC);
+    let spec = steelworks_bench::load_spec(path, "challenges");
+    print!("{}", run_spec(&spec, jobs));
 }

@@ -1,9 +1,11 @@
 //! Regenerate **Fig. 1**: industrial-networking term occurrences in
 //! recent SIGCOMM/HotNets proceedings.
 //!
-//! The real proceedings are copyrighted; the analyzer runs over the
-//! calibrated synthetic corpus (see `steelworks-corpus::synth`). Pass a
-//! directory of `.txt` files as the first argument to analyze a real
+//! The real proceedings are copyrighted; by default the analyzer runs
+//! over the calibrated synthetic corpus described by the committed
+//! `specs/fig1.json` scenario spec (pass a different `.json` spec as
+//! the first argument to change the corpus size or seed). Pass a
+//! *directory* of `.txt` files as the first argument to analyze a real
 //! corpus instead.
 //!
 //! Corpus *generation* threads one RNG through every paper and stays
@@ -12,66 +14,31 @@
 //! `STEELWORKS_JOBS`) and merges by addition — the totals are identical
 //! for any partition, so the output is byte-identical at any job count.
 
-use steelworks_bench::{check, FIGURE_SEED};
-use steelworks_core::prelude::format_bars;
-use steelworks_corpus::prelude::*;
+use std::path::Path;
+use steelserve::figures::{fig1_corpus_report, run_spec};
+
+/// The committed default spec (regenerates `results/fig1.txt`).
+const DEFAULT_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig1.json");
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = steelpar::resolve_jobs(steelpar::take_jobs_arg(&mut args));
-    let texts: Vec<String> = if let Some(dir) = args.first() {
-        println!("# Fig. 1 over real corpus directory: {dir}");
-        std::fs::read_dir(dir)
-            // steelcheck: allow(panic-reachable): dies before any sweep starts, with a clear message
-            .expect("readable corpus directory")
-            .filter_map(|e| e.ok())
-            .filter(|e| e.path().extension().map(|x| x == "txt").unwrap_or(false))
-            .filter_map(|e| std::fs::read_to_string(e.path()).ok())
-            .collect()
-    } else {
-        println!("# Fig. 1 over the calibrated synthetic corpus (seed {FIGURE_SEED:#x})");
-        generate(160, FIGURE_SEED)
-            .into_iter()
-            .map(|p| p.text)
-            .collect()
-    };
-
-    // Contiguous document chunks, one per worker; group counts merge by
-    // summing the measured column.
-    let n_chunks = jobs.min(texts.len()).max(1);
-    let chunk_size = texts.len().div_ceil(n_chunks).max(1);
-    let chunks: Vec<&[String]> = texts.chunks(chunk_size).collect();
-    let mut partials = steelpar::run(jobs, chunks, |chunk| {
-        analyze(chunk.iter().map(|s| s.as_str()))
-    })
-    .into_iter();
-    let mut counts = partials
-        .next()
-        .unwrap_or_else(|| analyze(std::iter::empty()));
-    for partial in partials {
-        for (acc, p) in counts.iter_mut().zip(partial) {
-            acc.measured += p.measured;
+    match args.first() {
+        Some(dir) if Path::new(dir).is_dir() => {
+            println!("# Fig. 1 over real corpus directory: {dir}");
+            let texts: Vec<String> = std::fs::read_dir(dir)
+                // steelcheck: allow(panic-reachable): dies before any sweep starts, with a clear message
+                .expect("readable corpus directory")
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().map(|x| x == "txt").unwrap_or(false))
+                .filter_map(|e| std::fs::read_to_string(e.path()).ok())
+                .collect();
+            print!("{}", fig1_corpus_report(&texts, true, jobs));
+        }
+        arg => {
+            let path = arg.map(String::as_str).unwrap_or(DEFAULT_SPEC);
+            let spec = steelworks_bench::load_spec(path, "fig1");
+            print!("{}", run_spec(&spec, jobs));
         }
     }
-
-    let bars: Vec<(String, u64, u64)> = counts
-        .iter()
-        .map(|c| (c.label.to_string(), c.measured, c.published))
-        .collect();
-    println!(
-        "{}",
-        format_bars(
-            "Fig. 1 — occurrences (with permutations) in proceedings corpus",
-            &bars
-        )
-    );
-
-    let (ot, min_it) = research_gap(&counts);
-    println!("# research gap: {ot} total OT-side mentions vs {min_it} for the rarest IT term");
-    check("all 13 groups measured", counts.len() == 13);
-    check(
-        "synthetic corpus matches published counts",
-        args.first().is_some() || counts.iter().all(|c| c.measured == c.published),
-    );
-    check("gap exceeds 25x", min_it > 25 * ot.max(1));
 }

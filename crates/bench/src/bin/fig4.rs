@@ -3,133 +3,22 @@
 //! Left panel: delay CDFs of the six eBPF/XDP reflection program
 //! variants. Right panel: jitter CDFs for 1 vs 25 concurrent RT flows.
 //!
-//! All eight simulations (six variants + two flow regimes) are
-//! independent scenarios, fanned out over a `steelpar` worker pool
-//! (`--jobs N` / `STEELWORKS_JOBS`). Results come back in input order,
-//! so the output is byte-identical at any job count. The two flow-regime
-//! outcomes feed both the worst-case section and the right panel: the
-//! sequential version ran identical configurations twice.
+//! The scenario itself (seed, cycles per flow) comes from the committed
+//! `specs/fig4.json` scenario spec; pass a different spec path as the
+//! first argument. The pipeline lives in `steelserve::figures`, where
+//! all eight simulations fan out over a `steelpar` worker pool
+//! (`--jobs N` / `STEELWORKS_JOBS`) and come back in input order, so
+//! the output is byte-identical at any job count.
 
-use steelworks_bench::{check, FIGURE_SEED};
-use steelworks_core::prelude::*;
-use steelworks_xdpsim::prelude::ReflectVariant;
+use steelserve::figures::run_spec;
 
-enum Scenario {
-    Left(ReflectVariant),
-    Flows(u32),
-}
-
-enum Outcome {
-    Left((&'static str, Vec<(f64, f64)>)),
-    Flows(u32, ReflectionOutcome),
-}
+/// The committed default spec (regenerates `results/fig4.txt`).
+const DEFAULT_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig4.json");
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = steelpar::resolve_jobs(steelpar::take_jobs_arg(&mut args));
-    let cycles: u64 = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10_000);
-    println!("# Fig. 4 — Traffic Reflection (seed {FIGURE_SEED:#x}, {cycles} cycles/flow)\n");
-
-    let scenarios: Vec<Scenario> = ReflectVariant::ALL
-        .iter()
-        .map(|&v| Scenario::Left(v))
-        .chain([1u32, 25].iter().map(|&f| Scenario::Flows(f)))
-        .collect();
-    let outcomes = steelpar::run(jobs, scenarios, |s| match s {
-        Scenario::Left(v) => Outcome::Left(fig4_left_one(v, FIGURE_SEED, cycles)),
-        Scenario::Flows(f) => Outcome::Flows(f, fig4_right_one(f, FIGURE_SEED, cycles)),
-    });
-    let mut left = Vec::new();
-    let mut flow_outs = Vec::new();
-    for o in outcomes {
-        match o {
-            Outcome::Left(l) => left.push(l),
-            Outcome::Flows(f, out) => flow_outs.push((f, out)),
-        }
-    }
-
-    // Left panel.
-    println!("## Left: delay CDFs per eBPF program variant (1 flow)");
-    let mut medians = std::collections::HashMap::new();
-    for (name, cdf) in &left {
-        println!("{}", format_cdf(&format!("delay, {name}"), "us", cdf, 20));
-        let median = cdf
-            .iter()
-            .find(|(_, p)| *p >= 0.5)
-            .map(|(v, _)| *v)
-            .unwrap_or(0.0);
-        medians.insert(*name, median);
-    }
-    println!("# medians (µs):");
-    for v in ReflectVariant::ALL {
-        println!("#   {:8} {:6.2}", v.name(), medians[v.name()]);
-    }
-
-    // §2.1's missing metrics: worst case and consecutive jitter bursts.
-    println!("\n## Worst-case & burst metrics (the numbers §2.1 says evaluations omit)");
-    for (flows, out) in &mut flow_outs {
-        let flows = *flows;
-        println!(
-            "# {flows:>2} flow(s): worst delay {:.2} µs | >1 µs-jitter cycles {:.3} % | longest burst {} | trips watchdog x3: {}",
-            out.worst_delay_us(),
-            out.over_threshold_fraction * 100.0,
-            out.max_jitter_burst,
-            out.would_trip_watchdog(3),
-        );
-        if flows == 1 {
-            check(
-                "one quiet flow never halts a watchdog-3 device",
-                !out.would_trip_watchdog(3),
-            );
-        }
-    }
-
-    // Right panel.
-    println!("\n## Right: jitter CDFs, 1 vs 25 flows (TS variant)");
-    let right: Vec<(u32, Vec<(f64, f64)>)> = flow_outs
-        .iter_mut()
-        .map(|(flows, out)| (*flows, out.jitters.cdf(200)))
-        .collect();
-    let mut p99 = Vec::new();
-    for (flows, cdf) in &right {
-        println!(
-            "{}",
-            format_cdf(&format!("jitter, {flows} flow(s)"), "ns", cdf, 20)
-        );
-        let v99 = cdf
-            .iter()
-            .find(|(_, p)| *p >= 0.99)
-            .map(|(v, _)| *v)
-            .unwrap_or(0.0);
-        p99.push((*flows, v99));
-        println!("#   {flows} flow(s): p99 jitter = {v99:.0} ns");
-    }
-
-    // Shape checks against the paper.
-    let base = medians["Base"];
-    let ts_rb = medians["TS-RB"];
-    let ts_d_rb = medians["TS-D-RB"];
-    check(
-        "delay medians in the ~5-25 µs band",
-        medians.values().all(|&m| m > 4.0 && m < 25.0),
-    );
-    check(
-        "ring-buffer variants separate from the rest (paper: left vs right cluster)",
-        ts_rb > base + 2.0 && ts_d_rb > base + 2.0,
-    );
-    check(
-        "small code changes shift the CDF (TS > Base)",
-        medians["TS"] >= base,
-    );
-    check(
-        "25 flows inflate jitter vs 1 flow (paper: right panel)",
-        p99[1].1 > 1.5 * p99[0].1,
-    );
-    check(
-        "jitter in the sub-microsecond-to-µs band",
-        p99[1].1 < 5_000.0,
-    );
+    let path = args.first().map(String::as_str).unwrap_or(DEFAULT_SPEC);
+    let spec = steelworks_bench::load_spec(path, "fig4");
+    print!("{}", run_spec(&spec, jobs));
 }

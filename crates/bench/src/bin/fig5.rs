@@ -3,110 +3,21 @@
 //! (a) Cyclic frames per 50 ms sent by vPLC1 and vPLC2; vPLC1 crashes
 //! at t ≈ 1.2 s. (b) Cyclic frames per 50 ms arriving at the I/O
 //! device: control continues across the switchover.
+//!
+//! The scenario (seed, crash/migration/failback instants) comes from
+//! the committed `specs/fig5.json` scenario spec; pass a different
+//! spec path as the first argument. The pipeline lives in
+//! `steelserve::figures`.
 
-use steelworks_bench::check;
-use steelworks_core::prelude::*;
-use steelworks_netsim::time::Nanos;
+use steelserve::figures::run_spec;
 
-enum Job {
-    Crash,
-    Migration,
-}
+/// The committed default spec (regenerates `results/fig5.txt`).
+const DEFAULT_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig5.json");
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = steelpar::resolve_jobs(steelpar::take_jobs_arg(&mut args));
-    let cfg = ScenarioConfig::default();
-    println!(
-        "# Fig. 5 — InstaPLC switchover (cycle {} µs, watchdog ×{}, crash at {} ms)\n",
-        cfg.cycle_time.as_micros_f64(),
-        cfg.watchdog_factor,
-        cfg.crash_at.as_millis_f64()
-    );
-    // The crash scenario and the planned-migration companion are
-    // independent simulations; run both on the worker pool (`--jobs` /
-    // `STEELWORKS_JOBS`) and print in the original order.
-    let mut results = steelpar::run(jobs, vec![Job::Crash, Job::Migration], |j| match j {
-        Job::Crash => run_scenario(&cfg),
-        Job::Migration => run_migration_scenario(
-            &ScenarioConfig {
-                crash_at: Nanos::from_secs(100), // never
-                ..cfg.clone()
-            },
-            Nanos::from_millis(1_000),
-            Some(Nanos::from_millis(2_000)),
-        ),
-    })
-    .into_iter();
-    let (r, m) = match (results.next(), results.next()) {
-        (Some(r), Some(m)) => (r, m),
-        // steelcheck: allow(panic-reachable): steelpar::run returns exactly one result per job
-        _ => unreachable!("steelpar returns one result per job"),
-    };
-
-    println!(
-        "{}",
-        format_series("Fig. 5a — from vPLC1 (pkts / 50 ms)", 50.0, &r.vplc1_series)
-    );
-    println!(
-        "{}",
-        format_series("Fig. 5a — from vPLC2 (pkts / 50 ms)", 50.0, &r.vplc2_series)
-    );
-    println!(
-        "{}",
-        format_series("Fig. 5b — to I/O (pkts / 50 ms)", 50.0, &r.io_series)
-    );
-
-    match r.switchover_at {
-        Some(t) => println!(
-            "# switchover completed at t = {:.3} ms ({:.3} ms after the crash)",
-            t.as_millis_f64(),
-            t.as_millis_f64() - cfg.crash_at.as_millis_f64()
-        ),
-        None => println!("# switchover: none"),
-    }
-    println!("# I/O safe-state entries: {}", r.io_safe_entries);
-    println!("# twin connects answered: {}", r.twin_accepts);
-
-    // Shape checks against the paper.
-    let crash_bin = (cfg.crash_at.as_nanos() / 50_000_000) as usize;
-    check(
-        "steady ~33 pkts/50ms before the crash (paper: 20-50 band)",
-        r.vplc1_series[5..crash_bin - 1]
-            .iter()
-            .all(|&c| (25..=40).contains(&c)),
-    );
-    check(
-        "vPLC1 stops at the crash",
-        r.vplc1_series[crash_bin + 1..].iter().all(|&c| c == 0),
-    );
-    check(
-        "vPLC2 transmits continuously (twin, then device)",
-        r.vplc2_series[3..].iter().all(|&c| c >= 25),
-    );
-    check(
-        "I/O stays controlled in every bin after warm-up",
-        r.io_series[1..].iter().all(|&c| c >= 25),
-    );
-    check(
-        "switchover within a few cycles of the crash",
-        r.switchover_at
-            .map(|t| t - cfg.crash_at < steelworks_netsim::time::NanoDur::from_millis(5))
-            .unwrap_or(false),
-    );
-    check("no watchdog expiry at the device", r.io_safe_entries == 0);
-
-    // Companion experiment: planned (hitless) migration instead of a
-    // crash — the P4PLC capability the paper cites.
-    println!("\n## Planned migration (no crash: control moves and moves back)");
-    println!(
-        "# migration at 1.0 s, failback at 2.0 s; I/O received {} frames, safe-state entries {}",
-        m.io_received, m.io_safe_entries
-    );
-    check("planned migration is hitless", m.io_safe_entries == 0);
-    check(
-        "both vPLCs alive throughout (demoted primary keeps running)",
-        m.vplc1_series[5..].iter().all(|&c| c >= 25)
-            && m.vplc2_series[5..].iter().all(|&c| c >= 25),
-    );
+    let path = args.first().map(String::as_str).unwrap_or(DEFAULT_SPEC);
+    let spec = steelworks_bench::load_spec(path, "fig5");
+    print!("{}", run_spec(&spec, jobs));
 }

@@ -2,119 +2,23 @@
 //! the three topologies × two applications, plus the accuracy/cost view
 //! the paper's discussion calls out.
 //!
-//! Every (app, topology, client-count) point builds its own scenario, so
-//! the sweep fans out over a `steelpar` worker pool (`--jobs N` /
-//! `STEELWORKS_JOBS`); the grid order matches `fig6`'s sequential
-//! loops and results come back in input order, so the output is
+//! The study parameters (accuracy target, client-count sweep) come from
+//! the committed `specs/fig6.json` scenario spec; pass a different spec
+//! path as the first argument. The pipeline lives in
+//! `steelserve::figures`, where every (app, topology, client-count)
+//! point fans out over a `steelpar` worker pool (`--jobs N` /
+//! `STEELWORKS_JOBS`) and comes back in input order, so the output is
 //! byte-identical at any job count.
 
-use steelworks_bench::check;
-use steelworks_core::prelude::*;
-use steelworks_mlnet::prelude::MlApp;
+use steelserve::figures::run_spec;
+
+/// The committed default spec (regenerates `results/fig6.txt`).
+const DEFAULT_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig6.json");
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = steelpar::resolve_jobs(steelpar::take_jobs_arg(&mut args));
-    let cfg = StudyConfig::default();
-    println!(
-        "# Fig. 6 — ML-aware topologies (accuracy target {:.2})\n",
-        cfg.accuracy_target
-    );
-    let mut grid = Vec::new();
-    for app in MlApp::ALL {
-        for kind in TopologyKind::ALL {
-            for &n in &cfg.client_counts {
-                grid.push((app, kind, n));
-            }
-        }
-    }
-    let points = steelpar::run(jobs, grid, |(app, kind, n)| evaluate_point(kind, app, n, &cfg));
-
-    for app in MlApp::ALL {
-        let name = app.profile().name;
-        println!("## {name}");
-        let mut rows = Vec::new();
-        for &n in &cfg.client_counts {
-            let mut row = vec![n.to_string()];
-            for kind in TopologyKind::ALL {
-                let p = points
-                    .iter()
-                    .find(|p| p.app == app && p.topology == kind && p.clients == n)
-                    // steelcheck: allow(panic-reachable): sweep emits every (app, kind, n) combination
-                    .expect("point exists");
-                row.push(format!("{:.2}", p.latency_ms));
-            }
-            rows.push(row);
-        }
-        println!(
-            "{}",
-            format_table(
-                &format!("{name}: mean latency (ms) per topology"),
-                &["clients", "Leaf Spine", "Ring", "ML-aware"],
-                &rows
-            )
-        );
-
-        // The accuracy/cost companion view.
-        let mut rows = Vec::new();
-        for kind in TopologyKind::ALL {
-            let p = points
-                .iter()
-                .find(|p| p.app == app && p.topology == kind && p.clients == 256)
-                // steelcheck: allow(panic-reachable): sweep always includes the 256-client point
-                .expect("point exists");
-            rows.push(vec![
-                kind.name().to_string(),
-                format!("{:.3}", p.achieved_accuracy),
-                format!("{:.2}", p.max_utilization),
-                format!("{:.0}", p.cost),
-            ]);
-        }
-        println!(
-            "{}",
-            format_table(
-                &format!("{name} @256 clients: achievable accuracy / utilization / cost"),
-                &["topology", "accuracy", "max util", "cost"],
-                &rows
-            )
-        );
-    }
-
-    // Shape checks against the paper.
-    for app in MlApp::ALL {
-        let name = app.profile().name;
-        let get = |kind: TopologyKind, n: usize| {
-            points
-                .iter()
-                .find(|p| p.app == app && p.topology == kind && p.clients == n)
-                // steelcheck: allow(panic-reachable): sweep emits every (app, kind, n) combination
-                .expect("point")
-                .latency_ms
-        };
-        check(
-            &format!("{name}: ML-aware lowest at every client count"),
-            cfg.client_counts.iter().all(|&n| {
-                get(TopologyKind::MlAware, n) < get(TopologyKind::LeafSpine, n)
-                    && get(TopologyKind::MlAware, n) < get(TopologyKind::Ring, n)
-            }),
-        );
-        check(
-            &format!("{name}: ring worst (leaf-spine only slightly improves)"),
-            cfg.client_counts
-                .iter()
-                .all(|&n| get(TopologyKind::LeafSpine, n) <= get(TopologyKind::Ring, n) * 1.05),
-        );
-        check(
-            &format!("{name}: ring degrades with scale"),
-            get(TopologyKind::Ring, 256) > get(TopologyKind::Ring, 32),
-        );
-        check(
-            &format!("{name}: latencies within the figure's ~2-6 ms band (×2 envelope)"),
-            cfg.client_counts.iter().all(|&n| {
-                TopologyKind::ALL
-                    .iter()
-                    .all(|&k| (0.5..12.0).contains(&get(k, n)))
-            }),
-        );
-    }
+    let path = args.first().map(String::as_str).unwrap_or(DEFAULT_SPEC);
+    let spec = steelworks_bench::load_spec(path, "fig6");
+    print!("{}", run_spec(&spec, jobs));
 }

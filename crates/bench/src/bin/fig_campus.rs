@@ -6,117 +6,19 @@
 //! switch FDBs. The output is pure simulation state: counts, simulated
 //! times and per-class latencies; no wall-clock values, so the file is
 //! byte-identical on every run, platform and `--jobs` count.
+//!
+//! The scale points come from the committed `specs/fig_campus.json`
+//! scenario spec; pass a different spec path as the first argument.
 
-use steelworks_bench::check;
-use steelworks_core::prelude::*;
+use steelserve::figures::run_spec;
+
+/// The committed default spec (regenerates `results/fig_campus.txt`).
+const DEFAULT_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig_campus.json");
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = steelpar::resolve_jobs(steelpar::take_jobs_arg(&mut args));
-
-    let scales = vec![
-        ("small", CampusConfig::small()),
-        ("mid", CampusConfig::mid()),
-        ("campus", CampusConfig::large()),
-    ];
-    println!("# fig_campus — ring-of-leaf-spine campus scaling study");
-    println!(
-        "# scales: {}",
-        scales
-            .iter()
-            .map(|(name, cfg)| format!(
-                "{} ({}c x {}l x {}e = {} nodes)",
-                name,
-                cfg.cells,
-                cfg.leaves_per_cell,
-                cfg.endpoints_per_leaf,
-                cfg.node_count()
-            ))
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
-    println!();
-
-    // The three scale points are independent worlds: run them on the
-    // worker pool (`--jobs` / `STEELWORKS_JOBS`) and print in order.
-    let results = steelpar::run(jobs, scales.clone(), |(_, cfg)| run_campus(&cfg));
-
-    println!(
-        "# {:<8} {:>8} {:>8} {:>10} {:>10} {:>12} {:>10}",
-        "scale", "nodes", "links", "sent", "received", "events", "sim-end-ms"
-    );
-    for ((name, _), r) in scales.iter().zip(&results) {
-        println!(
-            "  {:<8} {:>8} {:>8} {:>10} {:>10} {:>12} {:>10.3}",
-            name,
-            r.nodes,
-            r.links,
-            r.frames_sent,
-            r.frames_received,
-            r.events_processed,
-            r.sim_end_ns as f64 / 1e6,
-        );
-    }
-
-    println!();
-    println!(
-        "# per-class latency (ns): {:<8} {:>8} {:>10} {:>10} {:>10}",
-        "scale", "class", "flows", "min", "max"
-    );
-    for ((name, _), r) in scales.iter().zip(&results) {
-        for (class, cs) in [PathClass::Local, PathClass::Cell, PathClass::Ring]
-            .iter()
-            .zip(&r.classes)
-        {
-            println!(
-                "  {:<24} {:>8} {:>10} {:>10} {:>10}",
-                name,
-                class.label(),
-                cs.flows,
-                cs.min_latency_ns,
-                cs.max_latency_ns
-            );
-        }
-    }
-
-    println!();
-    for ((name, _), r) in scales.iter().zip(&results) {
-        println!(
-            "# {}: switches forwarded {} / flooded {} / filtered {} / tail-dropped {}, link drops {}, peak queue {}",
-            name,
-            r.switch_forwarded,
-            r.switch_flooded,
-            r.switch_filtered,
-            r.switch_tail_drops,
-            r.link_drops,
-            r.peak_queue_depth
-        );
-    }
-
-    println!();
-    for ((name, _), r) in scales.iter().zip(&results) {
-        check(
-            &format!("{name}: every emitted frame is delivered"),
-            r.frames_sent > 0 && r.frames_received == r.frames_sent,
-        );
-        check(
-            &format!("{name}: static FDB complete (zero flooding on the ring)"),
-            r.switch_flooded == 0,
-        );
-        check(
-            &format!("{name}: no tail drops at commissioned load"),
-            r.switch_tail_drops == 0,
-        );
-        let [local, cell, ring] = r.classes;
-        check(
-            &format!("{name}: latency classes ordered local < cell < ring"),
-            local.max_latency_ns < cell.min_latency_ns
-                && cell.max_latency_ns < ring.min_latency_ns,
-        );
-    }
-    let campus = &results[2];
-    check(
-        "campus scale exceeds 100k nodes",
-        campus.nodes > 100_000,
-    );
+    let path = args.first().map(String::as_str).unwrap_or(DEFAULT_SPEC);
+    let spec = steelworks_bench::load_spec(path, "fig_campus");
+    print!("{}", run_spec(&spec, jobs));
 }

@@ -1,0 +1,241 @@
+//! steelload — the closed-loop load generator for `steelserve`.
+//!
+//! Spawns a `steelserve` instance in-process (or targets a running one
+//! via `--addr`), then drives it through two phases over real loopback
+//! TCP with keep-alive HTTP clients:
+//!
+//! 1. **cold-miss** — every distinct spec of a seeded [`sample_mix`]
+//!    posted once against an empty cache: each request executes its
+//!    scenario on the server's steelpar pool.
+//! 2. **cache-hit** — a closed loop of `--requests` total requests
+//!    (default 10⁵) from `--clients` concurrent clients, each picking
+//!    specs from the now-warm mix with a forked deterministic RNG:
+//!    every request is answered from the content-addressed cache.
+//!
+//! The spec *mix* is a pure function of `--seed`, so a load run asks
+//! for exactly the same scenarios request-for-request on every
+//! machine; only the measured latencies differ. Results print as
+//! aligned [`QuantileRow`]s and publish to `results/BENCH_serve.json`
+//! (override with `$BENCH_JSON`) in the workspace's flat-JSON
+//! trajectory format: requests, requests/sec, and p50/p90/p99
+//! latencies per phase.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+use steelserve::http::{header, Client};
+use steelserve::server::{bind, ServerConfig};
+use steelserve::spec::{sample_mix, Spec};
+use steelworks_netsim::rng::SimRng;
+use steelworks_netsim::stats::QuantileRow;
+
+/// Default total requests in the cache-hit phase.
+const DEFAULT_REQUESTS: usize = 100_000;
+/// Default concurrent closed-loop clients.
+const DEFAULT_CLIENTS: usize = 8;
+/// Default size of the sampled spec mix (pre-dedup).
+const DEFAULT_SPECS: usize = 64;
+/// Default mix seed (same draw as the spec-layer unit tests).
+const DEFAULT_SEED: u64 = 0x10AD;
+/// Default hit-path determinism cross-check cadence.
+const DEFAULT_CROSSCHECK_EVERY: u64 = 4_096;
+
+/// One phase's published measurements.
+struct PhaseReport {
+    row: QuantileRow,
+    rps: f64,
+}
+
+impl PhaseReport {
+    /// Flat JSON object in the `BENCH_*.json` trajectory style.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"requests\":{},\"rps\":{:.1},\"p50_ns\":{:.1},\"p90_ns\":{:.1},\"p99_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}}}",
+            self.row.name,
+            self.row.count,
+            self.rps,
+            self.row.p50_ns,
+            self.row.p90_ns,
+            self.row.p99_ns,
+            self.row.mean_ns,
+            self.row.min_ns,
+            self.row.max_ns
+        )
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == name)?;
+    if at + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(at + 1);
+    args.remove(at);
+    Some(value)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &mut Vec<String>, name: &str, default: T) -> T {
+    match take_flag(args, name) {
+        None => default,
+        Some(raw) => raw
+            .parse()
+            // steelcheck: allow(panic-reachable): dies on a malformed flag before any load starts
+            .unwrap_or_else(|_| panic!("{name} expects a number, got {raw:?}")),
+    }
+}
+
+/// POST one spec and return its round-trip latency in nanoseconds plus
+/// the server's cache disposition (`miss` / `hit` / `wait`).
+fn post_spec(client: &mut Client, body: &str) -> (f64, String) {
+    let start = Instant::now();
+    let resp = client
+        .request("POST", "/run", body.as_bytes())
+        // steelcheck: allow(panic-reachable): a dead server invalidates the whole load run
+        .unwrap_or_else(|e| panic!("POST /run: {e}"));
+    let nanos = start.elapsed().as_nanos() as f64;
+    if resp.status != 200 {
+        // steelcheck: allow(panic-reachable): a rejected spec invalidates the whole load run
+        panic!(
+            "POST /run returned {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body).trim_end()
+        );
+    }
+    let disposition = header(&resp.headers, "X-Steelserve-Cache")
+        .unwrap_or("?")
+        .to_string();
+    (nanos, disposition)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = steelpar::resolve_jobs(steelpar::take_jobs_arg(&mut args));
+    let requests: usize = parse_flag(&mut args, "--requests", DEFAULT_REQUESTS).max(1);
+    let clients: usize = parse_flag(&mut args, "--clients", DEFAULT_CLIENTS).max(1);
+    let mix_size: usize = parse_flag(&mut args, "--specs", DEFAULT_SPECS).max(1);
+    let seed: u64 = parse_flag(&mut args, "--seed", DEFAULT_SEED);
+    let crosscheck_every: u64 =
+        parse_flag(&mut args, "--crosscheck-every", DEFAULT_CROSSCHECK_EVERY);
+    let external = take_flag(&mut args, "--addr");
+    if !args.is_empty() {
+        // steelcheck: allow(panic-reachable): dies on unknown flags before any load starts
+        panic!("unexpected arguments: {args:?}");
+    }
+
+    // A scratch cache, so a load run never pollutes `results/cache/`.
+    let scratch = std::env::temp_dir().join(format!("steelload-cache-{}", std::process::id()));
+    let (addr, server_thread) = match external {
+        Some(addr) => (addr, None),
+        None => {
+            let cfg = ServerConfig {
+                jobs,
+                crosscheck_every,
+                cache_dir: scratch.clone(),
+                ..ServerConfig::default()
+            };
+            // steelcheck: allow(panic-reachable): cannot load-test without a listening socket
+            let server = bind(&cfg).unwrap_or_else(|e| panic!("bind: {e}"));
+            let addr = server.local_addr().to_string();
+            (addr, Some(std::thread::spawn(move || server.serve_forever())))
+        }
+    };
+    println!("# steelload against {addr} (jobs {jobs}, seed {seed:#x})");
+
+    // The request mix: a seeded draw, deduplicated by content address.
+    let mut seen = BTreeSet::new();
+    let specs: Vec<Spec> = sample_mix(mix_size, seed)
+        .into_iter()
+        .filter(|s| seen.insert(s.key()))
+        .collect();
+    let bodies: Vec<String> = specs.iter().map(Spec::canonical).collect();
+    println!(
+        "# mix: {} distinct specs from {mix_size} draws; {requests} hit requests over {clients} clients",
+        specs.len()
+    );
+
+    // Phase 1 — cold misses: every distinct spec once, empty cache.
+    let mut client = Client::connect(&addr);
+    let cold_start = Instant::now();
+    let mut cold_ns = Vec::with_capacity(bodies.len());
+    let mut cold_misses = 0usize;
+    for body in &bodies {
+        let (nanos, disposition) = post_spec(&mut client, body);
+        cold_ns.push(nanos);
+        cold_misses += usize::from(disposition == "miss");
+    }
+    let cold_elapsed = cold_start.elapsed().as_nanos() as f64;
+    steelworks_bench::check(
+        "cold phase executed every distinct spec",
+        cold_misses == bodies.len(),
+    );
+
+    // Phase 2 — cache hits: closed loop, `clients` concurrent
+    // keep-alive connections, deterministic per-client spec picks.
+    let hit_start = Instant::now();
+    let mut workers = Vec::with_capacity(clients);
+    let mut mix_rng = SimRng::seed_from_u64(seed);
+    for worker in 0..clients {
+        let share = requests / clients + usize::from(worker < requests % clients);
+        let addr = addr.clone();
+        let bodies = bodies.clone();
+        let mut rng = mix_rng.fork(worker as u64);
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr);
+            let mut lat_ns = Vec::with_capacity(share);
+            let mut hits = 0usize;
+            for _ in 0..share {
+                let body = &bodies[rng.below(bodies.len() as u64) as usize];
+                let (nanos, disposition) = post_spec(&mut client, body);
+                lat_ns.push(nanos);
+                hits += usize::from(disposition == "hit");
+            }
+            (lat_ns, hits)
+        }));
+    }
+    let mut hit_ns = Vec::with_capacity(requests);
+    let mut hits = 0usize;
+    for worker in workers {
+        // steelcheck: allow(panic-reachable): a crashed load client invalidates the whole run
+        let (lat, h) = worker.join().unwrap_or_else(|_| panic!("load client panicked"));
+        hit_ns.extend(lat);
+        hits += h;
+    }
+    let hit_elapsed = hit_start.elapsed().as_nanos() as f64;
+    steelworks_bench::check("warm phase served every request from cache", hits == requests);
+
+    // Report.
+    let reports: Vec<PhaseReport> = [("serve/cold-miss", cold_ns, cold_elapsed), ("serve/cache-hit", hit_ns, hit_elapsed)]
+        .into_iter()
+        .filter_map(|(name, ns, elapsed)| {
+            let count = ns.len();
+            QuantileRow::from_unsorted(name, ns).map(|row| PhaseReport {
+                row,
+                rps: count as f64 / (elapsed / 1e9),
+            })
+        })
+        .collect();
+    println!("{}", QuantileRow::header());
+    for report in &reports {
+        println!("{}  {:>12.0} req/s", report.row.render(), report.rps);
+    }
+    let json = format!(
+        "[{}]",
+        reports
+            .iter()
+            .map(PhaseReport::to_json)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    println!("# BENCH_JSON {json}");
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "results/BENCH_serve.json".to_string());
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("# steelload: cannot write {path}: {e}");
+    }
+
+    // Shut the in-process server down and drop its scratch cache.
+    if let Some(thread) = server_thread {
+        let _ = client.request("POST", "/shutdown", b"");
+        // steelcheck: allow(panic-reachable): surfacing a server crash is the right exit here
+        thread.join().unwrap_or_else(|_| panic!("server thread panicked")).ok();
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+}

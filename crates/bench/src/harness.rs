@@ -14,6 +14,7 @@
 
 use std::hint::black_box;
 use std::time::Instant;
+use steelworks_netsim::stats::{fmt_ns, quantile_sorted};
 
 /// One benchmark's timing summary, in nanoseconds per iteration.
 #[derive(Clone, Debug)]
@@ -99,11 +100,9 @@ impl Harness {
             per_iter_ns.push(start.elapsed().as_nanos() as f64 / inner as f64);
         }
         per_iter_ns.sort_by(|a, b| a.total_cmp(b));
-        let q = |p: f64| {
-            // Nearest-rank on the sorted samples.
-            let idx = ((per_iter_ns.len() - 1) as f64 * p).round() as usize;
-            per_iter_ns[idx]
-        };
+        // Nearest-rank on the sorted samples, via the shared helper so
+        // the convention can never drift from other timing reports.
+        let q = |p: f64| quantile_sorted(&per_iter_ns, p).unwrap_or(0.0);
         let stats = BenchStats {
             name: name.clone(),
             samples: per_iter_ns.len(),
@@ -141,18 +140,6 @@ impl Harness {
                 eprintln!("# bench harness {}: cannot write {path}: {e}", self.title);
             }
         }
-    }
-}
-
-fn fmt_ns(ns: f64) -> String {
-    if ns >= 1e9 {
-        format!("{:.3} s", ns / 1e9)
-    } else if ns >= 1e6 {
-        format!("{:.3} ms", ns / 1e6)
-    } else if ns >= 1e3 {
-        format!("{:.3} us", ns / 1e3)
-    } else {
-        format!("{ns:.0} ns")
     }
 }
 

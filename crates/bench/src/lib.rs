@@ -27,3 +27,24 @@ pub fn check(label: &str, ok: bool) {
         println!("# CHECK FAIL : {label}");
     }
 }
+
+/// Load and validate the scenario spec a figure binary was pointed at
+/// (default: the committed `specs/<figure>.json`). Dies loudly on a
+/// missing file, a parse error, or a spec for a different figure —
+/// nothing has been simulated yet, so a crash is the right report.
+pub fn load_spec(path: &str, figure: &str) -> steelserve::spec::Spec {
+    let text = std::fs::read_to_string(path)
+        // steelcheck: allow(panic-reachable): dies before any simulation starts, with a clear message
+        .unwrap_or_else(|e| panic!("read spec {path}: {e}"));
+    let spec = steelserve::spec::Spec::parse(&text)
+        // steelcheck: allow(panic-reachable): dies before any simulation starts, with a clear message
+        .unwrap_or_else(|e| panic!("{path}: {e}"));
+    if spec.figure() != figure {
+        // steelcheck: allow(panic-reachable): dies before any simulation starts, with a clear message
+        panic!(
+            "{path} is a `{}` spec, but this binary renders `{figure}`",
+            spec.figure()
+        );
+    }
+    spec
+}

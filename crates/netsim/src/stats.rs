@@ -325,6 +325,102 @@ impl BinnedSeries {
     }
 }
 
+/// Format a nanosecond quantity with an auto-scaled unit — the shared
+/// rendering for every timing table the workspace prints (bench
+/// harness rows, the load generator's latency report).
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Nearest-rank quantile over an **already-sorted** slice by the bench
+/// harness convention `sorted[round((n-1) * p)]`. `None` when empty.
+///
+/// [`SampleSet::quantile`] uses `ceil(q·n) − 1`; the two conventions
+/// agree at the extremes but differ by one rank in between. Historical
+/// `BENCH_*.json` trajectories were produced with this one, so it is
+/// kept bit-for-bit for every wall-clock timing report.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = (((sorted.len() - 1) as f64) * p.clamp(0.0, 1.0)).round() as usize;
+    Some(sorted[idx.min(sorted.len() - 1)])
+}
+
+/// One named timing distribution summarized at the standard reporting
+/// quantiles (p50/p90/p99) plus mean and range — the row format shared
+/// by the serving layer's load generator and any future latency table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantileRow {
+    /// Row label.
+    pub name: String,
+    /// Observations summarized.
+    pub count: usize,
+    /// Median, nanoseconds.
+    pub p50_ns: f64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: f64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: f64,
+    /// Mean, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observation, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest observation, nanoseconds.
+    pub max_ns: f64,
+}
+
+impl QuantileRow {
+    /// Summarize `samples` (nanoseconds, any order) under `name`.
+    /// `None` when no samples were recorded.
+    pub fn from_unsorted(name: impl Into<String>, mut samples: Vec<f64>) -> Option<QuantileRow> {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+        Some(QuantileRow {
+            name: name.into(),
+            count: samples.len(),
+            p50_ns: quantile_sorted(&samples, 0.5)?,
+            p90_ns: quantile_sorted(&samples, 0.9)?,
+            p99_ns: quantile_sorted(&samples, 0.99)?,
+            mean_ns: mean,
+            min_ns: quantile_sorted(&samples, 0.0)?,
+            max_ns: quantile_sorted(&samples, 1.0)?,
+        })
+    }
+
+    /// The aligned column header matching [`QuantileRow::render`].
+    pub fn header() -> String {
+        format!(
+            "# {:<28} {:>9} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "p50", "p90", "p99", "mean", "min", "max"
+        )
+    }
+
+    /// One aligned human-readable row (units auto-scaled via
+    /// [`fmt_ns`]).
+    pub fn render(&self) -> String {
+        format!(
+            "  {:<28} {:>9} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            self.name,
+            self.count,
+            fmt_ns(self.p50_ns),
+            fmt_ns(self.p90_ns),
+            fmt_ns(self.p99_ns),
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.min_ns),
+            fmt_ns(self.max_ns)
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +553,52 @@ mod tests {
     #[should_panic(expected = "bin width must be positive")]
     fn binned_series_rejects_zero_width_bin() {
         let _ = BinnedSeries::new(NanoDur::ZERO);
+    }
+
+    #[test]
+    fn fmt_ns_golden_units() {
+        assert_eq!(fmt_ns(0.0), "0 ns");
+        assert_eq!(fmt_ns(999.0), "999 ns");
+        assert_eq!(fmt_ns(1_000.0), "1.000 us");
+        assert_eq!(fmt_ns(1_500.0), "1.500 us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.500 ms");
+        assert_eq!(fmt_ns(3.25e9), "3.250 s");
+    }
+
+    #[test]
+    fn quantile_sorted_matches_harness_convention() {
+        let sorted: Vec<f64> = (0..=29).map(f64::from).collect();
+        // round((n-1)·p): the historical bench-harness ranks.
+        assert_eq!(quantile_sorted(&sorted, 0.5), Some(15.0));
+        assert_eq!(quantile_sorted(&sorted, 0.95), Some(28.0));
+        assert_eq!(quantile_sorted(&sorted, 0.0), Some(0.0));
+        assert_eq!(quantile_sorted(&sorted, 1.0), Some(29.0));
+        assert_eq!(quantile_sorted(&sorted, 7.0), Some(29.0), "clamps");
+        assert_eq!(quantile_sorted(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_row_summarizes_and_renders_golden() {
+        let samples: Vec<f64> = (1..=100).rev().map(|i| (i * 1_000) as f64).collect();
+        let row = QuantileRow::from_unsorted("serve/hit", samples).expect("non-empty");
+        assert_eq!(row.count, 100);
+        assert_eq!(row.p50_ns, 51_000.0);
+        assert_eq!(row.p90_ns, 90_000.0);
+        assert_eq!(row.p99_ns, 99_000.0);
+        assert_eq!(row.mean_ns, 50_500.0);
+        assert_eq!(row.min_ns, 1_000.0);
+        assert_eq!(row.max_ns, 100_000.0);
+        assert!(QuantileRow::from_unsorted("empty", Vec::new()).is_none());
+
+        // The rendered table layout is a published format: pin it.
+        assert_eq!(
+            QuantileRow::header(),
+            "# name                             count          p50          p90          p99         mean          min          max"
+        );
+        assert_eq!(
+            row.render(),
+            "  serve/hit                          100    51.000 us    90.000 us    99.000 us    50.500 us     1.000 us   100.000 us"
+        );
     }
 
     #[test]

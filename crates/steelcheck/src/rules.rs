@@ -15,6 +15,7 @@
 //! | `manifest-hygiene`     | R4: path-only deps, no `source =` in Cargo.lock   |
 //! | `float-hygiene`        | R5: no float `==`/`!=`, no sim-time → float casts outside stats |
 //! | `thread-outside-exec`  | R6: no thread spawning or cross-thread sync outside the execution layer |
+//! | `network-outside-serve`| R10: no raw sockets (`std::net`) outside the serving/execution layer |
 
 use crate::lexer::{Lexed, TokKind, Token};
 use crate::report::Finding;
@@ -90,7 +91,8 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "The parallel runner's determinism argument rests on every scenario \
                     being single-threaded inside: a stray spawn in a device model would \
                     race RNG draws and event ordering. Threads and cross-thread sync \
-                    primitives live only in crates/steelpar and crates/bench.",
+                    primitives live only in crates/steelpar, crates/steelserve, and \
+                    crates/bench.",
         suppressible: true,
     },
     RuleInfo {
@@ -126,6 +128,18 @@ pub const RULES: &[RuleInfo] = &[
         suppressible: true,
     },
     RuleInfo {
+        id: "network-outside-serve",
+        summary: "no raw sockets outside the serving/execution layer (R10)",
+        rationale: "Simulated networks never touch host sockets: every packet the device \
+                    models exchange lives on the integer-nanosecond event clock. A \
+                    TcpStream or UdpSocket inside a model would couple scenario behavior \
+                    to real I/O timing and remote peer state, silently breaking the \
+                    byte-identical contract. Real networking belongs to the serving \
+                    layer: std::net lives only in crates/steelserve, crates/steelpar, \
+                    and crates/bench.",
+        suppressible: true,
+    },
+    RuleInfo {
         id: "bad-directive",
         summary: "malformed or unknown steelcheck suppression directive",
         rationale: "A typo'd suppression that silently does nothing is worse than a \
@@ -157,6 +171,7 @@ pub const ALL_RULES: &[&str] = &[
     "wallclock-reachable",
     "panic-reachable",
     "rng-entropy",
+    "network-outside-serve",
 ];
 
 /// Is `rule` a known suppressible rule id? Used to reject typo'd
@@ -183,9 +198,10 @@ pub struct FileClass {
     /// A statistics module (`stats.rs`), where converting simulated
     /// durations to floats for aggregation is the module's purpose.
     pub stats_module: bool,
-    /// Part of the execution layer (`crates/steelpar/` or the bench
-    /// harness): the only code allowed to spawn threads or use
-    /// cross-thread synchronization primitives.
+    /// Part of the execution/serving layer (`crates/steelpar/`,
+    /// `crates/steelserve/`, or the bench harness): the only code
+    /// allowed to spawn threads, use cross-thread synchronization
+    /// primitives, or open host sockets.
     pub exec: bool,
 }
 
@@ -283,6 +299,7 @@ pub fn scan_rust(
     }
     if !class.exec {
         rule_thread_outside_exec(path, lexed, &mut raw);
+        rule_network_outside_serve(path, lexed, &mut raw);
     }
 
     for f in raw {
@@ -483,6 +500,42 @@ fn rule_thread_outside_exec(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
                  scenarios must stay single-threaded — fan out in crates/steelpar, \
                  or document the invariant with \
                  `// steelcheck: allow(thread-outside-exec): <why>`",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// R10: raw sockets outside the serving/execution layer. The
+/// steelserve subsystem owns all real networking — a socket anywhere
+/// else would let simulation code observe host I/O timing and peer
+/// state. Over-approximate like R6: any `net` path segment (as in
+/// `std::net::...`) or a socket-type ident is flagged; sites with a
+/// written invariant suppress inline.
+fn rule_network_outside_serve(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    const SOCKET_IDENTS: &[&str] = &["TcpListener", "TcpStream", "UdpSocket"];
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_net_path = t.text == "net"
+            && ((i + 1 < toks.len() && toks[i + 1].is_punct("::"))
+                || (i > 0 && toks[i - 1].is_punct("::")));
+        let is_socket = SOCKET_IDENTS.contains(&t.text.as_str());
+        if !is_net_path && !is_socket {
+            continue;
+        }
+        out.push(Finding::new(
+            path,
+            t.line,
+            "network-outside-serve",
+            &format!(
+                "`{}` opens or names a host socket outside the serving layer; \
+                 simulated packets never touch std::net — serve through \
+                 crates/steelserve, or document the invariant with \
+                 `// steelcheck: allow(network-outside-serve): <why>`",
                 t.text
             ),
         ));
@@ -805,6 +858,50 @@ mod tests {
     fn thread_rule_suppressible_inline() {
         let src = "// steelcheck: allow(thread-outside-exec): id counter only\n\
                    use std::sync::atomic::AtomicU64;";
+        assert!(run(src, LIB).is_empty());
+    }
+
+    #[test]
+    fn sockets_flagged_outside_serve() {
+        for src in [
+            "use std::net::TcpListener;",
+            "pub fn f() { let _ = TcpStream::connect(\"127.0.0.1:80\"); }",
+            "use std::net::UdpSocket;",
+            "pub fn f() { let _ = std::net::SocketAddr::from(([0, 0, 0, 0], 0)); }",
+        ] {
+            let hits = run(src, LIB);
+            assert!(
+                hits.iter().all(|h| h.rule == "network-outside-serve") && !hits.is_empty(),
+                "{src}: {hits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn net_as_plain_ident_not_flagged() {
+        // A variable or field named `net` without a path separator is
+        // fine — only `net::`/`::net` path segments and socket types hit.
+        for src in [
+            "pub fn f(net: u32) -> u32 { net + 1 }",
+            "pub struct Topo { net: u32 }",
+        ] {
+            let hits = run(src, LIB);
+            assert!(hits.is_empty(), "{src}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn exec_class_exempt_from_network_rule() {
+        let exec = FileClass { exec: true, ..LIB };
+        let src = "pub fn f() { let _ = std::net::TcpListener::bind(\"127.0.0.1:0\"); }";
+        assert!(run(src, exec).is_empty());
+        assert_eq!(run(src, LIB).len(), 2, "`net::` path + TcpListener hit");
+    }
+
+    #[test]
+    fn network_rule_suppressible_inline() {
+        let src = "// steelcheck: allow(network-outside-serve): doc example, never run\n\
+                   use std::net::TcpStream;";
         assert!(run(src, LIB).is_empty());
     }
 }

@@ -115,9 +115,12 @@ pub fn classify(rel: &str) -> FileClass {
     let in_examples = rel.contains("/examples/") || rel.starts_with("examples/");
     let lib_code = in_src && !is_bin && !in_tests && !in_examples;
     let stats_module = rel.ends_with("/stats.rs") || rel.ends_with("/stats/mod.rs");
-    // The execution layer: steelpar owns the worker pool, and the bench
-    // harness times real execution (which may reasonably thread).
-    let exec = bench || rel.starts_with("crates/steelpar/");
+    // The execution layer: steelpar owns the worker pool, steelserve
+    // owns the sockets and the serving threads, and the bench harness
+    // times real execution (which may reasonably thread).
+    let exec = bench
+        || rel.starts_with("crates/steelpar/")
+        || rel.starts_with("crates/steelserve/");
     FileClass {
         bench,
         lib_code,
@@ -140,6 +143,9 @@ mod tests {
 
         let c = classify("crates/steelpar/tests/determinism.rs");
         assert!(c.exec && !c.lib_code);
+
+        let c = classify("crates/steelserve/src/server.rs");
+        assert!(c.exec && c.lib_code && !c.bench);
 
         let c = classify("crates/netsim/src/stats.rs");
         assert!(c.stats_module && c.lib_code);

@@ -1,0 +1,21 @@
+//! R10 fixture: raw sockets outside the serving layer.
+
+use std::net::TcpListener;
+use std::net::{TcpStream, UdpSocket};
+
+// steelcheck: allow(network-outside-serve): deliberately justified site
+use std::net::Shutdown;
+
+pub fn not_a_path(net: u32) -> u32 {
+    net + 1
+}
+
+pub fn binds() {
+    let _ = std::net::TcpListener::bind("127.0.0.1:0");
+}
+
+pub struct Topo {
+    pub net: u32,
+}
+
+pub const DOC: &str = "std::net::TcpStream here is just a string";

@@ -125,6 +125,37 @@ fn r6_exempt_in_execution_layer() {
 }
 
 #[test]
+fn r10_network_fixture() {
+    let src = include_str!("fixtures/r10_network.rs");
+    let f = scan_source("crates/netsim/src/fixture.rs", src);
+    // `use std::net::TcpListener` (net + TcpListener, 3), the grouped
+    // import (net + TcpStream + UdpSocket, 4), `std::net::TcpListener::
+    // bind` (net + TcpListener, 14). The suppressed `net` (7), the
+    // `net` parameter (9), the `net` field (18) and the string literal
+    // (21) are silent.
+    assert_eq!(
+        lines_for(&f, "network-outside-serve"),
+        vec![3, 3, 4, 4, 4, 14, 14]
+    );
+}
+
+#[test]
+fn r10_exempt_in_serving_and_execution_layer() {
+    let src = include_str!("fixtures/r10_network.rs");
+    for rel in [
+        "crates/steelserve/src/fixture.rs",
+        "crates/steelpar/src/fixture.rs",
+        "crates/bench/src/fixture.rs",
+    ] {
+        let f = scan_source(rel, src);
+        assert!(
+            lines_for(&f, "network-outside-serve").is_empty(),
+            "{rel} is the serving/execution layer: {f:?}"
+        );
+    }
+}
+
+#[test]
 fn r4_cargo_toml_fixture() {
     let mut f = Vec::new();
     manifest::scan_cargo_toml(

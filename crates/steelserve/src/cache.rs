@@ -1,0 +1,298 @@
+//! The content-addressed result cache.
+//!
+//! Determinism makes every figure artifact infinitely cacheable: the
+//! address is [`Spec::key`](crate::spec::Spec::key) (SHA-256 of the
+//! canonical spec), and the value is the artifact bytes, valid forever.
+//!
+//! On-disk layout (`results/cache/<key>`), one entry per file:
+//!
+//! ```text
+//! steelserve1 <sha256-hex of the artifact bytes>
+//! <canonical spec, one line>
+//! <artifact bytes...>
+//! ```
+//!
+//! The header seals the payload against on-disk corruption and the
+//! embedded canonical spec makes every entry self-describing — the
+//! `verify` mode re-executes it and byte-compares without any side
+//! table. A file that fails any part of validation (bad magic, hash
+//! mismatch, spec/key mismatch) is **evicted and treated as a miss**:
+//! a poisoned cache recomputes, it never panics and never serves
+//! corrupt bytes.
+
+use crate::sha::sha256_hex;
+use crate::spec::Spec;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+/// Magic tag of cache format v1.
+const MAGIC: &str = "steelserve1";
+
+/// Counters exposed by `GET /stats` and the load generator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory or a valid disk entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only a corrupt entry).
+    pub misses: u64,
+    /// Artifacts written.
+    pub stores: u64,
+    /// Corrupt disk entries removed.
+    pub evictions: u64,
+}
+
+/// Lock a mutex, riding through poisoning: cache state is a plain map
+/// of immutable artifacts, valid regardless of another thread's panic.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct Inner {
+    /// In-memory memo over the disk entries touched this process.
+    memo: BTreeMap<String, String>,
+    stats: CacheStats,
+}
+
+/// A content-addressed artifact store under one directory.
+pub struct ResultCache {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    /// Open (creating if needed) the cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            dir,
+            inner: Mutex::new(Inner {
+                memo: BTreeMap::new(),
+                stats: CacheStats::default(),
+            }),
+        })
+    }
+
+    /// The directory this cache persists under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &str) -> Option<PathBuf> {
+        // Keys are SHA-256 hex by construction; anything else (in
+        // particular anything with path separators) is refused, so a
+        // hostile "key" can never escape the cache directory.
+        if key.len() == 64 && key.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+        {
+            Some(self.dir.join(key))
+        } else {
+            None
+        }
+    }
+
+    /// Look up `key`, consulting the in-process memo first, then disk.
+    /// Counts a hit or miss; corrupt disk entries are evicted.
+    pub fn lookup(&self, key: &str) -> Option<String> {
+        {
+            let mut inner = lock(&self.inner);
+            if let Some(artifact) = inner.memo.get(key).cloned() {
+                inner.stats.hits += 1;
+                return Some(artifact);
+            }
+        }
+        let Some(path) = self.entry_path(key) else {
+            lock(&self.inner).stats.misses += 1;
+            return None;
+        };
+        let loaded = match std::fs::read_to_string(&path) {
+            Ok(raw) => parse_entry(key, &raw).map(|(_, artifact)| artifact),
+            Err(_) => None,
+        };
+        let mut inner = lock(&self.inner);
+        match loaded {
+            Some(artifact) => {
+                inner.stats.hits += 1;
+                inner.memo.insert(key.to_string(), artifact.clone());
+                Some(artifact)
+            }
+            None => {
+                if path.exists() {
+                    // Corrupt entry: evict so the recompute can replace it.
+                    inner.stats.evictions += u64::from(std::fs::remove_file(&path).is_ok());
+                }
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Persist `artifact` under the spec's content address and memoize
+    /// it. The write goes through a temp file + rename so a concurrent
+    /// reader never sees a torn entry.
+    pub fn store(&self, spec: &Spec, artifact: &str) -> io::Result<String> {
+        let key = spec.key();
+        let Some(path) = self.entry_path(&key) else {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "malformed cache key"));
+        };
+        let entry = format!(
+            "{MAGIC} {}\n{}\n{artifact}",
+            sha256_hex(artifact.as_bytes()),
+            spec.canonical()
+        );
+        let tmp = self.dir.join(format!(".tmp-{key}"));
+        std::fs::write(&tmp, entry)?;
+        std::fs::rename(&tmp, &path)?;
+        let mut inner = lock(&self.inner);
+        inner.stats.stores += 1;
+        inner.memo.insert(key.clone(), artifact.to_string());
+        Ok(key)
+    }
+
+    /// Drop `key` from memo and disk (used when a determinism
+    /// cross-check catches a mismatch).
+    pub fn evict(&self, key: &str) {
+        let mut inner = lock(&self.inner);
+        inner.memo.remove(key);
+        if let Some(path) = self.entry_path(key) {
+            inner.stats.evictions += u64::from(std::fs::remove_file(&path).is_ok());
+        }
+    }
+
+    /// Every `(spec, artifact)` currently on disk, sorted by key and
+    /// skipping corrupt entries — the `verify` mode's worklist.
+    pub fn entries_on_disk(&self) -> Vec<(String, Spec, String)> {
+        let mut keys: Vec<String> = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(&self.dir) {
+            for e in rd.flatten() {
+                if let Some(name) = e.file_name().to_str() {
+                    if self.entry_path(name).is_some() {
+                        keys.push(name.to_string());
+                    }
+                }
+            }
+        }
+        keys.sort();
+        let mut out = Vec::new();
+        for key in keys {
+            let Some(path) = self.entry_path(&key) else {
+                continue;
+            };
+            let Ok(raw) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            if let Some((spec, artifact)) = parse_entry(&key, &raw) {
+                out.push((key, spec, artifact));
+            }
+        }
+        out
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        lock(&self.inner).stats
+    }
+}
+
+/// Validate one raw on-disk entry against its key. `None` means the
+/// entry is corrupt (any of: bad magic, artifact-hash mismatch,
+/// embedded spec unparseable, or spec hash not matching the key).
+fn parse_entry(key: &str, raw: &str) -> Option<(Spec, String)> {
+    let (header, rest) = raw.split_once('\n')?;
+    let digest = header.strip_prefix(MAGIC)?.strip_prefix(' ')?;
+    let (spec_line, artifact) = rest.split_once('\n')?;
+    if sha256_hex(artifact.as_bytes()) != digest {
+        return None;
+    }
+    let spec = Spec::parse(spec_line).ok()?;
+    if spec.key() != key {
+        return None;
+    }
+    Some((spec, artifact.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("steelserve-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> Spec {
+        Spec::Fig4 {
+            cycles: 25,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let cache = ResultCache::open(tmpdir("roundtrip")).expect("open");
+        let key = cache.store(&spec(), "artifact bytes\n").expect("store");
+        assert_eq!(key, spec().key());
+        assert_eq!(cache.lookup(&key).as_deref(), Some("artifact bytes\n"));
+        let stats = cache.stats();
+        assert_eq!((stats.stores, stats.hits, stats.misses), (1, 1, 0));
+        // A second cache over the same directory reads it from disk.
+        let reopened = ResultCache::open(cache.dir()).expect("reopen");
+        assert_eq!(reopened.lookup(&key).as_deref(), Some("artifact bytes\n"));
+        let entries = reopened.entries_on_disk();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].1, spec());
+        assert_eq!(entries[0].2, "artifact bytes\n");
+    }
+
+    #[test]
+    fn missing_key_is_a_miss() {
+        let cache = ResultCache::open(tmpdir("miss")).expect("open");
+        assert!(cache.lookup(&spec().key()).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn poisoned_entry_recomputes_instead_of_panicking() {
+        let dir = tmpdir("poison");
+        let cache = ResultCache::open(&dir).expect("open");
+        let key = cache.store(&spec(), "good artifact").expect("store");
+
+        // Corrupt the on-disk entry behind the cache's back, in each of
+        // the ways validation must catch.
+        for garbage in [
+            "not even a header",
+            "steelserve1 deadbeef\n{\"figure\":\"fig4\"}\npayload",
+            &format!("{MAGIC} {}\nnot json\npayload", sha256_hex(b"payload")),
+        ] {
+            std::fs::write(dir.join(&key), garbage).expect("corrupt");
+            let fresh = ResultCache::open(&dir).expect("reopen");
+            assert!(fresh.lookup(&key).is_none(), "corrupt entry served: {garbage:?}");
+            let stats = fresh.stats();
+            assert_eq!((stats.misses, stats.evictions), (1, 1), "for {garbage:?}");
+            assert!(!dir.join(&key).exists(), "corrupt entry not evicted");
+            // The recompute path stores over the evicted entry.
+            fresh.store(&spec(), "good artifact").expect("restore");
+            assert_eq!(fresh.lookup(&key).as_deref(), Some("good artifact"));
+        }
+    }
+
+    #[test]
+    fn hostile_keys_never_touch_paths() {
+        let cache = ResultCache::open(tmpdir("hostile")).expect("open");
+        for bad in ["../../etc/passwd", "short", &"A".repeat(64), &"g".repeat(64)] {
+            assert!(cache.lookup(bad).is_none());
+        }
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn evict_removes_memo_and_disk() {
+        let cache = ResultCache::open(tmpdir("evict")).expect("open");
+        let key = cache.store(&spec(), "x").expect("store");
+        cache.evict(&key);
+        assert!(cache.lookup(&key).is_none());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+}

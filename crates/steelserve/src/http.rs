@@ -1,0 +1,247 @@
+//! A minimal HTTP/1.1 reader/writer over `std::net` — just enough
+//! protocol for the serving layer: request line + headers +
+//! `Content-Length` bodies, keep-alive connections, nothing else (no
+//! chunked encoding, no TLS, no HTTP/2). Both the server and the
+//! closed-loop load generator speak through this module, so the wire
+//! behavior of the two sides can never drift apart.
+//!
+//! Every function is panic-free: a malformed peer produces an
+//! `io::Error` (or `Ok(None)` for a clean close), never an abort — the
+//! server must survive arbitrary bytes on its socket.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Ceiling on one header line (start line included).
+const MAX_LINE: usize = 8 * 1024;
+/// Ceiling on the number of headers per message.
+const MAX_HEADERS: usize = 64;
+/// Ceiling on a request/response body (specs and figure artifacts are
+/// kilobytes; a megabyte of headroom is generous).
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Method verb (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target (`/run`, ...), as sent.
+    pub path: String,
+    /// Header `(name, value)` pairs in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (`Content-Length` framing only).
+    pub body: Vec<u8>,
+}
+
+/// One parsed HTTP response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body.
+    pub body: Vec<u8>,
+}
+
+/// Case-insensitive header lookup (first match).
+pub fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+fn protocol_error(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("http: {msg}"))
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, without the ending.
+fn read_line(reader: &mut BufReader<TcpStream>) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let mut chunk = [0u8; 1];
+    loop {
+        match reader.read(&mut chunk)? {
+            0 => {
+                return if line.is_empty() {
+                    Ok(None) // clean EOF between messages
+                } else {
+                    Err(protocol_error("connection closed mid-line"))
+                };
+            }
+            _ => match chunk[0] {
+                b'\n' => {
+                    if line.ends_with('\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(line));
+                }
+                b => {
+                    if line.len() >= MAX_LINE {
+                        return Err(protocol_error("header line too long"));
+                    }
+                    line.push(b as char);
+                }
+            },
+        }
+    }
+}
+
+/// Read `headers` then (if `Content-Length` is present) the body.
+fn read_headers_and_body(
+    reader: &mut BufReader<TcpStream>,
+) -> io::Result<(Vec<(String, String)>, Vec<u8>)> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?.ok_or_else(|| protocol_error("eof in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(protocol_error("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| protocol_error("header without ':'"))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+    let len = match header(&headers, "Content-Length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| protocol_error("bad Content-Length"))?,
+    };
+    if len > MAX_BODY {
+        return Err(protocol_error("body too large"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok((headers, body))
+}
+
+/// Read one request from a keep-alive connection. `Ok(None)` means the
+/// peer closed cleanly between requests.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let Some(start) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = start.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(protocol_error("malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(protocol_error("unsupported protocol version"));
+    }
+    let (headers, body) = read_headers_and_body(reader)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Read one response (client side).
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<Response> {
+    let start = read_line(reader)?.ok_or_else(|| protocol_error("eof before status line"))?;
+    let mut parts = start.split_whitespace();
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(protocol_error("malformed status line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(protocol_error("unsupported protocol version"));
+    }
+    let status = code
+        .parse::<u16>()
+        .map_err(|_| protocol_error("malformed status code"))?;
+    let (headers, body) = read_headers_and_body(reader)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Write a response with `Content-Length` framing on a keep-alive
+/// connection. `extra` headers ride along verbatim.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut msg = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: keep-alive\r\n",
+        body.len()
+    );
+    for (name, value) in extra {
+        msg.push_str(name);
+        msg.push_str(": ");
+        msg.push_str(value);
+        msg.push_str("\r\n");
+    }
+    msg.push_str("\r\n");
+    stream.write_all(msg.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A keep-alive HTTP client over one TCP connection.
+pub struct Client {
+    addr: String,
+    reader: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`); connects lazily.
+    pub fn connect(addr: &str) -> Client {
+        Client {
+            addr: addr.to_string(),
+            reader: None,
+        }
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.reader.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_nodelay(true)?;
+            self.reader = Some(BufReader::new(stream));
+        }
+        self.reader
+            .as_mut()
+            .ok_or_else(|| protocol_error("connection unavailable"))
+    }
+
+    /// Issue one request and read the response. On a transport error
+    /// the connection is dropped and retried once (the server may have
+    /// closed an idle keep-alive connection).
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        for attempt in 0..2 {
+            match self.request_once(method, path, body) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if attempt == 0 && e.kind() != io::ErrorKind::InvalidData => {
+                    self.reader = None; // reconnect and retry
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(protocol_error("request retry exhausted"))
+    }
+
+    fn request_once(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        let reader = self.ensure_connected()?;
+        let msg = format!(
+            "{method} {path} HTTP/1.1\r\nHost: steelserve\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        {
+            let stream = reader.get_mut();
+            stream.write_all(msg.as_bytes())?;
+            stream.write_all(body)?;
+            stream.flush()?;
+        }
+        read_response(reader)
+    }
+}

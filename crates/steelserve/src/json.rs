@@ -1,0 +1,507 @@
+//! A minimal hand-rolled JSON reader/writer for the scenario-spec
+//! format — the serving layer's one wire format, kept deliberately
+//! small so it can be audited like the rest of the zero-dependency
+//! workspace.
+//!
+//! Two sharp edges are intentional:
+//!
+//! - **Objects are `BTreeMap`s.** Key order is sorted everywhere, so a
+//!   value has exactly one [`Value::compact`] rendering — the property
+//!   the content-addressed cache key rests on.
+//! - **Numbers are `i64` only.** Scenario specs scale their units
+//!   (microseconds, percent) instead of carrying floats; float
+//!   canonicalization ambiguity (`1e3` vs `1000.0` vs `1000.00`) would
+//!   otherwise split the cache on equivalent specs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value (integer-only numbers; sorted object keys).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer number. Floats are rejected at parse time.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; `BTreeMap` so iteration (and serialization) is sorted.
+    Obj(BTreeMap<String, Value>),
+}
+
+/// A parse error with the byte offset it was detected at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Value {
+    /// Parse a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Value, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    /// Canonical rendering: minimal whitespace, sorted keys, escaped
+    /// strings. Two structurally equal values always produce the same
+    /// bytes — this is the hashing form.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Human-oriented rendering: two-space indentation, sorted keys.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1);
+            }),
+            Value::Obj(map) => {
+                let keys: Vec<&String> = map.keys().collect();
+                write_seq(out, indent, depth, '{', '}', keys.len(), |out, i| {
+                    write_escaped(out, keys[i]);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    map[keys[i]].write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+
+    /// Object field access (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a number.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key→value map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+/// Render `[..]`/`{..}` bodies with shared indentation logic.
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Nesting ceiling: specs are a couple of levels deep; a hostile
+/// request must not be able to overflow the parser's stack.
+const MAX_DEPTH: usize = 32;
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') if self.eat("null") => Ok(Value::Null),
+            Some(b't') if self.eat("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err(
+                "floating-point numbers are not allowed in specs; scale the unit instead \
+                 (e.g. period_us, accuracy_pct)",
+            ));
+        }
+        let digits = &self.bytes[start + usize::from(self.bytes[start] == b'-')..self.pos];
+        if digits.len() > 1 && digits[0] == b'0' {
+            return Err(self.err("leading zeros are not valid JSON"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<i64>().ok())
+            .map(Value::Int)
+            .ok_or_else(|| self.err("invalid integer literal"))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            let c = char::from_u32(hex).ok_or_else(|| {
+                                self.err("\\u escape is not a scalar value (surrogate pairs unsupported)")
+                            })?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape character")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|seq| std::str::from_utf8(seq).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // '{'
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':' after key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(self.err(&format!("duplicate key {key:?}")));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        Value::parse(s).expect(s)
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, compact) in [
+            ("null", "null"),
+            ("true", "true"),
+            ("false", "false"),
+            ("42", "42"),
+            ("-7", "-7"),
+            ("\"hi\"", "\"hi\""),
+            ("  12  ", "12"),
+        ] {
+            assert_eq!(parse(text).compact(), compact);
+        }
+    }
+
+    #[test]
+    fn object_keys_sort_in_compact_form() {
+        let v = parse(r#"{"zeta": 1, "alpha": {"b": 2, "a": 3}, "mid": []}"#);
+        assert_eq!(v.compact(), r#"{"alpha":{"a":3,"b":2},"mid":[],"zeta":1}"#);
+    }
+
+    #[test]
+    fn pretty_then_parse_is_identity() {
+        let v = parse(r#"{"b": [1, 2, {"x": "y"}], "a": null}"#);
+        assert_eq!(Value::parse(&v.pretty()).expect("pretty re-parses"), v);
+        assert_eq!(Value::parse(&v.compact()).expect("compact re-parses"), v);
+    }
+
+    #[test]
+    fn floats_are_rejected_with_guidance() {
+        for bad in ["1.5", "[1e3]", "{\"x\": 0.25}", "2E8"] {
+            let err = Value::parse(bad).expect_err(bad);
+            assert!(err.msg.contains("scale the unit"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_errors() {
+        for bad in [
+            "", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "1 2",
+            "{\"a\":1,\"a\":2}", "nulll", "[01]",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn leading_zero_is_rejected() {
+        // "[01]" above covers the array case; a bare leading-zero int
+        // parses as 0 followed by trailing garbage.
+        assert!(Value::parse("01").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = parse(r#""line\nquote\"tab\tback\\u\u0041""#);
+        assert_eq!(v, Value::Str("line\nquote\"tab\tback\\uA".to_string()));
+        let rendered = v.compact();
+        assert_eq!(parse(&rendered), v);
+    }
+
+    #[test]
+    fn control_chars_escape_on_output() {
+        let v = Value::Str("\u{0001}".to_string());
+        assert_eq!(v.compact(), "\"\\u0001\"");
+        assert_eq!(parse(&v.compact()), v);
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        let v = parse("\"gef\u{00e4}hrlich \u{2603}\"");
+        assert_eq!(v.as_str(), Some("gef\u{00e4}hrlich \u{2603}"));
+        assert_eq!(parse(&v.compact()), v);
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        let err = Value::parse(&deep).expect_err("too deep");
+        assert!(err.msg.contains("nesting"));
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse(r#"{"n": 3, "s": "x", "a": [1], "o": {}}"#);
+        assert_eq!(v.get("n").and_then(Value::as_int), Some(3));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("a").and_then(Value::as_arr).map(<[Value]>::len), Some(1));
+        assert!(v.get("o").and_then(Value::as_obj).is_some_and(BTreeMap::is_empty));
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("n").is_none());
+    }
+}

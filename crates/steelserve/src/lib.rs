@@ -1,0 +1,33 @@
+//! **steelserve** — the cached scenario-serving layer.
+//!
+//! The workspace's determinism contract (steelcheck + the hermetic
+//! gate) guarantees that a figure artifact is a pure function of its
+//! scenario spec. This crate turns that guarantee into a service:
+//!
+//! - [`spec`] — the declarative scenario format: a small integer-only
+//!   JSON schema that expresses every figure in `results/*.txt` as
+//!   data, canonicalizes it, and derives a SHA-256 content address.
+//! - [`figures`] — the figure pipelines as `Spec -> String` library
+//!   functions (the historical binaries, ported byte-for-byte).
+//! - [`cache`] — the content-addressed result cache under
+//!   `results/cache/`: `hash(spec) → bytes`, valid forever; corrupt
+//!   entries recompute instead of panicking.
+//! - [`http`] + [`server`] — a std-only TCP + minimal HTTP/1.1 server
+//!   (`POST /run`) with in-flight request dedup and a steelpar-backed
+//!   miss executor, plus the keep-alive client the load generator and
+//!   scripts drive it with.
+//! - [`json`] / [`sha`] — the zero-dependency wire format and hash
+//!   primitive underneath all of the above.
+//!
+//! The `steelserve` binary wraps this into `serve` / `post` /
+//! `shutdown` / `verify` / `key` subcommands; `steelload` (in
+//! `crates/bench`) is the closed-loop load generator that publishes
+//! `results/BENCH_serve.json`.
+
+pub mod cache;
+pub mod figures;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod sha;
+pub mod spec;

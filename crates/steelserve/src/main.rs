@@ -1,0 +1,186 @@
+//! The `steelserve` binary: serve scenario specs over HTTP, drive a
+//! running server, or audit the result cache.
+//!
+//! ```text
+//! steelserve serve    [--addr 127.0.0.1:0] [--jobs N] [--crosscheck-every N] [--cache-dir D]
+//! steelserve post     <addr> <spec.json> [--expect hit|miss|wait]
+//! steelserve shutdown <addr>
+//! steelserve verify   [--jobs N] [--cache-dir D]
+//! steelserve key      <spec.json>
+//! ```
+//!
+//! `serve` prints `steelserve listening on <addr>` once bound (scripts
+//! scrape the ephemeral port from that line). `post` prints the
+//! returned artifact on stdout, so `steelserve post A spec.json >
+//! fig.txt` is the served twin of running a figure binary directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use steelserve::http::{header, Client};
+use steelserve::server::{bind, ServerConfig};
+use steelserve::spec::Spec;
+use steelserve::{cache, figures};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("steelserve: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Pull `--name value` out of `args` (any position), if present.
+fn take_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == name)?;
+    if at + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(at + 1);
+    args.remove(at);
+    Some(value)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return fail("usage: steelserve <serve|post|shutdown|verify|key> ...");
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "serve" => cmd_serve(args),
+        "post" => cmd_post(args),
+        "shutdown" => cmd_shutdown(args),
+        "verify" => cmd_verify(args),
+        "key" => cmd_key(args),
+        other => fail(&format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_serve(mut args: Vec<String>) -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = take_flag(&mut args, "--addr") {
+        cfg.addr = addr;
+    }
+    if let Some(jobs) = take_flag(&mut args, "--jobs") {
+        match jobs.parse() {
+            Ok(n) => cfg.jobs = steelpar::resolve_jobs(Some(n)),
+            Err(_) => return fail("--jobs expects an integer"),
+        }
+    }
+    if let Some(every) = take_flag(&mut args, "--crosscheck-every") {
+        match every.parse() {
+            Ok(n) => cfg.crosscheck_every = n,
+            Err(_) => return fail("--crosscheck-every expects an integer"),
+        }
+    }
+    if let Some(dir) = take_flag(&mut args, "--cache-dir") {
+        cfg.cache_dir = PathBuf::from(dir);
+    }
+    if !args.is_empty() {
+        return fail(&format!("unexpected arguments: {args:?}"));
+    }
+    let server = match bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("bind {}: {e}", cfg.addr)),
+    };
+    println!("steelserve listening on {}", server.local_addr());
+    match server.serve_forever() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&format!("serve: {e}")),
+    }
+}
+
+fn cmd_post(mut args: Vec<String>) -> ExitCode {
+    let expect = take_flag(&mut args, "--expect");
+    let (Some(addr), Some(path)) = (args.first().cloned(), args.get(1).cloned()) else {
+        return fail("usage: steelserve post <addr> <spec.json> [--expect hit|miss|wait]");
+    };
+    let spec_text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => return fail(&format!("read {path}: {e}")),
+    };
+    let mut client = Client::connect(&addr);
+    let resp = match client.request("POST", "/run", spec_text.as_bytes()) {
+        Ok(resp) => resp,
+        Err(e) => return fail(&format!("POST {addr}/run: {e}")),
+    };
+    let disposition = header(&resp.headers, "X-Steelserve-Cache").unwrap_or("?").to_string();
+    if resp.status != 200 {
+        return fail(&format!(
+            "server returned {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body).trim_end()
+        ));
+    }
+    if let Some(want) = expect {
+        if disposition != want {
+            return fail(&format!("expected X-Steelserve-Cache: {want}, got {disposition}"));
+        }
+    }
+    print!("{}", String::from_utf8_lossy(&resp.body));
+    ExitCode::SUCCESS
+}
+
+fn cmd_shutdown(args: Vec<String>) -> ExitCode {
+    let Some(addr) = args.first() else {
+        return fail("usage: steelserve shutdown <addr>");
+    };
+    let mut client = Client::connect(addr);
+    match client.request("POST", "/shutdown", b"") {
+        Ok(resp) if resp.status == 200 => ExitCode::SUCCESS,
+        Ok(resp) => fail(&format!("shutdown returned {}", resp.status)),
+        Err(e) => fail(&format!("POST {addr}/shutdown: {e}")),
+    }
+}
+
+/// Re-execute every cached entry and byte-compare: the determinism
+/// cross-check in bulk, over the whole cache.
+fn cmd_verify(mut args: Vec<String>) -> ExitCode {
+    let jobs = match take_flag(&mut args, "--jobs").map(|j| j.parse::<usize>()) {
+        None => steelpar::resolve_jobs(None),
+        Some(Ok(n)) => steelpar::resolve_jobs(Some(n)),
+        Some(Err(_)) => return fail("--jobs expects an integer"),
+    };
+    let dir = take_flag(&mut args, "--cache-dir").unwrap_or_else(|| "results/cache".to_string());
+    let cache = match cache::ResultCache::open(&dir) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("open cache {dir}: {e}")),
+    };
+    let entries = cache.entries_on_disk();
+    if entries.is_empty() {
+        println!("cache {dir}: empty, nothing to verify");
+        return ExitCode::SUCCESS;
+    }
+    let total = entries.len();
+    let outcomes = steelpar::run(jobs, entries, |(key, spec, artifact)| {
+        let ok = figures::run_spec(&spec, 1) == artifact;
+        (key, ok)
+    });
+    let mut bad = 0usize;
+    for (key, ok) in &outcomes {
+        if !ok {
+            eprintln!("MISMATCH {key}: re-execution differs from cached artifact");
+            bad += 1;
+        }
+    }
+    println!("cache {dir}: {}/{} entries verified byte-identical", total - bad, total);
+    if bad == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_key(args: Vec<String>) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("usage: steelserve key <spec.json>");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return fail(&format!("read {path}: {e}")),
+    };
+    match Spec::parse(&text) {
+        Ok(spec) => {
+            println!("{}", spec.key());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}

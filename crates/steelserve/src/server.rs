@@ -1,0 +1,432 @@
+//! The scenario-serving loop: accept connections, answer `POST /run`
+//! requests with figure artifacts, serve hits from the
+//! content-addressed cache, and schedule misses onto a steelpar worker
+//! pool.
+//!
+//! Request lifecycle for `POST /run`:
+//!
+//! 1. Parse + validate the spec (strict: unknown keys and out-of-range
+//!    values are a `400`, not a default run).
+//! 2. Derive the content address ([`Spec::key`]).
+//! 3. Cache hit → serve the artifact (optionally re-executing every
+//!    Nth hit as a determinism cross-check; a byte mismatch evicts the
+//!    entry and fails the request loudly with a `500`).
+//! 4. Cache miss → **in-flight dedup**: the first requester of a key
+//!    becomes the leader and enqueues the spec on the executor; every
+//!    concurrent requester of the same key blocks on the same
+//!    [`Flight`] and receives the one computed artifact
+//!    (`X-Steelserve-Cache: wait`). The executor drains the queue in
+//!    batches through `steelpar::run` (each scenario itself runs with
+//!    `jobs = 1` — parallelism comes from concurrent distinct specs).
+//!
+//! The `X-Steelserve-Cache` response header (`hit` / `miss` / `wait`)
+//! makes the path taken observable to clients, tests, and the hermetic
+//! gate.
+
+use crate::cache::ResultCache;
+use crate::figures;
+use crate::http::{self, Request};
+use crate::json::Value;
+use crate::spec::Spec;
+use std::collections::BTreeMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// steelpar pool width for the miss executor.
+    pub jobs: usize,
+    /// Re-execute every Nth cache hit and byte-compare (0 disables).
+    pub crosscheck_every: u64,
+    /// Cache directory.
+    pub cache_dir: PathBuf,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: steelpar::resolve_jobs(None),
+            crosscheck_every: 0,
+            cache_dir: PathBuf::from("results/cache"),
+        }
+    }
+}
+
+/// Request counters, exposed at `GET /stats`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Requests handled (all endpoints).
+    pub requests: u64,
+    /// `POST /run` served from cache.
+    pub run_hits: u64,
+    /// `POST /run` computed by this request (dedup leader).
+    pub run_misses: u64,
+    /// `POST /run` that joined another request's in-flight computation.
+    pub run_waits: u64,
+    /// Malformed requests (unparseable spec, unknown endpoint, ...).
+    pub run_errors: u64,
+    /// Determinism cross-checks executed on hits.
+    pub crosschecks: u64,
+    /// Cross-checks whose re-execution did not match the cached bytes.
+    pub crosscheck_failures: u64,
+}
+
+/// Lock, riding through poisoning (a panicking connection thread must
+/// not wedge the whole server; all guarded state stays consistent
+/// under this module's short critical sections).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One in-flight computation; every requester of the same key waits on
+/// the same flight.
+struct Flight {
+    result: Mutex<Option<Result<String, String>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, outcome: Result<String, String>) {
+        *lock(&self.result) = Some(outcome);
+        self.done.notify_all();
+    }
+
+    fn wait_done(&self) -> Result<String, String> {
+        let mut guard = lock(&self.result);
+        loop {
+            if let Some(outcome) = guard.as_ref() {
+                return outcome.clone();
+            }
+            guard = self
+                .done
+                .wait(guard)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// The executor's work queue.
+struct Queue {
+    items: Vec<(Spec, Arc<Flight>)>,
+    shutdown: bool,
+}
+
+struct Shared {
+    cache: ResultCache,
+    addr: Mutex<Option<SocketAddr>>,
+    jobs: usize,
+    crosscheck_every: u64,
+    inflight: Mutex<BTreeMap<String, Arc<Flight>>>,
+    queue: Mutex<Queue>,
+    queue_ready: Condvar,
+    stats: Mutex<ServeStats>,
+    stopping: Mutex<bool>,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// Bind `cfg.addr` and open the cache. The returned server reports its
+/// actual address (ephemeral ports resolved) before `run` is called.
+pub fn bind(cfg: &ServerConfig) -> io::Result<Server> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let cache = ResultCache::open(&cfg.cache_dir)?;
+    Ok(Server {
+        listener,
+        addr,
+        shared: Arc::new(Shared {
+            cache,
+            addr: Mutex::new(Some(addr)),
+            jobs: cfg.jobs.max(1),
+            crosscheck_every: cfg.crosscheck_every,
+            inflight: Mutex::new(BTreeMap::new()),
+            queue: Mutex::new(Queue {
+                items: Vec::new(),
+                shutdown: false,
+            }),
+            queue_ready: Condvar::new(),
+            stats: Mutex::new(ServeStats::default()),
+            stopping: Mutex::new(false),
+        }),
+    })
+}
+
+impl Server {
+    /// The bound address (use after `addr: 127.0.0.1:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until a `POST /shutdown` arrives. Blocks the calling
+    /// thread; connection handlers and the miss executor run on their
+    /// own threads.
+    pub fn serve_forever(self) -> io::Result<()> {
+        let executor = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || executor_loop(&shared))
+        };
+        for conn in self.listener.incoming() {
+            if *lock(&self.shared.stopping) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_connection(&shared, stream));
+        }
+        // Drain the executor so in-flight leaders get their answers
+        // before the process (or embedding test) moves on.
+        {
+            let mut q = lock(&self.shared.queue);
+            q.shutdown = true;
+            self.shared.queue_ready.notify_all();
+        }
+        let _ = executor.join();
+        Ok(())
+    }
+}
+
+/// The miss executor: drain queued specs in batches over a steelpar
+/// pool. Each scenario runs with inner `jobs = 1`; concurrency comes
+/// from distinct specs in the batch, and the per-spec artifact is
+/// byte-identical either way (that is the determinism contract the
+/// hermetic gate pins).
+fn executor_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if !q.items.is_empty() {
+                    break std::mem::take(&mut q.items);
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared
+                    .queue_ready
+                    .wait(q)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        let width = shared.jobs.min(batch.len()).max(1);
+        let worker_shared = Arc::clone(shared);
+        steelpar::run(width, batch, move |(spec, flight): (Spec, Arc<Flight>)| {
+            let key = spec.key();
+            let artifact = figures::run_spec(&spec, 1);
+            let outcome = match worker_shared.cache.store(&spec, &artifact) {
+                Ok(_) => Ok(artifact),
+                Err(e) => Err(format!("cache store failed: {e}")),
+            };
+            flight.fulfill(outcome);
+            lock(&worker_shared.inflight).remove(&key);
+        });
+    }
+}
+
+/// How `POST /run` resolved, for the `X-Steelserve-Cache` header.
+enum Disposition {
+    Hit,
+    Miss,
+    Wait,
+    Error,
+}
+
+impl Disposition {
+    fn label(&self) -> &'static str {
+        match self {
+            Disposition::Hit => "hit",
+            Disposition::Miss => "miss",
+            Disposition::Wait => "wait",
+            Disposition::Error => "error",
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    // Keep-alive: serve requests until the peer closes or errors.
+    while let Ok(Some(req)) = http::read_request(&mut reader) {
+        lock(&shared.stats).requests += 1;
+        let (status, reason, disposition, body) = route(shared, &req);
+        let stop = req.method == "POST" && req.path == "/shutdown";
+        let ok = http::write_response(
+            &mut write_half,
+            status,
+            reason,
+            &[("X-Steelserve-Cache", disposition.label())],
+            body.as_bytes(),
+        )
+        .is_ok();
+        if stop {
+            request_stop(shared);
+            return;
+        }
+        if !ok {
+            return;
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, req: &Request) -> (u16, &'static str, Disposition, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/run") => handle_run(shared, &req.body),
+        ("GET", "/healthz") => (200, "OK", Disposition::Hit, "ok\n".to_string()),
+        ("GET", "/stats") => (200, "OK", Disposition::Hit, render_stats(shared)),
+        ("POST", "/shutdown") => (200, "OK", Disposition::Hit, "shutting down\n".to_string()),
+        _ => {
+            lock(&shared.stats).run_errors += 1;
+            (
+                404,
+                "Not Found",
+                Disposition::Error,
+                "unknown endpoint (try POST /run, GET /healthz, GET /stats)\n".to_string(),
+            )
+        }
+    }
+}
+
+fn handle_run(shared: &Arc<Shared>, body: &[u8]) -> (u16, &'static str, Disposition, String) {
+    let spec = std::str::from_utf8(body)
+        .map_err(|_| "spec must be UTF-8".to_string())
+        .and_then(|text| Spec::parse(text).map_err(|e| e.to_string()));
+    let spec = match spec {
+        Ok(spec) => spec,
+        Err(msg) => {
+            lock(&shared.stats).run_errors += 1;
+            return (400, "Bad Request", Disposition::Error, format!("{msg}\n"));
+        }
+    };
+    let key = spec.key();
+
+    if let Some(artifact) = shared.cache.lookup(&key) {
+        if let Err(resp) = maybe_crosscheck(shared, &spec, &key, &artifact) {
+            return resp;
+        }
+        lock(&shared.stats).run_hits += 1;
+        return (200, "OK", Disposition::Hit, artifact);
+    }
+
+    // In-flight dedup: first requester leads, the rest share the ride.
+    let (flight, leader) = {
+        let mut inflight = lock(&shared.inflight);
+        match inflight.get(&key) {
+            Some(flight) => (Arc::clone(flight), false),
+            None => {
+                let flight = Arc::new(Flight::new());
+                inflight.insert(key.clone(), Arc::clone(&flight));
+                (flight, true)
+            }
+        }
+    };
+    if leader {
+        let mut q = lock(&shared.queue);
+        q.items.push((spec, Arc::clone(&flight)));
+        shared.queue_ready.notify_all();
+    }
+    match flight.wait_done() {
+        Ok(artifact) => {
+            let disposition = if leader {
+                lock(&shared.stats).run_misses += 1;
+                Disposition::Miss
+            } else {
+                lock(&shared.stats).run_waits += 1;
+                Disposition::Wait
+            };
+            (200, "OK", disposition, artifact)
+        }
+        Err(msg) => {
+            lock(&shared.stats).run_errors += 1;
+            (500, "Internal Server Error", Disposition::Error, format!("{msg}\n"))
+        }
+    }
+}
+
+/// Every Nth hit, re-execute the spec and byte-compare against the
+/// cached artifact. A mismatch means the determinism contract broke
+/// (or the cache was poisoned past its seal): evict and fail loudly.
+fn maybe_crosscheck(
+    shared: &Arc<Shared>,
+    spec: &Spec,
+    key: &str,
+    artifact: &str,
+) -> Result<(), (u16, &'static str, Disposition, String)> {
+    if shared.crosscheck_every == 0 {
+        return Ok(());
+    }
+    let due = {
+        let mut stats = lock(&shared.stats);
+        (stats.run_hits + 1) % shared.crosscheck_every == 0 && {
+            stats.crosschecks += 1;
+            true
+        }
+    };
+    if !due {
+        return Ok(());
+    }
+    let recomputed = figures::run_spec(spec, 1);
+    if recomputed == artifact {
+        return Ok(());
+    }
+    shared.cache.evict(key);
+    lock(&shared.stats).crosscheck_failures += 1;
+    Err((
+        500,
+        "Internal Server Error",
+        Disposition::Error,
+        format!("determinism cross-check failed for key {key}: re-execution differs from cached artifact (entry evicted)\n"),
+    ))
+}
+
+fn render_stats(shared: &Arc<Shared>) -> String {
+    let stats = *lock(&shared.stats);
+    let cache = shared.cache.stats();
+    let mut obj = BTreeMap::new();
+    let int = |n: u64| Value::Int(n as i64);
+    obj.insert("requests".to_string(), int(stats.requests));
+    obj.insert("run_hits".to_string(), int(stats.run_hits));
+    obj.insert("run_misses".to_string(), int(stats.run_misses));
+    obj.insert("run_waits".to_string(), int(stats.run_waits));
+    obj.insert("run_errors".to_string(), int(stats.run_errors));
+    obj.insert("crosschecks".to_string(), int(stats.crosschecks));
+    obj.insert(
+        "crosscheck_failures".to_string(),
+        int(stats.crosscheck_failures),
+    );
+    obj.insert("cache_hits".to_string(), int(cache.hits));
+    obj.insert("cache_misses".to_string(), int(cache.misses));
+    obj.insert("cache_stores".to_string(), int(cache.stores));
+    obj.insert("cache_evictions".to_string(), int(cache.evictions));
+    Value::Obj(obj).pretty()
+}
+
+/// Flag the accept loop to stop, then poke it awake with a loopback
+/// connection (`accept()` has no timeout in std, so the flag alone
+/// would only be observed on the next organic connection).
+fn request_stop(shared: &Arc<Shared>) {
+    *lock(&shared.stopping) = true;
+    if let Some(addr) = *lock(&shared.addr) {
+        let _ = TcpStream::connect(addr);
+    }
+}

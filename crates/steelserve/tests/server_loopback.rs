@@ -1,0 +1,123 @@
+//! End-to-end serving tests over real loopback TCP: an in-process
+//! server on an ephemeral port, exercised with the crate's own
+//! keep-alive client. Covers the full request lifecycle the design
+//! promises — miss (execute + store), hit (cached bytes), concurrent
+//! duplicate requests deduplicating onto one computation, and a clean
+//! `POST /shutdown`.
+
+use std::path::PathBuf;
+use steelserve::http::{header, Client};
+use steelserve::server::{bind, ServerConfig};
+use steelserve::spec::Spec;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("steelserve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bind a server on an ephemeral loopback port with a scratch cache;
+/// returns its address and the serving thread's join handle.
+fn spawn(tag: &str) -> (String, PathBuf, std::thread::JoinHandle<std::io::Result<()>>) {
+    let dir = scratch(tag);
+    let cfg = ServerConfig {
+        jobs: 2,
+        cache_dir: dir.clone(),
+        ..ServerConfig::default()
+    };
+    let server = bind(&cfg).expect("bind ephemeral loopback port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.serve_forever());
+    (addr, dir, handle)
+}
+
+fn shutdown(addr: &str, dir: &PathBuf, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    let mut client = Client::connect(addr);
+    let resp = client.request("POST", "/shutdown", b"").expect("shutdown");
+    assert_eq!(resp.status, 200);
+    handle.join().expect("server thread").expect("serve_forever");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A tiny spec so the miss path executes a real scenario quickly.
+fn small_spec() -> Spec {
+    Spec::Fig4 { cycles: 50, seed: 7 }
+}
+
+#[test]
+fn miss_then_hit_serves_identical_bytes() {
+    let (addr, dir, handle) = spawn("miss-hit");
+    let body = small_spec().canonical();
+
+    let mut client = Client::connect(&addr);
+    let cold = client.request("POST", "/run", body.as_bytes()).expect("cold POST");
+    assert_eq!(cold.status, 200);
+    assert_eq!(header(&cold.headers, "X-Steelserve-Cache"), Some("miss"));
+    assert!(!cold.body.is_empty());
+
+    let warm = client.request("POST", "/run", body.as_bytes()).expect("warm POST");
+    assert_eq!(warm.status, 200);
+    assert_eq!(header(&warm.headers, "X-Steelserve-Cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body, "cache must serve the miss's exact bytes");
+
+    shutdown(&addr, &dir, handle);
+}
+
+#[test]
+fn concurrent_duplicates_dedup_onto_one_computation() {
+    let (addr, dir, handle) = spawn("dedup");
+    let body = Spec::Fig4 { cycles: 2_000, seed: 11 }.canonical();
+
+    // Race several connections posting the same spec against an empty
+    // cache: exactly one leader computes (`miss`), the rest either join
+    // the in-flight computation (`wait`) or, if they arrive after the
+    // store, read the cache (`hit`). All get the same bytes.
+    let clients = 6;
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let body = body.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr);
+                let resp = client.request("POST", "/run", body.as_bytes()).expect("POST");
+                assert_eq!(resp.status, 200);
+                let label = header(&resp.headers, "X-Steelserve-Cache")
+                    .expect("disposition header")
+                    .to_string();
+                (label, resp.body)
+            })
+        })
+        .collect();
+    let results: Vec<(String, Vec<u8>)> =
+        workers.into_iter().map(|w| w.join().expect("client thread")).collect();
+
+    let misses = results.iter().filter(|(label, _)| label == "miss").count();
+    assert_eq!(misses, 1, "exactly one leader may execute: {results:?}");
+    for (label, bytes) in &results {
+        assert!(
+            label == "miss" || label == "wait" || label == "hit",
+            "unexpected disposition {label}"
+        );
+        assert_eq!(bytes, &results[0].1, "all duplicates must see identical bytes");
+    }
+
+    shutdown(&addr, &dir, handle);
+}
+
+#[test]
+fn malformed_spec_is_rejected_without_killing_the_connection() {
+    let (addr, dir, handle) = spawn("reject");
+    let mut client = Client::connect(&addr);
+
+    let bad = client.request("POST", "/run", b"{\"figure\":\"fig99\"}").expect("bad POST");
+    assert_eq!(bad.status, 400);
+    assert_eq!(header(&bad.headers, "X-Steelserve-Cache"), Some("error"));
+
+    // The same keep-alive connection still serves a good request.
+    let good = client
+        .request("POST", "/run", small_spec().canonical().as_bytes())
+        .expect("good POST after rejection");
+    assert_eq!(good.status, 200);
+
+    shutdown(&addr, &dir, handle);
+}

@@ -1,0 +1,78 @@
+//! Golden tests over the shipped spec files in `specs/`.
+//!
+//! The spec documents are the public face of the serving layer: every
+//! figure binary loads one, the hermetic gate posts them over HTTP,
+//! and their content addresses name the cache entries. These tests pin
+//! (a) the on-disk bytes (parse → pretty round-trip), (b) the mapping
+//! to the committed figure defaults, and (c) the cache key derivation,
+//! so an accidental format or canonicalization change cannot silently
+//! re-address every cached artifact.
+
+use std::path::PathBuf;
+use steelserve::spec::{Spec, FIGURES};
+
+/// Content address of `specs/fig4.json`. Pinned: if this moves, every
+/// cache entry ever written for the default Fig. 4 run is orphaned —
+/// such a change must be deliberate and called out in review.
+const FIG4_KEY: &str = "d613e05edb8a4e4017be829ab733a8b2911aa86f13fa88397ddf20c79a334b94";
+
+fn spec_path(figure: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs")).join(format!("{figure}.json"))
+}
+
+fn load(figure: &str) -> (String, Spec) {
+    let path = spec_path(figure);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let spec =
+        Spec::parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+    (text, spec)
+}
+
+#[test]
+fn every_figure_ships_a_spec_and_round_trips_byte_exactly() {
+    for figure in FIGURES {
+        let (text, spec) = load(figure);
+        assert_eq!(spec.figure(), *figure, "{figure}: wrong figure field");
+        // The committed file is exactly the pretty-printer's output —
+        // regenerating a spec never produces a spurious diff.
+        assert_eq!(
+            spec.pretty(),
+            text,
+            "{figure}: specs/{figure}.json is not in canonical pretty form"
+        );
+        // canonical → parse → canonical is a fixed point, so the cache
+        // key survives a round trip through the wire format.
+        let reparsed = Spec::parse(&spec.canonical()).expect("canonical re-parse");
+        assert_eq!(reparsed, spec, "{figure}: canonical form lost information");
+        assert_eq!(reparsed.key(), spec.key(), "{figure}: key drifted across round trip");
+    }
+}
+
+#[test]
+fn shipped_specs_are_the_figure_defaults() {
+    // The specs in `specs/` must describe exactly the runs that
+    // produced the committed `results/<figure>.txt` artifacts.
+    for figure in FIGURES {
+        let (_, spec) = load(figure);
+        let default = Spec::default_for(figure).expect("default exists");
+        assert_eq!(
+            spec, default,
+            "{figure}: shipped spec diverged from the committed-figure defaults"
+        );
+    }
+}
+
+#[test]
+fn fig4_cache_key_is_stable() {
+    let (_, spec) = load("fig4");
+    assert_eq!(spec.key(), FIG4_KEY, "canonicalization or hashing changed");
+}
+
+#[test]
+fn keys_are_distinct_across_figures() {
+    let mut keys: Vec<String> = FIGURES.iter().map(|f| load(f).1.key()).collect();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), FIGURES.len(), "two figures share a content address");
+}

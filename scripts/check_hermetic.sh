@@ -13,14 +13,21 @@
 #      succeed — `--frozen` forbids both network access and lockfile
 #      updates, so this fails fast if anything external sneaks in.
 #   4. `steelcheck` (the in-repo three-layer static analysis: lexical
-#      rules R1–R6, the workspace call graph, and the reachability
-#      rules R7–R9) reports zero unsuppressed findings — including the
-#      directive audits (`bad-directive`, `unused-suppression`), so a
-#      stale or typo'd allow comment fails the gate too. Prints the
-#      per-rule finding-count table for the record.
+#      rules R1–R6 and R10, the workspace call graph, and the
+#      reachability rules R7–R9) reports zero unsuppressed findings —
+#      including the directive audits (`bad-directive`,
+#      `unused-suppression`), so a stale or typo'd allow comment fails
+#      the gate too. Prints the per-rule finding-count table for the
+#      record.
 #   5. Every figure binary, run under STEELWORKS_JOBS=2 (the parallel
 #      scenario runner), reproduces the committed results/*.txt
 #      byte-for-byte — the job count must never leak into outputs.
+#   6. The serving layer reproduces the same artifacts: a steelserve
+#      instance on an ephemeral loopback port, with a scratch cache,
+#      answers every spec in specs/ byte-identically to results/*.txt,
+#      twice — a cold pass that must execute (X-Steelserve-Cache: miss)
+#      and a warm pass that must not (hit). Binary, spec file, server
+#      path, and cache must all agree, or the gate fails.
 
 set -euo pipefail
 
@@ -28,7 +35,7 @@ cd "$(dirname "$0")/.."
 
 fail=0
 
-echo "== 1/5 Cargo.toml dependency audit =="
+echo "== 1/6 Cargo.toml dependency audit =="
 # Inspect every dependency-ish section of every manifest; each entry
 # must carry `path = "..."` (plus optional workspace/feature keys) or
 # be a `workspace = true` alias to a [workspace.dependencies] entry
@@ -52,7 +59,7 @@ while IFS= read -r manifest; do
 done < <(find . -name Cargo.toml -not -path './target/*')
 [ "$fail" -eq 0 ] && echo "OK: all dependencies are path deps"
 
-echo "== 2/5 Cargo.lock audit =="
+echo "== 2/6 Cargo.lock audit =="
 if [ ! -f Cargo.lock ]; then
     echo "Cargo.lock is missing (required for --frozen builds)"
     fail=1
@@ -69,11 +76,14 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 
-echo "== 3/5 frozen build + test =="
-cargo build --release --frozen
-cargo test -q --frozen
+echo "== 3/6 frozen build + test =="
+# --workspace: the gate's later steps execute member binaries
+# (figures, steelcheck, steelserve) that a bare root-package build
+# would skip.
+cargo build --release --frozen --workspace
+cargo test -q --frozen --workspace
 
-echo "== 4/5 steelcheck static analysis =="
+echo "== 4/6 steelcheck static analysis =="
 # Text mode prints the per-rule summary table on stderr; a non-zero
 # exit (any unsuppressed finding, including bad-directive and
 # unused-suppression) fails the gate via set -e.
@@ -87,7 +97,7 @@ if ! cargo run --release --frozen -q -p steelcheck -- --format json \
 fi
 echo "OK: steelcheck reports zero unsuppressed findings (stale suppressions included)"
 
-echo "== 5/5 parallel-runner output reproducibility =="
+echo "== 5/6 parallel-runner output reproducibility =="
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 for fig in fig1 fig4 fig5 fig6 challenges fig_campus; do
@@ -99,6 +109,52 @@ for fig in fig1 fig4 fig5 fig6 challenges fig_campus; do
     fi
 done
 [ "$fail" -eq 0 ] && echo "OK: all figure outputs byte-identical under parallel execution"
+[ "$fail" -eq 0 ] || exit 1
+
+echo "== 6/6 served-figure reproducibility =="
+# Start a steelserve instance on an ephemeral loopback port with a
+# scratch cache, then regenerate every figure through the server path:
+# a cold pass where each spec must execute (X-Steelserve-Cache: miss)
+# and a warm pass that must answer from the content-addressed cache
+# (hit). Both must match the committed results/*.txt byte-for-byte —
+# `post --expect` turns a wrong disposition into a hard failure.
+serve_log="$tmpdir/steelserve.log"
+target/release/steelserve serve --addr 127.0.0.1:0 --jobs 2 \
+    --cache-dir "$tmpdir/cache" > "$serve_log" &
+serve_pid=$!
+# `|| true`: by gate's end the server has already exited via
+# /shutdown, and a failed kill must not poison the exit status
+# (set -e applies inside the trap).
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^steelserve listening on //p' "$serve_log")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "steelserve died at startup:"
+        cat "$serve_log"
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "steelserve never reported its listening address"
+    exit 1
+fi
+for pass in miss hit; do
+    for fig in fig1 fig4 fig5 fig6 challenges fig_campus; do
+        target/release/steelserve post "$addr" "specs/$fig.json" \
+            --expect "$pass" > "$tmpdir/served-$fig.txt"
+        if ! diff -q "results/$fig.txt" "$tmpdir/served-$fig.txt" > /dev/null; then
+            echo "$fig served output ($pass pass) differs from results/$fig.txt:"
+            diff "results/$fig.txt" "$tmpdir/served-$fig.txt" | head -20
+            fail=1
+        fi
+    done
+done
+target/release/steelserve shutdown "$addr"
+wait "$serve_pid" 2>/dev/null || true
+[ "$fail" -eq 0 ] && echo "OK: every figure byte-identical through the server, cold and warm"
 [ "$fail" -eq 0 ] || exit 1
 
 echo "hermetic: OK"

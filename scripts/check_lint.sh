@@ -12,9 +12,10 @@
 #
 # Rules enforced (see `steelcheck --list-rules`; each suppressible with
 # inline `// steelcheck: allow(<rule>): why` or the reviewed allowlist):
-#   R1 nondet-collections   R4 manifest-hygiene   R7 wallclock-reachable
-#   R2 wall-clock           R5 float-hygiene      R8 panic-reachable
-#   R3 unwrap-in-lib        R6 thread-outside-exec R9 rng-entropy
+#   R1 nondet-collections   R5 float-hygiene        R8 panic-reachable
+#   R2 wall-clock           R6 thread-outside-exec  R9 rng-entropy
+#   R3 unwrap-in-lib        R7 wallclock-reachable  R10 network-outside-serve
+#   R4 manifest-hygiene
 # plus the unsuppressible directive audits (bad-directive,
 # unused-suppression).
 #
