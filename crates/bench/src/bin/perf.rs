@@ -18,7 +18,7 @@ use steelworks_netsim::node::NodeId;
 use steelworks_netsim::prelude::*;
 use steelworks_netsim::tap::{Tap, TapDir};
 use steelworks_netsim::time::Nanos;
-use steelworks_xdpsim::prelude::ReflectVariant;
+use steelworks_xdpsim::prelude::{loop_variant, standard_maps, verify, LoopVariant, ReflectVariant};
 
 fn bench_transmit_deliver(h: &mut Harness) {
     // The loop the netsim hot-path pass targets: frames serialized over
@@ -140,6 +140,37 @@ fn bench_fig4_e2e(h: &mut Harness) {
         })
         .tap_records
     });
+    // The same pipeline with a bounded-loop program: every frame pays
+    // the verifier-bounded payload scan, so this row tracks the fused
+    // per-block cost accounting and the fuel check on the VM hot path.
+    h.bench("perf/e2e/fig4_loops", || {
+        run_reflection(&ReflectionConfig {
+            variant: ReflectVariant::Base,
+            loop_variant: Some(LoopVariant::PayloadScan),
+            cycles: 500,
+            seed: 0x57EE1,
+            ..ReflectionConfig::default()
+        })
+        .tap_records
+    });
+}
+
+fn bench_verify_loop_corpus(h: &mut Harness) {
+    // The interval verifier itself: worklist fixpoint with widening
+    // over all three loop programs (back-edges, joins, fuel
+    // derivation). Straight-line verification is a subset of this
+    // work, so one row covers the analysis cost trajectory.
+    let (maps, _rb) = standard_maps();
+    h.bench("perf/xdpsim/verify_loop_corpus", move || {
+        let mut fuel = 0u64;
+        for v in LoopVariant::ALL {
+            let stats = verify(&loop_variant(v), &maps)
+                // steelcheck: allow(panic-reachable): the corpus is verified in unit tests; a rejection here is a broken build
+                .expect("shipped loop program verifies");
+            fuel += stats.max_insns;
+        }
+        fuel
+    });
 }
 
 fn bench_campus_e2e(h: &mut Harness) {
@@ -197,6 +228,7 @@ fn main() {
     bench_transmit_deliver(&mut h);
     bench_event_queue(&mut h);
     bench_tap_observe(&mut h);
+    bench_verify_loop_corpus(&mut h);
     bench_fig4_e2e(&mut h);
     bench_campus_e2e(&mut h);
     bench_steelpar_fanout(&mut h);

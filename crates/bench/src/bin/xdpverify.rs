@@ -1,0 +1,88 @@
+//! `xdpverify` — the xdpsim verifier as a CLI: verify the shipped
+//! program corpus and explain rejection codes, steelcheck-style.
+//!
+//! ```text
+//! cargo run --release -p steelworks-bench --bin xdpverify            # verify the corpus
+//! cargo run --release -p steelworks-bench --bin xdpverify -- --list-codes
+//! cargo run --release -p steelworks-bench --bin xdpverify -- --explain unbounded-loop
+//! ```
+//!
+//! Exit status: 0 when every shipped program verifies (or a query mode
+//! ran), 1 on an unexpected rejection, 2 on usage errors.
+
+use std::process::ExitCode;
+use steelworks_xdpsim::prelude::{
+    loop_variant, reflect_variant, reject_info, standard_maps, verify, LoopVariant, Program,
+    ReflectVariant, REJECT_CODES,
+};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--list-codes" => {
+                for r in REJECT_CODES {
+                    println!("{:<24} {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => match args.next() {
+                Some(code) => match reject_info(&code) {
+                    Some(r) => {
+                        println!("{}", r.id);
+                        println!("  {}", r.summary);
+                        println!();
+                        println!("  {}", r.detail);
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!("xdpverify: unknown code `{code}` (see --list-codes)");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("xdpverify: --explain requires a rejection code");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: xdpverify [--list-codes] [--explain CODE]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("xdpverify: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default mode: verify the shipped corpus — the six straight-line
+    // reflection variants plus the three bounded-loop programs — and
+    // print what the verifier proved about each.
+    let (maps, rb) = standard_maps();
+    let programs: Vec<(&'static str, Program)> = ReflectVariant::ALL
+        .iter()
+        .map(|&v| (v.name(), reflect_variant(v, rb)))
+        .chain(LoopVariant::ALL.iter().map(|&v| (v.name(), loop_variant(v))))
+        .collect();
+    let mut failed = 0usize;
+    println!("# {:<8} {:>5} {:>5} {:>8}  status", "program", "insns", "loops", "fuel");
+    for (name, prog) in &programs {
+        match verify(prog, &maps) {
+            Ok(s) => println!(
+                "  {:<8} {:>5} {:>5} {:>8}  ok",
+                name, s.insns, s.loops, s.max_insns
+            ),
+            Err(e) => {
+                failed += 1;
+                println!("  {:<8} REJECTED [{}]: {e}", name, e.kind.code());
+            }
+        }
+    }
+    steelworks_bench::check("every shipped program verifies", failed == 0);
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

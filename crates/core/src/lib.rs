@@ -46,8 +46,8 @@ pub mod prelude {
     pub use crate::mlaware::{evaluate_point, fig6, StudyConfig, StudyPoint, TopologyKind};
     pub use crate::report::{format_bars, format_cdf, format_series, format_table};
     pub use crate::traffic_reflection::{
-        fig4_left, fig4_left_one, fig4_right, fig4_right_one, run_reflection, ReflectionConfig,
-        ReflectionOutcome,
+        fig4_left, fig4_left_one, fig4_loop_one, fig4_right, fig4_right_one, run_reflection,
+        ReflectionConfig, ReflectionOutcome,
     };
     pub use crate::trafficmix::{
         evaluate as evaluate_traffic_mix, generate as generate_traffic_mix, LabelledFlow,

@@ -17,6 +17,9 @@ use steelworks_xdpsim::prelude::*;
 pub struct ReflectionConfig {
     /// Which program variant the host runs.
     pub variant: ReflectVariant,
+    /// When set, run this bounded-loop program instead of `variant`
+    /// (the corpus the interval verifier admits past straight-line XDP).
+    pub loop_variant: Option<LoopVariant>,
     /// Number of concurrent cyclic RT flows.
     pub flows: u32,
     /// Cycles (frames) per flow.
@@ -37,6 +40,7 @@ impl Default for ReflectionConfig {
     fn default() -> Self {
         ReflectionConfig {
             variant: ReflectVariant::Base,
+            loop_variant: None,
             flows: 1,
             cycles: 2_000,
             cycle_time: NanoDur::from_millis(1),
@@ -110,7 +114,10 @@ pub fn run_reflection(cfg: &ReflectionConfig) -> ReflectionOutcome {
 
     // The XDP host under test.
     let (maps, rb) = standard_maps();
-    let prog = reflect_variant(cfg.variant, rb);
+    let prog = match cfg.loop_variant {
+        Some(lv) => loop_variant(lv),
+        None => reflect_variant(cfg.variant, rb),
+    };
     let host = sim.add_node(
         // steelcheck: allow(unwrap-in-lib): the shipped reflection variants are verifier-tested in xdpsim
         XdpHost::new("xdp-host", prog, maps, cfg.profile.clone()).expect("shipped variants verify"),
@@ -265,6 +272,25 @@ pub fn fig4_left(seed: u64, cycles: u64) -> Vec<(&'static str, Vec<(f64, f64)>)>
         .collect()
 }
 
+/// One Fig. 4 loop-corpus scenario: the delay CDF (µs) of one
+/// bounded-loop program at the default flow count — the program class
+/// the interval verifier newly admits.
+pub fn fig4_loop_one(lv: LoopVariant, seed: u64, cycles: u64) -> (&'static str, Vec<(f64, f64)>) {
+    let mut out = run_reflection(&ReflectionConfig {
+        loop_variant: Some(lv),
+        cycles,
+        seed,
+        ..ReflectionConfig::default()
+    });
+    let cdf = out
+        .delays
+        .cdf(200)
+        .into_iter()
+        .map(|(ns, p)| (ns / 1_000.0, p)) // µs
+        .collect();
+    (lv.name(), cdf)
+}
+
 /// One Fig. 4 right-panel scenario: the TS variant at `flows`
 /// concurrent flows, returning the full outcome so callers can derive
 /// both the jitter CDF and the worst-case/burst metrics from one run.
@@ -375,6 +401,39 @@ mod tests {
         );
         // The RT host must not halt a watchdog-3 device in 300 cycles.
         assert!(!rt.would_trip_watchdog(3), "burst {}", rt.max_jitter_burst);
+    }
+
+    #[test]
+    fn loop_corpus_reflects_every_frame() {
+        for lv in LoopVariant::ALL {
+            let out = run_reflection(&ReflectionConfig {
+                loop_variant: Some(lv),
+                cycles: 200,
+                seed: 1,
+                ..ReflectionConfig::default()
+            });
+            // 50 B payloads cover every loop window: all frames reflect.
+            assert_eq!(out.stats.tx, 200, "{}", lv.name());
+            assert_eq!(out.stats.aborted, 0, "{}", lv.name());
+            assert_eq!(out.delays.len(), 200, "{}", lv.name());
+        }
+    }
+
+    #[test]
+    fn loop_programs_cost_more_than_base() {
+        let mut base = quick(ReflectVariant::Base, 1);
+        let mut scan = run_reflection(&ReflectionConfig {
+            loop_variant: Some(LoopVariant::PayloadScan),
+            cycles: 300,
+            seed: 1,
+            ..ReflectionConfig::default()
+        });
+        assert!(
+            scan.median_delay_us() > base.median_delay_us(),
+            "loop work must show up in the delay CDF: scan {} vs base {}",
+            scan.median_delay_us(),
+            base.median_delay_us()
+        );
     }
 
     #[test]

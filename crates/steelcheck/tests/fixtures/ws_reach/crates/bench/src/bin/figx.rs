@@ -9,7 +9,7 @@ fn main() {
     let _direct = SimRng::seed_from_u64(std::time::SystemTime::now());
     // steelcheck: allow(rng-entropy): fixture records a justified ambient seed
     let _excused = SimRng::seed_from_u64(steelworks_bench::ambient_seed());
-    println!("{stage} {}", checked_stage());
+    println!("{stage} {} {}", checked_stage(), walk_stage());
 }
 
 fn load_stage() -> usize {
@@ -23,4 +23,25 @@ fn parse_stage(s: &str) -> usize {
 fn checked_stage() -> usize {
     // steelcheck: allow(panic-reachable): fixture records a written invariant
     "7".parse::<usize>().unwrap()
+}
+
+fn walk_stage() -> usize {
+    // A bounded worklist fixpoint in the shape the xdpsim verifier
+    // uses: a labeled loop over a while-let drain. R8/R9 must see
+    // through both constructs — sites inside the loop body belong to
+    // this fn, and calls made per-trip stay on the reachability path.
+    let mut queue = vec![3usize, 2, 1];
+    let mut fuel = 0usize;
+    'drain: while let Some(n) = queue.pop() {
+        let _per_trip = SimRng::seed_from_u64(steelworks_bench::ambient_seed());
+        fuel += step_stage(n);
+        if fuel > 10 {
+            break 'drain;
+        }
+    }
+    fuel
+}
+
+fn step_stage(n: usize) -> usize {
+    n.to_string().parse().unwrap()
 }

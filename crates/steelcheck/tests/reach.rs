@@ -41,7 +41,7 @@ fn r7_flags_wallclock_two_calls_below_sim_entry_with_path() {
 fn r8_flags_panic_two_calls_below_figure_main_with_path() {
     let r = run_fixture("ws_reach");
     let f = by_rule(&r, "panic-reachable");
-    assert_eq!(f.len(), 1, "{:?}", r.findings);
+    assert_eq!(f.len(), 2, "{:?}", r.findings);
     assert_eq!(f[0].file, "crates/bench/src/bin/figx.rs");
     assert_eq!(f[0].line, 20);
     assert!(
@@ -53,10 +53,39 @@ fn r8_flags_panic_two_calls_below_figure_main_with_path() {
 }
 
 #[test]
+fn r8_r9_trace_through_labeled_loops_and_worklists() {
+    // `walk_stage` is a labeled while-let worklist loop (the shape of
+    // the xdpsim verifier's fixpoint): the per-trip ambient seed and
+    // the unwrap one call below the loop body must both be attributed
+    // and flagged.
+    let r = run_fixture("ws_reach");
+    let seed = by_rule(&r, "rng-entropy");
+    assert!(
+        seed.iter().any(|f| f.line == 36
+            && f.file == "crates/bench/src/bin/figx.rs"
+            && f.message.contains("flows from `bench::ambient_seed`")),
+        "{:?}",
+        r.findings
+    );
+    let panic = by_rule(&r, "panic-reachable");
+    let in_loop = panic
+        .iter()
+        .find(|f| f.line == 46 && f.file == "crates/bench/src/bin/figx.rs")
+        .unwrap_or_else(|| panic!("{:?}", r.findings));
+    assert!(
+        in_loop
+            .message
+            .contains("bench/figx::main -> bench/figx::walk_stage -> bench/figx::step_stage"),
+        "path must run through the loop body: {}",
+        in_loop.message
+    );
+}
+
+#[test]
 fn r9_flags_ambient_seeds_direct_and_through_taint() {
     let r = run_fixture("ws_reach");
     let f = by_rule(&r, "rng-entropy");
-    assert_eq!(f.len(), 2, "{:?}", r.findings);
+    assert_eq!(f.len(), 3, "{:?}", r.findings);
     // Line 8: the seed flows through bench::ambient_seed, which reads
     // the clock; line 9 reads SystemTime inside the seed expression.
     assert_eq!((f[0].file.as_str(), f[0].line), ("crates/bench/src/bin/figx.rs", 8));
@@ -104,6 +133,8 @@ fn suppressed_reachability_sites_are_silent_and_count_as_used() {
             ("crates/bench/src/bin/figx.rs".into(), 8, "rng-entropy".into()),
             ("crates/bench/src/bin/figx.rs".into(), 9, "rng-entropy".into()),
             ("crates/bench/src/bin/figx.rs".into(), 20, "panic-reachable".into()),
+            ("crates/bench/src/bin/figx.rs".into(), 36, "rng-entropy".into()),
+            ("crates/bench/src/bin/figx.rs".into(), 46, "panic-reachable".into()),
             ("crates/netsim/src/lib.rs".into(), 22, "wallclock-reachable".into()),
         ]
     );

@@ -226,6 +226,7 @@ mod tests {
         Spec::Fig4 {
             cycles: 25,
             seed: 7,
+            loops: 0,
         }
     }
 

@@ -46,7 +46,11 @@ pub fn run_spec(spec: &Spec, jobs: usize) -> String {
     let mut out = String::new();
     match spec {
         Spec::Fig1 { papers, seed } => fig1(&mut out, *papers, *seed, jobs),
-        Spec::Fig4 { cycles, seed } => fig4(&mut out, *cycles, *seed, jobs),
+        Spec::Fig4 {
+            cycles,
+            seed,
+            loops,
+        } => fig4(&mut out, *cycles, *seed, *loops, jobs),
         Spec::Fig5 {
             seed,
             crash_at_ms,
@@ -142,8 +146,10 @@ enum Fig4Outcome {
 }
 
 /// Fig. 4: Traffic Reflection delay/jitter CDFs (six eBPF/XDP variants,
-/// 1 vs 25 concurrent RT flows).
-fn fig4(out: &mut String, cycles: u64, seed: u64, jobs: usize) {
+/// 1 vs 25 concurrent RT flows). With `loops != 0`, the bounded-loop
+/// corpus panel is appended after the legacy output, so a `loops: 0`
+/// spec reproduces the pre-corpus artifact byte-for-byte.
+fn fig4(out: &mut String, cycles: u64, seed: u64, loops: u64, jobs: usize) {
     wln!(out, "# Fig. 4 — Traffic Reflection (seed {seed:#x}, {cycles} cycles/flow)\n");
 
     let scenarios: Vec<Fig4Scenario> = ReflectVariant::ALL
@@ -252,6 +258,77 @@ fn fig4(out: &mut String, cycles: u64, seed: u64, jobs: usize) {
         out,
         "jitter in the sub-microsecond-to-µs band",
         p99[1].1 < 5_000.0,
+    );
+
+    if loops != 0 {
+        fig4_loops(out, cycles, seed, base, jobs);
+    }
+}
+
+/// The bounded-loop corpus companion panel: three loop programs the
+/// interval verifier accepts with a derived fuel bound, run through the
+/// same reflection harness as the straight-line variants.
+fn fig4_loops(out: &mut String, cycles: u64, seed: u64, base_median: f64, jobs: usize) {
+    use steelworks_xdpsim::prelude::{loop_variant, standard_maps, verify, LoopVariant};
+
+    wln!(out, "\n## Loop corpus: bounded-loop variants (interval verifier, derived fuel)");
+    let results = steelpar::run(jobs, LoopVariant::ALL.to_vec(), move |lv| {
+        fig4_loop_one(lv, seed, cycles)
+    });
+    let mut medians = std::collections::BTreeMap::new();
+    for (name, cdf) in &results {
+        wln!(out, "{}", format_cdf(&format!("delay, {name}"), "us", cdf, 20));
+        let median = cdf
+            .iter()
+            .find(|(_, p)| *p >= 0.5)
+            .map(|(v, _)| *v)
+            .unwrap_or(0.0);
+        medians.insert(*name, median);
+    }
+    wln!(out, "# medians (µs):");
+    for lv in LoopVariant::ALL {
+        wln!(out, "#   {:8} {:6.2}", lv.name(), medians[lv.name()]);
+    }
+
+    // The static side of the panel: what the verifier proved about each
+    // program, including the fuel bound the VM enforces at runtime.
+    wln!(out, "# verifier: insns / loops / derived fuel (max_insns)");
+    let (maps, _rb) = standard_maps();
+    let mut all_bounded = true;
+    for lv in LoopVariant::ALL {
+        match verify(&loop_variant(lv), &maps) {
+            Ok(stats) => {
+                all_bounded &= stats.loops >= 1 && stats.max_insns > stats.insns as u64;
+                wln!(
+                    out,
+                    "#   {:8} {:>4} insns, {} loop(s), fuel {:>5}",
+                    lv.name(),
+                    stats.insns,
+                    stats.loops,
+                    stats.max_insns
+                );
+            }
+            Err(e) => {
+                all_bounded = false;
+                wln!(out, "#   {:8} REJECTED: {e}", lv.name());
+            }
+        }
+    }
+
+    check(
+        out,
+        "every loop program verifies with a loop and a finite fuel bound",
+        all_bounded,
+    );
+    check(
+        out,
+        "loop variants cost more than the straight-line Base",
+        LoopVariant::ALL.iter().all(|lv| medians[lv.name()] > base_median),
+    );
+    check(
+        out,
+        "loop delays stay within the reflection band (< 60 µs median)",
+        medians.values().all(|&m| m > 0.0 && m < 60.0),
     );
 }
 

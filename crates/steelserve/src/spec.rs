@@ -68,6 +68,9 @@ pub enum Spec {
         cycles: u64,
         /// Simulation seed.
         seed: u64,
+        /// Include the bounded-loop program corpus (0 = off, 1 = on).
+        /// Additive: 0 reproduces the pre-corpus artifact byte-for-byte.
+        loops: u64,
     },
     /// Fig. 5 — InstaPLC switchover + planned-migration companion.
     Fig5 {
@@ -174,6 +177,7 @@ impl Spec {
             "fig4" => Some(Spec::Fig4 {
                 cycles: 10_000,
                 seed: FIGURE_SEED,
+                loops: 0,
             }),
             "fig5" => Some(Spec::Fig5 {
                 seed: 0x1A57,
@@ -232,10 +236,11 @@ impl Spec {
                 })
             }
             "fig4" => {
-                reject_unknown(obj, figure, &["cycles", "seed"])?;
+                reject_unknown(obj, figure, &["cycles", "seed", "loops"])?;
                 Ok(Spec::Fig4 {
                     cycles: field_u64(obj, "cycles", 10_000, 1, 1_000_000)?,
                     seed: field_u64(obj, "seed", FIGURE_SEED, 0, i64::MAX as u64)?,
+                    loops: field_u64(obj, "loops", 0, 0, 1)?,
                 })
             }
             "fig5" => {
@@ -324,9 +329,19 @@ impl Spec {
                 obj.insert("papers".into(), int(*papers));
                 obj.insert("seed".into(), int(*seed));
             }
-            Spec::Fig4 { cycles, seed } => {
+            Spec::Fig4 {
+                cycles,
+                seed,
+                loops,
+            } => {
                 obj.insert("cycles".into(), int(*cycles));
                 obj.insert("seed".into(), int(*seed));
+                // Omitted at 0: the default canonical bytes — and with
+                // them every cached content address — stay exactly what
+                // they were before the loop corpus existed.
+                if *loops != 0 {
+                    obj.insert("loops".into(), int(*loops));
+                }
             }
             Spec::Fig5 {
                 seed,
@@ -476,6 +491,7 @@ pub fn sample_mix(count: usize, seed: u64) -> Vec<Spec> {
             0 => Spec::Fig4 {
                 cycles: rng.range(20, 60),
                 seed: draw_seed(&mut rng),
+                loops: 0,
             },
             1 => Spec::Fig1 {
                 papers: rng.range(4, 12),
@@ -530,6 +546,25 @@ mod tests {
             spec.canonical(),
             r#"{"cycles":10000,"figure":"fig4","seed":360161}"#
         );
+    }
+
+    #[test]
+    fn fig4_loops_field_is_additive() {
+        // loops: 1 round-trips, is materialized in the canonical form,
+        // and yields a different cache address.
+        let on = Spec::parse(r#"{"figure": "fig4", "loops": 1}"#).expect("loops on");
+        assert_eq!(
+            on.canonical(),
+            r#"{"cycles":10000,"figure":"fig4","loops":1,"seed":360161}"#
+        );
+        assert_eq!(Spec::parse(&on.canonical()).expect("round-trip"), on);
+        // loops: 0 is the default and stays OUT of the canonical form,
+        // so pre-corpus specs keep their exact bytes and cache keys.
+        let off = Spec::parse(r#"{"figure": "fig4", "loops": 0}"#).expect("loops off");
+        assert_eq!(off, Spec::default_for("fig4").expect("default"));
+        assert_ne!(on.key(), off.key());
+        // Out-of-range values are rejected.
+        assert!(Spec::parse(r#"{"figure": "fig4", "loops": 2}"#).is_err());
     }
 
     #[test]

@@ -41,7 +41,7 @@ fn shutdown(addr: &str, dir: &PathBuf, handle: std::thread::JoinHandle<std::io::
 
 /// A tiny spec so the miss path executes a real scenario quickly.
 fn small_spec() -> Spec {
-    Spec::Fig4 { cycles: 50, seed: 7 }
+    Spec::Fig4 { cycles: 50, seed: 7, loops: 0 }
 }
 
 #[test]
@@ -66,7 +66,7 @@ fn miss_then_hit_serves_identical_bytes() {
 #[test]
 fn concurrent_duplicates_dedup_onto_one_computation() {
     let (addr, dir, handle) = spawn("dedup");
-    let body = Spec::Fig4 { cycles: 2_000, seed: 11 }.canonical();
+    let body = Spec::Fig4 { cycles: 2_000, seed: 11, loops: 0 }.canonical();
 
     // Race several connections posting the same spec against an empty
     // cache: exactly one leader computes (`miss`), the rest either join

@@ -9,6 +9,7 @@
 //! ~3 GHz x86 server running XDP in native driver mode.
 
 use crate::insn::{Helper, Insn};
+use crate::prog::Program;
 use steelworks_netsim::time::NanoDur;
 
 /// Deterministic per-operation costs, in nanoseconds.
@@ -131,6 +132,85 @@ impl CostModel {
     }
 }
 
+/// Per-program basic-block cost plan.
+///
+/// A block is a maximal straight-line run starting at a leader (entry,
+/// jump target, or fall-through of a branch). Blocks whose instructions
+/// are all uniformly `alu_ns`-priced ("pure" — no loads, stores, or
+/// calls) can have their per-instruction charges fused into one batch
+/// at block entry. Totals stay bit-identical by construction: the fused
+/// path performs the exact same sequence of f64 additions the
+/// per-instruction path would, because nothing interleaves inside a
+/// pure block.
+#[derive(Clone, Debug, Default)]
+pub struct BlockPlan {
+    /// `pure_len[pc]` is the block length when `pc` leads a pure block,
+    /// else 0.
+    pure_len: Vec<u32>,
+}
+
+impl BlockPlan {
+    /// Partition `prog` into basic blocks and mark the pure ones.
+    pub fn new(prog: &Program) -> Self {
+        let n = prog.insns.len();
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (i, insn) in prog.insns.iter().enumerate() {
+            match *insn {
+                Insn::Ja(off) | Insn::JmpImm(_, _, _, off) | Insn::JmpReg(_, _, _, off) => {
+                    let t = (i as i64 + 1 + off as i64) as usize;
+                    if t < n {
+                        leader[t] = true;
+                    }
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Insn::Exit => {
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut pure_len = vec![0u32; n];
+        let mut i = 0;
+        while i < n {
+            let mut end = i;
+            loop {
+                let terminal = matches!(
+                    prog.insns[end],
+                    Insn::Ja(_) | Insn::JmpImm(..) | Insn::JmpReg(..) | Insn::Exit
+                );
+                if terminal || end + 1 >= n || leader[end + 1] {
+                    break;
+                }
+                end += 1;
+            }
+            let pure = prog.insns[i..=end].iter().all(|ins| {
+                !matches!(
+                    ins,
+                    Insn::Load(..) | Insn::Store(..) | Insn::StoreImm(..) | Insn::Call(_)
+                )
+            });
+            if pure {
+                pure_len[i] = (end - i + 1) as u32;
+            }
+            i = end + 1;
+        }
+        BlockPlan { pure_len }
+    }
+
+    /// Length of the pure block led by `pc`, or 0 when `pc` does not
+    /// lead one (interior instruction, or block touches memory/helpers).
+    pub fn fused_len(&self, pc: usize) -> u32 {
+        self.pure_len.get(pc).copied().unwrap_or(0)
+    }
+}
+
 /// Accumulated execution cost of one program run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ExecCost {
@@ -184,6 +264,31 @@ mod tests {
         let small = c.helper_cost(Helper::CsumDiff, 4, false);
         let big = c.helper_cost(Helper::CsumDiff, 1400, false);
         assert!(big > small + 500.0);
+    }
+
+    #[test]
+    fn block_plan_marks_pure_blocks() {
+        use crate::insn::{AluOp, CmpOp, Size};
+        use crate::prog::ProgramBuilder;
+        let mut b = ProgramBuilder::new("bp");
+        let out = b.label();
+        b.mov_imm(Reg::R0, 2)
+            .alu_imm(AluOp::Add, Reg::R0, 1)
+            .jmp_imm(CmpOp::Eq, Reg::R0, 3, out)
+            .load(Size::DW, Reg::R2, Reg::R1, 0)
+            .alu_imm(AluOp::Add, Reg::R0, 0)
+            .bind(out)
+            .exit();
+        let plan = BlockPlan::new(&b.build());
+        // [0..=2] is all-ALU: fused with length 3.
+        assert_eq!(plan.fused_len(0), 3);
+        // Interior instructions never lead a block.
+        assert_eq!(plan.fused_len(1), 0);
+        // [3..=4] contains a load: not fused.
+        assert_eq!(plan.fused_len(3), 0);
+        // The jump-target exit forms its own single-insn pure block.
+        assert_eq!(plan.fused_len(5), 1);
+        assert_eq!(plan.fused_len(99), 0);
     }
 
     #[test]

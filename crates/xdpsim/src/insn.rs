@@ -205,6 +205,81 @@ pub enum Insn {
     Exit,
 }
 
+/// Assembly spelling of an ALU opcode (`+=`, `<<=`, ...).
+pub(crate) fn alu_sym(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "+=",
+        AluOp::Sub => "-=",
+        AluOp::Mul => "*=",
+        AluOp::Div => "/=",
+        AluOp::Mod => "%=",
+        AluOp::Or => "|=",
+        AluOp::And => "&=",
+        AluOp::Xor => "^=",
+        AluOp::Lsh => "<<=",
+        AluOp::Rsh => ">>=",
+        AluOp::Arsh => "s>>=",
+    }
+}
+
+/// C-style type name for a memory access width.
+pub(crate) fn sz_sym(s: Size) -> &'static str {
+    match s {
+        Size::B => "u8",
+        Size::H => "u16",
+        Size::W => "u32",
+        Size::DW => "u64",
+    }
+}
+
+/// Assembly spelling of a comparison predicate.
+pub(crate) fn cmp_sym(c: CmpOp) -> &'static str {
+    match c {
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::SGt => "s>",
+        CmpOp::SLt => "s<",
+    }
+}
+
+impl std::fmt::Display for Insn {
+    /// One instruction in bpftool-flavoured assembly. Jump offsets are
+    /// rendered *relative* (`goto +2`, `goto -3`) because a lone
+    /// instruction has no program position; [`crate::prog::Program`]'s
+    /// disassembly resolves them to absolute targets instead.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Insn::MovImm(d, v) => write!(f, "{d:?} = {v}"),
+            Insn::MovReg(d, s) => write!(f, "{d:?} = {s:?}"),
+            Insn::Neg(d) => write!(f, "{d:?} = -{d:?}"),
+            Insn::AluImm(op, d, v) => write!(f, "{d:?} {} {v}", alu_sym(*op)),
+            Insn::AluReg(op, d, s) => write!(f, "{d:?} {} {s:?}", alu_sym(*op)),
+            Insn::Load(sz, d, b, off) => {
+                write!(f, "{d:?} = *({}*)({b:?} {off:+})", sz_sym(*sz))
+            }
+            Insn::Store(sz, b, off, s) => {
+                write!(f, "*({}*)({b:?} {off:+}) = {s:?}", sz_sym(*sz))
+            }
+            Insn::StoreImm(sz, b, off, v) => {
+                write!(f, "*({}*)({b:?} {off:+}) = {v}", sz_sym(*sz))
+            }
+            Insn::Ja(off) => write!(f, "goto {off:+}"),
+            Insn::JmpImm(op, r, v, off) => {
+                write!(f, "if {r:?} {} {v} goto {off:+}", cmp_sym(*op))
+            }
+            Insn::JmpReg(op, a, b, off) => {
+                write!(f, "if {a:?} {} {b:?} goto {off:+}", cmp_sym(*op))
+            }
+            Insn::Call(h) => write!(f, "call {h:?}"),
+            Insn::Exit => f.write_str("exit"),
+        }
+    }
+}
+
 /// Hard limit on program length (mirrors the kernel's insn budget
 /// for unprivileged programs).
 pub const MAX_INSNS: usize = 4096;
@@ -267,6 +342,25 @@ mod tests {
         assert_eq!(Size::H.bytes(), 2);
         assert_eq!(Size::W.bytes(), 4);
         assert_eq!(Size::DW.bytes(), 8);
+    }
+
+    #[test]
+    fn display_relative_jumps() {
+        assert_eq!(Insn::Ja(-2).to_string(), "goto -2");
+        assert_eq!(
+            Insn::JmpImm(CmpOp::Ge, Reg::R8, 10, 2).to_string(),
+            "if R8 >= 10 goto +2"
+        );
+        assert_eq!(
+            Insn::JmpReg(CmpOp::Lt, Reg::R8, Reg::R4, -5).to_string(),
+            "if R8 < R4 goto -5"
+        );
+        assert_eq!(
+            Insn::Load(Size::B, Reg::R0, Reg::R2, 0).to_string(),
+            "R0 = *(u8*)(R2 +0)"
+        );
+        assert_eq!(Insn::AluImm(AluOp::Add, Reg::R8, 1).to_string(), "R8 += 1");
+        assert_eq!(Insn::Exit.to_string(), "exit");
     }
 
     #[test]

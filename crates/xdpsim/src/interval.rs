@@ -1,0 +1,471 @@
+//! The interval abstract domain backing the verifier.
+//!
+//! A value is tracked as an unsigned 64-bit interval `[lo, hi]`
+//! (`lo <= hi` always; the empty interval is represented by callers as
+//! "path unreachable" rather than as a value). The domain is the
+//! classic one from abstract interpretation, specialised to what the
+//! verifier needs:
+//!
+//! - **join** is the interval hull (used at control-flow merge points),
+//! - **widen** jumps a bound that is still growing after `K` joins at a
+//!   loop head straight to `0` / `u64::MAX`, guaranteeing the fixpoint
+//!   terminates (the lattice has infinite ascending chains otherwise),
+//! - **transfer** functions mirror the VM's wrapping `u64` ALU, going
+//!   to ⊤ whenever a bound cannot be tracked exactly,
+//! - **refine** narrows both operands of a conditional jump on each
+//!   outgoing edge, which is how a loop guard like `if i >= k goto out`
+//!   re-bounds the counter inside the body even after widening.
+//!
+//! Negative constants are representable (two's complement: `-4` is the
+//! exact point interval `[2^64-4, 2^64-4]`); only the *unsigned* order
+//! is tracked, so the signed compares (`SGt`/`SLt`) refine only when
+//! both operands provably fit in `[0, i64::MAX]`, where the two orders
+//! agree.
+
+use crate::insn::CmpOp;
+use std::fmt;
+
+/// An unsigned 64-bit interval `[lo, hi]`, `lo <= hi`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// The full range (⊤): nothing is known.
+    pub const TOP: Interval = Interval { lo: 0, hi: u64::MAX };
+
+    /// The exact (point) interval `[v, v]`.
+    pub const fn exact(v: u64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// A signed immediate as its two's-complement point interval.
+    pub const fn of_imm(imm: i64) -> Interval {
+        Interval::exact(imm as u64)
+    }
+
+    /// `[lo, hi]`, clamping a reversed pair to ⊤ (caller bug guard).
+    pub fn new(lo: u64, hi: u64) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval::TOP
+        }
+    }
+
+    /// The single value, if this is a point interval.
+    pub fn as_const(&self) -> Option<u64> {
+        if self.lo == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// Is this the full range?
+    pub fn is_top(&self) -> bool {
+        self.lo == 0 && self.hi == u64::MAX
+    }
+
+    /// Does the interval contain `v`?
+    pub fn contains(&self, v: u64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Is every value of `self` also in `other`?
+    pub fn subset_of(&self, other: &Interval) -> bool {
+        other.lo <= self.lo && self.hi <= other.hi
+    }
+
+    /// Least upper bound: the interval hull.
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Classic interval widening: `joined` must be the join of the old
+    /// state (`self`) with an incoming one; any bound that moved is
+    /// sent straight to its extreme so the chain stabilises.
+    pub fn widen(&self, joined: &Interval) -> Interval {
+        Interval {
+            lo: if joined.lo < self.lo { 0 } else { self.lo },
+            hi: if joined.hi > self.hi { u64::MAX } else { self.hi },
+        }
+    }
+
+    /// Greatest lower bound, or `None` when the intersection is empty
+    /// (the path assuming both is unreachable).
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// `self + other`; ⊤ on possible wrap-around.
+    pub fn add(&self, other: &Interval) -> Interval {
+        match (self.lo.checked_add(other.lo), self.hi.checked_add(other.hi)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    /// `self - other`; ⊤ on possible wrap-around (underflow).
+    pub fn sub(&self, other: &Interval) -> Interval {
+        if self.lo >= other.hi {
+            Interval {
+                lo: self.lo - other.hi,
+                hi: self.hi - other.lo,
+            }
+        } else {
+            Interval::TOP
+        }
+    }
+
+    /// `self * other`; ⊤ on possible wrap-around.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        match (self.lo.checked_mul(other.lo), self.hi.checked_mul(other.hi)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Unsigned division; the caller must have proven `other.lo >= 1`.
+    pub fn udiv(&self, other: &Interval) -> Interval {
+        debug_assert!(other.lo >= 1);
+        Interval {
+            lo: self.lo / other.hi,
+            hi: self.hi / other.lo,
+        }
+    }
+
+    /// Unsigned remainder; the caller must have proven `other.lo >= 1`.
+    pub fn urem(&self, other: &Interval) -> Interval {
+        debug_assert!(other.lo >= 1);
+        if self.hi < other.lo {
+            // The whole dividend range is below every divisor.
+            *self
+        } else {
+            Interval { lo: 0, hi: other.hi - 1 }
+        }
+    }
+
+    /// Bitwise AND. `x & y <= min(x, y)` for unsigned values.
+    pub fn and(&self, other: &Interval) -> Interval {
+        if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
+            return Interval::exact(a & b);
+        }
+        Interval { lo: 0, hi: self.hi.min(other.hi) }
+    }
+
+    /// Bitwise OR. Bounded by the smallest all-ones mask covering both.
+    pub fn or(&self, other: &Interval) -> Interval {
+        if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
+            return Interval::exact(a | b);
+        }
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: ones_mask(self.hi | other.hi),
+        }
+    }
+
+    /// Bitwise XOR. Bounded by the smallest all-ones mask covering both.
+    pub fn xor(&self, other: &Interval) -> Interval {
+        if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
+            return Interval::exact(a ^ b);
+        }
+        Interval { lo: 0, hi: ones_mask(self.hi | other.hi) }
+    }
+
+    /// Left shift by `other & 63` (the VM masks shift amounts).
+    pub fn lsh(&self, other: &Interval) -> Interval {
+        let Some(s) = other.as_const() else { return Interval::TOP };
+        let s = s & 63;
+        if self.hi <= u64::MAX >> s {
+            Interval { lo: self.lo << s, hi: self.hi << s }
+        } else {
+            Interval::TOP
+        }
+    }
+
+    /// Logical right shift by `other & 63`.
+    pub fn rsh(&self, other: &Interval) -> Interval {
+        match other.as_const() {
+            Some(s) => {
+                let s = s & 63;
+                Interval { lo: self.lo >> s, hi: self.hi >> s }
+            }
+            // Shifting right never grows an unsigned value.
+            None => Interval { lo: 0, hi: self.hi },
+        }
+    }
+
+    /// Arithmetic right shift: exact only for point intervals (the
+    /// sign bit makes the unsigned order useless otherwise).
+    pub fn arsh(&self, other: &Interval) -> Interval {
+        match (self.as_const(), other.as_const()) {
+            (Some(v), Some(s)) => Interval::exact(((v as i64) >> (s & 63)) as u64),
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Two's-complement negation: exact only for point intervals.
+    pub fn neg(&self) -> Interval {
+        match self.as_const() {
+            Some(v) => Interval::exact(v.wrapping_neg()),
+            None => Interval::TOP,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_top() {
+            write!(f, "[0,MAX]")
+        } else if let Some(v) = self.as_const() {
+            write!(f, "[{v}]")
+        } else if self.hi == u64::MAX {
+            write!(f, "[{},MAX]", self.lo)
+        } else {
+            write!(f, "[{},{}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// Smallest `2^k - 1` mask with `mask >= v`.
+fn ones_mask(v: u64) -> u64 {
+    if v == 0 {
+        0
+    } else {
+        u64::MAX >> v.leading_zeros()
+    }
+}
+
+/// Refine `(a, b)` under the assumption that `a <op> b` evaluated to
+/// `truth`. Returns `None` when the assumption is unsatisfiable (the
+/// edge is dead), otherwise the narrowed pair. Signed compares refine
+/// only when both operands fit in `[0, i64::MAX]`, where the signed
+/// and unsigned orders coincide; otherwise they pass through unchanged.
+pub fn refine(op: CmpOp, truth: bool, a: Interval, b: Interval) -> Option<(Interval, Interval)> {
+    // Reduce to an unsigned relation, or bail for unrefinable cases.
+    let signed_ok = a.hi <= i64::MAX as u64 && b.hi <= i64::MAX as u64;
+    let rel = match (op, truth) {
+        (CmpOp::Eq, true) | (CmpOp::Ne, false) => Rel::Eq,
+        (CmpOp::Eq, false) | (CmpOp::Ne, true) => Rel::Ne,
+        (CmpOp::Lt, true) | (CmpOp::Ge, false) => Rel::Lt,
+        (CmpOp::Le, true) | (CmpOp::Gt, false) => Rel::Le,
+        (CmpOp::Gt, true) | (CmpOp::Le, false) => Rel::Gt,
+        (CmpOp::Ge, true) | (CmpOp::Lt, false) => Rel::Ge,
+        (CmpOp::SGt, true) if signed_ok => Rel::Gt,
+        (CmpOp::SGt, false) if signed_ok => Rel::Le,
+        (CmpOp::SLt, true) if signed_ok => Rel::Lt,
+        (CmpOp::SLt, false) if signed_ok => Rel::Ge,
+        (CmpOp::SGt | CmpOp::SLt, _) => return Some((a, b)),
+    };
+    match rel {
+        Rel::Eq => {
+            let i = a.intersect(&b)?;
+            Some((i, i))
+        }
+        Rel::Ne => {
+            // Only endpoint exclusion against a point operand is exact.
+            let mut a = a;
+            let mut b = b;
+            if let Some(k) = b.as_const() {
+                if a.as_const() == Some(k) {
+                    return None;
+                }
+                if a.lo == k {
+                    a.lo += 1;
+                } else if a.hi == k {
+                    a.hi -= 1;
+                }
+            }
+            if let Some(k) = a.as_const() {
+                if b.as_const() == Some(k) {
+                    return None;
+                }
+                if b.lo == k {
+                    b.lo += 1;
+                } else if b.hi == k {
+                    b.hi -= 1;
+                }
+            }
+            Some((a, b))
+        }
+        Rel::Lt => {
+            // a < b  =>  a <= b.hi - 1,  b >= a.lo + 1.
+            if b.hi == 0 || a.lo == u64::MAX {
+                return None;
+            }
+            let na = a.intersect(&Interval { lo: 0, hi: b.hi - 1 })?;
+            let nb = b.intersect(&Interval { lo: na.lo + 1, hi: u64::MAX })?;
+            Some((na, nb))
+        }
+        Rel::Le => {
+            let na = a.intersect(&Interval { lo: 0, hi: b.hi })?;
+            let nb = b.intersect(&Interval { lo: na.lo, hi: u64::MAX })?;
+            Some((na, nb))
+        }
+        Rel::Gt => {
+            let (nb, na) = refine(CmpOp::Lt, true, b, a)?;
+            Some((na, nb))
+        }
+        Rel::Ge => {
+            let (nb, na) = refine(CmpOp::Le, true, b, a)?;
+            Some((na, nb))
+        }
+    }
+}
+
+/// The reduced unsigned relation a comparison refines through.
+enum Rel {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steelworks_netsim::rng::SimRng;
+
+    fn rand_iv(rng: &mut SimRng) -> Interval {
+        // Mix small and large magnitudes so edge cases get sampled.
+        let scale = [0xFFu64, 0xFFFF, u64::MAX][rng.range(0, 3) as usize];
+        let a = rng.next_u64() & scale;
+        let b = rng.next_u64() & scale;
+        Interval::new(a.min(b), a.max(b))
+    }
+
+    /// Lattice laws, checked over a seeded sample: join is commutative
+    /// and associative, both arguments are below the join
+    /// (monotonicity of the hull), and ⊤ absorbs.
+    #[test]
+    fn join_lattice_laws_hold() {
+        let mut rng = SimRng::seed_from_u64(0x1A77);
+        for _ in 0..500 {
+            let (a, b, c) = (rand_iv(&mut rng), rand_iv(&mut rng), rand_iv(&mut rng));
+            assert_eq!(a.join(&b), b.join(&a), "join commutes");
+            assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)), "join associates");
+            assert!(a.subset_of(&a.join(&b)), "a <= a v b");
+            assert!(b.subset_of(&a.join(&b)), "b <= a v b");
+            assert_eq!(a.join(&Interval::TOP), Interval::TOP, "top absorbs");
+            assert_eq!(a.join(&a), a, "join is idempotent");
+        }
+    }
+
+    /// Widening stabilises: iterating `x = widen(x, join(x, r_i))`
+    /// against any sequence of inputs changes `x` at most twice (once
+    /// per bound), so every chain reaches a fixpoint.
+    #[test]
+    fn widening_stabilizes() {
+        let mut rng = SimRng::seed_from_u64(0x51DE);
+        for _ in 0..200 {
+            let mut x = rand_iv(&mut rng);
+            let mut changes = 0;
+            for _ in 0..64 {
+                let next = x.widen(&x.join(&rand_iv(&mut rng)));
+                assert!(x.subset_of(&next), "widening only grows");
+                if next != x {
+                    changes += 1;
+                    x = next;
+                }
+            }
+            assert!(changes <= 2, "widening changed {changes} times");
+        }
+    }
+
+    /// Transfer functions are sound: any concrete pair drawn from the
+    /// operand intervals lands inside the abstract result.
+    #[test]
+    fn transfer_soundness_sampled() {
+        let mut rng = SimRng::seed_from_u64(0xAB5);
+        for _ in 0..400 {
+            let a = rand_iv(&mut rng);
+            let b = rand_iv(&mut rng);
+            let x = a.lo + rng.next_u64() % (a.hi - a.lo).wrapping_add(1).max(1);
+            let y = b.lo + rng.next_u64() % (b.hi - b.lo).wrapping_add(1).max(1);
+            assert!(a.add(&b).contains(x.wrapping_add(y)));
+            assert!(a.sub(&b).contains(x.wrapping_sub(y)));
+            assert!(a.mul(&b).contains(x.wrapping_mul(y)));
+            assert!(a.and(&b).contains(x & y));
+            assert!(a.or(&b).contains(x | y));
+            assert!(a.xor(&b).contains(x ^ y));
+            assert!(a.rsh(&b).contains(x >> (y & 63)));
+            if b.lo >= 1 {
+                assert!(a.udiv(&b).contains(x / y));
+                assert!(a.urem(&b).contains(x % y));
+            }
+        }
+    }
+
+    /// Branch refinement is sound: concrete pairs satisfying the
+    /// assumed relation stay inside the refined intervals, and a
+    /// `None` result really means no pair satisfies it.
+    #[test]
+    fn refine_soundness_sampled() {
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let mut rng = SimRng::seed_from_u64(0x5EED_0F1E);
+        for _ in 0..400 {
+            let a = rand_iv(&mut rng);
+            let b = rand_iv(&mut rng);
+            let op = ops[rng.range(0, ops.len() as u64) as usize];
+            let truth = rng.range(0, 2) == 0;
+            let x = a.lo + rng.next_u64() % (a.hi - a.lo).wrapping_add(1).max(1);
+            let y = b.lo + rng.next_u64() % (b.hi - b.lo).wrapping_add(1).max(1);
+            let holds = match (op, truth) {
+                (CmpOp::Eq, t) => (x == y) == t,
+                (CmpOp::Ne, t) => (x != y) == t,
+                (CmpOp::Lt, t) => (x < y) == t,
+                (CmpOp::Le, t) => (x <= y) == t,
+                (CmpOp::Gt, t) => (x > y) == t,
+                (CmpOp::Ge, t) => (x >= y) == t,
+                _ => unreachable!(),
+            };
+            match refine(op, truth, a, b) {
+                Some((na, nb)) => {
+                    assert!(na.subset_of(&a) && nb.subset_of(&b), "refine only narrows");
+                    if holds {
+                        assert!(na.contains(x), "{op:?}/{truth}: {x} left {na}");
+                        assert!(nb.contains(y), "{op:?}/{truth}: {y} left {nb}");
+                    }
+                }
+                None => assert!(!holds, "{op:?}/{truth} satisfiable by ({x},{y})"),
+            }
+        }
+    }
+
+    /// Signed compares refine only in the shared-positive range.
+    #[test]
+    fn signed_refine_is_guarded() {
+        let small = Interval::new(0, 100);
+        let big = Interval::new(0, u64::MAX);
+        // In-range: behaves like the unsigned compare.
+        let (a, _) = refine(CmpOp::SLt, true, small, Interval::exact(10)).unwrap();
+        assert_eq!(a, Interval::new(0, 9));
+        // Out of range: passes through untouched.
+        let (a, b) = refine(CmpOp::SLt, true, big, Interval::exact(10)).unwrap();
+        assert_eq!((a, b), (big, Interval::exact(10)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Interval::TOP.to_string(), "[0,MAX]");
+        assert_eq!(Interval::exact(7).to_string(), "[7]");
+        assert_eq!(Interval::new(2, 5).to_string(), "[2,5]");
+        assert_eq!(Interval::new(3, u64::MAX).to_string(), "[3,MAX]");
+    }
+}

@@ -36,6 +36,7 @@
 pub mod cost;
 pub mod host;
 pub mod insn;
+pub mod interval;
 pub mod maps;
 pub mod nic;
 pub mod prog;
@@ -53,9 +54,13 @@ pub mod prelude {
     pub use crate::nic::{NicModel, PcieModel};
     pub use crate::prog::{Program, ProgramBuilder};
     pub use crate::programs::{
-        reflect_variant, rt_filter, rt_filter_allow, rt_filter_count, standard_maps, ReflectVariant,
+        loop_variant, reflect_variant, rt_filter, rt_filter_allow, rt_filter_count, standard_maps,
+        LoopVariant, ReflectVariant,
     };
-    pub use crate::verifier::{verify, VerifyError};
+    pub use crate::interval::Interval;
+    pub use crate::verifier::{
+        reject_info, verify, RejectInfo, VerifyError, VerifyKind, VerifyStats, REJECT_CODES,
+    };
     pub use crate::vm::{run, RunResult, Trap, XdpContext};
     pub use crate::xdp::{XdpHost, XdpStats};
 }

@@ -1,12 +1,15 @@
 //! Program construction: a tiny assembler with labels.
 //!
 //! Programs are written in builder style and resolved to a flat
-//! instruction vector. Only forward references are permitted — matching
-//! the verifier's back-edge ban — so a label must be placed *after*
-//! every jump that targets it.
+//! instruction vector. Ordinary labels ([`ProgramBuilder::label`] +
+//! [`ProgramBuilder::bind`]) are forward-only; loop heads are spelled
+//! with [`ProgramBuilder::here`], which binds at the current position
+//! and is the only label kind a backward jump may target — keeping
+//! accidental back-edges a construction-time panic while the verifier
+//! decides whether the intentional ones are bounded.
 
-use crate::insn::{AluOp, CmpOp, Helper, Insn, Reg, Size};
-use std::collections::BTreeMap;
+use crate::insn::{cmp_sym, AluOp, CmpOp, Helper, Insn, Reg, Size};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A compiled program plus metadata.
 #[derive(Clone, Debug)]
@@ -33,21 +36,9 @@ impl Program {
     pub fn disassemble(&self) -> String {
         let mut out = String::new();
         for (i, insn) in self.insns.iter().enumerate() {
+            // Jumps resolve to absolute targets here; every other form
+            // is the instruction's own `Display`.
             let line = match insn {
-                Insn::MovImm(d, v) => format!("{d:?} = {v}"),
-                Insn::MovReg(d, s) => format!("{d:?} = {s:?}"),
-                Insn::Neg(d) => format!("{d:?} = -{d:?}"),
-                Insn::AluImm(op, d, v) => format!("{d:?} {} {v}", alu_sym(*op)),
-                Insn::AluReg(op, d, s) => format!("{d:?} {} {s:?}", alu_sym(*op)),
-                Insn::Load(sz, d, b, off) => {
-                    format!("{d:?} = *({}*)({b:?} {off:+})", sz_sym(*sz))
-                }
-                Insn::Store(sz, b, off, s) => {
-                    format!("*({}*)({b:?} {off:+}) = {s:?}", sz_sym(*sz))
-                }
-                Insn::StoreImm(sz, b, off, v) => {
-                    format!("*({}*)({b:?} {off:+}) = {v}", sz_sym(*sz))
-                }
                 Insn::Ja(off) => format!("goto {}", i as i64 + 1 + *off as i64),
                 Insn::JmpImm(op, r, v, off) => format!(
                     "if {r:?} {} {v} goto {}",
@@ -59,50 +50,11 @@ impl Program {
                     cmp_sym(*op),
                     i as i64 + 1 + *off as i64
                 ),
-                Insn::Call(h) => format!("call {h:?}"),
-                Insn::Exit => "exit".to_string(),
+                other => other.to_string(),
             };
             out.push_str(&format!("{i:4}: {line}\n"));
         }
         out
-    }
-}
-
-fn alu_sym(op: AluOp) -> &'static str {
-    match op {
-        AluOp::Add => "+=",
-        AluOp::Sub => "-=",
-        AluOp::Mul => "*=",
-        AluOp::Div => "/=",
-        AluOp::Mod => "%=",
-        AluOp::Or => "|=",
-        AluOp::And => "&=",
-        AluOp::Xor => "^=",
-        AluOp::Lsh => "<<=",
-        AluOp::Rsh => ">>=",
-        AluOp::Arsh => "s>>=",
-    }
-}
-
-fn sz_sym(s: Size) -> &'static str {
-    match s {
-        Size::B => "u8",
-        Size::H => "u16",
-        Size::W => "u32",
-        Size::DW => "u64",
-    }
-}
-
-fn cmp_sym(c: CmpOp) -> &'static str {
-    match c {
-        CmpOp::Eq => "==",
-        CmpOp::Ne => "!=",
-        CmpOp::Gt => ">",
-        CmpOp::Ge => ">=",
-        CmpOp::Lt => "<",
-        CmpOp::Le => "<=",
-        CmpOp::SGt => "s>",
-        CmpOp::SLt => "s<",
     }
 }
 
@@ -130,6 +82,8 @@ pub struct ProgramBuilder {
     name: String,
     insns: Vec<Insn>,
     labels: BTreeMap<Label, usize>,
+    /// Labels created by [`Self::here`]: the only valid backward targets.
+    loop_heads: BTreeSet<Label>,
     next_label: usize,
     pending: Vec<Pending>,
 }
@@ -141,6 +95,7 @@ impl ProgramBuilder {
             name: name.into(),
             insns: Vec::new(),
             labels: BTreeMap::new(),
+            loop_heads: BTreeSet::new(),
             next_label: 0,
             pending: Vec::new(),
         }
@@ -158,6 +113,20 @@ impl ProgramBuilder {
         let prev = self.labels.insert(l, self.insns.len());
         assert!(prev.is_none(), "label bound twice");
         self
+    }
+
+    /// Bind and return a label at the *current* position — a loop head.
+    ///
+    /// This is the only label kind that jumps may target backward; the
+    /// verifier then decides whether the resulting back-edge carries a
+    /// provably bounded induction. Ordinary [`Self::label`]s remain
+    /// forward-only so an accidental back-reference still panics in
+    /// [`Self::build`].
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.labels.insert(l, self.insns.len());
+        self.loop_heads.insert(l);
+        l
     }
 
     /// `dst = imm`
@@ -259,8 +228,10 @@ impl ProgramBuilder {
                 .get(&target)
                 // steelcheck: allow(panic-reachable): builder misuse is a programming error, caught by the prog tests
                 .unwrap_or_else(|| panic!("unbound label {target:?}"));
-            assert!(to > at, "only forward jumps are allowed (at {at} -> {to})");
-            let off = (to - at - 1) as i16;
+            if !self.loop_heads.contains(&target) {
+                assert!(to > at, "only forward jumps are allowed (at {at} -> {to})");
+            }
+            let off = (to as i64 - at as i64 - 1) as i16;
             insns[at] = match p {
                 Pending::Ja(..) => Insn::Ja(off),
                 Pending::JmpImm(_, op, r, imm, _) => Insn::JmpImm(op, r, imm, off),
@@ -311,6 +282,44 @@ mod tests {
         let top = b.label();
         b.bind(top).mov_imm(Reg::R0, 0).ja(top);
         b.build();
+    }
+
+    #[test]
+    fn here_labels_allow_backward_jumps() {
+        // r0 = 0; head: if r0 >= 3 goto done; r0 += 1; ja head; done: exit
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R0, 0);
+        let head = b.here();
+        let done = b.label();
+        b.jmp_imm(CmpOp::Ge, Reg::R0, 3, done)
+            .add_imm(Reg::R0, 1)
+            .ja(head)
+            .bind(done)
+            .exit();
+        let p = b.build();
+        // The ja at index 3 must point back to the guard at index 1.
+        match p.insns[3] {
+            Insn::Ja(off) => assert_eq!(off, -3),
+            other => panic!("unexpected {other:?}"),
+        }
+        let text = p.disassemble();
+        assert!(text.contains("   3: goto 1"), "{text}");
+    }
+
+    #[test]
+    fn here_conditional_backward_jump_resolves() {
+        // do-while shape: head is the first body insn.
+        let mut b = ProgramBuilder::new("t");
+        b.mov_imm(Reg::R0, 0);
+        let head = b.here();
+        b.add_imm(Reg::R0, 1)
+            .jmp_imm(CmpOp::Lt, Reg::R0, 5, head)
+            .exit();
+        let p = b.build();
+        match p.insns[2] {
+            Insn::JmpImm(CmpOp::Lt, Reg::R0, 5, off) => assert_eq!(off, -2),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -171,6 +171,133 @@ pub fn reflect_variant(variant: ReflectVariant, rb: MapFd) -> Program {
     b.build()
 }
 
+/// The bounded-loop measurement variants the interval verifier admits:
+/// reflection programs whose added work is a verified counter loop over
+/// the payload, exercising exactly the program class straight-line XDP
+/// rules out (in-network scanning/checksumming of industrial frames).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoopVariant {
+    /// Byte-wise scan of 32 payload bytes (while-form loop).
+    PayloadScan,
+    /// 16-bit ones-complement checksum over 40 payload bytes
+    /// (do-while-form loop, stride 2).
+    Csum16,
+    /// Bounded walk over up to 8 TLV records in 48 payload bytes
+    /// (while-form loop with a data-dependent cursor).
+    TlvWalk,
+}
+
+impl LoopVariant {
+    /// Display name of the variant (figure labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            LoopVariant::PayloadScan => "L-SCAN",
+            LoopVariant::Csum16 => "L-CSUM",
+            LoopVariant::TlvWalk => "L-TLV",
+        }
+    }
+
+    /// All loop variants in corpus order.
+    pub const ALL: [LoopVariant; 3] = [
+        LoopVariant::PayloadScan,
+        LoopVariant::Csum16,
+        LoopVariant::TlvWalk,
+    ];
+
+    /// Bytes past the Ethernet header the program bounds-checks before
+    /// entering its loop. All windows fit the default 50 B RT payload,
+    /// so every Fig. 4 frame takes the loop path.
+    pub fn window(self) -> usize {
+        match self {
+            LoopVariant::PayloadScan => 32,
+            LoopVariant::Csum16 => 40,
+            LoopVariant::TlvWalk => 48,
+        }
+    }
+}
+
+/// Build one bounded-loop reflection program: bounds-check the window,
+/// run the loop work, swap MACs, `XDP_TX` (fail path: `XDP_DROP`).
+pub fn loop_variant(v: LoopVariant) -> Program {
+    let mut b = ProgramBuilder::new(v.name());
+    let fail = b.label();
+    prologue(&mut b, v.window() as i64, fail);
+    match v {
+        LoopVariant::PayloadScan => {
+            // while (r8 < 32) { r9 += payload[r8]; r8 += 1 }
+            let done = b.label();
+            b.mov_imm(Reg::R8, 0).mov_imm(Reg::R9, 0);
+            let head = b.here();
+            b.jmp_imm(CmpOp::Ge, Reg::R8, 32, done)
+                .mov(Reg::R2, Reg::R6)
+                .alu(AluOp::Add, Reg::R2, Reg::R8)
+                .load(Size::B, Reg::R3, Reg::R2, 14)
+                .alu(AluOp::Add, Reg::R9, Reg::R3)
+                .alu_imm(AluOp::Add, Reg::R8, 1)
+                .ja(head)
+                .bind(done)
+                .store(Size::DW, Reg::R10, -8, Reg::R9);
+        }
+        LoopVariant::Csum16 => {
+            // do { sum += be16(payload[r8]); r8 += 2 } while (r8 < 40),
+            // then fold twice and complement.
+            let fold = b.label();
+            b.mov_imm(Reg::R8, 0).mov_imm(Reg::R9, 0);
+            let head = b.here();
+            // Clamp at the head: concretely dead (r8 peaks at 38), but
+            // it is what re-bounds the interval after the join at the
+            // loop head, keeping the loads below the proven 54 bytes.
+            b.jmp_imm(CmpOp::Gt, Reg::R8, 38, fold)
+                .mov(Reg::R2, Reg::R6)
+                .alu(AluOp::Add, Reg::R2, Reg::R8)
+                .load(Size::B, Reg::R3, Reg::R2, 14)
+                .alu_imm(AluOp::Lsh, Reg::R3, 8)
+                .load(Size::B, Reg::R4, Reg::R2, 15)
+                .alu(AluOp::Or, Reg::R3, Reg::R4)
+                .alu(AluOp::Add, Reg::R9, Reg::R3)
+                .alu_imm(AluOp::Add, Reg::R8, 2)
+                .jmp_imm(CmpOp::Lt, Reg::R8, 40, head)
+                .bind(fold);
+            for _ in 0..2 {
+                b.mov(Reg::R2, Reg::R9)
+                    .alu_imm(AluOp::Rsh, Reg::R2, 16)
+                    .alu_imm(AluOp::And, Reg::R9, 0xffff)
+                    .alu(AluOp::Add, Reg::R9, Reg::R2);
+            }
+            b.alu_imm(AluOp::Xor, Reg::R9, 0xffff)
+                .alu_imm(AluOp::And, Reg::R9, 0xffff)
+                .store(Size::DW, Reg::R10, -8, Reg::R9);
+        }
+        LoopVariant::TlvWalk => {
+            // Up to 8 records of (type, len, value[len]): r8 is the
+            // data-dependent cursor, r9 the verified trip counter.
+            let done = b.label();
+            b.mov_imm(Reg::R8, 0)
+                .mov_imm(Reg::R9, 0)
+                .mov_imm(Reg::R5, 0);
+            let head = b.here();
+            b.jmp_imm(CmpOp::Ge, Reg::R9, 8, done)
+                // Cursor clamp: keeps type/len loads inside the proven
+                // 62-byte window whatever the packet claims.
+                .jmp_imm(CmpOp::Gt, Reg::R8, 44, done)
+                .mov(Reg::R2, Reg::R6)
+                .alu(AluOp::Add, Reg::R2, Reg::R8)
+                .load(Size::B, Reg::R3, Reg::R2, 14)
+                .load(Size::B, Reg::R4, Reg::R2, 15)
+                .alu(AluOp::Add, Reg::R5, Reg::R3)
+                .alu(AluOp::Add, Reg::R8, Reg::R4)
+                .alu_imm(AluOp::Add, Reg::R8, 2)
+                .alu_imm(AluOp::Add, Reg::R9, 1)
+                .ja(head)
+                .bind(done)
+                .store(Size::DW, Reg::R10, -8, Reg::R5);
+        }
+    }
+    mac_swap(&mut b);
+    epilogue(&mut b, fail);
+    b.build()
+}
+
 /// Build an RT-traffic **filter**: pass only industrial-RT frames whose
 /// FrameID is present in an allowlist hash map, dropping everything
 /// else and counting both outcomes in a per-CPU array — the packet
@@ -397,6 +524,166 @@ mod tests {
         assert_eq!(r.action, XdpAction::Drop);
         assert!(r.trap.is_none());
         assert_eq!(rt_filter_count(&maps, counters, 1), 1);
+    }
+
+    #[test]
+    fn loop_corpus_verifies_with_loop_stats() {
+        let (maps, _) = standard_maps();
+        for v in LoopVariant::ALL {
+            let p = loop_variant(v);
+            let stats =
+                verify(&p, &maps).unwrap_or_else(|e| panic!("{} rejected: {e}", v.name()));
+            assert_eq!(stats.loops, 1, "{}", v.name());
+            assert!(
+                stats.max_insns > stats.insns as u64,
+                "{}: fuel {} should exceed straight-line length {}",
+                v.name(),
+                stats.max_insns,
+                stats.insns
+            );
+        }
+    }
+
+    #[test]
+    fn loop_corpus_reflects_and_computes() {
+        let (mut maps, _) = standard_maps();
+        let cm = CostModel::default();
+        for v in LoopVariant::ALL {
+            let p = loop_variant(v);
+            let mut pkt = vec![0u8; 64];
+            pkt[0..6].copy_from_slice(&[0xAA; 6]);
+            pkt[6..12].copy_from_slice(&[0xBB; 6]);
+            for (i, byte) in pkt.iter_mut().enumerate().skip(14) {
+                *byte = i as u8;
+            }
+            let mut rng = SimRng::seed_from_u64(9);
+            let r = run(
+                &p,
+                &mut pkt,
+                XdpContext::default(),
+                &mut maps,
+                &cm,
+                0,
+                0,
+                &mut rng,
+            );
+            assert_eq!(r.action, XdpAction::Tx, "{}", v.name());
+            assert!(r.trap.is_none(), "{}: {:?}", v.name(), r.trap);
+            assert_eq!(&pkt[0..6], &[0xBB; 6], "{}", v.name());
+        }
+    }
+
+    /// The differential fuel oracle: across a seeded packet corpus,
+    /// every accepted program must terminate within the
+    /// verifier-computed `max_insns` — enforced for real by running
+    /// with exactly that much fuel (and the fused block plan).
+    #[test]
+    fn fuel_oracle_bounds_every_accepted_program() {
+        use crate::cost::BlockPlan;
+        use crate::vm::run_with;
+        let mut rng = SimRng::seed_from_u64(0x5EED_F0E1);
+        let (mut maps, rb) = standard_maps();
+        let cm = CostModel::default();
+        let mut programs: Vec<Program> =
+            LoopVariant::ALL.iter().map(|&v| loop_variant(v)).collect();
+        programs.extend(ReflectVariant::ALL.iter().map(|&v| reflect_variant(v, rb)));
+        for p in &programs {
+            let stats = verify(p, &maps).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let plan = BlockPlan::new(p);
+            for _ in 0..32 {
+                let len = rng.range(10, 128) as usize;
+                let mut pkt: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+                let r = run_with(
+                    p,
+                    Some(&plan),
+                    stats.max_insns,
+                    &mut pkt,
+                    XdpContext::default(),
+                    &mut maps,
+                    &cm,
+                    1_000,
+                    0,
+                    &mut rng,
+                );
+                assert!(r.trap.is_none(), "{} len={len}: {:?}", p.name, r.trap);
+                assert!(
+                    r.cost.insns <= stats.max_insns,
+                    "{} len={len}: retired {} > fuel {}",
+                    p.name,
+                    r.cost.insns,
+                    stats.max_insns
+                );
+            }
+        }
+    }
+
+    /// Broken siblings of the corpus stay rejected: non-monotonic
+    /// counter, counter clobbered in the body, and a bound the domain
+    /// can only widen to top.
+    #[test]
+    fn broken_loop_variants_stay_rejected() {
+        use crate::verifier::VerifyKind;
+        let (maps, _) = standard_maps();
+        let scan_with_body = |body: &dyn Fn(&mut ProgramBuilder)| {
+            let mut b = ProgramBuilder::new("broken");
+            let fail = b.label();
+            prologue(&mut b, 32, fail);
+            let done = b.label();
+            b.mov_imm(Reg::R8, 0).mov_imm(Reg::R9, 0);
+            let head = b.here();
+            b.jmp_imm(CmpOp::Ge, Reg::R8, 32, done)
+                .mov(Reg::R2, Reg::R6)
+                .alu(AluOp::Add, Reg::R2, Reg::R8)
+                .load(Size::B, Reg::R3, Reg::R2, 14)
+                .alu(AluOp::Add, Reg::R9, Reg::R3);
+            body(&mut b);
+            b.ja(head).bind(done);
+            mac_swap(&mut b);
+            epilogue(&mut b, fail);
+            b.build()
+        };
+
+        // Counter advanced by zero: never makes progress.
+        let p = scan_with_body(&|b| {
+            b.alu_imm(AluOp::Add, Reg::R8, 0);
+        });
+        let e = verify(&p, &maps).unwrap_err();
+        assert!(
+            matches!(e.kind, VerifyKind::LoopNotMonotonic(_, Reg::R8)),
+            "{e}"
+        );
+
+        // Counter reset inside the body.
+        let p = scan_with_body(&|b| {
+            b.alu_imm(AluOp::Add, Reg::R8, 1).mov_imm(Reg::R8, 0);
+        });
+        let e = verify(&p, &maps).unwrap_err();
+        assert!(
+            matches!(e.kind, VerifyKind::LoopCounterClobbered(_, Reg::R8)),
+            "{e}"
+        );
+
+        // Register bound with no proven upper range: `data_end - data`
+        // only has a lower bound, so its interval widens to top.
+        let mut b = ProgramBuilder::new("widened-bound");
+        let fail = b.label();
+        prologue(&mut b, 32, fail);
+        let done = b.label();
+        b.mov(Reg::R3, Reg::R7)
+            .alu(AluOp::Sub, Reg::R3, Reg::R6)
+            .mov_imm(Reg::R8, 0);
+        let head = b.here();
+        b.jmp_reg(CmpOp::Ge, Reg::R8, Reg::R3, done)
+            .alu_imm(AluOp::Add, Reg::R8, 1)
+            .ja(head)
+            .bind(done);
+        mac_swap(&mut b);
+        epilogue(&mut b, fail);
+        let e = verify(&b.build(), &maps).unwrap_err();
+        assert!(
+            matches!(e.kind, VerifyKind::LoopBoundUnknown(_, Reg::R3)),
+            "{e}"
+        );
     }
 
     #[test]

@@ -1,30 +1,52 @@
 //! The static verifier.
 //!
 //! A faithful-in-spirit model of the kernel's eBPF verifier, specialised
-//! to XDP programs: abstract interpretation over the (acyclic) control
-//! flow graph tracking register types, stack initialization, packet
-//! bounds knowledge, and map value nullability.
+//! to XDP programs: abstract interpretation over the control flow graph
+//! tracking register types, interval-bounded scalars, stack
+//! initialization and spilled values, packet bounds knowledge, and map
+//! value nullability.
+//!
+//! Scalars (and packet-pointer offsets) carry an unsigned interval
+//! `[lo, hi]` from [`crate::interval`]. The fixpoint joins states at
+//! merge points and, at loop heads, widens any still-growing bound to
+//! its extreme after [`WIDEN_AFTER`] merges so analysis terminates.
+//!
+//! Back-edges are accepted only when a syntactic pre-pass can prove the
+//! loop bounded: a single strictly-increasing counter (`rC += s`,
+//! `s >= 1`, written nowhere else in the body) tested by a guard
+//! against an immediate or a loop-invariant register whose interval has
+//! a proven upper bound. From the per-loop trip bounds the verifier
+//! derives a per-program fuel value ([`VerifyStats::max_insns`]) that
+//! the VM enforces at runtime as a belt-and-braces bailout.
 //!
 //! Simplifications relative to the kernel (documented deliberately):
 //!
-//! - Only forward jumps exist in the IR, so programs are DAGs and no
-//!   loop analysis is needed (matching classic eBPF's back-edge ban).
-//! - Scalars track at most one known constant value (enough to resolve
-//!   map fds and immediate divisors); full interval tracking is not
-//!   implemented.
-//! - Division/modulo by a register is rejected outright instead of
-//!   being range-proven.
-//! - Packet pointers with non-constant offsets can never be
-//!   dereferenced.
+//! - Loop shapes are restricted to single, non-nested, non-overlapping
+//!   counter loops; anything else is rejected with a specific
+//!   [`VerifyKind`] rather than being path-explored.
+//! - Division/modulo by a register is accepted only when the divisor's
+//!   interval excludes zero.
+//! - Signed comparisons refine intervals only in the shared-positive
+//!   range where the signed and unsigned orders agree.
 
 use crate::insn::{AluOp, CmpOp, Helper, Insn, Reg, Size, MAX_INSNS};
+use crate::interval::{refine, Interval};
 use crate::maps::{MapKind, MapSet};
 use crate::prog::Program;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Size of the program stack, as in the kernel.
 pub const STACK_SIZE: usize = 512;
+
+/// Merges into a loop head before widening kicks in.
+pub const WIDEN_AFTER: u32 = 4;
+
+/// Largest provable trip count a single loop may have.
+pub const MAX_LOOP_TRIPS: u64 = 1 << 16;
+
+/// Ceiling on the derived per-program fuel (mirrors the VM step limit).
+pub const FUEL_CAP: u64 = 1_000_000;
 
 /// Simulated `xdp_md` context layout (simulator-defined, 64-bit fields
 /// for data pointers):
@@ -44,14 +66,12 @@ pub mod ctx_layout {
 enum AbsVal {
     /// Never written on this path.
     Uninit,
-    /// Arbitrary number; `Some(v)` when the exact value is known.
-    Scalar(Option<i64>),
+    /// A number within the tracked interval.
+    Scalar(Interval),
     /// The XDP context pointer (R1 at entry).
     CtxPtr,
-    /// Pointer into the packet at constant offset `off` from its start.
-    PktPtr { off: u32 },
-    /// Pointer into the packet at an unknown offset (not dereferencable).
-    PktPtrUnknown,
+    /// Pointer into the packet, `off` bytes past its start.
+    PktPtr { off: Interval },
     /// The packet end sentinel.
     PktEnd,
     /// Pointer into the stack frame; `off` is relative to R10 (<= 0).
@@ -67,6 +87,34 @@ impl AbsVal {
     fn is_init(&self) -> bool {
         !matches!(self, AbsVal::Uninit)
     }
+
+    /// Compact rendering for diagnostics.
+    fn render(&self) -> String {
+        match self {
+            AbsVal::Uninit => "uninit".into(),
+            AbsVal::Scalar(iv) => format!("scalar{iv}"),
+            AbsVal::CtxPtr => "ctx".into(),
+            AbsVal::PktPtr { off } => format!("pkt+{off}"),
+            AbsVal::PktEnd => "pkt_end".into(),
+            AbsVal::StackPtr { off } => format!("fp{off:+}"),
+            AbsVal::MapValuePtr { size, nullable } => {
+                format!("map_value({size}B{})", if *nullable { ", nullable" } else { "" })
+            }
+            AbsVal::RingBufPtr { size, nullable } => {
+                format!("ringbuf({size}B{})", if *nullable { ", nullable" } else { "" })
+            }
+        }
+    }
+}
+
+/// The value interval a `size`-wide memory load can produce.
+fn size_iv(size: Size) -> Interval {
+    match size {
+        Size::B => Interval::new(0, 0xFF),
+        Size::H => Interval::new(0, 0xFFFF),
+        Size::W => Interval::new(0, 0xFFFF_FFFF),
+        Size::DW => Interval::TOP,
+    }
 }
 
 /// Abstract machine state at one program point.
@@ -76,6 +124,10 @@ struct State {
     /// Which stack bytes have been written (index 0 = lowest address,
     /// i.e. R10 - STACK_SIZE).
     stack_init: [bool; STACK_SIZE],
+    /// Tracked values of stack slots, keyed by the R10-relative offset
+    /// of their lowest byte. A slot only restores through a load of the
+    /// exact same (offset, size) pair; overlapping stores evict.
+    spills: BTreeMap<i32, (Size, AbsVal)>,
     /// Proven minimum packet length (bytes readable from packet start).
     pkt_len_min: u32,
 }
@@ -88,6 +140,7 @@ impl State {
         State {
             regs,
             stack_init: [false; STACK_SIZE],
+            spills: BTreeMap::new(),
             pkt_len_min: 0,
         }
     }
@@ -96,24 +149,46 @@ impl State {
         self.regs[r.idx()]
     }
 
-    fn set(&mut self, r: Reg, v: AbsVal) -> Result<(), VerifyError> {
+    fn set(&mut self, r: Reg, v: AbsVal) -> Result<(), VerifyKind> {
         if r == Reg::R10 {
-            return Err(VerifyError::FramePointerWrite);
+            return Err(VerifyKind::FramePointerWrite);
         }
         self.regs[r.idx()] = v;
         Ok(())
     }
 
     /// Merge an incoming state into this one (joins are conservative:
-    /// intersection of knowledge).
-    fn merge(&mut self, other: &State) -> bool {
+    /// intersection of knowledge, hull of intervals). With `widen`,
+    /// any interval bound still growing is sent to its extreme.
+    fn merge(&mut self, other: &State, widen: bool) -> bool {
         let mut changed = false;
         for i in 0..11 {
-            let merged = merge_vals(self.regs[i], other.regs[i]);
+            let joined = join_vals(self.regs[i], other.regs[i]);
+            let merged = if widen {
+                widen_val(self.regs[i], joined)
+            } else {
+                joined
+            };
             if merged != self.regs[i] {
                 self.regs[i] = merged;
                 changed = true;
             }
+        }
+        let mut spills = BTreeMap::new();
+        for (k, (sz, v)) in &self.spills {
+            if let Some((osz, ov)) = other.spills.get(k) {
+                if osz == sz {
+                    let joined = join_vals(*v, *ov);
+                    let merged = if widen { widen_val(*v, joined) } else { joined };
+                    if merged.is_init() {
+                        spills.insert(*k, (*sz, merged));
+                    }
+                }
+            }
+        }
+        if spills != self.spills {
+            self.spills = spills;
+            changed = true;
         }
         for i in 0..STACK_SIZE {
             let merged = self.stack_init[i] && other.stack_init[i];
@@ -131,20 +206,14 @@ impl State {
     }
 }
 
-fn merge_vals(a: AbsVal, b: AbsVal) -> AbsVal {
+fn join_vals(a: AbsVal, b: AbsVal) -> AbsVal {
     use AbsVal::*;
     if a == b {
         return a;
     }
     match (a, b) {
-        (Scalar(x), Scalar(y)) => Scalar(if x == y { x } else { None }),
-        (PktPtr { off: o1 }, PktPtr { off: o2 }) => {
-            if o1 == o2 {
-                PktPtr { off: o1 }
-            } else {
-                PktPtrUnknown
-            }
-        }
+        (Scalar(x), Scalar(y)) => Scalar(x.join(&y)),
+        (PktPtr { off: o1 }, PktPtr { off: o2 }) => PktPtr { off: o1.join(&o2) },
         (
             MapValuePtr {
                 size: s1,
@@ -177,9 +246,19 @@ fn merge_vals(a: AbsVal, b: AbsVal) -> AbsVal {
     }
 }
 
+/// Widening lift: intervals widen, everything else takes the join.
+fn widen_val(old: AbsVal, joined: AbsVal) -> AbsVal {
+    use AbsVal::*;
+    match (old, joined) {
+        (Scalar(o), Scalar(j)) => Scalar(o.widen(&j)),
+        (PktPtr { off: o }, PktPtr { off: j }) => PktPtr { off: o.widen(&j) },
+        (_, j) => j,
+    }
+}
+
 /// Why a program was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum VerifyError {
+pub enum VerifyKind {
     /// Empty program.
     Empty,
     /// More than [`MAX_INSNS`] instructions.
@@ -188,15 +267,27 @@ pub enum VerifyError {
     FallOffEnd(usize),
     /// Jump target outside the program.
     BadJumpTarget(usize),
-    /// A backward jump (loop) was encountered.
-    BackEdge(usize),
+    /// A back-edge with no provably bounded induction.
+    UnboundedLoop(usize),
+    /// Overlapping/nested loops or jumps into a loop body.
+    LoopTooComplex(usize),
+    /// The loop counter is not strictly increasing.
+    LoopNotMonotonic(usize, Reg),
+    /// The loop counter or bound register is written in the body.
+    LoopCounterClobbered(usize, Reg),
+    /// The loop bound register has no proven upper bound.
+    LoopBoundUnknown(usize, Reg),
+    /// The proven trip count exceeds the budget.
+    LoopBoundTooLarge(usize, u64),
+    /// The abstract interpretation failed to converge (safety valve).
+    FixpointDiverged,
     /// Read of a register never written on some path.
     UninitRead(usize, Reg),
     /// Write to the read-only frame pointer.
     FramePointerWrite,
     /// Possibly-zero divisor.
     DivByZero(usize),
-    /// Division by a register (unsupported; use immediates).
+    /// Division by a register whose interval does not exclude zero.
     RegDivisor(usize),
     /// Memory access through a non-pointer.
     NonPointerDeref(usize, Reg),
@@ -204,7 +295,7 @@ pub enum VerifyError {
     PktOutOfBounds {
         /// Instruction index.
         at: usize,
-        /// Bytes needed from packet start.
+        /// Bytes needed from packet start (worst case).
         need: u32,
         /// Bytes proven available.
         have: u32,
@@ -236,51 +327,362 @@ pub enum VerifyError {
     BadReturn(usize),
 }
 
-impl fmt::Display for VerifyError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl VerifyKind {
+    /// The offending instruction index, when the kind names one.
+    pub fn at(&self) -> Option<usize> {
+        use VerifyKind::*;
+        match *self {
+            Empty | TooLong(_) | FramePointerWrite | FixpointDiverged => None,
+            FallOffEnd(i)
+            | BadJumpTarget(i)
+            | UnboundedLoop(i)
+            | LoopTooComplex(i)
+            | LoopNotMonotonic(i, _)
+            | LoopCounterClobbered(i, _)
+            | LoopBoundUnknown(i, _)
+            | LoopBoundTooLarge(i, _)
+            | UninitRead(i, _)
+            | DivByZero(i)
+            | RegDivisor(i)
+            | NonPointerDeref(i, _)
+            | StackOutOfBounds(i, _)
+            | StackUninitRead(i, _)
+            | PossibleNullDeref(i, _)
+            | MapValueOutOfBounds(i)
+            | CtxWrite(i)
+            | BadCtxAccess(i, _)
+            | BadMapFd(i)
+            | BadReturn(i) => Some(i),
+            PktOutOfBounds { at, .. } | BadHelperArg { at, .. } => Some(at),
+        }
+    }
+
+    /// Stable kebab-case rejection code (see [`REJECT_CODES`]).
+    pub fn code(&self) -> &'static str {
+        use VerifyKind::*;
         match self {
-            VerifyError::Empty => write!(f, "empty program"),
-            VerifyError::TooLong(n) => write!(f, "program too long: {n} insns"),
-            VerifyError::FallOffEnd(i) => write!(f, "insn {i}: control falls off the end"),
-            VerifyError::BadJumpTarget(i) => write!(f, "insn {i}: jump out of range"),
-            VerifyError::BackEdge(i) => write!(f, "insn {i}: backward jump"),
-            VerifyError::UninitRead(i, r) => write!(f, "insn {i}: read of uninitialized {r:?}"),
-            VerifyError::FramePointerWrite => write!(f, "write to frame pointer R10"),
-            VerifyError::DivByZero(i) => write!(f, "insn {i}: divisor may be zero"),
-            VerifyError::RegDivisor(i) => write!(f, "insn {i}: register divisor unsupported"),
-            VerifyError::NonPointerDeref(i, r) => {
-                write!(f, "insn {i}: memory access through non-pointer {r:?}")
-            }
-            VerifyError::PktOutOfBounds { at, need, have } => write!(
-                f,
-                "insn {at}: packet access needs {need} bytes, only {have} proven"
-            ),
-            VerifyError::StackOutOfBounds(i, off) => {
-                write!(f, "insn {i}: stack access at offset {off} out of frame")
-            }
-            VerifyError::StackUninitRead(i, off) => {
-                write!(f, "insn {i}: read of uninitialized stack at {off}")
-            }
-            VerifyError::PossibleNullDeref(i, r) => {
-                write!(f, "insn {i}: possible NULL dereference of {r:?}")
-            }
-            VerifyError::MapValueOutOfBounds(i) => {
-                write!(f, "insn {i}: access beyond map value bounds")
-            }
-            VerifyError::CtxWrite(i) => write!(f, "insn {i}: context is read-only"),
-            VerifyError::BadCtxAccess(i, off) => {
-                write!(f, "insn {i}: invalid context offset {off}")
-            }
-            VerifyError::BadHelperArg { at, helper, what } => {
-                write!(f, "insn {at}: {helper:?}: {what}")
-            }
-            VerifyError::BadMapFd(i) => write!(f, "insn {i}: fd is not a suitable map"),
-            VerifyError::BadReturn(i) => write!(f, "insn {i}: R0 not a scalar at exit"),
+            Empty => "empty-program",
+            TooLong(_) => "too-long",
+            FallOffEnd(_) => "fall-off-end",
+            BadJumpTarget(_) => "bad-jump-target",
+            UnboundedLoop(_) => "unbounded-loop",
+            LoopTooComplex(_) => "loop-too-complex",
+            LoopNotMonotonic(..) => "loop-not-monotonic",
+            LoopCounterClobbered(..) => "loop-counter-clobbered",
+            LoopBoundUnknown(..) => "loop-bound-unknown",
+            LoopBoundTooLarge(..) => "loop-bound-too-large",
+            FixpointDiverged => "fixpoint-diverged",
+            UninitRead(..) => "uninit-read",
+            FramePointerWrite => "frame-pointer-write",
+            DivByZero(_) => "div-by-zero",
+            RegDivisor(_) => "reg-divisor",
+            NonPointerDeref(..) => "non-pointer-deref",
+            PktOutOfBounds { .. } => "pkt-out-of-bounds",
+            StackOutOfBounds(..) => "stack-out-of-bounds",
+            StackUninitRead(..) => "stack-uninit-read",
+            PossibleNullDeref(..) => "possible-null-deref",
+            MapValueOutOfBounds(_) => "map-value-out-of-bounds",
+            CtxWrite(_) => "ctx-write",
+            BadCtxAccess(..) => "bad-ctx-access",
+            BadHelperArg { .. } => "bad-helper-arg",
+            BadMapFd(_) => "bad-map-fd",
+            BadReturn(_) => "bad-return",
         }
     }
 }
 
+impl fmt::Display for VerifyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyKind::Empty => write!(f, "empty program"),
+            VerifyKind::TooLong(n) => write!(f, "program too long: {n} insns"),
+            VerifyKind::FallOffEnd(i) => write!(f, "insn {i}: control falls off the end"),
+            VerifyKind::BadJumpTarget(i) => write!(f, "insn {i}: jump out of range"),
+            VerifyKind::UnboundedLoop(i) => {
+                write!(f, "insn {i}: back-edge with no provably bounded induction")
+            }
+            VerifyKind::LoopTooComplex(i) => {
+                write!(f, "insn {i}: loop shape too complex to bound")
+            }
+            VerifyKind::LoopNotMonotonic(i, r) => {
+                write!(f, "insn {i}: loop counter {r:?} is not strictly increasing")
+            }
+            VerifyKind::LoopCounterClobbered(i, r) => {
+                write!(f, "insn {i}: loop counter/bound {r:?} clobbered in loop body")
+            }
+            VerifyKind::LoopBoundUnknown(i, r) => {
+                write!(f, "insn {i}: loop bound {r:?} has no proven upper bound")
+            }
+            VerifyKind::LoopBoundTooLarge(i, k) => {
+                write!(f, "insn {i}: loop bound {k} exceeds trip budget")
+            }
+            VerifyKind::FixpointDiverged => {
+                write!(f, "abstract interpretation did not converge")
+            }
+            VerifyKind::UninitRead(i, r) => write!(f, "insn {i}: read of uninitialized {r:?}"),
+            VerifyKind::FramePointerWrite => write!(f, "write to frame pointer R10"),
+            VerifyKind::DivByZero(i) => write!(f, "insn {i}: divisor may be zero"),
+            VerifyKind::RegDivisor(i) => {
+                write!(f, "insn {i}: register divisor not proven non-zero")
+            }
+            VerifyKind::NonPointerDeref(i, r) => {
+                write!(f, "insn {i}: memory access through non-pointer {r:?}")
+            }
+            VerifyKind::PktOutOfBounds { at, need, have } => write!(
+                f,
+                "insn {at}: packet access needs {need} bytes, only {have} proven"
+            ),
+            VerifyKind::StackOutOfBounds(i, off) => {
+                write!(f, "insn {i}: stack access at offset {off} out of frame")
+            }
+            VerifyKind::StackUninitRead(i, off) => {
+                write!(f, "insn {i}: read of uninitialized stack at {off}")
+            }
+            VerifyKind::PossibleNullDeref(i, r) => {
+                write!(f, "insn {i}: possible NULL dereference of {r:?}")
+            }
+            VerifyKind::MapValueOutOfBounds(i) => {
+                write!(f, "insn {i}: access beyond map value bounds")
+            }
+            VerifyKind::CtxWrite(i) => write!(f, "insn {i}: context is read-only"),
+            VerifyKind::BadCtxAccess(i, off) => {
+                write!(f, "insn {i}: invalid context offset {off}")
+            }
+            VerifyKind::BadHelperArg { at, helper, what } => {
+                write!(f, "insn {at}: {helper:?}: {what}")
+            }
+            VerifyKind::BadMapFd(i) => write!(f, "insn {i}: fd is not a suitable map"),
+            VerifyKind::BadReturn(i) => write!(f, "insn {i}: R0 not a scalar at exit"),
+        }
+    }
+}
+
+/// A rejection, carrying the reason plus diagnostics: the disassembled
+/// offending instruction and the abstract state of its registers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// What went wrong.
+    pub kind: VerifyKind,
+    /// Disassembly of the offending instruction, when one is named.
+    pub insn: Option<String>,
+    /// Rendered abstract values of the registers the instruction uses,
+    /// as known just before it executed.
+    pub regs: Vec<(Reg, String)>,
+}
+
+impl VerifyError {
+    fn build(
+        kind: VerifyKind,
+        prog: &Program,
+        st: Option<&State>,
+        fallback_at: Option<usize>,
+    ) -> VerifyError {
+        let at = kind.at().or(fallback_at);
+        let offending = at.and_then(|i| prog.insns.get(i));
+        let insn = offending.map(|i| i.to_string());
+        let regs = match (offending, st) {
+            (Some(ins), Some(st)) => insn_regs(ins)
+                .into_iter()
+                .map(|r| (r, st.get(r).render()))
+                .collect(),
+            _ => Vec::new(),
+        };
+        VerifyError { kind, insn, regs }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        if let Some(insn) = &self.insn {
+            write!(f, " | `{insn}`")?;
+        }
+        if !self.regs.is_empty() {
+            write!(f, " |")?;
+            for (r, v) in &self.regs {
+                write!(f, " {r:?}={v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 impl std::error::Error for VerifyError {}
+
+/// Registers an instruction reads or writes, for diagnostics
+/// (first occurrence order, deduplicated).
+fn insn_regs(insn: &Insn) -> Vec<Reg> {
+    let raw = match *insn {
+        Insn::MovImm(d, _) | Insn::AluImm(_, d, _) | Insn::Neg(d) => vec![d],
+        Insn::MovReg(d, s) | Insn::AluReg(_, d, s) => vec![d, s],
+        Insn::Load(_, d, b, _) => vec![d, b],
+        Insn::Store(_, b, _, s) => vec![b, s],
+        Insn::StoreImm(_, b, _, _) => vec![b],
+        Insn::Ja(_) => vec![],
+        Insn::JmpImm(_, r, _, _) => vec![r],
+        Insn::JmpReg(_, a, b, _) => vec![a, b],
+        Insn::Call(_) => vec![Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5],
+        Insn::Exit => vec![Reg::R0],
+    };
+    let mut out: Vec<Reg> = Vec::new();
+    for r in raw {
+        if !out.contains(&r) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// One row of the rejection-code reference table.
+#[derive(Clone, Copy, Debug)]
+pub struct RejectInfo {
+    /// Stable kebab-case identifier ([`VerifyKind::code`]).
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// What the programmer should do about it.
+    pub detail: &'static str,
+}
+
+/// Reference table for every rejection code the verifier can emit,
+/// in the order the checks run.
+pub const REJECT_CODES: &[RejectInfo] = &[
+    RejectInfo {
+        id: "empty-program",
+        summary: "program has no instructions",
+        detail: "emit at least `R0 = <action>; exit`",
+    },
+    RejectInfo {
+        id: "too-long",
+        summary: "program exceeds the instruction limit",
+        detail: "keep programs within MAX_INSNS instructions",
+    },
+    RejectInfo {
+        id: "fall-off-end",
+        summary: "control can run past the last instruction",
+        detail: "end every path with `exit` (or an unconditional jump)",
+    },
+    RejectInfo {
+        id: "bad-jump-target",
+        summary: "jump lands outside the instruction stream",
+        detail: "jump offsets must stay within the program",
+    },
+    RejectInfo {
+        id: "unbounded-loop",
+        summary: "back-edge with no provably bounded induction",
+        detail: "shape loops as a counter guarded by `>=`/`>` at the head or `<`/`<=` on the back-edge",
+    },
+    RejectInfo {
+        id: "loop-too-complex",
+        summary: "loop shape defeats the bound analysis",
+        detail: "avoid nested/overlapping loops, jumps into a body, or branches that skip the increment",
+    },
+    RejectInfo {
+        id: "loop-not-monotonic",
+        summary: "loop counter is not strictly increasing",
+        detail: "advance the counter with a single `rC += s` (s >= 1) in the body",
+    },
+    RejectInfo {
+        id: "loop-counter-clobbered",
+        summary: "counter or bound register is written inside the body",
+        detail: "keep the counter and bound registers untouched apart from the one increment",
+    },
+    RejectInfo {
+        id: "loop-bound-unknown",
+        summary: "bound register has no proven upper bound",
+        detail: "derive the bound from an immediate or a value clamped before the loop",
+    },
+    RejectInfo {
+        id: "loop-bound-too-large",
+        summary: "proven trip count exceeds the budget",
+        detail: "keep per-loop trips within MAX_LOOP_TRIPS and total fuel within FUEL_CAP",
+    },
+    RejectInfo {
+        id: "fixpoint-diverged",
+        summary: "abstract interpretation did not converge",
+        detail: "simplify control flow; this is the analysis safety valve",
+    },
+    RejectInfo {
+        id: "uninit-read",
+        summary: "read of a register never written on some path",
+        detail: "initialize registers on every path before use; calls clobber R1-R5",
+    },
+    RejectInfo {
+        id: "frame-pointer-write",
+        summary: "write to the read-only frame pointer R10",
+        detail: "copy R10 to another register to do pointer arithmetic",
+    },
+    RejectInfo {
+        id: "div-by-zero",
+        summary: "divisor may be zero",
+        detail: "divide by a non-zero immediate or prove the divisor's range excludes 0",
+    },
+    RejectInfo {
+        id: "reg-divisor",
+        summary: "register divisor not proven non-zero",
+        detail: "branch on the divisor (or mask/or it) so its interval excludes 0",
+    },
+    RejectInfo {
+        id: "non-pointer-deref",
+        summary: "memory access through a non-pointer",
+        detail: "only ctx, packet, stack, map-value and ringbuf pointers dereference",
+    },
+    RejectInfo {
+        id: "pkt-out-of-bounds",
+        summary: "packet access beyond the proven length",
+        detail: "bounds-check against data_end before reading; clamp variable offsets",
+    },
+    RejectInfo {
+        id: "stack-out-of-bounds",
+        summary: "stack access outside the 512-byte frame",
+        detail: "stack offsets live in [-512, 0) relative to R10",
+    },
+    RejectInfo {
+        id: "stack-uninit-read",
+        summary: "read of stack bytes never written",
+        detail: "store to a slot (on every path) before loading from it",
+    },
+    RejectInfo {
+        id: "possible-null-deref",
+        summary: "dereference of a possibly-null helper result",
+        detail: "null-check map_lookup/ringbuf_reserve results before use",
+    },
+    RejectInfo {
+        id: "map-value-out-of-bounds",
+        summary: "access beyond the map value's size",
+        detail: "keep offsets within the declared value_size",
+    },
+    RejectInfo {
+        id: "ctx-write",
+        summary: "store into the read-only context",
+        detail: "the xdp_md context cannot be written",
+    },
+    RejectInfo {
+        id: "bad-ctx-access",
+        summary: "load from an unmodelled context offset",
+        detail: "use the ctx_layout offsets with the matching width",
+    },
+    RejectInfo {
+        id: "bad-helper-arg",
+        summary: "helper called with an invalid argument",
+        detail: "see the per-helper message for the argument contract",
+    },
+    RejectInfo {
+        id: "bad-map-fd",
+        summary: "fd argument is not a suitable map",
+        detail: "pass a constant fd of the kind the helper expects",
+    },
+    RejectInfo {
+        id: "bad-return",
+        summary: "R0 is not a scalar at exit",
+        detail: "set R0 to an XDP action before `exit`",
+    },
+];
+
+/// Look up a rejection code by its stable id.
+pub fn reject_info(id: &str) -> Option<&'static RejectInfo> {
+    REJECT_CODES.iter().find(|r| r.id == id)
+}
 
 /// Statistics from a successful verification.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -289,44 +691,220 @@ pub struct VerifyStats {
     pub states_processed: u64,
     /// Program length.
     pub insns: usize,
+    /// Derived fuel: a proven upper bound on retired instructions per
+    /// packet, which the VM enforces at runtime.
+    pub max_insns: u64,
+    /// Number of bounded loops accepted.
+    pub loops: usize,
+}
+
+/// Trip-count bound of an accepted loop.
+#[derive(Clone, Copy, Debug)]
+enum Bound {
+    Imm(u64),
+    Reg(Reg),
+}
+
+/// An accepted (provably bounded) natural loop.
+#[derive(Clone, Copy, Debug)]
+struct LoopInfo {
+    head: usize,
+    guard: usize,
+    bound: Bound,
+    body_len: u64,
+}
+
+/// Jump target as an absolute index (i64 math: back-edges are legal).
+fn tgt_of(pc: usize, off: i16) -> usize {
+    (pc as i64 + 1 + off as i64) as usize
+}
+
+fn jump_target(i: usize, insn: &Insn) -> Option<usize> {
+    match *insn {
+        Insn::Ja(off) | Insn::JmpImm(_, _, _, off) | Insn::JmpReg(_, _, _, off) => {
+            Some(tgt_of(i, off))
+        }
+        _ => None,
+    }
+}
+
+/// Does `insn` write register `r`? Calls clobber R0-R5.
+fn writes(insn: &Insn, r: Reg) -> bool {
+    match *insn {
+        Insn::MovImm(d, _)
+        | Insn::MovReg(d, _)
+        | Insn::Neg(d)
+        | Insn::AluImm(_, d, _)
+        | Insn::AluReg(_, d, _)
+        | Insn::Load(_, d, _, _) => d == r,
+        Insn::Call(_) => r.idx() <= 5,
+        _ => false,
+    }
+}
+
+/// Does the guard's taken edge leave the loop `[head, be]`?
+fn guard_exits(insns: &[Insn], guard: usize, head: usize, be: usize) -> bool {
+    match jump_target(guard, &insns[guard]) {
+        Some(t) => t < head || t > be,
+        None => false,
+    }
+}
+
+fn imm_bound(guard: usize, imm: i64) -> Result<Bound, VerifyKind> {
+    if imm < 0 || imm as u64 > MAX_LOOP_TRIPS {
+        return Err(VerifyKind::LoopBoundTooLarge(guard, imm as u64));
+    }
+    Ok(Bound::Imm(imm as u64))
+}
+
+/// Prove one back-edge is a bounded counter loop, or reject.
+fn classify_loop(insns: &[Insn], head: usize, be: usize) -> Result<LoopInfo, VerifyKind> {
+    let (guard, counter, bound) = match insns[be] {
+        // while-form: `head: if rC >= K goto out; ...; rC += s; goto head`.
+        Insn::Ja(_) => match insns[head] {
+            Insn::JmpImm(CmpOp::Ge | CmpOp::Gt, rc, imm, _)
+                if guard_exits(insns, head, head, be) =>
+            {
+                (head, rc, imm_bound(head, imm)?)
+            }
+            Insn::JmpReg(CmpOp::Ge | CmpOp::Gt, rc, rb, _)
+                if guard_exits(insns, head, head, be) =>
+            {
+                (head, rc, Bound::Reg(rb))
+            }
+            _ => return Err(VerifyKind::UnboundedLoop(be)),
+        },
+        // do-while form: the back-edge itself is the guard.
+        Insn::JmpImm(CmpOp::Lt | CmpOp::Le, rc, imm, _) => (be, rc, imm_bound(be, imm)?),
+        Insn::JmpReg(CmpOp::Lt | CmpOp::Le, rc, rb, _) => (be, rc, Bound::Reg(rb)),
+        _ => return Err(VerifyKind::UnboundedLoop(be)),
+    };
+    // Exactly one strictly-positive increment of the counter, and no
+    // other write to the counter or to a register bound, in the body.
+    let mut incr_at = None;
+    for (p, ins) in insns.iter().enumerate().take(be + 1).skip(head) {
+        if p == guard {
+            continue;
+        }
+        if let Insn::AluImm(AluOp::Add, r, s) = *ins {
+            if r == counter {
+                if s < 1 {
+                    return Err(VerifyKind::LoopNotMonotonic(p, counter));
+                }
+                if incr_at.is_some() {
+                    return Err(VerifyKind::LoopCounterClobbered(p, counter));
+                }
+                incr_at = Some(p);
+                continue;
+            }
+        }
+        if writes(ins, counter) {
+            if matches!(*ins, Insn::AluImm(AluOp::Sub, _, _)) {
+                return Err(VerifyKind::LoopNotMonotonic(p, counter));
+            }
+            return Err(VerifyKind::LoopCounterClobbered(p, counter));
+        }
+        if let Bound::Reg(rb) = bound {
+            if writes(ins, rb) {
+                return Err(VerifyKind::LoopCounterClobbered(p, rb));
+            }
+        }
+    }
+    let Some(incr_at) = incr_at else {
+        return Err(VerifyKind::LoopNotMonotonic(be, counter));
+    };
+    // No branch inside the body may skip the increment yet stay in the
+    // loop — every iteration that reaches the back-edge must have
+    // advanced the counter.
+    for p in head..=be {
+        if p == guard || p == be {
+            continue;
+        }
+        if let Some(t) = jump_target(p, &insns[p]) {
+            if t <= be && t > incr_at && p < incr_at {
+                return Err(VerifyKind::LoopTooComplex(p));
+            }
+        }
+    }
+    Ok(LoopInfo {
+        head,
+        guard,
+        bound,
+        body_len: (be - head + 1) as u64,
+    })
+}
+
+/// Find every back-edge and prove each one a bounded counter loop.
+fn analyze_loops(prog: &Program) -> Result<Vec<LoopInfo>, VerifyKind> {
+    let insns = &prog.insns;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (i, insn) in insns.iter().enumerate() {
+        if let Some(t) = jump_target(i, insn) {
+            if t <= i {
+                edges.push((t, i));
+            }
+        }
+    }
+    // Loops must not overlap (no nesting, no shared bodies).
+    for (k, &(h1, b1)) in edges.iter().enumerate() {
+        for &(h2, b2) in &edges[k + 1..] {
+            if h1 <= b2 && h2 <= b1 {
+                return Err(VerifyKind::LoopTooComplex(b1.max(b2)));
+            }
+        }
+    }
+    let mut loops = Vec::new();
+    for &(head, be) in &edges {
+        // No external jump may enter the body anywhere but the head.
+        for (p, insn) in insns.iter().enumerate() {
+            if p >= head && p <= be {
+                continue;
+            }
+            if let Some(t) = jump_target(p, insn) {
+                if t > head && t <= be {
+                    return Err(VerifyKind::LoopTooComplex(p));
+                }
+            }
+        }
+        loops.push(classify_loop(insns, head, be)?);
+    }
+    Ok(loops)
 }
 
 /// Verify `prog` against the maps it will run with.
 pub fn verify(prog: &Program, maps: &MapSet) -> Result<VerifyStats, VerifyError> {
+    let err0 = |kind| VerifyError::build(kind, prog, None, None);
     if prog.insns.is_empty() {
-        return Err(VerifyError::Empty);
+        return Err(err0(VerifyKind::Empty));
     }
     if prog.insns.len() > MAX_INSNS {
-        return Err(VerifyError::TooLong(prog.insns.len()));
+        return Err(err0(VerifyKind::TooLong(prog.insns.len())));
     }
 
     let n = prog.insns.len();
-    // Static jump sanity (targets in range, forward only).
+    // Static jump sanity: targets in range (back-edges allowed here —
+    // the loop analysis decides their fate), no falling off the end.
     for (i, insn) in prog.insns.iter().enumerate() {
-        let off = match insn {
+        if let Some(off) = match insn {
             Insn::Ja(off) | Insn::JmpImm(_, _, _, off) | Insn::JmpReg(_, _, _, off) => Some(*off),
             _ => None,
-        };
-        if let Some(off) = off {
-            if off < 0 {
-                return Err(VerifyError::BackEdge(i));
-            }
+        } {
             let tgt = i as i64 + 1 + off as i64;
-            if tgt as usize > n || tgt < 0 {
-                return Err(VerifyError::BadJumpTarget(i));
-            }
-            if tgt as usize == n {
-                return Err(VerifyError::BadJumpTarget(i));
+            if tgt < 0 || tgt >= n as i64 {
+                return Err(err0(VerifyKind::BadJumpTarget(i)));
             }
         }
-        // Plain fallthrough off the end.
         if i == n - 1 && !matches!(insn, Insn::Exit | Insn::Ja(_)) {
-            return Err(VerifyError::FallOffEnd(i));
+            return Err(err0(VerifyKind::FallOffEnd(i)));
         }
     }
 
+    let loops = analyze_loops(prog).map_err(err0)?;
+    let loop_heads: BTreeSet<usize> = loops.iter().map(|l| l.head).collect();
+
     let mut states: Vec<Option<State>> = vec![None; n];
     states[0] = Some(State::entry());
+    let mut merges: Vec<u32> = vec![0; n];
     let mut work: VecDeque<usize> = VecDeque::new();
     work.push_back(0);
     let mut processed = 0u64;
@@ -336,16 +914,24 @@ pub fn verify(prog: &Program, maps: &MapSet) -> Result<VerifyStats, VerifyError>
             continue;
         };
         processed += 1;
-        // Safety valve: DAG with state merging converges fast; this
-        // guards against implementation bugs only.
-        if processed > (n as u64) * 64 {
-            break;
+        // Safety valve: widening guarantees convergence; this guards
+        // against implementation bugs in the transfer functions.
+        if processed > (n as u64) * 1024 {
+            return Err(VerifyError::build(
+                VerifyKind::FixpointDiverged,
+                prog,
+                states[pc].as_ref(),
+                Some(pc),
+            ));
         }
-        let outcomes = step(pc, &prog.insns[pc], state, maps)?;
+        let outcomes = step(pc, &prog.insns[pc], state, maps)
+            .map_err(|kind| VerifyError::build(kind, prog, states[pc].as_ref(), Some(pc)))?;
         for (tgt, st) in outcomes {
             match &mut states[tgt] {
                 Some(existing) => {
-                    if existing.merge(&st) {
+                    merges[tgt] += 1;
+                    let widen = loop_heads.contains(&tgt) && merges[tgt] >= WIDEN_AFTER;
+                    if existing.merge(&st, widen) {
                         work.push_back(tgt);
                     }
                 }
@@ -357,20 +943,63 @@ pub fn verify(prog: &Program, maps: &MapSet) -> Result<VerifyStats, VerifyError>
         }
     }
 
+    // Fuel: resolve each loop's trip bound against the fixpoint state
+    // at its guard and sum the worst-case body costs.
+    let mut fuel = n as u64;
+    for lp in &loops {
+        let bound = match lp.bound {
+            Bound::Imm(k) => k,
+            Bound::Reg(r) => match states[lp.guard].as_ref().map(|s| s.get(r)) {
+                // Guard unreachable: the loop never runs.
+                None => 0,
+                Some(AbsVal::Scalar(iv)) if iv.hi != u64::MAX => iv.hi,
+                Some(_) => {
+                    return Err(VerifyError::build(
+                        VerifyKind::LoopBoundUnknown(lp.guard, r),
+                        prog,
+                        states[lp.guard].as_ref(),
+                        None,
+                    ))
+                }
+            },
+        };
+        if bound > MAX_LOOP_TRIPS {
+            return Err(VerifyError::build(
+                VerifyKind::LoopBoundTooLarge(lp.guard, bound),
+                prog,
+                states[lp.guard].as_ref(),
+                None,
+            ));
+        }
+        // At most `bound` full trips for a head guard, plus slack for
+        // the do-while form's first-and-last partial passes.
+        fuel = fuel.saturating_add((bound + 2).saturating_mul(lp.body_len));
+        if fuel > FUEL_CAP {
+            return Err(VerifyError::build(
+                VerifyKind::LoopBoundTooLarge(lp.guard, bound),
+                prog,
+                states[lp.guard].as_ref(),
+                None,
+            ));
+        }
+    }
+
     Ok(VerifyStats {
         states_processed: processed,
         insns: n,
+        max_insns: fuel,
+        loops: loops.len(),
     })
 }
 
 type Outcomes = Vec<(usize, State)>;
 
-fn require_init(st: &State, r: Reg, pc: usize) -> Result<AbsVal, VerifyError> {
+fn require_init(st: &State, r: Reg, pc: usize) -> Result<AbsVal, VerifyKind> {
     let v = st.get(r);
     if v.is_init() {
         Ok(v)
     } else {
-        Err(VerifyError::UninitRead(pc, r))
+        Err(VerifyKind::UninitRead(pc, r))
     }
 }
 
@@ -381,35 +1010,36 @@ fn check_mem_access(
     off: i16,
     size: Size,
     is_write: bool,
-) -> Result<(), VerifyError> {
+) -> Result<(), VerifyKind> {
     let b = require_init(st, base, pc)?;
     let width = size.bytes() as i32;
     match b {
         AbsVal::CtxPtr => {
             if is_write {
-                return Err(VerifyError::CtxWrite(pc));
+                return Err(VerifyKind::CtxWrite(pc));
             }
             Ok(())
         }
         AbsVal::PktPtr { off: pk } => {
             if off < 0 {
-                return Err(VerifyError::PktOutOfBounds {
+                return Err(VerifyKind::PktOutOfBounds {
                     at: pc,
                     need: 0,
                     have: st.pkt_len_min,
                 });
             }
-            let need = pk + off as u32 + width as u32;
-            if need > st.pkt_len_min {
-                return Err(VerifyError::PktOutOfBounds {
+            // Worst case over the offset interval must stay in bounds.
+            let need = pk.hi.saturating_add(off as u64 + width as u64);
+            if need > st.pkt_len_min as u64 {
+                return Err(VerifyKind::PktOutOfBounds {
                     at: pc,
-                    need,
+                    need: u32::try_from(need).unwrap_or(u32::MAX),
                     have: st.pkt_len_min,
                 });
             }
             Ok(())
         }
-        AbsVal::PktPtrUnknown | AbsVal::PktEnd => Err(VerifyError::PktOutOfBounds {
+        AbsVal::PktEnd => Err(VerifyKind::PktOutOfBounds {
             at: pc,
             need: u32::MAX,
             have: st.pkt_len_min,
@@ -418,13 +1048,13 @@ fn check_mem_access(
             let lo = so + off as i32;
             let hi = lo + width;
             if lo < -(STACK_SIZE as i32) || hi > 0 {
-                return Err(VerifyError::StackOutOfBounds(pc, lo));
+                return Err(VerifyKind::StackOutOfBounds(pc, lo));
             }
             if !is_write {
                 let start = (lo + STACK_SIZE as i32) as usize;
                 for i in start..start + width as usize {
                     if !st.stack_init[i] {
-                        return Err(VerifyError::StackUninitRead(pc, lo));
+                        return Err(VerifyKind::StackUninitRead(pc, lo));
                     }
                 }
             }
@@ -432,46 +1062,57 @@ fn check_mem_access(
         }
         AbsVal::MapValuePtr { size: ms, nullable } | AbsVal::RingBufPtr { size: ms, nullable } => {
             if nullable {
-                return Err(VerifyError::PossibleNullDeref(pc, base));
+                return Err(VerifyKind::PossibleNullDeref(pc, base));
             }
             if off < 0 || off as u32 + width as u32 > ms {
-                return Err(VerifyError::MapValueOutOfBounds(pc));
+                return Err(VerifyKind::MapValueOutOfBounds(pc));
             }
             Ok(())
         }
-        _ => Err(VerifyError::NonPointerDeref(pc, base)),
+        _ => Err(VerifyKind::NonPointerDeref(pc, base)),
     }
 }
 
-fn mark_stack_write(st: &mut State, base_off: i32, off: i16, size: Size) {
-    let lo = base_off + off as i32 + STACK_SIZE as i32;
-    for i in lo as usize..(lo as usize + size.bytes()) {
+/// Record a stack store: mark the bytes initialized, evict overlapping
+/// spill records, and (when `val` is trackable) remember the value so
+/// an exact-shape load restores it.
+fn stack_store(st: &mut State, base_off: i32, off: i16, size: Size, val: Option<AbsVal>) {
+    let lo = base_off + off as i32;
+    let w = size.bytes() as i32;
+    let start = (lo + STACK_SIZE as i32) as usize;
+    for i in start..start + size.bytes() {
         st.stack_init[i] = true;
     }
+    st.spills
+        .retain(|k, (ks, _)| *k >= lo + w || *k + ks.bytes() as i32 <= lo);
+    if let Some(v) = val {
+        st.spills.insert(lo, (size, v));
+    }
 }
 
-fn scalar_bin(op: AluOp, a: Option<i64>, b: Option<i64>) -> Option<i64> {
-    let (x, y) = (a?, b?);
-    Some(match op {
-        AluOp::Add => x.wrapping_add(y),
-        AluOp::Sub => x.wrapping_sub(y),
-        AluOp::Mul => x.wrapping_mul(y),
-        AluOp::Div => ((x as u64).checked_div(y as u64)).unwrap_or(0) as i64,
-        AluOp::Mod => ((x as u64).checked_rem(y as u64)).unwrap_or(0) as i64,
-        AluOp::Or => x | y,
-        AluOp::And => x & y,
-        AluOp::Xor => x ^ y,
-        AluOp::Lsh => ((x as u64) << (y as u64 & 63)) as i64,
-        AluOp::Rsh => ((x as u64) >> (y as u64 & 63)) as i64,
-        AluOp::Arsh => x >> (y & 63),
-    })
+/// Interval transfer for a scalar ALU op (divisor non-zero already
+/// proven for Div/Mod).
+fn iv_bin(op: AluOp, a: Interval, b: Interval) -> Interval {
+    match op {
+        AluOp::Add => a.add(&b),
+        AluOp::Sub => a.sub(&b),
+        AluOp::Mul => a.mul(&b),
+        AluOp::Div => a.udiv(&b),
+        AluOp::Mod => a.urem(&b),
+        AluOp::Or => a.or(&b),
+        AluOp::And => a.and(&b),
+        AluOp::Xor => a.xor(&b),
+        AluOp::Lsh => a.lsh(&b),
+        AluOp::Rsh => a.rsh(&b),
+        AluOp::Arsh => a.arsh(&b),
+    }
 }
 
-fn step(pc: usize, insn: &Insn, mut st: State, maps: &MapSet) -> Result<Outcomes, VerifyError> {
+fn step(pc: usize, insn: &Insn, mut st: State, maps: &MapSet) -> Result<Outcomes, VerifyKind> {
     let next = pc + 1;
     match *insn {
         Insn::MovImm(dst, imm) => {
-            st.set(dst, AbsVal::Scalar(Some(imm)))?;
+            st.set(dst, AbsVal::Scalar(Interval::of_imm(imm)))?;
             Ok(vec![(next, st)])
         }
         Insn::MovReg(dst, src) => {
@@ -481,25 +1122,25 @@ fn step(pc: usize, insn: &Insn, mut st: State, maps: &MapSet) -> Result<Outcomes
         }
         Insn::Neg(dst) => {
             match require_init(&st, dst, pc)? {
-                AbsVal::Scalar(v) => st.set(dst, AbsVal::Scalar(v.map(|x| x.wrapping_neg())))?,
-                _ => st.set(dst, AbsVal::Scalar(None))?,
+                AbsVal::Scalar(iv) => st.set(dst, AbsVal::Scalar(iv.neg()))?,
+                _ => st.set(dst, AbsVal::Scalar(Interval::TOP))?,
             }
             Ok(vec![(next, st)])
         }
         Insn::AluImm(op, dst, imm) => {
             if matches!(op, AluOp::Div | AluOp::Mod) && imm == 0 {
-                return Err(VerifyError::DivByZero(pc));
+                return Err(VerifyKind::DivByZero(pc));
             }
             let v = require_init(&st, dst, pc)?;
             let nv = match (v, op) {
-                (AbsVal::Scalar(c), _) => AbsVal::Scalar(scalar_bin(op, c, Some(imm))),
+                (AbsVal::Scalar(iv), _) => AbsVal::Scalar(iv_bin(op, iv, Interval::of_imm(imm))),
                 (AbsVal::PktPtr { off }, AluOp::Add) => {
-                    if imm >= 0 && off as i64 + imm <= u32::MAX as i64 {
+                    if imm >= 0 {
                         AbsVal::PktPtr {
-                            off: off + imm as u32,
+                            off: off.add(&Interval::exact(imm as u64)),
                         }
                     } else {
-                        AbsVal::PktPtrUnknown
+                        AbsVal::PktPtr { off: Interval::TOP }
                     }
                 }
                 (AbsVal::StackPtr { off }, AluOp::Add) => AbsVal::StackPtr {
@@ -509,38 +1150,33 @@ fn step(pc: usize, insn: &Insn, mut st: State, maps: &MapSet) -> Result<Outcomes
                     off: off - imm as i32,
                 },
                 // Arithmetic that destroys pointer provenance.
-                _ => AbsVal::Scalar(None),
+                _ => AbsVal::Scalar(Interval::TOP),
             };
             st.set(dst, nv)?;
             Ok(vec![(next, st)])
         }
         Insn::AluReg(op, dst, src) => {
+            let b = require_init(&st, src, pc)?;
             if matches!(op, AluOp::Div | AluOp::Mod) {
-                // Allowed only when the divisor is a known non-zero const.
-                match require_init(&st, src, pc)? {
-                    AbsVal::Scalar(Some(v)) if v != 0 => {}
-                    AbsVal::Scalar(Some(_)) => return Err(VerifyError::DivByZero(pc)),
-                    _ => return Err(VerifyError::RegDivisor(pc)),
+                match b {
+                    AbsVal::Scalar(iv) if iv.as_const() == Some(0) => {
+                        return Err(VerifyKind::DivByZero(pc))
+                    }
+                    AbsVal::Scalar(iv) if iv.lo >= 1 => {}
+                    _ => return Err(VerifyKind::RegDivisor(pc)),
                 }
             }
             let a = require_init(&st, dst, pc)?;
-            let b = require_init(&st, src, pc)?;
             let nv = match (a, b, op) {
-                (AbsVal::Scalar(x), AbsVal::Scalar(y), _) => AbsVal::Scalar(scalar_bin(op, x, y)),
-                (AbsVal::PktPtr { .. }, AbsVal::Scalar(Some(k)), AluOp::Add) if k >= 0 => {
-                    if let AbsVal::PktPtr { off } = a {
-                        AbsVal::PktPtr {
-                            off: off.saturating_add(k as u32),
-                        }
-                    } else {
-                        AbsVal::PktPtrUnknown
-                    }
+                (AbsVal::Scalar(x), AbsVal::Scalar(y), _) => AbsVal::Scalar(iv_bin(op, x, y)),
+                (AbsVal::PktPtr { off }, AbsVal::Scalar(y), AluOp::Add) => {
+                    AbsVal::PktPtr { off: off.add(&y) }
                 }
-                (AbsVal::PktPtr { .. }, AbsVal::Scalar(None), AluOp::Add) => AbsVal::PktPtrUnknown,
-                // ptr - ptr = scalar length
-                (AbsVal::PktPtr { .. }, AbsVal::PktPtr { .. }, AluOp::Sub)
-                | (AbsVal::PktEnd, AbsVal::PktPtr { .. }, AluOp::Sub) => AbsVal::Scalar(None),
-                _ => AbsVal::Scalar(None),
+                // data_end - (pkt + off) >= pkt_len_min - off.hi
+                (AbsVal::PktEnd, AbsVal::PktPtr { off }, AluOp::Sub) => AbsVal::Scalar(
+                    Interval::new((st.pkt_len_min as u64).saturating_sub(off.hi), u64::MAX),
+                ),
+                _ => AbsVal::Scalar(Interval::TOP),
             };
             st.set(dst, nv)?;
             Ok(vec![(next, st)])
@@ -550,39 +1186,61 @@ fn step(pc: usize, insn: &Insn, mut st: State, maps: &MapSet) -> Result<Outcomes
             if let AbsVal::CtxPtr = b {
                 // Context loads produce typed values.
                 let v = match (off, size) {
-                    (ctx_layout::DATA, Size::DW) => AbsVal::PktPtr { off: 0 },
+                    (ctx_layout::DATA, Size::DW) => AbsVal::PktPtr {
+                        off: Interval::exact(0),
+                    },
                     (ctx_layout::DATA_END, Size::DW) => AbsVal::PktEnd,
                     (ctx_layout::INGRESS_IFINDEX, Size::W) | (ctx_layout::RX_QUEUE, Size::W) => {
-                        AbsVal::Scalar(None)
+                        AbsVal::Scalar(size_iv(Size::W))
                     }
-                    _ => return Err(VerifyError::BadCtxAccess(pc, off)),
+                    _ => return Err(VerifyKind::BadCtxAccess(pc, off)),
                 };
                 st.set(dst, v)?;
                 return Ok(vec![(next, st)]);
             }
             check_mem_access(&st, pc, base, off, size, false)?;
-            st.set(dst, AbsVal::Scalar(None))?;
+            let loaded = match b {
+                // Exact-shape stack loads restore the spilled value.
+                AbsVal::StackPtr { off: so } => match st.spills.get(&(so + off as i32)) {
+                    Some((sz, v)) if *sz == size => *v,
+                    _ => AbsVal::Scalar(size_iv(size)),
+                },
+                _ => AbsVal::Scalar(size_iv(size)),
+            };
+            st.set(dst, loaded)?;
             Ok(vec![(next, st)])
         }
         Insn::Store(size, base, off, src) => {
-            require_init(&st, src, pc)?;
+            let v = require_init(&st, src, pc)?;
             check_mem_access(&st, pc, base, off, size, true)?;
             if let AbsVal::StackPtr { off: so } = st.get(base) {
-                mark_stack_write(&mut st, so, off, size);
+                let rec = match (size, v) {
+                    // Full-width stores keep any value, pointers included.
+                    (Size::DW, any) => Some(any),
+                    // Narrow stores keep scalars, clamped to the width.
+                    (_, AbsVal::Scalar(iv)) => {
+                        let cap = size_iv(size);
+                        Some(AbsVal::Scalar(if iv.hi <= cap.hi { iv } else { cap }))
+                    }
+                    // A truncated pointer is just bytes.
+                    _ => None,
+                };
+                stack_store(&mut st, so, off, size, rec);
             }
             Ok(vec![(next, st)])
         }
-        Insn::StoreImm(size, base, off, _imm) => {
+        Insn::StoreImm(size, base, off, imm) => {
             check_mem_access(&st, pc, base, off, size, true)?;
             if let AbsVal::StackPtr { off: so } = st.get(base) {
-                mark_stack_write(&mut st, so, off, size);
+                let rec = AbsVal::Scalar(Interval::exact((imm as u64) & size_iv(size).hi));
+                stack_store(&mut st, so, off, size, Some(rec));
             }
             Ok(vec![(next, st)])
         }
-        Insn::Ja(off) => Ok(vec![(pc + 1 + off as usize, st)]),
+        Insn::Ja(off) => Ok(vec![(tgt_of(pc, off), st)]),
         Insn::JmpImm(op, r, imm, off) => {
             let v = require_init(&st, r, pc)?;
-            let tgt = pc + 1 + off as usize;
+            let tgt = tgt_of(pc, off);
             let mut taken = st.clone();
             let mut fall = st;
             // Null-check refinement for nullable pointers.
@@ -594,7 +1252,7 @@ fn step(pc: usize, insn: &Insn, mut st: State, maps: &MapSet) -> Result<Outcomes
                     } => match op {
                         CmpOp::Eq => {
                             // taken: is null; fall: non-null
-                            taken.set(r, AbsVal::Scalar(Some(0)))?;
+                            taken.set(r, AbsVal::Scalar(Interval::exact(0)))?;
                             fall.set(
                                 r,
                                 AbsVal::MapValuePtr {
@@ -611,7 +1269,7 @@ fn step(pc: usize, insn: &Insn, mut st: State, maps: &MapSet) -> Result<Outcomes
                                     nullable: false,
                                 },
                             )?;
-                            fall.set(r, AbsVal::Scalar(Some(0)))?;
+                            fall.set(r, AbsVal::Scalar(Interval::exact(0)))?;
                         }
                         _ => {}
                     },
@@ -620,7 +1278,7 @@ fn step(pc: usize, insn: &Insn, mut st: State, maps: &MapSet) -> Result<Outcomes
                         nullable: true,
                     } => match op {
                         CmpOp::Eq => {
-                            taken.set(r, AbsVal::Scalar(Some(0)))?;
+                            taken.set(r, AbsVal::Scalar(Interval::exact(0)))?;
                             fall.set(
                                 r,
                                 AbsVal::RingBufPtr {
@@ -637,32 +1295,63 @@ fn step(pc: usize, insn: &Insn, mut st: State, maps: &MapSet) -> Result<Outcomes
                                     nullable: false,
                                 },
                             )?;
-                            fall.set(r, AbsVal::Scalar(Some(0)))?;
+                            fall.set(r, AbsVal::Scalar(Interval::exact(0)))?;
                         }
                         _ => {}
                     },
                     _ => {}
                 }
             }
+            // Interval refinement with dead-edge pruning.
+            if let AbsVal::Scalar(iv) = v {
+                let mut out = Vec::new();
+                if let Some((na, _)) = refine(op, true, iv, Interval::of_imm(imm)) {
+                    taken.set(r, AbsVal::Scalar(na))?;
+                    out.push((tgt, taken));
+                }
+                if let Some((na, _)) = refine(op, false, iv, Interval::of_imm(imm)) {
+                    fall.set(r, AbsVal::Scalar(na))?;
+                    out.push((next, fall));
+                }
+                return Ok(out);
+            }
             Ok(vec![(tgt, taken), (next, fall)])
         }
         Insn::JmpReg(op, a, b, off) => {
             let va = require_init(&st, a, pc)?;
             let vb = require_init(&st, b, pc)?;
-            let tgt = pc + 1 + off as usize;
+            let tgt = tgt_of(pc, off);
             let mut taken = st.clone();
             let mut fall = st;
             // The canonical packet bounds check:
             //   rX = pkt + N; if rX > data_end goto fail;
             // On the fall-through, the packet has at least N bytes.
             if let (AbsVal::PktPtr { off: po }, AbsVal::PktEnd) = (va, vb) {
-                match op {
-                    CmpOp::Gt => fall.pkt_len_min = fall.pkt_len_min.max(po),
-                    CmpOp::Ge => fall.pkt_len_min = fall.pkt_len_min.max(po.saturating_sub(1)),
-                    CmpOp::Le => taken.pkt_len_min = taken.pkt_len_min.max(po),
-                    CmpOp::Lt => taken.pkt_len_min = taken.pkt_len_min.max(po.saturating_sub(1)),
-                    _ => {}
+                if let Some(po) = po.as_const() {
+                    let po = u32::try_from(po).unwrap_or(u32::MAX);
+                    match op {
+                        CmpOp::Gt => fall.pkt_len_min = fall.pkt_len_min.max(po),
+                        CmpOp::Ge => fall.pkt_len_min = fall.pkt_len_min.max(po.saturating_sub(1)),
+                        CmpOp::Le => taken.pkt_len_min = taken.pkt_len_min.max(po),
+                        CmpOp::Lt => taken.pkt_len_min = taken.pkt_len_min.max(po.saturating_sub(1)),
+                        _ => {}
+                    }
                 }
+                return Ok(vec![(tgt, taken), (next, fall)]);
+            }
+            if let (AbsVal::Scalar(ia), AbsVal::Scalar(ib)) = (va, vb) {
+                let mut out = Vec::new();
+                if let Some((na, nb)) = refine(op, true, ia, ib) {
+                    taken.set(a, AbsVal::Scalar(na))?;
+                    taken.set(b, AbsVal::Scalar(nb))?;
+                    out.push((tgt, taken));
+                }
+                if let Some((na, nb)) = refine(op, false, ia, ib) {
+                    fall.set(a, AbsVal::Scalar(na))?;
+                    fall.set(b, AbsVal::Scalar(nb))?;
+                    out.push((next, fall));
+                }
+                return Ok(out);
             }
             Ok(vec![(tgt, taken), (next, fall)])
         }
@@ -676,20 +1365,24 @@ fn step(pc: usize, insn: &Insn, mut st: State, maps: &MapSet) -> Result<Outcomes
         }
         Insn::Exit => match st.get(Reg::R0) {
             AbsVal::Scalar(_) => Ok(vec![]),
-            _ => Err(VerifyError::BadReturn(pc)),
+            _ => Err(VerifyKind::BadReturn(pc)),
         },
     }
 }
 
-fn const_fd(st: &State, r: Reg, pc: usize, helper: Helper) -> Result<u32, VerifyError> {
-    match st.get(r) {
-        AbsVal::Scalar(Some(v)) if v >= 0 => Ok(v as u32),
-        _ => Err(VerifyError::BadHelperArg {
-            at: pc,
-            helper,
-            what: "map fd must be a known constant",
-        }),
+fn const_fd(st: &State, r: Reg, pc: usize, helper: Helper) -> Result<u32, VerifyKind> {
+    if let AbsVal::Scalar(iv) = st.get(r) {
+        if let Some(v) = iv.as_const() {
+            if v <= u32::MAX as u64 {
+                return Ok(v as u32);
+            }
+        }
     }
+    Err(VerifyKind::BadHelperArg {
+        at: pc,
+        helper,
+        what: "map fd must be a known constant",
+    })
 }
 
 fn stack_bytes_init(st: &State, off: i32, len: usize) -> bool {
@@ -700,23 +1393,18 @@ fn stack_bytes_init(st: &State, off: i32, len: usize) -> bool {
     (lo as usize..lo as usize + len).all(|i| st.stack_init[i])
 }
 
-fn check_helper(
-    pc: usize,
-    helper: Helper,
-    st: &mut State,
-    maps: &MapSet,
-) -> Result<(), VerifyError> {
+fn check_helper(pc: usize, helper: Helper, st: &mut State, maps: &MapSet) -> Result<(), VerifyKind> {
     use Helper::*;
     match helper {
         KtimeGetNs | GetSmpProcessorId | GetPrandomU32 => {
-            st.regs[Reg::R0.idx()] = AbsVal::Scalar(None);
+            st.regs[Reg::R0.idx()] = AbsVal::Scalar(Interval::TOP);
             Ok(())
         }
         MapLookup => {
             let fd = const_fd(st, Reg::R1, pc, helper)?;
             let map = maps
                 .get(crate::maps::MapFd(fd))
-                .ok_or(VerifyError::BadMapFd(pc))?;
+                .ok_or(VerifyKind::BadMapFd(pc))?;
             let (key_size, value_size) = match &map.kind {
                 MapKind::Array { value_size, .. } | MapKind::PerCpuArray { value_size, .. } => {
                     (4usize, *value_size)
@@ -726,19 +1414,19 @@ fn check_helper(
                     value_size,
                     ..
                 } => (*key_size, *value_size),
-                MapKind::RingBuf { .. } => return Err(VerifyError::BadMapFd(pc)),
+                MapKind::RingBuf { .. } => return Err(VerifyKind::BadMapFd(pc)),
             };
             match st.get(Reg::R2) {
                 AbsVal::StackPtr { off } if stack_bytes_init(st, off, key_size) => {}
                 AbsVal::StackPtr { .. } => {
-                    return Err(VerifyError::BadHelperArg {
+                    return Err(VerifyKind::BadHelperArg {
                         at: pc,
                         helper,
                         what: "key bytes not fully initialized",
                     })
                 }
                 _ => {
-                    return Err(VerifyError::BadHelperArg {
+                    return Err(VerifyKind::BadHelperArg {
                         at: pc,
                         helper,
                         what: "key must be a stack pointer",
@@ -755,7 +1443,7 @@ fn check_helper(
             let fd = const_fd(st, Reg::R1, pc, helper)?;
             let map = maps
                 .get(crate::maps::MapFd(fd))
-                .ok_or(VerifyError::BadMapFd(pc))?;
+                .ok_or(VerifyKind::BadMapFd(pc))?;
             let (key_size, value_size) = match &map.kind {
                 MapKind::Array { value_size, .. } | MapKind::PerCpuArray { value_size, .. } => {
                     (4usize, *value_size)
@@ -765,7 +1453,7 @@ fn check_helper(
                     value_size,
                     ..
                 } => (*key_size, *value_size),
-                MapKind::RingBuf { .. } => return Err(VerifyError::BadMapFd(pc)),
+                MapKind::RingBuf { .. } => return Err(VerifyKind::BadMapFd(pc)),
             };
             for (r, len, what) in [
                 (Reg::R2, key_size, "key bytes not fully initialized"),
@@ -774,7 +1462,7 @@ fn check_helper(
                 match st.get(r) {
                     AbsVal::StackPtr { off } if stack_bytes_init(st, off, len) => {}
                     _ => {
-                        return Err(VerifyError::BadHelperArg {
+                        return Err(VerifyKind::BadHelperArg {
                             at: pc,
                             helper,
                             what,
@@ -782,21 +1470,30 @@ fn check_helper(
                     }
                 }
             }
-            st.regs[Reg::R0.idx()] = AbsVal::Scalar(None);
+            st.regs[Reg::R0.idx()] = AbsVal::Scalar(Interval::TOP);
             Ok(())
         }
         RingbufOutput => {
             let fd = const_fd(st, Reg::R1, pc, helper)?;
             let map = maps
                 .get(crate::maps::MapFd(fd))
-                .ok_or(VerifyError::BadMapFd(pc))?;
+                .ok_or(VerifyKind::BadMapFd(pc))?;
             if !matches!(map.kind, MapKind::RingBuf { .. }) {
-                return Err(VerifyError::BadMapFd(pc));
+                return Err(VerifyKind::BadMapFd(pc));
             }
             let len = match st.get(Reg::R3) {
-                AbsVal::Scalar(Some(v)) if v > 0 => v as usize,
+                AbsVal::Scalar(iv) => match iv.as_const() {
+                    Some(v) if v >= 1 && v <= STACK_SIZE as u64 * 8 => v,
+                    _ => {
+                        return Err(VerifyKind::BadHelperArg {
+                            at: pc,
+                            helper,
+                            what: "length must be a known positive constant",
+                        })
+                    }
+                },
                 _ => {
-                    return Err(VerifyError::BadHelperArg {
+                    return Err(VerifyKind::BadHelperArg {
                         at: pc,
                         helper,
                         what: "length must be a known positive constant",
@@ -804,31 +1501,40 @@ fn check_helper(
                 }
             };
             match st.get(Reg::R2) {
-                AbsVal::StackPtr { off } if stack_bytes_init(st, off, len) => {}
-                AbsVal::PktPtr { off } if (off as usize + len) as u32 <= st.pkt_len_min => {}
+                AbsVal::StackPtr { off } if stack_bytes_init(st, off, len as usize) => {}
+                AbsVal::PktPtr { off } if off.hi.saturating_add(len) <= st.pkt_len_min as u64 => {}
                 _ => {
-                    return Err(VerifyError::BadHelperArg {
+                    return Err(VerifyKind::BadHelperArg {
                         at: pc,
                         helper,
                         what: "data must be initialized stack or bounded packet bytes",
                     })
                 }
             }
-            st.regs[Reg::R0.idx()] = AbsVal::Scalar(None);
+            st.regs[Reg::R0.idx()] = AbsVal::Scalar(Interval::TOP);
             Ok(())
         }
         RingbufReserve => {
             let fd = const_fd(st, Reg::R1, pc, helper)?;
             let map = maps
                 .get(crate::maps::MapFd(fd))
-                .ok_or(VerifyError::BadMapFd(pc))?;
+                .ok_or(VerifyKind::BadMapFd(pc))?;
             if !matches!(map.kind, MapKind::RingBuf { .. }) {
-                return Err(VerifyError::BadMapFd(pc));
+                return Err(VerifyKind::BadMapFd(pc));
             }
             let len = match st.get(Reg::R2) {
-                AbsVal::Scalar(Some(v)) if v > 0 => v as u32,
+                AbsVal::Scalar(iv) => match iv.as_const() {
+                    Some(v) if v >= 1 && v <= u32::MAX as u64 => v as u32,
+                    _ => {
+                        return Err(VerifyKind::BadHelperArg {
+                            at: pc,
+                            helper,
+                            what: "length must be a known positive constant",
+                        })
+                    }
+                },
                 _ => {
-                    return Err(VerifyError::BadHelperArg {
+                    return Err(VerifyKind::BadHelperArg {
                         at: pc,
                         helper,
                         what: "length must be a known positive constant",
@@ -847,22 +1553,22 @@ fn check_helper(
                     nullable: false, ..
                 } => {}
                 AbsVal::RingBufPtr { nullable: true, .. } => {
-                    return Err(VerifyError::PossibleNullDeref(pc, Reg::R1))
+                    return Err(VerifyKind::PossibleNullDeref(pc, Reg::R1))
                 }
                 _ => {
-                    return Err(VerifyError::BadHelperArg {
+                    return Err(VerifyKind::BadHelperArg {
                         at: pc,
                         helper,
                         what: "argument must be a reserved ringbuf record",
                     })
                 }
             }
-            st.regs[Reg::R0.idx()] = AbsVal::Scalar(Some(0));
+            st.regs[Reg::R0.idx()] = AbsVal::Scalar(Interval::exact(0));
             Ok(())
         }
         XdpAdjustHead => {
             if !matches!(st.get(Reg::R1), AbsVal::CtxPtr) {
-                return Err(VerifyError::BadHelperArg {
+                return Err(VerifyKind::BadHelperArg {
                     at: pc,
                     helper,
                     what: "first argument must be the context",
@@ -871,24 +1577,24 @@ fn check_helper(
             match st.get(Reg::R2) {
                 AbsVal::Scalar(_) => {}
                 _ => {
-                    return Err(VerifyError::BadHelperArg {
+                    return Err(VerifyKind::BadHelperArg {
                         at: pc,
                         helper,
                         what: "delta must be a scalar",
                     })
                 }
             }
-            // All packet pointers are invalidated.
+            // All packet pointers — including spilled ones — are
+            // invalidated.
             for i in 0..11 {
-                if matches!(
-                    st.regs[i],
-                    AbsVal::PktPtr { .. } | AbsVal::PktPtrUnknown | AbsVal::PktEnd
-                ) {
+                if matches!(st.regs[i], AbsVal::PktPtr { .. } | AbsVal::PktEnd) {
                     st.regs[i] = AbsVal::Uninit;
                 }
             }
+            st.spills
+                .retain(|_, (_, v)| !matches!(v, AbsVal::PktPtr { .. } | AbsVal::PktEnd));
             st.pkt_len_min = 0;
-            st.regs[Reg::R0.idx()] = AbsVal::Scalar(None);
+            st.regs[Reg::R0.idx()] = AbsVal::Scalar(Interval::TOP);
             Ok(())
         }
         CsumDiff => {
@@ -896,7 +1602,7 @@ fn check_helper(
             for r in [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5] {
                 require_init(st, r, pc)?;
             }
-            st.regs[Reg::R0.idx()] = AbsVal::Scalar(None);
+            st.regs[Reg::R0.idx()] = AbsVal::Scalar(Interval::TOP);
             Ok(())
         }
     }
@@ -920,30 +1626,33 @@ mod tests {
 
     #[test]
     fn trivial_program_verifies() {
-        assert!(verify(&trivial(), &empty_maps()).is_ok());
+        let stats = verify(&trivial(), &empty_maps()).expect("verifies");
+        assert_eq!(stats.insns, 2);
+        assert_eq!(stats.max_insns, 2);
+        assert_eq!(stats.loops, 0);
     }
 
-    /// Backward jumps must be rejected *statically* — before any path
-    /// exploration — and the rejection must name the offending
-    /// instruction index. [`ProgramBuilder`] only emits forward jumps,
-    /// so build the instruction stream by hand.
+    /// A bare back-edge with no guard anywhere is rejected, and the
+    /// diagnostics name the offending instruction.
     #[test]
     fn back_edge_rejected_with_instruction_index() {
         // 0: r0 = 2
-        // 1: ja -2        <- loops back to insn 0
+        // 1: ja -2        <- loops back to insn 0, nothing bounds it
         // 2: exit
         let p = Program {
             name: "loop".into(),
             insns: vec![Insn::MovImm(Reg::R0, 2), Insn::Ja(-2), Insn::Exit],
         };
         let err = verify(&p, &empty_maps()).unwrap_err();
-        assert_eq!(err, VerifyError::BackEdge(1));
-        assert_eq!(err.to_string(), "insn 1: backward jump");
+        assert_eq!(err.kind, VerifyKind::UnboundedLoop(1));
+        assert_eq!(
+            err.to_string(),
+            "insn 1: back-edge with no provably bounded induction | `goto -2`"
+        );
     }
 
-    /// Conditional back-edges are back-edges too: a `jeq` with a
-    /// negative offset is rejected with the same static check, again
-    /// naming the instruction.
+    /// A conditional back-edge whose compare op can never bound the
+    /// counter (equality) is rejected too.
     #[test]
     fn conditional_back_edge_rejected() {
         // 0: r0 = 0
@@ -959,10 +1668,8 @@ mod tests {
                 Insn::Exit,
             ],
         };
-        assert_eq!(
-            verify(&p, &empty_maps()),
-            Err(VerifyError::BackEdge(2))
-        );
+        let err = verify(&p, &empty_maps()).unwrap_err();
+        assert_eq!(err.kind, VerifyKind::UnboundedLoop(2));
     }
 
     #[test]
@@ -971,7 +1678,7 @@ mod tests {
             name: "e".into(),
             insns: vec![],
         };
-        assert_eq!(verify(&p, &empty_maps()), Err(VerifyError::Empty));
+        assert_eq!(verify(&p, &empty_maps()).unwrap_err().kind, VerifyKind::Empty);
     }
 
     #[test]
@@ -979,8 +1686,8 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.mov(Reg::R0, Reg::R5).exit();
         assert_eq!(
-            verify(&b.build(), &empty_maps()),
-            Err(VerifyError::UninitRead(0, Reg::R5))
+            verify(&b.build(), &empty_maps()).unwrap_err().kind,
+            VerifyKind::UninitRead(0, Reg::R5)
         );
     }
 
@@ -989,8 +1696,8 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.mov_imm(Reg::R0, 0);
         assert_eq!(
-            verify(&b.build(), &empty_maps()),
-            Err(VerifyError::FallOffEnd(0))
+            verify(&b.build(), &empty_maps()).unwrap_err().kind,
+            VerifyKind::FallOffEnd(0)
         );
     }
 
@@ -999,8 +1706,8 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.mov_imm(Reg::R0, 4).alu_imm(AluOp::Div, Reg::R0, 0).exit();
         assert_eq!(
-            verify(&b.build(), &empty_maps()),
-            Err(VerifyError::DivByZero(1))
+            verify(&b.build(), &empty_maps()).unwrap_err().kind,
+            VerifyKind::DivByZero(1)
         );
     }
 
@@ -1009,8 +1716,8 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.mov_imm(Reg::R10, 0).exit();
         assert_eq!(
-            verify(&b.build(), &empty_maps()),
-            Err(VerifyError::FramePointerWrite)
+            verify(&b.build(), &empty_maps()).unwrap_err().kind,
+            VerifyKind::FramePointerWrite
         );
     }
 
@@ -1021,14 +1728,30 @@ mod tests {
         b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
             .load(Size::B, Reg::R0, Reg::R2, 0)
             .exit();
-        match verify(&b.build(), &empty_maps()) {
-            Err(VerifyError::PktOutOfBounds {
+        match verify(&b.build(), &empty_maps()).unwrap_err().kind {
+            VerifyKind::PktOutOfBounds {
                 at: 1,
                 need: 1,
                 have: 0,
-            }) => {}
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    /// The full diagnostic line: reason, disassembled instruction, and
+    /// the abstract state of the registers it uses.
+    #[test]
+    fn diagnostics_golden_message() {
+        let mut b = ProgramBuilder::new("t");
+        b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
+            .load(Size::B, Reg::R0, Reg::R2, 0)
+            .exit();
+        let err = verify(&b.build(), &empty_maps()).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "insn 1: packet access needs 1 bytes, only 0 proven \
+             | `R0 = *(u8*)(R2 +0)` | R0=uninit R2=pkt+[0]"
+        );
     }
 
     #[test]
@@ -1063,10 +1786,10 @@ mod tests {
             .bind(fail)
             .mov_imm(Reg::R0, 1)
             .exit();
-        match verify(&b.build(), &empty_maps()) {
-            Err(VerifyError::PktOutOfBounds {
+        match verify(&b.build(), &empty_maps()).unwrap_err().kind {
+            VerifyKind::PktOutOfBounds {
                 need: 16, have: 14, ..
-            }) => {}
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -1076,8 +1799,8 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.load(Size::DW, Reg::R0, Reg::R10, -8).exit();
         assert_eq!(
-            verify(&b.build(), &empty_maps()),
-            Err(VerifyError::StackUninitRead(0, -8))
+            verify(&b.build(), &empty_maps()).unwrap_err().kind,
+            VerifyKind::StackUninitRead(0, -8)
         );
     }
 
@@ -1097,8 +1820,8 @@ mod tests {
             .mov_imm(Reg::R0, 0)
             .exit();
         assert!(matches!(
-            verify(&b.build(), &empty_maps()),
-            Err(VerifyError::StackOutOfBounds(0, _))
+            verify(&b.build(), &empty_maps()).unwrap_err().kind,
+            VerifyKind::StackOutOfBounds(0, _)
         ));
     }
 
@@ -1118,8 +1841,8 @@ mod tests {
             .load(Size::DW, Reg::R0, Reg::R0, 0) // no null check!
             .exit();
         assert_eq!(
-            verify(&b.build(), &maps),
-            Err(VerifyError::PossibleNullDeref(5, Reg::R0))
+            verify(&b.build(), &maps).unwrap_err().kind,
+            VerifyKind::PossibleNullDeref(5, Reg::R0)
         );
     }
 
@@ -1154,8 +1877,8 @@ mod tests {
             .mov_imm(Reg::R0, 0)
             .exit();
         assert_eq!(
-            verify(&b.build(), &empty_maps()),
-            Err(VerifyError::CtxWrite(1))
+            verify(&b.build(), &empty_maps()).unwrap_err().kind,
+            VerifyKind::CtxWrite(1)
         );
     }
 
@@ -1166,8 +1889,8 @@ mod tests {
             .mov_imm(Reg::R0, 0)
             .exit();
         assert_eq!(
-            verify(&b.build(), &empty_maps()),
-            Err(VerifyError::BadCtxAccess(0, 4))
+            verify(&b.build(), &empty_maps()).unwrap_err().kind,
+            VerifyKind::BadCtxAccess(0, 4)
         );
     }
 
@@ -1179,8 +1902,8 @@ mod tests {
             .mov(Reg::R0, Reg::R3) // R3 was clobbered by the call
             .exit();
         assert_eq!(
-            verify(&b.build(), &empty_maps()),
-            Err(VerifyError::UninitRead(2, Reg::R3))
+            verify(&b.build(), &empty_maps()).unwrap_err().kind,
+            VerifyKind::UninitRead(2, Reg::R3)
         );
     }
 
@@ -1234,8 +1957,8 @@ mod tests {
             .mov_imm(Reg::R0, 1)
             .exit();
         assert_eq!(
-            verify(&b.build(), &maps),
-            Err(VerifyError::MapValueOutOfBounds(4))
+            verify(&b.build(), &maps).unwrap_err().kind,
+            VerifyKind::MapValueOutOfBounds(4)
         );
     }
 
@@ -1244,8 +1967,8 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.exit();
         assert_eq!(
-            verify(&b.build(), &empty_maps()),
-            Err(VerifyError::BadReturn(0))
+            verify(&b.build(), &empty_maps()).unwrap_err().kind,
+            VerifyKind::BadReturn(0)
         );
     }
 
@@ -1277,11 +2000,400 @@ mod tests {
             .bind(fail)
             .mov_imm(Reg::R0, 1)
             .exit();
-        match verify(&b.build(), &empty_maps()) {
-            Err(VerifyError::PktOutOfBounds {
+        match verify(&b.build(), &empty_maps()).unwrap_err().kind {
+            VerifyKind::PktOutOfBounds {
                 need: 16, have: 14, ..
-            }) => {}
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    /// while-form counter loop: guard at the head, `ja` back-edge.
+    /// Fuel is program length plus (bound + 2) x body length.
+    #[test]
+    fn bounded_counter_loop_verifies() {
+        // 0: r0 = 0
+        // 1: if r0 >= 10 goto +2   <- guard, exits to insn 4
+        // 2: r0 += 1
+        // 3: goto -3               <- back-edge to insn 1
+        // 4: exit
+        let p = Program {
+            name: "count".into(),
+            insns: vec![
+                Insn::MovImm(Reg::R0, 0),
+                Insn::JmpImm(CmpOp::Ge, Reg::R0, 10, 2),
+                Insn::AluImm(AluOp::Add, Reg::R0, 1),
+                Insn::Ja(-3),
+                Insn::Exit,
+            ],
+        };
+        let stats = verify(&p, &empty_maps()).expect("bounded loop verifies");
+        assert_eq!(stats.loops, 1);
+        assert_eq!(stats.max_insns, 5 + 12 * 3);
+    }
+
+    /// do-while form: the conditional back-edge is itself the guard.
+    #[test]
+    fn bounded_loop_cond_form_verifies() {
+        // 0: r0 = 0
+        // 1: r0 += 1
+        // 2: if r0 < 5 goto -2     <- guard and back-edge to insn 1
+        // 3: exit
+        let p = Program {
+            name: "dowhile".into(),
+            insns: vec![
+                Insn::MovImm(Reg::R0, 0),
+                Insn::AluImm(AluOp::Add, Reg::R0, 1),
+                Insn::JmpImm(CmpOp::Lt, Reg::R0, 5, -2),
+                Insn::Exit,
+            ],
+        };
+        let stats = verify(&p, &empty_maps()).expect("do-while verifies");
+        assert_eq!(stats.loops, 1);
+        assert_eq!(stats.max_insns, 4 + 7 * 2);
+    }
+
+    /// A register bound works when its interval has a proven ceiling.
+    #[test]
+    fn bounded_loop_register_bound_verifies() {
+        // 0: r4 = ctx->ifindex    <- [0, u32::MAX]
+        // 1: r4 &= 7              <- [0, 7]
+        // 2: r0 = 0
+        // 3: if r0 >= r4 goto +2
+        // 4: r0 += 1
+        // 5: goto -3
+        // 6: exit
+        let p = Program {
+            name: "regbound".into(),
+            insns: vec![
+                Insn::Load(Size::W, Reg::R4, Reg::R1, ctx_layout::INGRESS_IFINDEX),
+                Insn::AluImm(AluOp::And, Reg::R4, 7),
+                Insn::MovImm(Reg::R0, 0),
+                Insn::JmpReg(CmpOp::Ge, Reg::R0, Reg::R4, 2),
+                Insn::AluImm(AluOp::Add, Reg::R0, 1),
+                Insn::Ja(-3),
+                Insn::Exit,
+            ],
+        };
+        let stats = verify(&p, &empty_maps()).expect("register bound verifies");
+        assert_eq!(stats.loops, 1);
+        assert_eq!(stats.max_insns, 7 + (7 + 2) * 3);
+    }
+
+    #[test]
+    fn non_monotonic_counter_rejected() {
+        // Zero-step increment can never reach the bound.
+        let p = Program {
+            name: "stuck".into(),
+            insns: vec![
+                Insn::MovImm(Reg::R0, 0),
+                Insn::AluImm(AluOp::Add, Reg::R0, 0),
+                Insn::JmpImm(CmpOp::Lt, Reg::R0, 5, -2),
+                Insn::Exit,
+            ],
+        };
+        assert_eq!(
+            verify(&p, &empty_maps()).unwrap_err().kind,
+            VerifyKind::LoopNotMonotonic(1, Reg::R0)
+        );
+        // Decrementing counters are flagged the same way.
+        let p = Program {
+            name: "down".into(),
+            insns: vec![
+                Insn::MovImm(Reg::R0, 9),
+                Insn::AluImm(AluOp::Sub, Reg::R0, 1),
+                Insn::JmpImm(CmpOp::Lt, Reg::R0, 5, -2),
+                Insn::Exit,
+            ],
+        };
+        assert_eq!(
+            verify(&p, &empty_maps()).unwrap_err().kind,
+            VerifyKind::LoopNotMonotonic(1, Reg::R0)
+        );
+    }
+
+    #[test]
+    fn counter_clobbered_in_body_rejected() {
+        // 2: r0 = 3 resets the counter each trip.
+        let p = Program {
+            name: "clobber".into(),
+            insns: vec![
+                Insn::MovImm(Reg::R0, 0),
+                Insn::AluImm(AluOp::Add, Reg::R0, 1),
+                Insn::MovImm(Reg::R0, 3),
+                Insn::JmpImm(CmpOp::Lt, Reg::R0, 5, -3),
+                Insn::Exit,
+            ],
+        };
+        assert_eq!(
+            verify(&p, &empty_maps()).unwrap_err().kind,
+            VerifyKind::LoopCounterClobbered(2, Reg::R0)
+        );
+    }
+
+    /// A bound register whose interval widened to top is not a bound.
+    #[test]
+    fn loop_bound_unknown_rejected() {
+        // 0: call ktime_get_ns     <- r0 = [0,MAX]
+        // 1: r4 = r0
+        // 2: r0 = 0
+        // 3: if r0 >= r4 goto +2
+        // 4: r0 += 1
+        // 5: goto -3
+        // 6: exit
+        let p = Program {
+            name: "unknown-bound".into(),
+            insns: vec![
+                Insn::Call(Helper::KtimeGetNs),
+                Insn::MovReg(Reg::R4, Reg::R0),
+                Insn::MovImm(Reg::R0, 0),
+                Insn::JmpReg(CmpOp::Ge, Reg::R0, Reg::R4, 2),
+                Insn::AluImm(AluOp::Add, Reg::R0, 1),
+                Insn::Ja(-3),
+                Insn::Exit,
+            ],
+        };
+        assert_eq!(
+            verify(&p, &empty_maps()).unwrap_err().kind,
+            VerifyKind::LoopBoundUnknown(3, Reg::R4)
+        );
+    }
+
+    /// A provable but enormous bound exceeds the trip budget.
+    #[test]
+    fn loop_bound_too_large_rejected() {
+        // r4 = ctx->ifindex is a 32-bit value: bounded, but by 2^32-1.
+        let p = Program {
+            name: "huge-bound".into(),
+            insns: vec![
+                Insn::Load(Size::W, Reg::R4, Reg::R1, ctx_layout::INGRESS_IFINDEX),
+                Insn::MovImm(Reg::R0, 0),
+                Insn::JmpReg(CmpOp::Ge, Reg::R0, Reg::R4, 2),
+                Insn::AluImm(AluOp::Add, Reg::R0, 1),
+                Insn::Ja(-3),
+                Insn::Exit,
+            ],
+        };
+        assert_eq!(
+            verify(&p, &empty_maps()).unwrap_err().kind,
+            VerifyKind::LoopBoundTooLarge(2, u32::MAX as u64)
+        );
+    }
+
+    #[test]
+    fn jump_into_loop_body_rejected() {
+        // insn 1 jumps into the body interior, past the guard.
+        let p = Program {
+            name: "side-entry".into(),
+            insns: vec![
+                Insn::MovImm(Reg::R0, 0),
+                Insn::JmpImm(CmpOp::Eq, Reg::R0, 0, 1),
+                Insn::JmpImm(CmpOp::Ge, Reg::R0, 10, 3),
+                Insn::AluImm(AluOp::Add, Reg::R0, 1),
+                Insn::MovImm(Reg::R3, 1),
+                Insn::Ja(-4),
+                Insn::Exit,
+            ],
+        };
+        assert_eq!(
+            verify(&p, &empty_maps()).unwrap_err().kind,
+            VerifyKind::LoopTooComplex(1)
+        );
+    }
+
+    #[test]
+    fn overlapping_loops_rejected() {
+        let p = Program {
+            name: "overlap".into(),
+            insns: vec![
+                Insn::MovImm(Reg::R0, 0),
+                Insn::AluImm(AluOp::Add, Reg::R0, 1),
+                Insn::JmpImm(CmpOp::Lt, Reg::R0, 5, -2),
+                Insn::JmpImm(CmpOp::Lt, Reg::R0, 9, -3),
+                Insn::Exit,
+            ],
+        };
+        assert_eq!(
+            verify(&p, &empty_maps()).unwrap_err().kind,
+            VerifyKind::LoopTooComplex(3)
+        );
+    }
+
+    /// Spilling a clamped scalar through the stack keeps its range: the
+    /// restored value can index the packet where an unclamped one
+    /// cannot.
+    #[test]
+    fn spill_restore_preserves_scalar_range() {
+        let build = |clamp: bool| {
+            let mut b = ProgramBuilder::new("spill");
+            let fail = b.label();
+            b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
+                .load(Size::DW, Reg::R3, Reg::R1, ctx_layout::DATA_END)
+                .mov(Reg::R4, Reg::R2)
+                .add_imm(Reg::R4, 46)
+                .jmp_reg(CmpOp::Gt, Reg::R4, Reg::R3, fail)
+                .load(Size::B, Reg::R5, Reg::R2, 14);
+            if clamp {
+                b.alu_imm(AluOp::And, Reg::R5, 31);
+            }
+            b.store(Size::DW, Reg::R10, -8, Reg::R5)
+                .load(Size::DW, Reg::R6, Reg::R10, -8)
+                .mov(Reg::R7, Reg::R2)
+                .alu(AluOp::Add, Reg::R7, Reg::R6)
+                .load(Size::B, Reg::R0, Reg::R7, 0)
+                .exit()
+                .bind(fail)
+                .mov_imm(Reg::R0, 1)
+                .exit();
+            b.build()
+        };
+        // Clamped to [0,31]: worst-case access is byte 31 < 46. Fine.
+        verify(&build(true), &empty_maps()).expect("clamped spill verifies");
+        // Unclamped [0,255]: worst-case access is byte 255 >= 46.
+        match verify(&build(false), &empty_maps()).unwrap_err().kind {
+            VerifyKind::PktOutOfBounds { need: 256, have: 46, .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    /// A packet pointer survives a full-width spill/restore round trip.
+    #[test]
+    fn spill_restore_preserves_packet_pointer() {
+        let mut b = ProgramBuilder::new("ptr-spill");
+        let fail = b.label();
+        b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
+            .load(Size::DW, Reg::R3, Reg::R1, ctx_layout::DATA_END)
+            .mov(Reg::R4, Reg::R2)
+            .add_imm(Reg::R4, 14)
+            .jmp_reg(CmpOp::Gt, Reg::R4, Reg::R3, fail)
+            .store(Size::DW, Reg::R10, -16, Reg::R2)
+            .load(Size::DW, Reg::R8, Reg::R10, -16)
+            .load(Size::B, Reg::R0, Reg::R8, 6)
+            .exit()
+            .bind(fail)
+            .mov_imm(Reg::R0, 1)
+            .exit();
+        verify(&b.build(), &empty_maps()).expect("restored pointer derefs");
+    }
+
+    /// Overwriting part of a spilled slot evicts the tracked value.
+    #[test]
+    fn partial_overwrite_evicts_spill() {
+        let mut b = ProgramBuilder::new("evict");
+        let fail = b.label();
+        b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
+            .load(Size::DW, Reg::R3, Reg::R1, ctx_layout::DATA_END)
+            .mov(Reg::R4, Reg::R2)
+            .add_imm(Reg::R4, 14)
+            .jmp_reg(CmpOp::Gt, Reg::R4, Reg::R3, fail)
+            .store(Size::DW, Reg::R10, -16, Reg::R2)
+            .store_imm(Size::B, Reg::R10, -13, 0) // clobber one byte
+            .load(Size::DW, Reg::R8, Reg::R10, -16)
+            .load(Size::B, Reg::R0, Reg::R8, 0) // R8 is now just bytes
+            .exit()
+            .bind(fail)
+            .mov_imm(Reg::R0, 1)
+            .exit();
+        assert!(matches!(
+            verify(&b.build(), &empty_maps()).unwrap_err().kind,
+            VerifyKind::NonPointerDeref(8, Reg::R8)
+        ));
+    }
+
+    /// Branch refinement prunes statically dead edges: the fall-through
+    /// of `if r0 == 5` with r0 known to be 5 is never explored.
+    #[test]
+    fn dead_edge_is_pruned() {
+        // 0: r0 = 5
+        // 1: if r0 == 5 goto +1    <- always taken
+        // 2: r0 = r9               <- uninit read, but unreachable
+        // 3: exit
+        let p = Program {
+            name: "dead-edge".into(),
+            insns: vec![
+                Insn::MovImm(Reg::R0, 5),
+                Insn::JmpImm(CmpOp::Eq, Reg::R0, 5, 1),
+                Insn::MovReg(Reg::R0, Reg::R9),
+                Insn::Exit,
+            ],
+        };
+        verify(&p, &empty_maps()).expect("dead edge pruned");
+    }
+
+    /// Interval knowledge flows through a variable packet offset: a
+    /// byte clamped below the checked window indexes the packet without
+    /// a per-access re-check.
+    #[test]
+    fn variable_packet_offset_with_clamp_verifies() {
+        let mut b = ProgramBuilder::new("varoff");
+        let fail = b.label();
+        b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
+            .load(Size::DW, Reg::R3, Reg::R1, ctx_layout::DATA_END)
+            .mov(Reg::R4, Reg::R2)
+            .add_imm(Reg::R4, 64)
+            .jmp_reg(CmpOp::Gt, Reg::R4, Reg::R3, fail)
+            .load(Size::B, Reg::R5, Reg::R2, 12)
+            .alu_imm(AluOp::And, Reg::R5, 63)
+            .mov(Reg::R6, Reg::R2)
+            .alu(AluOp::Add, Reg::R6, Reg::R5)
+            .load(Size::B, Reg::R0, Reg::R6, 0) // worst case byte 63 < 64
+            .exit()
+            .bind(fail)
+            .mov_imm(Reg::R0, 1)
+            .exit();
+        verify(&b.build(), &empty_maps()).expect("clamped offset verifies");
+    }
+
+    /// Division by a register is fine once its range excludes zero.
+    #[test]
+    fn range_proven_register_divisor_accepted() {
+        let mut b = ProgramBuilder::new("div");
+        b.load(Size::W, Reg::R4, Reg::R1, ctx_layout::RX_QUEUE)
+            .alu_imm(AluOp::And, Reg::R4, 3)
+            .alu_imm(AluOp::Add, Reg::R4, 1) // [1,4]: never zero
+            .mov_imm(Reg::R0, 100)
+            .alu(AluOp::Div, Reg::R0, Reg::R4)
+            .exit();
+        verify(&b.build(), &empty_maps()).expect("non-zero divisor verifies");
+        // Without the +1 the range [0,3] still admits zero.
+        let mut b = ProgramBuilder::new("div0");
+        b.load(Size::W, Reg::R4, Reg::R1, ctx_layout::RX_QUEUE)
+            .alu_imm(AluOp::And, Reg::R4, 3)
+            .mov_imm(Reg::R0, 100)
+            .alu(AluOp::Div, Reg::R0, Reg::R4)
+            .exit();
+        assert_eq!(
+            verify(&b.build(), &empty_maps()).unwrap_err().kind,
+            VerifyKind::RegDivisor(3)
+        );
+    }
+
+    /// Every rejection code is unique, documented, and resolvable; the
+    /// kind -> code -> table round trip holds for a sample of kinds.
+    #[test]
+    fn reject_codes_table_is_consistent() {
+        let mut seen = std::collections::BTreeSet::new();
+        for rc in REJECT_CODES {
+            assert!(seen.insert(rc.id), "duplicate id {}", rc.id);
+            assert!(!rc.summary.is_empty() && !rc.detail.is_empty(), "{}", rc.id);
+            assert_eq!(reject_info(rc.id).map(|r| r.id), Some(rc.id));
+        }
+        assert_eq!(REJECT_CODES.len(), 26);
+        for kind in [
+            VerifyKind::Empty,
+            VerifyKind::UnboundedLoop(0),
+            VerifyKind::LoopNotMonotonic(0, Reg::R0),
+            VerifyKind::LoopBoundUnknown(0, Reg::R4),
+            VerifyKind::FixpointDiverged,
+            VerifyKind::PktOutOfBounds {
+                at: 0,
+                need: 1,
+                have: 0,
+            },
+            VerifyKind::BadReturn(0),
+        ] {
+            assert!(reject_info(kind.code()).is_some(), "{}", kind.code());
+        }
+        assert!(reject_info("no-such-code").is_none());
     }
 }

@@ -8,7 +8,7 @@
 //! still be caught by nothing, which is precisely why we double-check
 //! here (a simulator can afford belt and braces).
 
-use crate::cost::{CostModel, ExecCost, MemClass};
+use crate::cost::{BlockPlan, CostModel, ExecCost, MemClass};
 use crate::insn::{AluOp, CmpOp, Helper, Insn, Reg, Size, XdpAction};
 use crate::maps::{MapFd, MapKind, MapSet};
 use crate::prog::Program;
@@ -66,8 +66,9 @@ pub struct RunResult {
     pub trap: Option<Trap>,
 }
 
-/// Hard runtime step budget (the IR has no loops, so this only guards
-/// against interpreter bugs).
+/// Hard runtime step budget, used when the caller supplies no
+/// verifier-derived fuel. Matches the verifier's `FUEL_CAP`: any
+/// accepted program proves a bound at or below this.
 const STEP_LIMIT: u64 = 1_000_000;
 
 enum DerefTarget {
@@ -82,6 +83,9 @@ struct Machine<'a> {
     ctx: XdpContext,
     maps: &'a mut MapSet,
     cost_model: &'a CostModel,
+    plan: Option<&'a BlockPlan>,
+    fuel: u64,
+    prepaid: u64,
     cost: ExecCost,
     derefs: Vec<DerefTarget>,
     reservation: Option<(MapFd, Vec<u8>)>,
@@ -110,6 +114,42 @@ pub fn run(
     cpu_id: u32,
     rng: &mut SimRng,
 ) -> RunResult {
+    run_with(
+        prog,
+        None,
+        STEP_LIMIT,
+        packet,
+        ctx,
+        maps,
+        cost_model,
+        host_time_ns,
+        cpu_id,
+        rng,
+    )
+}
+
+/// Execute `prog` with a verifier-derived instruction budget and an
+/// optional basic-block cost plan.
+///
+/// `fuel` caps retired instructions: exceeding it traps to
+/// [`Trap::InsnLimit`], the belt-and-braces bailout backing the
+/// verifier's loop-bound proof. `plan` fuses per-instruction charges of
+/// pure ALU blocks into one batch at block entry; totals are
+/// bit-identical to the per-instruction path (see
+/// [`crate::cost::BlockPlan`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_with(
+    prog: &Program,
+    plan: Option<&BlockPlan>,
+    fuel: u64,
+    packet: &mut Vec<u8>,
+    ctx: XdpContext,
+    maps: &mut MapSet,
+    cost_model: &CostModel,
+    host_time_ns: u64,
+    cpu_id: u32,
+    rng: &mut SimRng,
+) -> RunResult {
     let mut m = Machine {
         regs: [0; 11],
         stack: [0; STACK_SIZE],
@@ -117,6 +157,9 @@ pub fn run(
         ctx,
         maps,
         cost_model,
+        plan,
+        fuel: fuel.min(STEP_LIMIT),
+        prepaid: 0,
         cost: ExecCost::default(),
         derefs: Vec::new(),
         reservation: None,
@@ -150,12 +193,30 @@ impl<'a> Machine<'a> {
         let mut steps = 0u64;
         loop {
             steps += 1;
-            if steps > STEP_LIMIT {
+            if steps > self.fuel {
                 return Err(Trap::InsnLimit);
             }
             let insn = prog.insns.get(pc).ok_or(Trap::BadAddress(pc as u64))?;
-            self.cost.retire();
-            self.cost.charge(self.cost_model.insn_cost(insn));
+            if self.prepaid > 0 {
+                // Charged in bulk when this block was entered.
+                self.prepaid -= 1;
+            } else {
+                let fused = self.plan.map(|p| p.fused_len(pc)).unwrap_or(0);
+                if fused > 1 {
+                    // Pure ALU block: batch the whole block's charges
+                    // here. Repeated addition (never multiplication)
+                    // keeps the f64 total bit-identical to the
+                    // per-instruction path.
+                    for _ in 0..fused {
+                        self.cost.retire();
+                        self.cost.charge(self.cost_model.alu_ns);
+                    }
+                    self.prepaid = fused as u64 - 1;
+                } else {
+                    self.cost.retire();
+                    self.cost.charge(self.cost_model.insn_cost(insn));
+                }
+            }
             match *insn {
                 Insn::MovImm(dst, imm) => {
                     self.regs[dst.idx()] = imm as u64;
@@ -194,18 +255,19 @@ impl<'a> Machine<'a> {
                     pc += 1;
                 }
                 Insn::Ja(off) => {
-                    pc = pc + 1 + off as usize;
+                    // i64 math: verified back-edges have negative offsets.
+                    pc = (pc as i64 + 1 + off as i64) as usize;
                 }
                 Insn::JmpImm(op, r, imm, off) => {
                     if cmp(op, self.regs[r.idx()], imm as u64) {
-                        pc = pc + 1 + off as usize;
+                        pc = (pc as i64 + 1 + off as i64) as usize;
                     } else {
                         pc += 1;
                     }
                 }
                 Insn::JmpReg(op, a, b, off) => {
                     if cmp(op, self.regs[a.idx()], self.regs[b.idx()]) {
-                        pc = pc + 1 + off as usize;
+                        pc = (pc as i64 + 1 + off as i64) as usize;
                     } else {
                         pc += 1;
                     }
@@ -844,6 +906,95 @@ mod tests {
             u64::from_le_bytes(m.array_lookup(0, 1).unwrap().try_into().unwrap()),
             101
         );
+    }
+
+    #[test]
+    fn fused_block_costs_bit_identical() {
+        // Mixed program: pure ALU runs, packet loads, a branch, and a
+        // helper call — the fused plan must reproduce the per-insn
+        // totals exactly, down to the f64 bit pattern.
+        let mut b = ProgramBuilder::new("fused");
+        let fail = b.label();
+        b.load(Size::DW, Reg::R2, Reg::R1, ctx_layout::DATA)
+            .load(Size::DW, Reg::R3, Reg::R1, ctx_layout::DATA_END)
+            .mov(Reg::R4, Reg::R2)
+            .add_imm(Reg::R4, 14)
+            .jmp_reg(CmpOp::Gt, Reg::R4, Reg::R3, fail);
+        for _ in 0..37 {
+            b.alu_imm(AluOp::Add, Reg::R6, 3);
+        }
+        b.load(Size::B, Reg::R5, Reg::R2, 7)
+            .call(Helper::KtimeGetNs)
+            .mov_imm(Reg::R0, XdpAction::Pass.code())
+            .exit()
+            .bind(fail)
+            .mov_imm(Reg::R0, XdpAction::Drop.code())
+            .exit();
+        let prog = b.build();
+        let plan = crate::cost::BlockPlan::new(&prog);
+        let cm = CostModel::default();
+        let mut rng_a = SimRng::seed_from_u64(7);
+        let mut rng_b = SimRng::seed_from_u64(7);
+        let mut pkt_a = vec![0xAB; 64];
+        let mut pkt_b = vec![0xAB; 64];
+        let a = run(
+            &prog,
+            &mut pkt_a,
+            XdpContext::default(),
+            &mut MapSet::new(),
+            &cm,
+            5,
+            0,
+            &mut rng_a,
+        );
+        let f = run_with(
+            &prog,
+            Some(&plan),
+            STEP_LIMIT,
+            &mut pkt_b,
+            XdpContext::default(),
+            &mut MapSet::new(),
+            &cm,
+            5,
+            0,
+            &mut rng_b,
+        );
+        assert_eq!(a.action, f.action);
+        assert_eq!(a.cost.insns, f.cost.insns);
+        assert_eq!(a.cost.ns.to_bits(), f.cost.ns.to_bits());
+    }
+
+    #[test]
+    fn fuel_exhaustion_traps() {
+        let mut b = ProgramBuilder::new("fuel");
+        b.mov_imm(Reg::R0, 0);
+        let head = b.here();
+        b.alu_imm(AluOp::Add, Reg::R0, 1)
+            .jmp_imm(CmpOp::Lt, Reg::R0, 1000, head)
+            .exit();
+        let prog = b.build();
+        let cm = CostModel::default();
+        let go = |fuel: u64| {
+            let mut rng = SimRng::seed_from_u64(1);
+            run_with(
+                &prog,
+                None,
+                fuel,
+                &mut vec![0; 64],
+                XdpContext::default(),
+                &mut MapSet::new(),
+                &cm,
+                0,
+                0,
+                &mut rng,
+            )
+        };
+        let ok = go(10_000);
+        assert!(ok.trap.is_none());
+        assert_eq!(ok.cost.insns, 2 + 2 * 1000);
+        let starved = go(100);
+        assert_eq!(starved.trap, Some(Trap::InsnLimit));
+        assert_eq!(starved.action, XdpAction::Aborted);
     }
 
     #[test]

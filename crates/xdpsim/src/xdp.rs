@@ -6,13 +6,13 @@
 //! profile, scaled by concurrently active flows), and — for `XDP_TX` —
 //! NIC TX before the frame re-enters the wire.
 
-use crate::cost::CostModel;
+use crate::cost::{BlockPlan, CostModel};
 use crate::host::{HostClock, HostProfile};
 use crate::insn::XdpAction;
 use crate::maps::MapSet;
 use crate::nic::NicModel;
 use crate::prog::Program;
-use crate::verifier::{verify, VerifyError};
+use crate::verifier::{verify, VerifyError, VerifyStats};
 use crate::vm::{self, XdpContext};
 use steelworks_netsim::bytes::Bytes;
 use std::collections::BTreeMap;
@@ -46,6 +46,10 @@ pub struct XdpStats {
 pub struct XdpHost {
     name: String,
     prog: Program,
+    /// Verifier facts captured at load time (fuel bound, loop count).
+    verify_stats: VerifyStats,
+    /// Basic-block cost plan derived at load time.
+    plan: BlockPlan,
     /// The host's maps — inspect after a run to drain ring buffers.
     pub maps: MapSet,
     cost: CostModel,
@@ -72,10 +76,13 @@ impl XdpHost {
         maps: MapSet,
         profile: HostProfile,
     ) -> Result<Self, VerifyError> {
-        verify(&prog, &maps)?;
+        let verify_stats = verify(&prog, &maps)?;
+        let plan = BlockPlan::new(&prog);
         Ok(XdpHost {
             name: name.into(),
             prog,
+            verify_stats,
+            plan,
             maps,
             cost: CostModel::default(),
             profile,
@@ -140,6 +147,12 @@ impl XdpHost {
         self.stats
     }
 
+    /// The verifier facts captured at load time (notably `max_insns`,
+    /// the fuel bound the VM enforces on every frame).
+    pub fn verify_stats(&self) -> VerifyStats {
+        self.verify_stats
+    }
+
     /// Flows seen within the activity window as of the last frame.
     pub fn tracked_flows(&self) -> u32 {
         self.flow_last_seen.len() as u32
@@ -194,8 +207,10 @@ impl Device for XdpHost {
         let mut packet = frame_to_bytes(&frame);
         let host_time = self.clock.read(now);
         let queue = self.rss_queue(frame.src);
-        let result = vm::run(
+        let result = vm::run_with(
             &self.prog,
+            Some(&self.plan),
+            self.verify_stats.max_insns,
             &mut packet,
             XdpContext {
                 ingress_ifindex: port.0 as u32,

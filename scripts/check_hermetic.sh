@@ -108,6 +108,15 @@ for fig in fig1 fig4 fig5 fig6 challenges fig_campus; do
         fail=1
     fi
 done
+# The bounded-loop corpus rides on the fig4 binary via its additive
+# `loops` spec field; the baseline above already proved the default
+# spec (loops off) still reproduces the pre-corpus bytes.
+STEELWORKS_JOBS=2 target/release/fig4 specs/fig4_loops.json > "$tmpdir/fig4_loops.txt"
+if ! diff -q results/fig4_loops.txt "$tmpdir/fig4_loops.txt" > /dev/null; then
+    echo "fig4_loops output differs under STEELWORKS_JOBS=2:"
+    diff results/fig4_loops.txt "$tmpdir/fig4_loops.txt" | head -20
+    fail=1
+fi
 [ "$fail" -eq 0 ] && echo "OK: all figure outputs byte-identical under parallel execution"
 [ "$fail" -eq 0 ] || exit 1
 
@@ -142,7 +151,7 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 for pass in miss hit; do
-    for fig in fig1 fig4 fig5 fig6 challenges fig_campus; do
+    for fig in fig1 fig4 fig4_loops fig5 fig6 challenges fig_campus; do
         target/release/steelserve post "$addr" "specs/$fig.json" \
             --expect "$pass" > "$tmpdir/served-$fig.txt"
         if ! diff -q "results/$fig.txt" "$tmpdir/served-$fig.txt" > /dev/null; then
