@@ -7,7 +7,10 @@
 //! at one worker vs the machine's parallelism. Run with
 //! `BENCH_JSON=results/BENCH_perf.json cargo run --release -p
 //! steelworks-bench --bin perf` to record a trajectory point;
-//! `--samples N` adjusts the per-bench sample count.
+//! `--samples N` adjusts the per-bench sample count and
+//! `--filter <substr>` runs only the rows whose name contains the
+//! substring (e.g. `--filter xdpsim` re-runs the VM rows in
+//! isolation).
 
 use steelworks_bench::harness::Harness;
 use steelworks_core::prelude::*;
@@ -18,7 +21,11 @@ use steelworks_netsim::node::NodeId;
 use steelworks_netsim::prelude::*;
 use steelworks_netsim::tap::{Tap, TapDir};
 use steelworks_netsim::time::Nanos;
-use steelworks_xdpsim::prelude::{loop_variant, standard_maps, verify, LoopVariant, ReflectVariant};
+use steelworks_xdpsim::cost::{BlockPlan, CostModel};
+use steelworks_xdpsim::prelude::{
+    loop_variant, lower, reflect_variant, run_lowered, standard_maps, verify, verify_with_proof,
+    LoopVariant, ReflectVariant, XdpContext,
+};
 
 fn bench_transmit_deliver(h: &mut Harness) {
     // The loop the netsim hot-path pass targets: frames serialized over
@@ -173,6 +180,92 @@ fn bench_verify_loop_corpus(h: &mut Harness) {
     });
 }
 
+fn bench_lower_corpus(h: &mut Harness) {
+    // The lowering pass itself (load-time cost): verify-with-proof plus
+    // compile for all nine shipped programs.
+    let (maps, rb) = standard_maps();
+    h.bench("perf/xdpsim/lower_corpus", move || {
+        let mut elided = 0usize;
+        let progs = LoopVariant::ALL
+            .iter()
+            .map(|&v| loop_variant(v))
+            .chain(ReflectVariant::ALL.iter().map(|&v| reflect_variant(v, rb)));
+        for p in progs {
+            let (_, proof) = verify_with_proof(&p, &maps)
+                // steelcheck: allow(panic-reachable): the corpus is verified in unit tests; a rejection here is a broken build
+                .expect("shipped program verifies");
+            // steelcheck: allow(panic-reachable): lowering any verified program is covered by the differential oracle
+            let lp = lower(&p, &proof).expect("verified program lowers");
+            elided += lp.elided_checks();
+        }
+        elided
+    });
+}
+
+fn bench_exec_lowered_vs_interp(h: &mut Harness) {
+    // The VM hot path in isolation, same program + packet sweep through
+    // both engines: the ratio of these two rows is the pure execution
+    // speedup of proof-elided lowering, without the host/NIC/netsim
+    // layers the e2e rows carry.
+    let (maps, _rb) = standard_maps();
+    let prog = loop_variant(LoopVariant::PayloadScan);
+    let (stats, proof) = verify_with_proof(&prog, &maps)
+        // steelcheck: allow(panic-reachable): the corpus is verified in unit tests; a rejection here is a broken build
+        .expect("shipped loop program verifies");
+    // steelcheck: allow(panic-reachable): lowering any verified program is covered by the differential oracle
+    let lp = lower(&prog, &proof).expect("verified program lowers");
+    let plan = BlockPlan::new(&prog);
+    let cm = CostModel::default();
+    let runs = 200u64;
+    {
+        let (prog, maps, cm, plan) = (prog.clone(), maps.clone(), cm.clone(), plan.clone());
+        h.bench("perf/xdpsim/exec_lowered_vs_interp/interp", move || {
+            let mut maps = maps.clone();
+            let mut rng = SimRng::seed_from_u64(0x1077);
+            let mut insns = 0u64;
+            for i in 0..runs {
+                let mut pkt = vec![0u8; 64];
+                pkt[0] = i as u8;
+                let r = steelworks_xdpsim::vm::run_with(
+                    &prog,
+                    Some(&plan),
+                    stats.max_insns,
+                    &mut pkt,
+                    XdpContext::default(),
+                    &mut maps,
+                    &cm,
+                    i,
+                    0,
+                    &mut rng,
+                );
+                insns += r.cost.insns;
+            }
+            insns
+        });
+    }
+    h.bench("perf/xdpsim/exec_lowered_vs_interp/lowered", move || {
+        let mut maps = maps.clone();
+        let mut rng = SimRng::seed_from_u64(0x1077);
+        let mut insns = 0u64;
+        for i in 0..runs {
+            let mut pkt = vec![0u8; 64];
+            pkt[0] = i as u8;
+            let r = run_lowered(
+                &lp,
+                &mut pkt,
+                XdpContext::default(),
+                &mut maps,
+                &cm,
+                i,
+                0,
+                &mut rng,
+            );
+            insns += r.cost.insns;
+        }
+        insns
+    });
+}
+
 fn bench_campus_e2e(h: &mut Harness) {
     // A reduced campus (4 cells × 4 leaves × 64 endpoints ≈ 4k nodes)
     // through the full build/run/audit path: the arena node table, the
@@ -223,12 +316,18 @@ fn main() {
         .position(|a| a == "--samples")
         .and_then(|i| args.get(i + 1).and_then(|s| s.parse::<usize>().ok()))
         .unwrap_or(20);
+    let filter = args
+        .iter()
+        .position(|a| a == "--filter")
+        .and_then(|i| args.get(i + 1).cloned());
     let _ = steelpar::take_jobs_arg(&mut args);
-    let mut h = Harness::new("perf").samples(samples);
+    let mut h = Harness::new("perf").samples(samples).filter(filter);
     bench_transmit_deliver(&mut h);
     bench_event_queue(&mut h);
     bench_tap_observe(&mut h);
     bench_verify_loop_corpus(&mut h);
+    bench_lower_corpus(&mut h);
+    bench_exec_lowered_vs_interp(&mut h);
     bench_fig4_e2e(&mut h);
     bench_campus_e2e(&mut h);
     bench_steelpar_fanout(&mut h);

@@ -5,16 +5,62 @@
 //! cargo run --release -p steelworks-bench --bin xdpverify            # verify the corpus
 //! cargo run --release -p steelworks-bench --bin xdpverify -- --list-codes
 //! cargo run --release -p steelworks-bench --bin xdpverify -- --explain unbounded-loop
+//! cargo run --release -p steelworks-bench --bin xdpverify -- --dump-lowered L-SCAN
 //! ```
+//!
+//! `--dump-lowered NAME` compiles one corpus program through the
+//! verifier-informed lowering pass and prints its basic blocks:
+//! resolved ops, every elided check with the proof fact that licensed
+//! it, and per-block fuel.
 //!
 //! Exit status: 0 when every shipped program verifies (or a query mode
 //! ran), 1 on an unexpected rejection, 2 on usage errors.
 
 use std::process::ExitCode;
 use steelworks_xdpsim::prelude::{
-    loop_variant, reflect_variant, reject_info, standard_maps, verify, LoopVariant, Program,
-    ReflectVariant, REJECT_CODES,
+    loop_variant, lower, reflect_variant, reject_info, standard_maps, verify, verify_with_proof,
+    LoopVariant, Program, ReflectVariant, REJECT_CODES,
 };
+
+/// The nine shipped programs, by display name.
+fn corpus() -> (steelworks_xdpsim::maps::MapSet, Vec<(&'static str, Program)>) {
+    let (maps, rb) = standard_maps();
+    let programs: Vec<(&'static str, Program)> = ReflectVariant::ALL
+        .iter()
+        .map(|&v| (v.name(), reflect_variant(v, rb)))
+        .chain(LoopVariant::ALL.iter().map(|&v| (v.name(), loop_variant(v))))
+        .collect();
+    (maps, programs)
+}
+
+fn dump_lowered(name: &str) -> ExitCode {
+    let (maps, programs) = corpus();
+    let Some((_, prog)) = programs.iter().find(|(n, _)| *n == name) else {
+        let names: Vec<&str> = programs.iter().map(|(n, _)| *n).collect();
+        eprintln!(
+            "xdpverify: unknown program `{name}` (corpus: {})",
+            names.join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    let (_, proof) = match verify_with_proof(prog, &maps) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xdpverify: `{name}` failed verification: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lower(prog, &proof) {
+        Ok(lp) => {
+            print!("{}", lp.dump());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xdpverify: `{name}` failed to lower: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -45,8 +91,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--dump-lowered" => match args.next() {
+                Some(name) => return dump_lowered(&name),
+                None => {
+                    eprintln!("xdpverify: --dump-lowered requires a program name");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: xdpverify [--list-codes] [--explain CODE]");
+                eprintln!(
+                    "usage: xdpverify [--list-codes] [--explain CODE] [--dump-lowered NAME]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -59,12 +114,7 @@ fn main() -> ExitCode {
     // Default mode: verify the shipped corpus — the six straight-line
     // reflection variants plus the three bounded-loop programs — and
     // print what the verifier proved about each.
-    let (maps, rb) = standard_maps();
-    let programs: Vec<(&'static str, Program)> = ReflectVariant::ALL
-        .iter()
-        .map(|&v| (v.name(), reflect_variant(v, rb)))
-        .chain(LoopVariant::ALL.iter().map(|&v| (v.name(), loop_variant(v))))
-        .collect();
+    let (maps, programs) = corpus();
     let mut failed = 0usize;
     println!("# {:<8} {:>5} {:>5} {:>8}  status", "program", "insns", "loops", "fuel");
     for (name, prog) in &programs {

@@ -53,6 +53,7 @@ pub struct Harness {
     title: &'static str,
     warmup: usize,
     samples: usize,
+    filter: Option<String>,
     results: Vec<BenchStats>,
 }
 
@@ -68,6 +69,7 @@ impl Harness {
             title,
             warmup: 3,
             samples: 30,
+            filter: None,
             results: Vec::new(),
         }
     }
@@ -75,6 +77,15 @@ impl Harness {
     /// Override the per-bench sample count (builder style).
     pub fn samples(mut self, n: usize) -> Harness {
         self.samples = n.max(1);
+        self
+    }
+
+    /// Only run benchmarks whose name contains `substr` (builder
+    /// style). While a filter is active `finish()` refuses to write
+    /// `$BENCH_JSON`, so a partial run can never clobber the recorded
+    /// trajectory with a subset of its rows.
+    pub fn filter(mut self, substr: Option<String>) -> Harness {
+        self.filter = substr;
         self
     }
 
@@ -88,6 +99,11 @@ impl Harness {
     /// resolution.
     pub fn bench_inner<T>(&mut self, name: impl Into<String>, inner: u32, mut f: impl FnMut() -> T) {
         let name = name.into();
+        if let Some(fil) = &self.filter {
+            if !name.contains(fil.as_str()) {
+                return;
+            }
+        }
         for _ in 0..self.warmup {
             black_box(f());
         }
@@ -136,7 +152,12 @@ impl Harness {
         );
         println!("# BENCH_JSON {json}");
         if let Ok(path) = std::env::var("BENCH_JSON") {
-            if let Err(e) = std::fs::write(&path, &json) {
+            if self.filter.is_some() {
+                eprintln!(
+                    "# bench harness {}: --filter active, not writing {path}",
+                    self.title
+                );
+            } else if let Err(e) = std::fs::write(&path, &json) {
                 eprintln!("# bench harness {}: cannot write {path}: {e}", self.title);
             }
         }

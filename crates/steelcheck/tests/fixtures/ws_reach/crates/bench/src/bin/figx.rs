@@ -9,7 +9,7 @@ fn main() {
     let _direct = SimRng::seed_from_u64(std::time::SystemTime::now());
     // steelcheck: allow(rng-entropy): fixture records a justified ambient seed
     let _excused = SimRng::seed_from_u64(steelworks_bench::ambient_seed());
-    println!("{stage} {} {}", checked_stage(), walk_stage());
+    println!("{stage} {} {} {}", checked_stage(), walk_stage(), lowered_stage());
 }
 
 fn load_stage() -> usize {
@@ -44,4 +44,33 @@ fn walk_stage() -> usize {
 
 fn step_stage(n: usize) -> usize {
     n.to_string().parse().unwrap()
+}
+
+fn lowered_stage() -> usize {
+    // The xdpsim lowered engine's dispatch shape: an `Option` engine
+    // chosen at load time, matched once, then a per-block loop over
+    // pre-resolved ops. R8/R9 must carry reachability through the
+    // match arm into the block executor.
+    let engine = Some(build_lowered());
+    match engine {
+        Some(blocks) => exec_lowered(blocks),
+        None => walk_stage(),
+    }
+}
+
+fn build_lowered() -> Vec<usize> {
+    vec![4, 5, 6]
+}
+
+fn exec_lowered(blocks: Vec<usize>) -> usize {
+    let mut total = 0;
+    for b in blocks {
+        let _block_rng = SimRng::seed_from_u64(steelworks_bench::ambient_seed());
+        total += exec_block(b);
+    }
+    total
+}
+
+fn exec_block(b: usize) -> usize {
+    b.to_string().parse().unwrap()
 }

@@ -41,7 +41,7 @@ fn r7_flags_wallclock_two_calls_below_sim_entry_with_path() {
 fn r8_flags_panic_two_calls_below_figure_main_with_path() {
     let r = run_fixture("ws_reach");
     let f = by_rule(&r, "panic-reachable");
-    assert_eq!(f.len(), 2, "{:?}", r.findings);
+    assert_eq!(f.len(), 3, "{:?}", r.findings);
     assert_eq!(f[0].file, "crates/bench/src/bin/figx.rs");
     assert_eq!(f[0].line, 20);
     assert!(
@@ -82,10 +82,43 @@ fn r8_r9_trace_through_labeled_loops_and_worklists() {
 }
 
 #[test]
+fn r8_r9_trace_lowered_execution_dispatch() {
+    // `lowered_stage` mirrors the xdpsim compiled engine: an `Option`
+    // engine matched once, then a per-block executor loop. Both rules
+    // must carry reachability through the match arm and the loop.
+    let r = run_fixture("ws_reach");
+    let seed = by_rule(&r, "rng-entropy");
+    let block_seed = seed
+        .iter()
+        .find(|f| f.line == 68 && f.file == "crates/bench/src/bin/figx.rs")
+        .unwrap_or_else(|| panic!("{:?}", r.findings));
+    assert!(
+        block_seed
+            .message
+            .contains("bench/figx::main -> bench/figx::lowered_stage -> bench/figx::exec_lowered"),
+        "seed path must run through the engine dispatch: {}",
+        block_seed.message
+    );
+    let panic = by_rule(&r, "panic-reachable");
+    let in_block = panic
+        .iter()
+        .find(|f| f.line == 75 && f.file == "crates/bench/src/bin/figx.rs")
+        .unwrap_or_else(|| panic!("{:?}", r.findings));
+    assert!(
+        in_block.message.contains(
+            "bench/figx::main -> bench/figx::lowered_stage -> bench/figx::exec_lowered \
+             -> bench/figx::exec_block"
+        ),
+        "panic path must reach the block executor: {}",
+        in_block.message
+    );
+}
+
+#[test]
 fn r9_flags_ambient_seeds_direct_and_through_taint() {
     let r = run_fixture("ws_reach");
     let f = by_rule(&r, "rng-entropy");
-    assert_eq!(f.len(), 3, "{:?}", r.findings);
+    assert_eq!(f.len(), 4, "{:?}", r.findings);
     // Line 8: the seed flows through bench::ambient_seed, which reads
     // the clock; line 9 reads SystemTime inside the seed expression.
     assert_eq!((f[0].file.as_str(), f[0].line), ("crates/bench/src/bin/figx.rs", 8));
@@ -135,6 +168,8 @@ fn suppressed_reachability_sites_are_silent_and_count_as_used() {
             ("crates/bench/src/bin/figx.rs".into(), 20, "panic-reachable".into()),
             ("crates/bench/src/bin/figx.rs".into(), 36, "rng-entropy".into()),
             ("crates/bench/src/bin/figx.rs".into(), 46, "panic-reachable".into()),
+            ("crates/bench/src/bin/figx.rs".into(), 68, "rng-entropy".into()),
+            ("crates/bench/src/bin/figx.rs".into(), 75, "panic-reachable".into()),
             ("crates/netsim/src/lib.rs".into(), 22, "wallclock-reachable".into()),
         ]
     );

@@ -147,6 +147,11 @@ pub struct BlockPlan {
     /// `pure_len[pc]` is the block length when `pc` leads a pure block,
     /// else 0.
     pure_len: Vec<u32>,
+    /// `leader[pc]` marks block leaders (entry, jump targets, and the
+    /// instruction after any jump/exit). [`crate::lower`] partitions on
+    /// exactly these so its fused-charging boundaries can never drift
+    /// from the interpreter's.
+    leader: Vec<bool>,
 }
 
 impl BlockPlan {
@@ -201,13 +206,18 @@ impl BlockPlan {
             }
             i = end + 1;
         }
-        BlockPlan { pure_len }
+        BlockPlan { pure_len, leader }
     }
 
     /// Length of the pure block led by `pc`, or 0 when `pc` does not
     /// lead one (interior instruction, or block touches memory/helpers).
     pub fn fused_len(&self, pc: usize) -> u32 {
         self.pure_len.get(pc).copied().unwrap_or(0)
+    }
+
+    /// Whether `pc` leads a basic block (pure or not).
+    pub fn is_leader(&self, pc: usize) -> bool {
+        self.leader.get(pc).copied().unwrap_or(false)
     }
 }
 

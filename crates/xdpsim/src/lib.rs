@@ -12,7 +12,8 @@
 //! 1. [`insn`] / [`prog`] — the ISA and a label-resolving assembler.
 //! 2. [`verifier`] — abstract interpretation enforcing the classic
 //!    eBPF safety rules (bounds checks, null checks, init tracking).
-//! 3. [`maps`] / [`vm`] — program state and the costed interpreter.
+//! 3. [`maps`] / [`vm`] / [`lower`] — program state, the costed
+//!    interpreter, and the verifier-informed compiled engine.
 //! 4. [`cost`] / [`host`] / [`nic`] — the timing stack: deterministic
 //!    instruction costs, stochastic host noise, NIC+PCIe latency.
 //! 5. [`xdp`] — an [`steelworks_netsim::node::Device`] wiring it all
@@ -37,6 +38,7 @@ pub mod cost;
 pub mod host;
 pub mod insn;
 pub mod interval;
+pub mod lower;
 pub mod maps;
 pub mod nic;
 pub mod prog;
@@ -58,8 +60,10 @@ pub mod prelude {
         LoopVariant, ReflectVariant,
     };
     pub use crate::interval::Interval;
+    pub use crate::lower::{lower, run_lowered, LowerError, LoweredProgram};
     pub use crate::verifier::{
-        reject_info, verify, RejectInfo, VerifyError, VerifyKind, VerifyStats, REJECT_CODES,
+        reject_info, verify, verify_with_proof, AccessFact, Proof, RejectInfo, VerifyError,
+        VerifyKind, VerifyStats, REJECT_CODES,
     };
     pub use crate::vm::{run, RunResult, Trap, XdpContext};
     pub use crate::xdp::{XdpHost, XdpStats};

@@ -1,0 +1,1036 @@
+//! Verifier-informed lowering: the compiled engine for verified
+//! programs.
+//!
+//! [`lower`] translates a program into a direct-threaded form — one
+//! pre-resolved [`Op`] per instruction, grouped into basic blocks with
+//! jump targets resolved to block indices — consuming the
+//! [`crate::verifier::Proof`] artifact so that the per-step work the
+//! interpreter repeats on every instruction is done once at load time:
+//!
+//! - **No decode.** Register numbers, immediates, and context fields
+//!   are pre-extracted; the executor never re-inspects an [`Insn`].
+//! - **Proof-elided checks.** Every load/store is specialized to the
+//!   memory region the verifier proved it hits, so the runtime region
+//!   dispatch and bounds comparison disappear. Each elision cites the
+//!   proven [`AccessFact`] (see [`LoweredProgram::dump`]); in debug
+//!   builds the elided comparisons remain as `debug_assert!`s.
+//! - **Per-block fuel and cost.** Retired-instruction fuel is prepaid
+//!   per block through the shared [`crate::vm::Fuel`] helper, and pure
+//!   ALU blocks charge the cost model in one batch — the exact f64
+//!   addition sequence the interpreter performs, so totals stay
+//!   bit-identical (including mid-run `KtimeGetNs` reads).
+//!
+//! The trust story is explicit: [`lower`] takes a [`Proof`], and a
+//! `Proof` only comes from [`crate::verifier::verify_with_proof`] —
+//! unverified programs cannot be lowered. Stack accesses compile to
+//! static frame slots (the verifier keeps stack-pointer offsets
+//! concrete), packet accesses rely on `off.hi + disp + width <=
+//! pkt_len_min` from the interval domain, and map/ring accesses rely
+//! on the proven value size and non-nullness. Rust's own slice indexing
+//! still backstops a (hypothetical) verifier bug with a panic rather
+//! than memory unsafety — the crate forbids `unsafe`.
+//!
+//! One deliberate divergence from the interpreter: fuel exhaustion
+//! traps at the *block* boundary (before any of the block's effects)
+//! rather than mid-block. Programs run with their verifier-derived
+//! fuel never trap, so both engines agree on every verified workload;
+//! see the boundary tests below.
+
+use crate::cost::{BlockPlan, CostModel, MemClass};
+use crate::insn::{alu_sym, cmp_sym, sz_sym, AluOp, CmpOp, Helper, Insn, Size};
+use crate::maps::MapSet;
+use crate::prog::Program;
+use crate::verifier::{ctx_layout, AccessFact, Proof, STACK_SIZE};
+use crate::vm::{
+    alu, cmp, finish, Machine, RunResult, Trap, XdpContext, MAPVAL_BASE, MAPVAL_STRIDE, PKT_BASE,
+    RING_BASE,
+};
+use std::collections::BTreeMap;
+use steelworks_netsim::rng::SimRng;
+
+/// Why a (verified) program could not be lowered. Every variant is an
+/// internal inconsistency — a proof from a different program, or a
+/// fact pattern the verifier can't actually emit — so callers treat
+/// this as "fall back to the interpreter", not as user error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LowerError {
+    /// The proof does not cover this program (length mismatch).
+    ProofMismatch,
+    /// A reachable memory access has no region fact.
+    MissingFact(usize),
+    /// A context access with an offset/width pair outside the layout.
+    BadCtxField(usize),
+    /// A stack fact outside the frame.
+    BadStackSlot(usize),
+    /// A store through the read-only context.
+    CtxStore(usize),
+    /// Block partition disagrees with the interpreter's
+    /// [`BlockPlan`] (would break bit-identical charging).
+    PlanMismatch(usize),
+    /// A branch target that is not a block leader.
+    BadTarget(usize),
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::ProofMismatch => write!(f, "proof artifact does not match the program"),
+            LowerError::MissingFact(pc) => write!(f, "no region fact for memory access at {pc}"),
+            LowerError::BadCtxField(pc) => write!(f, "unmodelled ctx field at {pc}"),
+            LowerError::BadStackSlot(pc) => write!(f, "stack fact outside the frame at {pc}"),
+            LowerError::CtxStore(pc) => write!(f, "store through ctx pointer at {pc}"),
+            LowerError::PlanMismatch(pc) => write!(f, "block plan disagreement at {pc}"),
+            LowerError::BadTarget(pc) => write!(f, "branch target at {pc} is not a leader"),
+        }
+    }
+}
+
+/// Pre-resolved context field (offset/width validated at lowering).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CtxField {
+    /// Packet data pointer.
+    Data,
+    /// Packet end pointer.
+    DataEnd,
+    /// Ingress interface index.
+    Ifindex,
+    /// RX queue index.
+    RxQueue,
+}
+
+impl CtxField {
+    fn name(self) -> &'static str {
+        match self {
+            CtxField::Data => "data",
+            CtxField::DataEnd => "data_end",
+            CtxField::Ifindex => "ingress_ifindex",
+            CtxField::RxQueue => "rx_queue",
+        }
+    }
+}
+
+/// One pre-resolved operation. Register fields are raw indices into
+/// the machine's register file; memory ops are specialized to their
+/// proven region with the bounds check elided.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    MovImm { dst: u8, imm: u64 },
+    MovReg { dst: u8, src: u8 },
+    Neg { dst: u8 },
+    AluImm { op: AluOp, dst: u8, imm: u64 },
+    AluReg { op: AluOp, dst: u8, src: u8 },
+    LdCtx { dst: u8, field: CtxField },
+    LdPkt { sz: Size, dst: u8, base: u8, off: i64 },
+    StPkt { sz: Size, base: u8, off: i64, src: u8 },
+    StPktImm { sz: Size, base: u8, off: i64, imm: u64 },
+    LdStack { sz: Size, dst: u8, slot: u16 },
+    StStack { sz: Size, slot: u16, src: u8 },
+    StStackImm { sz: Size, slot: u16, imm: u64 },
+    LdMap { sz: Size, dst: u8, base: u8, off: i64 },
+    StMap { sz: Size, base: u8, off: i64, src: u8 },
+    StMapImm { sz: Size, base: u8, off: i64, imm: u64 },
+    LdRing { sz: Size, dst: u8, base: u8, off: i64 },
+    StRing { sz: Size, base: u8, off: i64, src: u8 },
+    StRingImm { sz: Size, base: u8, off: i64, imm: u64 },
+    Call { helper: Helper },
+}
+
+/// Block terminator with targets resolved to block indices.
+#[derive(Clone, Copy, Debug)]
+enum Term {
+    /// Return R0.
+    Exit,
+    /// Unconditional jump.
+    Ja { to: u32 },
+    /// Conditional branch against an immediate.
+    BrImm { op: CmpOp, reg: u8, imm: u64, yes: u32, no: u32 },
+    /// Conditional branch against a register.
+    BrReg { op: CmpOp, a: u8, b: u8, yes: u32, no: u32 },
+    /// Fall through into the next block (its leader is a jump target).
+    Fall { to: u32 },
+    /// Verifier-unreachable block; executing it is a lowering bug and
+    /// traps defensively.
+    Poison,
+}
+
+/// One basic block: straight-line ops plus a terminator.
+#[derive(Clone, Debug)]
+struct Block {
+    /// Leader's pc in the source program (diagnostics only).
+    start_pc: u32,
+    /// Instructions this block retires (ops + real terminator).
+    retires: u64,
+    /// All-ALU block: fuel and cost are charged as one batch at entry,
+    /// mirroring the interpreter's [`BlockPlan`] fusing.
+    fused: bool,
+    ops: Vec<Op>,
+    term: Term,
+}
+
+/// A verified program compiled for direct-threaded execution.
+///
+/// Obtain via [`lower`]; execute via [`run_lowered`]. The embedded
+/// fuel is the verifier's `max_insns` bound from the consumed proof.
+#[derive(Clone, Debug)]
+pub struct LoweredProgram {
+    name: String,
+    blocks: Vec<Block>,
+    fuel: u64,
+    /// The proof fact behind every elided check, keyed by source pc —
+    /// the audit trail [`Self::dump`] renders.
+    notes: BTreeMap<u32, AccessFact>,
+    insns: usize,
+}
+
+impl LoweredProgram {
+    /// Program name (as in [`Program::name`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The verifier-derived retired-instruction budget baked in at
+    /// lowering time.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of runtime checks elided against a proof fact.
+    pub fn elided_checks(&self) -> usize {
+        self.notes.len()
+    }
+
+    /// Human-readable per-block listing: resolved ops, each elided
+    /// check with its proving fact, and per-block fuel (retires).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "; lowered {}: {} blocks, {} insns, fuel {}, {} checks elided\n",
+            self.name,
+            self.blocks.len(),
+            self.insns,
+            self.fuel,
+            self.notes.len()
+        ));
+        for (bi, b) in self.blocks.iter().enumerate() {
+            out.push_str(&format!(
+                "block {bi:>2} @{:<3} retires={}{}\n",
+                b.start_pc,
+                b.retires,
+                if b.fused { " fused" } else { "" }
+            ));
+            for (i, op) in b.ops.iter().enumerate() {
+                let pc = b.start_pc + i as u32;
+                let note = self
+                    .notes
+                    .get(&pc)
+                    .map(|f| format!("  ; elided: {}", fact_text(f)))
+                    .unwrap_or_default();
+                out.push_str(&format!("  {pc:>3}: {}{note}\n", op_text(op)));
+            }
+            out.push_str(&format!("  -> {}\n", term_text(&b.term)));
+        }
+        out
+    }
+}
+
+fn fact_text(f: &AccessFact) -> String {
+    match f {
+        AccessFact::Ctx => "typed ctx field".into(),
+        AccessFact::Packet { off, len_min } => {
+            format!("pkt off {off} within proven len {len_min}")
+        }
+        AccessFact::Stack { off } => format!("stack fp{off:+} within frame"),
+        AccessFact::MapValue { size } => format!("non-null map value, {size}B"),
+        AccessFact::RingBuf { size } => format!("non-null ringbuf record, {size}B"),
+    }
+}
+
+fn op_text(op: &Op) -> String {
+    match *op {
+        Op::MovImm { dst, imm } => format!("r{dst} = {}", imm as i64),
+        Op::MovReg { dst, src } => format!("r{dst} = r{src}"),
+        Op::Neg { dst } => format!("r{dst} = -r{dst}"),
+        Op::AluImm { op, dst, imm } => format!("r{dst} {} {}", alu_sym(op), imm as i64),
+        Op::AluReg { op, dst, src } => format!("r{dst} {} r{src}", alu_sym(op)),
+        Op::LdCtx { dst, field } => format!("r{dst} = ctx.{}", field.name()),
+        Op::LdPkt { sz, dst, base, off } => {
+            format!("r{dst} = pkt.{}[r{base}{off:+}]", sz_sym(sz))
+        }
+        Op::StPkt { sz, base, off, src } => {
+            format!("pkt.{}[r{base}{off:+}] = r{src}", sz_sym(sz))
+        }
+        Op::StPktImm { sz, base, off, imm } => {
+            format!("pkt.{}[r{base}{off:+}] = {}", sz_sym(sz), imm as i64)
+        }
+        Op::LdStack { sz, dst, slot } => {
+            format!("r{dst} = stack.{}[fp{:+}]", sz_sym(sz), slot as i32 - STACK_SIZE as i32)
+        }
+        Op::StStack { sz, slot, src } => {
+            format!("stack.{}[fp{:+}] = r{src}", sz_sym(sz), slot as i32 - STACK_SIZE as i32)
+        }
+        Op::StStackImm { sz, slot, imm } => {
+            format!(
+                "stack.{}[fp{:+}] = {}",
+                sz_sym(sz),
+                slot as i32 - STACK_SIZE as i32,
+                imm as i64
+            )
+        }
+        Op::LdMap { sz, dst, base, off } => {
+            format!("r{dst} = map.{}[r{base}{off:+}]", sz_sym(sz))
+        }
+        Op::StMap { sz, base, off, src } => {
+            format!("map.{}[r{base}{off:+}] = r{src}", sz_sym(sz))
+        }
+        Op::StMapImm { sz, base, off, imm } => {
+            format!("map.{}[r{base}{off:+}] = {}", sz_sym(sz), imm as i64)
+        }
+        Op::LdRing { sz, dst, base, off } => {
+            format!("r{dst} = ring.{}[r{base}{off:+}]", sz_sym(sz))
+        }
+        Op::StRing { sz, base, off, src } => {
+            format!("ring.{}[r{base}{off:+}] = r{src}", sz_sym(sz))
+        }
+        Op::StRingImm { sz, base, off, imm } => {
+            format!("ring.{}[r{base}{off:+}] = {}", sz_sym(sz), imm as i64)
+        }
+        Op::Call { helper } => format!("call {helper:?}"),
+    }
+}
+
+fn term_text(t: &Term) -> String {
+    match *t {
+        Term::Exit => "exit".into(),
+        Term::Ja { to } => format!("b{to}"),
+        Term::BrImm { op, reg, imm, yes, no } => {
+            format!("if r{reg} {} {} ? b{yes} : b{no}", cmp_sym(op), imm as i64)
+        }
+        Term::BrReg { op, a, b, yes, no } => {
+            format!("if r{a} {} r{b} ? b{yes} : b{no}", cmp_sym(op))
+        }
+        Term::Fall { to } => format!("b{to}"),
+        Term::Poison => "poison (verifier-unreachable)".into(),
+    }
+}
+
+/// Offset/width pair → context field, as the interpreter's typed read
+/// accepts them (anything else would trap there, and the verifier
+/// rejects it statically).
+fn ctx_field(off: i16, sz: Size) -> Option<CtxField> {
+    match (off, sz) {
+        (ctx_layout::DATA, Size::DW) => Some(CtxField::Data),
+        (ctx_layout::DATA_END, Size::DW) => Some(CtxField::DataEnd),
+        (ctx_layout::INGRESS_IFINDEX, Size::W) => Some(CtxField::Ifindex),
+        (ctx_layout::RX_QUEUE, Size::W) => Some(CtxField::RxQueue),
+        _ => None,
+    }
+}
+
+/// Frame-relative offset → static stack slot index (low byte).
+fn stack_slot(pc: usize, off: i32, sz: Size) -> Result<u16, LowerError> {
+    let slot = off + STACK_SIZE as i32;
+    if slot < 0 || slot + sz.bytes() as i32 > STACK_SIZE as i32 {
+        return Err(LowerError::BadStackSlot(pc));
+    }
+    Ok(slot as u16)
+}
+
+fn is_terminal(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::Ja(_) | Insn::JmpImm(..) | Insn::JmpReg(..) | Insn::Exit
+    )
+}
+
+/// Compile a verified program into its direct-threaded form.
+///
+/// `proof` must come from [`crate::verifier::verify_with_proof`] on the
+/// same program — it is what licenses every elided check. Errors mean
+/// the proof and program disagree; callers fall back to the
+/// interpreter.
+pub fn lower(prog: &Program, proof: &Proof) -> Result<LoweredProgram, LowerError> {
+    let n = prog.insns.len();
+    if n == 0 || proof.insns() != n {
+        return Err(LowerError::ProofMismatch);
+    }
+    let plan = BlockPlan::new(prog);
+    let mut block_idx = vec![u32::MAX; n];
+    let leaders: Vec<usize> = (0..n).filter(|&pc| plan.is_leader(pc)).collect();
+    for (bi, &l) in leaders.iter().enumerate() {
+        block_idx[l] = bi as u32;
+    }
+    let resolve = |pc: usize, tgt: usize| -> Result<u32, LowerError> {
+        match block_idx.get(tgt).copied() {
+            Some(bi) if bi != u32::MAX => Ok(bi),
+            _ => Err(LowerError::BadTarget(pc)),
+        }
+    };
+
+    let mut blocks = Vec::with_capacity(leaders.len());
+    let mut notes = BTreeMap::new();
+    for &l in &leaders {
+        let mut end = l;
+        while !is_terminal(&prog.insns[end]) && end + 1 < n && !plan.is_leader(end + 1) {
+            end += 1;
+        }
+        if !proof.is_reachable(l) {
+            // Dead-edge pruning left this block without any incoming
+            // path; branches may still name it, but never take it.
+            blocks.push(Block {
+                start_pc: l as u32,
+                retires: 0,
+                fused: false,
+                ops: Vec::new(),
+                term: Term::Poison,
+            });
+            continue;
+        }
+        let term_is_insn = is_terminal(&prog.insns[end]);
+        let op_end = if term_is_insn { end } else { end + 1 };
+        let mut ops = Vec::with_capacity(op_end - l);
+        for pc in l..op_end {
+            ops.push(lower_op(pc, &prog.insns[pc], proof, &mut notes)?);
+        }
+        let term = if term_is_insn {
+            match prog.insns[end] {
+                Insn::Exit => Term::Exit,
+                Insn::Ja(off) => Term::Ja {
+                    to: resolve(end, (end as i64 + 1 + off as i64) as usize)?,
+                },
+                Insn::JmpImm(op, r, imm, off) => Term::BrImm {
+                    op,
+                    reg: r.idx() as u8,
+                    imm: imm as u64,
+                    yes: resolve(end, (end as i64 + 1 + off as i64) as usize)?,
+                    no: resolve(end, end + 1)?,
+                },
+                Insn::JmpReg(op, a, b, off) => Term::BrReg {
+                    op,
+                    a: a.idx() as u8,
+                    b: b.idx() as u8,
+                    yes: resolve(end, (end as i64 + 1 + off as i64) as usize)?,
+                    no: resolve(end, end + 1)?,
+                },
+                // is_terminal() covers exactly the four arms above.
+                _ => return Err(LowerError::PlanMismatch(end)),
+            }
+        } else {
+            Term::Fall {
+                to: resolve(end, end + 1)?,
+            }
+        };
+        let retires = (end - l + 1) as u64;
+        let flen = plan.fused_len(l);
+        if flen > 0 && flen as u64 != retires {
+            return Err(LowerError::PlanMismatch(l));
+        }
+        blocks.push(Block {
+            start_pc: l as u32,
+            retires,
+            fused: flen > 0,
+            ops,
+            term,
+        });
+    }
+
+    Ok(LoweredProgram {
+        name: prog.name.clone(),
+        blocks,
+        fuel: proof.max_insns(),
+        notes,
+        insns: n,
+    })
+}
+
+fn lower_op(
+    pc: usize,
+    insn: &Insn,
+    proof: &Proof,
+    notes: &mut BTreeMap<u32, AccessFact>,
+) -> Result<Op, LowerError> {
+    let fact_for = |notes: &mut BTreeMap<u32, AccessFact>| -> Result<AccessFact, LowerError> {
+        let f = proof.fact(pc).ok_or(LowerError::MissingFact(pc))?;
+        notes.insert(pc as u32, f);
+        Ok(f)
+    };
+    Ok(match *insn {
+        Insn::MovImm(d, imm) => Op::MovImm {
+            dst: d.idx() as u8,
+            imm: imm as u64,
+        },
+        Insn::MovReg(d, s) => Op::MovReg {
+            dst: d.idx() as u8,
+            src: s.idx() as u8,
+        },
+        Insn::Neg(d) => Op::Neg { dst: d.idx() as u8 },
+        Insn::AluImm(op, d, imm) => Op::AluImm {
+            op,
+            dst: d.idx() as u8,
+            imm: imm as u64,
+        },
+        Insn::AluReg(op, d, s) => Op::AluReg {
+            op,
+            dst: d.idx() as u8,
+            src: s.idx() as u8,
+        },
+        Insn::Load(sz, d, b, off) => {
+            let dst = d.idx() as u8;
+            let base = b.idx() as u8;
+            match fact_for(notes)? {
+                AccessFact::Ctx => Op::LdCtx {
+                    dst,
+                    field: ctx_field(off, sz).ok_or(LowerError::BadCtxField(pc))?,
+                },
+                AccessFact::Packet { .. } => Op::LdPkt {
+                    sz,
+                    dst,
+                    base,
+                    off: off as i64,
+                },
+                AccessFact::Stack { off: so } => Op::LdStack {
+                    sz,
+                    dst,
+                    slot: stack_slot(pc, so, sz)?,
+                },
+                AccessFact::MapValue { .. } => Op::LdMap {
+                    sz,
+                    dst,
+                    base,
+                    off: off as i64,
+                },
+                AccessFact::RingBuf { .. } => Op::LdRing {
+                    sz,
+                    dst,
+                    base,
+                    off: off as i64,
+                },
+            }
+        }
+        Insn::Store(sz, b, off, s) => {
+            let base = b.idx() as u8;
+            let src = s.idx() as u8;
+            match fact_for(notes)? {
+                AccessFact::Ctx => return Err(LowerError::CtxStore(pc)),
+                AccessFact::Packet { .. } => Op::StPkt {
+                    sz,
+                    base,
+                    off: off as i64,
+                    src,
+                },
+                AccessFact::Stack { off: so } => Op::StStack {
+                    sz,
+                    slot: stack_slot(pc, so, sz)?,
+                    src,
+                },
+                AccessFact::MapValue { .. } => Op::StMap {
+                    sz,
+                    base,
+                    off: off as i64,
+                    src,
+                },
+                AccessFact::RingBuf { .. } => Op::StRing {
+                    sz,
+                    base,
+                    off: off as i64,
+                    src,
+                },
+            }
+        }
+        Insn::StoreImm(sz, b, off, imm) => {
+            let base = b.idx() as u8;
+            let imm = imm as u64;
+            match fact_for(notes)? {
+                AccessFact::Ctx => return Err(LowerError::CtxStore(pc)),
+                AccessFact::Packet { .. } => Op::StPktImm {
+                    sz,
+                    base,
+                    off: off as i64,
+                    imm,
+                },
+                AccessFact::Stack { off: so } => Op::StStackImm {
+                    sz,
+                    slot: stack_slot(pc, so, sz)?,
+                    imm,
+                },
+                AccessFact::MapValue { .. } => Op::StMapImm {
+                    sz,
+                    base,
+                    off: off as i64,
+                    imm,
+                },
+                AccessFact::RingBuf { .. } => Op::StRingImm {
+                    sz,
+                    base,
+                    off: off as i64,
+                    imm,
+                },
+            }
+        }
+        Insn::Call(h) => Op::Call { helper: h },
+        // Terminators are lowered by the block builder, never here.
+        Insn::Ja(_) | Insn::JmpImm(..) | Insn::JmpReg(..) | Insn::Exit => {
+            return Err(LowerError::PlanMismatch(pc))
+        }
+    })
+}
+
+/// Execute a lowered program.
+///
+/// Mirrors [`crate::vm::run_with`] exactly — same `RunResult`, same
+/// bit-identical cost totals, same trap classification on verified
+/// workloads — but runs the pre-resolved ops with proof-elided checks.
+/// Fuel is the bound baked in by [`lower`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_lowered(
+    lp: &LoweredProgram,
+    packet: &mut Vec<u8>,
+    ctx: XdpContext,
+    maps: &mut MapSet,
+    cost_model: &CostModel,
+    host_time_ns: u64,
+    cpu_id: u32,
+    rng: &mut SimRng,
+) -> RunResult {
+    let mut m = Machine::new(
+        packet,
+        ctx,
+        maps,
+        cost_model,
+        None,
+        lp.fuel,
+        host_time_ns,
+        cpu_id,
+        rng,
+    );
+    let outcome = exec_lowered(&mut m, lp);
+    finish(m, outcome)
+}
+
+/// Width-specialized little-endian load: each arm is a fixed-size read
+/// the compiler turns into a single (or pairwise) machine load, unlike
+/// the interpreter's generic runtime-length copy.
+#[inline(always)]
+fn load_sz(buf: &[u8], o: usize, sz: Size) -> u64 {
+    match sz {
+        Size::B => buf[o] as u64,
+        Size::H => {
+            let s = &buf[o..o + 2];
+            u16::from_le_bytes([s[0], s[1]]) as u64
+        }
+        Size::W => {
+            let s = &buf[o..o + 4];
+            u32::from_le_bytes([s[0], s[1], s[2], s[3]]) as u64
+        }
+        Size::DW => {
+            let s = &buf[o..o + 8];
+            u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+        }
+    }
+}
+
+/// Width-specialized little-endian store (see [`load_sz`]).
+#[inline(always)]
+fn store_sz(buf: &mut [u8], o: usize, sz: Size, v: u64) {
+    let b = v.to_le_bytes();
+    match sz {
+        Size::B => buf[o] = b[0],
+        Size::H => buf[o..o + 2].copy_from_slice(&b[..2]),
+        Size::W => buf[o..o + 4].copy_from_slice(&b[..4]),
+        Size::DW => buf[o..o + 8].copy_from_slice(&b[..8]),
+    }
+}
+
+fn exec_lowered(m: &mut Machine<'_>, lp: &LoweredProgram) -> Result<u64, Trap> {
+    let alu_ns = m.cost_model.alu_ns;
+    let mut bi = 0usize;
+    loop {
+        let b = &lp.blocks[bi];
+        m.fuel.take(b.retires)?;
+        if b.fused {
+            // Pure ALU block: batch the charges exactly as the
+            // interpreter's fused path does (repeated addition, never
+            // multiplication), then run the ops uncharged.
+            for _ in 0..b.retires {
+                m.cost.retire();
+                m.cost.charge(alu_ns);
+            }
+            for op in &b.ops {
+                exec_op(m, op, true)?;
+            }
+        } else {
+            for op in &b.ops {
+                m.cost.retire();
+                exec_op(m, op, false)?;
+            }
+        }
+        bi = match b.term {
+            Term::Fall { to } => to as usize,
+            Term::Exit => {
+                if !b.fused {
+                    m.cost.retire();
+                    m.cost.charge(alu_ns);
+                }
+                return Ok(m.regs[0]);
+            }
+            Term::Ja { to } => {
+                if !b.fused {
+                    m.cost.retire();
+                    m.cost.charge(alu_ns);
+                }
+                to as usize
+            }
+            Term::BrImm { op, reg, imm, yes, no } => {
+                if !b.fused {
+                    m.cost.retire();
+                    m.cost.charge(alu_ns);
+                }
+                if cmp(op, m.regs[reg as usize], imm) {
+                    yes as usize
+                } else {
+                    no as usize
+                }
+            }
+            Term::BrReg { op, a, b: rb, yes, no } => {
+                if !b.fused {
+                    m.cost.retire();
+                    m.cost.charge(alu_ns);
+                }
+                if cmp(op, m.regs[a as usize], m.regs[rb as usize]) {
+                    yes as usize
+                } else {
+                    no as usize
+                }
+            }
+            Term::Poison => return Err(Trap::BadAddress(b.start_pc as u64)),
+        };
+    }
+}
+
+/// Execute one op. `fused` marks ops inside a batch-charged pure
+/// block: their ALU charge already happened at block entry. Memory and
+/// call ops never appear fused; their sub-charges (cold miss, region
+/// cost, helper cost) happen here in the interpreter's exact order.
+#[inline(always)]
+fn exec_op(m: &mut Machine<'_>, op: &Op, fused: bool) -> Result<(), Trap> {
+    match *op {
+        Op::MovImm { dst, imm } => {
+            if !fused {
+                m.cost.charge(m.cost_model.alu_ns);
+            }
+            m.regs[dst as usize] = imm;
+        }
+        Op::MovReg { dst, src } => {
+            if !fused {
+                m.cost.charge(m.cost_model.alu_ns);
+            }
+            m.regs[dst as usize] = m.regs[src as usize];
+        }
+        Op::Neg { dst } => {
+            if !fused {
+                m.cost.charge(m.cost_model.alu_ns);
+            }
+            m.regs[dst as usize] = (m.regs[dst as usize] as i64).wrapping_neg() as u64;
+        }
+        Op::AluImm { op, dst, imm } => {
+            if !fused {
+                m.cost.charge(m.cost_model.alu_ns);
+            }
+            m.regs[dst as usize] = alu(op, m.regs[dst as usize], imm);
+        }
+        Op::AluReg { op, dst, src } => {
+            if !fused {
+                m.cost.charge(m.cost_model.alu_ns);
+            }
+            m.regs[dst as usize] = alu(op, m.regs[dst as usize], m.regs[src as usize]);
+        }
+        Op::LdCtx { dst, field } => {
+            m.charge_mem(MemClass::Ctx);
+            m.regs[dst as usize] = match field {
+                CtxField::Data => PKT_BASE,
+                CtxField::DataEnd => PKT_BASE + m.packet.len() as u64,
+                CtxField::Ifindex => m.ctx.ingress_ifindex as u64,
+                CtxField::RxQueue => m.ctx.rx_queue as u64,
+            };
+        }
+        Op::LdPkt { sz, dst, base, off } => {
+            m.charge_mem(MemClass::Packet);
+            let o = pkt_off(m, base, off, sz.bytes());
+            m.regs[dst as usize] = load_sz(&m.packet, o, sz);
+        }
+        Op::StPkt { sz, base, off, src } => {
+            let v = m.regs[src as usize];
+            st_pkt(m, sz, base, off, v);
+        }
+        Op::StPktImm { sz, base, off, imm } => {
+            st_pkt(m, sz, base, off, imm);
+        }
+        Op::LdStack { sz, dst, slot } => {
+            m.charge_mem(MemClass::Stack);
+            m.regs[dst as usize] = load_sz(&m.stack, slot as usize, sz);
+        }
+        Op::StStack { sz, slot, src } => {
+            let v = m.regs[src as usize];
+            st_stack(m, sz, slot, v);
+        }
+        Op::StStackImm { sz, slot, imm } => {
+            st_stack(m, sz, slot, imm);
+        }
+        Op::LdMap { sz, dst, base, off } => {
+            m.charge_mem(MemClass::MapValue);
+            let n = sz.bytes();
+            let addr = m.regs[base as usize].wrapping_add(off as u64);
+            let (slot, o) = map_slot(addr);
+            let val = m.deref_slot(slot).ok_or(Trap::BadAddress(addr))?;
+            debug_assert!(o + n <= val.len(), "verifier-proven map bounds");
+            m.regs[dst as usize] = load_sz(val, o, sz);
+        }
+        Op::StMap { sz, base, off, src } => {
+            let v = m.regs[src as usize];
+            st_map(m, sz, base, off, v)?;
+        }
+        Op::StMapImm { sz, base, off, imm } => {
+            st_map(m, sz, base, off, imm)?;
+        }
+        Op::LdRing { sz, dst, base, off } => {
+            m.charge_mem(MemClass::MapValue);
+            let n = sz.bytes();
+            let addr = m.regs[base as usize].wrapping_add(off as u64);
+            let Some((_, buf)) = m.reservation.as_ref() else {
+                return Err(Trap::BadAddress(addr));
+            };
+            let o = (addr - RING_BASE) as usize;
+            debug_assert!(o + n <= buf.len(), "verifier-proven ring bounds");
+            m.regs[dst as usize] = load_sz(buf, o, sz);
+        }
+        Op::StRing { sz, base, off, src } => {
+            let v = m.regs[src as usize];
+            st_ring(m, sz, base, off, v)?;
+        }
+        Op::StRingImm { sz, base, off, imm } => {
+            st_ring(m, sz, base, off, imm)?;
+        }
+        Op::Call { helper } => {
+            m.call(helper)?;
+        }
+    }
+    Ok(())
+}
+
+/// Resolve a proven-in-bounds packet access to a buffer offset. The
+/// elided range comparison survives as a debug assertion; release
+/// builds still hit Rust's slice check, never UB.
+#[inline(always)]
+fn pkt_off(m: &Machine<'_>, base: u8, off: i64, n: usize) -> usize {
+    let addr = m.regs[base as usize].wrapping_add(off as u64);
+    debug_assert!(
+        addr >= PKT_BASE && (addr - PKT_BASE) as usize + n <= m.packet.len(),
+        "verifier-proven packet bounds"
+    );
+    (addr.wrapping_sub(PKT_BASE)) as usize
+}
+
+#[inline(always)]
+fn st_pkt(m: &mut Machine<'_>, sz: Size, base: u8, off: i64, v: u64) {
+    m.charge_mem(MemClass::Packet);
+    m.pkt_writes += 1;
+    let o = pkt_off(m, base, off, sz.bytes());
+    store_sz(&mut m.packet, o, sz, v);
+}
+
+#[inline(always)]
+fn st_stack(m: &mut Machine<'_>, sz: Size, slot: u16, v: u64) {
+    m.charge_mem(MemClass::Stack);
+    store_sz(&mut m.stack, slot as usize, sz, v);
+}
+
+/// Map-value virtual address → (deref slot, value offset).
+#[inline(always)]
+fn map_slot(addr: u64) -> (usize, usize) {
+    let rel = addr.wrapping_sub(MAPVAL_BASE);
+    ((rel / MAPVAL_STRIDE) as usize, (rel % MAPVAL_STRIDE) as usize)
+}
+
+#[inline(always)]
+fn st_map(m: &mut Machine<'_>, sz: Size, base: u8, off: i64, v: u64) -> Result<(), Trap> {
+    m.charge_mem(MemClass::MapValue);
+    let n = sz.bytes();
+    let addr = m.regs[base as usize].wrapping_add(off as u64);
+    let (slot, o) = map_slot(addr);
+    let val = m.deref_slot_mut(slot).ok_or(Trap::BadAddress(addr))?;
+    debug_assert!(o + n <= val.len(), "verifier-proven map bounds");
+    store_sz(val, o, sz, v);
+    Ok(())
+}
+
+#[inline(always)]
+fn st_ring(m: &mut Machine<'_>, sz: Size, base: u8, off: i64, v: u64) -> Result<(), Trap> {
+    // The interpreter charges a ring *write* after the copy (reads
+    // charge before) — preserved exactly for bit-identical totals.
+    let n = sz.bytes();
+    let addr = m.regs[base as usize].wrapping_add(off as u64);
+    let Some((_, buf)) = m.reservation.as_mut() else {
+        return Err(Trap::BadAddress(addr));
+    };
+    let o = (addr - RING_BASE) as usize;
+    debug_assert!(o + n <= buf.len(), "verifier-proven ring bounds");
+    store_sz(buf, o, sz, v);
+    m.cost.charge(m.cost_model.mem_cost(MemClass::MapValue));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::insn::{Reg, XdpAction};
+    use crate::programs::{loop_variant, reflect_variant, standard_maps, LoopVariant, ReflectVariant};
+    use crate::prog::ProgramBuilder;
+    use crate::verifier::verify_with_proof;
+    use crate::vm::run_with;
+
+    fn lowered(prog: &Program, maps: &MapSet) -> LoweredProgram {
+        let (_, proof) = verify_with_proof(prog, maps).expect("verifies");
+        lower(prog, &proof).expect("lowers")
+    }
+
+    #[test]
+    fn corpus_lowers_with_elisions() {
+        let (maps, rb) = standard_maps();
+        for v in ReflectVariant::ALL {
+            let p = reflect_variant(v, rb);
+            let lp = lowered(&p, &maps);
+            assert!(lp.elided_checks() > 0, "{}", v.name());
+            assert!(lp.block_count() >= 2, "{}", v.name());
+            assert!(lp.fuel() >= p.insns.len() as u64, "{}", v.name());
+        }
+        for v in LoopVariant::ALL {
+            let p = loop_variant(v);
+            let lp = lowered(&p, &maps);
+            assert!(lp.elided_checks() > 0, "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn lowered_matches_interpreter_bitwise() {
+        // One self-contained spot check (the full seeded-sweep oracle
+        // lives in tests/lowered_oracle.rs).
+        let (mut maps, rb) = standard_maps();
+        let p = reflect_variant(ReflectVariant::TsDRb, rb);
+        let (stats, proof) = verify_with_proof(&p, &maps).expect("verifies");
+        let lp = lower(&p, &proof).expect("lowers");
+        let plan = BlockPlan::new(&p);
+        let cm = CostModel::default();
+        let mk_pkt = || {
+            let mut pkt = vec![0u8; 64];
+            pkt[..6].copy_from_slice(&[1; 6]);
+            pkt[6..12].copy_from_slice(&[2; 6]);
+            pkt
+        };
+        let mut rng_a = SimRng::seed_from_u64(42);
+        let mut rng_b = SimRng::seed_from_u64(42);
+        let mut pkt_a = mk_pkt();
+        let mut pkt_b = mk_pkt();
+        let a = run_with(
+            &p,
+            Some(&plan),
+            stats.max_insns,
+            &mut pkt_a,
+            XdpContext::default(),
+            &mut maps,
+            &cm,
+            1_000,
+            0,
+            &mut rng_a,
+        );
+        let b = run_lowered(
+            &lp,
+            &mut pkt_b,
+            XdpContext::default(),
+            &mut maps,
+            &cm,
+            1_000,
+            0,
+            &mut rng_b,
+        );
+        assert_eq!(a.action, b.action);
+        assert_eq!(a.trap, b.trap);
+        assert_eq!(a.cost.insns, b.cost.insns);
+        assert_eq!(a.cost.ns.to_bits(), b.cost.ns.to_bits());
+        assert_eq!(a.ringbuf_events, b.ringbuf_events);
+        assert_eq!(a.pkt_writes, b.pkt_writes);
+        assert_eq!(pkt_a, pkt_b);
+    }
+
+    #[test]
+    fn fuel_boundary_exact_and_plus_one() {
+        // r0 = 0; head: r0 += 1; if r0 < 1000 goto head; exit
+        // Retires exactly 2 + 2*1000 instructions (see the twin
+        // interpreter test in vm.rs) — the lowered engine must agree
+        // at the boundary through the shared Fuel helper.
+        let mut b = ProgramBuilder::new("fuel");
+        b.mov_imm(Reg::R0, 0);
+        let head = b.here();
+        b.alu_imm(AluOp::Add, Reg::R0, 1)
+            .jmp_imm(CmpOp::Lt, Reg::R0, 1000, head)
+            .exit();
+        let prog = b.build();
+        let maps = MapSet::new();
+        let (_, proof) = verify_with_proof(&prog, &maps).expect("verifies");
+        let mut lp = lower(&prog, &proof).expect("lowers");
+        let cm = CostModel::default();
+        let mut go = |fuel: u64| {
+            lp.fuel = fuel;
+            let mut rng = SimRng::seed_from_u64(1);
+            let mut maps = MapSet::new();
+            run_lowered(
+                &lp,
+                &mut vec![0; 64],
+                XdpContext::default(),
+                &mut maps,
+                &cm,
+                0,
+                0,
+                &mut rng,
+            )
+        };
+        let exact = go(2 + 2 * 1000);
+        assert!(exact.trap.is_none(), "exactly-at-limit run must pass");
+        assert_eq!(exact.cost.insns, 2 + 2 * 1000);
+        let starved = go(2 + 2 * 1000 - 1);
+        assert_eq!(starved.trap, Some(Trap::InsnLimit));
+        assert_eq!(starved.action, XdpAction::Aborted);
+    }
+
+    #[test]
+    fn unverified_program_cannot_lower() {
+        // A proof from one program must not license another.
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("ok");
+        b.mov_imm(Reg::R0, 2).exit();
+        let small = b.build();
+        let (_, proof) = verify_with_proof(&small, &maps).expect("verifies");
+        let mut b2 = ProgramBuilder::new("other");
+        b2.mov_imm(Reg::R0, 2).mov_imm(Reg::R1, 1).exit();
+        assert_eq!(
+            lower(&b2.build(), &proof).err(),
+            Some(LowerError::ProofMismatch)
+        );
+    }
+
+    #[test]
+    fn dump_cites_proofs() {
+        let (maps, _) = standard_maps();
+        let p = loop_variant(LoopVariant::PayloadScan);
+        let lp = lowered(&p, &maps);
+        let d = lp.dump();
+        assert!(d.contains("; lowered L-SCAN:"), "{d}");
+        assert!(d.contains("elided: pkt off"), "{d}");
+        assert!(d.contains("elided: stack fp-8"), "{d}");
+        assert!(d.contains("fused"), "{d}");
+    }
+}

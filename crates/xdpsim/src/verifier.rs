@@ -698,6 +698,93 @@ pub struct VerifyStats {
     pub loops: usize,
 }
 
+/// The proven region of one memory access, recorded at the fixpoint.
+///
+/// Facts are extracted from the *final* fixpoint state at each
+/// instruction. The worklist re-queues an instruction whenever its
+/// in-state changes, so the state recorded here is exactly the one the
+/// last (successful) `check_mem_access` ran against — an
+/// over-approximation of every concrete state that can reach the
+/// instruction. The lowering may therefore drop the runtime region
+/// dispatch and bounds check for the access, citing the interval here
+/// as the proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessFact {
+    /// Typed load from the context struct (offset/width pair already
+    /// validated against [`ctx_layout`]).
+    Ctx,
+    /// Packet access through a bounded packet pointer.
+    Packet {
+        /// Proven interval of the base pointer's offset into the packet.
+        off: Interval,
+        /// Packet length proven available on every path to this point;
+        /// the verifier established `off.hi + insn_off + width <= len_min`.
+        len_min: u32,
+    },
+    /// Stack access at a statically known frame offset (joins of
+    /// differing `StackPtr` offsets degrade to `Uninit`, so a verified
+    /// stack access always has exactly one).
+    Stack {
+        /// R10-relative offset of the access's lowest byte, in
+        /// `[-STACK_SIZE, -width]`; includes the instruction's
+        /// displacement.
+        off: i32,
+    },
+    /// Access through a proven non-null map value pointer.
+    MapValue {
+        /// Declared value size; `insn_off + width <= size` is proven.
+        size: u32,
+    },
+    /// Access through a proven non-null ring buffer reservation.
+    RingBuf {
+        /// Reserved record size; `insn_off + width <= size` is proven.
+        size: u32,
+    },
+}
+
+/// Proof artifact of a successful verification, consumed by
+/// [`crate::lower`]: per-access region facts plus reachability and the
+/// derived fuel. A `Proof` can only be obtained from
+/// [`verify_with_proof`], so a lowered program is always a verified
+/// program and every check it elides cites an entry here.
+#[derive(Clone, Debug)]
+pub struct Proof {
+    /// `facts[pc]` is the proven region of the `Load`/`Store`/`StoreImm`
+    /// at `pc` (`None` for other instructions and unreachable code).
+    facts: Vec<Option<AccessFact>>,
+    /// Whether the fixpoint found any path reaching each instruction.
+    reachable: Vec<bool>,
+    /// Derived fuel (same value as [`VerifyStats::max_insns`]).
+    max_insns: u64,
+}
+
+impl Proof {
+    /// The proven region fact for the memory access at `pc`, if any.
+    pub fn fact(&self, pc: usize) -> Option<AccessFact> {
+        self.facts.get(pc).copied().flatten()
+    }
+
+    /// Whether any path reaches `pc`.
+    pub fn is_reachable(&self, pc: usize) -> bool {
+        self.reachable.get(pc).copied().unwrap_or(false)
+    }
+
+    /// Length of the program this proof covers.
+    pub fn insns(&self) -> usize {
+        self.reachable.len()
+    }
+
+    /// The verifier-derived retired-instruction bound.
+    pub fn max_insns(&self) -> u64 {
+        self.max_insns
+    }
+
+    /// Number of accesses carrying an elidable bounds proof.
+    pub fn proven_accesses(&self) -> usize {
+        self.facts.iter().flatten().count()
+    }
+}
+
 /// Trip-count bound of an accepted loop.
 #[derive(Clone, Copy, Debug)]
 enum Bound {
@@ -873,6 +960,18 @@ fn analyze_loops(prog: &Program) -> Result<Vec<LoopInfo>, VerifyKind> {
 
 /// Verify `prog` against the maps it will run with.
 pub fn verify(prog: &Program, maps: &MapSet) -> Result<VerifyStats, VerifyError> {
+    verify_with_proof(prog, maps).map(|(stats, _)| stats)
+}
+
+/// Verify `prog` and return the proof artifact alongside the stats.
+///
+/// The [`Proof`] records, for every reachable memory access, the region
+/// and bounds the fixpoint established — the facts
+/// [`crate::lower::lower`] consumes to elide runtime checks.
+pub fn verify_with_proof(
+    prog: &Program,
+    maps: &MapSet,
+) -> Result<(VerifyStats, Proof), VerifyError> {
     let err0 = |kind| VerifyError::build(kind, prog, None, None);
     if prog.insns.is_empty() {
         return Err(err0(VerifyKind::Empty));
@@ -984,12 +1083,50 @@ pub fn verify(prog: &Program, maps: &MapSet) -> Result<VerifyStats, VerifyError>
         }
     }
 
-    Ok(VerifyStats {
-        states_processed: processed,
-        insns: n,
-        max_insns: fuel,
-        loops: loops.len(),
-    })
+    // Proof extraction: classify every reachable memory access from
+    // its final fixpoint state. `check_mem_access` already accepted
+    // each of these against the same state, so the match is total for
+    // reachable accesses; anything else stays `None` and the lowering
+    // keeps (or refuses) it.
+    let mut facts: Vec<Option<AccessFact>> = vec![None; n];
+    for (pc, insn) in prog.insns.iter().enumerate() {
+        let (base, off) = match *insn {
+            Insn::Load(_, _, b, o) => (b, o),
+            Insn::Store(_, b, o, _) | Insn::StoreImm(_, b, o, _) => (b, o),
+            _ => continue,
+        };
+        let Some(st) = states[pc].as_ref() else {
+            continue;
+        };
+        facts[pc] = match st.get(base) {
+            AbsVal::CtxPtr => Some(AccessFact::Ctx),
+            AbsVal::PktPtr { off: pk } => Some(AccessFact::Packet {
+                off: pk,
+                len_min: st.pkt_len_min,
+            }),
+            AbsVal::StackPtr { off: so } => Some(AccessFact::Stack {
+                off: so + off as i32,
+            }),
+            AbsVal::MapValuePtr { size, .. } => Some(AccessFact::MapValue { size }),
+            AbsVal::RingBufPtr { size, .. } => Some(AccessFact::RingBuf { size }),
+            _ => None,
+        };
+    }
+    let reachable: Vec<bool> = states.iter().map(|s| s.is_some()).collect();
+
+    Ok((
+        VerifyStats {
+            states_processed: processed,
+            insns: n,
+            max_insns: fuel,
+            loops: loops.len(),
+        },
+        Proof {
+            facts,
+            reachable,
+            max_insns: fuel,
+        },
+    ))
 }
 
 type Outcomes = Vec<(usize, State)>;

@@ -71,29 +71,64 @@ pub struct RunResult {
 /// accepted program proves a bound at or below this.
 const STEP_LIMIT: u64 = 1_000_000;
 
+/// Retired-instruction budget, shared by both engines so the
+/// exactly-at-limit boundary cannot drift between them: a budget of
+/// `n` admits exactly `n` retired instructions, and the `n+1`th (or
+/// the block that would contain it) traps [`Trap::InsnLimit`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Fuel {
+    remaining: u64,
+}
+
+impl Fuel {
+    /// A budget of `limit` retires, clamped to the hard step limit.
+    pub(crate) fn new(limit: u64) -> Fuel {
+        Fuel {
+            remaining: limit.min(STEP_LIMIT),
+        }
+    }
+
+    /// Prepay `n` retires (a basic block), trapping without consuming
+    /// when the budget cannot cover all of them.
+    #[inline]
+    pub(crate) fn take(&mut self, n: u64) -> Result<(), Trap> {
+        if n > self.remaining {
+            return Err(Trap::InsnLimit);
+        }
+        self.remaining -= n;
+        Ok(())
+    }
+
+    /// Pay for one retired instruction (the interpreter's per-step path).
+    #[inline]
+    pub(crate) fn tick(&mut self) -> Result<(), Trap> {
+        self.take(1)
+    }
+}
+
 enum DerefTarget {
     Array(MapFd, u32, usize),
     Hash(MapFd, Vec<u8>),
 }
 
-struct Machine<'a> {
-    regs: [u64; 11],
-    stack: [u8; STACK_SIZE],
-    packet: &'a mut Vec<u8>,
-    ctx: XdpContext,
+pub(crate) struct Machine<'a> {
+    pub(crate) regs: [u64; 11],
+    pub(crate) stack: [u8; STACK_SIZE],
+    pub(crate) packet: &'a mut Vec<u8>,
+    pub(crate) ctx: XdpContext,
     maps: &'a mut MapSet,
-    cost_model: &'a CostModel,
+    pub(crate) cost_model: &'a CostModel,
     plan: Option<&'a BlockPlan>,
-    fuel: u64,
+    pub(crate) fuel: Fuel,
     prepaid: u64,
-    cost: ExecCost,
+    pub(crate) cost: ExecCost,
     derefs: Vec<DerefTarget>,
-    reservation: Option<(MapFd, Vec<u8>)>,
+    pub(crate) reservation: Option<(MapFd, Vec<u8>)>,
     host_time_ns: u64,
     cpu_id: u32,
     rng: &'a mut SimRng,
     ringbuf_events: u32,
-    pkt_writes: u32,
+    pub(crate) pkt_writes: u32,
     pkt_touched: bool,
 }
 
@@ -150,30 +185,24 @@ pub fn run_with(
     cpu_id: u32,
     rng: &mut SimRng,
 ) -> RunResult {
-    let mut m = Machine {
-        regs: [0; 11],
-        stack: [0; STACK_SIZE],
+    let mut m = Machine::new(
         packet,
         ctx,
         maps,
         cost_model,
         plan,
-        fuel: fuel.min(STEP_LIMIT),
-        prepaid: 0,
-        cost: ExecCost::default(),
-        derefs: Vec::new(),
-        reservation: None,
+        fuel,
         host_time_ns,
         cpu_id,
         rng,
-        ringbuf_events: 0,
-        pkt_writes: 0,
-        pkt_touched: false,
-    };
-    m.regs[Reg::R1.idx()] = CTX_BASE;
-    m.regs[Reg::R10.idx()] = STACK_TOP;
-
+    );
     let outcome = m.exec(prog);
+    finish(m, outcome)
+}
+
+/// Package an execution outcome into a [`RunResult`] (shared by the
+/// interpreter and [`crate::lower`]'s lowered engine).
+pub(crate) fn finish(m: Machine<'_>, outcome: Result<u64, Trap>) -> RunResult {
     let (action, trap) = match outcome {
         Ok(ret) => (XdpAction::from_ret(ret), None),
         Err(t) => (XdpAction::Aborted, Some(t)),
@@ -188,14 +217,49 @@ pub fn run_with(
 }
 
 impl<'a> Machine<'a> {
+    /// Fresh machine state for one packet, R1/R10 initialized per the
+    /// XDP calling convention.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        packet: &'a mut Vec<u8>,
+        ctx: XdpContext,
+        maps: &'a mut MapSet,
+        cost_model: &'a CostModel,
+        plan: Option<&'a BlockPlan>,
+        fuel: u64,
+        host_time_ns: u64,
+        cpu_id: u32,
+        rng: &'a mut SimRng,
+    ) -> Machine<'a> {
+        let mut m = Machine {
+            regs: [0; 11],
+            stack: [0; STACK_SIZE],
+            packet,
+            ctx,
+            maps,
+            cost_model,
+            plan,
+            fuel: Fuel::new(fuel),
+            prepaid: 0,
+            cost: ExecCost::default(),
+            derefs: Vec::new(),
+            reservation: None,
+            host_time_ns,
+            cpu_id,
+            rng,
+            ringbuf_events: 0,
+            pkt_writes: 0,
+            pkt_touched: false,
+        };
+        m.regs[Reg::R1.idx()] = CTX_BASE;
+        m.regs[Reg::R10.idx()] = STACK_TOP;
+        m
+    }
+
     fn exec(&mut self, prog: &Program) -> Result<u64, Trap> {
         let mut pc = 0usize;
-        let mut steps = 0u64;
         loop {
-            steps += 1;
-            if steps > self.fuel {
-                return Err(Trap::InsnLimit);
-            }
+            self.fuel.tick()?;
             let insn = prog.insns.get(pc).ok_or(Trap::BadAddress(pc as u64))?;
             if self.prepaid > 0 {
                 // Charged in bulk when this block was entered.
@@ -281,7 +345,7 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn charge_mem(&mut self, class: MemClass) {
+    pub(crate) fn charge_mem(&mut self, class: MemClass) {
         if class == MemClass::Packet && !self.pkt_touched {
             self.pkt_touched = true;
             self.cost.charge(self.cost_model.pkt_cold_miss_ns);
@@ -385,14 +449,14 @@ impl<'a> Machine<'a> {
         Err(Trap::BadAddress(addr))
     }
 
-    fn deref_slot(&self, slot: usize) -> Option<&[u8]> {
+    pub(crate) fn deref_slot(&self, slot: usize) -> Option<&[u8]> {
         match self.derefs.get(slot)? {
             DerefTarget::Array(fd, idx, cpu) => self.maps.get(*fd)?.array_lookup(*idx, *cpu),
             DerefTarget::Hash(fd, key) => self.maps.get(*fd)?.hash_lookup(key),
         }
     }
 
-    fn deref_slot_mut(&mut self, slot: usize) -> Option<&mut [u8]> {
+    pub(crate) fn deref_slot_mut(&mut self, slot: usize) -> Option<&mut [u8]> {
         match self.derefs.get(slot)? {
             DerefTarget::Array(fd, idx, cpu) => self
                 .maps
@@ -420,7 +484,7 @@ impl<'a> Machine<'a> {
         Ok(out)
     }
 
-    fn call(&mut self, helper: Helper) -> Result<(), Trap> {
+    pub(crate) fn call(&mut self, helper: Helper) -> Result<(), Trap> {
         let r1 = self.regs[Reg::R1.idx()];
         let r2 = self.regs[Reg::R2.idx()];
         let r3 = self.regs[Reg::R3.idx()];
@@ -629,7 +693,7 @@ impl<'a> Machine<'a> {
     }
 }
 
-fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+pub(crate) fn alu(op: AluOp, a: u64, b: u64) -> u64 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -645,7 +709,7 @@ fn alu(op: AluOp, a: u64, b: u64) -> u64 {
     }
 }
 
-fn cmp(op: CmpOp, a: u64, b: u64) -> bool {
+pub(crate) fn cmp(op: CmpOp, a: u64, b: u64) -> bool {
     match op {
         CmpOp::Eq => a == b,
         CmpOp::Ne => a != b,
@@ -995,6 +1059,14 @@ mod tests {
         let starved = go(100);
         assert_eq!(starved.trap, Some(Trap::InsnLimit));
         assert_eq!(starved.action, XdpAction::Aborted);
+        // Boundary contract of the shared Fuel helper: a budget of n
+        // admits exactly n retired instructions; the (n+1)th traps.
+        // The lowered engine's twin lives in lower.rs.
+        let exact = go(2 + 2 * 1000);
+        assert!(exact.trap.is_none(), "exactly-at-limit run must pass");
+        assert_eq!(exact.cost.insns, 2 + 2 * 1000);
+        let short = go(2 + 2 * 1000 - 1);
+        assert_eq!(short.trap, Some(Trap::InsnLimit));
     }
 
     #[test]

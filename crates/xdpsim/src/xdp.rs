@@ -9,10 +9,11 @@
 use crate::cost::{BlockPlan, CostModel};
 use crate::host::{HostClock, HostProfile};
 use crate::insn::XdpAction;
+use crate::lower::{lower, run_lowered, LoweredProgram};
 use crate::maps::MapSet;
 use crate::nic::NicModel;
 use crate::prog::Program;
-use crate::verifier::{verify, VerifyError, VerifyStats};
+use crate::verifier::{verify_with_proof, VerifyError, VerifyStats};
 use crate::vm::{self, XdpContext};
 use steelworks_netsim::bytes::Bytes;
 use std::collections::BTreeMap;
@@ -50,6 +51,14 @@ pub struct XdpHost {
     verify_stats: VerifyStats,
     /// Basic-block cost plan derived at load time.
     plan: BlockPlan,
+    /// The compiled form of the program, built from the verifier's
+    /// proof artifact at load time. `None` when lowering was declined
+    /// (`XDPSIM_FORCE_INTERP=1`) or failed — then every frame runs the
+    /// interpreter. Both engines are bit-identical on verified
+    /// programs, so the choice is invisible to results.
+    lowered: Option<LoweredProgram>,
+    /// Reused packet-serialization buffer (one live frame at a time).
+    pkt_scratch: Vec<u8>,
     /// The host's maps — inspect after a run to drain ring buffers.
     pub maps: MapSet,
     cost: CostModel,
@@ -62,6 +71,9 @@ pub struct XdpHost {
     flow_last_seen: BTreeMap<MacAddr, Nanos>,
     /// Deferred TX frames (processing delay in flight).
     pending: Vec<(Nanos, PortId, EthFrame)>,
+    /// Spare buffer swapped with `pending` on each timer fire, so the
+    /// hot path never reallocates.
+    pending_swap: Vec<(Nanos, PortId, EthFrame)>,
     /// Per-frame total processing times (ns), for direct inspection.
     pub proc_times: SampleSet,
     forced_flows: Option<u32>,
@@ -69,20 +81,35 @@ pub struct XdpHost {
 
 impl XdpHost {
     /// Create a host; the program is verified against `maps` at load
-    /// time, exactly like `bpf(BPF_PROG_LOAD)`.
+    /// time, exactly like `bpf(BPF_PROG_LOAD)`, and — on success —
+    /// compiled into its lowered form from the verifier's proof
+    /// artifact (JIT-on-load). Set `XDPSIM_FORCE_INTERP=1` to pin the
+    /// interpreter instead; results are bit-identical either way.
     pub fn new(
         name: impl Into<String>,
         prog: Program,
         maps: MapSet,
         profile: HostProfile,
     ) -> Result<Self, VerifyError> {
-        let verify_stats = verify(&prog, &maps)?;
+        let (verify_stats, proof) = verify_with_proof(&prog, &maps)?;
         let plan = BlockPlan::new(&prog);
+        let force_interp = std::env::var("XDPSIM_FORCE_INTERP")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let lowered = if force_interp {
+            None
+        } else {
+            // A lowering failure is an internal inconsistency; the
+            // interpreter remains a complete fallback.
+            lower(&prog, &proof).ok()
+        };
         Ok(XdpHost {
             name: name.into(),
             prog,
             verify_stats,
             plan,
+            lowered,
+            pkt_scratch: Vec::new(),
             maps,
             cost: CostModel::default(),
             profile,
@@ -92,6 +119,7 @@ impl XdpHost {
             stats: XdpStats::default(),
             flow_last_seen: BTreeMap::new(),
             pending: Vec::new(),
+            pending_swap: Vec::new(),
             proc_times: SampleSet::new(),
             forced_flows: None,
         })
@@ -147,6 +175,17 @@ impl XdpHost {
         self.stats
     }
 
+    /// Which execution engine this host selected at load time:
+    /// `"lowered"` (default) or `"interp"` (`XDPSIM_FORCE_INTERP=1`,
+    /// or a lowering failure).
+    pub fn engine(&self) -> &'static str {
+        if self.lowered.is_some() {
+            "lowered"
+        } else {
+            "interp"
+        }
+    }
+
     /// The verifier facts captured at load time (notably `max_insns`,
     /// the fuel bound the VM enforces on every frame).
     pub fn verify_stats(&self) -> VerifyStats {
@@ -168,14 +207,15 @@ impl XdpHost {
     }
 }
 
-/// Serialize a frame into the raw bytes an XDP program sees.
-fn frame_to_bytes(frame: &EthFrame) -> Vec<u8> {
-    let mut out = Vec::with_capacity(14 + frame.payload.len());
+/// Serialize a frame into the raw bytes an XDP program sees, reusing
+/// the caller's buffer (cleared first) to avoid a per-frame allocation.
+fn frame_to_bytes(frame: &EthFrame, out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(14 + frame.payload.len());
     out.extend_from_slice(&frame.dst.0);
     out.extend_from_slice(&frame.src.0);
     out.extend_from_slice(&frame.ethertype.to_be_bytes());
     out.extend_from_slice(&frame.payload);
-    out
 }
 
 /// Rebuild a frame from (possibly modified) raw bytes, preserving the
@@ -204,24 +244,39 @@ impl Device for XdpHost {
         self.flow_last_seen.insert(frame.src, now);
         let flows = self.active_flows(now);
 
-        let mut packet = frame_to_bytes(&frame);
         let host_time = self.clock.read(now);
         let queue = self.rss_queue(frame.src);
-        let result = vm::run_with(
-            &self.prog,
-            Some(&self.plan),
-            self.verify_stats.max_insns,
-            &mut packet,
-            XdpContext {
-                ingress_ifindex: port.0 as u32,
-                rx_queue: queue,
-            },
-            &mut self.maps,
-            &self.cost,
-            host_time,
-            queue, // queue N is pinned to CPU N
-            ctx.rng(),
-        );
+        let mut packet = std::mem::take(&mut self.pkt_scratch);
+        frame_to_bytes(&frame, &mut packet);
+        let xctx = XdpContext {
+            ingress_ifindex: port.0 as u32,
+            rx_queue: queue,
+        };
+        // queue N is pinned to CPU N.
+        let result = match &self.lowered {
+            Some(lp) => run_lowered(
+                lp,
+                &mut packet,
+                xctx,
+                &mut self.maps,
+                &self.cost,
+                host_time,
+                queue,
+                ctx.rng(),
+            ),
+            None => vm::run_with(
+                &self.prog,
+                Some(&self.plan),
+                self.verify_stats.max_insns,
+                &mut packet,
+                xctx,
+                &mut self.maps,
+                &self.cost,
+                host_time,
+                queue,
+                ctx.rng(),
+            ),
+        };
 
         let noise =
             self.profile
@@ -258,11 +313,12 @@ impl Device for XdpHost {
                 self.stats.aborted += 1;
             }
         }
+        self.pkt_scratch = packet;
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
         let now = ctx.now();
-        let mut rest = Vec::new();
+        let mut rest = std::mem::take(&mut self.pending_swap);
         for (at, port, frame) in self.pending.drain(..) {
             if at <= now {
                 ctx.send(port, frame);
@@ -270,7 +326,9 @@ impl Device for XdpHost {
                 rest.push((at, port, frame));
             }
         }
-        self.pending = rest;
+        // The drained buffer becomes next fire's scratch (keeps its
+        // capacity); the survivors become the new queue.
+        self.pending_swap = std::mem::replace(&mut self.pending, rest);
     }
 }
 
@@ -313,6 +371,16 @@ mod tests {
         // Tap saw 200 in + 200 out.
         assert_eq!(sim.tap(tap).records().len(), 400);
         assert_eq!(sim.tap(tap).reflection_rtts().len(), 200);
+    }
+
+    #[test]
+    fn host_selects_lowered_engine_by_default() {
+        // The env escape hatch is exercised by the dedicated
+        // tests/force_interp_env.rs binary (env vars are process-wide).
+        let (maps, rb) = standard_maps();
+        let prog = reflect_variant(ReflectVariant::TsRb, rb);
+        let host = XdpHost::new("xdp", prog, maps, HostProfile::preempt_rt()).expect("verifies");
+        assert_eq!(host.engine(), "lowered");
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Golden test for the lowered-program listing (`xdpverify
+//! --dump-lowered` prints exactly this text).
+//!
+//! The golden file pins the complete lowering of the `L-SCAN` bounded
+//! loop: block partition, resolved ops, every elided check with its
+//! proof fact, and per-block fuel. Regenerate after an intentional
+//! format or corpus change with:
+//!
+//! ```text
+//! cargo run --release -p steelworks-bench --bin xdpverify -- \
+//!     --dump-lowered L-SCAN > crates/xdpsim/tests/golden/l_scan_lowered.txt
+//! ```
+
+use steelworks_xdpsim::lower::lower;
+use steelworks_xdpsim::prelude::*;
+use steelworks_xdpsim::verifier::verify_with_proof;
+
+#[test]
+fn l_scan_dump_matches_golden() {
+    let (maps, _) = standard_maps();
+    let prog = loop_variant(LoopVariant::PayloadScan);
+    let (_, proof) = verify_with_proof(&prog, &maps).expect("verifies");
+    let lp = lower(&prog, &proof).expect("lowers");
+    let golden = include_str!("golden/l_scan_lowered.txt");
+    assert_eq!(
+        lp.dump(),
+        golden,
+        "lowered listing drifted from the pinned golden; \
+         see this file's header for the regeneration command"
+    );
+}

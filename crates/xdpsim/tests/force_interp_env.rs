@@ -1,0 +1,32 @@
+//! The `XDPSIM_FORCE_INTERP=1` escape hatch.
+//!
+//! Env vars are process-wide, so this is the *only* test in its binary
+//! (integration-test binaries run as separate processes; `cargo test`
+//! cannot interleave another test into this one's environment).
+
+use steelworks_xdpsim::host::HostProfile;
+use steelworks_xdpsim::prelude::*;
+use steelworks_xdpsim::xdp::XdpHost;
+
+fn mk_host() -> XdpHost {
+    let (maps, rb) = standard_maps();
+    let prog = reflect_variant(ReflectVariant::TsRb, rb);
+    XdpHost::new("xdp", prog, maps, HostProfile::preempt_rt()).expect("verifies")
+}
+
+#[test]
+fn env_hatch_pins_interpreter() {
+    // Default (variable unset or != "1"): compiled engine.
+    std::env::remove_var("XDPSIM_FORCE_INTERP");
+    assert_eq!(mk_host().engine(), "lowered");
+    std::env::set_var("XDPSIM_FORCE_INTERP", "0");
+    assert_eq!(mk_host().engine(), "lowered");
+
+    // The hatch: hosts created while it is set run the interpreter.
+    std::env::set_var("XDPSIM_FORCE_INTERP", "1");
+    assert_eq!(mk_host().engine(), "interp");
+
+    // Read once per host at load time, not per frame.
+    std::env::remove_var("XDPSIM_FORCE_INTERP");
+    assert_eq!(mk_host().engine(), "lowered");
+}

@@ -1,0 +1,120 @@
+//! Differential oracle: every corpus program, interpreter vs lowered
+//! engine, over a seeded packet sweep — results must agree *exactly*,
+//! including bit-identical f64 cost totals.
+//!
+//! This is the empirical half of the check-elision soundness argument:
+//! the verifier's proof licenses dropping runtime checks, and this
+//! sweep confirms the two engines are observationally equivalent on
+//! every program the repo ships (see `DESIGN.md` §12).
+
+use steelworks_xdpsim::cost::{BlockPlan, CostModel};
+use steelworks_xdpsim::lower::{lower, run_lowered};
+use steelworks_xdpsim::prelude::*;
+use steelworks_xdpsim::verifier::verify_with_proof;
+use steelworks_xdpsim::vm::run_with;
+use steelworks_netsim::rng::SimRng;
+
+/// Same seed and sweep shape as the verifier's fuel oracle in
+/// `programs.rs`, so a divergence here points at lowering, not inputs.
+const SEED: u64 = 0x5EED_F0E1;
+const PACKETS_PER_PROG: usize = 32;
+
+fn corpus() -> (MapSet, Vec<Program>) {
+    let (maps, rb) = standard_maps();
+    let mut progs: Vec<Program> = LoopVariant::ALL.iter().map(|&v| loop_variant(v)).collect();
+    progs.extend(ReflectVariant::ALL.iter().map(|&v| reflect_variant(v, rb)));
+    (maps, progs)
+}
+
+#[test]
+fn interpreter_and_lowered_agree_on_corpus_sweep() {
+    // The oracle must exercise the real engines regardless of the
+    // host-level escape hatch.
+    assert_ne!(
+        std::env::var("XDPSIM_FORCE_INTERP").ok().as_deref(),
+        Some("1"),
+        "oracle runs both engines directly; unset XDPSIM_FORCE_INTERP"
+    );
+    let (maps, progs) = corpus();
+    let cm = CostModel::default();
+    let mut rng = SimRng::seed_from_u64(SEED);
+    let mut compared = 0usize;
+    for prog in &progs {
+        let (stats, proof) = verify_with_proof(prog, &maps).expect("corpus verifies");
+        let lp = lower(prog, &proof).expect("corpus lowers");
+        let plan = BlockPlan::new(prog);
+        for _ in 0..PACKETS_PER_PROG {
+            let len = rng.range(10, 128) as usize;
+            let mut pkt = Vec::with_capacity(len);
+            for _ in 0..len {
+                pkt.push(rng.below(256) as u8);
+            }
+            let ctx = XdpContext {
+                ingress_ifindex: rng.below(4) as u32,
+                rx_queue: rng.below(2) as u32,
+            };
+            let host_time = rng.below(1_000_000);
+            let cpu = ctx.rx_queue;
+
+            // Each engine gets its own clone of every mutable input so
+            // neither can contaminate the other's run.
+            let mut maps_a = maps.clone();
+            let mut maps_b = maps.clone();
+            let mut pkt_a = pkt.clone();
+            let mut pkt_b = pkt;
+            let mut rng_a = SimRng::seed_from_u64(host_time ^ SEED);
+            let mut rng_b = SimRng::seed_from_u64(host_time ^ SEED);
+
+            let a = run_with(
+                prog,
+                Some(&plan),
+                stats.max_insns,
+                &mut pkt_a,
+                ctx,
+                &mut maps_a,
+                &cm,
+                host_time,
+                cpu,
+                &mut rng_a,
+            );
+            let b = run_lowered(
+                &lp, &mut pkt_b, ctx, &mut maps_b, &cm, host_time, cpu, &mut rng_b,
+            );
+
+            let tag = format!("{} len={len}", lp.name());
+            assert_eq!(a.action, b.action, "{tag}: action");
+            assert_eq!(a.trap, b.trap, "{tag}: trap");
+            assert_eq!(a.cost.insns, b.cost.insns, "{tag}: retired insns");
+            assert_eq!(
+                a.cost.ns.to_bits(),
+                b.cost.ns.to_bits(),
+                "{tag}: cost ns {} vs {}",
+                a.cost.ns,
+                b.cost.ns
+            );
+            assert_eq!(a.ringbuf_events, b.ringbuf_events, "{tag}: ringbuf events");
+            assert_eq!(a.pkt_writes, b.pkt_writes, "{tag}: pkt writes");
+            assert_eq!(pkt_a, pkt_b, "{tag}: packet bytes");
+            // Engines must consume host RNG identically (noise draws
+            // downstream depend on it).
+            assert_eq!(rng_a.below(u64::MAX), rng_b.below(u64::MAX), "{tag}: rng");
+            compared += 1;
+        }
+    }
+    assert_eq!(compared, progs.len() * PACKETS_PER_PROG);
+}
+
+#[test]
+fn lowered_engine_elides_checks_on_every_corpus_program() {
+    let (maps, progs) = corpus();
+    for prog in &progs {
+        let (_, proof) = verify_with_proof(prog, &maps).expect("corpus verifies");
+        let lp = lower(prog, &proof).expect("corpus lowers");
+        assert!(
+            lp.elided_checks() > 0,
+            "{}: lowering elided no checks",
+            lp.name()
+        );
+        assert_eq!(lp.fuel(), proof.max_insns(), "{}: fuel", lp.name());
+    }
+}

@@ -22,6 +22,10 @@
 #   5. Every figure binary, run under STEELWORKS_JOBS=2 (the parallel
 #      scenario runner), reproduces the committed results/*.txt
 #      byte-for-byte — the job count must never leak into outputs.
+#      The xdpsim figures (fig4, fig4_loops) are additionally re-run
+#      with XDPSIM_FORCE_INTERP=1: the default lowered engine and the
+#      interpreter must produce identical bytes, or the proof-elided
+#      compilation has drifted from the reference semantics.
 #   6. The serving layer reproduces the same artifacts: a steelserve
 #      instance on an ephemeral loopback port, with a scratch cache,
 #      answers every spec in specs/ byte-identically to results/*.txt,
@@ -117,7 +121,24 @@ if ! diff -q results/fig4_loops.txt "$tmpdir/fig4_loops.txt" > /dev/null; then
     diff results/fig4_loops.txt "$tmpdir/fig4_loops.txt" | head -20
     fail=1
 fi
-[ "$fail" -eq 0 ] && echo "OK: all figure outputs byte-identical under parallel execution"
+# Engine cross-check: the runs above used the default lowered engine;
+# pin the interpreter and demand the same bytes. This is the
+# end-to-end half of the check-elision soundness argument (the
+# per-program differential oracle runs under `cargo test` in step 3).
+XDPSIM_FORCE_INTERP=1 STEELWORKS_JOBS=2 target/release/fig4 > "$tmpdir/fig4_interp.txt"
+if ! diff -q results/fig4.txt "$tmpdir/fig4_interp.txt" > /dev/null; then
+    echo "fig4 output differs between lowered and interpreter engines:"
+    diff results/fig4.txt "$tmpdir/fig4_interp.txt" | head -20
+    fail=1
+fi
+XDPSIM_FORCE_INTERP=1 STEELWORKS_JOBS=2 target/release/fig4 specs/fig4_loops.json \
+    > "$tmpdir/fig4_loops_interp.txt"
+if ! diff -q results/fig4_loops.txt "$tmpdir/fig4_loops_interp.txt" > /dev/null; then
+    echo "fig4_loops output differs between lowered and interpreter engines:"
+    diff results/fig4_loops.txt "$tmpdir/fig4_loops_interp.txt" | head -20
+    fail=1
+fi
+[ "$fail" -eq 0 ] && echo "OK: all figure outputs byte-identical under parallel execution (both xdpsim engines)"
 [ "$fail" -eq 0 ] || exit 1
 
 echo "== 6/6 served-figure reproducibility =="
