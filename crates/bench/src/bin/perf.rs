@@ -309,6 +309,24 @@ fn bench_steelpar_fanout(h: &mut Harness) {
     }
 }
 
+fn bench_steelcheck_scan(h: &mut Harness) {
+    // The four-layer static-analysis gate over the full workspace:
+    // lex + parse every file, build the call graph, then run the
+    // reachability BFS and the CFG/dataflow fixpoints. The gate runs
+    // on every `check_hermetic.sh` invocation and inside `cargo
+    // test`, so its latency is part of the edit-compile-verify loop
+    // this trajectory tracks.
+    let root = steelcheck::walk::find_workspace_root(std::path::Path::new("."))
+        // steelcheck: allow(panic-reachable): dies before any sampling starts; the bench must run from inside the repo
+        .expect("workspace root");
+    h.bench("perf/steelcheck/workspace_scan", move || {
+        // steelcheck: allow(panic-reachable): an unreadable source file is a broken checkout, not a measurement
+        let report = steelcheck::run(&root).expect("workspace scan");
+        assert_eq!(report.findings.len(), 0, "gate must stay clean");
+        report.rust_files
+    });
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let samples = args
@@ -331,5 +349,6 @@ fn main() {
     bench_fig4_e2e(&mut h);
     bench_campus_e2e(&mut h);
     bench_steelpar_fanout(&mut h);
+    bench_steelcheck_scan(&mut h);
     h.finish();
 }

@@ -185,6 +185,7 @@ impl Device for PipelineSwitch {
 
         let due = now + self.processing_latency;
         for port in verdict.egress_ports(ingress) {
+            // steelcheck: allow(hot-path-alloc): per-port fan-out needs an owned frame; the payload is Arc-backed so clone is a refcount bump
             let mut out = frame.clone();
             deparse(&verdict.fields, &mut out);
             self.stats.emitted += 1;

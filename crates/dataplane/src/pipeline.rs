@@ -157,6 +157,7 @@ impl Pipeline {
         'tables: while ti < self.tables.len() {
             steps += 1;
             assert!(steps <= self.tables.len(), "GotoTable loop");
+            // steelcheck: allow(hot-path-alloc): the action must be cloned out of the table to release the borrow before primitives mutate state; actions are a few rewrite ops
             let action = self.tables[ti].lookup(&fs).clone();
             let mut next = ti + 1;
             for prim in action.primitives() {
@@ -199,13 +200,16 @@ impl Pipeline {
                     Primitive::Digest { kind, field } => verdict.digests.push(Digest {
                         kind: *kind,
                         value: fs.get(*field),
+                        // steelcheck: allow(hot-path-alloc): digests snapshot the field state by contract; emitted only on digest-matching entries, not per frame
                         fields: fs.clone(),
                         payload: None,
                     }),
                     Primitive::DigestPacket { kind } => verdict.digests.push(Digest {
                         kind: *kind,
                         value: 0,
+                        // steelcheck: allow(hot-path-alloc): digest snapshot, rare control-plane path
                         fields: fs.clone(),
+                        // steelcheck: allow(hot-path-alloc): payload clones by Arc refcount
                         payload: Some(payload.clone()),
                     }),
                     Primitive::MeterPacket { meter, index, dst } => {

@@ -223,6 +223,7 @@ impl Device for LearningSwitch {
                 self.frames_flooded += 1;
                 for p in 0..self.cfg.ports {
                     if p != ingress.0 {
+                        // steelcheck: allow(hot-path-alloc): flood fan-out needs one frame per port; payload clones by Arc refcount
                         self.stage(ctx, PortId(p), frame.clone());
                     }
                 }

@@ -171,6 +171,7 @@ impl Device for TsnSwitch {
             _ => {
                 for p in 0..self.ports {
                     if p != ingress.0 {
+                        // steelcheck: allow(hot-path-alloc): flood fan-out needs one frame per port; payload clones by Arc refcount
                         self.staged.push((at, PortId(p), frame.clone()));
                     }
                 }

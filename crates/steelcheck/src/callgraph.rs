@@ -310,9 +310,8 @@ impl CallGraph {
         hit
     }
 
-    /// The call path from a BFS source to `id`, rendered as
-    /// `a -> b -> c` over qualified names.
-    pub fn path_to(&self, parent: &[Option<usize>], id: usize) -> String {
+    /// The node chain from a BFS source to `id`, source first.
+    pub fn chain_to(&self, parent: &[Option<usize>], id: usize) -> Vec<usize> {
         let mut chain = vec![id];
         let mut cur = id;
         while let Some(p) = parent[cur] {
@@ -324,10 +323,29 @@ impl CallGraph {
         }
         chain.reverse();
         chain
+    }
+
+    /// The call path from a BFS source to `id`, rendered as
+    /// `a -> b -> c` over qualified names.
+    pub fn path_to(&self, parent: &[Option<usize>], id: usize) -> String {
+        self.chain_to(parent, id)
             .iter()
             .map(|&n| self.nodes[n].qual.as_str())
             .collect::<Vec<_>>()
             .join(" -> ")
+    }
+
+    /// The call path from a BFS source to `id` as structured
+    /// [`crate::report::FlowStep`]s (one per hop, entry first), for
+    /// SARIF `codeFlows` emission.
+    pub fn flow_to(&self, parent: &[Option<usize>], id: usize) -> Vec<crate::report::FlowStep> {
+        self.chain_to(parent, id)
+            .iter()
+            .map(|&n| {
+                let node = &self.nodes[n];
+                crate::report::FlowStep::new(&node.file, node.line, &node.qual)
+            })
+            .collect()
     }
 }
 

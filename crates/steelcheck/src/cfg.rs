@@ -1,0 +1,1284 @@
+//! Per-function control-flow graphs over the token stream (layer 4).
+//!
+//! [`build`] turns one [`FnItem`]'s body span into basic blocks over
+//! branches (`if`/`else if`/`else`, `match`), loops (`loop`/`while`/
+//! `for`, with back edges and `break`/`continue` edges), and early
+//! returns, attributing statement-level events — call sites,
+//! lock-guard acquisitions and releases, float compound-accumulations
+//! — to the block that executes them. The dataflow framework in
+//! [`crate::flow`] runs fixpoints over this graph; the layer-4 rules
+//! in [`crate::flowrules`] interpret the events.
+//!
+//! Deliberate over-approximations (same philosophy as the parser: a
+//! spurious path costs at worst one justified suppression, a missing
+//! path is a hole in the contract):
+//!
+//! - Closure bodies are inlined into the enclosing function's blocks,
+//!   as if executed exactly once at the definition site.
+//! - Labeled `break`/`continue` target the innermost loop.
+//! - Expression-form match arms (`pat => expr,`) are scanned linearly;
+//!   control flow nested inside them does not fork blocks.
+//! - The `?` operator's early-return edge is ignored — it only *ends*
+//!   paths early, so ignoring it adds paths but never hides one.
+//!
+//! Lock-guard modeling (rule R11's ground truth):
+//!
+//! - An acquisition is a zero-argument `.lock()`/`.read()`/`.write()`
+//!   method call (the zero-argument filter is what distinguishes these
+//!   from `io::Read`/`io::Write`, whose methods take a buffer), or a
+//!   call to a free helper named `lock(&x)` (the workspace's
+//!   poison-riding idiom). The lock's identity is the last field
+//!   segment of the receiver or argument path (`shared.queue` →
+//!   `queue`).
+//! - A guard bound by `let` releases at the end of its scope, or
+//!   earlier at an explicit `drop(guard)`.
+//! - An unbound guard (`*lock(&x) = v;`) releases at the end of its
+//!   statement — except `if let`/`while let`/`match` scrutinees, which
+//!   Rust keeps alive through the *whole* construct (else branches
+//!   included), and plain `if`/`while`/`for` condition temporaries,
+//!   which drop before the body runs.
+//! - A `.lock()` on a bare function parameter is skipped: generic
+//!   helpers taking `&Mutex<T>` would otherwise unify every caller's
+//!   lock into one identity. The acquisition is attributed to the
+//!   `lock(&x)` call sites instead.
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::parse::FnItem;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names that acquire a guard when called with zero arguments.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// One basic block: straight-line events plus sorted successor edges.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Successor block ids, sorted and deduplicated.
+    pub succs: Vec<usize>,
+    /// Events in execution order.
+    pub events: Vec<Event>,
+    /// Number of enclosing loops (0 = straight-line code).
+    pub loop_depth: u32,
+}
+
+/// A statement-level event attributed to a block, in execution order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A call site; indexes the owning [`FnItem::calls`].
+    Call {
+        /// Index into the owning item's `calls` vector.
+        call_idx: usize,
+    },
+    /// A lock acquisition; indexes [`Cfg::locks`].
+    Acquire {
+        /// Index into [`Cfg::locks`].
+        site: usize,
+    },
+    /// The matching release (scope end, `drop(guard)`, or statement end).
+    Release {
+        /// Index into [`Cfg::locks`].
+        site: usize,
+    },
+    /// A float compound accumulation (`lhs += ..` / `lhs *= ..`).
+    FloatAccum {
+        /// 1-based line of the operator.
+        line: u32,
+        /// Dotted lhs path (`self.ns`), index expressions elided.
+        lhs: String,
+    },
+}
+
+/// One lock-acquisition site discovered in the body.
+#[derive(Clone, Debug)]
+pub struct LockSite {
+    /// Lock identity: last field segment of the receiver/argument path.
+    pub lock: String,
+    /// 1-based line of the acquiring call.
+    pub line: u32,
+}
+
+/// The control-flow graph of one function body.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// All blocks; ids index this vector.
+    pub blocks: Vec<Block>,
+    /// Entry block id.
+    pub entry: usize,
+    /// Exit block id (every `return` and the final fallthrough edge here).
+    pub exit: usize,
+    /// Lock-acquisition sites referenced by `Acquire`/`Release` events.
+    pub locks: Vec<LockSite>,
+}
+
+/// Collect the file-level float-evidence ident set: names declared or
+/// assigned with `f64`/`f32` types or float literals (`ns: f64`,
+/// `let acc = 0.0`). Used to classify `a += b` when neither side is a
+/// literal at the accumulation site.
+pub fn float_names(lexed: &Lexed) -> BTreeSet<String> {
+    let toks = &lexed.tokens;
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        if let Some(next) = toks.get(i + 1) {
+            if next.is_punct(":")
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|t| t.is_ident("f64") || t.is_ident("f32"))
+            {
+                names.insert(toks[i].text.clone());
+            }
+            if next.is_punct("=") && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Float) {
+                names.insert(toks[i].text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Build the CFG for one function item.
+pub fn build(lexed: &Lexed, item: &FnItem, float_names: &BTreeSet<String>) -> Cfg {
+    let toks = &lexed.tokens;
+    let (lo, hi) = item.body;
+    if lo >= hi || hi > toks.len() || !toks[lo].is_punct("{") {
+        // Degenerate span (EOF-closed body): one empty block.
+        let block = Block::default();
+        return Cfg {
+            blocks: vec![block.clone(), block],
+            entry: 0,
+            exit: 1,
+            locks: Vec::new(),
+        };
+    }
+    let locks = LockScan::new(toks, item).run();
+    let mut call_at = BTreeMap::new();
+    for (ci, call) in item.calls.iter().enumerate() {
+        call_at.insert(call.name_idx, ci);
+    }
+    let mut b = Builder {
+        toks,
+        blocks: vec![Block::default(), Block::default()],
+        loops: Vec::new(),
+        exit: 1,
+        acquire_at: locks.acquire_at,
+        release_at: locks.release_at,
+        construct_rel: locks.construct_releases,
+        call_at,
+        float_names,
+        body: (lo, hi),
+    };
+    let last = b.walk_braced(lo, hi - 1, 0);
+    b.edge(last, 1);
+    // Construct releases the walker never drained (constructs nested in
+    // linearly-scanned expression arms): release at fn exit so the lock
+    // is at worst over-held to the end of this function, never leaked
+    // into callers.
+    let leftovers: Vec<usize> = b.construct_rel.values().flatten().copied().collect();
+    for site in leftovers {
+        b.blocks[1].events.push(Event::Release { site });
+    }
+    Cfg {
+        blocks: b.blocks,
+        entry: 0,
+        exit: 1,
+        locks: locks.sites,
+    }
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct("{") {
+            depth += 1;
+        } else if toks[j].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Pass 1 output: acquisition sites plus the token indices where each
+/// acquires and releases.
+struct LockScanOut {
+    sites: Vec<LockSite>,
+    acquire_at: BTreeMap<usize, Vec<usize>>,
+    release_at: BTreeMap<usize, Vec<usize>>,
+    /// Scrutinee-temporary releases, keyed by the `if`/`while`/`match`/
+    /// `for` keyword token of the construct that owns the temporary.
+    /// The walker drains these into the construct's join (or loop
+    /// exit) block, so the release is seen on *every* branch — a
+    /// token-keyed release would land in whichever branch happens to
+    /// contain that token.
+    construct_releases: BTreeMap<usize, Vec<usize>>,
+}
+
+/// Pass 1: a linear scan over the body resolving every guard's
+/// acquisition token and release token from Rust's scoping rules.
+struct LockScan<'a> {
+    toks: &'a [Token],
+    body: (usize, usize),
+    params: BTreeSet<String>,
+    out: LockScanOut,
+}
+
+impl<'a> LockScan<'a> {
+    fn new(toks: &'a [Token], item: &FnItem) -> Self {
+        LockScan {
+            toks,
+            body: item.body,
+            params: param_names(toks, item.body.0),
+            out: LockScanOut {
+                sites: Vec::new(),
+                acquire_at: BTreeMap::new(),
+                release_at: BTreeMap::new(),
+                construct_releases: BTreeMap::new(),
+            },
+        }
+    }
+
+    fn run(mut self) -> LockScanOut {
+        let (lo, hi) = self.body;
+        // Scope stack of `{` indices; guards bound in a scope release at
+        // its `}`.
+        let mut scopes: Vec<usize> = Vec::new();
+        // Active named guards: (name, scope-open index, site id).
+        let mut guards: Vec<(String, usize, usize)> = Vec::new();
+        let mut stmt_start = lo;
+        let mut i = lo;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.is_punct("{") {
+                scopes.push(i);
+                stmt_start = i + 1;
+            } else if t.is_punct("}") {
+                if let Some(open) = scopes.pop() {
+                    // Release every guard bound in the closing scope, in
+                    // acquisition order.
+                    let mut k = 0;
+                    while k < guards.len() {
+                        if guards[k].1 == open {
+                            let (_, _, site) = guards.remove(k);
+                            self.release(i, site);
+                        } else {
+                            k += 1;
+                        }
+                    }
+                }
+                stmt_start = i + 1;
+            } else if t.is_punct(";") || t.is_punct("=>") {
+                stmt_start = i + 1;
+            } else if t.kind == TokKind::Ident {
+                if t.text == "drop"
+                    && self.toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+                    && self.toks.get(i + 3).is_some_and(|t| t.is_punct(")"))
+                {
+                    let arg = &self.toks[i + 2];
+                    if let Some(k) = guards.iter().position(|(n, _, _)| arg.is_ident(n)) {
+                        let (_, _, site) = guards.remove(k);
+                        self.release(i + 3, site);
+                    }
+                } else if let Some(lock) = self.acquire_name(i) {
+                    let site = self.out.sites.len();
+                    self.out.sites.push(LockSite {
+                        lock,
+                        line: t.line,
+                    });
+                    self.out.acquire_at.entry(i).or_default().push(site);
+                    match self.binding(stmt_start) {
+                        Binding::Named(name) => {
+                            guards.push((name, scopes.last().copied().unwrap_or(lo), site));
+                        }
+                        Binding::Construct => {
+                            self.out
+                                .construct_releases
+                                .entry(stmt_start)
+                                .or_default()
+                                .push(site);
+                        }
+                        Binding::Condition => {
+                            // Condition temporaries drop before the body
+                            // runs: release at the last condition token,
+                            // which the walker attributes to the head.
+                            let open = self.next_block_open(stmt_start);
+                            self.release(open.saturating_sub(1).max(i), site);
+                        }
+                        Binding::Temp => {
+                            let end = self.stmt_end(i);
+                            self.release(end, site);
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Anything still held (EOF-closed body): release at the last token.
+        for (_, _, site) in guards {
+            self.release(hi - 1, site);
+        }
+        self.out
+    }
+
+    fn release(&mut self, at: usize, site: usize) {
+        self.out.release_at.entry(at).or_default().push(site);
+    }
+
+    /// Is the ident at `i` an acquisition? Returns the lock identity.
+    fn acquire_name(&self, i: usize) -> Option<String> {
+        let t = &self.toks[i];
+        let zero_arg_call = self.toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && self.toks.get(i + 2).is_some_and(|t| t.is_punct(")"));
+        if ACQUIRE_METHODS.contains(&t.text.as_str())
+            && zero_arg_call
+            && i >= 2
+            && self.toks[i - 1].is_punct(".")
+        {
+            // `.lock()` / `.read()` / `.write()`: walk the receiver chain
+            // back to its root.
+            if self.toks[i - 2].kind != TokKind::Ident {
+                return None; // receiver is a call result or index — unnameable
+            }
+            let mut r = i - 2;
+            while r >= 2 && self.toks[r - 1].is_punct(".") && self.toks[r - 2].kind == TokKind::Ident
+            {
+                r -= 2;
+            }
+            let root = &self.toks[r].text;
+            if r == i - 2 && self.params.contains(root) {
+                return None; // generic helper: attribute to its callers
+            }
+            return Some(self.toks[i - 2].text.clone());
+        }
+        if t.text == "lock"
+            && self.toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && !(i > 0 && (self.toks[i - 1].is_punct(".") || self.toks[i - 1].is_punct("::")))
+            && !(i > 0 && self.toks[i - 1].is_ident("fn"))
+        {
+            // Free `lock(&path.to.lock)` helper call: identity is the last
+            // ident in the argument list.
+            let close = self.match_paren(i + 1);
+            let mut last = None;
+            for j in i + 2..close {
+                if self.toks[j].kind == TokKind::Ident {
+                    last = Some(self.toks[j].text.clone());
+                }
+            }
+            return last;
+        }
+        None
+    }
+
+    /// Classify how the guard acquired in the statement starting at `s`
+    /// is bound.
+    fn binding(&self, s: usize) -> Binding {
+        let t = |k: usize| self.toks.get(k);
+        if t(s).is_some_and(|t| t.is_ident("let")) {
+            let mut j = s + 1;
+            if t(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = t(j).filter(|t| t.kind == TokKind::Ident) {
+                // `let g = ..` or `let g: Ty = ..`.
+                if t(j + 1).is_some_and(|t| t.is_punct("=") || t.is_punct(":")) {
+                    if name.text == "_" {
+                        return Binding::Temp;
+                    }
+                    // `let v = *lock(&m);` copies the value out; the
+                    // guard is a statement temporary, not `v`. (But
+                    // `let g = &mut *lock(&m)` extends the temporary's
+                    // lifetime to the binding — the leading `&` keeps
+                    // it Named.)
+                    let mut eq = j + 1;
+                    while t(eq).is_some_and(|t| !t.is_punct("=")) {
+                        eq += 1;
+                    }
+                    if t(eq + 1).is_some_and(|t| t.is_punct("*")) {
+                        return Binding::Temp;
+                    }
+                    return Binding::Named(name.text.clone());
+                }
+            }
+            return Binding::Temp; // destructuring let: guard is a temporary
+        }
+        let head_if_while = t(s).is_some_and(|t| t.is_ident("if") || t.is_ident("while"));
+        if head_if_while && t(s + 1).is_some_and(|t| t.is_ident("let")) {
+            return Binding::Construct;
+        }
+        if t(s).is_some_and(|t| t.is_ident("match") || t.is_ident("for")) {
+            // `for`: the iterable's temporaries live through the loop.
+            return Binding::Construct;
+        }
+        if head_if_while {
+            return Binding::Condition;
+        }
+        Binding::Temp
+    }
+
+    /// First `{` at zero paren/bracket depth at or after `s`.
+    fn next_block_open(&self, s: usize) -> usize {
+        let mut pd = 0i64;
+        let mut bd = 0i64;
+        let mut j = s;
+        while j < self.body.1 {
+            let t = &self.toks[j];
+            if t.is_punct("(") {
+                pd += 1;
+            } else if t.is_punct(")") {
+                pd -= 1;
+            } else if t.is_punct("[") {
+                bd += 1;
+            } else if t.is_punct("]") {
+                bd -= 1;
+            } else if t.is_punct("{") && pd == 0 && bd == 0 {
+                return j;
+            }
+            j += 1;
+        }
+        self.body.1 - 1
+    }
+
+    /// End of the statement containing the acquire at `i`: the next `;`
+    /// (or match-arm `,`) at balanced depth, or the `}` that closes the
+    /// enclosing scope (tail expression).
+    fn stmt_end(&self, i: usize) -> usize {
+        let mut pd = 0i64;
+        let mut bd = 0i64;
+        let mut brd = 0i64;
+        let mut j = i;
+        while j < self.body.1 {
+            let t = &self.toks[j];
+            if t.is_punct("(") {
+                pd += 1;
+            } else if t.is_punct(")") {
+                pd -= 1;
+            } else if t.is_punct("[") {
+                bd += 1;
+            } else if t.is_punct("]") {
+                bd -= 1;
+            } else if t.is_punct("{") {
+                brd += 1;
+            } else if t.is_punct("}") {
+                brd -= 1;
+                if brd < 0 {
+                    return j; // tail expression: temp dies at scope end
+                }
+            } else if (t.is_punct(";") || t.is_punct(",")) && pd == 0 && bd == 0 && brd == 0 {
+                return j;
+            }
+            j += 1;
+        }
+        self.body.1 - 1
+    }
+
+    /// Index of the `)` matching the `(` at `open`.
+    fn match_paren(&self, open: usize) -> usize {
+        let mut depth = 0i64;
+        let mut j = open;
+        while j < self.toks.len() {
+            if self.toks[j].is_punct("(") {
+                depth += 1;
+            } else if self.toks[j].is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        self.toks.len().saturating_sub(1)
+    }
+}
+
+/// How a guard value is bound at its statement.
+enum Binding {
+    /// `let g = ..` — releases at scope end or `drop(g)`.
+    Named(String),
+    /// `if let`/`while let`/`match` scrutinee — releases at construct end.
+    Construct,
+    /// Plain `if`/`while`/`for` condition — releases at the body `{`.
+    Condition,
+    /// Statement temporary — releases at the statement's `;`.
+    Temp,
+}
+
+/// The parameter-name set of the fn whose body opens at `body_open`.
+fn param_names(toks: &[Token], body_open: usize) -> BTreeSet<String> {
+    // Walk back to the `fn` keyword (the header cannot contain one),
+    // then forward into the parameter parens.
+    let mut f = body_open;
+    while f > 0 && !toks[f].is_ident("fn") {
+        f -= 1;
+    }
+    let mut names = BTreeSet::new();
+    let mut j = f;
+    while j < body_open && !toks[j].is_punct("(") {
+        j += 1;
+    }
+    let mut depth = 0i64;
+    while j < body_open {
+        let t = &toks[j];
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1
+            && t.kind == TokKind::Ident
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(":"))
+        {
+            names.insert(t.text.clone());
+        }
+        j += 1;
+    }
+    names
+}
+
+/// Pass 2: recursive-descent CFG construction.
+struct Builder<'a> {
+    toks: &'a [Token],
+    blocks: Vec<Block>,
+    /// Innermost-last stack of (head, exit) block ids.
+    loops: Vec<(usize, usize)>,
+    exit: usize,
+    acquire_at: BTreeMap<usize, Vec<usize>>,
+    release_at: BTreeMap<usize, Vec<usize>>,
+    construct_rel: BTreeMap<usize, Vec<usize>>,
+    call_at: BTreeMap<usize, usize>,
+    float_names: &'a BTreeSet<String>,
+    body: (usize, usize),
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> usize {
+        let id = self.blocks.len();
+        self.blocks.push(Block {
+            succs: Vec::new(),
+            events: Vec::new(),
+            loop_depth: self.loops.len() as u32,
+        });
+        id
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        let succs = &mut self.blocks[from].succs;
+        if let Err(pos) = succs.binary_search(&to) {
+            succs.insert(pos, to);
+        }
+    }
+
+    /// Attribute the events of the token at `i` to block `cur`.
+    /// Order matters at an acquiring call token: the call happens
+    /// first (the callee runs before the guard exists), then the
+    /// acquisition; releases at `;`/`}` tokens never coincide with
+    /// either.
+    fn visit(&mut self, cur: usize, i: usize) {
+        if let Some(&ci) = self.call_at.get(&i) {
+            self.blocks[cur].events.push(Event::Call { call_idx: ci });
+        }
+        if let Some(sites) = self.acquire_at.get(&i).cloned() {
+            for site in sites {
+                self.blocks[cur].events.push(Event::Acquire { site });
+            }
+        }
+        if let Some(sites) = self.release_at.get(&i).cloned() {
+            for site in sites {
+                self.blocks[cur].events.push(Event::Release { site });
+            }
+        }
+        let t = &self.toks[i];
+        if t.is_punct("+=") || t.is_punct("*=") {
+            if let Some((line, lhs)) = self.float_accum(i) {
+                self.blocks[cur].events.push(Event::FloatAccum { line, lhs });
+            }
+        }
+    }
+
+    /// Classify the compound assignment at `i`: float-typed evidence in
+    /// the statement (a float literal, an `f64`/`f32` ident, or a name
+    /// from the file's float-ident set) makes it a `FloatAccum`.
+    fn float_accum(&self, i: usize) -> Option<(u32, String)> {
+        // Walk the lhs chain back over `a.b.c` (and `a[k]` index groups).
+        let mut segs: Vec<String> = Vec::new();
+        let mut j = i;
+        loop {
+            let mut k = j - 1;
+            if self.toks[k].is_punct("]") {
+                let mut depth = 0i64;
+                while k > 0 {
+                    if self.toks[k].is_punct("]") {
+                        depth += 1;
+                    } else if self.toks[k].is_punct("[") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k -= 1;
+                }
+                k = k.checked_sub(1)?;
+            }
+            if self.toks[k].kind != TokKind::Ident {
+                break;
+            }
+            segs.push(self.toks[k].text.clone());
+            if k >= 2 && self.toks[k - 1].is_punct(".") {
+                j = k - 1;
+            } else {
+                break;
+            }
+        }
+        if segs.is_empty() {
+            return None;
+        }
+        segs.reverse();
+        // Statement bounds: back to the previous `;`/`{`/`}`, forward to
+        // the next `;` (or scope close) at balanced depth.
+        let mut s = i;
+        while s > self.body.0 {
+            let t = &self.toks[s - 1];
+            if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+                break;
+            }
+            s -= 1;
+        }
+        let mut e = i + 1;
+        let mut depth = 0i64;
+        while e < self.body.1 {
+            let t = &self.toks[e];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if t.is_punct(";") && depth == 0 {
+                break;
+            }
+            e += 1;
+        }
+        let floaty = self.toks[s..e].iter().any(|t| {
+            t.kind == TokKind::Float
+                || t.is_ident("f64")
+                || t.is_ident("f32")
+                || (t.kind == TokKind::Ident && self.float_names.contains(&t.text))
+        });
+        if floaty {
+            Some((self.toks[i].line, segs.join(".")))
+        } else {
+            None
+        }
+    }
+
+    /// Walk the brace-delimited region `[open, close]`, visiting both
+    /// braces (release events live on `}` tokens); returns the block
+    /// control ends in.
+    fn walk_braced(&mut self, open: usize, close: usize, cur: usize) -> usize {
+        self.visit(cur, open);
+        let last = self.walk_block(open + 1, close, cur);
+        self.visit(last, close.min(self.toks.len() - 1));
+        last
+    }
+
+    /// Walk statements in `[lo, hi)`; returns the block control ends in.
+    fn walk_block(&mut self, lo: usize, hi: usize, mut cur: usize) -> usize {
+        let mut i = lo;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "if" => {
+                        let (join, next) = self.walk_if(i, cur);
+                        cur = join;
+                        i = next;
+                        continue;
+                    }
+                    "match" => {
+                        let (join, next) = self.walk_match(i, cur);
+                        cur = join;
+                        i = next;
+                        continue;
+                    }
+                    "loop" | "while" | "for" => {
+                        let (exit, next) = self.walk_loop(i, cur);
+                        cur = exit;
+                        i = next;
+                        continue;
+                    }
+                    "break" | "continue" | "return" => {
+                        let (dead, next) = self.walk_jump(i, cur);
+                        cur = dead;
+                        i = next;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if t.is_punct("{") {
+                let close = match_brace(self.toks, i);
+                cur = self.walk_braced(i, close, cur);
+                i = close + 1;
+                continue;
+            }
+            self.visit(cur, i);
+            i += 1;
+        }
+        cur
+    }
+
+    /// Drain pass-1 construct releases keyed at keyword token `kw`
+    /// into block `blk` (the construct's join / loop exit).
+    fn drain_construct(&mut self, kw: usize, blk: usize) {
+        if let Some(sites) = self.construct_rel.remove(&kw) {
+            for site in sites {
+                self.blocks[blk].events.push(Event::Release { site });
+            }
+        }
+    }
+
+    /// `if cond { .. } [else if .. { .. }]* [else { .. }]` starting at
+    /// the `if` token; returns (join block, resume index).
+    fn walk_if(&mut self, i: usize, cur: usize) -> (usize, usize) {
+        // Condition tokens (incl. `let pat =` for if-let) evaluate in `cur`.
+        let open = self.scan_head(i + 1, cur);
+        let close = match_brace(self.toks, open);
+        let then_entry = self.new_block();
+        self.edge(cur, then_entry);
+        let then_exit = self.walk_braced(open, close, then_entry);
+        let mut next = close + 1;
+        let join = self.new_block();
+        self.edge(then_exit, join);
+        if self.toks.get(next).is_some_and(|t| t.is_ident("else")) {
+            if self.toks.get(next + 1).is_some_and(|t| t.is_ident("if")) {
+                let (else_join, after) = self.walk_if(next + 1, cur);
+                self.edge(else_join, join);
+                next = after;
+            } else if self.toks.get(next + 1).is_some_and(|t| t.is_punct("{")) {
+                let else_close = match_brace(self.toks, next + 1);
+                let else_entry = self.new_block();
+                self.edge(cur, else_entry);
+                let else_exit = self.walk_braced(next + 1, else_close, else_entry);
+                self.edge(else_exit, join);
+                next = else_close + 1;
+            } else {
+                self.edge(cur, join); // malformed else: degrade to fallthrough
+            }
+        } else {
+            self.edge(cur, join); // no else: condition-false falls through
+        }
+        // An if-let scrutinee temporary drops after the whole construct,
+        // on every branch: release in the join.
+        self.drain_construct(i, join);
+        (join, next)
+    }
+
+    /// `match scrutinee { arms }`; returns (join block, resume index).
+    /// Brace-bodied arms recurse; expression arms are scanned linearly.
+    fn walk_match(&mut self, i: usize, cur: usize) -> (usize, usize) {
+        let open = self.scan_head(i + 1, cur);
+        let close = match_brace(self.toks, open);
+        self.visit(cur, open);
+        let join = self.new_block();
+        let mut j = open + 1;
+        while j < close {
+            // Pattern (and optional guard) tokens evaluate in the head.
+            let mut depth = 0i64;
+            while j < close {
+                let t = &self.toks[j];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    depth -= 1;
+                } else if t.is_punct("=>") && depth == 0 {
+                    break;
+                }
+                self.visit(cur, j);
+                j += 1;
+            }
+            if j >= close {
+                break;
+            }
+            j += 1; // past `=>`
+            let arm = self.new_block();
+            self.edge(cur, arm);
+            if self.toks.get(j).is_some_and(|t| t.is_punct("{")) {
+                let arm_close = match_brace(self.toks, j);
+                let arm_exit = self.walk_braced(j, arm_close, arm);
+                self.edge(arm_exit, join);
+                j = arm_close + 1;
+                if self.toks.get(j).is_some_and(|t| t.is_punct(",")) {
+                    j += 1;
+                }
+            } else {
+                // Expression arm: linear scan to the `,` at zero depth.
+                let mut depth = 0i64;
+                while j < close {
+                    let t = &self.toks[j];
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        depth += 1;
+                    } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                        depth -= 1;
+                    } else if t.is_punct(",") && depth == 0 {
+                        break;
+                    }
+                    self.visit(arm, j);
+                    j += 1;
+                }
+                self.edge(arm, join);
+                if j < close {
+                    j += 1; // past `,`
+                }
+            }
+        }
+        // Scrutinee temporaries release after the whole match; attribute
+        // that to the join every arm reaches.
+        self.drain_construct(i, join);
+        self.visit(join, close.min(self.toks.len() - 1));
+        (join, close + 1)
+    }
+
+    /// `loop`/`while`/`for` starting at `i`; returns (exit block,
+    /// resume index).
+    fn walk_loop(&mut self, i: usize, cur: usize) -> (usize, usize) {
+        let kw = self.toks[i].text.clone();
+        let head = self.new_block();
+        let exit = self.new_block();
+        // The head re-evaluates per iteration: it is *inside* the loop.
+        self.blocks[head].loop_depth += 1;
+        self.edge(cur, head);
+        self.loops.push((head, exit));
+        let open = if kw == "loop" {
+            let mut j = i + 1;
+            while j < self.body.1 && !self.toks[j].is_punct("{") {
+                self.visit(head, j); // labels etc.
+                j += 1;
+            }
+            j
+        } else {
+            // while/for: condition (or pattern-in-iterable) tokens run in
+            // the head each iteration.
+            self.scan_head(i + 1, head)
+        };
+        let close = match_brace(self.toks, open);
+        let body_entry = self.new_block();
+        self.edge(head, body_entry);
+        let body_exit = self.walk_braced(open, close, body_entry);
+        self.edge(body_exit, head);
+        self.loops.pop();
+        if kw != "loop" {
+            self.edge(head, exit); // condition-false exit
+        }
+        // A while-let scrutinee temporary is dropped before the next
+        // condition evaluation and on loop exit: releasing at the head's
+        // *start* (before this iteration's acquire) plus the exit models
+        // both. A `for` iterable's temporaries live through the whole
+        // loop: release only at the exit.
+        if let Some(sites) = self.construct_rel.remove(&i) {
+            for &site in &sites {
+                if kw == "while" {
+                    self.blocks[head].events.insert(0, Event::Release { site });
+                }
+                self.blocks[exit].events.push(Event::Release { site });
+            }
+        }
+        (exit, close + 1)
+    }
+
+    /// `break`/`continue`/`return` plus its value expression; returns
+    /// (dead continuation block, resume index).
+    fn walk_jump(&mut self, i: usize, cur: usize) -> (usize, usize) {
+        let kw = self.toks[i].text.clone();
+        // Value tokens (e.g. `break take(&mut q)`) evaluate before the jump.
+        let mut j = i + 1;
+        if kw != "continue" {
+            let mut depth = 0i64;
+            while j < self.body.1 {
+                let t = &self.toks[j];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if t.is_punct(";") && depth == 0 {
+                    break;
+                } else if t.kind == TokKind::Lifetime && depth == 0 {
+                    // `break 'label` — skip the label, keep scanning.
+                }
+                self.visit(cur, j);
+                j += 1;
+            }
+        } else if self.toks.get(j).is_some_and(|t| t.kind == TokKind::Lifetime) {
+            j += 1;
+        }
+        let target = match kw.as_str() {
+            "break" => self.loops.last().map(|&(_, exit)| exit),
+            "continue" => self.loops.last().map(|&(head, _)| head),
+            _ => Some(self.exit),
+        };
+        if let Some(t) = target {
+            self.edge(cur, t);
+        }
+        (self.new_block(), j)
+    }
+
+    /// Scan a construct head (condition / scrutinee / iterable) from `s`
+    /// to its body `{` at zero paren/bracket depth, visiting tokens into
+    /// `blk`; returns the `{` index.
+    fn scan_head(&mut self, s: usize, blk: usize) -> usize {
+        let mut pd = 0i64;
+        let mut bd = 0i64;
+        let mut j = s;
+        while j < self.body.1 {
+            let t = &self.toks[j];
+            if t.is_punct("(") {
+                pd += 1;
+            } else if t.is_punct(")") {
+                pd -= 1;
+            } else if t.is_punct("[") {
+                bd += 1;
+            } else if t.is_punct("]") {
+                bd -= 1;
+            } else if t.is_punct("{") && pd == 0 && bd == 0 {
+                return j;
+            }
+            self.visit(blk, j);
+            j += 1;
+        }
+        self.body.1 - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn cfg_of(src: &str, name: &str) -> (Cfg, crate::parse::FnItem) {
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        let item = parsed
+            .fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+            .clone();
+        let names = float_names(&lexed);
+        (build(&lexed, &item, &names), item)
+    }
+
+    /// Flatten (site-lock, kind) pairs in block order for assertions.
+    fn lock_events(cfg: &Cfg) -> Vec<(String, &'static str)> {
+        let mut out = Vec::new();
+        for b in &cfg.blocks {
+            for e in &b.events {
+                match e {
+                    Event::Acquire { site } => out.push((cfg.locks[*site].lock.clone(), "acq")),
+                    Event::Release { site } => out.push((cfg.locks[*site].lock.clone(), "rel")),
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn straight_line_guard_releases_at_scope_end() {
+        let (cfg, _) = cfg_of(
+            "fn f(m: &M) { let g = state.lock(); g.push(1); after(); }",
+            "f",
+        );
+        assert_eq!(
+            lock_events(&cfg),
+            vec![("state".into(), "acq"), ("state".into(), "rel")]
+        );
+    }
+
+    #[test]
+    fn drop_releases_early() {
+        let src = "fn f() { let g = a.lock(); use_it(&g); drop(g); blocking(); }";
+        let (cfg, item) = cfg_of(src, "f");
+        // The release event must precede the `blocking` call event.
+        let events = &cfg.blocks[cfg.entry].events;
+        let rel = events
+            .iter()
+            .position(|e| matches!(e, Event::Release { .. }))
+            .unwrap();
+        let blocking = events
+            .iter()
+            .position(
+                |e| matches!(e, Event::Call { call_idx } if item.calls[*call_idx].name() == "blocking"),
+            )
+            .unwrap();
+        assert!(rel < blocking, "drop(g) must release before blocking()");
+    }
+
+    #[test]
+    fn statement_temp_releases_at_semicolon() {
+        let src = "fn f() { *lock(&shared.stopping) = true; after(); }";
+        let (cfg, item) = cfg_of(src, "f");
+        let events = &cfg.blocks[cfg.entry].events;
+        let rel = events
+            .iter()
+            .position(|e| matches!(e, Event::Release { .. }))
+            .unwrap();
+        let after = events
+            .iter()
+            .position(
+                |e| matches!(e, Event::Call { call_idx } if item.calls[*call_idx].name() == "after"),
+            )
+            .unwrap();
+        assert!(rel < after, "statement temp releases before the next call");
+        assert_eq!(cfg.locks[0].lock, "stopping");
+    }
+
+    #[test]
+    fn deref_copy_let_releases_at_statement_end() {
+        // `let addr = *lock(&m);` binds the copied value — the guard is
+        // a statement temporary, dropped before the next statement.
+        let src = "fn f() { let addr = *lock(&shared.addr); connect(addr); }";
+        let (cfg, item) = cfg_of(src, "f");
+        let events = &cfg.blocks[cfg.entry].events;
+        let rel = events
+            .iter()
+            .position(|e| matches!(e, Event::Release { .. }))
+            .unwrap();
+        let connect = events
+            .iter()
+            .position(
+                |e| matches!(e, Event::Call { call_idx } if item.calls[*call_idx].name() == "connect"),
+            )
+            .unwrap();
+        assert!(rel < connect, "deref-copy guard dies at its `;`");
+        // But `&mut *` lifetime extension keeps the guard alive.
+        let src = "fn f() { let g = &mut *lock(&shared.q); use_it(g); after(); }";
+        let (cfg2, _) = cfg_of(src, "f");
+        let evs = &cfg2.blocks[cfg2.entry].events;
+        let rel = evs
+            .iter()
+            .position(|e| matches!(e, Event::Release { .. }))
+            .unwrap();
+        assert_eq!(rel, evs.len() - 1, "extended guard releases at scope end");
+    }
+
+    #[test]
+    fn if_let_scrutinee_lives_through_the_whole_construct() {
+        let src = r#"
+            fn f() {
+                if let Some(addr) = *lock(&shared.addr) {
+                    connect(addr);
+                }
+                after();
+            }
+        "#;
+        let (cfg, item) = cfg_of(src, "f");
+        // The connect call must see the lock still held: its block's
+        // events contain the call, and no Release precedes it anywhere
+        // on the path from the acquire.
+        let mut acquire_block = None;
+        let mut connect_block = None;
+        let mut release_block = None;
+        for (bi, b) in cfg.blocks.iter().enumerate() {
+            for e in &b.events {
+                match e {
+                    Event::Acquire { .. } => acquire_block = Some(bi),
+                    Event::Release { .. } => release_block = Some(bi),
+                    Event::Call { call_idx } if item.calls[*call_idx].name() == "connect" => {
+                        connect_block = Some(bi)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let (a, c, r) = (
+            acquire_block.unwrap(),
+            connect_block.unwrap(),
+            release_block.unwrap(),
+        );
+        assert_ne!(a, c, "connect runs in the then-branch, not the head");
+        assert_ne!(c, r, "release happens at the construct join, not in the branch");
+    }
+
+    #[test]
+    fn plain_if_condition_temp_drops_before_the_body() {
+        let src = "fn f() { if *lock(&shared.stopping) { body_call(); } }";
+        let (cfg, item) = cfg_of(src, "f");
+        // The release is attributed to the head block (at the body `{`),
+        // so the body call runs lock-free.
+        let head_events = &cfg.blocks[cfg.entry].events;
+        assert!(
+            head_events
+                .iter()
+                .any(|e| matches!(e, Event::Release { .. })),
+            "condition temp must release in the head: {head_events:?}"
+        );
+        let body_block = cfg
+            .blocks
+            .iter()
+            .position(|b| {
+                b.events.iter().any(
+                    |e| matches!(e, Event::Call { call_idx } if item.calls[*call_idx].name() == "body_call"),
+                )
+            })
+            .unwrap();
+        assert!(!cfg.blocks[body_block]
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Release { .. })));
+    }
+
+    #[test]
+    fn param_receiver_lock_is_skipped() {
+        let (cfg, _) = cfg_of(
+            "fn lock(m: &Mutex<T>) -> MutexGuard<T> { m.lock().unwrap_or_else(|e| e.into_inner()) }",
+            "lock",
+        );
+        assert!(cfg.locks.is_empty(), "generic helper must not self-report");
+    }
+
+    #[test]
+    fn loops_get_depth_and_back_edges() {
+        let src = r#"
+            fn f() {
+                setup();
+                for i in 0..n {
+                    inner();
+                    while cond() {
+                        deepest();
+                    }
+                }
+            }
+        "#;
+        let (cfg, item) = cfg_of(src, "f");
+        let depth_of = |name: &str| {
+            cfg.blocks
+                .iter()
+                .find_map(|b| {
+                    b.events.iter().find_map(|e| match e {
+                        Event::Call { call_idx } if item.calls[*call_idx].name() == name => {
+                            Some(b.loop_depth)
+                        }
+                        _ => None,
+                    })
+                })
+                .unwrap_or_else(|| panic!("no call {name}"))
+        };
+        assert_eq!(depth_of("setup"), 0);
+        assert_eq!(depth_of("inner"), 1);
+        assert_eq!(depth_of("deepest"), 2);
+        // Back edge: some block at depth >= 1 points at a lower-id block.
+        assert!(cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.loop_depth >= 1 && b.succs.iter().any(|&s| s < i)));
+    }
+
+    #[test]
+    fn break_targets_loop_exit_and_return_targets_fn_exit() {
+        let src = r#"
+            fn f() {
+                loop {
+                    if done() {
+                        break;
+                    }
+                    step();
+                }
+                if bad() {
+                    return;
+                }
+                tail();
+            }
+        "#;
+        let (cfg, _) = cfg_of(src, "f");
+        // Exit block must be reachable from entry.
+        let mut seen = vec![false; cfg.blocks.len()];
+        let mut stack = vec![cfg.entry];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            stack.extend(cfg.blocks[b].succs.iter().copied());
+        }
+        assert!(seen[cfg.exit], "fn exit unreachable: {:?}", cfg.blocks);
+    }
+
+    #[test]
+    fn float_accums_are_classified() {
+        let src = r#"
+            fn f(ns: f64) {
+                self.total += ns;
+                count += 1;
+                scale *= 2.0;
+                for x in xs {
+                    acc += x as f64;
+                }
+            }
+        "#;
+        let (cfg, _) = cfg_of(src, "f");
+        let mut accums: Vec<(String, u32)> = Vec::new();
+        for b in &cfg.blocks {
+            for e in &b.events {
+                if let Event::FloatAccum { lhs, .. } = e {
+                    accums.push((lhs.clone(), b.loop_depth));
+                }
+            }
+        }
+        accums.sort();
+        assert_eq!(
+            accums,
+            vec![
+                ("acc".into(), 1),
+                ("scale".into(), 0),
+                ("self.total".into(), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn match_arms_fork_and_join() {
+        let src = r#"
+            fn f() {
+                match kind() {
+                    A => { alpha(); }
+                    B => beta(),
+                    _ => {}
+                }
+                after();
+            }
+        "#;
+        let (cfg, item) = cfg_of(src, "f");
+        let block_of = |name: &str| {
+            cfg.blocks.iter().position(|b| {
+                b.events.iter().any(
+                    |e| matches!(e, Event::Call { call_idx } if item.calls[*call_idx].name() == name),
+                )
+            })
+        };
+        let alpha = block_of("alpha").unwrap();
+        let beta = block_of("beta").unwrap();
+        let after = block_of("after").unwrap();
+        assert_ne!(alpha, beta, "arms get distinct blocks");
+        // Both arms flow (transitively) into the block running after().
+        for arm in [alpha, beta] {
+            let mut seen = vec![false; cfg.blocks.len()];
+            let mut stack = vec![arm];
+            while let Some(b) = stack.pop() {
+                if std::mem::replace(&mut seen[b], true) {
+                    continue;
+                }
+                stack.extend(cfg.blocks[b].succs.iter().copied());
+            }
+            assert!(seen[after], "arm {arm} must reach the join");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! A generic forward/backward dataflow framework over [`crate::cfg`]
+//! graphs (layer 4).
+//!
+//! Same fixpoint discipline as xdpsim's interval verifier: a worklist
+//! of block ids, a join-semilattice state joined at merge points, and
+//! iteration to a fixed point. States are `BTreeSet`-shaped so every
+//! run over the same graph produces the same result in the same order
+//! — the determinism contract applies to the checker itself.
+//!
+//! The framework is *may*-analysis oriented: `join` is set union, and
+//! unreachable blocks keep the bottom state, so a fact holds at a
+//! block iff it holds on **some** path from the entry (exactly what a
+//! "might this lock be held here?" question wants).
+
+use crate::cfg::Cfg;
+use std::collections::BTreeSet;
+
+/// A join-semilattice: the state type a dataflow runs on.
+pub trait JoinSemiLattice: Clone + PartialEq {
+    /// The least element; the initial state of every block.
+    fn bottom() -> Self;
+    /// Join `other` into `self`; returns true when `self` changed.
+    fn join_with(&mut self, other: &Self) -> bool;
+}
+
+impl JoinSemiLattice for BTreeSet<String> {
+    fn bottom() -> Self {
+        BTreeSet::new()
+    }
+
+    fn join_with(&mut self, other: &Self) -> bool {
+        let before = self.len();
+        self.extend(other.iter().cloned());
+        self.len() != before
+    }
+}
+
+/// A gen/kill transfer summary for one block: facts the block
+/// introduces minus facts it removes, applied in the conventional
+/// `out = gen ∪ (in − kill)` order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GenKill {
+    /// Facts the block generates (still live at its end).
+    pub gen: BTreeSet<String>,
+    /// Facts the block kills.
+    pub kill: BTreeSet<String>,
+}
+
+impl GenKill {
+    /// Apply this summary to a state.
+    pub fn apply(&self, state: &mut BTreeSet<String>) {
+        for k in &self.kill {
+            state.remove(k);
+        }
+        state.extend(self.gen.iter().cloned());
+    }
+
+    /// Record that `fact` is generated at this point in the block
+    /// (sequential composition: a later gen overrides an earlier kill).
+    pub fn add_gen(&mut self, fact: &str) {
+        self.kill.remove(fact);
+        self.gen.insert(fact.to_string());
+    }
+
+    /// Record that `fact` is killed at this point in the block.
+    pub fn add_kill(&mut self, fact: &str) {
+        self.gen.remove(fact);
+        self.kill.insert(fact.to_string());
+    }
+}
+
+/// Run a forward dataflow to fixpoint. Returns the **entry** state of
+/// every block; `transfer(block, in_state)` must be a pure function of
+/// its arguments. Blocks unreachable from the entry keep
+/// [`JoinSemiLattice::bottom`].
+pub fn forward<L, F>(cfg: &Cfg, entry_state: L, mut transfer: F) -> Vec<L>
+where
+    L: JoinSemiLattice,
+    F: FnMut(usize, &L) -> L,
+{
+    let mut input: Vec<L> = (0..cfg.blocks.len()).map(|_| L::bottom()).collect();
+    input[cfg.entry] = entry_state;
+    // A successor is (re)enqueued when its input changed — or when it
+    // has never been processed, which a bottom-joins-bottom "no change"
+    // would otherwise mask.
+    let mut visited = vec![false; cfg.blocks.len()];
+    let mut worklist: BTreeSet<usize> = BTreeSet::new();
+    worklist.insert(cfg.entry);
+    while let Some(&b) = worklist.iter().next() {
+        worklist.remove(&b);
+        visited[b] = true;
+        let out = transfer(b, &input[b]);
+        for &succ in &cfg.blocks[b].succs {
+            if input[succ].join_with(&out) || !visited[succ] {
+                worklist.insert(succ);
+            }
+        }
+    }
+    input
+}
+
+/// Run a backward dataflow to fixpoint. Returns the **exit** state of
+/// every block (the state flowing backwards out of its start is
+/// `transfer(block, exit_state)`). Blocks that cannot reach the exit
+/// keep bottom.
+pub fn backward<L, F>(cfg: &Cfg, exit_state: L, mut transfer: F) -> Vec<L>
+where
+    L: JoinSemiLattice,
+    F: FnMut(usize, &L) -> L,
+{
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); cfg.blocks.len()];
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        for &succ in &block.succs {
+            preds[succ].push(b);
+        }
+    }
+    let mut output: Vec<L> = (0..cfg.blocks.len()).map(|_| L::bottom()).collect();
+    output[cfg.exit] = exit_state;
+    let mut visited = vec![false; cfg.blocks.len()];
+    let mut worklist: BTreeSet<usize> = BTreeSet::new();
+    worklist.insert(cfg.exit);
+    while let Some(&b) = worklist.iter().next() {
+        worklist.remove(&b);
+        visited[b] = true;
+        let start = transfer(b, &output[b]);
+        for &pred in &preds[b] {
+            if output[pred].join_with(&start) || !visited[pred] {
+                worklist.insert(pred);
+            }
+        }
+    }
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{build, float_names};
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn cfg_of(src: &str, name: &str) -> (Cfg, crate::parse::FnItem) {
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        let item = parsed.fns.iter().find(|f| f.name == name).unwrap().clone();
+        let names = float_names(&lexed);
+        (build(&lexed, &item, &names), item)
+    }
+
+    /// Held-lock transfer: apply the block's acquire/release events.
+    fn held_transfer(cfg: &Cfg) -> impl FnMut(usize, &BTreeSet<String>) -> BTreeSet<String> + '_ {
+        |b, input| {
+            let mut state = input.clone();
+            for e in &cfg.blocks[b].events {
+                match e {
+                    crate::cfg::Event::Acquire { site } => {
+                        state.insert(cfg.locks[*site].lock.clone());
+                    }
+                    crate::cfg::Event::Release { site } => {
+                        state.remove(&cfg.locks[*site].lock);
+                    }
+                    _ => {}
+                }
+            }
+            state
+        }
+    }
+
+    #[test]
+    fn forward_reaches_fixpoint_on_a_loop() {
+        let src = r#"
+            fn f() {
+                let g = a.lock();
+                loop {
+                    if done() {
+                        break;
+                    }
+                }
+                after();
+            }
+        "#;
+        let (cfg, _) = cfg_of(src, "f");
+        let states = forward(&cfg, BTreeSet::new(), held_transfer(&cfg));
+        // The lock is held entering every block reachable after the
+        // acquire, including around the loop's back edge.
+        let held_count = states.iter().filter(|s| s.contains("a")).count();
+        assert!(held_count >= 3, "states: {states:?}");
+        // The exit has seen the scope-end release... which lands in the
+        // final block, so the *exit entry* state still shows `a` only if
+        // the release block precedes it. Fixpoint must terminate — the
+        // assertion above suffices for convergence.
+    }
+
+    #[test]
+    fn join_is_union_across_branches() {
+        let src = r#"
+            fn f() {
+                if cond() {
+                    let g = a.lock();
+                    if deeper() {
+                        touch(&g);
+                    }
+                }
+                after();
+            }
+        "#;
+        let (cfg, item) = cfg_of(src, "f");
+        let states = forward(&cfg, BTreeSet::new(), held_transfer(&cfg));
+        // `forward` returns block *entry* states, so the held fact is
+        // observable one branch deeper than the acquire; the guard
+        // releases at the outer branch's closing scope, so the join
+        // block must NOT have it.
+        let touch_block = cfg
+            .blocks
+            .iter()
+            .position(|b| {
+                b.events.iter().any(|e| {
+                    matches!(e, crate::cfg::Event::Call { call_idx }
+                        if item.calls[*call_idx].name() == "touch")
+                })
+            })
+            .unwrap();
+        assert!(states[touch_block].contains("a"));
+        let after_block = cfg
+            .blocks
+            .iter()
+            .position(|b| {
+                b.events.iter().any(|e| {
+                    matches!(e, crate::cfg::Event::Call { call_idx }
+                        if item.calls[*call_idx].name() == "after")
+                })
+            })
+            .unwrap();
+        assert!(
+            !states[after_block].contains("a"),
+            "scope-end release must reach the join: {states:?}"
+        );
+    }
+
+    #[test]
+    fn backward_flows_against_edges() {
+        let src = "fn f() { if c() { x(); } tail(); }";
+        let (cfg, _) = cfg_of(src, "f");
+        // Seed a fact at the exit; backwards it must reach the entry.
+        let mut seed = BTreeSet::new();
+        seed.insert("live".to_string());
+        let states = backward(&cfg, seed, |_, out| out.clone());
+        assert!(states[cfg.entry].contains("live"));
+    }
+
+    #[test]
+    fn gen_kill_sequential_composition() {
+        let mut gk = GenKill::default();
+        gk.add_gen("a");
+        gk.add_kill("a"); // later kill wins
+        gk.add_kill("b");
+        gk.add_gen("b"); // later gen wins
+        let mut state: BTreeSet<String> = ["a", "c"].iter().map(|s| s.to_string()).collect();
+        gk.apply(&mut state);
+        let got: Vec<&str> = state.iter().map(String::as_str).collect();
+        assert_eq!(got, vec!["b", "c"]);
+    }
+}

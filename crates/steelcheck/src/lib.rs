@@ -5,7 +5,7 @@
 //! the build the moment it is written instead of surfacing later as a
 //! golden-output diff that nobody can localize.
 //!
-//! The analysis has three layers, each feeding the next:
+//! The analysis has four layers, each feeding the next:
 //!
 //! 1. **Lexical** ([`lexer`], [`rules`]) — a comment/string-aware token
 //!    scan of each file in isolation; rules R1–R6 below.
@@ -18,6 +18,11 @@
 //! 3. **Reachability** ([`reach`]) — BFS over the graph from the
 //!    simulation entry points; rules R7–R9 below, each reporting the
 //!    full call path from entry point to offending site.
+//! 4. **Control flow & dataflow** ([`cfg`], [`flow`], [`flowrules`]) —
+//!    per-function CFGs with lock-guard lifetimes and loop structure,
+//!    a forward/backward fixpoint framework, and the interprocedural
+//!    rules R11–R13 below: lock discipline, hot-path allocation, and
+//!    float-accumulation order.
 //!
 //! The contract (README, "Static analysis & determinism contract"):
 //!
@@ -46,6 +51,18 @@
 //! - **R9 `rng-entropy`** — every `SimRng` construction reachable from
 //!   a figure binary must take its seed from an explicit literal,
 //!   constant, or CLI argument — never from time or thread state.
+//! - **R11 `lock-discipline`** — the workspace-wide lock-order graph
+//!   must stay acyclic, and no lock may be held across a blocking call
+//!   (`join`, channel `recv`, `accept`, `TcpStream` I/O), even when
+//!   the lock was taken several callers up.
+//! - **R12 `hot-path-alloc`** — no allocation-shaped call inside a
+//!   loop of any function reachable from the simulator's `run*`
+//!   methods, the event/arena/pool internals, or xdpsim's compiled
+//!   `exec_*` paths.
+//! - **R13 `float-accum-order`** — every f64 loop accumulation
+//!   reachable from a figure binary or the cost-accounting layer must
+//!   be justified inline or carried in the committed repo-root
+//!   `float_accum.allow` inventory.
 //!
 //! Findings are suppressed site-by-site with
 //! `// steelcheck: allow(<rule>): <justification>` (same line, or the
@@ -64,6 +81,9 @@
 #![deny(missing_debug_implementations)]
 
 pub mod callgraph;
+pub mod cfg;
+pub mod flow;
+pub mod flowrules;
 pub mod lexer;
 pub mod manifest;
 pub mod parse;
@@ -93,10 +113,12 @@ pub struct RustFile {
 
 /// Run every rule over the workspace rooted at `root`.
 ///
-/// Two phases: first every file is read, lexed, parsed, and scanned
+/// Three phases: first every file is read, lexed, parsed, and scanned
 /// lexically (R1–R6); then the call graph is built over all Rust files
-/// at once and the reachability rules (R7–R9) run, followed by the
-/// unused-suppression audit. Returns the finalized (sorted,
+/// at once and the reachability rules (R7–R9) run; then the CFG/
+/// dataflow rules (R11–R13) run over the same graph, followed by the
+/// unused-suppression audit (inline directives *and* the
+/// `float_accum.allow` inventory). Returns the finalized (sorted,
 /// deduplicated) report; I/O errors on individual files abort the
 /// run — a lint pass that silently skips unreadable files cannot be
 /// trusted to gate anything.
@@ -137,6 +159,15 @@ pub fn run(root: &Path) -> io::Result<Report> {
 
     let graph = callgraph::build(&files);
     reach::analyze(&files, &graph, &mut supps, &mut report.findings);
+
+    let inv_text = match fs::read_to_string(root.join(flowrules::INVENTORY_FILE)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let mut inventory = flowrules::Inventory::parse(&inv_text, &mut report.findings);
+    flowrules::analyze(&files, &graph, &mut supps, &mut report.findings, &mut inventory);
+    inventory.report_unused(&mut report.findings);
 
     for (file, s) in files.iter().zip(&supps) {
         rules::report_unused(&file.rel, s, &mut report.findings);

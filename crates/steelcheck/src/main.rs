@@ -7,13 +7,24 @@
 //! cargo run --release -p steelcheck -- --list-rules
 //! cargo run --release -p steelcheck -- --explain wallclock-reachable
 //! cargo run --release -p steelcheck -- --list-allow
+//! cargo run --release -p steelcheck -- --write-baseline known.txt
+//! cargo run --release -p steelcheck -- --baseline known.txt
 //! ```
 //!
 //! `--json` is kept as an alias for `--format json`.
 //!
-//! Exit status: 0 when the workspace is clean, 1 on any unsuppressed
+//! Baseline mode supports ratcheting a rule into a workspace with
+//! pre-existing findings: `--write-baseline` records the current
+//! finding set (one stable `file:line: rule: message` line each, sorted,
+//! call-path flows excluded so refactors of *other* code don't churn
+//! the file), and `--baseline` fails only on findings NOT in the
+//! recorded set, printing just the new ones.
+//!
+//! Exit status: 0 when the workspace is clean (or, under `--baseline`,
+//! when every finding is already recorded), 1 on any unsuppressed new
 //! finding, 2 on usage or I/O errors.
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -28,6 +39,8 @@ enum Format {
 fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut root_arg: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -98,9 +111,24 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("steelcheck: --baseline requires a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("steelcheck: --write-baseline requires a file path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
                     "usage: steelcheck [--format text|json|sarif] [--root DIR] \
+                     [--baseline FILE] [--write-baseline FILE] \
                      [--list-rules] [--explain RULE] [--list-allow]"
                 );
                 return ExitCode::SUCCESS;
@@ -127,6 +155,59 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = write_baseline {
+        let mut out = String::new();
+        for f in &report.findings {
+            out.push_str(&f.display_base());
+            out.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("steelcheck: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "steelcheck: wrote {} baseline finding(s) to {}",
+            report.findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = baseline {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("steelcheck: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let known: BTreeSet<&str> =
+            text.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+        let new: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| !known.contains(f.display_base().as_str()))
+            .collect();
+        let resolved = known
+            .iter()
+            .filter(|l| !report.findings.iter().any(|f| f.display_base() == **l))
+            .count();
+        for f in &new {
+            println!("{f}");
+        }
+        eprintln!(
+            "steelcheck: {} new finding(s), {} baselined, {} baseline entr(ies) resolved",
+            new.len(),
+            report.findings.len() - new.len(),
+            resolved
+        );
+        return if new.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     match format {
         Format::Json => print!("{}", report.to_json()),

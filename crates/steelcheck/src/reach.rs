@@ -5,8 +5,9 @@
 //! define "a simulation run" or "a figure pipeline", walk the
 //! conservative call graph, and flag *sources* — wall-clock reads,
 //! panic sites, ambient-entropy seeds — that are reachable from them,
-//! printing the call path so the finding is actionable without
-//! re-deriving the analysis by hand:
+//! attaching the call path as a structured flow (rendered inline as
+//! `(via a -> b -> c)`, and as SARIF `codeFlows`) so the finding is
+//! actionable without re-deriving the analysis by hand:
 //!
 //! - **R7 `wallclock-reachable`** — no `Instant`/`SystemTime` source
 //!   reachable from a simulation entry point (`netsim::Sim::run*`, a
@@ -194,16 +195,16 @@ fn rule_wallclock_reachable(
             if excused(files, supps, n.file_idx, line, &["wallclock-reachable"]) {
                 continue;
             }
-            findings.push(Finding::new(
+            findings.push(Finding::with_flow(
                 &n.file,
                 line,
                 "wallclock-reachable",
                 &format!(
-                    "`{tok}` reads the host clock on a simulation path (call path: {}); \
-                     simulated time must come from the event scheduler — only crates/bench \
-                     harness code may touch wall-clock time",
-                    g.path_to(&parent, n.id)
+                    "`{tok}` reads the host clock on a simulation path; simulated time \
+                     must come from the event scheduler — only crates/bench harness code \
+                     may touch wall-clock time"
                 ),
+                g.flow_to(&parent, n.id),
             ));
         }
     }
@@ -241,16 +242,16 @@ fn rule_panic_reachable(
             if excused(files, supps, n.file_idx, line, excuses) {
                 continue;
             }
-            findings.push(Finding::new(
+            findings.push(Finding::with_flow(
                 &n.file,
                 line,
                 "panic-reachable",
                 &format!(
-                    "`{label}` is a panic site reachable from a figure binary (call path: {}); \
-                     return an error, or record the invariant with \
-                     `// steelcheck: allow(panic-reachable): <why>`",
-                    g.path_to(fig_parent, n.id)
+                    "`{label}` is a panic site reachable from a figure binary; return an \
+                     error, or record the invariant with \
+                     `// steelcheck: allow(panic-reachable): <why>`"
                 ),
+                g.flow_to(fig_parent, n.id),
             ));
         }
     }
@@ -326,15 +327,15 @@ fn rule_rng_entropy(
             if excused(files, supps, n.file_idx, call.line, &["rng-entropy"]) {
                 continue;
             }
-            findings.push(Finding::new(
+            findings.push(Finding::with_flow(
                 &n.file,
                 call.line,
                 "rng-entropy",
                 &format!(
-                    "`SimRng` seeded from ambient entropy: {reason} (call path: {}); figure \
-                     pipelines must seed from an explicit literal, constant, or CLI value",
-                    g.path_to(fig_parent, n.id)
+                    "`SimRng` seeded from ambient entropy: {reason}; figure pipelines \
+                     must seed from an explicit literal, constant, or CLI value"
                 ),
+                g.flow_to(fig_parent, n.id),
             ));
         }
     }

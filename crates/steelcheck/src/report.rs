@@ -6,11 +6,39 @@
 //! UIs. Both machine writers are hand-rolled — the only consumers are
 //! CI gates, and pulling a serializer in would violate the very
 //! contract this tool enforces. Output ordering is fully
-//! deterministic: findings sort by (file, line, rule, message), and
-//! SARIF rule metadata follows the rule-table order.
+//! deterministic: findings sort by (file, line, rule, message, flow),
+//! and SARIF rule metadata follows the rule-table order.
+//!
+//! Interprocedural findings carry their call path as structured
+//! [`FlowStep`]s rather than flattened into the message text: SARIF
+//! renders them as `codeFlows`/`threadFlows` (one location per hop),
+//! JSON as a `flow` array, and the human stream appends a
+//! `(via a -> b -> c)` suffix so grep keeps working.
 
 use crate::rules;
 use std::fmt;
+
+/// One hop of an interprocedural call path attached to a finding.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct FlowStep {
+    /// Workspace-relative path of the function this hop enters.
+    pub file: String,
+    /// 1-based line of the function's `fn` keyword.
+    pub line: u32,
+    /// Qualified function name (`netsim::Sim::run_until`).
+    pub label: String,
+}
+
+impl FlowStep {
+    /// Construct a step.
+    pub fn new(file: &str, line: u32, label: &str) -> Self {
+        FlowStep {
+            file: file.to_string(),
+            line,
+            label: label.to_string(),
+        }
+    }
+}
 
 /// One diagnostic.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -23,17 +51,44 @@ pub struct Finding {
     pub rule: String,
     /// Human-readable explanation with the suggested fix.
     pub message: String,
+    /// Interprocedural call path, entry first; empty for local findings.
+    pub flow: Vec<FlowStep>,
 }
 
 impl Finding {
-    /// Construct a finding.
+    /// Construct a finding with no call path.
     pub fn new(file: &str, line: u32, rule: &str, message: &str) -> Self {
         Finding {
             file: file.to_string(),
             line,
             rule: rule.to_string(),
             message: message.to_string(),
+            flow: Vec::new(),
         }
+    }
+
+    /// Construct a finding carrying an interprocedural call path.
+    pub fn with_flow(file: &str, line: u32, rule: &str, message: &str, flow: Vec<FlowStep>) -> Self {
+        Finding {
+            flow,
+            ..Finding::new(file, line, rule, message)
+        }
+    }
+
+    /// The call path rendered as `a -> b -> c` (empty for local findings).
+    pub fn flow_text(&self) -> String {
+        self.flow
+            .iter()
+            .map(|s| s.label.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
+    /// The human one-liner without the call-path suffix — the stable
+    /// key baseline mode compares on (call paths churn when unrelated
+    /// functions are renamed; the finding itself has not moved).
+    pub fn display_base(&self) -> String {
+        format!("{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
     }
 }
 
@@ -43,7 +98,11 @@ impl fmt::Display for Finding {
             f,
             "{}:{}: {}: {}",
             self.file, self.line, self.rule, self.message
-        )
+        )?;
+        if !self.flow.is_empty() {
+            write!(f, " (via {})", self.flow_text())?;
+        }
+        Ok(())
     }
 }
 
@@ -74,7 +133,8 @@ impl Report {
     ///   "manifests": 12,
     ///   "findings": [
     ///     {"file": "crates/x/src/a.rs", "line": 3,
-    ///      "rule": "wall-clock", "message": "..."}
+    ///      "rule": "wall-clock", "message": "...",
+    ///      "flow": [{"file": "...", "line": 1, "label": "crate::fn"}]}
     ///   ]
     /// }
     /// ```
@@ -94,6 +154,21 @@ impl Report {
             s.push_str(&format!("\"line\": {}, ", f.line));
             s.push_str(&format!("\"rule\": {}, ", json_str(&f.rule)));
             s.push_str(&format!("\"message\": {}", json_str(&f.message)));
+            if !f.flow.is_empty() {
+                s.push_str(", \"flow\": [");
+                for (j, step) in f.flow.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&format!(
+                        "{{\"file\": {}, \"line\": {}, \"label\": {}}}",
+                        json_str(&step.file),
+                        step.line,
+                        json_str(&step.label)
+                    ));
+                }
+                s.push(']');
+            }
             s.push('}');
         }
         if !self.findings.is_empty() {
@@ -104,7 +179,8 @@ impl Report {
     }
 
     /// Render a minimal SARIF 2.1.0 log: one run, one result per
-    /// finding (level `error`), rule metadata from the rule table.
+    /// finding (level `error`), rule metadata from the rule table, and
+    /// `codeFlows`/`threadFlows` for findings carrying a call path.
     /// Hand-serialized like [`Report::to_json`] and byte-deterministic.
     pub fn to_sarif(&self) -> String {
         let mut s = String::new();
@@ -150,6 +226,23 @@ impl Report {
                 json_str(&f.file),
                 f.line
             ));
+            if !f.flow.is_empty() {
+                s.push_str(", \"codeFlows\": [{\"threadFlows\": [{\"locations\": [");
+                for (j, step) in f.flow.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&format!(
+                        "{{\"location\": {{\"physicalLocation\": {{\"artifactLocation\": \
+                         {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}, \
+                         \"message\": {{\"text\": {}}}}}}}",
+                        json_str(&step.file),
+                        step.line,
+                        json_str(&step.label)
+                    ));
+                }
+                s.push_str("]}]}]");
+            }
             s.push('}');
         }
         if !self.findings.is_empty() {

@@ -16,6 +16,10 @@
 //! | `float-hygiene`        | R5: no float `==`/`!=`, no sim-time → float casts outside stats |
 //! | `thread-outside-exec`  | R6: no thread spawning or cross-thread sync outside the execution layer |
 //! | `network-outside-serve`| R10: no raw sockets (`std::net`) outside the serving/execution layer |
+//!
+//! The interprocedural rules R7–R9 live in [`crate::reach`]; the
+//! CFG/dataflow rules R11–R13 (`lock-discipline`, `hot-path-alloc`,
+//! `float-accum-order`) live in [`crate::flowrules`].
 
 use crate::lexer::{Lexed, TokKind, Token};
 use crate::report::Finding;
@@ -140,6 +144,44 @@ pub const RULES: &[RuleInfo] = &[
         suppressible: true,
     },
     RuleInfo {
+        id: "lock-discipline",
+        summary: "consistent lock order; no lock held across a blocking call (R11)",
+        rationale: "The serving layer's liveness argument is a lock-order argument: two \
+                    threads acquiring the same pair of mutexes in opposite orders is a \
+                    deadlock waiting for load, and a guard held across a blocking call \
+                    (JoinHandle::join, channel recv, TcpStream I/O) stalls every other \
+                    thread needing that lock for the full blocking duration. The checker \
+                    builds each function's guard-lifetime CFG, propagates held-lock sets \
+                    along call edges, and demands the workspace-wide lock-order graph \
+                    stay acyclic. Release the guard first (scope it, or drop(guard)), \
+                    or split the critical section.",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: "hot-path-alloc",
+        summary: "no allocation-shaped calls in loops on simulation hot paths (R12)",
+        rationale: "The campus-scale rearchitecture (arena nodes, pooled payloads, \
+                    calendar queue) exists to get allocation out of the per-event path; \
+                    one Vec::new or clone() in a loop reachable from Sim::run*, the \
+                    event/arena/pool internals, or xdpsim's exec_* quietly re-introduces \
+                    the cost at 10M events/sec scale. Hoist the allocation out of the \
+                    loop, reuse a pooled buffer, or justify the site inline.",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: "float-accum-order",
+        summary: "f64 loop accumulation on figure/cost paths needs a justification (R13)",
+        rationale: "Float addition is not associative: the order a loop accumulates f64 \
+                    values in IS part of the committed figure bytes, and any refactor \
+                    that reorders it (parallel chunking, re-associating block sums) \
+                    silently moves results/*.txt. Every `+=`/`*=`/sum-shaped f64 \
+                    accumulation in a loop reachable from a figure main or the cost \
+                    accounting must carry an inline justification or an entry in the \
+                    committed float_accum.allow inventory — which doubles as the \
+                    work-list for re-specifying the cost accumulator.",
+        suppressible: true,
+    },
+    RuleInfo {
         id: "bad-directive",
         summary: "malformed or unknown steelcheck suppression directive",
         rationale: "A typo'd suppression that silently does nothing is worse than a \
@@ -172,6 +214,9 @@ pub const ALL_RULES: &[&str] = &[
     "panic-reachable",
     "rng-entropy",
     "network-outside-serve",
+    "lock-discipline",
+    "hot-path-alloc",
+    "float-accum-order",
 ];
 
 /// Is `rule` a known suppressible rule id? Used to reject typo'd

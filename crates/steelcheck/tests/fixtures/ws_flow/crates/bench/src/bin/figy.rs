@@ -1,0 +1,19 @@
+//! Fixture: f64 accumulation order on a figure path — one bare site
+//! (flagged, naming its inventory key), one excused by the fixture's
+//! `float_accum.allow`, one justified inline, and an integer counter
+//! the rule must ignore.
+
+fn main() {
+    let samples = load();
+    let mut total = 0.0;
+    let mut norm = 0.0;
+    let mut span = 0.0;
+    let mut count = 0;
+    for s in &samples {
+        total += *s as f64;
+        norm += weight(*s);
+        span += *s as f64; // steelcheck: allow(float-accum-order): sweep order is spec'd ascending
+        count += 1;
+    }
+    emit(total, norm, span, count);
+}

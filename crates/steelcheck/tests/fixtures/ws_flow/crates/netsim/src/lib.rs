@@ -1,0 +1,25 @@
+//! Fixture: an allocation inside the delivery loop two calls below the
+//! simulator's `run`, plus a justified Arc-refcount clone beside it.
+
+pub struct Sim;
+
+impl Sim {
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    fn tick(&mut self) {
+        deliver(self);
+    }
+}
+
+fn deliver(sim: &mut Sim) {
+    while let Some(ev) = sim.pop() {
+        let owned = ev.payload.to_vec();
+        // The tag is Arc-backed, so the clone bumps a refcount.
+        let tag = ev.tag.clone(); // steelcheck: allow(hot-path-alloc): Arc refcount bump, not an allocation
+        sim.absorb(owned, tag);
+    }
+}

@@ -1,0 +1,40 @@
+//! Fixture: a lock-order inversion between two worker-pool paths, a
+//! guard carried through a helper into a blocking `join`, and clean
+//! shapes (scoped guard before the join) the analysis must not flag.
+
+pub struct Pool;
+
+impl Pool {
+    /// Takes `queue` then `results` — one order...
+    pub fn drain(&mut self) {
+        let q = self.queue.lock();
+        let r = self.results.lock();
+        merge(&q, &r);
+    }
+
+    /// ...and `results` then `queue` — the inversion.
+    pub fn steal(&mut self) {
+        let r = self.results.lock();
+        let q = self.queue.lock();
+        merge(&q, &r);
+    }
+
+    /// Carries the `results` guard into `finish`, which blocks.
+    pub fn shutdown(&mut self) {
+        let r = self.results.lock();
+        self.finish(&r);
+    }
+
+    fn finish(&mut self, r: &Guard) {
+        self.handle.join();
+    }
+
+    /// Clean: the guard is scoped out before the join.
+    pub fn shutdown_clean(&mut self) {
+        {
+            let r = self.results.lock();
+            r.seal();
+        }
+        self.handle.join();
+    }
+}

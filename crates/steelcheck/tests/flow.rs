@@ -1,0 +1,179 @@
+//! Integration tests for the CFG/dataflow layer (rules 11–13) over the
+//! `ws_flow` fixture mini-workspace: a lock-order inversion, a guard
+//! carried through a helper into a blocking `join`, an allocation in
+//! the simulator's delivery loop, a float accumulation on a figure
+//! path, and the `float_accum.allow` inventory audit — each pinned to
+//! exact `file:line:rule` and, where a call path matters, to the exact
+//! rendered flow.
+
+use std::path::{Path, PathBuf};
+use steelcheck::report::{Finding, Report};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_fixture(name: &str) -> Report {
+    steelcheck::run(&fixture_root(name)).expect("fixture scan")
+}
+
+fn by_rule<'a>(r: &'a Report, rule: &str) -> Vec<&'a Finding> {
+    r.findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn r11_lock_order_inversion_reports_both_edges_with_the_cycle() {
+    let r = run_fixture("ws_flow");
+    let cycles: Vec<_> = by_rule(&r, "lock-discipline")
+        .into_iter()
+        .filter(|f| f.message.contains("lock-order cycle"))
+        .collect();
+    assert_eq!(cycles.len(), 2, "{:?}", r.findings);
+    // `drain` takes queue→results, `steal` results→queue: each edge is
+    // reported at its own acquire site, rendering the full cycle.
+    assert_eq!(
+        (cycles[0].file.as_str(), cycles[0].line),
+        ("crates/steelpar/src/lib.rs", 11)
+    );
+    assert!(
+        cycles[0]
+            .message
+            .contains("`steelpar::queue` -> `steelpar::results` -> `steelpar::queue`"),
+        "{}",
+        cycles[0].message
+    );
+    assert_eq!(
+        (cycles[1].file.as_str(), cycles[1].line),
+        ("crates/steelpar/src/lib.rs", 18)
+    );
+    assert!(
+        cycles[1]
+            .message
+            .contains("`steelpar::results` -> `steelpar::queue` -> `steelpar::results`"),
+        "{}",
+        cycles[1].message
+    );
+}
+
+#[test]
+fn r11_lock_held_across_join_carries_the_caller_chain() {
+    let r = run_fixture("ws_flow");
+    let f = by_rule(&r, "lock-discipline");
+    let blocking = f
+        .iter()
+        .find(|f| f.message.contains("blocks while holding"))
+        .unwrap_or_else(|| panic!("{:?}", r.findings));
+    // The guard is taken in `shutdown` and smuggled into `finish`; the
+    // finding lands on the join and names the chain that carried it.
+    assert_eq!(
+        (blocking.file.as_str(), blocking.line),
+        ("crates/steelpar/src/lib.rs", 29)
+    );
+    assert!(
+        blocking.message.contains("`steelpar::results`"),
+        "{}",
+        blocking.message
+    );
+    assert_eq!(
+        blocking.flow_text(),
+        "steelpar::Pool::shutdown -> steelpar::Pool::finish"
+    );
+    assert!(
+        format!("{blocking}").contains("(via steelpar::Pool::shutdown -> steelpar::Pool::finish)"),
+        "{blocking}"
+    );
+    // The scoped-guard variant releases before its join: line 38 is clean.
+    assert!(r.findings.iter().all(|f| f.line != 38), "{:?}", r.findings);
+}
+
+#[test]
+fn r12_alloc_in_delivery_loop_is_flagged_with_path_and_suppression_holds() {
+    let r = run_fixture("ws_flow");
+    let f = by_rule(&r, "hot-path-alloc");
+    assert_eq!(f.len(), 1, "{:?}", r.findings);
+    assert_eq!((f[0].file.as_str(), f[0].line), ("crates/netsim/src/lib.rs", 20));
+    assert!(f[0].message.contains(".to_vec()"), "{}", f[0].message);
+    assert_eq!(
+        f[0].flow_text(),
+        "netsim::Sim::run -> netsim::Sim::tick -> netsim::deliver"
+    );
+    // The justified Arc-refcount clone on line 22 is suppressed — and
+    // because it is consumed, the audit stays quiet about it.
+    assert!(r.findings.iter().all(|f| f.line != 22), "{:?}", r.findings);
+}
+
+#[test]
+fn r13_bare_accum_is_flagged_and_names_its_inventory_key() {
+    let r = run_fixture("ws_flow");
+    let f = by_rule(&r, "float-accum-order");
+    assert_eq!(f.len(), 1, "{:?}", r.findings);
+    assert_eq!(
+        (f[0].file.as_str(), f[0].line),
+        ("crates/bench/src/bin/figy.rs", 13)
+    );
+    assert!(
+        f[0].message
+            .contains("add `crates/bench/src/bin/figy.rs:main:total: <why>` to float_accum.allow"),
+        "the fix-it must spell the exact inventory line: {}",
+        f[0].message
+    );
+    // `norm` (line 14) is carried by the fixture inventory, `span`
+    // (line 15) is justified inline, `count` (line 16) is an integer.
+    assert!(
+        r.findings
+            .iter()
+            .all(|f| !(f.file.ends_with("figy.rs") && f.line != 13)),
+        "{:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn inventory_audit_flags_stale_and_malformed_entries() {
+    let r = run_fixture("ws_flow");
+    let stale = by_rule(&r, "unused-suppression");
+    assert_eq!(stale.len(), 1, "{:?}", r.findings);
+    assert_eq!((stale[0].file.as_str(), stale[0].line), ("float_accum.allow", 3));
+    assert!(
+        stale[0]
+            .message
+            .contains("`crates/bench/src/bin/figy.rs:main:gone` matches no float accumulation"),
+        "{}",
+        stale[0].message
+    );
+    let bad = by_rule(&r, "bad-directive");
+    assert_eq!(bad.len(), 1, "{:?}", r.findings);
+    assert_eq!((bad[0].file.as_str(), bad[0].line), ("float_accum.allow", 4));
+}
+
+#[test]
+fn ws_flow_full_finding_set_exactly() {
+    let r = run_fixture("ws_flow");
+    let got: Vec<(String, u32, String)> = r
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule.clone()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("crates/bench/src/bin/figy.rs".into(), 13, "float-accum-order".into()),
+            ("crates/netsim/src/lib.rs".into(), 20, "hot-path-alloc".into()),
+            ("crates/steelpar/src/lib.rs".into(), 11, "lock-discipline".into()),
+            ("crates/steelpar/src/lib.rs".into(), 18, "lock-discipline".into()),
+            ("crates/steelpar/src/lib.rs".into(), 29, "lock-discipline".into()),
+            ("float_accum.allow".into(), 3, "unused-suppression".into()),
+            ("float_accum.allow".into(), 4, "bad-directive".into()),
+        ]
+    );
+}
+
+#[test]
+fn ws_flow_output_is_byte_deterministic() {
+    let a = run_fixture("ws_flow");
+    let b = run_fixture("ws_flow");
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_sarif(), b.to_sarif());
+}

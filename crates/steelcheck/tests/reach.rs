@@ -29,11 +29,16 @@ fn r7_flags_wallclock_two_calls_below_sim_entry_with_path() {
     assert_eq!(f.len(), 1, "{:?}", r.findings);
     assert_eq!(f[0].file, "crates/netsim/src/lib.rs");
     assert_eq!(f[0].line, 22);
+    assert_eq!(
+        f[0].flow_text(),
+        "netsim::Sim::run -> netsim::step_world -> netsim::poll_host_clock",
+        "finding must carry the full call path as a structured flow"
+    );
+    // The rendered diagnostic keeps the path visible.
     assert!(
-        f[0].message
-            .contains("netsim::Sim::run -> netsim::step_world -> netsim::poll_host_clock"),
-        "finding must print the full call path: {}",
-        f[0].message
+        format!("{}", f[0]).contains("(via netsim::Sim::run -> netsim::step_world"),
+        "{}",
+        f[0]
     );
 }
 
@@ -44,11 +49,10 @@ fn r8_flags_panic_two_calls_below_figure_main_with_path() {
     assert_eq!(f.len(), 3, "{:?}", r.findings);
     assert_eq!(f[0].file, "crates/bench/src/bin/figx.rs");
     assert_eq!(f[0].line, 20);
-    assert!(
-        f[0].message
-            .contains("bench/figx::main -> bench/figx::load_stage -> bench/figx::parse_stage"),
-        "finding must print the full call path: {}",
-        f[0].message
+    assert_eq!(
+        f[0].flow_text(),
+        "bench/figx::main -> bench/figx::load_stage -> bench/figx::parse_stage",
+        "finding must carry the full call path as a structured flow"
     );
 }
 
@@ -72,12 +76,10 @@ fn r8_r9_trace_through_labeled_loops_and_worklists() {
         .iter()
         .find(|f| f.line == 46 && f.file == "crates/bench/src/bin/figx.rs")
         .unwrap_or_else(|| panic!("{:?}", r.findings));
-    assert!(
-        in_loop
-            .message
-            .contains("bench/figx::main -> bench/figx::walk_stage -> bench/figx::step_stage"),
-        "path must run through the loop body: {}",
-        in_loop.message
+    assert_eq!(
+        in_loop.flow_text(),
+        "bench/figx::main -> bench/figx::walk_stage -> bench/figx::step_stage",
+        "path must run through the loop body"
     );
 }
 
@@ -92,25 +94,21 @@ fn r8_r9_trace_lowered_execution_dispatch() {
         .iter()
         .find(|f| f.line == 68 && f.file == "crates/bench/src/bin/figx.rs")
         .unwrap_or_else(|| panic!("{:?}", r.findings));
-    assert!(
-        block_seed
-            .message
-            .contains("bench/figx::main -> bench/figx::lowered_stage -> bench/figx::exec_lowered"),
-        "seed path must run through the engine dispatch: {}",
-        block_seed.message
+    assert_eq!(
+        block_seed.flow_text(),
+        "bench/figx::main -> bench/figx::lowered_stage -> bench/figx::exec_lowered",
+        "seed path must run through the engine dispatch"
     );
     let panic = by_rule(&r, "panic-reachable");
     let in_block = panic
         .iter()
         .find(|f| f.line == 75 && f.file == "crates/bench/src/bin/figx.rs")
         .unwrap_or_else(|| panic!("{:?}", r.findings));
-    assert!(
-        in_block.message.contains(
-            "bench/figx::main -> bench/figx::lowered_stage -> bench/figx::exec_lowered \
-             -> bench/figx::exec_block"
-        ),
-        "panic path must reach the block executor: {}",
-        in_block.message
+    assert_eq!(
+        in_block.flow_text(),
+        "bench/figx::main -> bench/figx::lowered_stage -> bench/figx::exec_lowered \
+         -> bench/figx::exec_block",
+        "panic path must reach the block executor"
     );
 }
 

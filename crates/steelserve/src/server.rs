@@ -426,7 +426,11 @@ fn render_stats(shared: &Arc<Shared>) -> String {
 /// would only be observed on the next organic connection).
 fn request_stop(shared: &Arc<Shared>) {
     *lock(&shared.stopping) = true;
-    if let Some(addr) = *lock(&shared.addr) {
+    // Copy the addr out before connecting: an `if let` scrutinee guard
+    // lives through the whole construct, which would hold the lock
+    // across the blocking connect (steelcheck R11).
+    let addr = *lock(&shared.addr);
+    if let Some(addr) = addr {
         let _ = TcpStream::connect(addr);
     }
 }

@@ -156,6 +156,7 @@ fn reject_unknown(
 ) -> Result<(), SpecError> {
     for key in obj.keys() {
         if key != "figure" && !known.contains(&key.as_str()) {
+            // steelcheck: allow(hot-path-alloc): error path, spec validation aborts here
             return Err(SpecError::new(format!(
                 "unknown key `{key}` for figure `{figure}` (accepted: {})",
                 known.join(", ")
@@ -449,6 +450,7 @@ fn parse_scale(value: &Value) -> Result<CampusScale, SpecError> {
             "name" | "cells" | "leaves_per_cell" | "endpoints_per_leaf" | "period_us" | "cycles"
                 | "seed"
         ) {
+            // steelcheck: allow(hot-path-alloc): error path, spec validation aborts here
             return Err(SpecError::new(format!("unknown scale key `{key}`")));
         }
     }

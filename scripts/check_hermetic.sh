@@ -12,9 +12,10 @@
 #   3. `cargo build --release --frozen` and `cargo test -q --frozen`
 #      succeed — `--frozen` forbids both network access and lockfile
 #      updates, so this fails fast if anything external sneaks in.
-#   4. `steelcheck` (the in-repo three-layer static analysis: lexical
-#      rules R1–R6 and R10, the workspace call graph, and the
-#      reachability rules R7–R9) reports zero unsuppressed findings —
+#   4. `steelcheck` (the in-repo four-layer static analysis: lexical
+#      rules R1–R6 and R10, the workspace call graph, the reachability
+#      rules R7–R9, and the CFG/dataflow rules R11–R13) reports zero
+#      unsuppressed findings —
 #      including the directive audits (`bad-directive`,
 #      `unused-suppression`), so a stale or typo'd allow comment fails
 #      the gate too. Prints the per-rule finding-count table for the

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Static-analysis gate: run steelcheck, the in-repo three-layer
-# analysis (lexical scan, workspace call graph, reachability rules)
-# that enforces the determinism & hermeticity contract (see DESIGN.md).
+# Static-analysis gate: run steelcheck, the in-repo four-layer
+# analysis (lexical scan, workspace call graph, reachability rules,
+# and per-function CFG/dataflow rules) that enforces the determinism
+# & hermeticity contract (see DESIGN.md).
 #
 # Run from anywhere inside the repo:
 #   scripts/check_lint.sh                   # human-readable diagnostics
@@ -12,12 +13,14 @@
 #
 # Rules enforced (see `steelcheck --list-rules`; each suppressible with
 # inline `// steelcheck: allow(<rule>): why` or the reviewed allowlist):
-#   R1 nondet-collections   R5 float-hygiene        R8 panic-reachable
-#   R2 wall-clock           R6 thread-outside-exec  R9 rng-entropy
-#   R3 unwrap-in-lib        R7 wallclock-reachable  R10 network-outside-serve
-#   R4 manifest-hygiene
+#   R1 nondet-collections   R6 thread-outside-exec   R11 lock-discipline
+#   R2 wall-clock           R7 wallclock-reachable   R12 hot-path-alloc
+#   R3 unwrap-in-lib        R8 panic-reachable       R13 float-accum-order
+#   R4 manifest-hygiene     R9 rng-entropy
+#   R5 float-hygiene        R10 network-outside-serve
 # plus the unsuppressible directive audits (bad-directive,
-# unused-suppression).
+# unused-suppression) and the repo-root `float_accum.allow` inventory
+# that carries R13's reviewed accumulation sites.
 #
 # Exit status: 0 clean, 1 findings, 2 usage/IO error.
 
